@@ -1,0 +1,138 @@
+//! **Ablations** of the engine-level design choices called out in
+//! DESIGN.md:
+//!
+//! 1. semi-naive vs. naive fixpoint on transitive-closure workloads;
+//! 2. stratified fast path vs. alternating fixpoint (well-founded) on a
+//!    program that is stratified but can be forced through either path;
+//! 3. domain-map edge execution: constraint vs. assertion mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kind_bench::tc_workload;
+use kind_datalog::{Engine, EvalOptions};
+use kind_dm::{figures, rules, ExecMode, DM_OPS_RULES};
+use kind_flogic::FLogic;
+use std::hint::black_box;
+
+fn bench_seminaive_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fixpoint");
+    g.sample_size(10);
+    for (n, edges) in [(30usize, 60usize), (60, 120), (120, 240)] {
+        let e = tc_workload(n, edges, 11);
+        g.bench_with_input(BenchmarkId::new("semi_naive", edges), &e, |b, e| {
+            b.iter(|| {
+                black_box(
+                    e.run(&EvalOptions::default()).unwrap().stats.derived,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", edges), &e, |b, e| {
+            b.iter(|| {
+                black_box(
+                    e.run(&EvalOptions {
+                        semi_naive: false,
+                        ..Default::default()
+                    })
+                    .unwrap()
+                    .stats
+                    .derived,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The same complement computation written stratified (negation over an
+/// EDB predicate) and with a gratuitous negative cycle bolted on (forcing
+/// the alternating fixpoint) — the price of the WFS machinery.
+fn bench_stratified_vs_wfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wfs");
+    g.sample_size(10);
+    let facts: String = (0..300)
+        .map(|i| format!("node(n{i}). {}", if i % 3 == 0 { format!("marked(n{i}).") } else { String::new() }))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut strat = Engine::new();
+    strat.load(&facts).unwrap();
+    strat
+        .load("unmarked(X) :- node(X), not marked(X).")
+        .unwrap();
+    g.bench_function("stratified_path", |b| {
+        b.iter(|| black_box(strat.run(&EvalOptions::default()).unwrap().facts.len()))
+    });
+    let mut wfs = Engine::new();
+    wfs.load(&facts).unwrap();
+    wfs.load(
+        "unmarked(X) :- node(X), not marked(X).
+         % a two-literal negative cycle over a tiny island forces the
+         % alternating fixpoint for the whole program:
+         island(i1).
+         p(X) :- island(X), not q(X).
+         q(X) :- island(X), not p(X).",
+    )
+    .unwrap();
+    g.bench_function("alternating_fixpoint_path", |b| {
+        b.iter(|| black_box(wfs.run(&EvalOptions::default()).unwrap().facts.len()))
+    });
+    g.finish();
+}
+
+fn bench_exec_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_exec_mode");
+    g.sample_size(10);
+    let dm = figures::figure1();
+    // Fifty neurons with no compartments: constraint mode reports
+    // witnesses; assertion mode invents placeholders.
+    let data: String = (0..50)
+        .map(|i| format!("n{i} : \"Neuron\"."))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for (label, mode) in [
+        ("constraint", ExecMode::Constraint),
+        ("assertion", ExecMode::Assertion),
+    ] {
+        let prog = rules::compile(&dm, mode);
+        let mut fl = FLogic::new();
+        fl.load_datalog(DM_OPS_RULES).unwrap();
+        fl.load(&prog.text).unwrap();
+        fl.load(&data).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(fl.run().unwrap().facts.len()))
+        });
+    }
+    g.finish();
+}
+
+/// First-column join index on vs. off (full scans), on a TC workload
+/// where the recursive rule joins on a bound first argument.
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_join_index");
+    g.sample_size(10);
+    let e = tc_workload(80, 160, 5);
+    g.bench_function("index_on", |b| {
+        b.iter(|| black_box(e.run(&EvalOptions::default()).unwrap().stats.derived))
+    });
+    g.bench_function("index_off", |b| {
+        b.iter(|| {
+            black_box(
+                e.run(&EvalOptions {
+                    use_index: false,
+                    ..Default::default()
+                })
+                .unwrap()
+                .stats
+                .derived,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seminaive_vs_naive,
+    bench_stratified_vs_wfs,
+    bench_exec_modes,
+    bench_index
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **Examples 2 & 3** — integrity constraints as denials with failure
+//! witnesses.
+//!
+//! Series reproduced: partial-order checking (reflexivity, transitivity,
+//! antisymmetry witnesses) on near-orders of growing size, and
+//! cardinality checking (grouping aggregation) on growing populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kind_bench::corrupted_order;
+use kind_gcm::{Cardinality, ConceptualModel, GcmBase, GcmValue};
+use std::hint::black_box;
+
+fn bench_partial_order(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ex2_partial_order");
+    g.sample_size(10);
+    for n in [8usize, 16, 24] {
+        let base = corrupted_order(n, n / 2);
+        g.bench_with_input(BenchmarkId::new("check", n), &base, |b, base| {
+            b.iter(|| {
+                let m = base.run().unwrap();
+                black_box(base.witnesses(&m).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn cardinality_base(tuples: usize) -> GcmBase {
+    let mut base = GcmBase::new();
+    let mut cm =
+        ConceptualModel::new("CARD").relation("has", &[("neuron", "neuron"), ("axon", "axon")]);
+    for i in 0..tuples {
+        // Every 10th axon is shared by two neurons (violation).
+        cm = cm.relation_inst(
+            "has",
+            &[
+                ("neuron", GcmValue::Id(format!("n{}", i % (tuples / 4 + 1)))),
+                ("axon", GcmValue::Id(format!("ax{}", i / 2))),
+            ],
+        );
+    }
+    base.apply(&cm).expect("CM applies");
+    base.require_cardinality("has", Cardinality::FirstExact(1))
+        .expect("constraint");
+    base.require_cardinality("has", Cardinality::SecondAtMost(2))
+        .expect("constraint");
+    base
+}
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ex3_cardinality");
+    g.sample_size(10);
+    for tuples in [100usize, 400, 1600] {
+        let base = cardinality_base(tuples);
+        g.bench_with_input(BenchmarkId::new("check", tuples), &base, |b, base| {
+            b.iter(|| {
+                let m = base.run().unwrap();
+                black_box(base.witnesses(&m).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partial_order, bench_cardinality);
+criterion_main!(benches);

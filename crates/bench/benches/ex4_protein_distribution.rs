@@ -1,0 +1,52 @@
+//! **Example 4** — the `protein_distribution` integrated view: recursive
+//! aggregation along `has_a_star` from a distribution root.
+//!
+//! Series reproduced: view evaluation as a function of (a) anatomy size
+//! (the ANATOM stand-in's partonomy) and (b) measurement volume.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kind_bench::scaled_anatomy_mediator;
+use kind_core::{protein_distribution, NeuroSchema};
+use std::hint::black_box;
+
+fn bench_by_anatomy_size(c: &mut Criterion) {
+    let schema = NeuroSchema::default();
+    let mut g = c.benchmark_group("ex4_by_anatomy");
+    g.sample_size(10);
+    for (depth, fanout) in [(3usize, 3usize), (4, 3), (5, 3)] {
+        let (mut m, _) = scaled_anatomy_mediator(depth, fanout, 200, 7);
+        let nodes = m.dm().node_count();
+        g.bench_with_input(BenchmarkId::new("rollup", nodes), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    protein_distribution(&mut m, &schema, "Ryanodine_Receptor", "Nervous_System")
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_by_measurement_volume(c: &mut Criterion) {
+    let schema = NeuroSchema::default();
+    let mut g = c.benchmark_group("ex4_by_rows");
+    g.sample_size(10);
+    for rows in [100usize, 1000, 10000] {
+        let (mut m, _) = scaled_anatomy_mediator(4, 3, rows, 7);
+        g.bench_with_input(BenchmarkId::new("rollup", rows), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    protein_distribution(&mut m, &schema, "Ryanodine_Receptor", "Nervous_System")
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_by_anatomy_size, bench_by_measurement_volume);
+criterion_main!(benches);

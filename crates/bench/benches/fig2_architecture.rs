@@ -1,0 +1,65 @@
+//! **Figure 2** — the model-based mediator architecture end to end.
+//!
+//! Series reproduced: per-formalism CM plug-in translation cost,
+//! source-registration cost, and full federation (register + materialize
+//! + evaluate) scaling with data volume.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kind_core::Wrapper;
+use kind_gcm::PluginRegistry;
+use kind_sources::{
+    build_scenario, ncmir_wrapper, senselab_wrapper, synapse_wrapper, ScenarioParams,
+};
+use std::hint::black_box;
+
+fn bench_plugin_translation(c: &mut Criterion) {
+    let reg = PluginRegistry::with_builtins();
+    let wrappers: Vec<(&str, std::rc::Rc<dyn Wrapper>)> = vec![
+        ("er_synapse", synapse_wrapper(1, 10)),
+        ("uxf_ncmir", ncmir_wrapper(1, 10)),
+        ("rdfs_senselab", senselab_wrapper(1, 10)),
+    ];
+    let mut g = c.benchmark_group("fig2_plugin_translation");
+    for (label, w) in &wrappers {
+        let doc = w.export_cm();
+        let formalism = w.formalism().to_string();
+        g.bench_function(*label, |b| {
+            b.iter(|| black_box(reg.translate(&formalism, &doc).unwrap().decls.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_registration_and_federation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_federation");
+    g.sample_size(10);
+    for rows in [20usize, 80, 320] {
+        let params = ScenarioParams {
+            senselab_rows: rows,
+            ncmir_rows: rows,
+            synapse_rows: rows,
+            noise_sources: 2,
+            noise_rows: rows / 2,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::new("register_all", rows), &params, |b, p| {
+            b.iter(|| black_box(build_scenario(p).sources().len()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("materialize_and_evaluate", rows),
+            &params,
+            |b, p| {
+                b.iter(|| {
+                    let mut m = build_scenario(p);
+                    m.materialize_all().unwrap();
+                    let model = m.run().unwrap();
+                    black_box(model.facts.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plugin_translation, bench_registration_and_federation);
+criterion_main!(benches);

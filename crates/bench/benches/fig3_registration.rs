@@ -1,0 +1,86 @@
+//! **Figure 3** — registering new knowledge and data at the mediator.
+//!
+//! Series reproduced: cost of a registration that refines the domain map
+//! (the `MyNeuron`/`MyDendrite` flow), and semantic-index construction as
+//! a function of the number of anchored objects — the paper's claim that
+//! anchoring happens "without changing the latter [the map]" shows up as
+//! index-build cost scaling with data volume, not map size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kind_core::{Anchor, Capability, Mediator, MemoryWrapper};
+use kind_dm::{figures, ExecMode};
+use kind_gcm::GcmValue;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn mylab_wrapper(rows: usize, with_dm_contribution: bool) -> Rc<MemoryWrapper> {
+    let mut w = MemoryWrapper::new("MYLAB");
+    if with_dm_contribution {
+        w.dm_axioms = figures::FIGURE3_REGISTRATION_AXIOMS.to_string();
+    }
+    w.caps.push(Capability {
+        class: "my_neurons".into(),
+        pushable: vec![],
+    });
+    let concept = if with_dm_contribution {
+        "MyNeuron"
+    } else {
+        "Medium_Spiny_Neuron"
+    };
+    w.anchor_decls.push(Anchor::Fixed {
+        class: "my_neurons".into(),
+        concept: concept.into(),
+    });
+    for i in 0..rows {
+        w.add_row("my_neurons", &format!("m{i}"), vec![("idx", GcmValue::Int(i as i64))]);
+    }
+    Rc::new(w)
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_registration");
+    g.sample_size(20);
+    for rows in [10usize, 100, 1000] {
+        g.bench_with_input(
+            BenchmarkId::new("anchor_only", rows),
+            &rows,
+            |b, &rows| {
+                b.iter(|| {
+                    let mut m = Mediator::new(figures::figure3_base(), ExecMode::Assertion);
+                    m.register(mylab_wrapper(rows, false)).unwrap();
+                    black_box(m.index().total_anchors())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("with_dm_refinement", rows),
+            &rows,
+            |b, &rows| {
+                b.iter(|| {
+                    let mut m = Mediator::new(figures::figure3_base(), ExecMode::Assertion);
+                    m.register(mylab_wrapper(rows, true)).unwrap();
+                    black_box(m.index().total_anchors())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rebuild_after_refinement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_rebuild");
+    g.sample_size(10);
+    let mut m = Mediator::new(figures::figure3_base(), ExecMode::Assertion);
+    m.register(mylab_wrapper(50, true)).unwrap();
+    g.bench_function("rebuild_and_evaluate", |b| {
+        b.iter(|| {
+            m.rebuild().unwrap();
+            let model = m.run().unwrap();
+            black_box(model.facts.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_registration, bench_rebuild_after_refinement);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! **§5** — the four-step query plan of the KIND prototype.
+//!
+//! Series reproduced:
+//! * the full plan with semantic-index source selection **ON vs OFF** as
+//!   the number of registered-but-irrelevant sources grows (the paper's
+//!   step 2 motivation: with the index, cost tracks *relevant* sources);
+//! * lub computation cost;
+//! * the plan vs. the materialize-everything baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kind_core::{run_section5, NeuroSchema, Section5Query};
+use kind_sources::{build_scenario, ScenarioParams};
+use std::hint::black_box;
+
+fn query() -> Section5Query {
+    Section5Query {
+        organism: "rat".into(),
+        transmitting_compartment: "Parallel_Fiber".into(),
+        ion: "calcium".into(),
+    }
+}
+
+fn bench_source_selection_ablation(c: &mut Criterion) {
+    let schema = NeuroSchema::default();
+    let mut g = c.benchmark_group("sec5_source_selection");
+    g.sample_size(10);
+    for noise in [0usize, 8, 32] {
+        let params = ScenarioParams {
+            noise_sources: noise,
+            noise_rows: 200,
+            ..Default::default()
+        };
+        let mut m_on = build_scenario(&params);
+        g.bench_with_input(BenchmarkId::new("index_on", noise), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    run_section5(&mut m_on, &schema, &query(), true)
+                        .unwrap()
+                        .distribution
+                        .len(),
+                )
+            })
+        });
+        let mut m_off = build_scenario(&params);
+        g.bench_with_input(BenchmarkId::new("index_off", noise), &(), |b, ()| {
+            b.iter(|| {
+                black_box(
+                    run_section5(&mut m_off, &schema, &query(), false)
+                        .unwrap()
+                        .distribution
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lub(c: &mut Criterion) {
+    let m = build_scenario(&ScenarioParams::default());
+    let mut g = c.benchmark_group("sec5_lub");
+    g.bench_function("partonomy_lub_purkinje_pair", |b| {
+        b.iter(|| {
+            black_box(
+                m.partonomy_lub("has_a", &["Purkinje_Cell", "Purkinje_Dendrite"])
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("partonomy_lub_cross_region", |b| {
+        b.iter(|| {
+            black_box(
+                m.partonomy_lub("has_a", &["Purkinje_Spine", "Pyramidal_Spine"])
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_plan_vs_materialize(c: &mut Criterion) {
+    let schema = NeuroSchema::default();
+    let params = ScenarioParams {
+        noise_sources: 8,
+        noise_rows: 200,
+        ncmir_rows: 200,
+        senselab_rows: 200,
+        synapse_rows: 200,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("sec5_plan_vs_materialize");
+    g.sample_size(10);
+    let mut m = build_scenario(&params);
+    g.bench_function("pushdown_plan", |b| {
+        b.iter(|| black_box(run_section5(&mut m, &schema, &query(), true).unwrap().step3_rows))
+    });
+    g.bench_function("materialize_everything_baseline", |b| {
+        b.iter(|| {
+            let mut m2 = build_scenario(&params);
+            m2.materialize_all().unwrap();
+            let model = m2.run().unwrap();
+            black_box(model.facts.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_source_selection_ablation,
+    bench_lub,
+    bench_plan_vs_materialize
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! **Table 1** — the GCM ↔ F-logic correspondence and the FL closure
+//! axioms.
+//!
+//! Series reproduced: cost of evaluating the Table 1 axioms (reflexive &
+//! transitive `::`, upward `:` propagation, signature inheritance) on
+//! growing class trees, plus GCM-declaration → FL-text → parse
+//! round-trip throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kind_bench::class_tree_flogic;
+use kind_flogic::FLogic;
+use kind_gcm::{GcmDecl, GcmValue};
+use std::hint::black_box;
+
+fn bench_fl_axioms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab1_axioms");
+    g.sample_size(20);
+    for (depth, fanout) in [(4usize, 2usize), (6, 2), (8, 2)] {
+        let classes = (0..=depth).map(|d| fanout.pow(d as u32)).sum::<usize>();
+        let fl = class_tree_flogic(depth, fanout);
+        g.bench_with_input(
+            BenchmarkId::new("closure_eval", classes),
+            &fl,
+            |b, fl| b.iter(|| black_box(fl.run().unwrap().facts.len())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_gcm_fl_roundtrip(c: &mut Criterion) {
+    let decls: Vec<GcmDecl> = (0..200)
+        .flat_map(|i| {
+            vec![
+                GcmDecl::Instance {
+                    obj: format!("o{i}"),
+                    class: format!("c{}", i % 20),
+                },
+                GcmDecl::MethodInst {
+                    obj: format!("o{i}"),
+                    method: "size".into(),
+                    value: GcmValue::Int(i),
+                },
+                GcmDecl::Subclass {
+                    sub: format!("c{}", i % 20),
+                    sup: format!("c{}", i % 7),
+                },
+            ]
+        })
+        .collect();
+    let mut g = c.benchmark_group("tab1_roundtrip");
+    g.bench_function("render_600_decls_to_fl", |b| {
+        b.iter(|| {
+            let text: String = decls.iter().map(|d| d.to_fl() + "\n").collect();
+            black_box(text.len())
+        })
+    });
+    let text: String = decls.iter().map(|d| d.to_fl() + "\n").collect();
+    g.bench_function("parse_and_load_600_decls", |b| {
+        b.iter(|| {
+            let mut fl = FLogic::new();
+            fl.load(&text).unwrap();
+            black_box(fl.engine().edb().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fl_axioms, bench_gcm_fl_roundtrip);
+criterion_main!(benches);

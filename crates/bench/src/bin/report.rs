@@ -1,0 +1,311 @@
+//! Regenerates, in one run, the qualitative outputs of every figure /
+//! table / example in the paper, as plain-text tables. The output of this
+//! binary is what EXPERIMENTS.md records as "measured".
+//!
+//! ```sh
+//! cargo run -p kind-bench --bin report
+//! ```
+
+use kind_bench::corrupted_order;
+use kind_core::{protein_distribution, run_section5, NeuroSchema, Section5Query};
+use kind_dm::{figures, Resolved};
+use kind_flogic::FLogic;
+use kind_gcm::{GcmDecl, GcmValue};
+use kind_sources::{build_scenario, ScenarioParams};
+use std::time::Instant;
+
+fn header(s: &str) {
+    println!("\n==================================================================");
+    println!("{s}");
+    println!("==================================================================");
+}
+
+fn main() {
+    figure1_report();
+    table1_report();
+    figure2_report();
+    example2_report();
+    figure3_report();
+    section5_report();
+}
+
+fn figure1_report() {
+    header("Figure 1 — domain map for SYNAPSE and NCMIR");
+    let dm = figures::figure1();
+    let r = Resolved::new(&dm);
+    println!(
+        "concepts: {}   edges: {}   roles: {:?}",
+        dm.concepts().count(),
+        dm.edge_count(),
+        dm.roles()
+    );
+    println!("\nderived knowledge chain (the 'multiple worlds' bridge):");
+    for (a, role, b) in [
+        ("Purkinje_Cell", "has", "Spine"),
+        ("Pyramidal_Cell", "has", "Spine"),
+        ("Spine", "contains", "Ion_Binding_Protein"),
+        ("Ion_Binding_Protein", "controls", "Ion_Activity"),
+        ("Ion_Activity", "subprocess_of", "Neurotransmission"),
+    ] {
+        let na = dm.lookup(a).unwrap();
+        let nb = dm.lookup(b).unwrap();
+        let holds = r.dc_pairs(role).contains(&(na, nb));
+        println!("  {a:<22} --{role:>14}--> {b:<24} {}", if holds { "inferable" } else { "MISSING" });
+    }
+    let dc = r.dc_pairs("has").len();
+    let tc = r.tc_of_dc("has").len();
+    println!("\ndc(has) = {dc} direct inferable links; materialized tc = {tc} links");
+    // Scaling the 'wasteful' claim:
+    println!("\n  anatomy size |  dc pairs | tc(dc) pairs | ratio");
+    for (d, f) in [(3usize, 3usize), (4, 3), (5, 3)] {
+        let big = figures::anatomy_generated(d, f, 2);
+        let rr = Resolved::new(&big);
+        let dcn = rr.dc_pairs("has_a").len();
+        let tcn = rr.tc_of_dc("has_a").len();
+        println!(
+            "  {:>12} | {:>9} | {:>12} | {:>5.1}x",
+            big.node_count(),
+            dcn,
+            tcn,
+            tcn as f64 / dcn.max(1) as f64
+        );
+    }
+}
+
+fn table1_report() {
+    header("Table 1 — GCM expressions in F-logic, with the closure axioms");
+    let decls = [
+        GcmDecl::Instance {
+            obj: "x".into(),
+            class: "c".into(),
+        },
+        GcmDecl::Subclass {
+            sub: "c1".into(),
+            sup: "c2".into(),
+        },
+        GcmDecl::Method {
+            class: "c".into(),
+            method: "m".into(),
+            result: "cm".into(),
+        },
+        GcmDecl::MethodInst {
+            obj: "x".into(),
+            method: "m".into(),
+            value: GcmValue::Id("y".into()),
+        },
+        GcmDecl::Relation {
+            name: "r".into(),
+            roles: vec![("a1".into(), "c1".into()), ("a2".into(), "c2".into())],
+        },
+        GcmDecl::RelationInst {
+            name: "r".into(),
+            values: vec![
+                ("a1".into(), GcmValue::Id("x1".into())),
+                ("a2".into(), GcmValue::Id("x2".into())),
+            ],
+        },
+    ];
+    println!("{:<34} | FL syntax", "GCM expression");
+    println!("{:-<34}-+----------------------------", "");
+    for d in &decls {
+        let gcm = match d {
+            GcmDecl::Instance { obj, class } => format!("instance({obj},{class})"),
+            GcmDecl::Subclass { sub, sup } => format!("subclass({sub},{sup})"),
+            GcmDecl::Method {
+                class,
+                method,
+                result,
+            } => format!("method({class},{method},{result})"),
+            GcmDecl::MethodInst { obj, method, value } => {
+                format!("methodinst({obj},{method},{value})")
+            }
+            GcmDecl::Relation { name, roles } => format!(
+                "relation({name},{})",
+                roles
+                    .iter()
+                    .map(|(a, c)| format!("{a}={c}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            GcmDecl::RelationInst { name, values } => format!(
+                "relationinst({name},{})",
+                values
+                    .iter()
+                    .map(|(a, v)| format!("{a}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            GcmDecl::Rule { .. } => "rule".into(),
+        };
+        println!("{gcm:<34} | {}", d.to_fl());
+    }
+    // Closure axiom timing on a growing hierarchy.
+    println!("\n  classes | closure-eval facts | time");
+    for depth in [4usize, 6, 8] {
+        let fl = kind_bench::class_tree_flogic(depth, 2);
+        let t = Instant::now();
+        let m = fl.run().expect("runs");
+        println!(
+            "  {:>7} | {:>18} | {:?}",
+            2usize.pow(depth as u32 + 1) - 1,
+            m.facts.len(),
+            t.elapsed()
+        );
+    }
+}
+
+fn figure2_report() {
+    header("Figure 2 — the model-based mediator architecture at work");
+    let params = ScenarioParams::default();
+    let t = Instant::now();
+    let mut m = build_scenario(&params);
+    let reg_time = t.elapsed();
+    println!("registered {} sources in {reg_time:?}:", m.sources().len());
+    for s in m.sources() {
+        println!(
+            "  {:<10} formalism={:<5} classes={:?}",
+            s.name,
+            s.wrapper.formalism(),
+            s.classes
+        );
+    }
+    let t = Instant::now();
+    let loaded = m.materialize_all().expect("materializes");
+    let model_size = m.run().expect("evaluates").facts.len();
+    println!(
+        "\nmaterialized {loaded} rows; evaluated model: {model_size} facts in {:?}",
+        t.elapsed()
+    );
+}
+
+fn example2_report() {
+    header("Examples 2 & 3 — integrity constraints with failure witnesses");
+    let base = corrupted_order(8, 4);
+    let t = Instant::now();
+    let m = base.run().expect("runs");
+    let ws = base.witnesses(&m);
+    let (wrc, wtc, was): (Vec<_>, Vec<_>, Vec<_>) = (
+        ws.iter().filter(|w| w.starts_with("wrc(")).collect(),
+        ws.iter().filter(|w| w.starts_with("wtc(")).collect(),
+        ws.iter().filter(|w| w.starts_with("was(")).collect(),
+    );
+    println!(
+        "corrupted order (8 nodes, 4 missing transitive edges, 1 cycle), checked in {:?}:",
+        t.elapsed()
+    );
+    println!("  reflexivity witnesses (wrc): {}", wrc.len());
+    println!("  transitivity witnesses (wtc): {}", wtc.len());
+    println!("  antisymmetry witnesses (was): {}", was.len());
+    for w in ws.iter().take(3) {
+        println!("    ic <- {w}");
+    }
+}
+
+fn figure3_report() {
+    header("Figure 3 — registering MyNeuron / MyDendrite");
+    let base = figures::figure3_base();
+    let full = figures::figure3();
+    println!(
+        "base map: {} concepts, {} edges",
+        base.concepts().count(),
+        base.edge_count()
+    );
+    println!(
+        "after registration: {} concepts, {} edges",
+        full.concepts().count(),
+        full.edge_count()
+    );
+    let r = Resolved::new(&full);
+    let mn = full.lookup("MyNeuron").unwrap();
+    println!("\nderived for MyNeuron:");
+    for target in [
+        "Medium_Spiny_Neuron",
+        "Spiny_Neuron",
+        "Neuron",
+    ] {
+        let t = full.lookup(target).unwrap();
+        println!("  MyNeuron :: {target:<22} {}", r.is_subconcept(mn, t));
+    }
+    let gpe = full.lookup("Globus_Pallidus_External").unwrap();
+    println!(
+        "  MyNeuron --proj--> Globus_Pallidus_External (definite): {}",
+        r.dc_pairs("proj").contains(&(mn, gpe))
+    );
+    // Nonmonotonic override at the instance level.
+    let mut fl = FLogic::with_inheritance();
+    fl.load(
+        "m1 : msn. m2 : msn. m1[proj -> gpe_only].",
+    )
+    .unwrap();
+    fl.load_datalog("default(msn, proj, pallidal_target).").unwrap();
+    let model = fl.run().unwrap();
+    let mut e = fl.engine().clone();
+    let v1 = e.query_model(&model, "val(m1, proj, V)").unwrap();
+    let v2 = e.query_model(&model, "val(m2, proj, V)").unwrap();
+    println!("\nnonmonotonic inheritance (defaults with override):");
+    println!("  m1 (explicit) projects to: {}", e.show(&v1[0][2]));
+    println!("  m2 (default)  projects to: {}", e.show(&v2[0][2]));
+}
+
+fn section5_report() {
+    header("§5 — the KIND query plan");
+    let schema = NeuroSchema::default();
+    let q = Section5Query {
+        organism: "rat".into(),
+        transmitting_compartment: "Parallel_Fiber".into(),
+        ion: "calcium".into(),
+    };
+    println!("query: distribution of calcium-binding proteins in neurons");
+    println!("       receiving parallel-fiber signals, in rat brains\n");
+    let mut m = build_scenario(&ScenarioParams::default());
+    let t = Instant::now();
+    let trace = run_section5(&mut m, &schema, &q, true).expect("plan runs");
+    let dt = t.elapsed();
+    println!("step 1: receiving pairs {:?}", trace.step1_pairs);
+    println!(
+        "step 2: {} candidates -> {:?} (semantic index)",
+        trace.candidate_sources, trace.selected_sources
+    );
+    println!(
+        "step 3: {} rows retrieved, proteins {:?}",
+        trace.step3_rows, trace.proteins
+    );
+    println!("step 4: lub root = {:?}", trace.root);
+    println!("\n  {:<20} {:<20} {:>7}", "protein", "concept", "total");
+    for d in &trace.distribution {
+        println!("  {:<20} {:<20} {:>7}", d.protein, d.concept, d.total);
+    }
+    println!(
+        "\nplan: {} wrapper queries, {} rows shipped, in {dt:?}",
+        trace.stats.source_queries, trace.stats.rows_shipped
+    );
+    // Ablation table.
+    println!("\nsource-selection ablation (rows shipped as noise sources grow):");
+    println!("  noise sources | index ON queries/rows | index OFF queries/rows");
+    for noise in [0usize, 4, 8, 16] {
+        let params = ScenarioParams {
+            noise_sources: noise,
+            noise_rows: 100,
+            ..Default::default()
+        };
+        let mut a = build_scenario(&params);
+        let ta = run_section5(&mut a, &schema, &q, true).unwrap();
+        let mut b = build_scenario(&params);
+        let tb = run_section5(&mut b, &schema, &q, false).unwrap();
+        println!(
+            "  {:>13} | {:>9}/{:<11} | {:>10}/{}",
+            noise,
+            ta.stats.source_queries,
+            ta.stats.rows_shipped,
+            tb.stats.source_queries,
+            tb.stats.rows_shipped
+        );
+    }
+    // Example 4 demo call.
+    println!("\nExample 4: protein_distribution(Ryanodine_Receptor, Cerebellum):");
+    let dist = protein_distribution(&mut m, &schema, "Ryanodine_Receptor", "Cerebellum")
+        .expect("view evaluates");
+    for (concept, total) in &dist {
+        println!("  {concept:<22} {total:>7}");
+    }
+}

@@ -1,0 +1,55 @@
+//! # kind-core — the KIND model-based mediator
+//!
+//! The paper's primary contribution (Figure 2): a mediator where views
+//! are defined and executed at the level of **conceptual models** rather
+//! than raw semistructured data, and where **domain maps** correlate
+//! sources from multiple worlds.
+//!
+//! * [`wrapper`] — the source interface: CM export (in any plugged-in
+//!   formalism), query capabilities (binding patterns for push-down),
+//!   anchor declarations, and optional DM contributions;
+//! * [`mediator`] — registration (plug-in translation, GCM application,
+//!   semantic-index construction, DM refinement), integrated view
+//!   definitions, model evaluation, capability-aware fetch, source
+//!   selection, lub computation;
+//! * [`plan`] — the §5 four-step query plan with a full execution trace,
+//!   and the Example 4 `protein_distribution` view.
+//!
+//! ```
+//! use kind_core::{Mediator, MemoryWrapper, Capability, Anchor};
+//! use kind_dm::{figures, ExecMode};
+//! use kind_gcm::GcmValue;
+//! use std::rc::Rc;
+//!
+//! let mut med = Mediator::new(figures::figure1(), ExecMode::Assertion);
+//! let mut w = MemoryWrapper::new("SYNAPSE");
+//! w.caps.push(Capability { class: "spines".into(), pushable: vec![] });
+//! w.anchor_decls.push(Anchor::Fixed {
+//!     class: "spines".into(),
+//!     concept: "Spine".into(),
+//! });
+//! w.add_row("spines", "s1", vec![("volume", GcmValue::Int(7))]);
+//! med.register(Rc::new(w)).unwrap();
+//! // Source selection through the domain map: spines regulate ions.
+//! assert_eq!(
+//!     med.sources_below("Ion_Regulating_Component").unwrap(),
+//!     vec!["SYNAPSE".to_string()]
+//! );
+//! ```
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod mediator;
+pub mod plan;
+pub mod query;
+pub mod wrapper;
+
+pub use error::{MediatorError, Result};
+pub use mediator::{Mediator, MediatorStats, RegisteredSource};
+pub use query::AnswerSet;
+pub use plan::{
+    protein_distribution, run_section5, DistributionRow, NeuroSchema, PlanTrace, Section5Query,
+};
+pub use wrapper::{
+    Anchor, Capability, MemoryWrapper, ObjectRow, QueryTemplate, Selection, SourceQuery, Wrapper,
+};

@@ -1,0 +1,881 @@
+//! The model-based mediator (Figure 2).
+//!
+//! The mediator owns a domain map (its "semantic coordinate system"), a
+//! CM plug-in registry, a GCM engine, and a semantic index. Sources join
+//! at runtime by [`Mediator::register`]-ing: their CM export is translated
+//! through the plug-in for their formalism, applied to the GCM base, their
+//! data anchored into the domain map, and any contributed DL axioms merged
+//! into the map (Figure 3). Integrated views are FL rule texts evaluated
+//! over everything together.
+
+use crate::error::{MediatorError, Result};
+use crate::wrapper::{Anchor, Capability, ObjectRow, SourceQuery, Wrapper};
+use kind_datalog::{EvalOptions, Model, Term};
+use kind_dm::{
+    axiom, rules, DomainMap, ExecMode, Resolved, SemanticIndex, SourceId, DM_OPS_RULES,
+};
+use kind_gcm::{ConceptualModel, GcmBase, GcmDecl, PluginRegistry};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Bookkeeping for one registered source.
+pub struct RegisteredSource {
+    /// The mediator-assigned id.
+    pub id: SourceId,
+    /// The source name.
+    pub name: String,
+    /// Declared capabilities.
+    pub caps: Vec<Capability>,
+    /// The wrapper.
+    pub wrapper: Rc<dyn Wrapper>,
+    /// Classes this source exports rows for (from capabilities).
+    pub classes: Vec<String>,
+}
+
+impl std::fmt::Debug for RegisteredSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredSource")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+/// Cumulative query-processing statistics (for the benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediatorStats {
+    /// Wrapper queries issued.
+    pub source_queries: usize,
+    /// Rows shipped from wrappers to the mediator.
+    pub rows_shipped: usize,
+    /// Rows surviving mediator-side residual filters.
+    pub rows_kept: usize,
+}
+
+/// The model-based mediator.
+pub struct Mediator {
+    dm: DomainMap,
+    resolved: Resolved,
+    /// The DL axioms behind the map (when known), for logic-level
+    /// subsumption reasoning.
+    axioms: Vec<kind_dm::Axiom>,
+    mode: ExecMode,
+    registry: PluginRegistry,
+    index: SemanticIndex,
+    sources: Vec<RegisteredSource>,
+    cms: Vec<ConceptualModel>,
+    views: Vec<String>,
+    base: GcmBase,
+    model: Option<Model>,
+    dirty: bool,
+    eval_options: EvalOptions,
+    /// Query-processing statistics.
+    pub stats: MediatorStats,
+}
+
+impl Mediator {
+    /// Creates a mediator around a domain map, with edges executed in
+    /// `mode` and the built-in CM plug-ins registered.
+    pub fn new(dm: DomainMap, mode: ExecMode) -> Self {
+        let resolved = Resolved::new(&dm);
+        let mut m = Mediator {
+            dm,
+            resolved,
+            axioms: Vec::new(),
+            mode,
+            registry: PluginRegistry::with_builtins(),
+            index: SemanticIndex::new(),
+            sources: Vec::new(),
+            cms: Vec::new(),
+            views: Vec::new(),
+            base: GcmBase::new(),
+            model: None,
+            dirty: true,
+            eval_options: EvalOptions::default(),
+            stats: MediatorStats::default(),
+        };
+        m.rebuild().expect("empty mediator builds");
+        m
+    }
+
+    /// Creates a mediator from DL axiom text: the domain map is lowered
+    /// from the axioms, which are also retained so
+    /// [`Self::select_sources_by_expression`] can use the structural
+    /// subsumption reasoner.
+    pub fn from_axioms(axiom_text: &str, mode: ExecMode) -> Result<Self> {
+        let mut dm = DomainMap::new();
+        let axioms = axiom::load_axioms(&mut dm, axiom_text)?;
+        let mut m = Self::new(dm, mode);
+        m.axioms = axioms;
+        Ok(m)
+    }
+
+    /// The retained DL axioms (empty when the map was built directly).
+    pub fn axioms(&self) -> &[kind_dm::Axiom] {
+        &self.axioms
+    }
+
+    /// The domain map.
+    pub fn dm(&self) -> &DomainMap {
+        &self.dm
+    }
+
+    /// The resolved (flattened) domain-map view.
+    pub fn resolved(&self) -> &Resolved {
+        &self.resolved
+    }
+
+    /// The semantic index.
+    pub fn index(&self) -> &SemanticIndex {
+        &self.index
+    }
+
+    /// The plug-in registry (e.g. to register a new formalism).
+    pub fn registry_mut(&mut self) -> &mut PluginRegistry {
+        &mut self.registry
+    }
+
+    /// Registered sources.
+    pub fn sources(&self) -> &[RegisteredSource] {
+        &self.sources
+    }
+
+    /// Overrides the evaluation options (depth limits etc.).
+    pub fn set_eval_options(&mut self, opts: EvalOptions) {
+        self.eval_options = opts;
+        self.dirty = true;
+    }
+
+    /// The current evaluation options.
+    pub fn eval_options(&self) -> &EvalOptions {
+        &self.eval_options
+    }
+
+    /// Read access to the GCM base (the built engine).
+    pub fn base(&self) -> &GcmBase {
+        &self.base
+    }
+
+    /// Removes the most recently defined view (used for one-off queries);
+    /// the base is rebuilt lazily on next use.
+    pub(crate) fn pop_view(&mut self) {
+        self.views.pop();
+        self.dirty = true;
+    }
+
+    /// Looks up a registered source by name.
+    pub fn source(&self, name: &str) -> Result<&RegisteredSource> {
+        self.sources
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| MediatorError::UnknownSource {
+                name: name.to_string(),
+            })
+    }
+
+    /// Registers a wrapped source: translates its CM through the plug-in
+    /// for its formalism, applies it, merges its DM contribution, and
+    /// builds its semantic index. Returns the assigned source id.
+    pub fn register(&mut self, wrapper: Rc<dyn Wrapper>) -> Result<SourceId> {
+        let name = wrapper.name().to_string();
+        if self.sources.iter().any(|s| s.name == name) {
+            return Err(MediatorError::DuplicateSource { name });
+        }
+        let id = SourceId(self.sources.len() as u32);
+        // (1) DM contribution — a source may refine the mediator's map
+        // (Figure 3) *before* anchoring against it.
+        let contribution = wrapper.dm_contribution();
+        if !contribution.trim().is_empty() {
+            let new_axioms = axiom::load_axioms(&mut self.dm, &contribution)?;
+            self.axioms.extend(new_axioms);
+            self.resolved = Resolved::new(&self.dm);
+        }
+        // (2) Conceptual model through the plug-in.
+        let doc = wrapper.export_cm();
+        let cm = self.registry.translate(wrapper.formalism(), &doc)?;
+        self.cms.push(cm);
+        // (3) Semantic index: anchor the source's data.
+        for anchor in wrapper.anchors() {
+            match anchor {
+                Anchor::Fixed { class, concept } => {
+                    let node = self
+                        .dm
+                        .lookup(&concept)
+                        .ok_or(MediatorError::UnknownConcept { name: concept })?;
+                    let count = wrapper.query(&SourceQuery::scan(&class)).len().max(1);
+                    self.index.anchor_many(id, node, count);
+                }
+                Anchor::ByAttr { class, attr } => {
+                    let rows = wrapper.query(&SourceQuery::scan(&class));
+                    let mut per_concept: HashMap<String, usize> = HashMap::new();
+                    for row in &rows {
+                        if let Some(c) = row.get_str(&attr) {
+                            *per_concept.entry(c).or_insert(0) += 1;
+                        }
+                    }
+                    for (concept, count) in per_concept {
+                        let node = self
+                            .dm
+                            .lookup(&concept)
+                            .ok_or(MediatorError::UnknownConcept { name: concept })?;
+                        self.index.anchor_many(id, node, count);
+                    }
+                }
+                Anchor::Derived { class, rule } => {
+                    // Evaluate the derived-anchor rule in a scratch
+                    // knowledge base over this class's rows only.
+                    let mut scratch = kind_flogic::FLogic::new();
+                    scratch.load(&rule)?;
+                    let rows = wrapper.query(&SourceQuery::scan(&class));
+                    for row in &rows {
+                        let obj = scratch.engine_mut().constant(&row.id);
+                        let cls = scratch.engine_mut().constant(&class);
+                        let preds = *scratch.preds();
+                        scratch.engine_mut().add_fact(preds.inst, vec![obj.clone(), cls])?;
+                        for (attr, value) in &row.attrs {
+                            let a = scratch.engine_mut().constant(attr);
+                            let v = match value {
+                                kind_gcm::GcmValue::Int(i) => Term::Int(*i),
+                                other => {
+                                    let s = other.to_string();
+                                    scratch.engine_mut().constant(&s)
+                                }
+                            };
+                            scratch
+                                .engine_mut()
+                                .add_fact(preds.mi, vec![obj.clone(), a, v])?;
+                        }
+                    }
+                    let model = scratch.run_with(&self.eval_options)?;
+                    let mut per_concept: HashMap<String, usize> = HashMap::new();
+                    for sol in scratch.engine_mut().clone().query_model(
+                        &model,
+                        "anchor_at(X, C)",
+                    )? {
+                        per_concept
+                            .entry(scratch.engine().show(&sol[1]))
+                            .and_modify(|c| *c += 1)
+                            .or_insert(1);
+                    }
+                    for (concept, count) in per_concept {
+                        let node = self
+                            .dm
+                            .lookup(&concept)
+                            .ok_or(MediatorError::UnknownConcept { name: concept })?;
+                        self.index.anchor_many(id, node, count);
+                    }
+                }
+            }
+        }
+        let caps = wrapper.capabilities();
+        let classes = caps.iter().map(|c| c.class.clone()).collect();
+        self.sources.push(RegisteredSource {
+            id,
+            name: name.clone(),
+            caps,
+            wrapper,
+            classes,
+        });
+        // Fast path: when the registration did not touch the domain map
+        // and the base is current, apply the new CM and anchor facts
+        // incrementally instead of rebuilding everything (anchoring
+        // "without changing the latter", §4).
+        if contribution.trim().is_empty() && !self.dirty {
+            let cm = self.cms.last().expect("just pushed").clone();
+            self.base.apply(&cm)?;
+            for concept in self.index.concepts_of(id) {
+                if let Some(cname) = self.dm.name(concept) {
+                    let text = format!("anchored({:?}, {:?}).", name, cname);
+                    self.base.flogic_mut().load(&text)?;
+                }
+            }
+            self.model = None;
+        } else {
+            self.dirty = true;
+        }
+        Ok(id)
+    }
+
+    /// Defines an integrated view (an IVD): FL rule text over source
+    /// classes and the domain map (Example 4).
+    pub fn define_view(&mut self, fl_text: &str) -> Result<()> {
+        self.views.push(fl_text.to_string());
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Rebuilds the GCM base from scratch: DM rules, every applied CM,
+    /// anchor facts, views. Called lazily by [`Self::run`] after any
+    /// change (DM refinements cannot be retracted incrementally).
+    pub fn rebuild(&mut self) -> Result<()> {
+        let mut base = GcmBase::new();
+        base.flogic_mut().load_datalog(DM_OPS_RULES)?;
+        let prog = rules::compile(&self.dm, self.mode);
+        base.flogic_mut().load(&prog.text)?;
+        for cm in &self.cms {
+            base.apply(cm)?;
+        }
+        // Anchor facts: anchored(source, concept) for source selection at
+        // the logic level too.
+        for src in &self.sources {
+            for concept in self.index.concepts_of(src.id) {
+                if let Some(cname) = self.dm.name(concept) {
+                    let text = format!("anchored({:?}, {:?}).", src.name, cname);
+                    base.flogic_mut().load(&text)?;
+                }
+            }
+        }
+        for v in &self.views {
+            base.flogic_mut().load(v)?;
+        }
+        self.base = base;
+        self.model = None;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Bulk-loads every row of every registered source into the GCM base
+    /// as `inst`/`mi` facts (plus `relinst` for anchor attributes) — the
+    /// *materialize-everything* strategy, used for loose federation and as
+    /// the baseline the §5 push-down plan is compared against.
+    pub fn materialize_all(&mut self) -> Result<usize> {
+        if self.dirty {
+            self.rebuild()?;
+        }
+        let mut loaded = 0usize;
+        let sources: Vec<(String, Rc<dyn Wrapper>, Vec<String>)> = self
+            .sources
+            .iter()
+            .map(|s| (s.name.clone(), Rc::clone(&s.wrapper), s.classes.clone()))
+            .collect();
+        for (name, wrapper, classes) in sources {
+            for class in classes {
+                let rows = wrapper.query(&SourceQuery::scan(&class));
+                self.stats.source_queries += 1;
+                self.stats.rows_shipped += rows.len();
+                for row in rows {
+                    self.load_row(&name, &class, &row)?;
+                    loaded += 1;
+                }
+            }
+        }
+        self.model = None;
+        Ok(loaded)
+    }
+
+    /// Loads one row into the base as GCM declarations.
+    pub fn load_row(&mut self, source: &str, class: &str, row: &ObjectRow) -> Result<()> {
+        let obj = format!("{source}.{}", row.id);
+        self.base.apply_decl(&GcmDecl::Instance {
+            obj: obj.clone(),
+            class: class.to_string(),
+        })?;
+        for (attr, value) in &row.attrs {
+            self.base.apply_decl(&GcmDecl::MethodInst {
+                obj: obj.clone(),
+                method: attr.clone(),
+                value: value.clone(),
+            })?;
+        }
+        self.model = None;
+        Ok(())
+    }
+
+    /// Evaluates the base (rebuilding first if needed) and caches the
+    /// model.
+    pub fn run(&mut self) -> Result<&Model> {
+        if self.dirty {
+            self.rebuild()?;
+        }
+        if self.model.is_none() {
+            let m = self.base.run_with(&self.eval_options)?;
+            self.model = Some(m);
+        }
+        Ok(self.model.as_ref().expect("just set"))
+    }
+
+    /// Runs an FL query pattern (e.g. `"X : Neuron"` or
+    /// `"protein_distribution(P, C, A)"`) against the evaluated model.
+    pub fn query_fl(&mut self, pattern: &str) -> Result<Vec<Vec<Term>>> {
+        self.run()?;
+        let model = self.model.take().expect("model cached");
+        let out = self
+            .base
+            .flogic_mut()
+            .query(&model, pattern)
+            .map_err(MediatorError::from);
+        self.model = Some(model);
+        out
+    }
+
+    /// Explains why an FL fact holds in the current model (e.g.
+    /// `"SENSELAB.nt0 : neurotransmission"` or a derived view atom) as a
+    /// rendered derivation tree. `None` when the fact does not hold.
+    pub fn explain_fl(&mut self, fact: &str) -> Result<Option<String>> {
+        self.run()?;
+        let model = self.model.take().expect("model cached");
+        let out = self
+            .base
+            .flogic_mut()
+            .explain(&model, fact, 16)
+            .map_err(MediatorError::from);
+        self.model = Some(model);
+        out
+    }
+
+    /// Renders a term from a query result.
+    pub fn show(&self, t: &Term) -> String {
+        self.base.flogic().engine().show(t)
+    }
+
+    /// The inconsistency witnesses of the current model.
+    pub fn witnesses(&mut self) -> Result<Vec<String>> {
+        self.run()?;
+        Ok(self
+            .base
+            .witnesses(self.model.as_ref().expect("model cached")))
+    }
+
+    /// Capability-aware fetch: pushes the pushable selections to the
+    /// wrapper and applies the rest as a residual filter mediator-side.
+    pub fn fetch(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
+        let src = self.source(source_name)?;
+        let wrapper = Rc::clone(&src.wrapper);
+        let rows = wrapper.query(q);
+        self.stats.source_queries += 1;
+        self.stats.rows_shipped += rows.len();
+        let kept: Vec<ObjectRow> = rows
+            .into_iter()
+            .filter(|r| {
+                q.selections
+                    .iter()
+                    .all(|s| r.get(&s.attr) == Some(&s.value))
+            })
+            .collect();
+        self.stats.rows_kept += kept.len();
+        Ok(kept)
+    }
+
+    /// **Source selection** via the semantic index (§5 step 2): the names
+    /// of sources with data anchored at (or below) *all* the given
+    /// concepts.
+    pub fn select_sources(&self, concepts: &[&str]) -> Result<Vec<String>> {
+        let mut nodes = Vec::with_capacity(concepts.len());
+        for c in concepts {
+            nodes.push(self.dm.lookup(c).ok_or_else(|| MediatorError::UnknownConcept {
+                name: (*c).to_string(),
+            })?);
+        }
+        let ids = self.index.sources_for_all(&self.resolved, &nodes);
+        Ok(self
+            .sources
+            .iter()
+            .filter(|s| ids.contains(&s.id))
+            .map(|s| s.name.clone())
+            .collect())
+    }
+
+    /// Sources with data anchored anywhere in the **anatomical region**
+    /// under `root` — the downward closure along `role` (which includes
+    /// isa-subconcepts). This is how "sources relevant to the cerebellum"
+    /// finds a lab anchored at `Purkinje_Cell` (a *part*, not a
+    /// subconcept, of the cerebellum).
+    pub fn sources_in_region(&self, role: &str, root: &str) -> Result<Vec<String>> {
+        let node = self
+            .dm
+            .lookup(root)
+            .ok_or_else(|| MediatorError::UnknownConcept {
+                name: root.to_string(),
+            })?;
+        let region = self.resolved.downward_closure(role, node);
+        let mut ids: Vec<kind_dm::SourceId> = region
+            .into_iter()
+            .flat_map(|c| self.index.sources_at(c))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        Ok(self
+            .sources
+            .iter()
+            .filter(|s| ids.contains(&s.id))
+            .map(|s| s.name.clone())
+            .collect())
+    }
+
+    /// **Logic-level source selection**: the sources whose anchored
+    /// concepts are subsumed by a DL concept *expression* — e.g.
+    /// `"Neuron and exists has.Spine"` finds sources anchored at
+    /// `Purkinje_Cell` even if no single named concept covers the query.
+    /// Uses the structural subsumption reasoner on the retained axioms
+    /// (sound, incomplete; see `kind_dm::subsume`).
+    pub fn select_sources_by_expression(&self, expr_text: &str) -> Result<Vec<String>> {
+        let expr = kind_dm::parse_concept_expr(expr_text)?;
+        let reasoner = kind_dm::subsume::Subsumption::new(&self.axioms);
+        let mut out = Vec::new();
+        for src in &self.sources {
+            let anchored = self.index.concepts_of(src.id);
+            let relevant = anchored.iter().any(|&c| {
+                self.dm.name(c).is_some_and(|name| {
+                    reasoner.subsumes(
+                        &expr,
+                        &kind_dm::ConceptExpr::Atomic(name.to_string()),
+                    )
+                })
+            });
+            if relevant {
+                out.push(src.name.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sources relevant to any one concept's cone.
+    pub fn sources_below(&self, concept: &str) -> Result<Vec<String>> {
+        let node = self
+            .dm
+            .lookup(concept)
+            .ok_or_else(|| MediatorError::UnknownConcept {
+                name: concept.to_string(),
+            })?;
+        let ids = self.index.sources_below(&self.resolved, node);
+        Ok(self
+            .sources
+            .iter()
+            .filter(|s| ids.contains(&s.id))
+            .map(|s| s.name.clone())
+            .collect())
+    }
+
+    /// The least upper bound of the named concepts in the isa lattice.
+    pub fn lub(&self, concepts: &[&str]) -> Result<Option<String>> {
+        let nodes = self.lookup_all(concepts)?;
+        Ok(self
+            .resolved
+            .lub(&nodes)
+            .and_then(|n| self.dm.name(n).map(str::to_owned)))
+    }
+
+    /// The least upper bound in the **partonomy order** along `role` —
+    /// the "region of correspondence" of §5 step 4: the smallest concept
+    /// whose downward closure contains all the given locations.
+    pub fn partonomy_lub(&self, role: &str, concepts: &[&str]) -> Result<Option<String>> {
+        let nodes = self.lookup_all(concepts)?;
+        Ok(self
+            .resolved
+            .partonomy_lub(role, &nodes)
+            .and_then(|n| self.dm.name(n).map(str::to_owned)))
+    }
+
+    fn lookup_all(&self, concepts: &[&str]) -> Result<Vec<kind_dm::NodeId>> {
+        let mut nodes = Vec::with_capacity(concepts.len());
+        for c in concepts {
+            nodes.push(self.dm.lookup(c).ok_or_else(|| MediatorError::UnknownConcept {
+                name: (*c).to_string(),
+            })?);
+        }
+        Ok(nodes)
+    }
+
+    /// Calls a declared query template on a source (§2's "query
+    /// templates" capability form): expands the template with the given
+    /// arguments and fetches through the capability-aware path.
+    pub fn call_template(
+        &mut self,
+        source_name: &str,
+        template: &str,
+        args: &[kind_gcm::GcmValue],
+    ) -> Result<Vec<ObjectRow>> {
+        let src = self.source(source_name)?;
+        let t = src
+            .wrapper
+            .templates()
+            .into_iter()
+            .find(|t| t.name == template)
+            .ok_or_else(|| MediatorError::UnknownClass {
+                class: format!("{source_name}::{template}"),
+            })?;
+        let q = t.expand(args).ok_or_else(|| MediatorError::UnknownClass {
+            class: format!(
+                "{source_name}::{template}/{} called with {} args",
+                t.params.len(),
+                args.len()
+            ),
+        })?;
+        self.fetch(source_name, &q)
+    }
+
+    /// The sources that export `class` (by declared capability).
+    pub fn sources_exporting(&self, class: &str) -> Vec<String> {
+        self.sources
+            .iter()
+            .filter(|s| s.classes.iter().any(|c| c == class))
+            .map(|s| s.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::MemoryWrapper;
+    use kind_dm::figures;
+    use kind_gcm::GcmValue;
+
+    fn simple_wrapper(name: &str, class: &str, concept: &str, n: usize) -> Rc<MemoryWrapper> {
+        let mut w = MemoryWrapper::new(name);
+        w.caps.push(Capability {
+            class: class.into(),
+            pushable: vec!["location".into()],
+        });
+        w.anchor_decls.push(Anchor::Fixed {
+            class: class.into(),
+            concept: concept.into(),
+        });
+        for i in 0..n {
+            w.add_row(
+                class,
+                &format!("o{i}"),
+                vec![
+                    ("location", GcmValue::Id(concept.into())),
+                    ("value", GcmValue::Int(i as i64)),
+                ],
+            );
+        }
+        Rc::new(w)
+    }
+
+    #[test]
+    fn registration_builds_semantic_index() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        let w = simple_wrapper("SYNAPSE", "spine_data", "Spine", 5);
+        let id = m.register(w).unwrap();
+        let spine = m.dm().lookup("Spine").unwrap();
+        assert_eq!(m.index().count(id, spine), 5);
+        // Source selection: Spine is an Ion_Regulating_Component.
+        assert_eq!(
+            m.sources_below("Ion_Regulating_Component").unwrap(),
+            vec!["SYNAPSE".to_string()]
+        );
+        assert!(m.sources_below("Neuron").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("A", "c", "Spine", 1)).unwrap();
+        assert!(matches!(
+            m.register(simple_wrapper("A", "c", "Spine", 1)),
+            Err(MediatorError::DuplicateSource { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_anchor_concept_rejected() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        assert!(matches!(
+            m.register(simple_wrapper("A", "c", "NoSuchConcept", 1)),
+            Err(MediatorError::UnknownConcept { .. })
+        ));
+    }
+
+    #[test]
+    fn dm_contribution_extends_the_map() {
+        // Figure 3 flow: registering MyNeuron/MyDendrite refines the DM.
+        let mut m = Mediator::new(figures::figure3_base(), ExecMode::Assertion);
+        assert!(m.dm().lookup("MyNeuron").is_none());
+        let mut w = MemoryWrapper::new("MYLAB");
+        w.dm_axioms = figures::FIGURE3_REGISTRATION_AXIOMS.to_string();
+        w.caps.push(Capability {
+            class: "my_neurons".into(),
+            pushable: vec![],
+        });
+        w.anchor_decls.push(Anchor::Fixed {
+            class: "my_neurons".into(),
+            concept: "MyNeuron".into(),
+        });
+        w.add_row("my_neurons", "m1", vec![]);
+        m.register(Rc::new(w)).unwrap();
+        assert!(m.dm().lookup("MyNeuron").is_some());
+        // Derived knowledge: MyNeuron projects to GPE, so the source is
+        // found below Medium_Spiny_Neuron.
+        assert_eq!(
+            m.sources_below("Medium_Spiny_Neuron").unwrap(),
+            vec!["MYLAB".to_string()]
+        );
+    }
+
+    #[test]
+    fn materialize_and_query_loose_federation() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("S1", "spines", "Spine", 3)).unwrap();
+        m.materialize_all().unwrap();
+        let rows = m.query_fl("X : spines").unwrap();
+        assert_eq!(rows.len(), 3);
+        // Rows carry source-qualified object names.
+        let shown = m.show(&rows[0][0]);
+        assert!(shown.starts_with("S1."), "{shown}");
+    }
+
+    #[test]
+    fn views_evaluate_over_sources_and_dm() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("S1", "spines", "Spine", 2)).unwrap();
+        m.define_view(
+            "big(X) :- X : spines, X[value -> V], V >= 1.",
+        )
+        .unwrap();
+        m.materialize_all().unwrap();
+        assert_eq!(m.query_fl("big(X)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fetch_applies_residual_filters() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("S1", "spines", "Spine", 4)).unwrap();
+        // `value` is not pushable: wrapper ships all 4, mediator keeps 1.
+        let rows = m
+            .fetch(
+                "S1",
+                &SourceQuery::scan("spines").with("value", GcmValue::Int(2)),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(m.stats.rows_shipped, 4);
+        assert_eq!(m.stats.rows_kept, 1);
+        // `location` is pushable: wrapper ships only matches.
+        let rows = m
+            .fetch(
+                "S1",
+                &SourceQuery::scan("spines").with("location", GcmValue::Id("Spine".into())),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(m.stats.rows_shipped, 8);
+    }
+
+    #[test]
+    fn lub_through_mediator() {
+        let m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        assert_eq!(
+            m.lub(&["Purkinje_Cell", "Pyramidal_Cell"]).unwrap(),
+            Some("Spiny_Neuron".to_string())
+        );
+    }
+
+    #[test]
+    fn incremental_registration_equals_rebuild() {
+        // Register two sources; the second goes through the incremental
+        // path. Force a rebuild on a copy and compare observable state.
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("A", "ca", "Spine", 2)).unwrap();
+        m.run().unwrap(); // base now current
+        m.register(simple_wrapper("B", "cb", "Shaft", 3)).unwrap();
+        let inc_rows = m.query_fl(r#"anchored(S, C)"#).unwrap().len();
+        m.rebuild().unwrap();
+        let rebuilt_rows = m.query_fl(r#"anchored(S, C)"#).unwrap().len();
+        assert_eq!(inc_rows, rebuilt_rows);
+        assert_eq!(inc_rows, 2);
+    }
+
+    #[test]
+    fn explanations_cross_the_whole_stack() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("S1", "spines", "Spine", 1)).unwrap();
+        m.define_view("X : noted :- X : spines, X[value -> V], V >= 0.")
+            .unwrap();
+        m.materialize_all().unwrap();
+        let why = m.explain_fl(r#""S1.o0" : noted"#).unwrap().expect("fact holds");
+        // The tree goes: view rule -> inst fact (edb) + mi fact (edb).
+        assert!(why.contains("[rule #"), "{why}");
+        assert!(why.contains("[edb]"), "{why}");
+        assert!(m.explain_fl(r#""S1.o0" : nonsense"#).unwrap().is_none());
+    }
+
+    #[test]
+    fn template_call_through_mediator() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        let mut w = MemoryWrapper::new("T");
+        w.caps.push(Capability {
+            class: "m".into(),
+            pushable: vec!["loc".into()],
+        });
+        w.query_templates.push(crate::wrapper::QueryTemplate {
+            name: "by_loc".into(),
+            class: "m".into(),
+            params: vec!["loc".into()],
+        });
+        w.anchor_decls.push(Anchor::Fixed {
+            class: "m".into(),
+            concept: "Spine".into(),
+        });
+        w.add_row("m", "a", vec![("loc", GcmValue::Id("Spine".into()))]);
+        w.add_row("m", "b", vec![("loc", GcmValue::Id("Shaft".into()))]);
+        m.register(Rc::new(w)).unwrap();
+        let rows = m
+            .call_template("T", "by_loc", &[GcmValue::Id("Spine".into())])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].id, "a");
+        // Unknown template / wrong arity are errors.
+        assert!(m.call_template("T", "nope", &[]).is_err());
+        assert!(m.call_template("T", "by_loc", &[]).is_err());
+    }
+
+    #[test]
+    fn derived_anchors_computed_at_the_mediator() {
+        // Objects carry a numeric depth; the source declares a *rule*
+        // mapping depths to concepts — the source itself never mentions
+        // concept names per row.
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        let mut w = MemoryWrapper::new("DEPTHS");
+        w.caps.push(Capability {
+            class: "probe".into(),
+            pushable: vec![],
+        });
+        w.anchor_decls.push(Anchor::Derived {
+            class: "probe".into(),
+            rule: r#"anchor_at(X, "Spine") :- X : probe, X[depth -> D], D >= 5.
+                     anchor_at(X, "Shaft") :- X : probe, X[depth -> D], D < 5."#
+                .into(),
+        });
+        w.add_row("probe", "p1", vec![("depth", GcmValue::Int(9))]);
+        w.add_row("probe", "p2", vec![("depth", GcmValue::Int(2))]);
+        w.add_row("probe", "p3", vec![("depth", GcmValue::Int(7))]);
+        let id = m.register(Rc::new(w)).unwrap();
+        let spine = m.dm().lookup("Spine").unwrap();
+        let shaft = m.dm().lookup("Shaft").unwrap();
+        assert_eq!(m.index().count(id, spine), 2);
+        assert_eq!(m.index().count(id, shaft), 1);
+    }
+
+    #[test]
+    fn subsumption_based_source_selection() {
+        let mut m = Mediator::from_axioms(
+            "Spiny_Neuron = Neuron and exists has.Spine.
+             Purkinje_Cell, Pyramidal_Cell < Spiny_Neuron.
+             Granule_Cell < Neuron.",
+            ExecMode::Assertion,
+        )
+        .unwrap();
+        m.register(simple_wrapper("P", "pdata", "Purkinje_Cell", 2)).unwrap();
+        m.register(simple_wrapper("G", "gdata", "Granule_Cell", 2)).unwrap();
+        // A query about spiny things finds only the Purkinje source.
+        let spiny = m
+            .select_sources_by_expression("Neuron and exists has.Spine")
+            .unwrap();
+        assert_eq!(spiny, vec!["P".to_string()]);
+        // A plain neuron query finds both.
+        let neurons = m.select_sources_by_expression("Neuron").unwrap();
+        assert_eq!(neurons, vec!["P".to_string(), "G".to_string()]);
+    }
+
+    #[test]
+    fn anchored_facts_visible_to_rules() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("S1", "spines", "Spine", 1)).unwrap();
+        let rows = m.query_fl(r#"anchored("S1", C)"#).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(m.show(&rows[0][1]), "Spine");
+    }
+}

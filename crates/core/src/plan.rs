@@ -1,0 +1,322 @@
+//! Query processing: the §5 query plan and the Example 4 integrated view.
+//!
+//! The paper's running query:
+//!
+//! > *"What is the distribution of those calcium-binding proteins that are
+//! > found in neurons that receive signals from parallel fibers in rat
+//! > brains?"*
+//!
+//! and its four-step plan:
+//!
+//! 1. **push selections** (`rat`, `parallel_fiber`) to the
+//!    neurotransmission source and get bindings for the receiving
+//!    neuron/compartment pairs;
+//! 2. using the domain map, **select sources** that have data anchored for
+//!    those pairs (only NCMIR, in the paper);
+//! 3. **push selections** given by the locations to the selected sources
+//!    and retrieve only the matching proteins;
+//! 4. compute the **lub** of the locations as the distribution root and
+//!    evaluate `protein_distribution` by a **downward closure** along
+//!    `has_a_star` with recursive aggregation.
+//!
+//! Every step is recorded in a [`PlanTrace`] so tests and benchmarks can
+//! inspect exactly what was pushed, selected, shipped, and aggregated.
+//! Source selection can be disabled (`use_semantic_index = false`) for the
+//! ablation in DESIGN.md.
+
+use crate::error::Result;
+use crate::mediator::{Mediator, MediatorStats};
+use crate::wrapper::SourceQuery;
+use kind_gcm::GcmValue;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Names binding the plan to a concrete mediated schema. Defaults match
+/// the simulated Neuroscience sources of `kind-sources`.
+#[derive(Debug, Clone)]
+pub struct NeuroSchema {
+    /// The neurotransmission class (SENSELAB-like).
+    pub neurotransmission_class: String,
+    /// Its organism attribute.
+    pub nt_organism: String,
+    /// Its transmitting-compartment attribute.
+    pub nt_transmitting_compartment: String,
+    /// Its receiving-neuron attribute (values are DM concept names).
+    pub nt_receiving_neuron: String,
+    /// Its receiving-compartment attribute (values are DM concept names).
+    pub nt_receiving_compartment: String,
+    /// The protein-amount class (NCMIR-like).
+    pub protein_class: String,
+    /// Its protein-name attribute.
+    pub pa_protein: String,
+    /// Its amount attribute (integer).
+    pub pa_amount: String,
+    /// Its location attribute (values are DM concept names).
+    pub pa_location: String,
+    /// Its bound-ion attribute.
+    pub pa_ion: String,
+    /// The partonomy role in the domain map.
+    pub partonomy_role: String,
+}
+
+impl Default for NeuroSchema {
+    fn default() -> Self {
+        NeuroSchema {
+            neurotransmission_class: "neurotransmission".into(),
+            nt_organism: "organism".into(),
+            nt_transmitting_compartment: "transmitting_compartment".into(),
+            nt_receiving_neuron: "receiving_neuron".into(),
+            nt_receiving_compartment: "receiving_compartment".into(),
+            protein_class: "protein_amount".into(),
+            pa_protein: "protein_name".into(),
+            pa_amount: "amount".into(),
+            pa_location: "location".into(),
+            pa_ion: "ion_bound".into(),
+            partonomy_role: "has_a".into(),
+        }
+    }
+}
+
+/// The §5 user query parameters.
+#[derive(Debug, Clone)]
+pub struct Section5Query {
+    /// Organism selection (paper: `rat`).
+    pub organism: String,
+    /// Transmitting compartment (paper: `parallel_fiber`).
+    pub transmitting_compartment: String,
+    /// Bound ion of interest (paper: `calcium`).
+    pub ion: String,
+}
+
+/// One aggregated distribution entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributionRow {
+    /// Protein name.
+    pub protein: String,
+    /// Anatomical concept.
+    pub concept: String,
+    /// Total amount over the concept's subtree.
+    pub total: i64,
+}
+
+/// A full record of one plan execution.
+#[derive(Debug, Clone, Default)]
+pub struct PlanTrace {
+    /// Step 1: the receiving (neuron, compartment) pairs.
+    pub step1_pairs: Vec<(String, String)>,
+    /// Step 2: number of sources exporting the protein class at all.
+    pub candidate_sources: usize,
+    /// Step 2: the sources actually selected.
+    pub selected_sources: Vec<String>,
+    /// Whether the semantic index was used for step 2.
+    pub used_semantic_index: bool,
+    /// Step 3: protein rows retrieved (after filters).
+    pub step3_rows: usize,
+    /// Step 3: the distinct proteins found.
+    pub proteins: Vec<String>,
+    /// Step 4: the lub chosen as distribution root.
+    pub root: Option<String>,
+    /// Step 4: the aggregated distribution.
+    pub distribution: Vec<DistributionRow>,
+    /// Wrapper-traffic statistics accumulated by this plan run.
+    pub stats: MediatorStats,
+}
+
+/// Executes the §5 plan.
+pub fn run_section5(
+    m: &mut Mediator,
+    schema: &NeuroSchema,
+    q: &Section5Query,
+    use_semantic_index: bool,
+) -> Result<PlanTrace> {
+    let stats_before = m.stats;
+    let mut trace = PlanTrace {
+        used_semantic_index: use_semantic_index,
+        ..Default::default()
+    };
+
+    // ---- Step 1: push selections to the neurotransmission sources. ----
+    let nt_sources = m.sources_exporting(&schema.neurotransmission_class);
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for src in &nt_sources {
+        let rows = m.fetch(
+            src,
+            &SourceQuery::scan(&schema.neurotransmission_class)
+                .with(&schema.nt_organism, GcmValue::Id(q.organism.clone()))
+                .with(
+                    &schema.nt_transmitting_compartment,
+                    GcmValue::Id(q.transmitting_compartment.clone()),
+                ),
+        )?;
+        for row in rows {
+            if let (Some(n), Some(c)) = (
+                row.get_str(&schema.nt_receiving_neuron),
+                row.get_str(&schema.nt_receiving_compartment),
+            ) {
+                pairs.push((n, c));
+            }
+        }
+    }
+    pairs.sort();
+    pairs.dedup();
+    trace.step1_pairs = pairs.clone();
+
+    // ---- Step 2: select sources via the semantic index. ---------------
+    let candidates = m.sources_exporting(&schema.protein_class);
+    trace.candidate_sources = candidates.len();
+    let selected: Vec<String> = if use_semantic_index {
+        let mut chosen: HashSet<String> = HashSet::new();
+        for (n, c) in &pairs {
+            for s in m.select_sources(&[n.as_str(), c.as_str()])? {
+                if candidates.contains(&s) {
+                    chosen.insert(s);
+                }
+            }
+        }
+        let mut v: Vec<String> = chosen.into_iter().collect();
+        v.sort();
+        v
+    } else {
+        candidates.clone()
+    };
+    trace.selected_sources = selected.clone();
+
+    // ---- Step 3: push location selections, retrieve proteins. ---------
+    // The locations of interest: each receiving compartment and neuron.
+    let mut locations: Vec<String> = pairs
+        .iter()
+        .flat_map(|(n, c)| [n.clone(), c.clone()])
+        .collect();
+    locations.sort();
+    locations.dedup();
+    // Per protein, per concept: summed raw amounts.
+    let mut amounts: HashMap<String, HashMap<String, i64>> = HashMap::new();
+    let mut proteins: HashSet<String> = HashSet::new();
+    for src in &selected {
+        for loc in &locations {
+            let rows = m.fetch(
+                src,
+                &SourceQuery::scan(&schema.protein_class)
+                    .with(&schema.pa_location, GcmValue::Id(loc.clone()))
+                    .with(&schema.pa_ion, GcmValue::Id(q.ion.clone())),
+            )?;
+            for row in rows {
+                let (Some(p), Some(a), Some(l)) = (
+                    row.get_str(&schema.pa_protein),
+                    row.get_int(&schema.pa_amount),
+                    row.get_str(&schema.pa_location),
+                ) else {
+                    continue;
+                };
+                trace.step3_rows += 1;
+                proteins.insert(p.clone());
+                *amounts.entry(p).or_default().entry(l).or_insert(0) += a;
+            }
+        }
+    }
+    let mut protein_list: Vec<String> = proteins.into_iter().collect();
+    protein_list.sort();
+    trace.proteins = protein_list.clone();
+
+    // ---- Step 4: lub root + downward-closure aggregation. -------------
+    let loc_refs: Vec<&str> = locations.iter().map(String::as_str).collect();
+    let root = if loc_refs.is_empty() {
+        None
+    } else {
+        m.partonomy_lub(&schema.partonomy_role, &loc_refs)?
+    };
+    trace.root = root.clone();
+    if let Some(root_name) = &root {
+        let root_node = m
+            .dm()
+            .lookup(root_name)
+            .expect("lub returns known concepts");
+        for protein in &protein_list {
+            let values: HashMap<kind_dm::NodeId, i64> = amounts
+                .get(protein)
+                .map(|per_loc| {
+                    per_loc
+                        .iter()
+                        .filter_map(|(loc, v)| m.dm().lookup(loc).map(|n| (n, *v)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let totals =
+                m.resolved()
+                    .rollup_sum(&schema.partonomy_role, root_node, &values);
+            let mut rows: BTreeMap<String, i64> = BTreeMap::new();
+            for (node, total) in totals {
+                if total != 0 {
+                    if let Some(name) = m.dm().name(node) {
+                        rows.insert(name.to_string(), total);
+                    }
+                }
+            }
+            for (concept, total) in rows {
+                trace.distribution.push(DistributionRow {
+                    protein: protein.clone(),
+                    concept,
+                    total,
+                });
+            }
+        }
+    }
+    trace.stats = MediatorStats {
+        source_queries: m.stats.source_queries - stats_before.source_queries,
+        rows_shipped: m.stats.rows_shipped - stats_before.rows_shipped,
+        rows_kept: m.stats.rows_kept - stats_before.rows_kept,
+    };
+    Ok(trace)
+}
+
+/// The Example 4 integrated view, as a standalone operation: the
+/// distribution of `protein` under `root` for all protein sources
+/// relevant below `root` (mediated class `protein_distribution` of the
+/// paper).
+pub fn protein_distribution(
+    m: &mut Mediator,
+    schema: &NeuroSchema,
+    protein: &str,
+    root: &str,
+) -> Result<Vec<(String, i64)>> {
+    let root_node = m
+        .dm()
+        .lookup(root)
+        .ok_or_else(|| crate::error::MediatorError::UnknownConcept {
+            name: root.to_string(),
+        })?;
+    let sources: Vec<String> = m
+        .sources_in_region(&schema.partonomy_role, root)?
+        .into_iter()
+        .filter(|s| m.sources_exporting(&schema.protein_class).contains(s))
+        .collect();
+    let mut per_loc: HashMap<String, i64> = HashMap::new();
+    for src in sources {
+        let rows = m.fetch(
+            &src,
+            &SourceQuery::scan(&schema.protein_class)
+                .with(&schema.pa_protein, GcmValue::Id(protein.to_string())),
+        )?;
+        for row in rows {
+            if let (Some(l), Some(a)) = (
+                row.get_str(&schema.pa_location),
+                row.get_int(&schema.pa_amount),
+            ) {
+                *per_loc.entry(l).or_insert(0) += a;
+            }
+        }
+    }
+    let values: HashMap<kind_dm::NodeId, i64> = per_loc
+        .iter()
+        .filter_map(|(loc, v)| m.dm().lookup(loc).map(|n| (n, *v)))
+        .collect();
+    let totals = m
+        .resolved()
+        .rollup_sum(&schema.partonomy_role, root_node, &values);
+    let mut out: Vec<(String, i64)> = totals
+        .into_iter()
+        .filter(|(_, v)| *v != 0)
+        .filter_map(|(n, v)| m.dm().name(n).map(|s| (s.to_string(), v)))
+        .collect();
+    out.sort();
+    Ok(out)
+}

@@ -1,0 +1,220 @@
+//! On-demand integrated queries: the push-down discipline of §5,
+//! generalized from the hand-planned protein query to arbitrary one-off
+//! conjunctive queries over source classes and the domain map.
+//!
+//! [`Mediator::answer`] takes a single FL rule text like
+//!
+//! ```text
+//! ans(P, L) :- X : protein_amount, X[protein_name -> P],
+//!              X[location -> L], L : relevant_location.
+//! ```
+//!
+//! and:
+//!
+//! 1. extracts the *source classes* mentioned in `X : class` literals;
+//! 2. finds the sources exporting them (and only those) and fetches their
+//!    rows — the mediator never contacts an unrelated source;
+//! 3. installs the rule as a temporary view and evaluates **only the rule
+//!    subprogram relevant to the answer predicate** (relevance-filtered
+//!    evaluation, `kind_datalog::Engine::run_for`);
+//! 4. returns the answer tuples and uninstalls the view.
+
+use crate::error::{MediatorError, Result};
+use crate::mediator::Mediator;
+use crate::wrapper::SourceQuery;
+use kind_datalog::Term;
+use kind_flogic::{parse_fl_program, FlBodyItem, Molecule};
+use std::collections::BTreeSet;
+
+/// The outcome of an on-demand query.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    /// The answer tuples (bindings of the head variables, in head order).
+    pub rows: Vec<Vec<Term>>,
+    /// Source classes the query mentioned.
+    pub classes: Vec<String>,
+    /// Sources actually contacted.
+    pub sources: Vec<String>,
+}
+
+impl Mediator {
+    /// Answers a one-off conjunctive query given as a single FL rule (see
+    /// module docs). The rule's head predicate names the answer relation.
+    pub fn answer(&mut self, rule_text: &str) -> Result<AnswerSet> {
+        // Parse with a scratch interner so we can inspect the clause
+        // before committing anything to the base.
+        let mut scratch = kind_datalog::Interner::new();
+        let clauses =
+            parse_fl_program(rule_text, &mut scratch).map_err(MediatorError::from)?;
+        let [clause] = clauses.as_slice() else {
+            return Err(MediatorError::Datalog(kind_datalog::DatalogError::Parse {
+                offset: 0,
+                line: 0,
+                message: format!("answer() takes exactly one rule, got {}", clauses.len()),
+            }));
+        };
+        let Molecule::Plain(head) = &clause.head else {
+            return Err(MediatorError::Datalog(kind_datalog::DatalogError::Parse {
+                offset: 0,
+                line: 0,
+                message: "answer() rule head must be a plain predicate".to_string(),
+            }));
+        };
+        let head_pred = scratch.resolve(head.pred).to_string();
+        // Collect the source classes referenced as `X : class`.
+        let mut classes: BTreeSet<String> = BTreeSet::new();
+        collect_classes(&clause.body, &scratch, &mut classes);
+        let exported: Vec<String> = classes
+            .iter()
+            .filter(|c| !self.sources_exporting(c).is_empty())
+            .cloned()
+            .collect();
+        // Install the view, rebuild, fetch only what the query needs.
+        self.define_view(rule_text)?;
+        self.rebuild()?;
+        let mut contacted: BTreeSet<String> = BTreeSet::new();
+        for class in &exported {
+            for src in self.sources_exporting(class) {
+                contacted.insert(src.clone());
+                let rows = self.fetch(&src, &SourceQuery::scan(class))?;
+                for row in rows {
+                    self.load_row(&src, class, &row)?;
+                }
+            }
+        }
+        // Relevance-filtered evaluation towards the answer predicate.
+        let opts = self.eval_options().clone();
+        let model = self
+            .base()
+            .flogic()
+            .run_for(&[head_pred.as_str()], &opts)
+            .map_err(MediatorError::from)?;
+        // Extract the rows via the head pattern.
+        let pattern = kind_datalog::Atom::new(
+            self.base()
+                .flogic()
+                .engine()
+                .lookup(&head_pred)
+                .expect("head predicate interned by rebuild"),
+            head.args.clone(),
+        );
+        let rows = model.query(&pattern);
+        // Uninstall the temporary view.
+        self.pop_view();
+        Ok(AnswerSet {
+            rows,
+            classes: exported,
+            sources: contacted.into_iter().collect(),
+        })
+    }
+}
+
+fn collect_classes(
+    items: &[FlBodyItem],
+    syms: &kind_datalog::Interner,
+    out: &mut BTreeSet<String>,
+) {
+    for item in items {
+        match item {
+            FlBodyItem::Pos(Molecule::IsA {
+                class: Term::Const(c),
+                ..
+            })
+            | FlBodyItem::Neg(Molecule::IsA {
+                class: Term::Const(c),
+                ..
+            }) => {
+                out.insert(syms.resolve(*c).to_string());
+            }
+            FlBodyItem::Agg { body, .. } => collect_classes(body, syms, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mediator::Mediator;
+    use crate::wrapper::{Anchor, Capability, MemoryWrapper};
+    use kind_dm::{figures, ExecMode};
+    use kind_gcm::GcmValue;
+    use std::rc::Rc;
+
+    fn mediator_with_two_sources() -> Mediator {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        let mut a = MemoryWrapper::new("A");
+        a.caps.push(Capability {
+            class: "spines".into(),
+            pushable: vec![],
+        });
+        a.anchor_decls.push(Anchor::Fixed {
+            class: "spines".into(),
+            concept: "Spine".into(),
+        });
+        for i in 0..4 {
+            a.add_row("spines", &format!("s{i}"), vec![("len", GcmValue::Int(i * 10))]);
+        }
+        m.register(Rc::new(a)).unwrap();
+        let mut b = MemoryWrapper::new("B");
+        b.caps.push(Capability {
+            class: "proteins".into(),
+            pushable: vec![],
+        });
+        b.anchor_decls.push(Anchor::Fixed {
+            class: "proteins".into(),
+            concept: "Protein".into(),
+        });
+        b.add_row("proteins", "p0", vec![("name", GcmValue::Id("calb".into()))]);
+        m.register(Rc::new(b)).unwrap();
+        m
+    }
+
+    #[test]
+    fn answer_fetches_only_mentioned_classes() {
+        let mut m = mediator_with_two_sources();
+        let ans = m
+            .answer("long_spines(X, L) :- X : spines, X[len -> L], L >= 20.")
+            .unwrap();
+        assert_eq!(ans.rows.len(), 2);
+        assert_eq!(ans.classes, vec!["spines".to_string()]);
+        // Only source A was contacted.
+        assert_eq!(ans.sources, vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn answer_view_is_temporary() {
+        let mut m = mediator_with_two_sources();
+        m.answer("q(X) :- X : spines.").unwrap();
+        // After answering, the view is gone: a fresh materialized query
+        // does not know `q`.
+        m.materialize_all().unwrap();
+        let rows = m.query_fl("q(X)").unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn answer_can_join_sources_and_domain_map() {
+        let mut m = mediator_with_two_sources();
+        let ans = m
+            .answer(
+                r#"link(X, P) :- X : spines, P : proteins,
+                               dm_role("contains", "Spine", "Ion_Binding_Protein")."#,
+            )
+            .unwrap();
+        // Cross product gated on domain knowledge: 4 spines × 1 protein.
+        assert_eq!(ans.rows.len(), 4);
+        assert_eq!(ans.sources, vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn answer_rejects_multi_clause_input() {
+        let mut m = mediator_with_two_sources();
+        assert!(m.answer("a(X) :- X : spines. b(X) :- X : spines.").is_err());
+    }
+
+    #[test]
+    fn answer_rejects_molecule_head() {
+        let mut m = mediator_with_two_sources();
+        assert!(m.answer("X : big :- X : spines.").is_err());
+    }
+}

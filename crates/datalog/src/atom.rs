@@ -1,0 +1,341 @@
+//! Atoms, comparisons, arithmetic expressions, and aggregate subgoals —
+//! the building blocks of rule bodies.
+//!
+//! The paper's GCM extension mechanism (§3) requires a rule language in the
+//! style "head *if* body" with well-founded semantics, plus grouping
+//! aggregation for cardinality constraints (Example 3: `N = count{VA[VB];
+//! R(VA,VB)}`) and for the recursive `aggregate` view operation (Example 4).
+
+use crate::interner::{Interner, Sym};
+use crate::term::{Subst, Term, Var};
+use std::fmt;
+
+/// A predicate applied to terms, e.g. `instance(X, neuron)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub pred: Sym,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(pred: Sym, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// The predicate arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Collects the variables of all argument terms into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        for a in &self.args {
+            a.collect_vars(out);
+        }
+    }
+
+    /// Applies a substitution to every argument.
+    pub fn apply(&self, subst: &Subst) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|t| t.apply(subst)).collect(),
+        }
+    }
+
+    /// Whether all arguments are ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Rendering adapter.
+    pub fn display<'a>(&'a self, syms: &'a Interner) -> AtomDisplay<'a> {
+        AtomDisplay { atom: self, syms }
+    }
+}
+
+/// Pretty-printing adapter for [`Atom`].
+pub struct AtomDisplay<'a> {
+    atom: &'a Atom,
+    syms: &'a Interner,
+}
+
+impl fmt::Display for AtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.syms.resolve(self.atom.pred))?;
+        for (i, a) in self.atom.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.display(self.syms))?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operators usable in rule bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=` on evaluated expressions (both sides bound).
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An arithmetic expression over terms. Non-integer operands are only
+/// allowed at the leaves of pure term expressions; arithmetic operators
+/// require integer operands at evaluation time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A plain term.
+    Term(Term),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Integer division (errors on division by zero at eval time).
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Collects variables into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Term(t) => t.collect_vars(out),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression under `subst`. Returns `None` when a
+    /// variable is unbound, an operand is non-integer, or on division by
+    /// zero / overflow.
+    pub fn eval(&self, subst: &Subst) -> Option<Term> {
+        match self {
+            Expr::Term(t) => {
+                let v = t.apply(subst);
+                v.is_ground().then_some(v)
+            }
+            Expr::Add(a, b) => arith(a, b, subst, i64::checked_add),
+            Expr::Sub(a, b) => arith(a, b, subst, i64::checked_sub),
+            Expr::Mul(a, b) => arith(a, b, subst, i64::checked_mul),
+            Expr::Div(a, b) => arith(a, b, subst, |x, y| {
+                if y == 0 {
+                    None
+                } else {
+                    x.checked_div(y)
+                }
+            }),
+        }
+    }
+}
+
+fn arith(
+    a: &Expr,
+    b: &Expr,
+    subst: &Subst,
+    op: impl Fn(i64, i64) -> Option<i64>,
+) -> Option<Term> {
+    match (a.eval(subst)?, b.eval(subst)?) {
+        (Term::Int(x), Term::Int(y)) => op(x, y).map(Term::Int),
+        _ => None,
+    }
+}
+
+/// Aggregate functions supported in aggregate subgoals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of *distinct* collected values (set semantics, as in the
+    /// paper's `count{VA[VB]; R(VA,VB)}`).
+    Count,
+    /// Sum of integer values.
+    Sum,
+    /// Minimum (integers ordered numerically, otherwise term order).
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An aggregate subgoal `R = func{ value [G1,...,Gk] : body }`.
+///
+/// The subquery `body` is evaluated; its solutions are grouped by the
+/// values of `group_by`; within each group the distinct instantiations of
+/// `value` are folded with `func`; the subgoal then yields one solution per
+/// group, binding `group_by` (if unbound) and `result`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Aggregate {
+    /// The fold function.
+    pub func: AggFunc,
+    /// The collected term (usually a variable).
+    pub value: Term,
+    /// Grouping variables.
+    pub group_by: Vec<Var>,
+    /// Subquery body (positive atoms, comparisons, assignments; no nested
+    /// aggregates, no negation).
+    pub body: Vec<BodyItem>,
+    /// The variable receiving the aggregate result.
+    pub result: Var,
+}
+
+/// One conjunct of a rule body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BodyItem {
+    /// A positive atom.
+    Pos(Atom),
+    /// A negated atom (`not p(..)`), evaluated with well-founded or
+    /// stratified semantics.
+    Neg(Atom),
+    /// A comparison between two evaluated expressions.
+    Cmp(CmpOp, Expr, Expr),
+    /// `lhs = expr`: evaluates `expr`; if `lhs` is an unbound variable it
+    /// is bound to the value, otherwise the values must be equal.
+    Assign(Term, Expr),
+    /// An aggregate subgoal.
+    Agg(Aggregate),
+}
+
+impl BodyItem {
+    /// Variables that this item *requires* to be bound before it can run.
+    /// Positive atoms require nothing; they bind their own variables.
+    pub fn required_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        match self {
+            BodyItem::Pos(_) => {}
+            BodyItem::Neg(a) => a.collect_vars(&mut out),
+            BodyItem::Cmp(_, l, r) => {
+                l.collect_vars(&mut out);
+                r.collect_vars(&mut out);
+            }
+            BodyItem::Assign(_, e) => e.collect_vars(&mut out),
+            BodyItem::Agg(agg) => {
+                // Correlated variables: everything in the aggregate body
+                // that is neither grouped, the collected value, nor the
+                // result must come bound from the outer scope only if it
+                // also appears outside. We conservatively require nothing
+                // here; correlation is handled by sharing the substitution.
+                let _ = agg;
+            }
+        }
+        out
+    }
+
+    /// Variables this item can *provide* (bind) when it succeeds.
+    pub fn provided_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        match self {
+            BodyItem::Pos(a) => a.collect_vars(&mut out),
+            BodyItem::Neg(_) | BodyItem::Cmp(..) => {}
+            BodyItem::Assign(t, _) => t.collect_vars(&mut out),
+            BodyItem::Agg(agg) => {
+                out.extend(agg.group_by.iter().copied());
+                out.push(agg.result);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    #[test]
+    fn expr_eval_arithmetic() {
+        let mut sub = Subst::with_capacity(1);
+        sub.bind(Var(0), Term::Int(7));
+        let e = Expr::Add(
+            Box::new(Expr::Term(Term::Var(Var(0)))),
+            Box::new(Expr::Term(Term::Int(5))),
+        );
+        assert_eq!(e.eval(&sub), Some(Term::Int(12)));
+    }
+
+    #[test]
+    fn expr_eval_div_by_zero_is_none() {
+        let sub = Subst::with_capacity(0);
+        let e = Expr::Div(
+            Box::new(Expr::Term(Term::Int(1))),
+            Box::new(Expr::Term(Term::Int(0))),
+        );
+        assert_eq!(e.eval(&sub), None);
+    }
+
+    #[test]
+    fn expr_eval_unbound_is_none() {
+        let sub = Subst::with_capacity(1);
+        let e = Expr::Term(Term::Var(Var(0)));
+        assert_eq!(e.eval(&sub), None);
+    }
+
+    #[test]
+    fn expr_overflow_is_none() {
+        let sub = Subst::with_capacity(0);
+        let e = Expr::Mul(
+            Box::new(Expr::Term(Term::Int(i64::MAX))),
+            Box::new(Expr::Term(Term::Int(2))),
+        );
+        assert_eq!(e.eval(&sub), None);
+    }
+
+    #[test]
+    fn atom_display() {
+        let mut syms = Interner::new();
+        let p = syms.intern("edge");
+        let a = syms.intern("a");
+        let atom = Atom::new(p, vec![Term::Const(a), Term::Var(Var(0))]);
+        assert_eq!(atom.display(&syms).to_string(), "edge(a,?0)");
+    }
+
+    #[test]
+    fn provided_and_required_vars() {
+        let mut syms = Interner::new();
+        let p = syms.intern("p");
+        let pos = BodyItem::Pos(Atom::new(p, vec![Term::Var(Var(0))]));
+        assert_eq!(pos.provided_vars(), vec![Var(0)]);
+        assert!(pos.required_vars().is_empty());
+        let neg = BodyItem::Neg(Atom::new(p, vec![Term::Var(Var(1))]));
+        assert_eq!(neg.required_vars(), vec![Var(1)]);
+        assert!(neg.provided_vars().is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the deductive engine.
+
+use std::fmt;
+
+/// Errors raised while building or evaluating programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule is unsafe: `var` (by name) is used in the head, in a negated
+    /// atom, or in a comparison without being bound by a positive subgoal.
+    UnsafeRule {
+        /// Rendering of the offending rule.
+        rule: String,
+        /// Name of the unbound variable.
+        var: String,
+    },
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// The program has recursion through negation *and* through an
+    /// aggregate, which has no well-founded reading in this engine.
+    AggregateInRecursion {
+        /// Predicate on the offending cycle.
+        pred: String,
+    },
+    /// Evaluation exceeded the configured iteration budget.
+    IterationLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A parse error with position information.
+    Parse {
+        /// Byte offset in the source.
+        offset: usize,
+        /// Line number (1-based).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnsafeRule { rule, var } => {
+                write!(f, "unsafe rule (variable {var} not range-restricted): {rule}")
+            }
+            DatalogError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {pred} used with arity {found}, previously {expected}"
+            ),
+            DatalogError::AggregateInRecursion { pred } => write!(
+                f,
+                "aggregate over predicate {pred} participates in recursion; \
+                 aggregates must be stratified"
+            ),
+            DatalogError::IterationLimit { limit } => {
+                write!(f, "evaluation exceeded iteration limit {limit}")
+            }
+            DatalogError::Parse {
+                offset,
+                line,
+                message,
+            } => write!(f, "parse error at line {line} (offset {offset}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DatalogError>;

@@ -1,0 +1,854 @@
+//! Bottom-up evaluation: naive and semi-naive fixpoint over stratified
+//! programs.
+//!
+//! Each stratum (an SCC of the predicate dependency graph, see
+//! [`crate::program`]) is evaluated in order. Non-recursive strata get a
+//! single pass; recursive strata run the semi-naive delta iteration (or the
+//! naive full re-derivation when [`EvalOptions::semi_naive`] is off — kept
+//! as an ablation baseline, see DESIGN.md).
+//!
+//! Function terms (skolem placeholders from domain-map assertions, paper
+//! §4) can generate unboundedly deep terms; derivations whose head exceeds
+//! [`EvalOptions::max_term_depth`] are clipped and counted in
+//! [`EvalStats::depth_clipped`].
+
+use crate::atom::{AggFunc, Aggregate, Atom, BodyItem, CmpOp};
+use crate::error::{DatalogError, Result};
+use crate::fact::{FactStore, Tuple};
+use crate::program::Stratification;
+use crate::rule::Rule;
+use crate::term::{Subst, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Evaluation knobs.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Use semi-naive (delta) iteration for recursive strata. Turning this
+    /// off re-derives everything each round (ablation baseline).
+    pub semi_naive: bool,
+    /// Maximum nesting depth of function terms in derived facts; deeper
+    /// derivations are dropped (and counted). Bounds skolem chains.
+    pub max_term_depth: usize,
+    /// Hard cap on fixpoint rounds (per stratum, and on alternating
+    /// fixpoint sweeps); exceeding it is an error.
+    pub max_iterations: usize,
+    /// Use the first-column relation index for joins with a bound first
+    /// argument. Turning this off forces full scans (ablation baseline).
+    pub use_index: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            semi_naive: true,
+            max_term_depth: 8,
+            max_iterations: 100_000,
+            use_index: true,
+        }
+    }
+}
+
+/// Counters reported by an evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total fixpoint rounds executed.
+    pub iterations: usize,
+    /// Facts derived (beyond the EDB).
+    pub derived: usize,
+    /// Derivations dropped by the term-depth limit.
+    pub depth_clipped: usize,
+    /// Rule applications (body solutions found).
+    pub applications: usize,
+}
+
+/// The result of evaluating a program: a (possibly three-valued) model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// True facts: EDB plus everything derived.
+    pub facts: FactStore,
+    /// Atoms with undefined truth value under the well-founded semantics
+    /// (always empty for stratified programs).
+    pub undefined: FactStore,
+    /// Evaluation counters.
+    pub stats: EvalStats,
+}
+
+impl Model {
+    /// Whether `pred(args)` is true in the model.
+    pub fn holds(&self, pred: crate::interner::Sym, args: &[Term]) -> bool {
+        self.facts.contains(pred, args)
+    }
+
+    /// Whether `pred(args)` is undefined (neither true nor false).
+    pub fn is_undefined(&self, pred: crate::interner::Sym, args: &[Term]) -> bool {
+        self.undefined.contains(pred, args)
+    }
+
+    /// All tuples of `pred` that are true.
+    pub fn tuples(&self, pred: crate::interner::Sym) -> Vec<Tuple> {
+        self.facts
+            .relation(pred)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Matches a query atom (which may contain variables) against the true
+    /// facts, returning one substituted argument vector per solution.
+    pub fn query(&self, pattern: &Atom) -> Vec<Vec<Term>> {
+        let mut out = Vec::new();
+        let Some(rel) = self.facts.relation(pattern.pred) else {
+            return out;
+        };
+        let mut vars = Vec::new();
+        pattern.collect_vars(&mut vars);
+        let nvars = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+        let mut subst = Subst::with_capacity(nvars);
+        for tuple in rel.iter() {
+            if tuple.len() != pattern.args.len() {
+                continue;
+            }
+            let m = subst.mark();
+            if pattern
+                .args
+                .iter()
+                .zip(tuple.iter())
+                .all(|(p, v)| subst.match_term(p, v))
+            {
+                out.push(pattern.args.iter().map(|t| t.apply(&subst)).collect());
+            }
+            subst.undo_to(m);
+        }
+        out
+    }
+}
+
+/// How negated atoms are decided during matching.
+#[derive(Clone, Copy)]
+pub(crate) enum NegView<'a> {
+    /// Stratified: `not p(t)` holds iff `p(t)` is absent from the total
+    /// store (lower strata are complete by construction).
+    Closed,
+    /// Reduct: `not p(t)` holds iff `p(t)` is absent from a frozen
+    /// interpretation (the alternating-fixpoint argument).
+    Frozen(&'a FactStore),
+}
+
+pub(crate) struct MatchCtx<'a> {
+    /// The accumulated store (EDB + everything derived so far).
+    pub total: &'a FactStore,
+    /// When `Some((store, idx))`, the positive atom at plan position `idx`
+    /// must match inside `store` (the delta) instead of `total`.
+    pub delta: Option<(&'a FactStore, usize)>,
+    /// Negation policy.
+    pub neg: NegView<'a>,
+    /// Whether first-column index lookups are enabled.
+    pub use_index: bool,
+}
+
+impl MatchCtx<'_> {
+    fn neg_holds(&self, pred: crate::interner::Sym, args: &[Term]) -> bool {
+        match self.neg {
+            NegView::Closed => !self.total.contains(pred, args),
+            NegView::Frozen(j) => !j.contains(pred, args),
+        }
+    }
+}
+
+/// Enumerates all solutions of `items[idx..]` under `subst`, invoking `cb`
+/// for each complete solution. Returns the number of solutions found.
+pub(crate) fn solve(
+    items: &[BodyItem],
+    idx: usize,
+    subst: &mut Subst,
+    ctx: &MatchCtx<'_>,
+    cb: &mut dyn FnMut(&Subst),
+) -> usize {
+    let Some(item) = items.get(idx) else {
+        cb(subst);
+        return 1;
+    };
+    let mut found = 0;
+    match item {
+        BodyItem::Pos(atom) => {
+            let use_delta = matches!(ctx.delta, Some((_, di)) if di == idx);
+            let store: &FactStore = if use_delta {
+                ctx.delta.expect("delta set").0
+            } else {
+                ctx.total
+            };
+            let Some(rel) = store.relation(atom.pred) else {
+                return 0;
+            };
+            // Fast path: first argument ground under current bindings.
+            let first = atom.args.first().map(|t| t.apply(subst));
+            let tuples: Vec<&Tuple> = match &first {
+                Some(f) if ctx.use_index && f.is_ground() => rel.iter_first(f).collect(),
+                _ => rel.iter().collect(),
+            };
+            for tuple in tuples {
+                if tuple.len() != atom.args.len() {
+                    continue;
+                }
+                let m = subst.mark();
+                if atom
+                    .args
+                    .iter()
+                    .zip(tuple.iter())
+                    .all(|(p, v)| subst.match_term(p, v))
+                {
+                    found += solve(items, idx + 1, subst, ctx, cb);
+                }
+                subst.undo_to(m);
+            }
+        }
+        BodyItem::Neg(atom) => {
+            let ground = atom.apply(subst);
+            debug_assert!(ground.is_ground(), "negation not ground at runtime");
+            if ctx.neg_holds(ground.pred, &ground.args) {
+                found += solve(items, idx + 1, subst, ctx, cb);
+            }
+        }
+        BodyItem::Cmp(op, l, r) => {
+            if let (Some(lv), Some(rv)) = (l.eval(subst), r.eval(subst)) {
+                if cmp_holds(*op, &lv, &rv) {
+                    found += solve(items, idx + 1, subst, ctx, cb);
+                }
+            }
+        }
+        BodyItem::Assign(lhs, expr) => {
+            if let Some(val) = expr.eval(subst) {
+                let m = subst.mark();
+                if subst.match_term(lhs, &val) {
+                    found += solve(items, idx + 1, subst, ctx, cb);
+                }
+                subst.undo_to(m);
+            }
+        }
+        BodyItem::Agg(agg) => {
+            found += solve_aggregate(items, idx, agg, subst, ctx, cb);
+        }
+    }
+    found
+}
+
+fn cmp_holds(op: CmpOp, l: &Term, r: &Term) -> bool {
+    // Integers compare numerically; other terms use the structural order.
+    let ord = l.cmp(r);
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Evaluates an aggregate subgoal: runs the subquery (against the total
+/// store — aggregates are stratified), groups solutions by the group-by
+/// variables, folds the distinct collected values, and continues with each
+/// group's bindings.
+fn solve_aggregate(
+    items: &[BodyItem],
+    idx: usize,
+    agg: &Aggregate,
+    subst: &mut Subst,
+    ctx: &MatchCtx<'_>,
+    cb: &mut dyn FnMut(&Subst),
+) -> usize {
+    // Subquery sees the total store, never the delta, and inherits the
+    // outer bindings (correlation).
+    let sub_ctx = MatchCtx {
+        total: ctx.total,
+        delta: None,
+        neg: ctx.neg,
+        use_index: ctx.use_index,
+    };
+    let mut groups: HashMap<Vec<Term>, HashSet<Term>> = HashMap::new();
+    {
+        let groups = &mut groups;
+        let value = &agg.value;
+        let group_by = &agg.group_by;
+        let m = subst.mark();
+        solve(&agg.body, 0, subst, &sub_ctx, &mut |s: &Subst| {
+            let key: Vec<Term> = group_by
+                .iter()
+                .map(|v| Term::Var(*v).apply(s))
+                .collect();
+            let val = value.apply(s);
+            if key.iter().all(Term::is_ground) && val.is_ground() {
+                groups.entry(key).or_default().insert(val);
+            }
+        });
+        subst.undo_to(m);
+    }
+    // `count`/`sum` of an empty solution set (no grouping) is 0 — needed to
+    // detect cardinality violations of the form "exactly one" (Example 3).
+    if groups.is_empty() && agg.group_by.is_empty() {
+        if let Some(zero) = fold_empty(agg.func) {
+            groups.insert(Vec::new(), HashSet::new());
+            let _ = zero; // marker: empty group handled by fold()
+        }
+    }
+    let mut found = 0;
+    for (key, values) in groups {
+        let Some(result) = fold(agg.func, &values) else {
+            continue;
+        };
+        let m = subst.mark();
+        let mut ok = true;
+        for (v, k) in agg.group_by.iter().zip(key.iter()) {
+            if !subst.match_term(&Term::Var(*v), k) {
+                ok = false;
+                break;
+            }
+        }
+        if ok && subst.match_term(&Term::Var(agg.result), &result) {
+            found += solve(items, idx + 1, subst, ctx, cb);
+        }
+        subst.undo_to(m);
+    }
+    found
+}
+
+fn fold_empty(func: AggFunc) -> Option<Term> {
+    match func {
+        AggFunc::Count | AggFunc::Sum => Some(Term::Int(0)),
+        AggFunc::Min | AggFunc::Max => None,
+    }
+}
+
+fn fold(func: AggFunc, values: &HashSet<Term>) -> Option<Term> {
+    match func {
+        AggFunc::Count => Some(Term::Int(values.len() as i64)),
+        AggFunc::Sum => {
+            let mut acc: i64 = 0;
+            for v in values {
+                match v {
+                    Term::Int(i) => acc = acc.checked_add(*i)?,
+                    _ => return None,
+                }
+            }
+            Some(Term::Int(acc))
+        }
+        AggFunc::Min => values.iter().min().cloned(),
+        AggFunc::Max => values.iter().max().cloned(),
+    }
+}
+
+/// Applies `rule` under `ctx`, inserting new head facts into `out`.
+/// Returns the number of new facts.
+pub(crate) fn apply_rule(
+    rule: &Rule,
+    ctx: &MatchCtx<'_>,
+    out: &mut FactStore,
+    stats: &mut EvalStats,
+    opts: &EvalOptions,
+) -> usize {
+    let mut subst = Subst::with_capacity(rule.nvars as usize);
+    let mut new = 0;
+    let head = &rule.head;
+    let total = ctx.total;
+    let max_depth = opts.max_term_depth;
+    let mut clipped = 0usize;
+    let mut apps = 0usize;
+    solve(&rule.body, 0, &mut subst, ctx, &mut |s: &Subst| {
+        apps += 1;
+        let args: Vec<Term> = head.args.iter().map(|t| t.apply(s)).collect();
+        debug_assert!(args.iter().all(Term::is_ground), "non-ground head");
+        if args.iter().any(|t| t.depth() > max_depth) {
+            clipped += 1;
+            return;
+        }
+        if !total.contains(head.pred, &args) && out.insert(head.pred, args.into()) {
+            new += 1;
+        }
+    });
+    stats.applications += apps;
+    stats.depth_clipped += clipped;
+    new
+}
+
+/// Evaluates a stratified program over `edb`, producing a two-valued model.
+///
+/// `rules` is the full rule list; `strat` the stratification computed by
+/// [`crate::program::stratify`]. The caller guarantees `!strat.needs_wfs`.
+pub(crate) fn eval_stratified(
+    rules: &[Rule],
+    strat: &Stratification,
+    edb: &FactStore,
+    opts: &EvalOptions,
+) -> Result<Model> {
+    let mut total = edb.clone();
+    let mut stats = EvalStats::default();
+    for stratum in &strat.strata {
+        let stratum_rules: Vec<&Rule> = stratum.rules.iter().map(|&i| &rules[i]).collect();
+        let stratum_preds: HashSet<_> = stratum.preds.iter().copied().collect();
+        if !stratum.recursive {
+            // Single pass suffices.
+            let mut out = FactStore::new();
+            for rule in &stratum_rules {
+                let ctx = MatchCtx {
+                    total: &total,
+                    delta: None,
+                    neg: NegView::Closed,
+                    use_index: opts.use_index,
+                };
+                apply_rule(rule, &ctx, &mut out, &mut stats, opts);
+            }
+            stats.derived += total.absorb(&out);
+            stats.iterations += 1;
+            continue;
+        }
+        if opts.semi_naive {
+            seminaive_stratum(&stratum_rules, &stratum_preds, &mut total, &mut stats, opts)?;
+        } else {
+            naive_stratum(&stratum_rules, &mut total, &mut stats, opts)?;
+        }
+    }
+    Ok(Model {
+        facts: total,
+        undefined: FactStore::new(),
+        stats,
+    })
+}
+
+fn naive_stratum(
+    rules: &[&Rule],
+    total: &mut FactStore,
+    stats: &mut EvalStats,
+    opts: &EvalOptions,
+) -> Result<()> {
+    loop {
+        stats.iterations += 1;
+        if stats.iterations > opts.max_iterations {
+            return Err(DatalogError::IterationLimit {
+                limit: opts.max_iterations,
+            });
+        }
+        let mut out = FactStore::new();
+        for rule in rules {
+            let ctx = MatchCtx {
+                total,
+                delta: None,
+                neg: NegView::Closed,
+                use_index: opts.use_index,
+            };
+            apply_rule(rule, &ctx, &mut out, stats, opts);
+        }
+        let added = total.absorb(&out);
+        stats.derived += added;
+        if added == 0 {
+            return Ok(());
+        }
+    }
+}
+
+fn seminaive_stratum(
+    rules: &[&Rule],
+    stratum_preds: &HashSet<crate::interner::Sym>,
+    total: &mut FactStore,
+    stats: &mut EvalStats,
+    opts: &EvalOptions,
+) -> Result<()> {
+    // Round 0: naive pass to seed the delta.
+    let mut delta = FactStore::new();
+    stats.iterations += 1;
+    for rule in rules {
+        let ctx = MatchCtx {
+            total,
+            delta: None,
+            neg: NegView::Closed,
+            use_index: opts.use_index,
+        };
+        apply_rule(rule, &ctx, &mut delta, stats, opts);
+    }
+    stats.derived += total.absorb(&delta);
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        if stats.iterations > opts.max_iterations {
+            return Err(DatalogError::IterationLimit {
+                limit: opts.max_iterations,
+            });
+        }
+        let mut next = FactStore::new();
+        for rule in rules {
+            // One delta-variant per positive body atom over a stratum
+            // predicate.
+            for di in rule.positive_atom_indices() {
+                let BodyItem::Pos(atom) = &rule.body[di] else {
+                    unreachable!()
+                };
+                if !stratum_preds.contains(&atom.pred) {
+                    continue;
+                }
+                let ctx = MatchCtx {
+                    total,
+                    delta: Some((&delta, di)),
+                    neg: NegView::Closed,
+                    use_index: opts.use_index,
+                };
+                apply_rule(rule, &ctx, &mut next, stats, opts);
+            }
+        }
+        stats.derived += total.absorb(&next);
+        delta = next;
+    }
+    Ok(())
+}
+
+/// Computes the least model of the *positive reduct* of `rules` wrt the
+/// frozen interpretation `j`: `not p(t)` holds iff `p(t) ∉ j`. Used by the
+/// alternating fixpoint (well-founded semantics).
+pub(crate) fn gamma(
+    rules: &[Rule],
+    edb: &FactStore,
+    j: &FactStore,
+    stats: &mut EvalStats,
+    opts: &EvalOptions,
+) -> Result<FactStore> {
+    let mut total = edb.clone();
+    // With negation frozen the program is positive: a single global
+    // fixpoint loop is sound. Semi-naive deltas would need per-predicate
+    // bookkeeping across the whole program; for clarity we run rounds of
+    // full rule application here (the reduct is evaluated only a handful of
+    // times).
+    loop {
+        stats.iterations += 1;
+        if stats.iterations > opts.max_iterations {
+            return Err(DatalogError::IterationLimit {
+                limit: opts.max_iterations,
+            });
+        }
+        let mut out = FactStore::new();
+        for rule in rules {
+            let ctx = MatchCtx {
+                total: &total,
+                delta: None,
+                neg: NegView::Frozen(j),
+                use_index: opts.use_index,
+            };
+            apply_rule(rule, &ctx, &mut out, stats, opts);
+        }
+        let added = total.absorb(&out);
+        stats.derived += added;
+        if added == 0 {
+            return Ok(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+    use crate::program::stratify;
+    use crate::term::Var;
+
+    struct Fixture {
+        syms: Interner,
+        edb: FactStore,
+        rules: Vec<Rule>,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                syms: Interner::new(),
+                edb: FactStore::new(),
+                rules: Vec::new(),
+            }
+        }
+        fn c(&mut self, name: &str) -> Term {
+            Term::Const(self.syms.intern(name))
+        }
+        fn fact(&mut self, pred: &str, args: &[Term]) {
+            let p = self.syms.intern(pred);
+            self.edb.insert(p, args.to_vec().into());
+        }
+        fn run(&self) -> Model {
+            let strat = stratify(&self.rules, |s| format!("{s}")).unwrap();
+            assert!(!strat.needs_wfs);
+            eval_stratified(&self.rules, &strat, &self.edb, &EvalOptions::default()).unwrap()
+        }
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut f = Fixture::new();
+        let a = f.c("a");
+        let b = f.c("b");
+        let c = f.c("c");
+        let d = f.c("d");
+        f.fact("e", &[a.clone(), b.clone()]);
+        f.fact("e", &[b.clone(), c.clone()]);
+        f.fact("e", &[c.clone(), d.clone()]);
+        let e = f.syms.intern("e");
+        let tc = f.syms.intern("tc");
+        f.rules.push(
+            Rule::compile(
+                Atom::new(tc, vec![v(0), v(1)]),
+                vec![BodyItem::Pos(Atom::new(e, vec![v(0), v(1)]))],
+                2,
+                vec!["X".into(), "Y".into()],
+            )
+            .unwrap(),
+        );
+        f.rules.push(
+            Rule::compile(
+                Atom::new(tc, vec![v(0), v(1)]),
+                vec![
+                    BodyItem::Pos(Atom::new(tc, vec![v(0), v(2)])),
+                    BodyItem::Pos(Atom::new(e, vec![v(2), v(1)])),
+                ],
+                3,
+                vec!["X".into(), "Y".into(), "Z".into()],
+            )
+            .unwrap(),
+        );
+        let m = f.run();
+        assert!(m.holds(tc, &[a.clone(), d.clone()]));
+        assert!(m.holds(tc, &[b.clone(), d.clone()]));
+        assert!(!m.holds(tc, &[d.clone(), a.clone()]));
+        assert_eq!(m.tuples(tc).len(), 6);
+    }
+
+    #[test]
+    fn seminaive_and_naive_agree() {
+        let mut f = Fixture::new();
+        // Chain of 30 nodes.
+        let nodes: Vec<Term> = (0..30).map(|i| f.c(&format!("n{i}"))).collect();
+        for w in nodes.windows(2) {
+            f.fact("e", &[w[0].clone(), w[1].clone()]);
+        }
+        let e = f.syms.intern("e");
+        let tc = f.syms.intern("tc");
+        f.rules.push(
+            Rule::compile(
+                Atom::new(tc, vec![v(0), v(1)]),
+                vec![BodyItem::Pos(Atom::new(e, vec![v(0), v(1)]))],
+                2,
+                vec!["X".into(), "Y".into()],
+            )
+            .unwrap(),
+        );
+        f.rules.push(
+            Rule::compile(
+                Atom::new(tc, vec![v(0), v(1)]),
+                vec![
+                    BodyItem::Pos(Atom::new(tc, vec![v(0), v(2)])),
+                    BodyItem::Pos(Atom::new(tc, vec![v(2), v(1)])),
+                ],
+                3,
+                vec!["X".into(), "Y".into(), "Z".into()],
+            )
+            .unwrap(),
+        );
+        let strat = stratify(&f.rules, |s| format!("{s}")).unwrap();
+        let semi =
+            eval_stratified(&f.rules, &strat, &f.edb, &EvalOptions::default()).unwrap();
+        let naive = eval_stratified(
+            &f.rules,
+            &strat,
+            &f.edb,
+            &EvalOptions {
+                semi_naive: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(semi.tuples(tc).len(), naive.tuples(tc).len());
+        assert_eq!(semi.tuples(tc).len(), 29 * 30 / 2);
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        let mut f = Fixture::new();
+        let a = f.c("a");
+        let b = f.c("b");
+        f.fact("node", std::slice::from_ref(&a));
+        f.fact("node", std::slice::from_ref(&b));
+        f.fact("marked", std::slice::from_ref(&a));
+        let node = f.syms.intern("node");
+        let marked = f.syms.intern("marked");
+        let un = f.syms.intern("unmarked");
+        f.rules.push(
+            Rule::compile(
+                Atom::new(un, vec![v(0)]),
+                vec![
+                    BodyItem::Pos(Atom::new(node, vec![v(0)])),
+                    BodyItem::Neg(Atom::new(marked, vec![v(0)])),
+                ],
+                1,
+                vec!["X".into()],
+            )
+            .unwrap(),
+        );
+        let m = f.run();
+        assert!(!m.holds(un, &[a]));
+        assert!(m.holds(un, &[b]));
+    }
+
+    #[test]
+    fn aggregate_count_groups() {
+        let mut f = Fixture::new();
+        let n1 = f.c("n1");
+        let n2 = f.c("n2");
+        let a1 = f.c("a1");
+        let a2 = f.c("a2");
+        let a3 = f.c("a3");
+        f.fact("has", &[n1.clone(), a1]);
+        f.fact("has", &[n1.clone(), a2]);
+        f.fact("has", &[n2.clone(), a3]);
+        let has = f.syms.intern("has");
+        let cnt = f.syms.intern("cnt");
+        // cnt(N, C) :- C = count{ A [N] : has(N, A) }.
+        f.rules.push(
+            Rule::compile(
+                Atom::new(cnt, vec![v(0), v(1)]),
+                vec![BodyItem::Agg(Aggregate {
+                    func: AggFunc::Count,
+                    value: v(2),
+                    group_by: vec![Var(0)],
+                    body: vec![BodyItem::Pos(Atom::new(has, vec![v(0), v(2)]))],
+                    result: Var(1),
+                })],
+                3,
+                vec!["N".into(), "C".into(), "A".into()],
+            )
+            .unwrap(),
+        );
+        let m = f.run();
+        assert!(m.holds(cnt, &[n1, Term::Int(2)]));
+        assert!(m.holds(cnt, &[n2, Term::Int(1)]));
+    }
+
+    #[test]
+    fn aggregate_count_empty_is_zero() {
+        let mut f = Fixture::new();
+        let x = f.c("x");
+        f.fact("probe", std::slice::from_ref(&x));
+        let probe = f.syms.intern("probe");
+        let none = f.syms.intern("nothing");
+        let res = f.syms.intern("res");
+        // res(P, C) :- probe(P), C = count{ Y : nothing(Y) }.
+        f.rules.push(
+            Rule::compile(
+                Atom::new(res, vec![v(0), v(1)]),
+                vec![
+                    BodyItem::Pos(Atom::new(probe, vec![v(0)])),
+                    BodyItem::Agg(Aggregate {
+                        func: AggFunc::Count,
+                        value: v(2),
+                        group_by: vec![],
+                        body: vec![BodyItem::Pos(Atom::new(none, vec![v(2)]))],
+                        result: Var(1),
+                    }),
+                ],
+                3,
+                vec!["P".into(), "C".into(), "Y".into()],
+            )
+            .unwrap(),
+        );
+        let m = f.run();
+        assert!(m.holds(res, &[x, Term::Int(0)]));
+    }
+
+    #[test]
+    fn aggregate_sum_min_max() {
+        let mut f = Fixture::new();
+        let g = f.c("g");
+        f.fact("m", &[g.clone(), Term::Int(3)]);
+        f.fact("m", &[g.clone(), Term::Int(5)]);
+        f.fact("m", &[g.clone(), Term::Int(5)]); // duplicate value: set semantics
+        let mp = f.syms.intern("m");
+        for (name, func, expect) in [
+            ("s", AggFunc::Sum, 8),
+            ("mn", AggFunc::Min, 3),
+            ("mx", AggFunc::Max, 5),
+        ] {
+            let p = f.syms.intern(name);
+            f.rules.push(
+                Rule::compile(
+                    Atom::new(p, vec![v(0), v(1)]),
+                    vec![BodyItem::Agg(Aggregate {
+                        func,
+                        value: v(2),
+                        group_by: vec![Var(0)],
+                        body: vec![BodyItem::Pos(Atom::new(mp, vec![v(0), v(2)]))],
+                        result: Var(1),
+                    })],
+                    3,
+                    vec!["G".into(), "R".into(), "V".into()],
+                )
+                .unwrap(),
+            );
+            let m = f.run();
+            assert!(
+                m.holds(p, &[g.clone(), Term::Int(expect)]),
+                "{name} expected {expect}"
+            );
+            f.rules.clear();
+        }
+    }
+
+    #[test]
+    fn depth_limit_clips_skolem_chains() {
+        let mut f = Fixture::new();
+        let a = f.c("a");
+        f.fact("p", &[a]);
+        let p = f.syms.intern("p");
+        let fsym = f.syms.intern("f");
+        // p(f(X)) :- p(X).  — infinite without the depth limit.
+        f.rules.push(
+            Rule::compile(
+                Atom::new(p, vec![Term::func(fsym, vec![v(0)])]),
+                vec![BodyItem::Pos(Atom::new(p, vec![v(0)]))],
+                1,
+                vec!["X".into()],
+            )
+            .unwrap(),
+        );
+        let strat = stratify(&f.rules, |s| format!("{s}")).unwrap();
+        let opts = EvalOptions {
+            max_term_depth: 4,
+            ..Default::default()
+        };
+        let m = eval_stratified(&f.rules, &strat, &f.edb, &opts).unwrap();
+        // a, f(a), f(f(a)), f3(a), f4(a): 5 facts.
+        assert_eq!(m.tuples(p).len(), 5);
+        assert!(m.stats.depth_clipped > 0);
+    }
+
+    #[test]
+    fn arithmetic_assignment() {
+        let mut f = Fixture::new();
+        f.fact("n", &[Term::Int(4)]);
+        let n = f.syms.intern("n");
+        let d = f.syms.intern("double");
+        f.rules.push(
+            Rule::compile(
+                Atom::new(d, vec![v(0), v(1)]),
+                vec![
+                    BodyItem::Pos(Atom::new(n, vec![v(0)])),
+                    BodyItem::Assign(
+                        v(1),
+                        crate::atom::Expr::Mul(
+                            Box::new(crate::atom::Expr::Term(v(0))),
+                            Box::new(crate::atom::Expr::Term(Term::Int(2))),
+                        ),
+                    ),
+                ],
+                2,
+                vec!["X".into(), "Y".into()],
+            )
+            .unwrap(),
+        );
+        let m = f.run();
+        assert!(m.holds(d, &[Term::Int(4), Term::Int(8)]));
+    }
+}

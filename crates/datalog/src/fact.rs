@@ -1,0 +1,198 @@
+//! Ground fact storage: relations with first-column indexes.
+//!
+//! Bottom-up evaluation spends nearly all of its time probing relations
+//! during joins. Tuples are stored once as `Rc<[Term]>` shared between the
+//! dedup set, the insertion-ordered scan vector, and the index, so lookups
+//! and copies stay cheap.
+
+use crate::interner::Sym;
+use crate::term::Term;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// A ground tuple.
+pub type Tuple = Rc<[Term]>;
+
+/// A single relation: a deduplicated, insertion-ordered set of ground
+/// tuples, indexed on the first column.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+    set: HashSet<Tuple>,
+    /// Index on column 0: first-argument value → positions in `tuples`.
+    idx0: HashMap<Term, Vec<u32>>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        debug_assert!(tuple.iter().all(Term::is_ground));
+        if !self.set.insert(tuple.clone()) {
+            return false;
+        }
+        let pos = u32::try_from(self.tuples.len()).expect("relation too large");
+        if let Some(first) = tuple.first() {
+            self.idx0.entry(first.clone()).or_default().push(pos);
+        }
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Term]) -> bool {
+        self.set.contains(tuple)
+    }
+
+    /// All tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Tuples whose first column equals `key` (fast path for joins with a
+    /// bound first argument).
+    pub fn iter_first(&self, key: &Term) -> impl Iterator<Item = &Tuple> {
+        self.idx0
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.tuples[i as usize])
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A set of relations keyed by predicate symbol.
+#[derive(Debug, Clone, Default)]
+pub struct FactStore {
+    rels: HashMap<Sym, Relation>,
+}
+
+impl FactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; returns `true` if new.
+    pub fn insert(&mut self, pred: Sym, tuple: Tuple) -> bool {
+        self.rels.entry(pred).or_default().insert(tuple)
+    }
+
+    /// The relation for `pred`, if any facts exist.
+    pub fn relation(&self, pred: Sym) -> Option<&Relation> {
+        self.rels.get(&pred)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: Sym, tuple: &[Term]) -> bool {
+        self.rels.get(&pred).is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Iterates `(pred, tuple)` over every fact.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &Tuple)> {
+        self.rels
+            .iter()
+            .flat_map(|(&p, r)| r.iter().map(move |t| (p, t)))
+    }
+
+    /// Predicates that currently have at least one fact.
+    pub fn predicates(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// Total number of facts across all relations.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Whether the store holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.rels.values().all(Relation::is_empty)
+    }
+
+    /// Merges every fact of `other` into `self`; returns how many were new.
+    pub fn absorb(&mut self, other: &FactStore) -> usize {
+        let mut added = 0;
+        for (p, t) in other.iter() {
+            if self.insert(p, t.clone()) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    fn t(args: &[Term]) -> Tuple {
+        args.to_vec().into()
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut syms = Interner::new();
+        let a = Term::Const(syms.intern("a"));
+        let mut r = Relation::new();
+        assert!(r.insert(t(std::slice::from_ref(&a))));
+        assert!(!r.insert(t(std::slice::from_ref(&a))));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn first_column_index() {
+        let mut syms = Interner::new();
+        let a = Term::Const(syms.intern("a"));
+        let b = Term::Const(syms.intern("b"));
+        let mut r = Relation::new();
+        r.insert(t(&[a.clone(), b.clone()]));
+        r.insert(t(&[a.clone(), a.clone()]));
+        r.insert(t(&[b.clone(), a.clone()]));
+        assert_eq!(r.iter_first(&a).count(), 2);
+        assert_eq!(r.iter_first(&b).count(), 1);
+        let c = Term::Int(99);
+        assert_eq!(r.iter_first(&c).count(), 0);
+    }
+
+    #[test]
+    fn store_absorb_counts_new() {
+        let mut syms = Interner::new();
+        let p = syms.intern("p");
+        let a = Term::Const(syms.intern("a"));
+        let b = Term::Const(syms.intern("b"));
+        let mut s1 = FactStore::new();
+        s1.insert(p, t(std::slice::from_ref(&a)));
+        let mut s2 = FactStore::new();
+        s2.insert(p, t(std::slice::from_ref(&a)));
+        s2.insert(p, t(std::slice::from_ref(&b)));
+        assert_eq!(s1.absorb(&s2), 1);
+        assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn contains_checks_pred_and_tuple() {
+        let mut syms = Interner::new();
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        let a = Term::Const(syms.intern("a"));
+        let mut s = FactStore::new();
+        s.insert(p, t(std::slice::from_ref(&a)));
+        assert!(s.contains(p, std::slice::from_ref(&a)));
+        assert!(!s.contains(q, std::slice::from_ref(&a)));
+    }
+}

@@ -1,0 +1,117 @@
+//! String interning for predicate, constant, and function symbols.
+//!
+//! All symbolic names that appear in a [`crate::Engine`] are interned into
+//! a [`Sym`], a dense `u32` handle. Interning makes term comparison,
+//! hashing, and tuple storage cheap: the hot paths of the evaluator
+//! (unification, joins, dedup) only ever touch integers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned symbol. `Sym`s are only meaningful relative to the
+/// [`Interner`] (and thus the [`crate::Engine`]) that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub(crate) u32);
+
+impl Sym {
+    /// The raw index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A two-way map between strings and [`Sym`] handles.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Sym>,
+    names: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let sym = Sym(u32::try_from(self.names.len()).expect("too many symbols"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolves a symbol back to its name.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("neuron");
+        let b = i.intern("neuron");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_syms() {
+        let mut i = Interner::new();
+        let a = i.intern("axon");
+        let b = i.intern("dendrite");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "axon");
+        assert_eq!(i.resolve(b), "dendrite");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("soma").is_none());
+        i.intern("soma");
+        assert!(i.get("soma").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        i.intern("x");
+        assert!(!i.is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! # kind-datalog — deductive engine for the KIND mediator
+//!
+//! A from-scratch Datalog engine with the exact feature set the paper's
+//! Generic Conceptual Model demands (§3):
+//!
+//! * rules in the style *head if body* (RULES) with a logical semantics
+//!   (SEM): stratified semi-naive evaluation, and the **well-founded
+//!   semantics** via the alternating fixpoint for recursion through
+//!   negation — precisely the FO(LFP) expressiveness requirement (EXPR);
+//! * grouping **aggregation** (`count`, `sum`, `min`, `max`) for
+//!   cardinality constraints (Example 3) and the recursive `aggregate`
+//!   view operation (Example 4);
+//! * **function terms** for skolem placeholder objects created by
+//!   domain-map assertions (§4), bounded by a term-depth limit;
+//! * arithmetic and comparisons.
+//!
+//! The engine is the substrate on which `kind-flogic`, `kind-gcm`,
+//! `kind-dm` and the mediator itself are built; it plays the role FLORA
+//! played for the KIND prototype (§5).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use kind_datalog::{Engine, EvalOptions};
+//!
+//! let mut e = Engine::new();
+//! e.load(
+//!     "edge(a,b). edge(b,c). edge(c,d).
+//!      tc(X,Y) :- edge(X,Y).
+//!      tc(X,Y) :- tc(X,Z), edge(Z,Y).",
+//! ).unwrap();
+//! let model = e.run(&EvalOptions::default()).unwrap();
+//! let solutions = e.query_model(&model, "tc(a, X)").unwrap();
+//! assert_eq!(solutions.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod error;
+pub mod eval;
+pub mod explain;
+pub mod fact;
+pub mod interner;
+pub mod parser;
+pub mod program;
+pub mod rule;
+pub mod term;
+mod wfs;
+
+pub use atom::{AggFunc, Aggregate, Atom, BodyItem, CmpOp, Expr};
+pub use error::{DatalogError, Result};
+pub use eval::{EvalOptions, EvalStats, Model};
+pub use explain::{Derivation, DerivationStep};
+pub use fact::{FactStore, Relation, Tuple};
+pub use interner::{Interner, Sym};
+pub use parser::Clause;
+pub use program::{stratify, Stratification, Stratum};
+pub use rule::Rule;
+pub use term::{Subst, Term, Var};
+
+use std::collections::HashMap;
+
+/// The deductive engine: a symbol table, an extensional database, and a
+/// rule set, with evaluation producing an immutable [`Model`].
+#[derive(Debug, Default, Clone)]
+pub struct Engine {
+    syms: Interner,
+    edb: FactStore,
+    rules: Vec<Rule>,
+    arities: HashMap<Sym, usize>,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a symbol name.
+    pub fn sym(&mut self, name: &str) -> Sym {
+        self.syms.intern(name)
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.syms.get(name)
+    }
+
+    /// Resolves a symbol to its name.
+    pub fn name(&self, sym: Sym) -> &str {
+        self.syms.resolve(sym)
+    }
+
+    /// Shorthand: a constant term for `name`.
+    pub fn constant(&mut self, name: &str) -> Term {
+        Term::Const(self.syms.intern(name))
+    }
+
+    /// Read access to the symbol table.
+    pub fn symbols(&self) -> &Interner {
+        &self.syms
+    }
+
+    /// Mutable access to the symbol table (for callers constructing terms
+    /// directly).
+    pub fn symbols_mut(&mut self) -> &mut Interner {
+        &mut self.syms
+    }
+
+    /// Read access to the extensional database.
+    pub fn edb(&self) -> &FactStore {
+        &self.edb
+    }
+
+    /// The current rule set.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    fn check_arity(&mut self, pred: Sym, arity: usize) -> Result<()> {
+        match self.arities.get(&pred) {
+            Some(&a) if a != arity => Err(DatalogError::ArityMismatch {
+                pred: self.syms.resolve(pred).to_string(),
+                expected: a,
+                found: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.arities.insert(pred, arity);
+                Ok(())
+            }
+        }
+    }
+
+    fn check_rule_arities(&mut self, rule: &Rule) -> Result<()> {
+        self.check_arity(rule.head.pred, rule.head.arity())?;
+        let mut stack: Vec<&BodyItem> = rule.body.iter().collect();
+        while let Some(item) = stack.pop() {
+            match item {
+                BodyItem::Pos(a) | BodyItem::Neg(a) => self.check_arity(a.pred, a.arity())?,
+                BodyItem::Agg(agg) => stack.extend(agg.body.iter()),
+                BodyItem::Cmp(..) | BodyItem::Assign(..) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a ground fact.
+    pub fn add_fact(&mut self, pred: Sym, args: Vec<Term>) -> Result<bool> {
+        self.check_arity(pred, args.len())?;
+        debug_assert!(args.iter().all(Term::is_ground), "facts must be ground");
+        Ok(self.edb.insert(pred, args.into()))
+    }
+
+    /// Convenience: adds `pred(args...)` with all-constant arguments.
+    pub fn add_fact_strs(&mut self, pred: &str, args: &[&str]) -> Result<bool> {
+        let p = self.sym(pred);
+        let terms = args.iter().map(|a| self.constant(a)).collect();
+        self.add_fact(p, terms)
+    }
+
+    /// Adds a compiled rule.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
+        self.check_rule_arities(&rule)?;
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Parses and loads a program text (facts and rules).
+    pub fn load(&mut self, src: &str) -> Result<()> {
+        for clause in parser::parse_program(src, &mut self.syms)? {
+            match clause {
+                Clause::Fact(a) => {
+                    self.check_arity(a.pred, a.arity())?;
+                    self.edb.insert(a.pred, a.args.into());
+                }
+                Clause::Rule(r) => self.add_rule(r)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the program: stratified semi-naive when possible,
+    /// alternating-fixpoint well-founded semantics when negation is
+    /// recursive.
+    pub fn run(&self, opts: &EvalOptions) -> Result<Model> {
+        self.run_rules(&self.rules, opts)
+    }
+
+    /// Evaluates only the rules **relevant to the goal predicates**: the
+    /// rule set is pruned to predicates reachable from `goals` through
+    /// body dependencies (a lightweight cousin of magic sets — no
+    /// binding-specific specialization, but dead subprograms are never
+    /// touched). The resulting model is complete for the goal predicates
+    /// and anything they depend on; unrelated predicates are absent.
+    pub fn run_for(&self, goals: &[Sym], opts: &EvalOptions) -> Result<Model> {
+        let relevant = self.relevant_rules(goals);
+        self.run_rules(&relevant, opts)
+    }
+
+    fn run_rules(&self, rules: &[Rule], opts: &EvalOptions) -> Result<Model> {
+        let strat = program::stratify(rules, |s| self.syms.resolve(s).to_string())?;
+        if strat.needs_wfs {
+            wfs::eval_well_founded(rules, &self.edb, opts)
+        } else {
+            eval::eval_stratified(rules, &strat, &self.edb, opts)
+        }
+    }
+
+    /// The subset of rules reachable from `goals` through (transitive)
+    /// body dependencies, preserving rule order.
+    pub fn relevant_rules(&self, goals: &[Sym]) -> Vec<Rule> {
+        use std::collections::HashSet;
+        let mut wanted: HashSet<Sym> = goals.iter().copied().collect();
+        // Fixpoint: a rule is relevant if its head predicate is wanted;
+        // its body predicates then become wanted too.
+        loop {
+            let before = wanted.len();
+            for rule in &self.rules {
+                if wanted.contains(&rule.head.pred) {
+                    collect_body_preds(&rule.body, &mut wanted);
+                }
+            }
+            if wanted.len() == before {
+                break;
+            }
+        }
+        self.rules
+            .iter()
+            .filter(|r| wanted.contains(&r.head.pred))
+            .cloned()
+            .collect()
+    }
+
+    /// Parses `pattern` (e.g. `"tc(a, X)"`) and matches it against a
+    /// previously computed model.
+    pub fn query_model(&mut self, model: &Model, pattern: &str) -> Result<Vec<Vec<Term>>> {
+        let (atom, _) = parser::parse_atom(pattern, &mut self.syms)?;
+        Ok(model.query(&atom))
+    }
+
+    /// Renders a ground term for display.
+    pub fn show(&self, t: &Term) -> String {
+        t.display(&self.syms).to_string()
+    }
+}
+
+fn collect_body_preds(items: &[BodyItem], out: &mut std::collections::HashSet<Sym>) {
+    for item in items {
+        match item {
+            BodyItem::Pos(a) | BodyItem::Neg(a) => {
+                out.insert(a.pred);
+            }
+            BodyItem::Agg(agg) => collect_body_preds(&agg.body, out),
+            BodyItem::Cmp(..) | BodyItem::Assign(..) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_for_prunes_unrelated_subprograms() {
+        let mut e = Engine::new();
+        e.load(
+            "e(a,b). e(b,c). other(x).
+             tc(X,Y) :- e(X,Y).
+             tc(X,Y) :- tc(X,Z), e(Z,Y).
+             % an expensive unrelated subprogram:
+             big(X,Y) :- e(X,_), e(_,Y).
+             bigger(X,Y,Z) :- big(X,Y), big(Y,Z).",
+        )
+        .unwrap();
+        let tc = e.lookup("tc").unwrap();
+        let m = e.run_for(&[tc], &EvalOptions::default()).unwrap();
+        assert_eq!(m.tuples(tc).len(), 3);
+        // The pruned model never computed `bigger`.
+        assert!(m.tuples(e.lookup("bigger").unwrap()).is_empty());
+        // But the full run does.
+        let full = e.run(&EvalOptions::default()).unwrap();
+        assert!(!full.tuples(e.lookup("bigger").unwrap()).is_empty());
+        // And the goal predicate agrees between the two.
+        assert_eq!(m.tuples(tc).len(), full.tuples(tc).len());
+    }
+
+    #[test]
+    fn run_for_follows_negation_and_aggregates() {
+        let mut e = Engine::new();
+        e.load(
+            "n(a). n(b). m(a).
+             un(X) :- n(X), not m(X).
+             cnt(C) :- C = count{ X : un(X) }.",
+        )
+        .unwrap();
+        let cnt = e.lookup("cnt").unwrap();
+        let m = e.run_for(&[cnt], &EvalOptions::default()).unwrap();
+        assert!(m.holds(cnt, &[Term::Int(1)]));
+    }
+
+    #[test]
+    fn end_to_end_transitive_closure() {
+        let mut e = Engine::new();
+        e.load(
+            "edge(a,b). edge(b,c). edge(c,d).
+             tc(X,Y) :- edge(X,Y).
+             tc(X,Y) :- tc(X,Z), edge(Z,Y).",
+        )
+        .unwrap();
+        let m = e.run(&EvalOptions::default()).unwrap();
+        assert_eq!(e.query_model(&m, "tc(a, X)").unwrap().len(), 3);
+        assert_eq!(e.query_model(&m, "tc(X, Y)").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn end_to_end_wfs_dispatch() {
+        let mut e = Engine::new();
+        e.load(
+            "move(p0,p1). move(p1,p2).
+             win(X) :- move(X,Y), not win(Y).",
+        )
+        .unwrap();
+        let m = e.run(&EvalOptions::default()).unwrap();
+        assert_eq!(e.query_model(&m, "win(X)").unwrap().len(), 1);
+        assert!(m.undefined.is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut e = Engine::new();
+        e.load("p(a).").unwrap();
+        let err = e.load("p(a, b).").unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn paper_example3_cardinality_check() {
+        // Example 3: has(neuron, axon) — an axon is contained in exactly
+        // one neuron. Build a violating population and check the witness.
+        let mut e = Engine::new();
+        e.load(
+            "has(n1, ax1). has(n2, ax1).   % ax1 in two neurons: violation
+             has(n1, ax2).                  % ax2 fine
+             w_card(VB, N) :- N = count{ VA [VB] : has(VA, VB) }, N != 1.",
+        )
+        .unwrap();
+        let m = e.run(&EvalOptions::default()).unwrap();
+        let wit = e.query_model(&m, "w_card(X, N)").unwrap();
+        assert_eq!(wit.len(), 1);
+        let ax1 = e.constant("ax1");
+        assert_eq!(wit[0][0], ax1);
+        assert_eq!(wit[0][1], Term::Int(2));
+    }
+
+    #[test]
+    fn iteration_limit_enforced() {
+        let mut e = Engine::new();
+        e.load("p(a). p(f(X)) :- p(X).").unwrap();
+        let opts = EvalOptions {
+            max_term_depth: 1_000,
+            max_iterations: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            e.run(&opts),
+            Err(DatalogError::IterationLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn string_constants_roundtrip() {
+        let mut e = Engine::new();
+        e.load(r#"loc(c1, "Purkinje Cell"). loc(c2, "Pyramidal Cell dendrite")."#)
+            .unwrap();
+        let m = e.run(&EvalOptions::default()).unwrap();
+        let sols = e.query_model(&m, r#"loc(X, "Purkinje Cell")"#).unwrap();
+        assert_eq!(sols.len(), 1);
+    }
+}

@@ -1,0 +1,406 @@
+//! Rules: safety (range restriction) checking and execution planning.
+//!
+//! A rule is compiled once into an *execution plan*: an ordering of its
+//! body items such that every negated atom, comparison, assignment, and
+//! aggregate runs only after the positive subgoals that bind its variables.
+//! The planner is a greedy scheduler; positive atoms keep their source
+//! order (which the author controls for join-order tuning), and guarded
+//! items are placed as early as their bindings allow so they prune the
+//! search space soonest.
+
+use crate::atom::{Atom, BodyItem};
+use crate::error::{DatalogError, Result};
+use crate::interner::Interner;
+use crate::term::{Term, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A compiled rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The head atom derived when the body succeeds.
+    pub head: Atom,
+    /// Body items in *plan order* (see module docs).
+    pub body: Vec<BodyItem>,
+    /// Number of distinct variables (variable ids are `0..nvars`).
+    pub nvars: u32,
+    /// Variable names, indexed by variable id (for diagnostics).
+    pub var_names: Vec<String>,
+}
+
+impl Rule {
+    /// Compiles a rule: checks safety and reorders the body into an
+    /// executable plan.
+    ///
+    /// Safety (range restriction) demands that every variable occurring in
+    /// the head, in a negated atom, or in a comparison is bound by a
+    /// positive atom, an assignment, or an aggregate. Aggregate bodies are
+    /// checked recursively; the collected value and the grouping variables
+    /// must be bound inside the aggregate body itself.
+    pub fn compile(
+        head: Atom,
+        body: Vec<BodyItem>,
+        nvars: u32,
+        var_names: Vec<String>,
+    ) -> Result<Rule> {
+        let planned = plan_items(body, &HashSet::new()).map_err(|v| DatalogError::UnsafeRule {
+            rule: format!("rule with head predicate {}", head.pred),
+            var: var_name(&var_names, v),
+        })?;
+        // After the plan runs, these variables are bound:
+        let mut bound: HashSet<Var> = HashSet::new();
+        for item in &planned {
+            bound.extend(item.provided_vars());
+        }
+        let mut head_vars = Vec::new();
+        head.collect_vars(&mut head_vars);
+        if let Some(&v) = head_vars.iter().find(|v| !bound.contains(v)) {
+            return Err(DatalogError::UnsafeRule {
+                rule: format!("rule with head predicate {}", head.pred),
+                var: var_name(&var_names, v),
+            });
+        }
+        Ok(Rule {
+            head,
+            body: planned,
+            nvars,
+            var_names,
+        })
+    }
+
+    /// A ground fact expressed as a body-less rule.
+    pub fn fact(head: Atom) -> Result<Rule> {
+        Rule::compile(head, Vec::new(), 0, Vec::new())
+    }
+
+    /// Indices (into `body`) of the positive atoms, in plan order.
+    pub fn positive_atom_indices(&self) -> Vec<usize> {
+        self.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| matches!(b, BodyItem::Pos(_)).then_some(i))
+            .collect()
+    }
+
+    /// Rendering adapter.
+    pub fn display<'a>(&'a self, syms: &'a Interner) -> RuleDisplay<'a> {
+        RuleDisplay { rule: self, syms }
+    }
+}
+
+fn var_name(names: &[String], v: Var) -> String {
+    names
+        .get(v.index())
+        .cloned()
+        .unwrap_or_else(|| format!("?{}", v.0))
+}
+
+/// Greedily schedules `items`, given variables already `bound` from an
+/// enclosing scope (used for aggregate bodies, which share the rule's
+/// variable space). Returns the items in execution order, or the first
+/// variable that can never be bound.
+///
+/// Aggregates are always scheduled *after* every non-aggregate item, in
+/// source order: their grouping semantics depend on which correlated
+/// variables are bound, so their position must be predictable to the rule
+/// author. Guards that mention an aggregate's result run after it.
+fn plan_items(
+    items: Vec<BodyItem>,
+    outer_bound: &HashSet<Var>,
+) -> std::result::Result<Vec<BodyItem>, Var> {
+    let mut bound = outer_bound.clone();
+    let mut planned = Vec::with_capacity(items.len());
+    let (mut aggs, mut rest): (Vec<BodyItem>, Vec<BodyItem>) = {
+        let mut aggs = Vec::new();
+        let mut rest = Vec::new();
+        for it in items {
+            if matches!(it, BodyItem::Agg(_)) {
+                aggs.push(it);
+            } else {
+                rest.push(it);
+            }
+        }
+        (aggs, rest)
+    };
+    // Phase 1: positives in source order, guards flushed as soon as bound.
+    loop {
+        flush_ready(&mut rest, &mut bound, &mut planned);
+        match rest.iter().position(|b| matches!(b, BodyItem::Pos(_))) {
+            Some(pos) => {
+                let item = rest.remove(pos);
+                bound.extend(item.provided_vars());
+                planned.push(item);
+            }
+            None => break,
+        }
+    }
+    // Phase 2: aggregates in source order, flushing newly-ready guards.
+    while !aggs.is_empty() {
+        let item = aggs.remove(0);
+        if let BodyItem::Agg(agg) = &item {
+            let mut inner_bound = bound.clone();
+            inner_bound.extend(agg.group_by.iter().copied());
+            // The aggregate body must be plannable on its own.
+            plan_items(agg.body.clone(), &inner_bound)?;
+        }
+        bound.extend(item.provided_vars());
+        planned.push(item);
+        flush_ready(&mut rest, &mut bound, &mut planned);
+    }
+    // Anything left is unsatisfiable.
+    if let Some(item) = rest.first() {
+        let v = item
+            .required_vars()
+            .into_iter()
+            .find(|v| !bound.contains(v))
+            .unwrap_or(Var(0));
+        return Err(v);
+    }
+    Ok(planned)
+}
+
+/// Moves every guarded item in `rest` whose required variables are all in
+/// `bound` to the end of `planned`, repeating until a fixpoint.
+fn flush_ready(rest: &mut Vec<BodyItem>, bound: &mut HashSet<Var>, planned: &mut Vec<BodyItem>) {
+    let mut progressed = true;
+    while progressed {
+        progressed = false;
+        let mut i = 0;
+        while i < rest.len() {
+            let ready = match &rest[i] {
+                BodyItem::Pos(_) | BodyItem::Agg(_) => false,
+                other => other.required_vars().iter().all(|v| bound.contains(v)),
+            };
+            if ready {
+                let item = rest.remove(i);
+                bound.extend(item.provided_vars());
+                planned.push(item);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Pretty-printing adapter for [`Rule`].
+pub struct RuleDisplay<'a> {
+    rule: &'a Rule,
+    syms: &'a Interner,
+}
+
+impl fmt::Display for RuleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = &self.rule.var_names;
+        write!(f, "{}", atom_str(&self.rule.head, self.syms, names))?;
+        if !self.rule.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, b) in self.rule.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match b {
+                    BodyItem::Pos(a) => write!(f, "{}", atom_str(a, self.syms, names))?,
+                    BodyItem::Neg(a) => write!(f, "not {}", atom_str(a, self.syms, names))?,
+                    BodyItem::Cmp(op, l, r) => write!(
+                        f,
+                        "{} {op} {}",
+                        expr_str(l, self.syms, names),
+                        expr_str(r, self.syms, names)
+                    )?,
+                    BodyItem::Assign(t, e) => write!(
+                        f,
+                        "{} = {}",
+                        term_str(t, self.syms, names),
+                        expr_str(e, self.syms, names)
+                    )?,
+                    BodyItem::Agg(a) => {
+                        write!(f, "{} = {}{{", var_str(a.result, names), a.func)?;
+                        write!(f, "{}", term_str(&a.value, self.syms, names))?;
+                        if !a.group_by.is_empty() {
+                            let gs: Vec<String> =
+                                a.group_by.iter().map(|v| var_str(*v, names)).collect();
+                            write!(f, " [{}]", gs.join(", "))?;
+                        }
+                        write!(f, " : ")?;
+                        for (j, inner) in a.body.iter().enumerate() {
+                            if j > 0 {
+                                write!(f, ", ")?;
+                            }
+                            match inner {
+                                BodyItem::Pos(ia) => {
+                                    write!(f, "{}", atom_str(ia, self.syms, names))?
+                                }
+                                BodyItem::Neg(ia) => {
+                                    write!(f, "not {}", atom_str(ia, self.syms, names))?
+                                }
+                                BodyItem::Cmp(op, l, r) => write!(
+                                    f,
+                                    "{} {op} {}",
+                                    expr_str(l, self.syms, names),
+                                    expr_str(r, self.syms, names)
+                                )?,
+                                BodyItem::Assign(t, e) => write!(
+                                    f,
+                                    "{} = {}",
+                                    term_str(t, self.syms, names),
+                                    expr_str(e, self.syms, names)
+                                )?,
+                                BodyItem::Agg(_) => write!(f, "<nested-agg>")?,
+                            }
+                        }
+                        write!(f, "}}")?
+                    }
+                }
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// Variable rendering that survives re-parsing: prefer the recorded name
+/// (already uppercase/underscore-led by construction), fall back to a
+/// synthetic uppercase name.
+fn var_str(v: Var, names: &[String]) -> String {
+    match names.get(v.index()) {
+        Some(n) if n.starts_with(|c: char| c.is_ascii_uppercase()) => n.clone(),
+        _ => format!("V__{}", v.0),
+    }
+}
+
+fn term_str(t: &Term, syms: &Interner, names: &[String]) -> String {
+    match t {
+        Term::Var(v) => var_str(*v, names),
+        Term::Const(s) => {
+            let raw = syms.resolve(*s);
+            // Names that would not re-lex as a lowercase identifier are
+            // emitted as quoted strings.
+            let ident_ok = raw
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase())
+                && raw.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+            if ident_ok {
+                raw.to_string()
+            } else {
+                format!("{raw:?}")
+            }
+        }
+        Term::Int(i) => i.to_string(),
+        Term::Func(g, args) => {
+            let inner: Vec<String> = args.iter().map(|a| term_str(a, syms, names)).collect();
+            format!("{}({})", syms.resolve(*g), inner.join(","))
+        }
+    }
+}
+
+fn atom_str(a: &Atom, syms: &Interner, names: &[String]) -> String {
+    if a.args.is_empty() {
+        return syms.resolve(a.pred).to_string();
+    }
+    let inner: Vec<String> = a.args.iter().map(|t| term_str(t, syms, names)).collect();
+    format!("{}({})", syms.resolve(a.pred), inner.join(","))
+}
+
+fn expr_str(e: &crate::atom::Expr, syms: &Interner, names: &[String]) -> String {
+    use crate::atom::Expr;
+    match e {
+        Expr::Term(t) => term_str(t, syms, names),
+        Expr::Add(a, b) => format!("({} + {})", expr_str(a, syms, names), expr_str(b, syms, names)),
+        Expr::Sub(a, b) => format!("({} - {})", expr_str(a, syms, names), expr_str(b, syms, names)),
+        Expr::Mul(a, b) => format!("({} * {})", expr_str(a, syms, names), expr_str(b, syms, names)),
+        Expr::Div(a, b) => format!("({} / {})", expr_str(a, syms, names), expr_str(b, syms, names)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{CmpOp, Expr};
+    use crate::interner::Interner;
+
+    fn setup() -> (Interner, crate::interner::Sym, crate::interner::Sym) {
+        let mut syms = Interner::new();
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        (syms, p, q)
+    }
+
+    #[test]
+    fn safe_rule_compiles() {
+        let (_syms, p, q) = setup();
+        let head = Atom::new(p, vec![Term::Var(Var(0))]);
+        let body = vec![BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(0))]))];
+        assert!(Rule::compile(head, body, 1, vec!["X".into()]).is_ok());
+    }
+
+    #[test]
+    fn unsafe_head_var_rejected() {
+        let (_syms, p, q) = setup();
+        let head = Atom::new(p, vec![Term::Var(Var(1))]);
+        let body = vec![BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(0))]))];
+        let err = Rule::compile(head, body, 2, vec!["X".into(), "Y".into()]).unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeRule { var, .. } if var == "Y"));
+    }
+
+    #[test]
+    fn unsafe_negation_rejected() {
+        let (_syms, p, q) = setup();
+        let head = Atom::new(p, vec![Term::Var(Var(0))]);
+        let body = vec![
+            BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(0))])),
+            BodyItem::Neg(Atom::new(q, vec![Term::Var(Var(1))])),
+        ];
+        assert!(Rule::compile(head, body, 2, vec!["X".into(), "Y".into()]).is_err());
+    }
+
+    #[test]
+    fn negation_scheduled_after_binding() {
+        let (_syms, p, q) = setup();
+        let head = Atom::new(p, vec![Term::Var(Var(0))]);
+        // Source order puts the negation first; the plan must move it
+        // after the positive atom that binds X.
+        let body = vec![
+            BodyItem::Neg(Atom::new(q, vec![Term::Var(Var(0))])),
+            BodyItem::Pos(Atom::new(p, vec![Term::Var(Var(0))])),
+        ];
+        let r = Rule::compile(head, body, 1, vec!["X".into()]).unwrap();
+        assert!(matches!(r.body[0], BodyItem::Pos(_)));
+        assert!(matches!(r.body[1], BodyItem::Neg(_)));
+    }
+
+    #[test]
+    fn comparison_scheduled_eagerly() {
+        let (_syms, p, q) = setup();
+        let head = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        // X bound by first atom; X > 3 should run before the second atom.
+        let body = vec![
+            BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(0))])),
+            BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(1))])),
+            BodyItem::Cmp(
+                CmpOp::Gt,
+                Expr::Term(Term::Var(Var(0))),
+                Expr::Term(Term::Int(3)),
+            ),
+        ];
+        let r = Rule::compile(head, body, 2, vec!["X".into(), "Y".into()]).unwrap();
+        assert!(matches!(r.body[1], BodyItem::Cmp(..)), "plan: {:?}", r.body);
+    }
+
+    #[test]
+    fn assignment_binds_for_head() {
+        let (_syms, p, q) = setup();
+        let head = Atom::new(p, vec![Term::Var(Var(1))]);
+        let body = vec![
+            BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(0))])),
+            BodyItem::Assign(
+                Term::Var(Var(1)),
+                Expr::Add(
+                    Box::new(Expr::Term(Term::Var(Var(0)))),
+                    Box::new(Expr::Term(Term::Int(1))),
+                ),
+            ),
+        ];
+        assert!(Rule::compile(head, body, 2, vec!["X".into(), "Y".into()]).is_ok());
+    }
+}

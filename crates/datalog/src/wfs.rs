@@ -1,0 +1,172 @@
+//! Well-founded semantics via the alternating fixpoint.
+//!
+//! The GCM requires Datalog with well-founded negation (§3: "a declarative
+//! rule language with an intuitive semantics that expresses precisely
+//! FO(LFP)"), and the paper's nonmonotonic inheritance ("if we want to
+//! specify that it *only* projects to the latter, a nonmonotonic
+//! inheritance, e.g. using FL with well-founded semantics, can be
+//! employed", §4) needs the three-valued reading.
+//!
+//! We compute the standard alternating fixpoint: with `Γ(J)` the least
+//! model of the positive reduct wrt `J`, the sequence
+//! `L₀ = EDB, U₀ = Γ(L₀), Lᵢ₊₁ = Γ(Uᵢ), Uᵢ₊₁ = Γ(Lᵢ₊₁)` converges; the
+//! final `L` holds the well-founded *true* atoms and `U \ L` the
+//! *undefined* ones.
+
+use crate::error::{DatalogError, Result};
+use crate::eval::{gamma, EvalOptions, EvalStats, Model};
+use crate::fact::FactStore;
+use crate::rule::Rule;
+
+/// Evaluates `rules` over `edb` under the well-founded semantics.
+pub(crate) fn eval_well_founded(
+    rules: &[Rule],
+    edb: &FactStore,
+    opts: &EvalOptions,
+) -> Result<Model> {
+    let mut stats = EvalStats::default();
+    let mut lower = edb.clone();
+    let mut sweeps = 0usize;
+    loop {
+        sweeps += 1;
+        if sweeps > opts.max_iterations {
+            return Err(DatalogError::IterationLimit {
+                limit: opts.max_iterations,
+            });
+        }
+        let upper = gamma(rules, edb, &lower, &mut stats, opts)?;
+        let new_lower = gamma(rules, edb, &upper, &mut stats, opts)?;
+        // The lower sequence is monotonically increasing, so size equality
+        // implies set equality.
+        if new_lower.len() == lower.len() {
+            let mut undefined = FactStore::new();
+            for (p, t) in upper.iter() {
+                if !new_lower.contains(p, t) {
+                    undefined.insert(p, t.clone());
+                }
+            }
+            return Ok(Model {
+                facts: new_lower,
+                undefined,
+                stats,
+            });
+        }
+        lower = new_lower;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, BodyItem};
+    use crate::fact::FactStore;
+    use crate::interner::Interner;
+    use crate::term::{Term, Var};
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    /// The classic "win" example: a position is winning iff some move
+    /// leads to a non-winning position. On a cycle, positions come out
+    /// undefined; on a finite path, they alternate.
+    #[test]
+    fn win_move_game() {
+        let mut syms = Interner::new();
+        let mv = syms.intern("move");
+        let win = syms.intern("win");
+        let mut edb = FactStore::new();
+        let n: Vec<Term> = (0..4).map(|i| Term::Const(syms.intern(&format!("p{i}")))).collect();
+        // Path: p0 -> p1 -> p2 (p2 terminal: lost). Cycle: p3 -> p3.
+        edb.insert(mv, vec![n[0].clone(), n[1].clone()].into());
+        edb.insert(mv, vec![n[1].clone(), n[2].clone()].into());
+        edb.insert(mv, vec![n[3].clone(), n[3].clone()].into());
+        let rules = vec![Rule::compile(
+            Atom::new(win, vec![v(0)]),
+            vec![
+                BodyItem::Pos(Atom::new(mv, vec![v(0), v(1)])),
+                BodyItem::Neg(Atom::new(win, vec![v(1)])),
+            ],
+            2,
+            vec!["X".into(), "Y".into()],
+        )
+        .unwrap()];
+        let m = eval_well_founded(&rules, &edb, &EvalOptions::default()).unwrap();
+        // p2 has no moves: lost => p1 wins => p0 loses.
+        assert!(m.holds(win, &[n[1].clone()]));
+        assert!(!m.holds(win, &[n[0].clone()]));
+        assert!(!m.is_undefined(win, &[n[0].clone()]));
+        assert!(!m.holds(win, &[n[2].clone()]));
+        // The self-loop position is undefined.
+        assert!(m.is_undefined(win, &[n[3].clone()]));
+    }
+
+    /// A stratified program evaluated through the WFS path must agree with
+    /// the stratified evaluator (no undefined atoms).
+    #[test]
+    fn wfs_agrees_with_stratified_on_stratified_programs() {
+        let mut syms = Interner::new();
+        let node = syms.intern("node");
+        let marked = syms.intern("marked");
+        let un = syms.intern("unmarked");
+        let mut edb = FactStore::new();
+        let a = Term::Const(syms.intern("a"));
+        let b = Term::Const(syms.intern("b"));
+        edb.insert(node, vec![a.clone()].into());
+        edb.insert(node, vec![b.clone()].into());
+        edb.insert(marked, vec![a.clone()].into());
+        let rules = vec![Rule::compile(
+            Atom::new(un, vec![v(0)]),
+            vec![
+                BodyItem::Pos(Atom::new(node, vec![v(0)])),
+                BodyItem::Neg(Atom::new(marked, vec![v(0)])),
+            ],
+            1,
+            vec!["X".into()],
+        )
+        .unwrap()];
+        let m = eval_well_founded(&rules, &edb, &EvalOptions::default()).unwrap();
+        assert!(m.holds(un, &[b]));
+        assert!(!m.holds(un, &[a]));
+        assert!(m.undefined.is_empty());
+    }
+
+    /// Mutual negation with no base facts: both atoms undefined.
+    #[test]
+    fn mutual_negation_undefined() {
+        let mut syms = Interner::new();
+        let item = syms.intern("item");
+        let p = syms.intern("p");
+        let q = syms.intern("q");
+        let mut edb = FactStore::new();
+        let a = Term::Const(syms.intern("a"));
+        edb.insert(item, vec![a.clone()].into());
+        let rules = vec![
+            Rule::compile(
+                Atom::new(p, vec![v(0)]),
+                vec![
+                    BodyItem::Pos(Atom::new(item, vec![v(0)])),
+                    BodyItem::Neg(Atom::new(q, vec![v(0)])),
+                ],
+                1,
+                vec!["X".into()],
+            )
+            .unwrap(),
+            Rule::compile(
+                Atom::new(q, vec![v(0)]),
+                vec![
+                    BodyItem::Pos(Atom::new(item, vec![v(0)])),
+                    BodyItem::Neg(Atom::new(p, vec![v(0)])),
+                ],
+                1,
+                vec!["X".into()],
+            )
+            .unwrap(),
+        ];
+        let m = eval_well_founded(&rules, &edb, &EvalOptions::default()).unwrap();
+        assert!(m.is_undefined(p, std::slice::from_ref(&a)));
+        assert!(m.is_undefined(q, std::slice::from_ref(&a)));
+        assert!(!m.holds(p, std::slice::from_ref(&a)));
+        assert!(!m.holds(q, &[a]));
+    }
+}

@@ -1,0 +1,579 @@
+//! Description-logic axioms and their lowering onto the domain-map graph.
+//!
+//! The paper formalizes domain knowledge as DL statements like
+//!
+//! ```text
+//! Neuron ⊑ ∃has.Compartment
+//! Spiny_Neuron ≡ Neuron ⊓ ∃has.Spine
+//! Purkinje_Cell, Pyramidal_Cell ⊑ Spiny_Neuron
+//! MyNeuron ⊑ Medium_Spiny_Neuron ⊓ ∃proj.GPE ⊓ ∀has.MyDendrite
+//! ```
+//!
+//! This module gives those statements a concrete text syntax —
+//!
+//! ```text
+//! Neuron < exists has.Compartment.
+//! Spiny_Neuron = Neuron and exists has.Spine.
+//! Purkinje_Cell, Pyramidal_Cell < Spiny_Neuron.
+//! MyNeuron < Medium_Spiny_Neuron and exists proj.GPE and all has.MyDendrite.
+//! MSN < exists proj.(A or B or C).
+//! ```
+//!
+//! — and lowers each axiom to edges per Definition 1. Per the paper,
+//! "when unique, AND nodes are omitted and outgoing arcs directly attached
+//! to the concept being defined": a `<` axiom attaches its top-level
+//! conjuncts directly to the subject concept; nested expressions create
+//! anonymous AND/OR nodes.
+
+use crate::error::DmError;
+use crate::graph::{DomainMap, EdgeKind, NodeId};
+use std::fmt;
+
+/// A DL concept expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConceptExpr {
+    /// A named concept.
+    Atomic(String),
+    /// `C₁ ⊓ … ⊓ Cₙ`
+    And(Vec<ConceptExpr>),
+    /// `C₁ ⊔ … ⊔ Cₙ`
+    Or(Vec<ConceptExpr>),
+    /// `∃r.C`
+    Exists(String, Box<ConceptExpr>),
+    /// `∀r.C`
+    Forall(String, Box<ConceptExpr>),
+}
+
+impl fmt::Display for ConceptExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConceptExpr::Atomic(n) => f.write_str(n),
+            ConceptExpr::And(ms) => {
+                let parts: Vec<String> = ms.iter().map(|m| m.to_string()).collect();
+                write!(f, "({})", parts.join(" and "))
+            }
+            ConceptExpr::Or(ms) => {
+                let parts: Vec<String> = ms.iter().map(|m| m.to_string()).collect();
+                write!(f, "({})", parts.join(" or "))
+            }
+            ConceptExpr::Exists(r, c) => write!(f, "exists {r}.{c}"),
+            ConceptExpr::Forall(r, c) => write!(f, "all {r}.{c}"),
+        }
+    }
+}
+
+/// The axiom operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxiomOp {
+    /// `⊑` (written `<`).
+    Sub,
+    /// `≡` (written `=`).
+    Eqv,
+}
+
+/// A DL axiom: one or more subject concepts related to an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axiom {
+    /// Subject concept names (the comma list on the left).
+    pub subjects: Vec<String>,
+    /// `⊑` or `≡`.
+    pub op: AxiomOp,
+    /// The right-hand expression.
+    pub rhs: ConceptExpr,
+}
+
+impl fmt::Display for Axiom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            AxiomOp::Sub => "<",
+            AxiomOp::Eqv => "=",
+        };
+        write!(f, "{} {op} {}.", self.subjects.join(", "), self.rhs)
+    }
+}
+
+/// Parses a single concept expression (no trailing `.`), e.g.
+/// `"Neuron and exists has.Spine"`.
+pub fn parse_concept_expr(src: &str) -> Result<ConceptExpr, DmError> {
+    let mut p = AxParser { src, pos: 0 };
+    let e = p.or_expr()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after concept expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a sequence of axioms (each terminated by `.`).
+pub fn parse_axioms(src: &str) -> Result<Vec<Axiom>, DmError> {
+    let mut p = AxParser { src, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            return Ok(out);
+        }
+        out.push(p.axiom()?);
+    }
+}
+
+struct AxParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl AxParser<'_> {
+    fn err(&self, msg: &str) -> DmError {
+        DmError::AxiomParse {
+            offset: self.pos,
+            message: msg.to_string(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            let r = self.rest();
+            let trimmed = r.trim_start();
+            self.pos += r.len() - trimmed.len();
+            if self.rest().starts_with('%') || self.rest().starts_with("//") {
+                match self.rest().find('\n') {
+                    Some(i) => self.pos += i,
+                    None => self.pos = self.src.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Result<String, DmError> {
+        self.skip_ws();
+        let start = self.pos;
+        let n: usize = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .map(char::len_utf8)
+            .sum();
+        self.pos += n;
+        if n == 0 {
+            Err(self.err("expected name"))
+        } else {
+            Ok(self.src[start..self.pos].to_string())
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(kw) {
+            let after = self.rest()[kw.len()..].chars().next();
+            if !after.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn axiom(&mut self) -> Result<Axiom, DmError> {
+        let mut subjects = vec![self.name()?];
+        while self.eat(",") {
+            subjects.push(self.name()?);
+        }
+        let op = if self.eat("<") {
+            AxiomOp::Sub
+        } else if self.eat("=") {
+            AxiomOp::Eqv
+        } else {
+            return Err(self.err("expected `<` or `=`"));
+        };
+        let rhs = self.or_expr()?;
+        if !self.eat(".") {
+            return Err(self.err("expected `.`"));
+        }
+        Ok(Axiom { subjects, op, rhs })
+    }
+
+    fn or_expr(&mut self) -> Result<ConceptExpr, DmError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.keyword("or") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            ConceptExpr::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<ConceptExpr, DmError> {
+        let mut parts = vec![self.prim()?];
+        while self.keyword("and") {
+            parts.push(self.prim()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            ConceptExpr::And(parts)
+        })
+    }
+
+    fn prim(&mut self) -> Result<ConceptExpr, DmError> {
+        if self.eat("(") {
+            let e = self.or_expr()?;
+            if !self.eat(")") {
+                return Err(self.err("expected `)`"));
+            }
+            return Ok(e);
+        }
+        if self.keyword("exists") {
+            let role = self.name()?;
+            if !self.eat(".") {
+                return Err(self.err("expected `.` after role"));
+            }
+            return Ok(ConceptExpr::Exists(role, Box::new(self.prim()?)));
+        }
+        if self.keyword("all") {
+            let role = self.name()?;
+            if !self.eat(".") {
+                return Err(self.err("expected `.` after role"));
+            }
+            return Ok(ConceptExpr::Forall(role, Box::new(self.prim()?)));
+        }
+        self.name().map(ConceptExpr::Atomic)
+    }
+}
+
+
+/// Serializes a domain map back to DL axiom text — the inverse of
+/// [`load_axioms`], used to ship a map (or "a source's local copy of the
+/// DM", §4 footnote) over the wire. Anonymous AND/OR nodes are folded
+/// back into expressions; reloading the output yields a map with the
+/// same resolved semantics (see the round-trip test).
+pub fn to_axioms(dm: &DomainMap) -> String {
+    let mut out = String::new();
+    for (c, name) in dm.concepts() {
+        for edge in dm.out_edges(c) {
+            let rhs = match &edge.kind {
+                EdgeKind::Isa => node_expr(dm, edge.to),
+                EdgeKind::Eqv => node_expr(dm, edge.to),
+                EdgeKind::Ex(r) => node_expr(dm, edge.to)
+                    .map(|e| ConceptExpr::Exists(r.clone(), Box::new(e))),
+                EdgeKind::All(r) => node_expr(dm, edge.to)
+                    .map(|e| ConceptExpr::Forall(r.clone(), Box::new(e))),
+                EdgeKind::Member => None,
+            };
+            if let Some(rhs) = rhs {
+                let op = if edge.kind == EdgeKind::Eqv { "=" } else { "<" };
+                out.push_str(&format!("{name} {op} {rhs}.\n"));
+            }
+        }
+        // A bare concept with no edges still needs to exist on reload
+        // (a reflexive subsumption is a no-op under the FL axioms).
+        if dm.out_edges(c).next().is_none() && dm.in_edges(c).next().is_none() {
+            out.push_str(&format!("{name} < {name}.\n"));
+        }
+    }
+    out
+}
+
+/// Reconstructs the expression a node denotes (named concepts directly;
+/// AND/OR nodes from their outgoing edges). Returns `None` for nodes
+/// whose shape cannot be expressed (should not occur for maps built by
+/// this module).
+fn node_expr(dm: &DomainMap, node: NodeId) -> Option<ConceptExpr> {
+    use crate::graph::NodeKind;
+    match dm.node_kind(node) {
+        NodeKind::Concept(n) => Some(ConceptExpr::Atomic(n.clone())),
+        NodeKind::And | NodeKind::Or => {
+            let mut members = Vec::new();
+            for e in dm.out_edges(node) {
+                let m = match &e.kind {
+                    EdgeKind::Member => node_expr(dm, e.to)?,
+                    EdgeKind::Ex(r) => {
+                        ConceptExpr::Exists(r.clone(), Box::new(node_expr(dm, e.to)?))
+                    }
+                    EdgeKind::All(r) => {
+                        ConceptExpr::Forall(r.clone(), Box::new(node_expr(dm, e.to)?))
+                    }
+                    _ => return None,
+                };
+                members.push(m);
+            }
+            if members.is_empty() {
+                return None;
+            }
+            Some(if members.len() == 1 {
+                members.pop().expect("one member")
+            } else if matches!(dm.node_kind(node), NodeKind::And) {
+                ConceptExpr::And(members)
+            } else {
+                ConceptExpr::Or(members)
+            })
+        }
+    }
+}
+
+/// Lowers an expression to a node (creating anonymous nodes as needed).
+pub fn lower_expr(dm: &mut DomainMap, expr: &ConceptExpr) -> NodeId {
+    match expr {
+        ConceptExpr::Atomic(n) => dm.concept(n),
+        ConceptExpr::And(ms) => {
+            let node = dm.and_node(&[]);
+            for m in ms {
+                attach_member(dm, node, m);
+            }
+            node
+        }
+        ConceptExpr::Or(ms) => {
+            let node = dm.or_node(&[]);
+            for m in ms {
+                attach_member(dm, node, m);
+            }
+            node
+        }
+        // A bare quantified expression gets a single-conjunct AND node so
+        // it has a graph identity (e.g. `IRC = exists regulates.IA`).
+        ConceptExpr::Exists(..) | ConceptExpr::Forall(..) => {
+            let node = dm.and_node(&[]);
+            attach_member(dm, node, expr);
+            node
+        }
+    }
+}
+
+fn attach_member(dm: &mut DomainMap, node: NodeId, member: &ConceptExpr) {
+    match member {
+        ConceptExpr::Atomic(n) => {
+            let m = dm.concept(n);
+            dm.add_edge(node, m, EdgeKind::Member);
+        }
+        ConceptExpr::Exists(r, inner) => {
+            let t = lower_expr(dm, inner);
+            dm.add_edge(node, t, EdgeKind::Ex(r.clone()));
+        }
+        ConceptExpr::Forall(r, inner) => {
+            let t = lower_expr(dm, inner);
+            dm.add_edge(node, t, EdgeKind::All(r.clone()));
+        }
+        nested @ (ConceptExpr::And(_) | ConceptExpr::Or(_)) => {
+            let t = lower_expr(dm, nested);
+            dm.add_edge(node, t, EdgeKind::Member);
+        }
+    }
+}
+
+/// Applies an axiom to the graph. `<` attaches top-level conjuncts
+/// directly to each subject (omitting the AND node, as in the figures);
+/// `=` adds an `eqv` edge to the lowered right-hand side.
+pub fn apply_axiom(dm: &mut DomainMap, ax: &Axiom) {
+    for subject in &ax.subjects {
+        let c = dm.concept(subject);
+        match ax.op {
+            AxiomOp::Sub => attach_sub(dm, c, &ax.rhs),
+            AxiomOp::Eqv => {
+                let n = lower_expr(dm, &ax.rhs);
+                dm.add_edge(c, n, EdgeKind::Eqv);
+            }
+        }
+    }
+}
+
+fn attach_sub(dm: &mut DomainMap, c: NodeId, expr: &ConceptExpr) {
+    match expr {
+        ConceptExpr::And(ms) => {
+            for m in ms {
+                attach_sub(dm, c, m);
+            }
+        }
+        ConceptExpr::Atomic(n) => {
+            let d = dm.concept(n);
+            dm.add_edge(c, d, EdgeKind::Isa);
+        }
+        ConceptExpr::Exists(r, inner) => {
+            let t = lower_expr(dm, inner);
+            dm.add_edge(c, t, EdgeKind::Ex(r.clone()));
+        }
+        ConceptExpr::Forall(r, inner) => {
+            let t = lower_expr(dm, inner);
+            dm.add_edge(c, t, EdgeKind::All(r.clone()));
+        }
+        or @ ConceptExpr::Or(_) => {
+            let t = lower_expr(dm, or);
+            dm.add_edge(c, t, EdgeKind::Isa);
+        }
+    }
+}
+
+/// Parses axioms and applies them all to `dm`.
+pub fn load_axioms(dm: &mut DomainMap, src: &str) -> Result<Vec<Axiom>, DmError> {
+    let axioms = parse_axioms(src)?;
+    for ax in &axioms {
+        apply_axiom(dm, ax);
+    }
+    Ok(axioms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn parses_simple_subsumption() {
+        let axs = parse_axioms("Axon, Dendrite, Soma < Compartment.").unwrap();
+        assert_eq!(axs.len(), 1);
+        assert_eq!(axs[0].subjects, vec!["Axon", "Dendrite", "Soma"]);
+        assert_eq!(axs[0].op, AxiomOp::Sub);
+        assert_eq!(axs[0].rhs, ConceptExpr::Atomic("Compartment".into()));
+    }
+
+    #[test]
+    fn parses_exists_and_conjunction() {
+        let axs = parse_axioms("Spiny_Neuron = Neuron and exists has.Spine.").unwrap();
+        let ConceptExpr::And(ms) = &axs[0].rhs else {
+            panic!("{:?}", axs[0].rhs)
+        };
+        assert_eq!(ms.len(), 2);
+        assert!(matches!(&ms[1], ConceptExpr::Exists(r, _) if r == "has"));
+    }
+
+    #[test]
+    fn parses_or_groups() {
+        let axs = parse_axioms("M < exists proj.(A or B or C).").unwrap();
+        let ConceptExpr::Exists(_, inner) = &axs[0].rhs else {
+            panic!()
+        };
+        assert!(matches!(&**inner, ConceptExpr::Or(ms) if ms.len() == 3));
+    }
+
+    #[test]
+    fn parses_forall() {
+        let axs = parse_axioms("MyNeuron < all has.MyDendrite.").unwrap();
+        assert!(matches!(&axs[0].rhs, ConceptExpr::Forall(r, _) if r == "has"));
+    }
+
+    #[test]
+    fn roundtrip_display_reparses() {
+        let src = "MyNeuron < Medium_Spiny_Neuron and exists proj.GPE and all has.MyDendrite.";
+        let axs = parse_axioms(src).unwrap();
+        let printed = axs[0].to_string();
+        let axs2 = parse_axioms(&printed).unwrap();
+        assert_eq!(axs, axs2);
+    }
+
+    #[test]
+    fn sub_axiom_attaches_edges_directly() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Neuron < exists has.Compartment.").unwrap();
+        let n = dm.lookup("Neuron").unwrap();
+        let out: Vec<_> = dm.out_edges(n).collect();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, EdgeKind::Ex("has".into()));
+        assert_eq!(dm.name(out[0].to), Some("Compartment"));
+    }
+
+    #[test]
+    fn eqv_axiom_creates_and_node() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Spiny_Neuron = Neuron and exists has.Spine.").unwrap();
+        let s = dm.lookup("Spiny_Neuron").unwrap();
+        let eqv: Vec<_> = dm
+            .out_edges(s)
+            .filter(|e| e.kind == EdgeKind::Eqv)
+            .collect();
+        assert_eq!(eqv.len(), 1);
+        let target = eqv[0].to;
+        assert!(matches!(dm.node_kind(target), NodeKind::And));
+        assert_eq!(dm.out_edges(target).count(), 2);
+    }
+
+    #[test]
+    fn or_target_becomes_or_node() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "M < exists proj.(A or B).").unwrap();
+        let m = dm.lookup("M").unwrap();
+        let e: Vec<_> = dm.out_edges(m).collect();
+        let target = e[0].to;
+        assert!(matches!(dm.node_kind(target), NodeKind::Or));
+        assert_eq!(dm.out_edges(target).count(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let err = parse_axioms("Neuron < ").unwrap_err();
+        assert!(matches!(err, DmError::AxiomParse { .. }));
+    }
+
+    #[test]
+    fn to_axioms_roundtrips_semantics() {
+        use crate::figures;
+        use crate::ops::Resolved;
+        for original in [figures::figure1(), figures::figure3()] {
+            let text = to_axioms(&original);
+            let mut reloaded = DomainMap::new();
+            load_axioms(&mut reloaded, &text)
+                .unwrap_or_else(|e| panic!("reload failed: {e}\n{text}"));
+            let r1 = Resolved::new(&original);
+            let r2 = Resolved::new(&reloaded);
+            // Same concept set.
+            let mut n1: Vec<&str> = original.concepts().map(|(_, n)| n).collect();
+            let mut n2: Vec<&str> = reloaded.concepts().map(|(_, n)| n).collect();
+            n1.sort();
+            n2.sort();
+            assert_eq!(n1, n2);
+            // Same resolved isa and role semantics, name-wise.
+            for (a, an) in original.concepts() {
+                for (b, bn) in original.concepts() {
+                    let (a2, b2) = (reloaded.lookup(an).unwrap(), reloaded.lookup(bn).unwrap());
+                    assert_eq!(
+                        r1.is_subconcept(a, b),
+                        r2.is_subconcept(a2, b2),
+                        "isa mismatch {an} vs {bn}"
+                    );
+                }
+            }
+            for role in original.roles() {
+                let p1: std::collections::HashSet<(String, String)> = r1
+                    .dc_pairs(role)
+                    .into_iter()
+                    .filter_map(|(x, y)| {
+                        Some((original.name(x)?.to_string(), original.name(y)?.to_string()))
+                    })
+                    .collect();
+                let p2: std::collections::HashSet<(String, String)> = r2
+                    .dc_pairs(role)
+                    .into_iter()
+                    .filter_map(|(x, y)| {
+                        Some((reloaded.name(x)?.to_string(), reloaded.name(y)?.to_string()))
+                    })
+                    .collect();
+                assert_eq!(p1, p2, "role {role} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let axs = parse_axioms("% intro\nA < B. // end\n%tail").unwrap();
+        assert_eq!(axs.len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! GraphViz (DOT) rendering of domain maps — the visual form the paper
+//! uses in Figures 1 and 3 ("unlabeled, gray edges ≙ isa ≙ ⊑").
+
+use crate::graph::{DomainMap, EdgeKind, NodeKind};
+use std::fmt::Write;
+
+/// Renders the map as a DOT digraph. Concept nodes are boxes; AND/OR
+/// nodes are small diamonds labeled accordingly; isa edges are gray and
+/// unlabeled; role edges carry their role name; `=` edges are labeled
+/// `=`; `ALL:` edges are labeled `ALL: r` — matching the figures'
+/// conventions.
+pub fn to_dot(dm: &DomainMap, highlight: &[&str]) -> String {
+    let mut out = String::from("digraph domain_map {\n  rankdir=BT;\n  node [fontsize=10];\n");
+    for id in dm.node_ids() {
+        match dm.node_kind(id) {
+            NodeKind::Concept(name) => {
+                let style = if highlight.contains(&name.as_str()) {
+                    ", style=filled, fillcolor=gray30, fontcolor=white"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  {id} [label=\"{name}\", shape=box{style}];");
+            }
+            NodeKind::And => {
+                let _ = writeln!(out, "  {id} [label=\"AND\", shape=diamond, fontsize=8];");
+            }
+            NodeKind::Or => {
+                let _ = writeln!(out, "  {id} [label=\"OR\", shape=diamond, fontsize=8];");
+            }
+        }
+    }
+    for e in dm.edges() {
+        let attrs = match &e.kind {
+            EdgeKind::Isa | EdgeKind::Member => "color=gray".to_string(),
+            EdgeKind::Ex(r) => format!("label=\"{r}\""),
+            EdgeKind::All(r) => format!("label=\"ALL: {r}\""),
+            EdgeKind::Eqv => "label=\"=\"".to_string(),
+        };
+        let _ = writeln!(out, "  {} -> {} [{attrs}];", e.from, e.to);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{figure1, figure3};
+
+    #[test]
+    fn figure1_renders() {
+        let dot = to_dot(&figure1(), &[]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"Neuron\""));
+        assert!(dot.contains("label=\"has\""));
+        assert!(dot.contains("label=\"=\""));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn figure3_highlights_registered_concepts() {
+        let dot = to_dot(&figure3(), &["MyNeuron", "MyDendrite"]);
+        // Dark nodes as in the figure.
+        let dark = dot.matches("fillcolor=gray30").count();
+        assert_eq!(dark, 2);
+        assert!(dot.contains("label=\"ALL: has\""));
+    }
+
+    #[test]
+    fn node_and_edge_counts_match_graph() {
+        let dm = figure1();
+        let dot = to_dot(&dm, &[]);
+        let node_lines = dot.lines().filter(|l| l.contains("shape=")).count();
+        assert_eq!(node_lines, dm.node_count());
+        let edge_lines = dot.lines().filter(|l| l.contains(" -> ")).count();
+        assert_eq!(edge_lines, dm.edge_count());
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the domain-map crate.
+
+use std::fmt;
+
+/// Errors from domain-map parsing, lowering, or execution.
+#[derive(Debug)]
+pub enum DmError {
+    /// Malformed DL axiom text.
+    AxiomParse {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Description.
+        message: String,
+    },
+    /// A named concept does not exist in the map.
+    UnknownConcept {
+        /// The missing name.
+        name: String,
+    },
+    /// Error from the deductive engine.
+    Datalog(kind_datalog::DatalogError),
+}
+
+impl fmt::Display for DmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmError::AxiomParse { offset, message } => {
+                write!(f, "axiom parse error at offset {offset}: {message}")
+            }
+            DmError::UnknownConcept { name } => write!(f, "unknown concept `{name}`"),
+            DmError::Datalog(e) => write!(f, "datalog: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DmError::Datalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kind_datalog::DatalogError> for DmError {
+    fn from(e: kind_datalog::DatalogError) -> Self {
+        DmError::Datalog(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, DmError>;

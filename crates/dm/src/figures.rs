@@ -1,0 +1,250 @@
+//! The paper's concrete domain maps — Figure 1 and Figure 3 — plus a
+//! parameterized anatomy generator for scaling experiments.
+//!
+//! The paper's ANATOM source is a large curated neuroanatomy ontology we
+//! do not have; [`anatomy_generated`] grows anatomically-shaped maps
+//! (partonomy trees with specialization layers) of configurable size as a
+//! stand-in (see DESIGN.md, "Substitutions").
+
+use crate::axiom::load_axioms;
+use crate::graph::DomainMap;
+
+/// The DL axioms of Example 1, exactly as listed in §1 of the paper.
+pub const FIGURE1_AXIOMS: &str = "
+    % Domain map for SYNAPSE and NCMIR (Figure 1)
+    Neuron < exists has.Compartment.
+    Axon, Dendrite, Soma < Compartment.
+    Spiny_Neuron = Neuron and exists has.Spine.
+    Purkinje_Cell, Pyramidal_Cell < Spiny_Neuron.
+    Dendrite < exists has.Branch.
+    Shaft < Branch and exists has.Spine.
+    Spine < exists contains.Ion_Binding_Protein.
+    Spine < Ion_Regulating_Component.
+    Ion_Activity < exists subprocess_of.Neurotransmission.
+    Ion_Binding_Protein < Protein and exists controls.Ion_Activity.
+    Ion_Regulating_Component = exists regulates.Ion_Activity.
+";
+
+/// The base domain map of Figure 3 (light nodes), before `MyNeuron` /
+/// `MyDendrite` are registered.
+pub const FIGURE3_BASE_AXIOMS: &str = "
+    Neostriatum < exists has.Medium_Spiny_Neuron.
+    Medium_Spiny_Neuron < Spiny_Neuron.
+    Spiny_Neuron < Neuron.
+    Neuron < exists has.Compartment.
+    Soma, Axon, Dendrite < Compartment.
+    GABA, Substance_P, Dopamine_R < Neurotransmitter.
+    Medium_Spiny_Neuron < exists exp.(GABA or Substance_P or Dopamine_R).
+    Medium_Spiny_Neuron <
+        exists proj.(Substantia_nigra_pr or Substantia_nigra_pc or
+                     Globus_Pallidus_External or Globus_Pallidus_Internal).
+";
+
+/// The knowledge a source sends to register `MyNeuron` and `MyDendrite`
+/// (Figure 3, dark nodes):
+///
+/// > `MyDendrite ≡ Dendrite ⊓ ∃exp.Dopamine_R` —
+/// > `MyNeuron ⊑ Medium_Spiny_Neuron ⊓ ∃proj.Globus_pallidus_external ⊓
+/// >  ∀has.MyDendrite`
+pub const FIGURE3_REGISTRATION_AXIOMS: &str = "
+    MyDendrite = Dendrite and exists exp.Dopamine_R.
+    MyNeuron < Medium_Spiny_Neuron
+               and exists proj.Globus_Pallidus_External
+               and all has.MyDendrite.
+";
+
+/// Builds the Figure 1 domain map.
+pub fn figure1() -> DomainMap {
+    let mut dm = DomainMap::new();
+    load_axioms(&mut dm, FIGURE1_AXIOMS).expect("figure 1 axioms are well-formed");
+    dm
+}
+
+/// Builds the Figure 3 base map (before registration).
+pub fn figure3_base() -> DomainMap {
+    let mut dm = DomainMap::new();
+    load_axioms(&mut dm, FIGURE3_BASE_AXIOMS).expect("figure 3 axioms are well-formed");
+    dm
+}
+
+/// Builds the full Figure 3 map (after registering the new knowledge).
+pub fn figure3() -> DomainMap {
+    let mut dm = figure3_base();
+    load_axioms(&mut dm, FIGURE3_REGISTRATION_AXIOMS)
+        .expect("figure 3 registration axioms are well-formed");
+    dm
+}
+
+/// A deterministic, anatomically-shaped domain map: a `has_a` partonomy
+/// tree of the given `depth` and `fanout` rooted at `Nervous_System`,
+/// where every region also has `specializations` isa-children (so the
+/// deductive closure `dc(has_a)` has real work to do).
+///
+/// Node counts: `(fanout^(depth+1) - 1) / (fanout - 1)` regions, each
+/// with `specializations` extra concepts.
+pub fn anatomy_generated(depth: usize, fanout: usize, specializations: usize) -> DomainMap {
+    let mut dm = DomainMap::new();
+    dm.concept("Nervous_System");
+    dm.isa("Nervous_System", "Anatomical_Entity");
+    let mut frontier = vec!["Nervous_System".to_string()];
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for parent in &frontier {
+            for k in 0..fanout {
+                let child = format!("{parent}_r{level}{k}");
+                dm.ex(parent, "has_a", &child);
+                dm.isa(&child, "Anatomical_Entity");
+                for s in 0..specializations {
+                    let spec = format!("{child}_s{s}");
+                    dm.isa(&spec, &child);
+                }
+                next.push(child);
+            }
+        }
+        frontier = next;
+    }
+    dm
+}
+
+/// The leaf regions of a generated anatomy (useful for anchoring data).
+pub fn anatomy_leaves(depth: usize, fanout: usize) -> Vec<String> {
+    let mut frontier = vec!["Nervous_System".to_string()];
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for parent in &frontier {
+            for k in 0..fanout {
+                next.push(format!("{parent}_r{level}{k}"));
+            }
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, NodeKind};
+    use crate::ops::Resolved;
+
+    #[test]
+    fn figure1_has_all_named_concepts() {
+        let dm = figure1();
+        for name in [
+            "Neuron",
+            "Compartment",
+            "Axon",
+            "Dendrite",
+            "Soma",
+            "Spiny_Neuron",
+            "Purkinje_Cell",
+            "Pyramidal_Cell",
+            "Spine",
+            "Branch",
+            "Shaft",
+            "Ion_Binding_Protein",
+            "Ion_Regulating_Component",
+            "Ion_Activity",
+            "Neurotransmission",
+            "Protein",
+        ] {
+            assert!(dm.lookup(name).is_some(), "missing concept {name}");
+        }
+    }
+
+    #[test]
+    fn figure1_roles_match_the_figure() {
+        let dm = figure1();
+        let mut roles = dm.roles();
+        roles.sort_unstable();
+        assert_eq!(
+            roles,
+            vec!["contains", "controls", "has", "regulates", "subprocess_of"]
+        );
+    }
+
+    #[test]
+    fn figure1_knowledge_chain_connects_the_two_worlds() {
+        // The paper's point: SYNAPSE (spine morphology) and NCMIR
+        // (protein localization) connect through the domain map. Check
+        // the chain: Purkinje_Cell ⊑ Spiny_Neuron (≡ Neuron ⊓ ∃has.Spine),
+        // Spine contains Ion_Binding_Protein ⊑ Protein.
+        let dm = figure1();
+        let r = Resolved::new(&dm);
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let neuron = dm.lookup("Neuron").unwrap();
+        assert!(r.is_subconcept(pc, neuron));
+        let spine = dm.lookup("Spine").unwrap();
+        let ibp = dm.lookup("Ion_Binding_Protein").unwrap();
+        assert!(r.role_pairs("contains").contains(&(spine, ibp)));
+        let protein = dm.lookup("Protein").unwrap();
+        assert!(r.is_subconcept(ibp, protein));
+        // Purkinje cells inherit the spine link from Spiny_Neuron:
+        assert!(r.dc_pairs("has").contains(&(pc, spine)));
+    }
+
+    #[test]
+    fn figure3_or_nodes_for_projection_targets() {
+        let dm = figure3_base();
+        let msn = dm.lookup("Medium_Spiny_Neuron").unwrap();
+        let proj_targets: Vec<_> = dm
+            .out_edges(msn)
+            .filter(|e| matches!(&e.kind, EdgeKind::Ex(r) if r == "proj"))
+            .collect();
+        assert_eq!(proj_targets.len(), 1);
+        assert!(matches!(dm.node_kind(proj_targets[0].to), NodeKind::Or));
+        assert_eq!(dm.out_edges(proj_targets[0].to).count(), 4);
+    }
+
+    #[test]
+    fn figure3_registration_adds_dark_nodes() {
+        let base = figure3_base();
+        let full = figure3();
+        assert!(base.lookup("MyNeuron").is_none());
+        assert!(full.lookup("MyNeuron").is_some());
+        assert!(full.lookup("MyDendrite").is_some());
+        // "MyNeuron, like any Medium_Spiny_Neuron, projects to certain
+        // structures … it follows that MyNeuron definitely projects to
+        // Globus Pallidus External":
+        let r = Resolved::new(&full);
+        let mn = full.lookup("MyNeuron").unwrap();
+        let gpe = full.lookup("Globus_Pallidus_External").unwrap();
+        assert!(r.dc_pairs("proj").contains(&(mn, gpe)));
+        // MyDendrite is recognized as a Dendrite.
+        let md = full.lookup("MyDendrite").unwrap();
+        let d = full.lookup("Dendrite").unwrap();
+        assert!(r.is_subconcept(md, d));
+    }
+
+    #[test]
+    fn registration_does_not_touch_base_concepts() {
+        // §4: a source can anchor data "without changing the latter" and
+        // refinements only add; existing nodes/edges stay.
+        let base = figure3_base();
+        let full = figure3();
+        for (_, name) in base.concepts() {
+            assert!(full.lookup(name).is_some());
+        }
+        assert!(full.node_count() > base.node_count());
+        assert!(full.edge_count() > base.edge_count());
+    }
+
+    #[test]
+    fn generated_anatomy_sizes() {
+        let dm = anatomy_generated(2, 3, 1);
+        // regions: 1 + 3 + 9 = 13, each non-root with 1 specialization
+        // (12), plus Anatomical_Entity: 13 + 12 + 1 = 26.
+        assert_eq!(dm.concepts().count(), 26);
+        let leaves = anatomy_leaves(2, 3);
+        assert_eq!(leaves.len(), 9);
+        assert!(dm.lookup(&leaves[0]).is_some());
+    }
+
+    #[test]
+    fn generated_anatomy_is_deterministic() {
+        let a = anatomy_generated(3, 2, 2);
+        let b = anatomy_generated(3, 2, 2);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

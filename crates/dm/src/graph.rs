@@ -1,0 +1,291 @@
+//! The domain-map graph: concepts, roles, and the six edge kinds of
+//! Definition 1.
+//!
+//! A domain map is "a finite set comprising (i) description logic facts,
+//! and (ii) logic rules, both involving finite sets C (concepts) and R
+//! (roles). Facts are visualized as edge-labeled digraphs." The DL
+//! formulas for edges:
+//!
+//! | edge                | DL reading            |
+//! |---------------------|-----------------------|
+//! | `C → D`             | `C ⊑ D` (isa)         |
+//! | `C —r→ D`           | `C ⊑ ∃r.D` (ex)       |
+//! | `C —ALL:r→ D`       | `C ⊑ ∀r.D` (all)      |
+//! | `AND →ᵢ {Cᵢ}`       | `C₁ ⊓ … ⊓ Cₙ` (and)   |
+//! | `OR →ᵢ {Cᵢ}`        | `C₁ ⊔ … ⊔ Cₙ` (or)    |
+//! | `C =→ D`            | `C ≡ D` (eqv)         |
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node handle in a domain map (a named concept or an anonymous
+/// AND/OR node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A named concept.
+    Concept(String),
+    /// An anonymous conjunction node.
+    And,
+    /// An anonymous disjunction node.
+    Or,
+}
+
+/// The label of an edge (Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `C ⊑ D` — unlabeled gray edge in the figures.
+    Isa,
+    /// `C ⊑ ∃r.D` — edge labeled with role `r`.
+    Ex(String),
+    /// `C ⊑ ∀r.D` — edge labeled `ALL: r`.
+    All(String),
+    /// `C ≡ D` — edge labeled `=`.
+    Eqv,
+    /// Membership edge from an AND/OR node to one of its operands.
+    Member,
+}
+
+/// A directed, labeled edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Label.
+    pub kind: EdgeKind,
+}
+
+/// A domain map: the mediator's "semantic coordinate system" (§6).
+#[derive(Debug, Clone, Default)]
+pub struct DomainMap {
+    nodes: Vec<NodeKind>,
+    by_name: HashMap<String, NodeId>,
+    edges: Vec<Edge>,
+    /// Outgoing edge indices per node.
+    out: Vec<Vec<u32>>,
+    /// Incoming edge indices per node.
+    inc: Vec<Vec<u32>>,
+}
+
+impl DomainMap {
+    /// An empty domain map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(kind);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// The node for `name`, creating it if needed.
+    pub fn concept(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.add_node(NodeKind::Concept(name.to_string()));
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a concept without creating it.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// A fresh anonymous AND node with the given members.
+    pub fn and_node(&mut self, members: &[NodeId]) -> NodeId {
+        let id = self.add_node(NodeKind::And);
+        for &m in members {
+            self.add_edge(id, m, EdgeKind::Member);
+        }
+        id
+    }
+
+    /// A fresh anonymous OR node with the given members.
+    pub fn or_node(&mut self, members: &[NodeId]) -> NodeId {
+        let id = self.add_node(NodeKind::Or);
+        for &m in members {
+            self.add_edge(id, m, EdgeKind::Member);
+        }
+        id
+    }
+
+    /// Adds an edge (idempotent: duplicate edges are ignored).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
+        let e = Edge { from, to, kind };
+        if self
+            .out[from.index()]
+            .iter()
+            .any(|&i| self.edges[i as usize] == e)
+        {
+            return;
+        }
+        let idx = u32::try_from(self.edges.len()).expect("too many edges");
+        self.out[from.index()].push(idx);
+        self.inc[to.index()].push(idx);
+        self.edges.push(e);
+    }
+
+    /// `sub ⊑ sup`.
+    pub fn isa(&mut self, sub: &str, sup: &str) {
+        let (s, p) = (self.concept(sub), self.concept(sup));
+        self.add_edge(s, p, EdgeKind::Isa);
+    }
+
+    /// `c ⊑ ∃role.d`.
+    pub fn ex(&mut self, c: &str, role: &str, d: &str) {
+        let (s, t) = (self.concept(c), self.concept(d));
+        self.add_edge(s, t, EdgeKind::Ex(role.to_string()));
+    }
+
+    /// `c ⊑ ∀role.d`.
+    pub fn all(&mut self, c: &str, role: &str, d: &str) {
+        let (s, t) = (self.concept(c), self.concept(d));
+        self.add_edge(s, t, EdgeKind::All(role.to_string()));
+    }
+
+    /// `c ≡ d`.
+    pub fn eqv(&mut self, c: &str, d: &str) {
+        let (s, t) = (self.concept(c), self.concept(d));
+        self.add_edge(s, t, EdgeKind::Eqv);
+    }
+
+    /// The kind of a node.
+    pub fn node_kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.index()]
+    }
+
+    /// The concept name of a node (None for AND/OR nodes).
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match &self.nodes[id.index()] {
+            NodeKind::Concept(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// All nodes.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All named concepts.
+    pub fn concepts(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.node_ids().filter_map(|id| self.name(id).map(|n| (id, n)))
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.out[id.index()].iter().map(|&i| &self.edges[i as usize])
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.inc[id.index()].iter().map(|&i| &self.edges[i as usize])
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The distinct role names used on `ex`/`all` edges.
+    pub fn roles(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .edges
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EdgeKind::Ex(r) | EdgeKind::All(r) => Some(r.as_str()),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concepts_are_interned() {
+        let mut dm = DomainMap::new();
+        let a = dm.concept("Neuron");
+        let b = dm.concept("Neuron");
+        assert_eq!(a, b);
+        assert_eq!(dm.node_count(), 1);
+    }
+
+    #[test]
+    fn edges_are_deduplicated() {
+        let mut dm = DomainMap::new();
+        dm.isa("Axon", "Compartment");
+        dm.isa("Axon", "Compartment");
+        assert_eq!(dm.edge_count(), 1);
+    }
+
+    #[test]
+    fn ex_edges_carry_roles() {
+        let mut dm = DomainMap::new();
+        dm.ex("Neuron", "has", "Compartment");
+        let n = dm.lookup("Neuron").unwrap();
+        let e: Vec<_> = dm.out_edges(n).collect();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].kind, EdgeKind::Ex("has".into()));
+        assert_eq!(dm.roles(), vec!["has"]);
+    }
+
+    #[test]
+    fn and_or_nodes_are_anonymous() {
+        let mut dm = DomainMap::new();
+        let a = dm.concept("A");
+        let b = dm.concept("B");
+        let and = dm.and_node(&[a, b]);
+        assert!(dm.name(and).is_none());
+        assert_eq!(dm.out_edges(and).count(), 2);
+        let or = dm.or_node(&[a, b]);
+        assert_ne!(and, or);
+    }
+
+    #[test]
+    fn in_edges_track_reverse() {
+        let mut dm = DomainMap::new();
+        dm.isa("A", "C");
+        dm.isa("B", "C");
+        let c = dm.lookup("C").unwrap();
+        assert_eq!(dm.in_edges(c).count(), 2);
+    }
+}

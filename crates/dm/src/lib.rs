@@ -1,0 +1,44 @@
+//! # kind-dm — domain maps
+//!
+//! Domain maps are the paper's central device for mediating across
+//! "multiple worlds": expert knowledge bases — "semantic nets of concepts
+//! and relationships" with (i) a formal semantics, (ii) rule-based
+//! extensions, and (iii) the ability to be *executed* during query
+//! processing (§1, §4).
+//!
+//! * [`graph`] — concepts, roles, and the six edge kinds of Definition 1;
+//! * [`axiom`] — DL axiom syntax (`C < exists r.D.`) and lowering;
+//! * [`rules`] — executing edges as integrity constraints or skolem
+//!   assertions, plus the paper's closure rules (`tc`, `dc`,
+//!   `has_a_star`);
+//! * [`ops`] — pure-graph operations: ancestors/descendants, **lub/glb**,
+//!   deductive closures, downward closures, recursive aggregation;
+//! * [`semindex`] — the semantic index sources build into the DM at
+//!   registration, used for source selection (§5 step 2);
+//! * [`subsume`] — structural subsumption on the decidable fragment
+//!   (Proposition 1 makes the unrestricted case undecidable);
+//! * [`figures`] — the exact Figure 1 / Figure 3 maps and a scalable
+//!   anatomy generator;
+//! * [`dot`] — GraphViz rendering of domain maps (how the paper draws
+//!   them).
+#![warn(missing_docs)]
+
+pub mod axiom;
+pub mod dot;
+pub mod error;
+pub mod figures;
+pub mod graph;
+pub mod ops;
+pub mod rules;
+pub mod semindex;
+pub mod subsume;
+
+pub use axiom::{
+    apply_axiom, load_axioms, parse_axioms, parse_concept_expr, to_axioms, Axiom, AxiomOp,
+    ConceptExpr,
+};
+pub use error::{DmError, Result};
+pub use graph::{DomainMap, Edge, EdgeKind, NodeId, NodeKind};
+pub use ops::Resolved;
+pub use rules::{compile, DmProgram, ExecMode, DM_OPS_RULES};
+pub use semindex::{SemanticIndex, SourceId};

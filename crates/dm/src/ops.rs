@@ -1,0 +1,610 @@
+//! Graph operations on domain maps (§4 "Integrated Views Using Domain
+//! Maps", §5 query processing): transitive closures, deductive closures,
+//! least upper bounds, downward closures, and recursive aggregation.
+//!
+//! Operations run on a [`Resolved`] view of the map, which inlines
+//! anonymous AND nodes (their members/role edges become the defining
+//! concept's own) and reads `eqv` edges to named concepts as mutual
+//! `isa`. OR targets contribute nothing here: a disjunction licenses no
+//! definite concept-level link.
+
+use crate::graph::{DomainMap, EdgeKind, NodeId, NodeKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A flattened, named-concept-only view of a domain map.
+#[derive(Debug, Clone)]
+pub struct Resolved {
+    /// Direct isa successors per node (named concepts only).
+    isa_up: Vec<Vec<NodeId>>,
+    /// Direct isa predecessors per node.
+    isa_down: Vec<Vec<NodeId>>,
+    /// Role name → (source, target) pairs.
+    roles: HashMap<String, Vec<(NodeId, NodeId)>>,
+    /// Role name → source node → targets (forward adjacency).
+    role_out: HashMap<String, HashMap<NodeId, Vec<NodeId>>>,
+    /// Role name → target node → sources (reverse adjacency).
+    role_in: HashMap<String, HashMap<NodeId, Vec<NodeId>>>,
+    node_count: usize,
+}
+
+impl Resolved {
+    /// Builds the resolved view.
+    pub fn new(dm: &DomainMap) -> Self {
+        let n = dm.node_count();
+        let mut isa_up = vec![Vec::new(); n];
+        let mut isa_down = vec![Vec::new(); n];
+        let mut roles: HashMap<String, Vec<(NodeId, NodeId)>> = HashMap::new();
+        let add_isa = |from: NodeId, to: NodeId, up: &mut Vec<Vec<NodeId>>, down: &mut Vec<Vec<NodeId>>| {
+            if !up[from.index()].contains(&to) {
+                up[from.index()].push(to);
+                down[to.index()].push(from);
+            }
+        };
+        for (c, _) in dm.concepts() {
+            for edge in dm.out_edges(c) {
+                match (&edge.kind, dm.node_kind(edge.to)) {
+                    (EdgeKind::Isa, NodeKind::Concept(_)) => {
+                        add_isa(c, edge.to, &mut isa_up, &mut isa_down);
+                    }
+                    (EdgeKind::Eqv, NodeKind::Concept(_)) => {
+                        add_isa(c, edge.to, &mut isa_up, &mut isa_down);
+                        add_isa(edge.to, c, &mut isa_up, &mut isa_down);
+                    }
+                    (EdgeKind::Ex(r), NodeKind::Concept(_)) => {
+                        roles.entry(r.clone()).or_default().push((c, edge.to));
+                    }
+                    (EdgeKind::Isa | EdgeKind::Eqv, NodeKind::And) => {
+                        // Inline the AND node's content as c's own.
+                        for inner in dm.out_edges(edge.to) {
+                            match (&inner.kind, dm.node_kind(inner.to)) {
+                                (EdgeKind::Member, NodeKind::Concept(_)) => {
+                                    add_isa(c, inner.to, &mut isa_up, &mut isa_down);
+                                }
+                                (EdgeKind::Ex(r), NodeKind::Concept(_)) => {
+                                    roles
+                                        .entry(r.clone())
+                                        .or_default()
+                                        .push((c, inner.to));
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    (EdgeKind::Ex(r), NodeKind::And) => {
+                        // Filler lies in every member: link to each.
+                        for inner in dm.out_edges(edge.to) {
+                            if let (EdgeKind::Member, NodeKind::Concept(_)) =
+                                (&inner.kind, dm.node_kind(inner.to))
+                            {
+                                roles.entry(r.clone()).or_default().push((c, inner.to));
+                            }
+                        }
+                    }
+                    // OR targets and ALL edges contribute no definite
+                    // concept-level links.
+                    _ => {}
+                }
+            }
+        }
+        let mut role_out: HashMap<String, HashMap<NodeId, Vec<NodeId>>> = HashMap::new();
+        let mut role_in: HashMap<String, HashMap<NodeId, Vec<NodeId>>> = HashMap::new();
+        for (role, pairs) in &roles {
+            let out = role_out.entry(role.clone()).or_default();
+            let inc = role_in.entry(role.clone()).or_default();
+            for &(s, t) in pairs {
+                out.entry(s).or_default().push(t);
+                inc.entry(t).or_default().push(s);
+            }
+        }
+        Resolved {
+            isa_up,
+            isa_down,
+            roles,
+            role_out,
+            role_in,
+            node_count: n,
+        }
+    }
+
+    /// Direct isa successors.
+    pub fn parents(&self, n: NodeId) -> &[NodeId] {
+        &self.isa_up[n.index()]
+    }
+
+    /// Direct isa predecessors.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.isa_down[n.index()]
+    }
+
+    /// All ancestors of `n` (reflexive: includes `n`).
+    pub fn ancestors(&self, n: NodeId) -> HashSet<NodeId> {
+        self.reach(n, |x| &self.isa_up[x.index()])
+    }
+
+    /// All descendants of `n` (reflexive: includes `n`).
+    pub fn descendants(&self, n: NodeId) -> HashSet<NodeId> {
+        self.reach(n, |x| &self.isa_down[x.index()])
+    }
+
+    fn reach<'a>(&'a self, start: NodeId, next: impl Fn(NodeId) -> &'a [NodeId]) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(x) = queue.pop_front() {
+            for &y in next(x) {
+                if seen.insert(y) {
+                    queue.push_back(y);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `sub` is (transitively, reflexively) a subconcept of `sup`.
+    pub fn is_subconcept(&self, sub: NodeId, sup: NodeId) -> bool {
+        self.ancestors(sub).contains(&sup)
+    }
+
+    /// The **least upper bound** of a set of concepts in the isa lattice
+    /// (§5 step 4: "computing the least upper bound of locations in the
+    /// domain map" to find the distribution root).
+    ///
+    /// Returns a minimal common ancestor (one with no other common
+    /// ancestor strictly below it); ties are broken by smallest node id
+    /// so the result is deterministic. `None` for an empty input or when
+    /// no common ancestor exists.
+    pub fn lub(&self, nodes: &[NodeId]) -> Option<NodeId> {
+        let mut iter = nodes.iter();
+        let first = *iter.next()?;
+        let mut common = self.ancestors(first);
+        for &n in iter {
+            let a = self.ancestors(n);
+            common.retain(|x| a.contains(x));
+            if common.is_empty() {
+                return None;
+            }
+        }
+        // Minimal elements: no other common ancestor *strictly* below
+        // (mutually-equivalent concepts do not disqualify each other).
+        let mut minimal: Vec<NodeId> = common
+            .iter()
+            .copied()
+            .filter(|&m| {
+                !common.iter().any(|&o| {
+                    o != m && self.is_subconcept(o, m) && !self.is_subconcept(m, o)
+                })
+            })
+            .collect();
+        minimal.sort();
+        minimal.first().copied()
+    }
+
+    /// The greatest lower bound (dual of [`Self::lub`]).
+    pub fn glb(&self, nodes: &[NodeId]) -> Option<NodeId> {
+        let mut iter = nodes.iter();
+        let first = *iter.next()?;
+        let mut common = self.descendants(first);
+        for &n in iter {
+            let d = self.descendants(n);
+            common.retain(|x| d.contains(x));
+            if common.is_empty() {
+                return None;
+            }
+        }
+        let mut maximal: Vec<NodeId> = common
+            .iter()
+            .copied()
+            .filter(|&m| {
+                !common.iter().any(|&o| {
+                    o != m && self.is_subconcept(m, o) && !self.is_subconcept(o, m)
+                })
+            })
+            .collect();
+        maximal.sort();
+        maximal.first().copied()
+    }
+
+    /// Direct role links (the base relation `R`).
+    pub fn role_pairs(&self, role: &str) -> &[(NodeId, NodeId)] {
+        self.roles.get(role).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The role names with at least one resolved link.
+    pub fn role_names(&self) -> Vec<String> {
+        self.roles.keys().cloned().collect()
+    }
+
+    /// The **deductive closure** `dc(R)` of a role wrt the transitive
+    /// closure of isa (the paper's rules: "R links are propagated up and
+    /// down the isa chains"), including the base links. The result is the
+    /// set of all inferable *direct* links — the paper's `has_a_star`
+    /// when `role = "has_a"`.
+    pub fn dc_pairs(&self, role: &str) -> Vec<(NodeId, NodeId)> {
+        let base = self.role_pairs(role);
+        let mut out: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for &(x, y) in base {
+            // dc(R)(X,Y) :- tc(isa)(X,Z), R(Z,Y): X any descendant of x.
+            // dc(R)(X,Y) :- R(X,Z), tc(isa)(Z,Y): Y any ancestor of y.
+            // Base included; both propagations composed.
+            for &x2 in self.descendants(x).iter() {
+                for &y2 in self.ancestors(y).iter() {
+                    out.insert((x2, y2));
+                }
+            }
+        }
+        let mut v: Vec<_> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// The children of `n` under `dc(role)` — the "direct inferable
+    /// links" used for recursive traversal instead of materializing
+    /// `tc(has_a_star)` (which the paper calls wasteful).
+    pub fn dc_children(&self, role: &str, n: NodeId) -> Vec<NodeId> {
+        // Links whose source is n or any ancestor of n are inherited
+        // down to n; collect their targets via the forward index.
+        let mut out = HashSet::new();
+        if let Some(adj) = self.role_out.get(role) {
+            for a in self.ancestors(n) {
+                if let Some(ts) = adj.get(&a) {
+                    out.extend(ts.iter().copied());
+                }
+            }
+        }
+        let mut v: Vec<_> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// The **downward closure** along `dc(role)` from `root`: every
+    /// concept reachable by recursively following inferable direct links
+    /// (the "region of correspondence" computation of §5 step 4).
+    pub fn downward_closure(&self, role: &str, root: NodeId) -> Vec<NodeId> {
+        let mut seen = HashSet::new();
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        seen.insert(root);
+        queue.push_back(root);
+        while let Some(x) = queue.pop_front() {
+            order.push(x);
+            for y in self.dc_children(role, x) {
+                if seen.insert(y) {
+                    queue.push_back(y);
+                }
+            }
+            // Subconcepts of x are also part of the region below x.
+            for &y in self.children(x) {
+                if seen.insert(y) {
+                    queue.push_back(y);
+                }
+            }
+        }
+        order
+    }
+
+    /// The partonomy-ancestors of `n` under `role` (reflexive): every
+    /// concept whose [`Self::downward_closure`] contains `n`. One upward
+    /// step inverts the closure's two downward steps: follow a role link
+    /// `(s, n)` up to `s` and all its isa-descendants (they inherit the
+    /// link), or step to an isa-parent.
+    pub fn partonomy_ancestors(&self, role: &str, n: NodeId) -> HashSet<NodeId> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(n);
+        queue.push_back(n);
+        while let Some(x) = queue.pop_front() {
+            if let Some(srcs) = self.role_in.get(role).and_then(|m| m.get(&x)) {
+                for s in srcs {
+                    for d in self.descendants(*s) {
+                        if seen.insert(d) {
+                            queue.push_back(d);
+                        }
+                    }
+                }
+            }
+            for &p in self.parents(x) {
+                if seen.insert(p) {
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The **least upper bound in the partonomy order** (§5 step 4): the
+    /// smallest "region of correspondence" whose downward closure along
+    /// `role` contains every given concept. Deterministic tie-break by
+    /// node id.
+    pub fn partonomy_lub(&self, role: &str, nodes: &[NodeId]) -> Option<NodeId> {
+        let mut iter = nodes.iter();
+        let first = *iter.next()?;
+        let mut common = self.partonomy_ancestors(role, first);
+        for &n in iter {
+            let a = self.partonomy_ancestors(role, n);
+            common.retain(|x| a.contains(x));
+            if common.is_empty() {
+                return None;
+            }
+        }
+        // Minimal wrt the partonomy order: m is not minimal if another
+        // common ancestor lies strictly below it.
+        let below: HashMap<NodeId, HashSet<NodeId>> = common
+            .iter()
+            .map(|&m| (m, self.downward_closure(role, m).into_iter().collect()))
+            .collect();
+        let mut minimal: Vec<NodeId> = common
+            .iter()
+            .copied()
+            .filter(|&m| {
+                !common
+                    .iter()
+                    .any(|&o| o != m && below[&m].contains(&o) && !below[&o].contains(&m))
+            })
+            .collect();
+        minimal.sort();
+        minimal.first().copied()
+    }
+
+    /// Materializes the full transitive closure of `dc(role)` — the
+    /// operation the paper argues is *wasteful* to compute when a
+    /// recursive traversal of direct links suffices. Kept as the ablation
+    /// baseline (see DESIGN.md).
+    pub fn tc_of_dc(&self, role: &str) -> Vec<(NodeId, NodeId)> {
+        let dc = self.dc_pairs(role);
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.node_count];
+        for &(x, y) in &dc {
+            adj[x.index()].push(y);
+        }
+        let mut out: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for start in 0..self.node_count {
+            let s = NodeId(start as u32);
+            let mut seen = HashSet::new();
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            while let Some(x) = q.pop_front() {
+                for &y in &adj[x.index()] {
+                    if seen.insert(y) {
+                        out.insert((s, y));
+                        q.push_back(y);
+                    }
+                }
+            }
+        }
+        let mut v: Vec<_> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Recursive aggregation (the `aggregate` function of Example 4):
+    /// starting from `root`, traverses `dc(role)` and computes, for every
+    /// concept in the downward closure, the sum of `values` over its
+    /// subtree. Shared substructure (a DAG diamond) is counted once per
+    /// distinct concept.
+    pub fn rollup_sum(
+        &self,
+        role: &str,
+        root: NodeId,
+        values: &HashMap<NodeId, i64>,
+    ) -> HashMap<NodeId, i64> {
+        let region = self.downward_closure(role, root);
+        let region_set: HashSet<NodeId> = region.iter().copied().collect();
+        let mut totals = HashMap::new();
+        for &n in &region {
+            // Subtree of n within the region.
+            let mut seen = HashSet::new();
+            let mut q = VecDeque::new();
+            seen.insert(n);
+            q.push_back(n);
+            let mut total = 0i64;
+            while let Some(x) = q.pop_front() {
+                total += values.get(&x).copied().unwrap_or(0);
+                for y in self.dc_children(role, x) {
+                    if region_set.contains(&y) && seen.insert(y) {
+                        q.push_back(y);
+                    }
+                }
+                for &y in self.children(x) {
+                    if region_set.contains(&y) && seen.insert(y) {
+                        q.push_back(y);
+                    }
+                }
+            }
+            totals.insert(n, total);
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::load_axioms;
+
+    fn anatomy() -> (DomainMap, Resolved) {
+        let mut dm = DomainMap::new();
+        load_axioms(
+            &mut dm,
+            "Dendrite, Axon, Soma < Compartment.
+             Spine < Ion_Regulating_Component.
+             Neuron < exists has_a.Compartment.
+             Dendrite < exists has_a.Branch.
+             Shaft < Branch and exists has_a.Spine.
+             Purkinje_Cell, Pyramidal_Cell < Spiny_Neuron.
+             Spiny_Neuron < Neuron.",
+        )
+        .unwrap();
+        let r = Resolved::new(&dm);
+        (dm, r)
+    }
+
+    #[test]
+    fn ancestors_are_reflexive_transitive() {
+        let (dm, r) = anatomy();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let anc = r.ancestors(pc);
+        assert!(anc.contains(&pc));
+        assert!(anc.contains(&dm.lookup("Spiny_Neuron").unwrap()));
+        assert!(anc.contains(&dm.lookup("Neuron").unwrap()));
+        assert!(!anc.contains(&dm.lookup("Compartment").unwrap()));
+    }
+
+    #[test]
+    fn lub_of_siblings_is_common_parent() {
+        let (dm, r) = anatomy();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let py = dm.lookup("Pyramidal_Cell").unwrap();
+        assert_eq!(r.lub(&[pc, py]), Some(dm.lookup("Spiny_Neuron").unwrap()));
+        // lub of a single node is itself (reflexive).
+        assert_eq!(r.lub(&[pc]), Some(pc));
+    }
+
+    #[test]
+    fn lub_none_for_unrelated() {
+        let (dm, r) = anatomy();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let sp = dm.lookup("Spine").unwrap();
+        assert_eq!(r.lub(&[pc, sp]), None);
+    }
+
+    #[test]
+    fn glb_dual() {
+        let (dm, r) = anatomy();
+        let sn = dm.lookup("Spiny_Neuron").unwrap();
+        let n = dm.lookup("Neuron").unwrap();
+        assert_eq!(r.glb(&[sn, n]), Some(sn));
+    }
+
+    #[test]
+    fn dc_propagates_links_down_isa() {
+        let (dm, r) = anatomy();
+        // Neuron -has_a-> Compartment, Purkinje_Cell :: Neuron
+        // => dc gives Purkinje_Cell -has_a-> Compartment.
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let comp = dm.lookup("Compartment").unwrap();
+        assert!(r.dc_pairs("has_a").contains(&(pc, comp)));
+        assert!(r.dc_children("has_a", pc).contains(&comp));
+    }
+
+    #[test]
+    fn dc_lifts_targets_up_isa() {
+        let (dm, r) = anatomy();
+        // Dendrite -has_a-> Branch; Shaft :: Branch so no lift there, but
+        // Spine < IRC means Shaft -has_a-> Spine lifts to IRC.
+        let shaft = dm.lookup("Shaft").unwrap();
+        let irc = dm.lookup("Ion_Regulating_Component").unwrap();
+        assert!(r.dc_pairs("has_a").contains(&(shaft, irc)));
+    }
+
+    #[test]
+    fn downward_closure_walks_partonomy() {
+        let (dm, r) = anatomy();
+        let neuron = dm.lookup("Neuron").unwrap();
+        let region = r.downward_closure("has_a", neuron);
+        let names: Vec<&str> = region.iter().filter_map(|&n| dm.name(n)).collect();
+        assert!(names.contains(&"Compartment"));
+        assert!(names.contains(&"Dendrite")); // subconcept of Compartment
+        assert!(names.contains(&"Branch")); // dendrite has_a branch
+        assert!(names.contains(&"Spine")); // shaft (a branch) has_a spine
+    }
+
+    #[test]
+    fn tc_of_dc_is_superset_of_dc() {
+        let (_, r) = anatomy();
+        let dc: HashSet<_> = r.dc_pairs("has_a").into_iter().collect();
+        let tc: HashSet<_> = r.tc_of_dc("has_a").into_iter().collect();
+        assert!(dc.iter().all(|p| tc.contains(p)));
+        assert!(tc.len() >= dc.len());
+    }
+
+    #[test]
+    fn partonomy_lub_finds_containing_region() {
+        let mut dm = DomainMap::new();
+        load_axioms(
+            &mut dm,
+            "Cerebellum < exists has_a.Purkinje_Layer.
+             Purkinje_Layer < exists has_a.Purkinje_Cell.
+             Purkinje_Cell < exists has_a.Purkinje_Dendrite.
+             Cerebellum < exists has_a.Granule_Layer.
+             Granule_Layer < exists has_a.Granule_Cell.",
+        )
+        .unwrap();
+        let r = Resolved::new(&dm);
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let pd = dm.lookup("Purkinje_Dendrite").unwrap();
+        let gc = dm.lookup("Granule_Cell").unwrap();
+        let cb = dm.lookup("Cerebellum").unwrap();
+        // The dendrite is inside the cell: lub is the cell itself.
+        assert_eq!(r.partonomy_lub("has_a", &[pc, pd]), Some(pc));
+        // Purkinje and granule cells only meet at the cerebellum.
+        assert_eq!(r.partonomy_lub("has_a", &[pc, gc]), Some(cb));
+        // Reflexive.
+        assert_eq!(r.partonomy_lub("has_a", &[cb]), Some(cb));
+    }
+
+    #[test]
+    fn partonomy_ancestors_follow_inherited_links() {
+        let mut dm = DomainMap::new();
+        load_axioms(
+            &mut dm,
+            "Neuron < exists has_a.Dendrite.
+             Purkinje_Cell < Neuron.",
+        )
+        .unwrap();
+        let r = Resolved::new(&dm);
+        let d = dm.lookup("Dendrite").unwrap();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        // Purkinje_Cell inherits Neuron's has_a link, so it is a
+        // partonomy ancestor of Dendrite.
+        assert!(r.partonomy_ancestors("has_a", d).contains(&pc));
+    }
+
+    #[test]
+    fn rollup_sums_subtrees() {
+        let mut dm = DomainMap::new();
+        load_axioms(
+            &mut dm,
+            "Cerebellum < exists has_a.Purkinje_Layer.
+             Cerebellum < exists has_a.Granule_Layer.
+             Purkinje_Layer < exists has_a.Purkinje_Cell.",
+        )
+        .unwrap();
+        let r = Resolved::new(&dm);
+        let cb = dm.lookup("Cerebellum").unwrap();
+        let pl = dm.lookup("Purkinje_Layer").unwrap();
+        let gl = dm.lookup("Granule_Layer").unwrap();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let mut values = HashMap::new();
+        values.insert(pc, 5);
+        values.insert(gl, 3);
+        let totals = r.rollup_sum("has_a", cb, &values);
+        assert_eq!(totals[&pc], 5);
+        assert_eq!(totals[&pl], 5);
+        assert_eq!(totals[&gl], 3);
+        assert_eq!(totals[&cb], 8);
+    }
+
+    #[test]
+    fn eqv_links_resolve_to_mutual_isa() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "A = B.").unwrap();
+        let r = Resolved::new(&dm);
+        let a = dm.lookup("A").unwrap();
+        let b = dm.lookup("B").unwrap();
+        assert!(r.is_subconcept(a, b));
+        assert!(r.is_subconcept(b, a));
+        assert_eq!(r.lub(&[a, b]), Some(a.min(b)));
+    }
+
+    #[test]
+    fn and_inlining_exposes_role_links() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Spiny_Neuron = Neuron and exists has_a.Spine.").unwrap();
+        let r = Resolved::new(&dm);
+        let sn = dm.lookup("Spiny_Neuron").unwrap();
+        let spine = dm.lookup("Spine").unwrap();
+        let neuron = dm.lookup("Neuron").unwrap();
+        assert!(r.is_subconcept(sn, neuron));
+        assert!(r.role_pairs("has_a").contains(&(sn, spine)));
+    }
+}

@@ -1,0 +1,553 @@
+//! Executing a domain map: translating its edges into logic rules over
+//! the mediator's object base (§4).
+//!
+//! Each DL edge axiom can be "executed" in one of two ways:
+//!
+//! * **integrity constraint** — `C —r→ D` demands the object base be
+//!   *data-complete*: every `X : C` must have an r-filler in `D`,
+//!   otherwise a witness `wex(C,r,D,X)` enters `ic`;
+//! * **assertion** — the filler exists *in the real world*, so a virtual
+//!   placeholder object `sk(C,r,D,X)` is created whenever the object base
+//!   does not contain one (the paper's `f_{C,r,D}(x)`).
+//!
+//! Placeholders are derived into `relinst_sk` while guards negate only
+//! the *asserted* `relinst`, keeping the program stratified; the combined
+//! view `role_all` unions both. The map's concept level is exported as
+//! `dm_isa`/`dm_role` facts, over which the closure operations of §4
+//! (`tc`, `dc`, `has_a_star`) are installed as the paper writes them.
+
+use crate::graph::{DomainMap, EdgeKind, NodeId, NodeKind};
+use std::fmt::Write;
+
+/// How edges of a domain map are executed (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Report data-incompleteness as `ic` witnesses.
+    Constraint,
+    /// Create skolem placeholder objects for missing fillers.
+    Assertion,
+}
+
+/// The paper's closure rules (§4), over the reified concept-level export.
+///
+/// `tc_isa` is the transitive closure of the concept-level isa graph;
+/// `dc(R)` propagates role links up and down the isa chains; and
+/// `has_a_star` names `dc(has_a)` — "all inferable *direct* has_a links"
+/// (deliberately *not* transitively closed; the paper calls materializing
+/// `tc(has_a_star)` wasteful).
+pub const DM_OPS_RULES: &str = r#"
+% role_all: asserted plus placeholder role links (instance level)
+role_all(R, X, Y) :- relinst(R, X, Y).
+role_all(R, X, Y) :- relinst_sk(R, X, Y).
+
+% --- concept-level closures (paper §4) ---------------------------------
+tc_isa(X, Y) :- dm_isa(X, Y).
+tc_isa(X, Y) :- tc_isa(X, Z), tc_isa(Z, Y).
+
+dc(R, X, Y) :- dm_role(R, X, Y).
+dc(R, X, Y) :- tc_isa(X, Z), dm_role(R, Z, Y).
+dc(R, X, Y) :- dm_role(R, X, Z), tc_isa(Z, Y).
+dc(R, X, Y) :- tc_isa(X, Z1), dm_role(R, Z1, Z2), tc_isa(Z2, Y).
+
+has_a_star(X, Y) :- dc("has_a", X, Y).
+"#;
+
+/// Everything generated from a domain map for the deductive engine.
+#[derive(Debug, Clone)]
+pub struct DmProgram {
+    /// Concept-level facts (`dm_isa`, `dm_role`) plus instance-level
+    /// rules for every edge, as Datalog/FL-compatible text.
+    pub text: String,
+    /// How many edges were compiled.
+    pub edges_compiled: usize,
+}
+
+fn q(s: &str) -> String {
+    format!("{s:?}")
+}
+
+/// Compiles a domain map into rule text for a `kind_flogic::FLogic` (or
+/// plain `kind_datalog::Engine`) knowledge base. Callers should also load
+/// [`DM_OPS_RULES`] once per engine.
+pub fn compile(dm: &DomainMap, mode: ExecMode) -> DmProgram {
+    let mut text = String::new();
+    let mut compiled = 0usize;
+    // Concept-level export (via the resolved view so AND inlining matches
+    // the pure-graph operations).
+    let resolved = crate::ops::Resolved::new(dm);
+    for (c, name) in dm.concepts() {
+        let _ = writeln!(text, "dm_concept({}).", q(name));
+        for &p in resolved.parents(c) {
+            if let Some(pn) = dm.name(p) {
+                let _ = writeln!(text, "dm_isa({}, {}).", q(name), q(pn));
+            }
+        }
+    }
+    for role in resolved_roles(&resolved) {
+        for &(x, y) in resolved.role_pairs(&role) {
+            if let (Some(xn), Some(yn)) = (dm.name(x), dm.name(y)) {
+                let _ = writeln!(text, "dm_role({}, {}, {}).", q(&role), q(xn), q(yn));
+            }
+        }
+    }
+    // Instance-level rules per edge. Auxiliary predicates get fresh
+    // ids from a counter (edge indices would collide for the several
+    // role edges inlined from one AND node).
+    let mut aux = 0usize;
+    for edge in dm.edges() {
+        if compile_edge(dm, edge, mode, &mut aux, &mut text) {
+            compiled += 1;
+        }
+    }
+    DmProgram {
+        text,
+        edges_compiled: compiled,
+    }
+}
+
+fn resolved_roles(r: &crate::ops::Resolved) -> Vec<String> {
+    let mut v = r.role_names();
+    v.sort();
+    v
+}
+
+/// Emits a membership predicate `t_<i>(Y)` for the target node of edge
+/// `i`, true when `Y` belongs to the node's concept (atomic), to all AND
+/// members, or to some OR member. Returns `false` when no membership test
+/// is expressible (e.g. an OR with anonymous members).
+fn emit_target_pred(dm: &DomainMap, i: usize, node: NodeId, text: &mut String) -> bool {
+    let pred = format!("dm_t_{i}");
+    match dm.node_kind(node) {
+        NodeKind::Concept(n) => {
+            let _ = writeln!(text, "{pred}(Y) :- Y : {}.", q(n));
+            true
+        }
+        NodeKind::And => {
+            let mut conj: Vec<String> = Vec::new();
+            for e in dm.out_edges(node) {
+                match (&e.kind, dm.node_kind(e.to)) {
+                    (EdgeKind::Member, NodeKind::Concept(n)) => {
+                        conj.push(format!("Y : {}", q(n)));
+                    }
+                    (EdgeKind::Ex(r), NodeKind::Concept(n)) => {
+                        conj.push(format!("role_all({}, Y, Z{}), Z{} : {}",
+                            q(r), conj.len(), conj.len(), q(n)));
+                    }
+                    _ => return false,
+                }
+            }
+            if conj.is_empty() {
+                return false;
+            }
+            let _ = writeln!(text, "{pred}(Y) :- {}.", conj.join(", "));
+            true
+        }
+        NodeKind::Or => {
+            let mut any = false;
+            for e in dm.out_edges(node) {
+                if let (EdgeKind::Member, NodeKind::Concept(n)) = (&e.kind, dm.node_kind(e.to)) {
+                    let _ = writeln!(text, "{pred}(Y) :- Y : {}.", q(n));
+                    any = true;
+                }
+            }
+            any
+        }
+    }
+}
+
+/// Emits skolem typing facts for the placeholder of edge `i`: the classes
+/// a freshly created filler is known to belong to.
+fn skolem_classes(dm: &DomainMap, node: NodeId) -> Vec<String> {
+    match dm.node_kind(node) {
+        NodeKind::Concept(n) => vec![n.clone()],
+        NodeKind::And => dm
+            .out_edges(node)
+            .filter_map(|e| match (&e.kind, dm.node_kind(e.to)) {
+                (EdgeKind::Member, NodeKind::Concept(n)) => Some(n.clone()),
+                _ => None,
+            })
+            .collect(),
+        // A disjunctive target gives the placeholder no definite class.
+        NodeKind::Or => Vec::new(),
+    }
+}
+
+fn target_label(dm: &DomainMap, node: NodeId) -> String {
+    dm.name(node).map(str::to_owned).unwrap_or_else(|| format!("anon_{}", node.0))
+}
+
+fn compile_edge(
+    dm: &DomainMap,
+    edge: &crate::graph::Edge,
+    mode: ExecMode,
+    aux: &mut usize,
+    text: &mut String,
+) -> bool {
+    let fresh = |aux: &mut usize| {
+        let i = *aux;
+        *aux += 1;
+        i
+    };
+    let _ = &fresh;
+    // Only edges whose source is a named concept generate instance rules;
+    // AND/OR interior edges are handled where the anonymous node is used.
+    let Some(cname) = dm.name(edge.from) else {
+        return false;
+    };
+    let c = q(cname);
+    match &edge.kind {
+        EdgeKind::Isa | EdgeKind::Eqv => {
+            match dm.node_kind(edge.to) {
+                NodeKind::Concept(d) => {
+                    let _ = writeln!(text, "X : {} :- X : {c}.", q(d));
+                    if edge.kind == EdgeKind::Eqv {
+                        let _ = writeln!(text, "X : {c} :- X : {}.", q(d));
+                    }
+                    true
+                }
+                NodeKind::And => {
+                    // Forward: X:C gains each conjunct (atomic members and
+                    // role edges of the AND node, treated as C's own).
+                    for e in dm.out_edges(edge.to).collect::<Vec<_>>() {
+                        match (&e.kind, dm.node_kind(e.to)) {
+                            (EdgeKind::Member, NodeKind::Concept(d)) => {
+                                let _ = writeln!(text, "X : {} :- X : {c}.", q(d));
+                            }
+                            (EdgeKind::Ex(r), _) => {
+                                compile_ex(dm, fresh(aux), &c, r, e.to, mode, text);
+                            }
+                            (EdgeKind::All(r), _) => {
+                                compile_all(dm, fresh(aux), &c, r, e.to, mode, text);
+                            }
+                            _ => {}
+                        }
+                    }
+                    // Backward (recognition) for eqv: membership in every
+                    // conjunct implies C.
+                    if edge.kind == EdgeKind::Eqv {
+                        let i = fresh(aux);
+                        let pred = format!("dm_t_{i}");
+                        if emit_target_pred(dm, i, edge.to, text) {
+                            let _ = writeln!(text, "Y : {c} :- {pred}(Y).");
+                        }
+                    }
+                    true
+                }
+                NodeKind::Or => {
+                    // X:C is in some member — no definite forward rule.
+                    // Backward for eqv: each member implies C.
+                    if edge.kind == EdgeKind::Eqv {
+                        for e in dm.out_edges(edge.to) {
+                            if let (EdgeKind::Member, NodeKind::Concept(d)) =
+                                (&e.kind, dm.node_kind(e.to))
+                            {
+                                let _ = writeln!(text, "X : {c} :- X : {}.", q(d));
+                            }
+                        }
+                    }
+                    // Constraint mode: X must belong to some member.
+                    if mode == ExecMode::Constraint {
+                        let i = fresh(aux);
+                        let pred = format!("dm_t_{i}");
+                        if emit_target_pred(dm, i, edge.to, text) {
+                            let _ = writeln!(
+                                text,
+                                "wor({c}, X) : ic :- X : {c}, not {pred}(X)."
+                            );
+                        }
+                    }
+                    true
+                }
+            }
+        }
+        EdgeKind::Ex(r) => {
+            compile_ex(dm, fresh(aux), &c, r, edge.to, mode, text);
+            true
+        }
+        EdgeKind::All(r) => {
+            compile_all(dm, fresh(aux), &c, r, edge.to, mode, text);
+            true
+        }
+        EdgeKind::Member => false,
+    }
+}
+
+/// `C ⊑ ∃r.D` at the instance level.
+fn compile_ex(
+    dm: &DomainMap,
+    i: usize,
+    c: &str,
+    role: &str,
+    target: NodeId,
+    mode: ExecMode,
+    text: &mut String,
+) {
+    let r = q(role);
+    let has_target_pred = emit_target_pred(dm, i, target, text);
+    let tpred = format!("dm_t_{i}");
+    let filler = format!("dm_filler_{i}");
+    match mode {
+        ExecMode::Constraint => {
+            if !has_target_pred {
+                return;
+            }
+            let _ = writeln!(
+                text,
+                "{filler}(X) :- role_all({r}, X, Y), {tpred}(Y)."
+            );
+            let _ = writeln!(
+                text,
+                "wex({c}, {r}, {}, X) : ic :- X : {c}, not {filler}(X).",
+                q(&target_label(dm, target))
+            );
+        }
+        ExecMode::Assertion => {
+            // Guard on *asserted* links only, so the skolem rules stay
+            // stratified (see module docs).
+            if has_target_pred {
+                let _ = writeln!(
+                    text,
+                    "{filler}(X) :- relinst({r}, X, Y), {tpred}(Y)."
+                );
+            } else {
+                let _ = writeln!(text, "{filler}(X) :- relinst({r}, X, _).");
+            }
+            let d = q(&target_label(dm, target));
+            let _ = writeln!(
+                text,
+                "relinst_sk({r}, X, sk({c}, {r}, {d}, X)) :- X : {c}, not {filler}(X)."
+            );
+            for class in skolem_classes(dm, target) {
+                let _ = writeln!(
+                    text,
+                    "sk({c}, {r}, {d}, X) : {} :- X : {c}, not {filler}(X).",
+                    q(&class)
+                );
+            }
+        }
+    }
+}
+
+/// `C ⊑ ∀r.D` at the instance level.
+fn compile_all(
+    dm: &DomainMap,
+    i: usize,
+    c: &str,
+    role: &str,
+    target: NodeId,
+    mode: ExecMode,
+    text: &mut String,
+) {
+    let r = q(role);
+    match (mode, dm.node_kind(target)) {
+        (ExecMode::Assertion, NodeKind::Concept(d)) => {
+            // Type propagation: every filler is a D.
+            let _ = writeln!(
+                text,
+                "Y : {} :- X : {c}, role_all({r}, X, Y).",
+                q(d)
+            );
+        }
+        (ExecMode::Assertion, _) => {
+            // Anonymous target: propagate each recognizable class.
+            for class in skolem_classes(dm, target) {
+                let _ = writeln!(
+                    text,
+                    "Y : {} :- X : {c}, role_all({r}, X, Y).",
+                    q(&class)
+                );
+            }
+        }
+        (ExecMode::Constraint, _) => {
+            if emit_target_pred(dm, i, target, text) {
+                let tpred = format!("dm_t_{i}");
+                let _ = writeln!(
+                    text,
+                    "wall({c}, {r}, Y) : ic :- X : {c}, role_all({r}, X, Y), not {tpred}(Y)."
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::load_axioms;
+    use kind_flogic::FLogic;
+
+    fn engine_with(dm: &DomainMap, mode: ExecMode, data: &str) -> FLogic {
+        let mut fl = FLogic::new();
+        fl.load_datalog(DM_OPS_RULES).unwrap();
+        let prog = compile(dm, mode);
+        fl.load(&prog.text).unwrap();
+        fl.load(data).unwrap();
+        fl
+    }
+
+    #[test]
+    fn isa_edges_propagate_instances() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Purkinje_Cell < Spiny_Neuron. Spiny_Neuron < Neuron.").unwrap();
+        let fl = engine_with(&dm, ExecMode::Assertion, r#"p1 : "Purkinje_Cell"."#);
+        let m = fl.run().unwrap();
+        assert!(fl.is_instance(&m, "p1", "Neuron"));
+    }
+
+    #[test]
+    fn constraint_mode_reports_missing_fillers() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Neuron < exists has.Compartment.").unwrap();
+        let fl = engine_with(
+            &dm,
+            ExecMode::Constraint,
+            r#"n1 : "Neuron". n2 : "Neuron".
+               c1 : "Compartment".
+               relinst("has", n1, c1)."#,
+        );
+        let m = fl.run().unwrap();
+        let ws = fl.inconsistency_witnesses(&m);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].contains("n2"), "{ws:?}");
+    }
+
+    #[test]
+    fn assertion_mode_creates_placeholders() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Neuron < exists has.Compartment.").unwrap();
+        let fl = engine_with(
+            &dm,
+            ExecMode::Assertion,
+            r#"n1 : "Neuron". n2 : "Neuron".
+               c1 : "Compartment".
+               relinst("has", n1, c1)."#,
+        );
+        let m = fl.run().unwrap();
+        assert!(fl.inconsistency_witnesses(&m).is_empty());
+        // n2 got a placeholder filler, typed Compartment.
+        let mut e = fl.engine().clone();
+        let sk = e.query_model(&m, "relinst_sk(R, n2, Y)").unwrap();
+        assert_eq!(sk.len(), 1);
+        let comps = fl.instances_of(&m, "Compartment");
+        assert!(comps.iter().any(|c| c.starts_with("sk(")), "{comps:?}");
+        // n1 has an asserted filler: no placeholder.
+        assert!(e.query_model(&m, "relinst_sk(R, n1, Y)").unwrap().is_empty());
+    }
+
+    #[test]
+    fn forall_edge_types_fillers() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "MyNeuron < all has.MyDendrite.").unwrap();
+        let fl = engine_with(
+            &dm,
+            ExecMode::Assertion,
+            r#"m1 : "MyNeuron". d1 : x.
+               relinst("has", m1, d1)."#,
+        );
+        let m = fl.run().unwrap();
+        assert!(fl.is_instance(&m, "d1", "MyDendrite"));
+    }
+
+    #[test]
+    fn forall_constraint_reports_foreign_fillers() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "MyNeuron < all has.MyDendrite.").unwrap();
+        let fl = engine_with(
+            &dm,
+            ExecMode::Constraint,
+            r#"m1 : "MyNeuron". d1 : other.
+               relinst("has", m1, d1)."#,
+        );
+        let m = fl.run().unwrap();
+        let ws = fl.inconsistency_witnesses(&m);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].starts_with("wall("), "{ws:?}");
+    }
+
+    #[test]
+    fn eqv_recognition_rule() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Spiny_Neuron = Neuron and exists has.Spine.").unwrap();
+        let fl = engine_with(
+            &dm,
+            ExecMode::Assertion,
+            r#"n1 : "Neuron". s1 : "Spine".
+               relinst("has", n1, s1).
+               n2 : "Neuron"."#,
+        );
+        let m = fl.run().unwrap();
+        // n1 has a spine: recognized as Spiny_Neuron. n2 not.
+        assert!(fl.is_instance(&m, "n1", "Spiny_Neuron"));
+        assert!(!fl.is_instance(&m, "n2", "Spiny_Neuron"));
+        // Forward: a declared Spiny_Neuron is a Neuron and gets a spine
+        // placeholder.
+        let fl2 = engine_with(&dm, ExecMode::Assertion, r#"z : "Spiny_Neuron"."#);
+        let m2 = fl2.run().unwrap();
+        assert!(fl2.is_instance(&m2, "z", "Neuron"));
+        let spines = fl2.instances_of(&m2, "Spine");
+        assert_eq!(spines.len(), 1);
+        assert!(spines[0].starts_with("sk("));
+    }
+
+    #[test]
+    fn or_membership_constraint() {
+        let mut dm = DomainMap::new();
+        load_axioms(&mut dm, "Compartment < Axon or Dendrite or Soma.").unwrap();
+        let fl = engine_with(
+            &dm,
+            ExecMode::Constraint,
+            r#"c1 : "Compartment". c1 : "Axon".
+               c2 : "Compartment"."#,
+        );
+        let m = fl.run().unwrap();
+        let ws = fl.inconsistency_witnesses(&m);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].contains("c2"));
+    }
+
+    #[test]
+    fn concept_level_export_feeds_closures() {
+        let mut dm = DomainMap::new();
+        load_axioms(
+            &mut dm,
+            "Dendrite < Compartment.
+             Neuron < exists has_a.Compartment.
+             Dendrite < exists has_a.Branch.",
+        )
+        .unwrap();
+        let fl = engine_with(&dm, ExecMode::Assertion, "");
+        let m = fl.run().unwrap();
+        let mut e = fl.engine().clone();
+        // dc propagates Neuron's has_a to... and dendrite link lifts: the
+        // paper's has_a_star.
+        let star = e.query_model(&m, "has_a_star(X, Y)").unwrap();
+        assert!(star.contains(&vec![
+            e.constant("Neuron"),
+            e.constant("Compartment")
+        ]));
+        // Dendrite (a Compartment) inherits nothing downward here, but
+        // its own link is present:
+        assert!(star.contains(&vec![e.constant("Dendrite"), e.constant("Branch")]));
+    }
+
+    #[test]
+    fn placeholder_chains_are_depth_bounded() {
+        // Branch has_a Spine; Spine has_a Branch — a cyclic partonomy
+        // would generate unbounded skolem chains without the depth limit.
+        let mut dm = DomainMap::new();
+        load_axioms(
+            &mut dm,
+            "Branch < exists has.Spine. Spine < exists has.Branch.",
+        )
+        .unwrap();
+        let fl = engine_with(&dm, ExecMode::Assertion, r#"b0 : "Branch"."#);
+        let opts = kind_datalog::EvalOptions {
+            max_term_depth: 5,
+            ..Default::default()
+        };
+        let m = fl.run_with(&opts).unwrap();
+        assert!(m.stats.depth_clipped > 0);
+        let branches = fl.instances_of(&m, "Branch");
+        assert!(branches.len() >= 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The semantic index: anchoring source data in the domain map.
+//!
+//! "As part of registering a source's CM with the mediator, the wrapper
+//! creates a *semantic index* of its data into the domain map. … these
+//! indexes not only semantically correlate the multiple worlds data …
+//! they are also useful during query processing, for example, to select
+//! relevant sources" (abstract; §4 "Registering Source Data"; §5 step 2).
+//!
+//! Anchoring tags each exported object with the concept(s) it instantiates
+//! — *without* changing the domain map itself.
+
+use crate::graph::NodeId;
+use crate::ops::Resolved;
+use std::collections::{HashMap, HashSet};
+
+/// A registered source's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u32);
+
+impl std::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// The mediator's semantic index: concept → sources with data anchored
+/// there (with object counts), plus the reverse map.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticIndex {
+    /// concept → source → number of anchored objects.
+    by_concept: HashMap<NodeId, HashMap<SourceId, usize>>,
+    /// source → concepts it anchors at.
+    by_source: HashMap<SourceId, HashSet<NodeId>>,
+}
+
+impl SemanticIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `source` anchors one object at `concept`.
+    pub fn anchor(&mut self, source: SourceId, concept: NodeId) {
+        self.anchor_many(source, concept, 1);
+    }
+
+    /// Records `count` anchored objects at once.
+    pub fn anchor_many(&mut self, source: SourceId, concept: NodeId, count: usize) {
+        if count == 0 {
+            return;
+        }
+        *self
+            .by_concept
+            .entry(concept)
+            .or_default()
+            .entry(source)
+            .or_insert(0) += count;
+        self.by_source.entry(source).or_default().insert(concept);
+    }
+
+    /// The sources with data anchored *exactly* at `concept`.
+    pub fn sources_at(&self, concept: NodeId) -> Vec<SourceId> {
+        let mut v: Vec<SourceId> = self
+            .by_concept
+            .get(&concept)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// **Source selection** (§5 step 2): the sources with data anchored at
+    /// `concept` or at any concept in its isa-descendant cone. A query
+    /// about "Dendrite" is answerable by a source anchored at
+    /// "Purkinje_Cell dendrite" data one level down.
+    pub fn sources_below(&self, resolved: &Resolved, concept: NodeId) -> Vec<SourceId> {
+        let mut out: HashSet<SourceId> = HashSet::new();
+        for d in resolved.descendants(concept) {
+            if let Some(m) = self.by_concept.get(&d) {
+                out.extend(m.keys().copied());
+            }
+        }
+        let mut v: Vec<SourceId> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Sources relevant to *all* of the given concepts (intersection of
+    /// per-concept cones) — the neuron/compartment pair selection of §5.
+    pub fn sources_for_all(&self, resolved: &Resolved, concepts: &[NodeId]) -> Vec<SourceId> {
+        let mut iter = concepts.iter();
+        let Some(&first) = iter.next() else {
+            return Vec::new();
+        };
+        let mut acc: HashSet<SourceId> = self.sources_below(resolved, first).into_iter().collect();
+        for &c in iter {
+            let s: HashSet<SourceId> = self.sources_below(resolved, c).into_iter().collect();
+            acc.retain(|x| s.contains(x));
+        }
+        let mut v: Vec<SourceId> = acc.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// The concepts `source` anchors at.
+    pub fn concepts_of(&self, source: SourceId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .by_source
+            .get(&source)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Number of objects `source` anchored at `concept`.
+    pub fn count(&self, source: SourceId, concept: NodeId) -> usize {
+        self.by_concept
+            .get(&concept)
+            .and_then(|m| m.get(&source))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total anchored objects across all sources and concepts.
+    pub fn total_anchors(&self) -> usize {
+        self.by_concept.values().flat_map(|m| m.values()).sum()
+    }
+
+    /// All registered sources.
+    pub fn sources(&self) -> Vec<SourceId> {
+        let mut v: Vec<SourceId> = self.by_source.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::load_axioms;
+    use crate::graph::DomainMap;
+
+    fn setup() -> (DomainMap, Resolved, SemanticIndex) {
+        let mut dm = DomainMap::new();
+        load_axioms(
+            &mut dm,
+            "Purkinje_Cell, Pyramidal_Cell < Spiny_Neuron.
+             Spiny_Neuron < Neuron.
+             Spine < Compartment.",
+        )
+        .unwrap();
+        let r = Resolved::new(&dm);
+        (dm, r, SemanticIndex::new())
+    }
+
+    #[test]
+    fn anchoring_counts() {
+        let (dm, _, mut idx) = setup();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        idx.anchor(SourceId(0), pc);
+        idx.anchor_many(SourceId(0), pc, 4);
+        assert_eq!(idx.count(SourceId(0), pc), 5);
+        assert_eq!(idx.total_anchors(), 5);
+    }
+
+    #[test]
+    fn source_selection_descends_the_cone() {
+        let (dm, r, mut idx) = setup();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let py = dm.lookup("Pyramidal_Cell").unwrap();
+        let neuron = dm.lookup("Neuron").unwrap();
+        idx.anchor(SourceId(0), pc); // NCMIR-like: purkinje data
+        idx.anchor(SourceId(1), py); // SYNAPSE-like: pyramidal data
+        // A query about neurons is served by both.
+        assert_eq!(idx.sources_below(&r, neuron), vec![SourceId(0), SourceId(1)]);
+        // A query about purkinje cells only by source 0.
+        assert_eq!(idx.sources_below(&r, pc), vec![SourceId(0)]);
+        // Exact anchoring at Neuron: nobody.
+        assert!(idx.sources_at(neuron).is_empty());
+    }
+
+    #[test]
+    fn intersection_selection() {
+        let (dm, r, mut idx) = setup();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let spine = dm.lookup("Spine").unwrap();
+        let comp = dm.lookup("Compartment").unwrap();
+        let neuron = dm.lookup("Neuron").unwrap();
+        idx.anchor(SourceId(0), pc);
+        idx.anchor(SourceId(0), spine);
+        idx.anchor(SourceId(1), pc);
+        // Only source 0 has both neuron-cone and compartment-cone data.
+        assert_eq!(idx.sources_for_all(&r, &[neuron, comp]), vec![SourceId(0)]);
+        assert_eq!(
+            idx.sources_for_all(&r, &[neuron]),
+            vec![SourceId(0), SourceId(1)]
+        );
+        assert!(idx.sources_for_all(&r, &[]).is_empty());
+    }
+
+    #[test]
+    fn reverse_map() {
+        let (dm, _, mut idx) = setup();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let spine = dm.lookup("Spine").unwrap();
+        idx.anchor(SourceId(7), pc);
+        idx.anchor(SourceId(7), spine);
+        assert_eq!(idx.concepts_of(SourceId(7)).len(), 2);
+        assert_eq!(idx.sources(), vec![SourceId(7)]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Structural subsumption on a restricted, decidable fragment.
+//!
+//! Proposition 1: *"Subsumption and satisfiability are undecidable for
+//! unrestricted GCM domain maps"* — because the GCM's rule extension
+//! reaches full FO(LFP). The paper's answer is pragmatic: "in a typical
+//! mediator system, reasoning about the DM may be required only to a
+//! limited extent … restricted and decidable fragments like the ANATOM
+//! domain map are often sufficient" (§6).
+//!
+//! This module implements that restricted fragment: structural
+//! subsumption over the DL edge language of Definition 1 *without* the
+//! rule extension. Definitions (`≡` axioms) are unfolded to a bounded
+//! depth (cyclic definitions are truncated rather than looped on), told
+//! subsumers (`⊑` axioms) are closed transitively, and the check is
+//! **sound but incomplete**: `subsumes` returning `true` is always a real
+//! entailment; `false` may be a "don't know".
+
+use crate::axiom::{Axiom, AxiomOp, ConceptExpr};
+use std::collections::{HashMap, HashSet};
+
+/// Maximum definition-unfolding depth (bounds cyclic TBoxes).
+const MAX_UNFOLD: usize = 16;
+
+/// A structural-subsumption reasoner over a set of axioms.
+#[derive(Debug, Clone, Default)]
+pub struct Subsumption {
+    /// A ≡ expr definitions.
+    defs: HashMap<String, ConceptExpr>,
+    /// Told subsumptions A ⊑ expr (conjunct lists per name).
+    told: HashMap<String, Vec<ConceptExpr>>,
+}
+
+/// The normal form of a concept: atoms plus quantified successors.
+#[derive(Debug, Clone, Default)]
+struct Norm {
+    atoms: HashSet<String>,
+    exists: Vec<(String, Norm)>,
+    forall: Vec<(String, Norm)>,
+    /// Disjunction alternatives (non-empty only when the concept is a
+    /// top-level OR; each alternative is itself a Norm).
+    alts: Vec<Norm>,
+}
+
+impl Subsumption {
+    /// Builds the reasoner from axioms.
+    pub fn new(axioms: &[Axiom]) -> Self {
+        let mut s = Subsumption::default();
+        for ax in axioms {
+            for subject in &ax.subjects {
+                match ax.op {
+                    AxiomOp::Eqv => {
+                        s.defs.insert(subject.clone(), ax.rhs.clone());
+                    }
+                    AxiomOp::Sub => {
+                        s.told.entry(subject.clone()).or_default().push(ax.rhs.clone());
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Normalizes an expression, unfolding definitions and told
+    /// subsumers up to the depth bound. A *defined* name (`≡` axiom) is
+    /// replaced by its definition; a *primitive* name stays as an atom
+    /// (plus its told subsumers). Names already being expanded (cycles)
+    /// stay opaque atoms.
+    fn norm(&self, expr: &ConceptExpr, depth: usize, seen: &mut HashSet<String>) -> Norm {
+        let mut n = Norm::default();
+        self.norm_into(expr, depth, seen, &mut n);
+        n
+    }
+
+    fn norm_into(
+        &self,
+        expr: &ConceptExpr,
+        depth: usize,
+        seen: &mut HashSet<String>,
+        out: &mut Norm,
+    ) {
+        match expr {
+            ConceptExpr::Atomic(a) => {
+                if depth == 0 || seen.contains(a) {
+                    out.atoms.insert(a.clone());
+                    return;
+                }
+                seen.insert(a.clone());
+                match self.defs.get(a) {
+                    Some(def) => self.norm_into(&def.clone(), depth - 1, seen, out),
+                    None => {
+                        out.atoms.insert(a.clone());
+                    }
+                }
+                if let Some(supers) = self.told.get(a) {
+                    for sup in supers.clone() {
+                        self.norm_into(&sup, depth - 1, seen, out);
+                    }
+                }
+                seen.remove(a);
+            }
+            ConceptExpr::And(ms) => {
+                for m in ms {
+                    self.norm_into(m, depth, seen, out);
+                }
+            }
+            ConceptExpr::Or(ms) => {
+                for m in ms {
+                    let alt = self.norm(m, depth, seen);
+                    out.alts.push(alt);
+                }
+            }
+            ConceptExpr::Exists(r, inner) => {
+                let n = self.norm(inner, depth, seen);
+                out.exists.push((r.clone(), n));
+            }
+            ConceptExpr::Forall(r, inner) => {
+                let n = self.norm(inner, depth, seen);
+                out.forall.push((r.clone(), n));
+            }
+        }
+    }
+
+    /// Whether `sup` subsumes `sub` (`sub ⊑ sup`) in the restricted
+    /// fragment. Sound; incomplete (see module docs).
+    pub fn subsumes(&self, sup: &ConceptExpr, sub: &ConceptExpr) -> bool {
+        let sup_n = self.norm(sup, MAX_UNFOLD, &mut HashSet::new());
+        let sub_n = self.norm(sub, MAX_UNFOLD, &mut HashSet::new());
+        norm_subsumes(&sup_n, &sub_n)
+    }
+
+    /// Whether two expressions are equivalent in the fragment.
+    pub fn equivalent(&self, a: &ConceptExpr, b: &ConceptExpr) -> bool {
+        self.subsumes(a, b) && self.subsumes(b, a)
+    }
+
+    /// Classifies the named concepts: all pairs `(sub, sup)` with
+    /// `sub ⊑ sup`, `sub ≠ sup`.
+    pub fn classify(&self, names: &[&str]) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for &a in names {
+            for &b in names {
+                if a != b {
+                    let ea = ConceptExpr::Atomic(a.to_string());
+                    let eb = ConceptExpr::Atomic(b.to_string());
+                    if self.subsumes(&eb, &ea) {
+                        out.push((a.to_string(), b.to_string()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Structural check: every requirement of `sup` is met by `sub`.
+fn norm_subsumes(sup: &Norm, sub: &Norm) -> bool {
+    // If sub is a disjunction, every alternative must be subsumed.
+    if !sub.alts.is_empty() {
+        let core_ok = sub.alts.iter().all(|alt| {
+            let mut merged = alt.clone();
+            merged.atoms.extend(sub.atoms.iter().cloned());
+            merged.exists.extend(sub.exists.iter().cloned());
+            merged.forall.extend(sub.forall.iter().cloned());
+            merged.alts.clear();
+            norm_subsumes(sup, &merged)
+        });
+        return core_ok;
+    }
+    // If sup is a disjunction, some alternative must subsume sub.
+    if !sup.alts.is_empty() {
+        let plain = Norm {
+            atoms: sup.atoms.clone(),
+            exists: sup.exists.clone(),
+            forall: sup.forall.clone(),
+            alts: Vec::new(),
+        };
+        return norm_subsumes(&plain, sub)
+            && sup.alts.iter().any(|alt| norm_subsumes(alt, sub));
+    }
+    sup.atoms.is_subset(&sub.atoms)
+        && sup.exists.iter().all(|(r, d)| {
+            sub.exists
+                .iter()
+                .any(|(r2, c)| r == r2 && norm_subsumes(d, c))
+        })
+        && sup.forall.iter().all(|(r, d)| {
+            sub.forall
+                .iter()
+                .any(|(r2, c)| r == r2 && norm_subsumes(d, c))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axiom::parse_axioms;
+
+    fn reasoner(src: &str) -> Subsumption {
+        Subsumption::new(&parse_axioms(src).unwrap())
+    }
+
+    fn atom(n: &str) -> ConceptExpr {
+        ConceptExpr::Atomic(n.to_string())
+    }
+
+    #[test]
+    fn told_subsumption_is_transitive() {
+        let s = reasoner(
+            "Purkinje_Cell < Spiny_Neuron.
+             Spiny_Neuron < Neuron.
+             Neuron < Cell.",
+        );
+        assert!(s.subsumes(&atom("Cell"), &atom("Purkinje_Cell")));
+        assert!(!s.subsumes(&atom("Purkinje_Cell"), &atom("Cell")));
+    }
+
+    #[test]
+    fn definitions_unfold() {
+        let s = reasoner("Spiny_Neuron = Neuron and exists has.Spine.");
+        // Anything that is a Neuron with a spine is a Spiny_Neuron:
+        let candidate = parse_axioms("X = Neuron and exists has.Spine.").unwrap()[0]
+            .rhs
+            .clone();
+        assert!(s.subsumes(&atom("Spiny_Neuron"), &candidate));
+        assert!(s.subsumes(&candidate, &atom("Spiny_Neuron")));
+        assert!(s.equivalent(&atom("Spiny_Neuron"), &candidate));
+        // But a bare Neuron is not known to be spiny:
+        assert!(!s.subsumes(&atom("Spiny_Neuron"), &atom("Neuron")));
+        assert!(s.subsumes(&atom("Neuron"), &atom("Spiny_Neuron")));
+    }
+
+    #[test]
+    fn exists_successors_compared_recursively() {
+        let s = reasoner("Purkinje_Cell < Neuron. ");
+        let has_purkinje = ConceptExpr::Exists("touches".into(), Box::new(atom("Purkinje_Cell")));
+        let has_neuron = ConceptExpr::Exists("touches".into(), Box::new(atom("Neuron")));
+        // ∃touches.Purkinje_Cell ⊑ ∃touches.Neuron.
+        assert!(s.subsumes(&has_neuron, &has_purkinje));
+        assert!(!s.subsumes(&has_purkinje, &has_neuron));
+    }
+
+    #[test]
+    fn myneuron_example_from_figure3() {
+        let s = reasoner(
+            "MyDendrite = Dendrite and exists exp.Dopamine_R.
+             MyNeuron < Medium_Spiny_Neuron and exists proj.GPE and all has.MyDendrite.
+             Medium_Spiny_Neuron < Spiny_Neuron.
+             Spiny_Neuron < Neuron.",
+        );
+        assert!(s.subsumes(&atom("Neuron"), &atom("MyNeuron")));
+        assert!(s.subsumes(&atom("Dendrite"), &atom("MyDendrite")));
+        let projs_gpe = ConceptExpr::Exists("proj".into(), Box::new(atom("GPE")));
+        assert!(s.subsumes(&projs_gpe, &atom("MyNeuron")));
+    }
+
+    #[test]
+    fn disjunction_soundness() {
+        let s = reasoner("A < C. B < C.");
+        let a_or_b = ConceptExpr::Or(vec![atom("A"), atom("B")]);
+        // A ⊔ B ⊑ C since both disjuncts are.
+        assert!(s.subsumes(&atom("C"), &a_or_b));
+        // C ⊑ A ⊔ B does not follow.
+        assert!(!s.subsumes(&a_or_b, &atom("C")));
+        // A ⊑ A ⊔ B holds.
+        assert!(s.subsumes(&a_or_b, &atom("A")));
+    }
+
+    #[test]
+    fn cyclic_definitions_terminate() {
+        // Branch ≡ ∃has.Spine-carrier, Spine-carrier ≡ ∃part_of.Branch —
+        // unfolding must not loop.
+        let s = reasoner(
+            "Branch = exists has.Carrier.
+             Carrier = exists part_of.Branch.",
+        );
+        assert!(s.subsumes(&atom("Branch"), &atom("Branch")));
+        assert!(!s.subsumes(&atom("Branch"), &atom("Carrier")));
+    }
+
+    #[test]
+    fn classify_produces_hierarchy_pairs() {
+        let s = reasoner(
+            "Purkinje_Cell < Spiny_Neuron.
+             Spiny_Neuron < Neuron.",
+        );
+        let pairs = s.classify(&["Purkinje_Cell", "Spiny_Neuron", "Neuron"]);
+        assert!(pairs.contains(&("Purkinje_Cell".into(), "Neuron".into())));
+        assert!(pairs.contains(&("Spiny_Neuron".into(), "Neuron".into())));
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn forall_compared_covariantly() {
+        let s = reasoner("MyDendrite < Dendrite.");
+        let all_my = ConceptExpr::Forall("has".into(), Box::new(atom("MyDendrite")));
+        let all_d = ConceptExpr::Forall("has".into(), Box::new(atom("Dendrite")));
+        assert!(s.subsumes(&all_d, &all_my));
+        assert!(!s.subsumes(&all_my, &all_d));
+    }
+}

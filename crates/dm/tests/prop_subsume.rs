@@ -1,0 +1,110 @@
+//! Property tests: the structural subsumption reasoner is sound w.r.t.
+//! graph reachability on randomly generated told hierarchies, and lub is
+//! a true upper bound.
+
+use kind_dm::subsume::Subsumption;
+use kind_dm::{parse_axioms, ConceptExpr, DomainMap, Resolved};
+use proptest::prelude::*;
+
+fn atom(i: usize) -> ConceptExpr {
+    ConceptExpr::Atomic(format!("C{i}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// On a random acyclic told hierarchy, reasoner subsumption must
+    /// coincide exactly with graph reachability (told axioms carry no
+    /// extra structure for the reasoner to exploit, so soundness and
+    /// completeness both hold here).
+    #[test]
+    fn told_hierarchy_reasoner_equals_graph(
+        parents in prop::collection::vec(0usize..14, 14)
+    ) {
+        let mut text = String::new();
+        for (i, &p) in parents.iter().enumerate() {
+            let child = i + 1;
+            let parent = p % child;
+            text.push_str(&format!("C{child} < C{parent}.\n"));
+        }
+        let axioms = parse_axioms(&text).unwrap();
+        let reasoner = Subsumption::new(&axioms);
+        let mut dm = DomainMap::new();
+        kind_dm::load_axioms(&mut dm, &text).unwrap();
+        let r = Resolved::new(&dm);
+        for a in 0..15usize {
+            for b in 0..15usize {
+                let graph = r.is_subconcept(
+                    dm.lookup(&format!("C{a}")).unwrap(),
+                    dm.lookup(&format!("C{b}")).unwrap(),
+                );
+                let logic = reasoner.subsumes(&atom(b), &atom(a));
+                prop_assert_eq!(graph, logic, "C{} ⊑ C{}: graph={} logic={}", a, b, graph, logic);
+            }
+        }
+    }
+
+    /// Subsumption is reflexive and transitive on random hierarchies
+    /// with definitions mixed in.
+    #[test]
+    fn subsumption_is_a_preorder(
+        parents in prop::collection::vec(0usize..8, 8),
+        def_targets in prop::collection::vec(0usize..8, 0..3)
+    ) {
+        let mut text = String::new();
+        for (i, &p) in parents.iter().enumerate() {
+            let child = i + 1;
+            text.push_str(&format!("C{child} < C{}.\n", p % child));
+        }
+        // A few defined concepts on top.
+        for (k, &t) in def_targets.iter().enumerate() {
+            text.push_str(&format!("D{k} = C{t} and exists r.C0.\n"));
+        }
+        let axioms = parse_axioms(&text).unwrap();
+        let s = Subsumption::new(&axioms);
+        let mut names: Vec<ConceptExpr> = (0..9).map(atom).collect();
+        for k in 0..def_targets.len() {
+            names.push(ConceptExpr::Atomic(format!("D{k}")));
+        }
+        for x in &names {
+            prop_assert!(s.subsumes(x, x), "reflexivity failed for {x}");
+        }
+        for x in &names {
+            for y in &names {
+                for z in &names {
+                    if s.subsumes(y, x) && s.subsumes(z, y) {
+                        prop_assert!(
+                            s.subsumes(z, x),
+                            "transitivity failed: {x} ⊑ {y} ⊑ {z}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// partonomy_lub really is an upper bound: every input concept is in
+    /// the downward closure of the result.
+    #[test]
+    fn partonomy_lub_is_upper_bound(
+        links in prop::collection::vec((0usize..10, 0usize..10), 1..14)
+    ) {
+        let mut dm = DomainMap::new();
+        for i in 0..10usize {
+            dm.concept(&format!("R{i}"));
+        }
+        for &(a, b) in &links {
+            if a != b {
+                dm.ex(&format!("R{a}"), "has_a", &format!("R{b}"));
+            }
+        }
+        let r = Resolved::new(&dm);
+        let x = dm.lookup("R1").unwrap();
+        let y = dm.lookup("R2").unwrap();
+        if let Some(l) = r.partonomy_lub("has_a", &[x, y]) {
+            let region = r.downward_closure("has_a", l);
+            prop_assert!(region.contains(&x), "lub region must contain R1");
+            prop_assert!(region.contains(&y), "lub region must contain R2");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! F-logic molecules — the abstract syntax of the GCM's F-logic fragment
+//! (paper Table 1).
+//!
+//! | GCM expression                   | FL syntax            |
+//! |----------------------------------|----------------------|
+//! | `instance(X, C)`                 | `X : C`              |
+//! | `subclass(C1, C2)`               | `C1 :: C2`           |
+//! | `method(C, M, CM)`               | `C[M => CM]`         |
+//! | `methodinst(X, M, Y)`            | `X[M ->> Y]`         |
+//! | `relation(R, A1=C1, …)`          | `R[A1 => C1; …]`     |
+//! | `relationinst(R, A1=X1, …)`      | `R[A1 -> X1; …]` / `r(X1,…,Xn)` |
+//!
+//! A molecule is translated into one or more Datalog atoms by
+//! [`crate::translate`]; plain predicates are passed through unchanged so
+//! FL rules can mix frame syntax and ordinary atoms, exactly as the
+//! paper's view definitions do (Example 4).
+
+use kind_datalog::{Interner, Term};
+use std::fmt;
+
+/// How a method arrow was written. `=>` declares a signature (schema
+/// level); `->` / `->>` state a method value (instance level). `->` and
+/// `->>` are synonymous here (F-logic distinguishes functional/set-valued
+/// methods; the GCM treats all methods as set-valued, paper §3 METH:
+/// "yielding zero or more objects").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrowKind {
+    /// `=>`: schema-level signature.
+    Signature,
+    /// `->` or `->>`: instance-level value.
+    Value,
+}
+
+/// One `method arrow value` spec inside a frame `O[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// The method (attribute/role) term.
+    pub method: Term,
+    /// Arrow kind.
+    pub arrow: ArrowKind,
+    /// The value or result-class term.
+    pub value: Term,
+}
+
+/// An F-logic molecule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Molecule {
+    /// `X : C`
+    IsA {
+        /// The instance term.
+        obj: Term,
+        /// The class term.
+        class: Term,
+    },
+    /// `C1 :: C2`
+    SubClass {
+        /// The subclass term.
+        sub: Term,
+        /// The superclass term.
+        sup: Term,
+    },
+    /// `O[m1 -> v1; m2 => C2; …]` — a frame with one or more specs.
+    Frame {
+        /// The host object term.
+        obj: Term,
+        /// The method specs inside the brackets.
+        specs: Vec<MethodSpec>,
+    },
+    /// A plain predicate atom `p(t1, …, tn)` passed through to Datalog.
+    Plain(kind_datalog::Atom),
+}
+
+impl Molecule {
+    /// Renders the molecule in FL syntax.
+    pub fn display<'a>(&'a self, syms: &'a Interner) -> MoleculeDisplay<'a> {
+        MoleculeDisplay { mol: self, syms }
+    }
+}
+
+/// Pretty-printing adapter for [`Molecule`].
+pub struct MoleculeDisplay<'a> {
+    mol: &'a Molecule,
+    syms: &'a Interner,
+}
+
+impl fmt::Display for MoleculeDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mol {
+            Molecule::IsA { obj, class } => {
+                write!(f, "{} : {}", obj.display(self.syms), class.display(self.syms))
+            }
+            Molecule::SubClass { sub, sup } => {
+                write!(f, "{} :: {}", sub.display(self.syms), sup.display(self.syms))
+            }
+            Molecule::Frame { obj, specs } => {
+                write!(f, "{}[", obj.display(self.syms))?;
+                for (i, s) in specs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    let arrow = match s.arrow {
+                        ArrowKind::Signature => "=>",
+                        ArrowKind::Value => "->",
+                    };
+                    write!(
+                        f,
+                        "{} {arrow} {}",
+                        s.method.display(self.syms),
+                        s.value.display(self.syms)
+                    )?;
+                }
+                write!(f, "]")
+            }
+            Molecule::Plain(a) => write!(f, "{}", a.display(self.syms)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kind_datalog::Interner;
+
+    #[test]
+    fn display_isa_and_subclass() {
+        let mut syms = Interner::new();
+        let n1 = Term::Const(syms.intern("n1"));
+        let neuron = Term::Const(syms.intern("neuron"));
+        let cell = Term::Const(syms.intern("cell"));
+        let m = Molecule::IsA {
+            obj: n1.clone(),
+            class: neuron.clone(),
+        };
+        assert_eq!(m.display(&syms).to_string(), "n1 : neuron");
+        let s = Molecule::SubClass {
+            sub: neuron,
+            sup: cell,
+        };
+        assert_eq!(s.display(&syms).to_string(), "neuron :: cell");
+    }
+
+    #[test]
+    fn display_frame() {
+        let mut syms = Interner::new();
+        let n1 = Term::Const(syms.intern("n1"));
+        let size = Term::Const(syms.intern("size"));
+        let m = Molecule::Frame {
+            obj: n1,
+            specs: vec![MethodSpec {
+                method: size,
+                arrow: ArrowKind::Value,
+                value: Term::Int(42),
+            }],
+        };
+        assert_eq!(m.display(&syms).to_string(), "n1[size -> 42]");
+    }
+}

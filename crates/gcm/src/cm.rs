@@ -1,0 +1,421 @@
+//! Conceptual models and the mediator-side GCM base.
+//!
+//! A [`ConceptualModel`] is what a wrapped source exports at registration
+//! time: class schemas, relationship schemas, instances, and semantic
+//! rules (paper §2, "The Mediator System at Work"). A [`GcmBase`] is the
+//! mediator's populated GCM engine: it hosts any number of applied CMs
+//! plus the integrity-constraint machinery of §3.
+
+use crate::constraints;
+use crate::decl::{GcmDecl, GcmValue};
+use crate::error::{GcmError, Result};
+use kind_datalog::{EvalOptions, Model, Term};
+use kind_flogic::FLogic;
+use std::collections::HashMap;
+
+/// A named conceptual model: an ordered list of GCM declarations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConceptualModel {
+    /// The model's name (usually the source name).
+    pub name: String,
+    /// Declarations in export order.
+    pub decls: Vec<GcmDecl>,
+}
+
+impl ConceptualModel {
+    /// Creates an empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        ConceptualModel {
+            name: name.into(),
+            decls: Vec::new(),
+        }
+    }
+
+    /// Appends a declaration.
+    pub fn push(&mut self, decl: GcmDecl) -> &mut Self {
+        self.decls.push(decl);
+        self
+    }
+
+    /// Builder: `obj : class`.
+    pub fn instance(mut self, obj: &str, class: &str) -> Self {
+        self.decls.push(GcmDecl::Instance {
+            obj: obj.into(),
+            class: class.into(),
+        });
+        self
+    }
+
+    /// Builder: `sub :: sup`.
+    pub fn subclass(mut self, sub: &str, sup: &str) -> Self {
+        self.decls.push(GcmDecl::Subclass {
+            sub: sub.into(),
+            sup: sup.into(),
+        });
+        self
+    }
+
+    /// Builder: method signature.
+    pub fn method(mut self, class: &str, method: &str, result: &str) -> Self {
+        self.decls.push(GcmDecl::Method {
+            class: class.into(),
+            method: method.into(),
+            result: result.into(),
+        });
+        self
+    }
+
+    /// Builder: instance-level method value.
+    pub fn method_inst(mut self, obj: &str, method: &str, value: GcmValue) -> Self {
+        self.decls.push(GcmDecl::MethodInst {
+            obj: obj.into(),
+            method: method.into(),
+            value,
+        });
+        self
+    }
+
+    /// Builder: relation schema.
+    pub fn relation(mut self, name: &str, roles: &[(&str, &str)]) -> Self {
+        self.decls.push(GcmDecl::Relation {
+            name: name.into(),
+            roles: roles
+                .iter()
+                .map(|(a, c)| ((*a).to_string(), (*c).to_string()))
+                .collect(),
+        });
+        self
+    }
+
+    /// Builder: relation tuple.
+    pub fn relation_inst(mut self, name: &str, values: &[(&str, GcmValue)]) -> Self {
+        self.decls.push(GcmDecl::RelationInst {
+            name: name.into(),
+            values: values
+                .iter()
+                .map(|(a, v)| ((*a).to_string(), v.clone()))
+                .collect(),
+        });
+        self
+    }
+
+    /// Builder: a semantic rule in FL syntax.
+    pub fn rule(mut self, text: &str) -> Self {
+        self.decls.push(GcmDecl::Rule { text: text.into() });
+        self
+    }
+
+    /// Number of instance-level declarations (objects, method values,
+    /// tuples) — the "data size" of the export.
+    pub fn instance_count(&self) -> usize {
+        self.decls
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d,
+                    GcmDecl::Instance { .. }
+                        | GcmDecl::MethodInst { .. }
+                        | GcmDecl::RelationInst { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// The mediator's GCM engine: F-logic knowledge base + relation schemas +
+/// the integrity-constraint rule library.
+#[derive(Debug, Clone)]
+pub struct GcmBase {
+    fl: FLogic,
+    /// Relation name → role list (role, class) in positional order.
+    relations: HashMap<String, Vec<(String, String)>>,
+}
+
+impl Default for GcmBase {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GcmBase {
+    /// Creates a base with the FL core axioms, the meta-level reflection
+    /// axioms (classes are instances of the meta-class `class`; `::` is
+    /// reflected as the reified relation `isa`), and the constraint rule
+    /// library installed.
+    pub fn new() -> Self {
+        let mut fl = FLogic::new();
+        fl.load_datalog(
+            "% meta-level reflection (Example 2: R := `::`, C := `class`)
+             inst(C, class) :- class(C).
+             relinst(isa, X, Y) :- sub(X, Y).",
+        )
+        .expect("meta axioms well-formed");
+        fl.load(constraints::CONSTRAINT_RULES)
+            .expect("constraint rules well-formed");
+        GcmBase {
+            fl,
+            relations: HashMap::new(),
+        }
+    }
+
+    /// The underlying F-logic knowledge base.
+    pub fn flogic(&self) -> &FLogic {
+        &self.fl
+    }
+
+    /// Mutable access to the F-logic knowledge base.
+    pub fn flogic_mut(&mut self) -> &mut FLogic {
+        &mut self.fl
+    }
+
+    /// The declared roles of `relation`, if known.
+    pub fn relation_roles(&self, relation: &str) -> Option<&[(String, String)]> {
+        self.relations.get(relation).map(Vec::as_slice)
+    }
+
+    fn value_term(&mut self, v: &GcmValue) -> Term {
+        match v {
+            GcmValue::Id(s) | GcmValue::Str(s) => self.fl.engine_mut().constant(s),
+            GcmValue::Int(i) => Term::Int(*i),
+        }
+    }
+
+    /// Applies one declaration.
+    pub fn apply_decl(&mut self, decl: &GcmDecl) -> Result<()> {
+        match decl {
+            GcmDecl::Instance { obj, class } => {
+                self.fl.assert_instance(obj, class)?;
+                self.fl.declare_class(class)?;
+            }
+            GcmDecl::Subclass { sub, sup } => {
+                self.fl.declare_subclass(sub, sup)?;
+                self.fl.declare_class(sub)?;
+                self.fl.declare_class(sup)?;
+            }
+            GcmDecl::Method {
+                class,
+                method,
+                result,
+            } => {
+                let preds = *self.fl.preds();
+                let (c, m, r) = {
+                    let e = self.fl.engine_mut();
+                    (e.constant(class), e.constant(method), e.constant(result))
+                };
+                self.fl.engine_mut().add_fact(preds.meth, vec![c, m, r])?;
+                self.fl.declare_class(class)?;
+                self.fl.declare_class(result)?;
+            }
+            GcmDecl::MethodInst { obj, method, value } => {
+                let o = self.fl.engine_mut().constant(obj);
+                let v = self.value_term(value);
+                self.fl.assert_method(o, method, v)?;
+            }
+            GcmDecl::Relation { name, roles } => {
+                self.relations.insert(name.clone(), roles.clone());
+                // Schema facts: relsch(name, pos, role, class); rel(name, arity).
+                let e = self.fl.engine_mut();
+                let relsch = e.sym("relsch");
+                let rel = e.sym("rel");
+                let n = e.constant(name);
+                let arity = roles.len() as i64;
+                e.add_fact(rel, vec![n.clone(), Term::Int(arity)])?;
+                for (i, (role, class)) in roles.iter().enumerate() {
+                    let r = e.constant(role);
+                    let c = e.constant(class);
+                    e.add_fact(relsch, vec![n.clone(), Term::Int(i as i64), r, c])?;
+                }
+                for (_, class) in roles {
+                    self.fl.declare_class(class)?;
+                }
+            }
+            GcmDecl::RelationInst { name, values } => {
+                let roles = self
+                    .relations
+                    .get(name)
+                    .ok_or_else(|| GcmError::UnknownRelation { name: name.clone() })?
+                    .clone();
+                if values.len() != roles.len() {
+                    return Err(GcmError::RoleMismatch {
+                        relation: name.clone(),
+                        role: format!("expected {} roles, got {}", roles.len(), values.len()),
+                    });
+                }
+                let mut positional: Vec<Option<Term>> = vec![None; roles.len()];
+                for (role, v) in values {
+                    let pos = roles.iter().position(|(a, _)| a == role).ok_or_else(|| {
+                        GcmError::RoleMismatch {
+                            relation: name.clone(),
+                            role: role.clone(),
+                        }
+                    })?;
+                    let t = self.value_term(v);
+                    positional[pos] = Some(t);
+                }
+                let args: Vec<Term> = positional
+                    .into_iter()
+                    .map(|t| t.expect("all positions filled by role check"))
+                    .collect();
+                let e = self.fl.engine_mut();
+                let p = e.sym(name);
+                e.add_fact(p, args.clone())?;
+                // Binary relations are mirrored into the reified store so
+                // meta-level constraints (Example 2) can quantify over R.
+                if args.len() == 2 {
+                    let relinst = e.sym("relinst");
+                    let n = e.constant(name);
+                    e.add_fact(relinst, vec![n, args[0].clone(), args[1].clone()])?;
+                }
+            }
+            GcmDecl::Rule { text } => {
+                self.fl.load(text)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a whole conceptual model.
+    pub fn apply(&mut self, cm: &ConceptualModel) -> Result<()> {
+        for d in &cm.decls {
+            self.apply_decl(d)?;
+        }
+        Ok(())
+    }
+
+    /// Declares that `relation` must be a partial order on `class`
+    /// (Example 2). Violations produce `wrc`/`wtc`/`was` witnesses in `ic`.
+    pub fn require_partial_order(&mut self, class: &str, relation: &str) -> Result<()> {
+        constraints::require_partial_order(&mut self.fl, class, relation).map_err(Into::into)
+    }
+
+    /// Adds a cardinality constraint (Example 3) on a binary relation.
+    pub fn require_cardinality(
+        &mut self,
+        relation: &str,
+        card: constraints::Cardinality,
+    ) -> Result<()> {
+        constraints::require_cardinality(&mut self.fl, relation, card).map_err(Into::into)
+    }
+
+    /// Evaluates the base.
+    pub fn run(&self) -> Result<Model> {
+        self.fl.run().map_err(Into::into)
+    }
+
+    /// Evaluates with explicit options.
+    pub fn run_with(&self, opts: &EvalOptions) -> Result<Model> {
+        self.fl.run_with(opts).map_err(Into::into)
+    }
+
+    /// The inconsistency witnesses in `model` (empty = consistent).
+    pub fn witnesses(&self, model: &Model) -> Vec<String> {
+        self.fl.inconsistency_witnesses(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neuro_cm() -> ConceptualModel {
+        ConceptualModel::new("NCMIR")
+            .subclass("purkinje_cell", "neuron")
+            .method("neuron", "soma_size", "integer")
+            .instance("p1", "purkinje_cell")
+            .method_inst("p1", "soma_size", GcmValue::Int(30))
+            .relation("has", &[("whole", "neuron"), ("part", "compartment")])
+            .relation_inst(
+                "has",
+                &[
+                    ("whole", GcmValue::Id("p1".into())),
+                    ("part", GcmValue::Id("d1".into())),
+                ],
+            )
+    }
+
+    #[test]
+    fn apply_and_query_cm() {
+        let mut base = GcmBase::new();
+        base.apply(&neuro_cm()).unwrap();
+        let m = base.run().unwrap();
+        assert!(base.flogic().is_instance(&m, "p1", "neuron"));
+        let vals = base.flogic().method_values(&m, "p1");
+        assert!(vals.contains(&("soma_size".into(), "30".into())));
+    }
+
+    #[test]
+    fn relation_roles_resolved_by_name_any_order() {
+        let mut base = GcmBase::new();
+        let cm = ConceptualModel::new("S")
+            .relation("proj", &[("from", "neuron"), ("to", "region")])
+            .relation_inst(
+                "proj",
+                &[
+                    ("to", GcmValue::Id("gpe".into())),
+                    ("from", GcmValue::Id("m1".into())),
+                ],
+            );
+        base.apply(&cm).unwrap();
+        let m = base.run().unwrap();
+        let mut e = base.flogic().engine().clone();
+        let sols = e.query_model(&m, "proj(m1, gpe)").unwrap();
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let mut base = GcmBase::new();
+        let cm = ConceptualModel::new("S").relation_inst("nope", &[]);
+        assert!(matches!(
+            base.apply(&cm),
+            Err(GcmError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn role_mismatch_rejected() {
+        let mut base = GcmBase::new();
+        let cm = ConceptualModel::new("S")
+            .relation("r", &[("a", "c1"), ("b", "c2")])
+            .relation_inst(
+                "r",
+                &[
+                    ("a", GcmValue::Id("x".into())),
+                    ("z", GcmValue::Id("y".into())),
+                ],
+            );
+        assert!(matches!(base.apply(&cm), Err(GcmError::RoleMismatch { .. })));
+    }
+
+    #[test]
+    fn semantic_rules_define_virtual_classes() {
+        // §2: semantic rules "for defining virtual classes and
+        // relationships".
+        let mut base = GcmBase::new();
+        let cm = ConceptualModel::new("S")
+            .instance("n1", "neuron")
+            .method_inst("n1", "size", GcmValue::Int(50))
+            .rule("X : big_neuron :- X : neuron, X[size -> S], S > 10.");
+        base.apply(&cm).unwrap();
+        let m = base.run().unwrap();
+        assert!(base.flogic().is_instance(&m, "n1", "big_neuron"));
+    }
+
+    #[test]
+    fn meta_reflection_classes_are_instances_of_class() {
+        let mut base = GcmBase::new();
+        base.apply(&ConceptualModel::new("S").subclass("axon", "compartment"))
+            .unwrap();
+        let m = base.run().unwrap();
+        assert!(base.flogic().is_instance(&m, "axon", "class"));
+        // `::` reflected into relinst(isa, _, _).
+        let mut e = base.flogic().engine().clone();
+        assert!(!e.query_model(&m, "relinst(isa, axon, compartment)").unwrap().is_empty());
+    }
+
+    #[test]
+    fn instance_count_counts_data_not_schema() {
+        let cm = neuro_cm();
+        assert_eq!(cm.instance_count(), 3);
+    }
+}

@@ -1,0 +1,319 @@
+//! The integrity-constraint library: Example 2 (partial orders) and
+//! Example 3 (cardinality constraints), generalized.
+//!
+//! A constraint is a *denial*: a rule whose head inserts a failure witness
+//! into the distinguished inconsistency class `ic` (§3 IC). The rules here
+//! are written once, at the meta level, quantifying over a reified binary
+//! relation `relinst(R, X, Y)`; which checks actually fire is controlled
+//! by declaration facts (`po_check`, `card_first_*`, `card_second_*`).
+
+use kind_datalog::{DatalogError, Term};
+use kind_flogic::FLogic;
+
+/// The meta-level constraint rules (installed once by
+/// [`crate::cm::GcmBase::new`]).
+///
+/// Partial-order checks are Example 2 verbatim (modulo the reified
+/// relation store): rule (1) reflexivity, (2) transitivity, (3)
+/// antisymmetry. Cardinality checks follow Example 3: counting distinct
+/// first-role values per second-role value and vice versa.
+pub const CONSTRAINT_RULES: &str = r#"
+% --- Example 2: is relation R a partial order on class C? -------------
+wrc(C, R, X) : ic :-
+    po_check(C, R), X : C, not relinst(R, X, X).
+wtc(C, R, X, Z, Y) : ic :-
+    po_check(C, R), X : C, Y : C, Z : C,
+    relinst(R, X, Z), relinst(R, Z, Y), not relinst(R, X, Y).
+was(C, R, X, Y) : ic :-
+    po_check(C, R), X : C, relinst(R, X, Y), relinst(R, Y, X), X != Y.
+
+% --- Example 3: cardinality constraints on binary relations -----------
+% "exactly M first-role values per second-role value"
+w_card_first(R, VB, N) : ic :-
+    card_first_exact(R, M), relinst(R, _, VB),
+    N = count{ VA [VB] ; relinst(R, VA, VB) }, N != M.
+% "at most M first-role values per second-role value"
+w_card_first_max(R, VB, N) : ic :-
+    card_first_max(R, M), relinst(R, _, VB),
+    N = count{ VA [VB] ; relinst(R, VA, VB) }, N > M.
+% "exactly M second-role values per first-role value"
+w_card_second(R, VA, N) : ic :-
+    card_second_exact(R, M), relinst(R, VA, _),
+    N = count{ VB [VA] ; relinst(R, VA, VB) }, N != M.
+% "at most M second-role values per first-role value"
+w_card_second_max(R, VA, N) : ic :-
+    card_second_max(R, M), relinst(R, VA, _),
+    N = count{ VB [VA] ; relinst(R, VA, VB) }, N > M.
+
+% --- §3: "FO can already express all common constraints for relational
+% --- models including key constraints, inclusion dependencies" ---------
+% key constraint: the first role determines the second.
+w_key(R, K, V1, V2) : ic :-
+    key_first(R), relinst(R, K, V1), relinst(R, K, V2), V1 != V2.
+% inclusion dependency: first-role values of RA appear as first-role
+% values of RB.
+w_incl(RA, RB, V) : ic :-
+    incl_first(RA, RB), relinst(RA, V, _), not relinst_first(RB, V).
+relinst_first(R, V) :- relinst(R, V, _).
+% functional method: an object carries at most one value for M.
+w_fd(X, M, V1, V2) : ic :-
+    fd_method(M), mi(X, M, V1), mi(X, M, V2), V1 != V2.
+"#;
+
+/// A cardinality constraint on a binary relation (Example 3).
+///
+/// "First" / "Second" name the relation's positional roles; e.g. for
+/// `has(neuron, axon)`, `FirstExact(1)` says an axon is contained in
+/// exactly one neuron, and `SecondAtMost(2)` says a neuron has at most
+/// two axons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cardinality {
+    /// Exactly `n` distinct first-role values per second-role value.
+    FirstExact(i64),
+    /// At most `n` distinct first-role values per second-role value.
+    FirstAtMost(i64),
+    /// Exactly `n` distinct second-role values per first-role value.
+    SecondExact(i64),
+    /// At most `n` distinct second-role values per first-role value.
+    SecondAtMost(i64),
+}
+
+/// Declares `relation` to be checked as a partial order on `class`.
+pub fn require_partial_order(
+    fl: &mut FLogic,
+    class: &str,
+    relation: &str,
+) -> Result<(), DatalogError> {
+    let (c, r, po) = {
+        let e = fl.engine_mut();
+        (e.constant(class), e.constant(relation), e.sym("po_check"))
+    };
+    fl.engine_mut().add_fact(po, vec![c, r]).map(|_| ())
+}
+
+/// Declares a cardinality constraint on `relation`.
+pub fn require_cardinality(
+    fl: &mut FLogic,
+    relation: &str,
+    card: Cardinality,
+) -> Result<(), DatalogError> {
+    let (pred_name, n) = match card {
+        Cardinality::FirstExact(n) => ("card_first_exact", n),
+        Cardinality::FirstAtMost(n) => ("card_first_max", n),
+        Cardinality::SecondExact(n) => ("card_second_exact", n),
+        Cardinality::SecondAtMost(n) => ("card_second_max", n),
+    };
+    let (r, p) = {
+        let e = fl.engine_mut();
+        (e.constant(relation), e.sym(pred_name))
+    };
+    fl.engine_mut().add_fact(p, vec![r, Term::Int(n)]).map(|_| ())
+}
+
+/// Declares the first role of binary `relation` to be a key (determines
+/// the second role).
+pub fn require_key(fl: &mut FLogic, relation: &str) -> Result<(), DatalogError> {
+    let (r, p) = {
+        let e = fl.engine_mut();
+        (e.constant(relation), e.sym("key_first"))
+    };
+    fl.engine_mut().add_fact(p, vec![r]).map(|_| ())
+}
+
+/// Declares an inclusion dependency: every first-role value of `sub_rel`
+/// must occur as a first-role value of `sup_rel`.
+pub fn require_inclusion(
+    fl: &mut FLogic,
+    sub_rel: &str,
+    sup_rel: &str,
+) -> Result<(), DatalogError> {
+    let (a, b, p) = {
+        let e = fl.engine_mut();
+        (
+            e.constant(sub_rel),
+            e.constant(sup_rel),
+            e.sym("incl_first"),
+        )
+    };
+    fl.engine_mut().add_fact(p, vec![a, b]).map(|_| ())
+}
+
+/// Declares method `m` functional: each object has at most one value.
+pub fn require_functional(fl: &mut FLogic, method: &str) -> Result<(), DatalogError> {
+    let (m, p) = {
+        let e = fl.engine_mut();
+        (e.constant(method), e.sym("fd_method"))
+    };
+    fl.engine_mut().add_fact(p, vec![m]).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cm::{ConceptualModel, GcmBase};
+    use crate::decl::GcmValue;
+    use crate::constraints::Cardinality;
+
+    fn id(s: &str) -> GcmValue {
+        GcmValue::Id(s.into())
+    }
+
+    /// Example 2 applied to `::` and the meta-class `class`: the subclass
+    /// relation of a well-formed hierarchy is a partial order, so no
+    /// witnesses appear.
+    #[test]
+    fn subclass_is_partial_order_on_clean_hierarchy() {
+        let mut base = GcmBase::new();
+        base.apply(
+            &ConceptualModel::new("S")
+                .subclass("purkinje_cell", "spiny_neuron")
+                .subclass("spiny_neuron", "neuron"),
+        )
+        .unwrap();
+        base.require_partial_order("class", "isa").unwrap();
+        let m = base.run().unwrap();
+        assert!(base.witnesses(&m).is_empty(), "{:?}", base.witnesses(&m));
+    }
+
+    /// A subclass cycle (a :: b, b :: a with a ≠ b) violates antisymmetry
+    /// and produces `was` witnesses.
+    #[test]
+    fn subclass_cycle_caught_by_antisymmetry() {
+        let mut base = GcmBase::new();
+        base.apply(
+            &ConceptualModel::new("S")
+                .subclass("a", "b")
+                .subclass("b", "a"),
+        )
+        .unwrap();
+        base.require_partial_order("class", "isa").unwrap();
+        let m = base.run().unwrap();
+        let ws = base.witnesses(&m);
+        assert!(
+            ws.iter().any(|w| w.starts_with("was(")),
+            "expected antisymmetry witness, got {ws:?}"
+        );
+    }
+
+    /// A user relation that is missing transitive edges produces `wtc`
+    /// witnesses; missing reflexive edges produce `wrc`.
+    #[test]
+    fn user_relation_partial_order_violations() {
+        let mut base = GcmBase::new();
+        let cm = ConceptualModel::new("S")
+            .instance("x", "node")
+            .instance("y", "node")
+            .instance("z", "node")
+            .relation("leq", &[("lo", "node"), ("hi", "node")])
+            .relation_inst("leq", &[("lo", id("x")), ("hi", id("y"))])
+            .relation_inst("leq", &[("lo", id("y")), ("hi", id("z"))]);
+        base.apply(&cm).unwrap();
+        base.require_partial_order("node", "leq").unwrap();
+        let m = base.run().unwrap();
+        let ws = base.witnesses(&m);
+        assert!(ws.iter().any(|w| w.starts_with("wrc(")), "{ws:?}");
+        assert!(ws.iter().any(|w| w.starts_with("wtc(")), "{ws:?}");
+    }
+
+    /// Example 3 verbatim: has(neuron, axon) with "an axon is contained
+    /// in exactly one neuron" and "a neuron has at most 2 axons".
+    #[test]
+    fn example3_cardinalities() {
+        let mut base = GcmBase::new();
+        let cm = ConceptualModel::new("S")
+            .relation("has", &[("neuron", "neuron"), ("axon", "axon")])
+            // n1 has 3 axons (violates ≤2); ax_shared is in two neurons
+            // (violates exactly-1).
+            .relation_inst("has", &[("neuron", id("n1")), ("axon", id("ax1"))])
+            .relation_inst("has", &[("neuron", id("n1")), ("axon", id("ax2"))])
+            .relation_inst("has", &[("neuron", id("n1")), ("axon", id("ax3"))])
+            .relation_inst("has", &[("neuron", id("n2")), ("axon", id("ax_shared"))])
+            .relation_inst("has", &[("neuron", id("n1")), ("axon", id("ax_shared"))]);
+        base.apply(&cm).unwrap();
+        base.require_cardinality("has", Cardinality::FirstExact(1)).unwrap();
+        base.require_cardinality("has", Cardinality::SecondAtMost(2)).unwrap();
+        let m = base.run().unwrap();
+        let ws = base.witnesses(&m);
+        assert!(
+            ws.iter().any(|w| w.starts_with("w_card_first(has,ax_shared,2)")),
+            "{ws:?}"
+        );
+        assert!(
+            ws.iter().any(|w| w.starts_with("w_card_second_max(has,n1,")),
+            "{ws:?}"
+        );
+    }
+
+    #[test]
+    fn key_constraint() {
+        let mut base = GcmBase::new();
+        base.apply(
+            &ConceptualModel::new("S")
+                .relation("located", &[("obj", "thing"), ("place", "region")])
+                .relation_inst("located", &[("obj", id("o1")), ("place", id("p1"))])
+                .relation_inst("located", &[("obj", id("o1")), ("place", id("p2"))])
+                .relation_inst("located", &[("obj", id("o2")), ("place", id("p1"))]),
+        )
+        .unwrap();
+        crate::constraints::require_key(base.flogic_mut(), "located").unwrap();
+        let m = base.run().unwrap();
+        let ws = base.witnesses(&m);
+        // o1 maps to two places: two symmetric witnesses.
+        assert_eq!(ws.iter().filter(|w| w.starts_with("w_key(")).count(), 2);
+        assert!(ws.iter().all(|w| w.contains("o1")));
+    }
+
+    #[test]
+    fn inclusion_dependency() {
+        let mut base = GcmBase::new();
+        base.apply(
+            &ConceptualModel::new("S")
+                .relation("emp", &[("who", "person"), ("dept", "dept")])
+                .relation("person_rec", &[("who", "person"), ("age", "int")])
+                .relation_inst("emp", &[("who", id("alice")), ("dept", id("d1"))])
+                .relation_inst("emp", &[("who", id("ghost")), ("dept", id("d1"))])
+                .relation_inst(
+                    "person_rec",
+                    &[("who", id("alice")), ("age", GcmValue::Int(30))],
+                ),
+        )
+        .unwrap();
+        crate::constraints::require_inclusion(base.flogic_mut(), "emp", "person_rec")
+            .unwrap();
+        let m = base.run().unwrap();
+        let ws = base.witnesses(&m);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].contains("ghost"), "{ws:?}");
+    }
+
+    #[test]
+    fn functional_method() {
+        let mut base = GcmBase::new();
+        base.apply(
+            &ConceptualModel::new("S")
+                .method_inst("n1", "soma_size", GcmValue::Int(10))
+                .method_inst("n1", "soma_size", GcmValue::Int(12))
+                .method_inst("n2", "soma_size", GcmValue::Int(9)),
+        )
+        .unwrap();
+        crate::constraints::require_functional(base.flogic_mut(), "soma_size").unwrap();
+        let m = base.run().unwrap();
+        let ws = base.witnesses(&m);
+        assert_eq!(ws.iter().filter(|w| w.starts_with("w_fd(")).count(), 2);
+        assert!(ws.iter().all(|w| w.contains("n1")));
+    }
+
+    /// A conforming population yields no cardinality witnesses.
+    #[test]
+    fn conforming_cardinalities_silent() {
+        let mut base = GcmBase::new();
+        let cm = ConceptualModel::new("S")
+            .relation("has", &[("neuron", "neuron"), ("axon", "axon")])
+            .relation_inst("has", &[("neuron", id("n1")), ("axon", id("ax1"))])
+            .relation_inst("has", &[("neuron", id("n2")), ("axon", id("ax2"))]);
+        base.apply(&cm).unwrap();
+        base.require_cardinality("has", Cardinality::FirstExact(1)).unwrap();
+        base.require_cardinality("has", Cardinality::SecondAtMost(2)).unwrap();
+        let m = base.run().unwrap();
+        assert!(base.witnesses(&m).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! GCM core expressions — the left column of Table 1, as typed data.
+//!
+//! The GCM demands exactly four atomic declaration forms (§3): INST, SUB,
+//! METH (schema and instance level), and REL (schema and instance level),
+//! plus the rule/constraint extension mechanism (RULES, IC). Everything a
+//! wrapper exports about its conceptual model is a sequence of these.
+
+use std::fmt;
+
+/// A ground GCM value: an object identifier / symbolic constant, an
+/// integer, or a string (strings and symbols share the constant namespace
+/// downstream; the distinction is kept for faithful XML round-trips).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GcmValue {
+    /// A symbolic identifier (object name, class name).
+    Id(String),
+    /// An integer.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+}
+
+impl GcmValue {
+    /// The value as FL term syntax.
+    pub fn to_fl(&self) -> String {
+        match self {
+            GcmValue::Id(s) => s.clone(),
+            GcmValue::Int(i) => i.to_string(),
+            GcmValue::Str(s) => format!("{s:?}"),
+        }
+    }
+}
+
+impl fmt::Display for GcmValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcmValue::Id(s) | GcmValue::Str(s) => f.write_str(s),
+            GcmValue::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// One GCM declaration (schema- or instance-level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcmDecl {
+    /// `instance(X, C)` — object `obj` is an instance of class `class`.
+    Instance {
+        /// Object name.
+        obj: String,
+        /// Class name.
+        class: String,
+    },
+    /// `subclass(C1, C2)`.
+    Subclass {
+        /// The subclass.
+        sub: String,
+        /// The superclass.
+        sup: String,
+    },
+    /// `method(C, M, CM)` — signature: method `method` on class `class`
+    /// yields objects of `result`.
+    Method {
+        /// Class carrying the method.
+        class: String,
+        /// Method name.
+        method: String,
+        /// Result class.
+        result: String,
+    },
+    /// `methodinst(X, M, Y)` — instance-level method value.
+    MethodInst {
+        /// Object.
+        obj: String,
+        /// Method name.
+        method: String,
+        /// Value.
+        value: GcmValue,
+    },
+    /// `relation(R, A1=C1, …, An=Cn)` — n-ary relation schema.
+    Relation {
+        /// Relation name.
+        name: String,
+        /// `(role, class)` pairs in positional order.
+        roles: Vec<(String, String)>,
+    },
+    /// `relationinst(R, A1=X1, …, An=Xn)` — a relation tuple, by role.
+    RelationInst {
+        /// Relation name.
+        name: String,
+        /// `(role, value)` pairs (any order; resolved against the schema).
+        values: Vec<(String, GcmValue)>,
+    },
+    /// A semantic rule in FL syntax (the GCM extension mechanism, §3
+    /// RULES) — e.g. a derived ("virtual") class or a domain constraint.
+    Rule {
+        /// FL rule text (one or more clauses).
+        text: String,
+    },
+}
+
+impl GcmDecl {
+    /// Renders the declaration in FL syntax (Table 1 middle column).
+    /// Relation schemas/instances use the frame forms
+    /// `R[A1 => C1; …]` / `R[A1 -> X1; …]`.
+    pub fn to_fl(&self) -> String {
+        match self {
+            GcmDecl::Instance { obj, class } => format!("{obj} : {class}."),
+            GcmDecl::Subclass { sub, sup } => format!("{sub} :: {sup}."),
+            GcmDecl::Method {
+                class,
+                method,
+                result,
+            } => format!("{class}[{method} => {result}]."),
+            GcmDecl::MethodInst { obj, method, value } => {
+                format!("{obj}[{method} -> {}].", value.to_fl())
+            }
+            GcmDecl::Relation { name, roles } => {
+                let specs: Vec<String> = roles
+                    .iter()
+                    .map(|(a, c)| format!("{a} => {c}"))
+                    .collect();
+                format!("{name}[{}].", specs.join("; "))
+            }
+            GcmDecl::RelationInst { name, values } => {
+                let specs: Vec<String> = values
+                    .iter()
+                    .map(|(a, v)| format!("{a} -> {}", v.to_fl()))
+                    .collect();
+                format!("{name}[{}].", specs.join("; "))
+            }
+            GcmDecl::Rule { text } => text.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fl_rendering_matches_table1() {
+        assert_eq!(
+            GcmDecl::Instance {
+                obj: "n1".into(),
+                class: "neuron".into()
+            }
+            .to_fl(),
+            "n1 : neuron."
+        );
+        assert_eq!(
+            GcmDecl::Subclass {
+                sub: "axon".into(),
+                sup: "compartment".into()
+            }
+            .to_fl(),
+            "axon :: compartment."
+        );
+        assert_eq!(
+            GcmDecl::Method {
+                class: "neuron".into(),
+                method: "has".into(),
+                result: "compartment".into()
+            }
+            .to_fl(),
+            "neuron[has => compartment]."
+        );
+        assert_eq!(
+            GcmDecl::MethodInst {
+                obj: "n1".into(),
+                method: "size".into(),
+                value: GcmValue::Int(42)
+            }
+            .to_fl(),
+            "n1[size -> 42]."
+        );
+    }
+
+    #[test]
+    fn relation_rendering() {
+        let rel = GcmDecl::Relation {
+            name: "has".into(),
+            roles: vec![
+                ("whole".into(), "neuron".into()),
+                ("part".into(), "compartment".into()),
+            ],
+        };
+        assert_eq!(rel.to_fl(), "has[whole => neuron; part => compartment].");
+    }
+
+    #[test]
+    fn string_values_quoted() {
+        let d = GcmDecl::MethodInst {
+            obj: "c1".into(),
+            method: "location".into(),
+            value: GcmValue::Str("Purkinje Cell".into()),
+        };
+        assert_eq!(d.to_fl(), "c1[location -> \"Purkinje Cell\"].");
+    }
+}

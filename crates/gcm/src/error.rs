@@ -1,0 +1,78 @@
+//! Error type for the GCM layer.
+
+use std::fmt;
+
+/// Errors raised while building, decoding, or evaluating conceptual
+/// models.
+#[derive(Debug)]
+pub enum GcmError {
+    /// An error bubbled up from the deductive engine.
+    Datalog(kind_datalog::DatalogError),
+    /// An error from the XML substrate.
+    Xml(kind_xml::XmlError),
+    /// A relation instance refers to a relation that was never declared.
+    UnknownRelation {
+        /// Relation name.
+        name: String,
+    },
+    /// A relation instance uses a role the relation does not declare, or
+    /// misses one.
+    RoleMismatch {
+        /// Relation name.
+        relation: String,
+        /// Offending role.
+        role: String,
+    },
+    /// Malformed GCM XML.
+    Malformed {
+        /// Description.
+        message: String,
+    },
+    /// A plug-in for the named CM formalism is not registered.
+    UnknownFormalism {
+        /// Formalism name.
+        name: String,
+    },
+}
+
+impl fmt::Display for GcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcmError::Datalog(e) => write!(f, "datalog: {e}"),
+            GcmError::Xml(e) => write!(f, "xml: {e}"),
+            GcmError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            GcmError::RoleMismatch { relation, role } => {
+                write!(f, "relation `{relation}` has no role `{role}` (or a role is missing)")
+            }
+            GcmError::Malformed { message } => write!(f, "malformed GCM document: {message}"),
+            GcmError::UnknownFormalism { name } => {
+                write!(f, "no CM plug-in registered for formalism `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GcmError::Datalog(e) => Some(e),
+            GcmError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<kind_datalog::DatalogError> for GcmError {
+    fn from(e: kind_datalog::DatalogError) -> Self {
+        GcmError::Datalog(e)
+    }
+}
+
+impl From<kind_xml::XmlError> for GcmError {
+    fn from(e: kind_xml::XmlError) -> Self {
+        GcmError::Xml(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, GcmError>;

@@ -1,0 +1,34 @@
+//! # kind-gcm — the Generic Conceptual Model
+//!
+//! The GCM is the paper's meta-model for conceptual models (§3): a
+//! minimal core (INST, SUB, METH, REL declarations) plus a rule-based
+//! extension mechanism with integrity constraints whose violations insert
+//! failure witnesses into the distinguished inconsistency class `ic`.
+//!
+//! This crate provides:
+//!
+//! * [`GcmDecl`] / [`ConceptualModel`] — typed GCM declarations (the left
+//!   column of Table 1) with an FL rendering (the middle column);
+//! * [`GcmBase`] — the mediator-side GCM engine: an F-logic knowledge
+//!   base hosting any number of applied CMs, with meta-level reflection
+//!   so constraints can quantify over relations and classes;
+//! * [`constraints`] — Example 2 (partial orders) and Example 3
+//!   (cardinality constraints) as a reusable, declaration-driven library;
+//! * [`xml_codec`] — the GCM XML wire format (§2);
+//! * [`PluginRegistry`] — the CM plug-in mechanism: XML-encoded
+//!   translators mapping foreign formalisms (ER, UXF/UML, RDFS) into the
+//!   wire format, registered over the wire.
+#![warn(missing_docs)]
+
+pub mod cm;
+pub mod constraints;
+pub mod decl;
+pub mod error;
+pub mod plugin;
+pub mod xml_codec;
+
+pub use cm::{ConceptualModel, GcmBase};
+pub use constraints::{require_functional, require_inclusion, require_key, Cardinality};
+pub use decl::{GcmDecl, GcmValue};
+pub use error::{GcmError, Result};
+pub use plugin::PluginRegistry;

@@ -1,0 +1,262 @@
+//! The GCM wire format: encoding/decoding conceptual models as XML.
+//!
+//! This is the syntax in which CM schemas and data travel between wrapper
+//! and mediator (§2), and the target vocabulary of every CM plug-in
+//! translator: a plug-in maps some formalism's XML into *this* document
+//! shape, after which a single decoder (the mediator's "single GCM
+//! engine") handles everything.
+//!
+//! ```xml
+//! <gcm name="SYNAPSE">
+//!   <subclass sub="spine" sup="compartment"/>
+//!   <class name="spine"/>                      <!-- optional explicit -->
+//!   <method class="spine" name="length" result="float"/>
+//!   <instance obj="s1" class="spine"/>
+//!   <methodinst obj="s1" method="length" int="12"/>
+//!   <methodinst obj="s1" method="note" str="apical"/>
+//!   <relation name="has">
+//!     <role name="whole" class="neuron"/>
+//!     <role name="part" class="compartment"/>
+//!   </relation>
+//!   <relationinst name="has">
+//!     <value role="whole" id="n1"/>
+//!     <value role="part" id="d1"/>
+//!   </relationinst>
+//!   <rule>X : big :- X : spine, X[length -> L], L &gt; 10.</rule>
+//! </gcm>
+//! ```
+
+use crate::cm::ConceptualModel;
+use crate::decl::{GcmDecl, GcmValue};
+use crate::error::{GcmError, Result};
+use kind_xml::{Element, Node};
+
+fn req<'a>(e: &'a Element, key: &str) -> Result<&'a str> {
+    e.attr(key).ok_or_else(|| GcmError::Malformed {
+        message: format!("<{}> missing `{key}` attribute", e.name),
+    })
+}
+
+fn decode_value(e: &Element) -> Result<GcmValue> {
+    if let Some(v) = e.attr("id") {
+        Ok(GcmValue::Id(v.to_string()))
+    } else if let Some(v) = e.attr("int") {
+        v.parse()
+            .map(GcmValue::Int)
+            .map_err(|_| GcmError::Malformed {
+                message: format!("bad integer `{v}` in <{}>", e.name),
+            })
+    } else if let Some(v) = e.attr("str") {
+        Ok(GcmValue::Str(v.to_string()))
+    } else {
+        Err(GcmError::Malformed {
+            message: format!("<{}> needs one of id=/int=/str=", e.name),
+        })
+    }
+}
+
+fn encode_value(e: Element, v: &GcmValue) -> Element {
+    match v {
+        GcmValue::Id(s) => e.with_attr("id", s.clone()),
+        GcmValue::Int(i) => e.with_attr("int", i.to_string()),
+        GcmValue::Str(s) => e.with_attr("str", s.clone()),
+    }
+}
+
+/// Decodes a `<gcm>` document element into a conceptual model.
+pub fn decode(root: &Element) -> Result<ConceptualModel> {
+    if root.name != "gcm" {
+        return Err(GcmError::Malformed {
+            message: format!("expected <gcm> root, found <{}>", root.name),
+        });
+    }
+    let mut cm = ConceptualModel::new(root.attr("name").unwrap_or("anonymous"));
+    for e in root.elements() {
+        let decl = match e.name.as_str() {
+            "class" => {
+                // An explicit class declaration: encoded as C :: C via a
+                // trivial subclass (harmless under reflexivity).
+                let name = req(e, "name")?;
+                GcmDecl::Subclass {
+                    sub: name.to_string(),
+                    sup: name.to_string(),
+                }
+            }
+            "subclass" => GcmDecl::Subclass {
+                sub: req(e, "sub")?.to_string(),
+                sup: req(e, "sup")?.to_string(),
+            },
+            "instance" => GcmDecl::Instance {
+                obj: req(e, "obj")?.to_string(),
+                class: req(e, "class")?.to_string(),
+            },
+            "method" => GcmDecl::Method {
+                class: req(e, "class")?.to_string(),
+                method: req(e, "name")?.to_string(),
+                result: req(e, "result")?.to_string(),
+            },
+            "methodinst" => GcmDecl::MethodInst {
+                obj: req(e, "obj")?.to_string(),
+                method: req(e, "method")?.to_string(),
+                value: decode_value(e)?,
+            },
+            "relation" => {
+                let mut roles = Vec::new();
+                for r in e.elements_named("role") {
+                    roles.push((req(r, "name")?.to_string(), req(r, "class")?.to_string()));
+                }
+                GcmDecl::Relation {
+                    name: req(e, "name")?.to_string(),
+                    roles,
+                }
+            }
+            "relationinst" => {
+                let mut values = Vec::new();
+                for v in e.elements_named("value") {
+                    values.push((req(v, "role")?.to_string(), decode_value(v)?));
+                }
+                GcmDecl::RelationInst {
+                    name: req(e, "name")?.to_string(),
+                    values,
+                }
+            }
+            "rule" => GcmDecl::Rule {
+                text: e.deep_text(),
+            },
+            other => {
+                return Err(GcmError::Malformed {
+                    message: format!("unknown GCM element <{other}>"),
+                })
+            }
+        };
+        cm.decls.push(decl);
+    }
+    Ok(cm)
+}
+
+/// Encodes a conceptual model as a `<gcm>` element.
+pub fn encode(cm: &ConceptualModel) -> Element {
+    let mut root = Element::new("gcm").with_attr("name", cm.name.clone());
+    for d in &cm.decls {
+        let e = match d {
+            GcmDecl::Instance { obj, class } => Element::new("instance")
+                .with_attr("obj", obj.clone())
+                .with_attr("class", class.clone()),
+            GcmDecl::Subclass { sub, sup } => Element::new("subclass")
+                .with_attr("sub", sub.clone())
+                .with_attr("sup", sup.clone()),
+            GcmDecl::Method {
+                class,
+                method,
+                result,
+            } => Element::new("method")
+                .with_attr("class", class.clone())
+                .with_attr("name", method.clone())
+                .with_attr("result", result.clone()),
+            GcmDecl::MethodInst { obj, method, value } => encode_value(
+                Element::new("methodinst")
+                    .with_attr("obj", obj.clone())
+                    .with_attr("method", method.clone()),
+                value,
+            ),
+            GcmDecl::Relation { name, roles } => {
+                let mut rel = Element::new("relation").with_attr("name", name.clone());
+                for (role, class) in roles {
+                    rel = rel.with_child(
+                        Element::new("role")
+                            .with_attr("name", role.clone())
+                            .with_attr("class", class.clone()),
+                    );
+                }
+                rel
+            }
+            GcmDecl::RelationInst { name, values } => {
+                let mut rel = Element::new("relationinst").with_attr("name", name.clone());
+                for (role, v) in values {
+                    rel = rel.with_child(encode_value(
+                        Element::new("value").with_attr("role", role.clone()),
+                        v,
+                    ));
+                }
+                rel
+            }
+            GcmDecl::Rule { text } => Element::new("rule").with_text(text.clone()),
+        };
+        root.children.push(Node::Element(e));
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cm() -> ConceptualModel {
+        ConceptualModel::new("SYNAPSE")
+            .subclass("spine", "compartment")
+            .method("spine", "length", "float")
+            .instance("s1", "spine")
+            .method_inst("s1", "length", GcmValue::Int(12))
+            .method_inst("s1", "note", GcmValue::Str("apical".into()))
+            .relation("has", &[("whole", "neuron"), ("part", "compartment")])
+            .relation_inst(
+                "has",
+                &[
+                    ("whole", GcmValue::Id("n1".into())),
+                    ("part", GcmValue::Id("d1".into())),
+                ],
+            )
+            .rule("X : big :- X : spine, X[length -> L], L > 10.")
+    }
+
+    #[test]
+    fn roundtrip_preserves_declarations() {
+        let cm = sample_cm();
+        let xml = encode(&cm);
+        let wire = kind_xml::to_string(&xml);
+        let doc = kind_xml::parse(&wire).unwrap();
+        let cm2 = decode(&doc.root).unwrap();
+        assert_eq!(cm, cm2);
+    }
+
+    #[test]
+    fn rule_text_survives_escaping() {
+        let cm = ConceptualModel::new("S").rule("big(X) :- X[size -> S], S > 10, S < 99.");
+        let wire = kind_xml::to_string(&encode(&cm));
+        assert!(wire.contains("&gt;"));
+        let cm2 = decode(&kind_xml::parse(&wire).unwrap().root).unwrap();
+        assert_eq!(cm, cm2);
+    }
+
+    #[test]
+    fn missing_attribute_is_malformed() {
+        let doc = kind_xml::parse("<gcm><instance obj='x'/></gcm>").unwrap();
+        assert!(matches!(
+            decode(&doc.root),
+            Err(GcmError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_element_is_malformed() {
+        let doc = kind_xml::parse("<gcm><mystery/></gcm>").unwrap();
+        assert!(decode(&doc.root).is_err());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let doc = kind_xml::parse("<notgcm/>").unwrap();
+        assert!(decode(&doc.root).is_err());
+    }
+
+    #[test]
+    fn decoded_cm_applies_cleanly() {
+        let wire = kind_xml::to_string(&encode(&sample_cm()));
+        let cm = decode(&kind_xml::parse(&wire).unwrap().root).unwrap();
+        let mut base = crate::cm::GcmBase::new();
+        base.apply(&cm).unwrap();
+        let m = base.run().unwrap();
+        assert!(base.flogic().is_instance(&m, "s1", "compartment"));
+        assert!(base.flogic().is_instance(&m, "s1", "big"));
+    }
+}

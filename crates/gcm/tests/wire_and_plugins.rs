@@ -1,0 +1,167 @@
+//! Cross-module tests: the GCM wire format under adversarial inputs, and
+//! plug-in translators end to end.
+
+use kind_gcm::{
+    xml_codec, Cardinality, ConceptualModel, GcmBase, GcmDecl, GcmValue, PluginRegistry,
+};
+
+#[test]
+fn wire_format_rejects_junk_values() {
+    for bad in [
+        r#"<gcm><methodinst obj="o" method="m" int="notanumber"/></gcm>"#,
+        r#"<gcm><methodinst obj="o" method="m"/></gcm>"#,
+        r#"<gcm><relation name="r"><role name="a"/></relation></gcm>"#,
+        r#"<gcm><relationinst name="r"><value role="a"/></relationinst></gcm>"#,
+        r#"<gcm><subclass sub="a"/></gcm>"#,
+    ] {
+        let doc = kind_xml::parse(bad).unwrap();
+        assert!(xml_codec::decode(&doc.root).is_err(), "should reject: {bad}");
+    }
+}
+
+#[test]
+fn empty_cm_roundtrips() {
+    let cm = ConceptualModel::new("EMPTY");
+    let wire = kind_xml::to_string(&xml_codec::encode(&cm));
+    let decoded = xml_codec::decode(&kind_xml::parse(&wire).unwrap().root).unwrap();
+    assert_eq!(cm, decoded);
+}
+
+#[test]
+fn big_cm_roundtrips_and_applies() {
+    let mut cm = ConceptualModel::new("BIG");
+    for i in 0..200 {
+        cm.push(GcmDecl::Instance {
+            obj: format!("o{i}"),
+            class: format!("c{}", i % 10),
+        });
+        cm.push(GcmDecl::MethodInst {
+            obj: format!("o{i}"),
+            method: "v".into(),
+            value: GcmValue::Int(i),
+        });
+    }
+    for i in 0..9 {
+        cm.push(GcmDecl::Subclass {
+            sub: format!("c{i}"),
+            sup: format!("c{}", i + 1),
+        });
+    }
+    let wire = kind_xml::to_string(&xml_codec::encode(&cm));
+    let decoded = xml_codec::decode(&kind_xml::parse(&wire).unwrap().root).unwrap();
+    assert_eq!(cm.decls.len(), decoded.decls.len());
+    let mut base = GcmBase::new();
+    base.apply(&decoded).unwrap();
+    let m = base.run().unwrap();
+    // Everything propagates to c9 through the chain.
+    assert_eq!(base.flogic().instances_of(&m, "c9").len(), 200);
+}
+
+#[test]
+fn plugin_with_let_bindings_over_the_wire() {
+    let mut reg = PluginRegistry::empty();
+    // A formalism where the class context is needed two levels deep.
+    reg.register(
+        "nested",
+        r#"<transform output="gcm">
+             <rule match="//entity">
+               <let name="cls" select="@name"/>
+               <for-each select="group">
+                 <for-each select="field">
+                   <method class="{$cls}" name="{@name}" result="{@type}"/>
+                 </for-each>
+               </for-each>
+             </rule>
+           </transform>"#,
+    )
+    .unwrap();
+    let doc = kind_xml::parse(
+        r#"<m><entity name="cell">
+             <group><field name="size" type="int"/><field name="age" type="int"/></group>
+           </entity></m>"#,
+    )
+    .unwrap();
+    let cm = reg.translate("nested", &doc.root).unwrap();
+    let methods: Vec<_> = cm
+        .decls
+        .iter()
+        .filter(|d| matches!(d, GcmDecl::Method { class, .. } if class == "cell"))
+        .collect();
+    assert_eq!(methods.len(), 2);
+}
+
+#[test]
+fn malformed_plugin_transform_rejected_at_registration() {
+    let mut reg = PluginRegistry::empty();
+    assert!(reg.register("bad", "<notatransform/>").is_err());
+    assert!(reg
+        .register("bad", r#"<transform><rule match="[[["/></transform>"#)
+        .is_err());
+}
+
+#[test]
+fn plugin_translation_errors_surface_as_malformed() {
+    let mut reg = PluginRegistry::empty();
+    // The transform produces an element the GCM codec doesn't know.
+    reg.register(
+        "odd",
+        r#"<transform output="gcm">
+             <rule match="//x"><mystery/></rule>
+           </transform>"#,
+    )
+    .unwrap();
+    let doc = kind_xml::parse("<in><x/></in>").unwrap();
+    assert!(reg.translate("odd", &doc.root).is_err());
+}
+
+#[test]
+fn cardinality_boundaries() {
+    fn base_with(tuples: &[(&str, &str)]) -> GcmBase {
+        let mut base = GcmBase::new();
+        let mut cm = ConceptualModel::new("S").relation("r", &[("a", "ca"), ("b", "cb")]);
+        for (a, b) in tuples {
+            cm = cm.relation_inst(
+                "r",
+                &[
+                    ("a", GcmValue::Id((*a).into())),
+                    ("b", GcmValue::Id((*b).into())),
+                ],
+            );
+        }
+        base.apply(&cm).unwrap();
+        base
+    }
+    // Exactly at the max: silent.
+    let mut b = base_with(&[("x", "y1"), ("x", "y2")]);
+    b.require_cardinality("r", Cardinality::SecondAtMost(2)).unwrap();
+    let m = b.run().unwrap();
+    assert!(b.witnesses(&m).is_empty());
+    // One over: witnessed.
+    let mut b = base_with(&[("x", "y1"), ("x", "y2"), ("x", "y3")]);
+    b.require_cardinality("r", Cardinality::SecondAtMost(2)).unwrap();
+    let m = b.run().unwrap();
+    assert_eq!(b.witnesses(&m).len(), 1);
+    // Duplicate tuples count once (set semantics, as in the paper's
+    // count of distinct values).
+    let mut b = base_with(&[("x", "y1"), ("x", "y1"), ("x", "y1")]);
+    b.require_cardinality("r", Cardinality::SecondAtMost(2)).unwrap();
+    let m = b.run().unwrap();
+    assert!(b.witnesses(&m).is_empty());
+}
+
+#[test]
+fn rules_in_cms_can_reference_other_cms() {
+    // Two CMs applied to one base: a rule in the second sees classes of
+    // the first — the mediator's "everything in one GCM engine" property.
+    let mut base = GcmBase::new();
+    base.apply(&ConceptualModel::new("A").instance("x", "alpha"))
+        .unwrap();
+    base.apply(
+        &ConceptualModel::new("B")
+            .instance("y", "beta")
+            .rule("Z : merged :- Z : alpha. Z : merged :- Z : beta."),
+    )
+    .unwrap();
+    let m = base.run().unwrap();
+    assert_eq!(base.flogic().instances_of(&m, "merged").len(), 2);
+}

@@ -1,0 +1,114 @@
+//! ANATOM — the anatomical knowledge source.
+//!
+//! In the paper, ANATOM is a curated neuroanatomy ontology whose
+//! `nervous_system.has_a_star` partonomy drives the Example 4 view. We
+//! reproduce its role with (a) a hand-written cerebellum/hippocampus
+//! extension of the Figure 1 domain map — enough anatomy for the §5 query
+//! — and (b) the scalable generated partonomy from `kind_dm::figures` for
+//! benchmarks.
+
+use kind_core::{MemoryWrapper, Wrapper};
+use std::rc::Rc;
+
+/// The cerebellum & hippocampus partonomy the §5 scenario needs, as DL
+/// axioms extending Figure 1. Concept names follow the paper's examples
+/// (parallel fibers, Purkinje/Pyramidal cells, spiny dendrites).
+pub const NEURO_ANATOMY_AXIOMS: &str = "
+    % --- gross anatomy ---------------------------------------------------
+    Cerebellum, Hippocampus, Neostriatum < Brain_Region.
+    Nervous_System < exists has_a.Brain_Region.
+
+    % --- cerebellum (NCMIR world) ---------------------------------------
+    Cerebellum < exists has_a.Cerebellar_Cortex.
+    Cerebellar_Cortex < exists has_a.Purkinje_Layer.
+    Cerebellar_Cortex < exists has_a.Granule_Layer.
+    Purkinje_Layer < exists has_a.Purkinje_Cell.
+    Granule_Layer < exists has_a.Granule_Cell.
+    Purkinje_Cell < exists has_a.Purkinje_Dendrite.
+    Purkinje_Dendrite < Dendrite.
+    Purkinje_Dendrite < exists has_a.Purkinje_Spine.
+    Purkinje_Spine < Spine.
+    Parallel_Fiber < Axon.
+    Granule_Cell < exists has_a.Parallel_Fiber.
+
+    % --- hippocampus (SYNAPSE world) ------------------------------------
+    Hippocampus < exists has_a.CA1.
+    CA1 < exists has_a.Pyramidal_Layer.
+    Pyramidal_Layer < exists has_a.Pyramidal_Cell.
+    Pyramidal_Cell < exists has_a.Pyramidal_Dendrite.
+    Pyramidal_Dendrite < Dendrite.
+    Pyramidal_Dendrite < exists has_a.Pyramidal_Spine.
+    Pyramidal_Spine < Spine.
+";
+
+/// Builds the full scenario domain map: Figure 1 plus the neuro anatomy.
+pub fn scenario_domain_map() -> kind_dm::DomainMap {
+    let mut dm = kind_dm::figures::figure1();
+    kind_dm::load_axioms(&mut dm, NEURO_ANATOMY_AXIOMS).expect("anatomy axioms well-formed");
+    dm
+}
+
+/// The ANATOM wrapper: contributes anatomy axioms at registration and
+/// exports no instance data (it is pure knowledge). `extra_axioms` lets
+/// benchmarks splice in a generated partonomy.
+pub fn anatom_wrapper(extra_axioms: &str) -> Rc<dyn Wrapper> {
+    let mut w = MemoryWrapper::new("ANATOM");
+    w.dm_axioms = format!("{NEURO_ANATOMY_AXIOMS}\n{extra_axioms}");
+    Rc::new(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kind_dm::Resolved;
+
+    #[test]
+    fn scenario_map_contains_both_worlds() {
+        let dm = scenario_domain_map();
+        let r = Resolved::new(&dm);
+        // The two labs' anatomical entry points exist and connect.
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let pyc = dm.lookup("Pyramidal_Cell").unwrap();
+        let sn = dm.lookup("Spiny_Neuron").unwrap();
+        assert!(r.is_subconcept(pc, sn));
+        assert!(r.is_subconcept(pyc, sn));
+        // Parallel fibers are axons (compartments).
+        let pf = dm.lookup("Parallel_Fiber").unwrap();
+        let comp = dm.lookup("Compartment").unwrap();
+        assert!(r.is_subconcept(pf, comp));
+    }
+
+    #[test]
+    fn cerebellar_partonomy_reaches_spines() {
+        let dm = scenario_domain_map();
+        let r = Resolved::new(&dm);
+        let cb = dm.lookup("Cerebellum").unwrap();
+        let region = r.downward_closure("has_a", cb);
+        let names: Vec<&str> = region.iter().filter_map(|&n| dm.name(n)).collect();
+        assert!(names.contains(&"Purkinje_Cell"));
+        assert!(names.contains(&"Purkinje_Dendrite"));
+        assert!(names.contains(&"Purkinje_Spine"));
+        // Hippocampal structures are NOT below the cerebellum.
+        assert!(!names.contains(&"Pyramidal_Cell"));
+    }
+
+    #[test]
+    fn partonomy_lub_of_purkinje_structures() {
+        let dm = scenario_domain_map();
+        let r = Resolved::new(&dm);
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let pd = dm.lookup("Purkinje_Dendrite").unwrap();
+        // The dendrite is inside the cell: the region of correspondence
+        // is the cell itself.
+        assert_eq!(r.partonomy_lub("has_a", &[pc, pd]), Some(pc));
+        // A Purkinje structure and a granule structure only meet higher
+        // up, in the cerebellar cortex / cerebellum.
+        let gc = dm.lookup("Granule_Cell").unwrap();
+        let root = r.partonomy_lub("has_a", &[pd, gc]).unwrap();
+        let name = dm.name(root).unwrap();
+        assert!(
+            name == "Cerebellar_Cortex" || name == "Cerebellum",
+            "unexpected root {name}"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! NCMIR — the protein-localization source (§1, §5).
+//!
+//! "The NCMIR laboratory studies the Purkinje Cells of the cerebellum …
+//! the amount of different proteins found in each of these subdivisions."
+//! Exports a `protein_amount` class (protein name, amount, location,
+//! bound ion, organism) with its CM in the UXF/UML formalism. Locations
+//! are cerebellar concepts; amounts are seeded-random.
+
+use kind_core::{Anchor, Capability, MemoryWrapper, Wrapper};
+use kind_gcm::GcmValue;
+use kind_xml::Element;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Calcium-binding proteins of the scenario (the paper's demo uses the
+/// Ryanodine Receptor).
+pub const CALCIUM_BINDING: &[&str] = &[
+    "Ryanodine_Receptor",
+    "Calbindin",
+    "Parvalbumin",
+    "IP3_Receptor",
+];
+
+/// Non-calcium noise proteins.
+pub const OTHER_PROTEINS: &[&str] = &["GFAP", "Synaptophysin"];
+
+/// Cerebellar locations NCMIR measures at.
+pub const NCMIR_LOCATIONS: &[&str] = &["Purkinje_Cell", "Purkinje_Dendrite", "Purkinje_Spine"];
+
+fn ncmir_cm() -> Element {
+    kind_xml::parse(
+        r#"<uxf name="NCMIR">
+             <class name="protein_amount">
+               <attribute name="protein_name" type="string"/>
+               <attribute name="amount" type="int"/>
+               <attribute name="location" type="string"/>
+               <attribute name="ion_bound" type="string"/>
+               <attribute name="organism" type="string"/>
+             </class>
+           </uxf>"#,
+    )
+    .expect("static CM parses")
+    .root
+}
+
+/// Builds the NCMIR wrapper with `rows` generated measurements.
+pub fn ncmir_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9c31)); // distinct stream
+    let mut w = MemoryWrapper::new("NCMIR");
+    w.formalism = "uxf".into();
+    w.cm = Some(ncmir_cm());
+    w.caps.push(Capability {
+        class: "protein_amount".into(),
+        pushable: vec![
+            "location".into(),
+            "ion_bound".into(),
+            "protein_name".into(),
+        ],
+    });
+    w.anchor_decls.push(Anchor::ByAttr {
+        class: "protein_amount".into(),
+        attr: "location".into(),
+    });
+    for i in 0..rows {
+        let calcium = i % 3 != 0; // two thirds calcium-binding
+        let protein = if calcium {
+            CALCIUM_BINDING[rng.gen_range(0..CALCIUM_BINDING.len())]
+        } else {
+            OTHER_PROTEINS[rng.gen_range(0..OTHER_PROTEINS.len())]
+        };
+        let ion = if calcium { "calcium" } else { "sodium" };
+        let loc = NCMIR_LOCATIONS[rng.gen_range(0..NCMIR_LOCATIONS.len())];
+        w.add_row(
+            "protein_amount",
+            &format!("pa{i}"),
+            vec![
+                ("protein_name", GcmValue::Id(protein.into())),
+                ("amount", GcmValue::Int(rng.gen_range(1..100))),
+                ("location", GcmValue::Id(loc.into())),
+                ("ion_bound", GcmValue::Id(ion.into())),
+                ("organism", GcmValue::Id("rat".into())),
+            ],
+        );
+    }
+    Rc::new(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kind_core::SourceQuery;
+
+    #[test]
+    fn pushdown_by_location_and_ion() {
+        let w = ncmir_wrapper(7, 60);
+        let rows = w.query(
+            &SourceQuery::scan("protein_amount")
+                .with("location", GcmValue::Id("Purkinje_Spine".into()))
+                .with("ion_bound", GcmValue::Id("calcium".into())),
+        );
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| {
+            r.get_str("location") == Some("Purkinje_Spine".into())
+                && r.get_str("ion_bound") == Some("calcium".into())
+        }));
+        assert!(rows.len() < 60, "selection must prune");
+    }
+
+    #[test]
+    fn calcium_rows_use_calcium_binders() {
+        let w = ncmir_wrapper(7, 60);
+        let rows = w.query(
+            &SourceQuery::scan("protein_amount")
+                .with("ion_bound", GcmValue::Id("calcium".into())),
+        );
+        assert!(rows
+            .iter()
+            .all(|r| CALCIUM_BINDING.contains(&r.get_str("protein_name").unwrap().as_str())));
+    }
+
+    #[test]
+    fn cm_translates_through_uxf_plugin() {
+        let w = ncmir_wrapper(7, 4);
+        let reg = kind_gcm::PluginRegistry::with_builtins();
+        let cm = reg.translate(w.formalism(), &w.export_cm()).unwrap();
+        assert_eq!(cm.name, "NCMIR");
+        // class + 5 methods
+        assert!(cm.decls.len() >= 6);
+    }
+}

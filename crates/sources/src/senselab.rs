@@ -1,0 +1,157 @@
+//! SENSELAB — the neurotransmission source (§5).
+//!
+//! Exports a `neurotransmission` class with the exact attributes the
+//! paper lists: organism, transmitting neuron/compartment, receiving
+//! neuron/compartment, neurotransmitter. The CM goes over the wire in the
+//! RDFS-like formalism, exercising that plug-in. The generator seeds a
+//! configurable number of "relevant" rows (rat, parallel-fiber →
+//! Purkinje) among hippocampal and other-organism noise.
+
+use kind_core::{Anchor, Capability, MemoryWrapper, Wrapper};
+use kind_gcm::GcmValue;
+use kind_xml::Element;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// The RDFS-formalism CM export for SENSELAB.
+fn senselab_cm() -> Element {
+    kind_xml::parse(
+        r#"<rdf name="SENSELAB">
+             <rdfs:Class rdf:ID="neurotransmission"/>
+             <rdf:Property rdf:ID="organism">
+               <rdfs:domain rdf:resource="neurotransmission"/>
+               <rdfs:range rdf:resource="literal"/>
+             </rdf:Property>
+             <rdf:Property rdf:ID="transmitting_neuron">
+               <rdfs:domain rdf:resource="neurotransmission"/>
+               <rdfs:range rdf:resource="literal"/>
+             </rdf:Property>
+             <rdf:Property rdf:ID="transmitting_compartment">
+               <rdfs:domain rdf:resource="neurotransmission"/>
+               <rdfs:range rdf:resource="literal"/>
+             </rdf:Property>
+             <rdf:Property rdf:ID="receiving_neuron">
+               <rdfs:domain rdf:resource="neurotransmission"/>
+               <rdfs:range rdf:resource="literal"/>
+             </rdf:Property>
+             <rdf:Property rdf:ID="receiving_compartment">
+               <rdfs:domain rdf:resource="neurotransmission"/>
+               <rdfs:range rdf:resource="literal"/>
+             </rdf:Property>
+             <rdf:Property rdf:ID="neurotransmitter">
+               <rdfs:domain rdf:resource="neurotransmission"/>
+               <rdfs:range rdf:resource="literal"/>
+             </rdf:Property>
+           </rdf>"#,
+    )
+    .expect("static CM parses")
+    .root
+}
+
+/// Builds the SENSELAB wrapper with `rows` generated records, of which a
+/// deterministic ~25% are the paper's relevant pattern (rat organism,
+/// parallel-fiber transmission onto Purkinje structures).
+pub fn senselab_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = MemoryWrapper::new("SENSELAB");
+    w.formalism = "rdfs".into();
+    w.cm = Some(senselab_cm());
+    w.caps.push(Capability {
+        class: "neurotransmission".into(),
+        pushable: vec![
+            "organism".into(),
+            "transmitting_compartment".into(),
+            "neurotransmitter".into(),
+        ],
+    });
+    // Anchor the receiving structures: that is where this source's data
+    // "lives" in the domain map.
+    w.anchor_decls.push(Anchor::ByAttr {
+        class: "neurotransmission".into(),
+        attr: "receiving_neuron".into(),
+    });
+    w.anchor_decls.push(Anchor::ByAttr {
+        class: "neurotransmission".into(),
+        attr: "receiving_compartment".into(),
+    });
+    for i in 0..rows {
+        let relevant = i % 4 == 0;
+        let (org, tn, tc, rn, rc, nt) = if relevant {
+            (
+                "rat",
+                "Granule_Cell",
+                "Parallel_Fiber",
+                "Purkinje_Cell",
+                "Purkinje_Dendrite",
+                "glutamate",
+            )
+        } else {
+            let orgs = ["rat", "mouse", "human"];
+            let org = orgs[rng.gen_range(0..orgs.len())];
+            (
+                org,
+                "Pyramidal_Cell",
+                "Axon",
+                "Pyramidal_Cell",
+                "Pyramidal_Dendrite",
+                "glutamate",
+            )
+        };
+        w.add_row(
+            "neurotransmission",
+            &format!("nt{i}"),
+            vec![
+                ("organism", GcmValue::Id(org.into())),
+                ("transmitting_neuron", GcmValue::Id(tn.into())),
+                ("transmitting_compartment", GcmValue::Id(tc.into())),
+                ("receiving_neuron", GcmValue::Id(rn.into())),
+                ("receiving_compartment", GcmValue::Id(rc.into())),
+                ("neurotransmitter", GcmValue::Id(nt.into())),
+            ],
+        );
+    }
+    Rc::new(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kind_core::SourceQuery;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = senselab_wrapper(42, 40);
+        let b = senselab_wrapper(42, 40);
+        let qa = a.query(&SourceQuery::scan("neurotransmission"));
+        let qb = b.query(&SourceQuery::scan("neurotransmission"));
+        assert_eq!(qa, qb);
+        assert_eq!(qa.len(), 40);
+    }
+
+    #[test]
+    fn relevant_rows_present() {
+        let w = senselab_wrapper(1, 40);
+        let rows = w.query(
+            &SourceQuery::scan("neurotransmission")
+                .with("organism", GcmValue::Id("rat".into()))
+                .with(
+                    "transmitting_compartment",
+                    GcmValue::Id("Parallel_Fiber".into()),
+                ),
+        );
+        assert_eq!(rows.len(), 10); // every 4th of 40
+        assert!(rows
+            .iter()
+            .all(|r| r.get_str("receiving_neuron") == Some("Purkinje_Cell".into())));
+    }
+
+    #[test]
+    fn cm_translates_through_rdfs_plugin() {
+        let w = senselab_wrapper(1, 4);
+        let reg = kind_gcm::PluginRegistry::with_builtins();
+        let cm = reg.translate(w.formalism(), &w.export_cm()).unwrap();
+        assert_eq!(cm.name, "SENSELAB");
+        assert!(cm.decls.len() >= 7);
+    }
+}

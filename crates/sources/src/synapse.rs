@@ -1,0 +1,99 @@
+//! SYNAPSE — the spine-morphometry source (§1).
+//!
+//! "The SYNAPSE laboratory studies dendritic spines of pyramidal cells in
+//! the hippocampus … For each entity (spines, dendrites) researchers make
+//! a number of measurements, and study how these measurements change
+//! across age and species." Exports a `spine_morphometry` class with its
+//! CM in the ER formalism.
+
+use kind_core::{Anchor, Capability, MemoryWrapper, Wrapper};
+use kind_gcm::GcmValue;
+use kind_xml::Element;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Hippocampal locations SYNAPSE measures at.
+pub const SYNAPSE_LOCATIONS: &[&str] =
+    &["Pyramidal_Cell", "Pyramidal_Dendrite", "Pyramidal_Spine"];
+
+fn synapse_cm() -> Element {
+    kind_xml::parse(
+        r#"<er name="SYNAPSE">
+             <entity name="spine_morphometry">
+               <attribute name="location" domain="string"/>
+               <attribute name="spine_length" domain="int"/>
+               <attribute name="spine_volume" domain="int"/>
+               <attribute name="age" domain="int"/>
+               <attribute name="species" domain="string"/>
+             </entity>
+             <isa sub="spine_morphometry" sup="measurement"/>
+           </er>"#,
+    )
+    .expect("static CM parses")
+    .root
+}
+
+/// Builds the SYNAPSE wrapper with `rows` reconstructed measurements.
+pub fn synapse_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x51aa)); // distinct stream
+    let mut w = MemoryWrapper::new("SYNAPSE");
+    w.formalism = "er".into();
+    w.cm = Some(synapse_cm());
+    w.caps.push(Capability {
+        class: "spine_morphometry".into(),
+        pushable: vec!["location".into(), "species".into()],
+    });
+    w.anchor_decls.push(Anchor::ByAttr {
+        class: "spine_morphometry".into(),
+        attr: "location".into(),
+    });
+    let species = ["rat", "mouse"];
+    for i in 0..rows {
+        let loc = SYNAPSE_LOCATIONS[rng.gen_range(0..SYNAPSE_LOCATIONS.len())];
+        w.add_row(
+            "spine_morphometry",
+            &format!("sm{i}"),
+            vec![
+                ("location", GcmValue::Id(loc.into())),
+                ("spine_length", GcmValue::Int(rng.gen_range(5..40))),
+                ("spine_volume", GcmValue::Int(rng.gen_range(1..20))),
+                ("age", GcmValue::Int(rng.gen_range(1..30))),
+                (
+                    "species",
+                    GcmValue::Id(species[rng.gen_range(0..species.len())].into()),
+                ),
+            ],
+        );
+    }
+    Rc::new(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kind_core::SourceQuery;
+
+    #[test]
+    fn rows_are_hippocampal() {
+        let w = synapse_wrapper(3, 30);
+        let rows = w.query(&SourceQuery::scan("spine_morphometry"));
+        assert_eq!(rows.len(), 30);
+        assert!(rows
+            .iter()
+            .all(|r| SYNAPSE_LOCATIONS.contains(&r.get_str("location").unwrap().as_str())));
+    }
+
+    #[test]
+    fn cm_translates_through_er_plugin() {
+        let w = synapse_wrapper(3, 2);
+        let reg = kind_gcm::PluginRegistry::with_builtins();
+        let cm = reg.translate(w.formalism(), &w.export_cm()).unwrap();
+        assert_eq!(cm.name, "SYNAPSE");
+        assert!(cm
+            .decls
+            .iter()
+            .any(|d| matches!(d, kind_gcm::GcmDecl::Subclass { sub, sup }
+                if sub == "spine_morphometry" && sup == "measurement")));
+    }
+}

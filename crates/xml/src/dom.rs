@@ -1,0 +1,174 @@
+//! A small XML document object model.
+//!
+//! Everything in the mediator architecture goes "over the wire" in XML
+//! (paper §2): conceptual-model schemas and instances, registration
+//! messages, and the CM plug-in translators themselves. This DOM is the
+//! in-memory form of those messages.
+
+use std::fmt;
+
+/// An XML element: name, attributes, children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name (possibly with a `prefix:` namespace prefix, kept verbatim).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node: element or text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element node.
+    Element(Element),
+    /// A text node (entity-decoded).
+    Text(String),
+}
+
+impl Element {
+    /// Creates an element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: adds an attribute.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder: appends a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: appends a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// The value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Child elements with the given tag name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with the given tag name.
+    pub fn first_named(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of this element's direct text children.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Concatenated text content of the whole subtree.
+    pub fn deep_text(&self) -> String {
+        let mut out = String::new();
+        fn walk(e: &Element, out: &mut String) {
+            for n in &e.children {
+                match n {
+                    Node::Text(t) => out.push_str(t),
+                    Node::Element(c) => walk(c, out),
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Number of element nodes in the subtree (including `self`).
+    pub fn subtree_size(&self) -> usize {
+        1 + self.elements().map(Element::subtree_size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::serialize::to_string(self))
+    }
+}
+
+/// A parsed document: the root element (prolog/doctype are discarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// The document (root) element.
+    pub root: Element,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("neuron")
+            .with_attr("id", "n1")
+            .with_child(
+                Element::new("compartment")
+                    .with_attr("kind", "dendrite")
+                    .with_text("spiny"),
+            )
+            .with_child(Element::new("compartment").with_attr("kind", "axon"))
+            .with_text("tail")
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("id"), Some("n1"));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn named_children() {
+        let e = sample();
+        assert_eq!(e.elements_named("compartment").count(), 2);
+        assert_eq!(
+            e.first_named("compartment").unwrap().attr("kind"),
+            Some("dendrite")
+        );
+        assert!(e.first_named("soma").is_none());
+    }
+
+    #[test]
+    fn text_accessors() {
+        let e = sample();
+        assert_eq!(e.text(), "tail");
+        assert_eq!(e.deep_text(), "spinytail");
+    }
+
+    #[test]
+    fn subtree_size_counts_elements() {
+        assert_eq!(sample().subtree_size(), 3);
+    }
+}

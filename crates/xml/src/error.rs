@@ -1,0 +1,47 @@
+//! Error types for the XML substrate.
+
+use std::fmt;
+
+/// Errors from parsing, path evaluation, or transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed XML input.
+    Parse {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Line number (1-based).
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Malformed path expression.
+    Path {
+        /// The offending expression.
+        expr: String,
+        /// Description.
+        message: String,
+    },
+    /// Malformed transform document.
+    Transform {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse {
+                offset,
+                line,
+                message,
+            } => write!(f, "XML parse error at line {line} (offset {offset}): {message}"),
+            XmlError::Path { expr, message } => {
+                write!(f, "path error in `{expr}`: {message}")
+            }
+            XmlError::Transform { message } => write!(f, "transform error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,29 @@
+//! # kind-xml — the mediator's wire format substrate
+//!
+//! Everything in the model-based mediator architecture travels in XML
+//! syntax (paper §2): CM schemas and instance data exported by wrappers,
+//! registration messages, and — crucially — the **CM plug-in translators**
+//! themselves, which are "complex XML query expressions" a source sends to
+//! the mediator once when a new conceptual-model formalism is introduced.
+//!
+//! This crate provides, with no external dependencies:
+//!
+//! * a [`dom`] and a validating-enough [`parser`] / [`serialize`] pair;
+//! * [`path`]: an XPath-subset selection language;
+//! * [`transform`]: an XSLT-subset transformation language, itself written
+//!   in XML so translators can be registered over the wire.
+#![warn(missing_docs)]
+
+pub mod dom;
+pub mod error;
+pub mod parser;
+pub mod path;
+pub mod serialize;
+pub mod transform;
+
+pub use dom::{Document, Element, Node};
+pub use error::XmlError;
+pub use parser::parse;
+pub use path::{Path, Value};
+pub use serialize::{to_pretty_string, to_string};
+pub use transform::Transform;

@@ -1,0 +1,439 @@
+//! A compact path language over the DOM — the query core of the "complex
+//! XML query expressions" that CM plug-in translators are made of (§2).
+//!
+//! Supported syntax (an XPath subset):
+//!
+//! ```text
+//! /cm/class                absolute child steps
+//! class/attr               relative child steps
+//! //class                  descendant-or-self
+//! class[@name='Neuron']    attribute equality predicate
+//! class[kind='entity']     child-element-text equality predicate
+//! class/@name              attribute value selection
+//! class/text()             text content selection
+//! *                        any element
+//! .                        the context element itself
+//! ```
+
+use crate::dom::Element;
+use crate::error::XmlError;
+
+/// Step axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    Child,
+    Descendant,
+}
+
+/// A predicate filtering matched elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Pred {
+    /// `[@key='value']`
+    AttrEq(String, String),
+    /// `[child='value']` — some child element `child` has text `value`.
+    ChildTextEq(String, String),
+}
+
+/// One step of a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Step {
+    /// Element step: axis, optional name test (`None` = `*`), predicates.
+    Elem {
+        axis: Axis,
+        name: Option<String>,
+        preds: Vec<Pred>,
+    },
+    /// `@name`: selects an attribute string.
+    Attr(String),
+    /// `text()`: selects the element's text content.
+    Text,
+    /// `.`: the context element.
+    Context,
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    absolute: bool,
+    steps: Vec<Step>,
+}
+
+/// A value selected by a path: an element reference or a string (attribute
+/// value / text content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value<'a> {
+    /// An element node.
+    Elem(&'a Element),
+    /// A string value.
+    Str(String),
+}
+
+impl Path {
+    /// Parses a path expression.
+    pub fn parse(src: &str) -> Result<Path, XmlError> {
+        let mut p = PathParser { src, pos: 0 };
+        p.path()
+    }
+
+    /// Evaluates the path with `context` as both the root (for absolute
+    /// paths) and the context element (for relative ones).
+    pub fn select<'a>(&self, context: &'a Element) -> Vec<Value<'a>> {
+        let mut current: Vec<&'a Element> = vec![context];
+        let mut steps = self.steps.as_slice();
+        if self.absolute {
+            // An absolute path's first element step must match the root
+            // element itself (XPath `/a` semantics).
+            if let Some(Step::Elem { axis, name, preds }) = steps.first() {
+                let ok = match axis {
+                    Axis::Child => {
+                        name.as_deref().is_none_or(|n| n == context.name)
+                            && preds.iter().all(|p| pred_holds(p, context))
+                    }
+                    Axis::Descendant => true, // handled below via descendants
+                };
+                if *axis == Axis::Child {
+                    if !ok {
+                        return Vec::new();
+                    }
+                    steps = &steps[1..];
+                }
+            }
+        }
+        let mut out: Vec<Value<'a>> = Vec::new();
+        eval_steps(steps, &mut current, &mut out);
+        out
+    }
+
+    /// Evaluates the path, keeping only element results.
+    pub fn select_elems<'a>(&self, context: &'a Element) -> Vec<&'a Element> {
+        self.select(context)
+            .into_iter()
+            .filter_map(|v| match v {
+                Value::Elem(e) => Some(e),
+                Value::Str(_) => None,
+            })
+            .collect()
+    }
+
+    /// Evaluates the path, converting every result to a string (elements
+    /// become their deep text).
+    pub fn select_strings(&self, context: &Element) -> Vec<String> {
+        self.select(context)
+            .into_iter()
+            .map(|v| match v {
+                Value::Elem(e) => e.deep_text(),
+                Value::Str(s) => s,
+            })
+            .collect()
+    }
+
+    /// First result as a string, if any.
+    pub fn select_first_string(&self, context: &Element) -> Option<String> {
+        self.select_strings(context).into_iter().next()
+    }
+}
+
+fn eval_steps<'a>(steps: &[Step], current: &mut Vec<&'a Element>, out: &mut Vec<Value<'a>>) {
+    for (i, step) in steps.iter().enumerate() {
+        let last = i + 1 == steps.len();
+        match step {
+            Step::Elem { axis, name, preds } => {
+                let mut next: Vec<&'a Element> = Vec::new();
+                for ctx in current.iter() {
+                    match axis {
+                        Axis::Child => {
+                            for c in ctx.elements() {
+                                if matches(c, name, preds) {
+                                    next.push(c);
+                                }
+                            }
+                        }
+                        Axis::Descendant => {
+                            collect_descendants(ctx, name, preds, &mut next);
+                        }
+                    }
+                }
+                *current = next;
+            }
+            Step::Attr(key) => {
+                debug_assert!(last, "attribute step must be final (enforced by parser)");
+                for ctx in current.iter() {
+                    if let Some(v) = ctx.attr(key) {
+                        out.push(Value::Str(v.to_string()));
+                    }
+                }
+                return;
+            }
+            Step::Text => {
+                debug_assert!(last, "text() step must be final (enforced by parser)");
+                for ctx in current.iter() {
+                    out.push(Value::Str(ctx.deep_text()));
+                }
+                return;
+            }
+            Step::Context => {}
+        }
+    }
+    out.extend(current.iter().map(|e| Value::Elem(e)));
+}
+
+fn collect_descendants<'a>(
+    e: &'a Element,
+    name: &Option<String>,
+    preds: &[Pred],
+    out: &mut Vec<&'a Element>,
+) {
+    // Descendant-or-self.
+    if matches(e, name, preds) {
+        out.push(e);
+    }
+    for c in e.elements() {
+        collect_descendants(c, name, preds, out);
+    }
+}
+
+fn matches(e: &Element, name: &Option<String>, preds: &[Pred]) -> bool {
+    name.as_deref().is_none_or(|n| n == e.name) && preds.iter().all(|p| pred_holds(p, e))
+}
+
+fn pred_holds(p: &Pred, e: &Element) -> bool {
+    match p {
+        Pred::AttrEq(k, v) => e.attr(k) == Some(v.as_str()),
+        Pred::ChildTextEq(k, v) => e.elements_named(k).any(|c| c.deep_text() == *v),
+    }
+}
+
+struct PathParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl PathParser<'_> {
+    fn err(&self, msg: &str) -> XmlError {
+        XmlError::Path {
+            expr: self.src.to_string(),
+            message: format!("{msg} (at offset {})", self.pos),
+        }
+    }
+
+    fn rest(&self) -> &str {
+        &self.src[self.pos..]
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        let advance: usize = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | ':' | '-' | '.'))
+            .map(char::len_utf8)
+            .sum();
+        self.pos += advance;
+        if self.pos == start {
+            Err(self.err("expected name"))
+        } else {
+            Ok(self.src[start..self.pos].to_string())
+        }
+    }
+
+    fn quoted(&mut self) -> Result<String, XmlError> {
+        let quote = if self.eat("'") {
+            '\''
+        } else if self.eat("\"") {
+            '"'
+        } else {
+            return Err(self.err("expected quoted value"));
+        };
+        let start = self.pos;
+        match self.rest().find(quote) {
+            Some(i) => {
+                self.pos += i + 1;
+                Ok(self.src[start..self.pos - 1].to_string())
+            }
+            None => Err(self.err("unterminated quoted value")),
+        }
+    }
+
+    fn path(&mut self) -> Result<Path, XmlError> {
+        let mut steps = Vec::new();
+        let absolute = self.rest().starts_with('/') && !self.rest().starts_with("//");
+        let mut axis = if self.eat("//") {
+            Axis::Descendant
+        } else {
+            self.eat("/");
+            Axis::Child
+        };
+        loop {
+            steps.push(self.step(axis)?);
+            if self.eat("//") {
+                axis = Axis::Descendant;
+            } else if self.eat("/") {
+                axis = Axis::Child;
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.src.len() {
+            return Err(self.err("trailing characters in path"));
+        }
+        // Attr/Text steps must be final.
+        for (i, s) in steps.iter().enumerate() {
+            if matches!(s, Step::Attr(_) | Step::Text) && i + 1 != steps.len() {
+                return Err(self.err("@attr / text() must be the final step"));
+            }
+        }
+        Ok(Path { absolute, steps })
+    }
+
+    fn step(&mut self, axis: Axis) -> Result<Step, XmlError> {
+        if self.eat("@") {
+            return Ok(Step::Attr(self.name()?));
+        }
+        if self.eat("text()") {
+            return Ok(Step::Text);
+        }
+        if self.eat(".") {
+            return Ok(Step::Context);
+        }
+        let name = if self.eat("*") {
+            None
+        } else {
+            Some(self.name()?)
+        };
+        let mut preds = Vec::new();
+        while self.eat("[") {
+            let pred = if self.eat("@") {
+                let key = self.name()?;
+                if !self.eat("=") {
+                    return Err(self.err("expected `=` in predicate"));
+                }
+                Pred::AttrEq(key, self.quoted()?)
+            } else {
+                let key = self.name()?;
+                if !self.eat("=") {
+                    return Err(self.err("expected `=` in predicate"));
+                }
+                Pred::ChildTextEq(key, self.quoted()?)
+            };
+            if !self.eat("]") {
+                return Err(self.err("expected `]`"));
+            }
+            preds.push(pred);
+        }
+        Ok(Step::Elem { axis, name, preds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn doc() -> crate::dom::Document {
+        parse(
+            r#"<cm name="SYNAPSE">
+                 <class name="spine" kind="entity">
+                   <attr name="length" type="float"/>
+                   <attr name="volume" type="float"/>
+                 </class>
+                 <class name="dendrite" kind="entity">
+                   <attr name="diameter" type="float"/>
+                   <nested><attr name="deep" type="int"/></nested>
+                 </class>
+                 <relation name="has"><role>spine</role><role>dendrite</role></relation>
+               </cm>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn child_steps() {
+        let d = doc();
+        let p = Path::parse("/cm/class").unwrap();
+        assert_eq!(p.select_elems(&d.root).len(), 2);
+    }
+
+    #[test]
+    fn relative_path() {
+        let d = doc();
+        let p = Path::parse("class/attr").unwrap();
+        assert_eq!(p.select_elems(&d.root).len(), 3);
+    }
+
+    #[test]
+    fn descendant_axis() {
+        let d = doc();
+        let p = Path::parse("//attr").unwrap();
+        assert_eq!(p.select_elems(&d.root).len(), 4);
+    }
+
+    #[test]
+    fn attribute_predicate() {
+        let d = doc();
+        let p = Path::parse("class[@name='spine']/attr/@name").unwrap();
+        assert_eq!(
+            p.select_strings(&d.root),
+            vec!["length".to_string(), "volume".to_string()]
+        );
+    }
+
+    #[test]
+    fn child_text_predicate() {
+        let d = doc();
+        let p = Path::parse("relation[role='spine']/@name").unwrap();
+        assert_eq!(p.select_first_string(&d.root), Some("has".to_string()));
+        let p2 = Path::parse("relation[role='axon']/@name").unwrap();
+        assert!(p2.select(&d.root).is_empty());
+    }
+
+    #[test]
+    fn text_step() {
+        let d = doc();
+        let p = Path::parse("relation/role/text()").unwrap();
+        assert_eq!(p.select_strings(&d.root), vec!["spine", "dendrite"]);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        let p = Path::parse("/cm/*").unwrap();
+        assert_eq!(p.select_elems(&d.root).len(), 3);
+    }
+
+    #[test]
+    fn self_step() {
+        let d = doc();
+        let p = Path::parse(".").unwrap();
+        assert_eq!(p.select_elems(&d.root).len(), 1);
+        let p2 = Path::parse("./@name").unwrap();
+        assert_eq!(p2.select_first_string(&d.root), Some("SYNAPSE".into()));
+    }
+
+    #[test]
+    fn absolute_root_mismatch_is_empty() {
+        let d = doc();
+        let p = Path::parse("/other/class").unwrap();
+        assert!(p.select(&d.root).is_empty());
+    }
+
+    #[test]
+    fn attr_mid_path_rejected() {
+        assert!(Path::parse("@name/class").is_err());
+    }
+
+    #[test]
+    fn double_quoted_predicate_values() {
+        let d = doc();
+        let p = Path::parse(r#"class[@name="dendrite"]/@kind"#).unwrap();
+        assert_eq!(p.select_first_string(&d.root), Some("entity".into()));
+    }
+}

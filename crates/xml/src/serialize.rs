@@ -1,0 +1,125 @@
+//! Serialization of the DOM back to XML text.
+
+use crate::dom::{Element, Node};
+use std::fmt::Write;
+
+/// Serializes an element (and subtree) compactly.
+pub fn to_string(elem: &Element) -> String {
+    let mut out = String::new();
+    write_elem(elem, &mut out, None, 0);
+    out
+}
+
+/// Serializes with two-space indentation, one element per line.
+pub fn to_pretty_string(elem: &Element) -> String {
+    let mut out = String::new();
+    write_elem(elem, &mut out, Some(2), 0);
+    out
+}
+
+fn write_elem(elem: &Element, out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push('<');
+    out.push_str(&elem.name);
+    for (k, v) in &elem.attrs {
+        let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+    }
+    if elem.children.is_empty() {
+        out.push_str("/>");
+        if indent.is_some() {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+    let only_text = elem.children.iter().all(|n| matches!(n, Node::Text(_)));
+    if indent.is_some() && !only_text {
+        out.push('\n');
+    }
+    for child in &elem.children {
+        match child {
+            Node::Element(e) => write_elem(e, out, indent, depth + 1),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    if let Some(w) = indent {
+        if !only_text {
+            for _ in 0..w * depth {
+                out.push(' ');
+            }
+        }
+    }
+    let _ = write!(out, "</{}>", elem.name);
+    if indent.is_some() {
+        out.push('\n');
+    }
+}
+
+/// Escapes text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (double-quote delimited).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_roundtrip_with_escapes() {
+        let e = Element::new("a")
+            .with_attr("k", "x\"<y")
+            .with_text("1 < 2 & 3");
+        let s = to_string(&e);
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.root.attr("k"), Some("x\"<y"));
+        assert_eq!(doc.root.text(), "1 < 2 & 3");
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let e = Element::new("a").with_child(Element::new("b").with_child(Element::new("c")));
+        let s = to_pretty_string(&e);
+        assert!(s.contains("\n  <b>"));
+        assert!(s.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn text_only_children_stay_inline() {
+        let e = Element::new("a").with_text("hello");
+        assert_eq!(to_pretty_string(&e).trim(), "<a>hello</a>");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(to_string(&Element::new("x")), "<x/>");
+    }
+}

@@ -1,0 +1,465 @@
+//! Template-based XML→XML transformation — the executable form of a CM
+//! plug-in translator.
+//!
+//! Paper §2: *"a new CM formalism … is added to the system by simply
+//! plugging a translator into the mediator. Essentially such a translator
+//! is nothing more than a complex XML query expression that a source sends
+//! once to the mediator."* Accordingly, a [`Transform`] is itself written
+//! in XML (a small XSLT-like dialect) so it can literally travel over the
+//! wire as part of source registration:
+//!
+//! ```xml
+//! <transform output="gcm">
+//!   <rule match="//class">
+//!     <gcm:class name="{@name}">
+//!       <for-each select="attr">
+//!         <gcm:method name="{@name}" result="{@type}"/>
+//!       </for-each>
+//!     </gcm:class>
+//!   </rule>
+//! </transform>
+//! ```
+//!
+//! Applying a transform evaluates each `rule` against the input document;
+//! for every element matched by `match`, the rule's template is
+//! instantiated with that element as the context node. `{path}` inside
+//! attribute values and text interpolates the first string result of the
+//! path; `for-each select` iterates; `value-of select` emits text.
+
+use crate::dom::{Document, Element, Node};
+use crate::error::XmlError;
+use crate::path::Path;
+
+/// A compiled transformation.
+#[derive(Debug, Clone)]
+pub struct Transform {
+    output: String,
+    rules: Vec<TransformRule>,
+}
+
+#[derive(Debug, Clone)]
+struct TransformRule {
+    matcher: Path,
+    template: Vec<TemplateNode>,
+}
+
+#[derive(Debug, Clone)]
+enum TemplateNode {
+    /// Literal output element; attributes and text are interpolated.
+    Elem {
+        name: String,
+        attrs: Vec<(String, Interp)>,
+        children: Vec<TemplateNode>,
+    },
+    /// `<for-each select="...">body</for-each>`
+    ForEach { select: Path, body: Vec<TemplateNode> },
+    /// `<value-of select="..."/>`
+    ValueOf { select: Path },
+    /// `<let name="x" select="..."/>` — binds `$x` for subsequent
+    /// siblings and their descendants (so nested `for-each` bodies can
+    /// still reference an outer context's values).
+    Let { name: String, select: Path },
+    /// Literal text with `{path}` interpolation.
+    Text(Interp),
+}
+
+/// A string with embedded `{path}` or `{$var}` segments.
+#[derive(Debug, Clone)]
+struct Interp {
+    parts: Vec<InterpPart>,
+}
+
+#[derive(Debug, Clone)]
+enum InterpPart {
+    Lit(String),
+    Path(Path),
+    Var(String),
+}
+
+type Scope = std::collections::HashMap<String, String>;
+
+impl Interp {
+    fn parse(src: &str) -> Result<Self, XmlError> {
+        let mut parts = Vec::new();
+        let mut rest = src;
+        while let Some(open) = rest.find('{') {
+            if !rest[..open].is_empty() {
+                parts.push(InterpPart::Lit(rest[..open].to_string()));
+            }
+            let after = &rest[open + 1..];
+            let close = after.find('}').ok_or_else(|| XmlError::Path {
+                expr: src.to_string(),
+                message: "unterminated `{` interpolation".to_string(),
+            })?;
+            let inner = &after[..close];
+            if let Some(var) = inner.strip_prefix('$') {
+                parts.push(InterpPart::Var(var.to_string()));
+            } else {
+                parts.push(InterpPart::Path(Path::parse(inner)?));
+            }
+            rest = &after[close + 1..];
+        }
+        if !rest.is_empty() {
+            parts.push(InterpPart::Lit(rest.to_string()));
+        }
+        Ok(Interp { parts })
+    }
+
+    fn eval(&self, ctx: &Element, scope: &Scope) -> String {
+        let mut out = String::new();
+        for p in &self.parts {
+            match p {
+                InterpPart::Lit(s) => out.push_str(s),
+                InterpPart::Path(path) => {
+                    if let Some(s) = path.select_first_string(ctx) {
+                        out.push_str(&s);
+                    }
+                }
+                InterpPart::Var(name) => {
+                    if let Some(s) = scope.get(name) {
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Transform {
+    /// Parses a transform from XML text.
+    pub fn parse(src: &str) -> Result<Transform, XmlError> {
+        Self::from_document(&crate::parser::parse(src)?)
+    }
+
+    /// Builds a transform from an already-parsed document.
+    pub fn from_document(doc: &Document) -> Result<Transform, XmlError> {
+        if doc.root.name != "transform" {
+            return Err(XmlError::Transform {
+                message: format!("expected <transform> root, found <{}>", doc.root.name),
+            });
+        }
+        let output = doc.root.attr("output").unwrap_or("result").to_string();
+        let mut rules = Vec::new();
+        for rule in doc.root.elements() {
+            if rule.name != "rule" {
+                return Err(XmlError::Transform {
+                    message: format!("expected <rule>, found <{}>", rule.name),
+                });
+            }
+            let match_expr = rule.attr("match").ok_or_else(|| XmlError::Transform {
+                message: "<rule> missing match attribute".to_string(),
+            })?;
+            let matcher = Path::parse(match_expr)?;
+            let template = rule
+                .children
+                .iter()
+                .map(compile_template)
+                .collect::<Result<Vec<_>, _>>()?;
+            rules.push(TransformRule { matcher, template });
+        }
+        Ok(Transform { output, rules })
+    }
+
+    /// The output root element name.
+    pub fn output_name(&self) -> &str {
+        &self.output
+    }
+
+    /// Applies the transform to `input`, producing the output document
+    /// root.
+    pub fn apply(&self, input: &Element) -> Element {
+        let mut out = Element::new(self.output.clone());
+        for rule in &self.rules {
+            for ctx in rule.matcher.select_elems(input) {
+                let mut scope = Scope::new();
+                instantiate_seq(&rule.template, ctx, &mut scope, &mut out.children);
+            }
+        }
+        out
+    }
+}
+
+/// Instantiates a template sequence, letting `<let>` bindings flow into
+/// subsequent siblings.
+fn instantiate_seq(ts: &[TemplateNode], ctx: &Element, scope: &mut Scope, out: &mut Vec<Node>) {
+    for t in ts {
+        instantiate(t, ctx, scope, out);
+    }
+}
+
+fn compile_template(node: &Node) -> Result<TemplateNode, XmlError> {
+    match node {
+        Node::Text(t) => Ok(TemplateNode::Text(Interp::parse(t)?)),
+        Node::Element(e) if e.name == "for-each" => {
+            let select = e.attr("select").ok_or_else(|| XmlError::Transform {
+                message: "<for-each> missing select".to_string(),
+            })?;
+            Ok(TemplateNode::ForEach {
+                select: Path::parse(select)?,
+                body: e
+                    .children
+                    .iter()
+                    .map(compile_template)
+                    .collect::<Result<Vec<_>, _>>()?,
+            })
+        }
+        Node::Element(e) if e.name == "value-of" => {
+            let select = e.attr("select").ok_or_else(|| XmlError::Transform {
+                message: "<value-of> missing select".to_string(),
+            })?;
+            Ok(TemplateNode::ValueOf {
+                select: Path::parse(select)?,
+            })
+        }
+        Node::Element(e) if e.name == "let" => {
+            let name = e.attr("name").ok_or_else(|| XmlError::Transform {
+                message: "<let> missing name".to_string(),
+            })?;
+            let select = e.attr("select").ok_or_else(|| XmlError::Transform {
+                message: "<let> missing select".to_string(),
+            })?;
+            Ok(TemplateNode::Let {
+                name: name.to_string(),
+                select: Path::parse(select)?,
+            })
+        }
+        Node::Element(e) => Ok(TemplateNode::Elem {
+            name: e.name.clone(),
+            attrs: e
+                .attrs
+                .iter()
+                .map(|(k, v)| Interp::parse(v).map(|i| (k.clone(), i)))
+                .collect::<Result<Vec<_>, _>>()?,
+            children: e
+                .children
+                .iter()
+                .map(compile_template)
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+    }
+}
+
+fn instantiate(t: &TemplateNode, ctx: &Element, scope: &mut Scope, out: &mut Vec<Node>) {
+    match t {
+        TemplateNode::Text(i) => {
+            let s = i.eval(ctx, scope);
+            if !s.trim().is_empty() {
+                out.push(Node::Text(s));
+            }
+        }
+        TemplateNode::ValueOf { select } => {
+            if let Some(s) = select.select_first_string(ctx) {
+                out.push(Node::Text(s));
+            }
+        }
+        TemplateNode::Let { name, select } => {
+            let v = select.select_first_string(ctx).unwrap_or_default();
+            scope.insert(name.clone(), v);
+        }
+        TemplateNode::ForEach { select, body } => {
+            for sub in select.select_elems(ctx) {
+                // Inner bindings stay local to each iteration.
+                let mut inner = scope.clone();
+                instantiate_seq(body, sub, &mut inner, out);
+            }
+        }
+        TemplateNode::Elem {
+            name,
+            attrs,
+            children,
+        } => {
+            let mut e = Element::new(name.clone());
+            for (k, i) in attrs {
+                e.attrs.push((k.clone(), i.eval(ctx, scope)));
+            }
+            let mut inner = scope.clone();
+            instantiate_seq(children, ctx, &mut inner, &mut e.children);
+            out.push(Node::Element(e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn input() -> Document {
+        parse(
+            r#"<uxf>
+                 <class name="Neuron">
+                   <attribute name="soma_size" type="float"/>
+                   <attribute name="species" type="string"/>
+                 </class>
+                 <class name="Spine">
+                   <attribute name="length" type="float"/>
+                 </class>
+               </uxf>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uxf_to_gcm_translation() {
+        // The paper's example: a UXF-2-GCM translator plugged into the
+        // mediator (§2, "CM Plug-In Mechanism").
+        let t = Transform::parse(
+            r#"<transform output="gcm">
+                 <rule match="//class">
+                   <class name="{@name}">
+                     <for-each select="attribute">
+                       <method name="{@name}" result="{@type}"/>
+                     </for-each>
+                   </class>
+                 </rule>
+               </transform>"#,
+        )
+        .unwrap();
+        let out = t.apply(&input().root);
+        assert_eq!(out.name, "gcm");
+        assert_eq!(out.elements_named("class").count(), 2);
+        let neuron = out
+            .elements_named("class")
+            .find(|c| c.attr("name") == Some("Neuron"))
+            .unwrap();
+        assert_eq!(neuron.elements_named("method").count(), 2);
+        assert_eq!(
+            neuron.first_named("method").unwrap().attr("result"),
+            Some("float")
+        );
+    }
+
+    #[test]
+    fn value_of_and_text_interpolation() {
+        let t = Transform::parse(
+            r#"<transform output="o">
+                 <rule match="//class">
+                   <item>name={@name};first=<value-of select="attribute/@name"/></item>
+                 </rule>
+               </transform>"#,
+        )
+        .unwrap();
+        let out = t.apply(&input().root);
+        let items: Vec<String> = out.elements_named("item").map(|e| e.text()).collect();
+        assert_eq!(items[0], "name=Neuron;first=soma_size");
+    }
+
+    #[test]
+    fn multiple_rules_append_in_order() {
+        let t = Transform::parse(
+            r#"<transform output="o">
+                 <rule match="//class[@name='Spine']"><spine/></rule>
+                 <rule match="//class[@name='Neuron']"><neuron/></rule>
+               </transform>"#,
+        )
+        .unwrap();
+        let out = t.apply(&input().root);
+        let names: Vec<&str> = out.elements().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["spine", "neuron"]);
+    }
+
+    #[test]
+    fn missing_path_interpolates_empty() {
+        let t = Transform::parse(
+            r#"<transform output="o">
+                 <rule match="//class"><c v="{@nope}"/></rule>
+               </transform>"#,
+        )
+        .unwrap();
+        let out = t.apply(&input().root);
+        assert_eq!(out.first_named("c").unwrap().attr("v"), Some(""));
+    }
+
+    #[test]
+    fn bad_transform_root_rejected() {
+        assert!(Transform::parse("<xsl><rule match='x'/></xsl>").is_err());
+    }
+
+    #[test]
+    fn rule_without_match_rejected() {
+        assert!(Transform::parse("<transform><rule/></transform>").is_err());
+    }
+
+    #[test]
+    fn unterminated_interpolation_rejected() {
+        assert!(Transform::parse(
+            r#"<transform><rule match="//c"><x v="{@a"/></rule></transform>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn transform_roundtrips_over_the_wire() {
+        // A translator is serialized, "sent to the mediator", re-parsed,
+        // and still works — the paper's plug-in registration flow.
+        let src = r#"<transform output="gcm">
+                       <rule match="//class"><class name="{@name}"/></rule>
+                     </transform>"#;
+        let doc = parse(src).unwrap();
+        let wire = crate::serialize::to_string(&doc.root);
+        let t = Transform::parse(&wire).unwrap();
+        assert_eq!(t.apply(&input().root).elements().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod let_tests {
+    use super::*;
+
+    #[test]
+    fn let_binding_crosses_for_each() {
+        let t = Transform::parse(
+            r#"<transform output="gcm">
+                 <rule match="//entity">
+                   <let name="cls" select="@name"/>
+                   <for-each select="attribute">
+                     <method class="{$cls}" name="{@name}"/>
+                   </for-each>
+                 </rule>
+               </transform>"#,
+        )
+        .unwrap();
+        let input = crate::parser::parse(
+            r#"<er><entity name="Spine"><attribute name="len"/></entity>
+                   <entity name="Axon"><attribute name="dia"/></entity></er>"#,
+        )
+        .unwrap();
+        let out = t.apply(&input.root);
+        let methods: Vec<(String, String)> = out
+            .elements_named("method")
+            .map(|m| {
+                (
+                    m.attr("class").unwrap().to_string(),
+                    m.attr("name").unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            methods,
+            vec![
+                ("Spine".to_string(), "len".to_string()),
+                ("Axon".to_string(), "dia".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn unbound_var_interpolates_empty() {
+        let t = Transform::parse(
+            r#"<transform output="o"><rule match="//e"><x v="{$nope}"/></rule></transform>"#,
+        )
+        .unwrap();
+        let input = crate::parser::parse("<d><e/></d>").unwrap();
+        let out = t.apply(&input.root);
+        assert_eq!(out.first_named("x").unwrap().attr("v"), Some(""));
+    }
+
+    #[test]
+    fn let_missing_attrs_rejected() {
+        assert!(Transform::parse(
+            r#"<transform><rule match="//e"><let name="x"/></rule></transform>"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! A tour of domain maps: the Figure 1 and Figure 3 maps, closure
+//! operations, DOT rendering, the Figure 3 registration flow, and
+//! structural subsumption on the decidable fragment.
+//!
+//! ```sh
+//! cargo run --example domain_map_tour > /tmp/figure3.dot  # DOT on stdout
+//! ```
+
+use kind::dm::subsume::Subsumption;
+use kind::dm::{figures, parse_axioms, ConceptExpr, Resolved};
+
+fn main() {
+    // --- Figure 1 -------------------------------------------------------
+    let dm1 = figures::figure1();
+    let r1 = Resolved::new(&dm1);
+    eprintln!(
+        "Figure 1: {} concepts, {} edges, roles {:?}",
+        dm1.concepts().count(),
+        dm1.edge_count(),
+        dm1.roles()
+    );
+    // The paper's point: SYNAPSE and NCMIR data are "semantically close
+    // when situated in the scientific context". Walk the chain:
+    let pc = dm1.lookup("Purkinje_Cell").expect("concept");
+    let spine = dm1.lookup("Spine").expect("concept");
+    eprintln!(
+        "Purkinje_Cell -has-> Spine inferable: {}",
+        r1.dc_pairs("has").contains(&(pc, spine))
+    );
+    let dc = r1.dc_pairs("has");
+    let tc = r1.tc_of_dc("has");
+    eprintln!(
+        "dc(has) = {} pairs; materialized tc(dc(has)) = {} pairs (the paper calls this wasteful)",
+        dc.len(),
+        tc.len()
+    );
+
+    // --- Figure 3: registration refines the map -------------------------
+    let base = figures::figure3_base();
+    let full = figures::figure3();
+    eprintln!(
+        "\nFigure 3: base {} concepts -> after MyNeuron/MyDendrite registration {} concepts",
+        base.concepts().count(),
+        full.concepts().count()
+    );
+    let rf = Resolved::new(&full);
+    let mn = full.lookup("MyNeuron").expect("registered");
+    let gpe = full.lookup("Globus_Pallidus_External").expect("concept");
+    eprintln!(
+        "MyNeuron definitely projects to Globus_Pallidus_External: {}",
+        rf.dc_pairs("proj").contains(&(mn, gpe))
+    );
+
+    // --- Structural subsumption (Proposition 1's decidable fragment) ----
+    let axioms = parse_axioms(&format!(
+        "{}{}",
+        figures::FIGURE3_BASE_AXIOMS,
+        figures::FIGURE3_REGISTRATION_AXIOMS
+    ))
+    .expect("axioms parse");
+    let reasoner = Subsumption::new(&axioms);
+    let neuron = ConceptExpr::Atomic("Neuron".into());
+    let my_neuron = ConceptExpr::Atomic("MyNeuron".into());
+    eprintln!(
+        "\nsubsumption: MyNeuron ⊑ Neuron = {}",
+        reasoner.subsumes(&neuron, &my_neuron)
+    );
+    let dendrite = ConceptExpr::Atomic("Dendrite".into());
+    let my_dendrite = ConceptExpr::Atomic("MyDendrite".into());
+    eprintln!(
+        "subsumption: MyDendrite ⊑ Dendrite = {}",
+        reasoner.subsumes(&dendrite, &my_dendrite)
+    );
+
+    // --- DOT rendering (stdout) ------------------------------------------
+    print!(
+        "{}",
+        kind::dm::dot::to_dot(&full, &["MyNeuron", "MyDendrite"])
+    );
+    eprintln!("\n(DOT for Figure 3 written to stdout)");
+}

@@ -1,0 +1,218 @@
+//! An interactive mediator shell: drive the KIND mediator from a small
+//! command language. Sources arrive as XML bundles (files or inline),
+//! exactly as they would over the wire.
+//!
+//! ```sh
+//! cargo run --example mediator_shell            # built-in demo script
+//! cargo run --example mediator_shell -- -       # read commands from stdin
+//! cargo run --example mediator_shell -- my.kind # run a script file
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! axioms <DL axioms...>       extend the domain map
+//! source <path.xml>           register a source bundle from a file
+//! sources                     list registered sources
+//! view <FL rule>              define an integrated view
+//! query <FL pattern>          materialize + query
+//! answer <FL rule>            on-demand query (push-down)
+//! lub <c1> <c2> ...           partonomy lub along has_a
+//! select <c1> <c2> ...        source selection via the semantic index
+//! dot                         print the domain map as DOT
+//! quit
+//! ```
+
+use kind::core::{Mediator, MemoryWrapper};
+use kind::dm::{DomainMap, ExecMode};
+use std::io::BufRead;
+use std::rc::Rc;
+
+const DEMO: &str = r#"
+axioms Neuron < exists has_a.Compartment. Dendrite, Axon < Compartment. Purkinje_Cell < Neuron. Purkinje_Cell < exists has_a.Purkinje_Dendrite. Purkinje_Dendrite < Dendrite.
+sources
+inline_source <source name="LAB"><capability class="m" pushable="loc"/><anchor class="m" attr="loc"/><data class="m"><row id="r1"><v name="loc" id="Purkinje_Cell"/><v name="amount" int="40"/></row><row id="r2"><v name="loc" id="Purkinje_Dendrite"/><v name="amount" int="7"/></row></data></source>
+sources
+select Neuron
+lub Purkinje_Cell Purkinje_Dendrite
+view big(X) :- X : m, X[amount -> A], A > 10.
+query big(X)
+why big("LAB.r1")
+answer small(X, A) :- X : m, X[amount -> A], A < 10.
+quit
+"#;
+
+struct Shell {
+    med: Mediator,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            med: Mediator::new(DomainMap::new(), ExecMode::Assertion),
+        }
+    }
+
+    fn exec(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "quit" | "exit" => return false,
+            "axioms" => {
+                // Rebuild the mediator with an extended map. For
+                // simplicity the shell keeps a growing axiom text.
+                match kind::dm::parse_axioms(rest) {
+                    Ok(_) => {
+                        let mut dm = self.med.dm().clone();
+                        match kind::dm::load_axioms(&mut dm, rest) {
+                            Ok(_) => {
+                                // Mediator has no replace-map API by design
+                                // (sources anchor against it); the shell
+                                // only allows this before sources join.
+                                if self.med.sources().is_empty() {
+                                    self.med = Mediator::new(dm, ExecMode::Assertion);
+                                    println!(
+                                        "ok: {} concepts, {} edges",
+                                        self.med.dm().concepts().count(),
+                                        self.med.dm().edge_count()
+                                    );
+                                } else {
+                                    println!("error: load axioms before registering sources (or put them in the source bundle's <axioms>)");
+                                }
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "source" => match std::fs::read_to_string(rest) {
+                Ok(text) => self.register_bundle(&text),
+                Err(e) => println!("error reading {rest}: {e}"),
+            },
+            "inline_source" => self.register_bundle(rest),
+            "sources" => {
+                if self.med.sources().is_empty() {
+                    println!("(no sources registered)");
+                }
+                for s in self.med.sources() {
+                    println!(
+                        "  {} [{}] classes={:?}",
+                        s.name,
+                        s.wrapper.formalism(),
+                        s.classes
+                    );
+                }
+            }
+            "view" => match self.med.define_view(rest) {
+                Ok(()) => println!("ok"),
+                Err(e) => println!("error: {e}"),
+            },
+            "query" => {
+                if let Err(e) = self.med.materialize_all() {
+                    println!("error: {e}");
+                    return true;
+                }
+                match self.med.query_fl(rest) {
+                    Ok(rows) => {
+                        println!("{} answers", rows.len());
+                        for row in rows.iter().take(10) {
+                            let shown: Vec<String> =
+                                row.iter().map(|t| self.med.show(t)).collect();
+                            println!("  {}", shown.join(", "));
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "answer" => match self.med.answer(rest) {
+                Ok(ans) => {
+                    println!(
+                        "{} answers (sources contacted: {:?})",
+                        ans.rows.len(),
+                        ans.sources
+                    );
+                    for row in ans.rows.iter().take(10) {
+                        let shown: Vec<String> =
+                            row.iter().map(|t| self.med.show(t)).collect();
+                        println!("  {}", shown.join(", "));
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "lub" => {
+                let concepts: Vec<&str> = rest.split_whitespace().collect();
+                match self.med.partonomy_lub("has_a", &concepts) {
+                    Ok(l) => println!("lub = {l:?}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "select" => {
+                let concepts: Vec<&str> = rest.split_whitespace().collect();
+                match self.med.select_sources(&concepts) {
+                    Ok(s) => println!("sources: {s:?}"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "why" => match self.med.explain_fl(rest) {
+                Ok(Some(tree)) => print!("{tree}"),
+                Ok(None) => println!("(fact does not hold)"),
+                Err(e) => println!("error: {e}"),
+            },
+            "dot" => print!("{}", kind::dm::dot::to_dot(self.med.dm(), &[])),
+            other => println!("unknown command `{other}` (try: axioms/source/sources/view/query/answer/lub/select/dot/quit)"),
+        }
+        true
+    }
+
+    fn register_bundle(&mut self, text: &str) {
+        match kind::xml::parse(text) {
+            Ok(doc) => match MemoryWrapper::from_xml(&doc.root) {
+                Ok(w) => match self.med.register(Rc::new(w)) {
+                    Ok(id) => println!("registered as {id}"),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let mut shell = Shell::new();
+    match arg.as_deref() {
+        None => {
+            println!("(running built-in demo; pass `-` for stdin)");
+            for line in DEMO.lines() {
+                if !line.trim().is_empty() {
+                    println!("kind> {line}");
+                }
+                if !shell.exec(line) {
+                    break;
+                }
+            }
+        }
+        Some("-") => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if !shell.exec(&line) {
+                    break;
+                }
+            }
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path).expect("script file readable");
+            for line in text.lines() {
+                if !shell.exec(line) {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! On-demand integrated queries: the push-down discipline of §5
+//! generalized — plus query templates and logic-level (subsumption-based)
+//! source selection.
+//!
+//! ```sh
+//! cargo run --example on_demand_queries
+//! ```
+
+use kind::core::{Mediator, QueryTemplate};
+use kind::gcm::GcmValue;
+use kind::sources::{build_scenario, ScenarioParams};
+
+fn main() {
+    let mut med = build_scenario(&ScenarioParams::default());
+
+    // 1. A one-off conjunctive query. The mediator extracts the source
+    //    classes it mentions, contacts only the sources exporting them,
+    //    and evaluates only the relevant rule subprogram.
+    println!("== answer(): which calcium binders exceed amount 80 anywhere? ==");
+    let ans = med
+        .answer(
+            r#"hot(P, L, A) :- X : protein_amount, X[protein_name -> P],
+                              X[location -> L], X[amount -> A],
+                              X[ion_bound -> calcium], A > 80."#,
+        )
+        .expect("query runs");
+    println!(
+        "classes: {:?}; sources contacted: {:?}; {} answers",
+        ans.classes,
+        ans.sources,
+        ans.rows.len()
+    );
+    for row in ans.rows.iter().take(5) {
+        println!(
+            "  {} @ {} = {}",
+            med.show(&row[0]),
+            med.show(&row[1]),
+            med.show(&row[2])
+        );
+    }
+    assert!(!ans.rows.is_empty());
+
+    // 2. Query templates: the "logical API" of a limited source. Here we
+    //    register an extra source that only answers one canned query.
+    println!("\n== query templates ==");
+    let mut limited = kind::core::MemoryWrapper::new("LIMITED");
+    limited.caps.push(kind::core::Capability {
+        class: "protein_amount".into(),
+        pushable: vec!["location".into()],
+    });
+    limited.query_templates.push(QueryTemplate {
+        name: "protein_by_location".into(),
+        class: "protein_amount".into(),
+        params: vec!["location".into()],
+    });
+    limited.anchor_decls.push(kind::core::Anchor::Fixed {
+        class: "protein_amount".into(),
+        concept: "Purkinje_Spine".into(),
+    });
+    limited.add_row(
+        "protein_amount",
+        "x1",
+        vec![
+            ("protein_name", GcmValue::Id("Calbindin".into())),
+            ("amount", GcmValue::Int(12)),
+            ("location", GcmValue::Id("Purkinje_Spine".into())),
+            ("ion_bound", GcmValue::Id("calcium".into())),
+        ],
+    );
+    med.register(std::rc::Rc::new(limited)).expect("registers");
+    let rows = med
+        .call_template(
+            "LIMITED",
+            "protein_by_location",
+            &[GcmValue::Id("Purkinje_Spine".into())],
+        )
+        .expect("template call");
+    println!("LIMITED::protein_by_location(Purkinje_Spine) -> {} rows", rows.len());
+    assert_eq!(rows.len(), 1);
+
+    // 3. Subsumption-based source selection over a DL expression, using
+    //    the axioms behind the map.
+    println!("\n== logic-level source selection ==");
+    let mut med2 = Mediator::from_axioms(
+        "Spiny_Neuron = Neuron and exists has.Spine.
+         Purkinje_Cell, Pyramidal_Cell < Spiny_Neuron.
+         Granule_Cell < Neuron.",
+        kind::dm::ExecMode::Assertion,
+    )
+    .expect("axioms parse");
+    let mut purk = kind::core::MemoryWrapper::new("PURKINJE_LAB");
+    purk.caps.push(kind::core::Capability {
+        class: "cells".into(),
+        pushable: vec![],
+    });
+    purk.anchor_decls.push(kind::core::Anchor::Fixed {
+        class: "cells".into(),
+        concept: "Purkinje_Cell".into(),
+    });
+    purk.add_row("cells", "c1", vec![]);
+    med2.register(std::rc::Rc::new(purk)).expect("registers");
+    let mut gran = kind::core::MemoryWrapper::new("GRANULE_LAB");
+    gran.caps.push(kind::core::Capability {
+        class: "cells".into(),
+        pushable: vec![],
+    });
+    gran.anchor_decls.push(kind::core::Anchor::Fixed {
+        class: "cells".into(),
+        concept: "Granule_Cell".into(),
+    });
+    gran.add_row("cells", "c2", vec![]);
+    med2.register(std::rc::Rc::new(gran)).expect("registers");
+    let spiny = med2
+        .select_sources_by_expression("Neuron and exists has.Spine")
+        .expect("expression parses");
+    println!("sources with 'Neuron ⊓ ∃has.Spine' data: {spiny:?}");
+    assert_eq!(spiny, vec!["PURKINJE_LAB".to_string()]);
+    println!("ok");
+}

@@ -1,0 +1,83 @@
+//! Quickstart: build a domain map, register a wrapped source, and ask a
+//! conceptual-level question.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use kind::core::{Anchor, Capability, Mediator, MemoryWrapper};
+use kind::dm::{DomainMap, ExecMode};
+use kind::gcm::GcmValue;
+use std::rc::Rc;
+
+fn main() {
+    // 1. The mediation engineer writes down domain knowledge as DL
+    //    axioms (Definition 1 of the paper).
+    let mut dm = DomainMap::new();
+    kind::dm::load_axioms(
+        &mut dm,
+        "Neuron < exists has.Compartment.
+         Axon, Dendrite, Soma < Compartment.
+         Spiny_Neuron = Neuron and exists has.Spine.
+         Purkinje_Cell, Pyramidal_Cell < Spiny_Neuron.",
+    )
+    .expect("axioms parse");
+    println!(
+        "domain map: {} concepts, {} edges",
+        dm.concepts().count(),
+        dm.edge_count()
+    );
+
+    // 2. Stand up a mediator that executes domain-map edges as
+    //    assertions (missing role fillers become virtual placeholders).
+    let mut med = Mediator::new(dm, ExecMode::Assertion);
+
+    // 3. A laboratory source joins: it exports a class of measurements,
+    //    declares what selections it can evaluate, and anchors its data
+    //    at the concept it studies.
+    let mut lab = MemoryWrapper::new("MYLAB");
+    lab.caps.push(Capability {
+        class: "cell_measurement".into(),
+        pushable: vec!["location".into()],
+    });
+    lab.anchor_decls.push(Anchor::ByAttr {
+        class: "cell_measurement".into(),
+        attr: "location".into(),
+    });
+    for (i, (loc, size)) in [("Purkinje_Cell", 31), ("Purkinje_Cell", 28), ("Pyramidal_Cell", 19)]
+        .iter()
+        .enumerate()
+    {
+        lab.add_row(
+            "cell_measurement",
+            &format!("m{i}"),
+            vec![
+                ("location", GcmValue::Id((*loc).into())),
+                ("soma_size", GcmValue::Int(*size)),
+            ],
+        );
+    }
+    med.register(Rc::new(lab)).expect("registration succeeds");
+
+    // 4. Source selection through the domain map: the lab never said it
+    //    studies "neurons", but the semantic index knows.
+    println!(
+        "sources with neuron data: {:?}",
+        med.sources_below("Neuron").expect("concept exists")
+    );
+
+    // 5. Loose federation: materialize and query at the conceptual level.
+    med.materialize_all().expect("materialization succeeds");
+    med.define_view(
+        "big_cell(X) :- X : cell_measurement, X[soma_size -> S], S > 25.",
+    )
+    .expect("view compiles");
+    med.materialize_all().expect("rebuild after view");
+    let rows = med.query_fl("big_cell(X)").expect("query runs");
+    println!("big cells:");
+    for row in &rows {
+        println!("  {}", med.show(&row[0]));
+    }
+    assert_eq!(rows.len(), 2);
+    println!("ok");
+}

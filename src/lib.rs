@@ -1,0 +1,29 @@
+//! # kind — Model-Based Mediation with Domain Maps
+//!
+//! A Rust reproduction of the KIND mediator (Ludäscher, Gupta, Martone:
+//! *Model-Based Mediation with Domain Maps*, ICDE 2001). This facade
+//! crate re-exports the whole stack:
+//!
+//! * [`datalog`] — Datalog engine with well-founded negation, aggregation,
+//!   and skolem function terms (the FLORA stand-in);
+//! * [`flogic`] — the F-logic fragment of Table 1 hosting the GCM;
+//! * [`xml`] — the XML wire format, path language, and the transform
+//!   language CM plug-ins are written in;
+//! * [`gcm`] — the Generic Conceptual Model, integrity constraints, and
+//!   the CM plug-in registry;
+//! * [`dm`] — domain maps: DL axioms, closure operations, lub, the
+//!   semantic index, structural subsumption;
+//! * [`core`] — the mediator: registration, integrated views, the §5
+//!   query plan;
+//! * [`sources`] — the simulated Neuroscience multiple-worlds scenario.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the experiment index.
+
+pub use kind_core as core;
+pub use kind_datalog as datalog;
+pub use kind_dm as dm;
+pub use kind_flogic as flogic;
+pub use kind_gcm as gcm;
+pub use kind_sources as sources;
+pub use kind_xml as xml;

@@ -1,0 +1,188 @@
+//! Integration tests spanning the whole stack: wrappers → plug-ins → GCM
+//! → domain map → mediator → query plan.
+
+use kind::core::{
+    protein_distribution, run_section5, Anchor, Capability, Mediator, MemoryWrapper, NeuroSchema,
+    Section5Query,
+};
+use kind::dm::ExecMode;
+use kind::gcm::GcmValue;
+use kind::sources::{build_scenario, scenario_domain_map, ScenarioParams};
+use std::rc::Rc;
+
+fn default_query() -> Section5Query {
+    Section5Query {
+        organism: "rat".into(),
+        transmitting_compartment: "Parallel_Fiber".into(),
+        ion: "calcium".into(),
+    }
+}
+
+#[test]
+fn scenario_registers_through_three_different_formalisms() {
+    let m = build_scenario(&ScenarioParams::default());
+    let formalisms: Vec<&str> = m
+        .sources()
+        .iter()
+        .map(|s| s.wrapper.formalism())
+        .collect();
+    assert!(formalisms.contains(&"er"));
+    assert!(formalisms.contains(&"uxf"));
+    assert!(formalisms.contains(&"rdfs"));
+    assert!(formalisms.contains(&"gcm"));
+}
+
+#[test]
+fn section5_answers_are_stable_across_seeds_structurally() {
+    for seed in [1, 7, 2001] {
+        let mut m = build_scenario(&ScenarioParams {
+            seed,
+            ..Default::default()
+        });
+        let trace = run_section5(&mut m, &NeuroSchema::default(), &default_query(), true).unwrap();
+        assert_eq!(trace.selected_sources, vec!["NCMIR".to_string()], "seed {seed}");
+        assert_eq!(trace.root.as_deref(), Some("Purkinje_Cell"), "seed {seed}");
+        assert!(!trace.distribution.is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn semantic_index_prunes_proportionally_to_noise() {
+    // With k irrelevant sources, the blind plan contacts k more sources;
+    // the indexed plan stays constant.
+    let mut indexed_queries = Vec::new();
+    let mut blind_queries = Vec::new();
+    for noise in [0usize, 4, 8] {
+        let params = ScenarioParams {
+            noise_sources: noise,
+            ..Default::default()
+        };
+        let mut m = build_scenario(&params);
+        let t = run_section5(&mut m, &NeuroSchema::default(), &default_query(), true).unwrap();
+        indexed_queries.push(t.stats.source_queries);
+        let mut m2 = build_scenario(&params);
+        let t2 = run_section5(&mut m2, &NeuroSchema::default(), &default_query(), false).unwrap();
+        blind_queries.push(t2.stats.source_queries);
+    }
+    assert_eq!(indexed_queries[0], indexed_queries[2], "indexed plan flat");
+    assert!(
+        blind_queries[2] > blind_queries[0],
+        "blind plan grows with noise: {blind_queries:?}"
+    );
+}
+
+#[test]
+fn example4_distribution_from_cerebellum_root() {
+    // The paper's demo call: P = "cerebellum", Y = "Ryanodine_Receptor".
+    let mut m = build_scenario(&ScenarioParams::default());
+    let dist = protein_distribution(
+        &mut m,
+        &NeuroSchema::default(),
+        "Ryanodine_Receptor",
+        "Cerebellum",
+    )
+    .unwrap();
+    assert!(!dist.is_empty());
+    // The cerebellum total dominates everything below it.
+    let root_total = dist
+        .iter()
+        .find(|(c, _)| c == "Cerebellum")
+        .map(|(_, t)| *t)
+        .expect("root present");
+    assert!(dist.iter().all(|(_, t)| *t <= root_total));
+    // Purkinje spine amounts (if any) roll up into the dendrite and cell.
+    let get = |c: &str| dist.iter().find(|(n, _)| n == c).map(|(_, t)| *t).unwrap_or(0);
+    assert!(get("Purkinje_Dendrite") >= get("Purkinje_Spine"));
+    assert!(get("Purkinje_Cell") >= get("Purkinje_Dendrite"));
+}
+
+#[test]
+fn loose_federation_correlates_worlds_through_anchors() {
+    // Example 1: the two labs' data never joins directly; the domain map
+    // correlates them. SYNAPSE anchors at Pyramidal structures, NCMIR at
+    // Purkinje structures — both under Spiny_Neuron-related cones.
+    let m = build_scenario(&ScenarioParams::default());
+    let spine_sources = m.sources_below("Spine").unwrap();
+    assert!(spine_sources.contains(&"SYNAPSE".to_string()));
+    assert!(spine_sources.contains(&"NCMIR".to_string()));
+    // Dendrite cone: both labs again (each studies its own dendrites).
+    let dendrite_sources = m.sources_below("Dendrite").unwrap();
+    assert!(dendrite_sources.contains(&"SYNAPSE".to_string()));
+    assert!(dendrite_sources.contains(&"NCMIR".to_string()));
+}
+
+#[test]
+fn views_over_materialized_federation() {
+    let mut m = build_scenario(&ScenarioParams {
+        senselab_rows: 8,
+        ncmir_rows: 12,
+        synapse_rows: 8,
+        noise_sources: 0,
+        ..Default::default()
+    });
+    // An IVD joining two worlds at the conceptual level: the anatomical
+    // concepts from which both labs' measurement locations are reachable
+    // (recursive traversal of the inferable direct links plus isa
+    // refinement, as in the paper's "region of correspondence").
+    m.define_view(
+        "reach(X, Y) :- has_a_star(X, Y).
+         reach(X, Y) :- reach(X, Z), has_a_star(Z, Y).
+         reach(X, Y) :- reach(X, Z), dm_isa(Y, Z).
+         co_studied(L) :- X : protein_amount, X[location -> L1],
+                          Y : spine_morphometry, Y[location -> L2],
+                          reach(L, L1), reach(L, L2).",
+    )
+    .unwrap();
+    m.materialize_all().unwrap();
+    let rows = m.query_fl("co_studied(L)").unwrap();
+    // Both labs' structures hang off shared anatomy, so some common
+    // ancestor concept must co-study them.
+    assert!(!rows.is_empty());
+}
+
+#[test]
+fn constraint_mode_mediator_reports_incompleteness() {
+    // Run the scenario map in Constraint mode with a single bare neuron:
+    // the DM demands compartments, so witnesses appear.
+    let mut m = Mediator::new(scenario_domain_map(), ExecMode::Constraint);
+    let mut w = MemoryWrapper::new("TINY");
+    w.caps.push(Capability {
+        class: "cells".into(),
+        pushable: vec![],
+    });
+    w.anchor_decls.push(Anchor::Fixed {
+        class: "cells".into(),
+        concept: "Neuron".into(),
+    });
+    w.add_row("cells", "c1", vec![("size", GcmValue::Int(3))]);
+    m.register(Rc::new(w)).unwrap();
+    m.define_view(r#"X : "Neuron" :- X : cells."#).unwrap();
+    m.materialize_all().unwrap();
+    let ws = m.witnesses().unwrap();
+    assert!(
+        ws.iter().any(|x| x.contains("Neuron") && x.contains("TINY.c1")),
+        "{ws:?}"
+    );
+}
+
+#[test]
+fn assertion_mode_mediator_invents_placeholders() {
+    let mut m = Mediator::new(scenario_domain_map(), ExecMode::Assertion);
+    let mut w = MemoryWrapper::new("TINY");
+    w.caps.push(Capability {
+        class: "cells".into(),
+        pushable: vec![],
+    });
+    w.anchor_decls.push(Anchor::Fixed {
+        class: "cells".into(),
+        concept: "Neuron".into(),
+    });
+    w.add_row("cells", "c1", vec![]);
+    m.register(Rc::new(w)).unwrap();
+    m.define_view(r#"X : "Neuron" :- X : cells."#).unwrap();
+    m.materialize_all().unwrap();
+    assert!(m.witnesses().unwrap().is_empty());
+    // The neuron got a virtual compartment.
+    let rows = m.query_fl(r#"relinst_sk("has", X, Y)"#).unwrap();
+    assert!(!rows.is_empty());
+}

@@ -1,0 +1,217 @@
+//! Property-based tests over the core data structures and invariants.
+
+use kind::datalog::{Engine, EvalOptions};
+use kind::dm::{DomainMap, Resolved};
+use kind::xml::{Element, Node};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+// ---------- Datalog: transitive closure vs. reference BFS --------------
+
+fn reference_tc(n: usize, edges: &[(usize, usize)]) -> HashSet<(usize, usize)> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    let mut out = HashSet::new();
+    for s in 0..n {
+        let mut seen = vec![false; n];
+        let mut stack = vec![s];
+        while let Some(x) = stack.pop() {
+            for &y in &adj[x] {
+                if !seen[y] {
+                    seen[y] = true;
+                    out.insert((s, y));
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn tc_engine(edges: &[(usize, usize)], semi_naive: bool) -> HashSet<(usize, usize)> {
+    let mut e = Engine::new();
+    e.load(
+        "tc(X,Y) :- edge(X,Y).
+         tc(X,Y) :- tc(X,Z), edge(Z,Y).",
+    )
+    .unwrap();
+    for &(a, b) in edges {
+        let pa = e.constant(&format!("n{a}"));
+        let pb = e.constant(&format!("n{b}"));
+        let edge = e.sym("edge");
+        e.add_fact(edge, vec![pa, pb]).unwrap();
+    }
+    let m = e
+        .run(&EvalOptions {
+            semi_naive,
+            ..Default::default()
+        })
+        .unwrap();
+    let mut e2 = e.clone();
+    e2.query_model(&m, "tc(X, Y)")
+        .unwrap()
+        .into_iter()
+        .map(|row| {
+            let parse = |t: &kind::datalog::Term| -> usize {
+                e.show(t)[1..].parse().unwrap()
+            };
+            (parse(&row[0]), parse(&row[1]))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn datalog_tc_matches_reference(
+        edges in prop::collection::vec((0usize..12, 0usize..12), 0..40)
+    ) {
+        let expect = reference_tc(12, &edges);
+        let got = tc_engine(&edges, true);
+        prop_assert_eq!(&got, &expect);
+    }
+
+    #[test]
+    fn seminaive_equals_naive(
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..30)
+    ) {
+        prop_assert_eq!(tc_engine(&edges, true), tc_engine(&edges, false));
+    }
+
+    // ---------- Domain map: lub / closure invariants --------------------
+
+    #[test]
+    fn lub_is_common_ancestor_and_minimal(
+        // A random forest: parent of node i+1 is drawn modulo i+1, which
+        // keeps the hierarchy acyclic.
+        parents in prop::collection::vec(0usize..20, 19)
+    ) {
+        let mut dm = DomainMap::new();
+        for i in 0..20usize {
+            dm.concept(&format!("c{i}"));
+        }
+        for (i, &p) in parents.iter().enumerate() {
+            let child = i + 1; // node 0 is the root-ish node
+            let parent = p % child; // strictly smaller: acyclic
+            dm.isa(&format!("c{child}"), &format!("c{parent}"));
+        }
+        let r = Resolved::new(&dm);
+        let a = dm.lookup("c7").unwrap();
+        let b = dm.lookup("c13").unwrap();
+        if let Some(l) = r.lub(&[a, b]) {
+            prop_assert!(r.ancestors(a).contains(&l));
+            prop_assert!(r.ancestors(b).contains(&l));
+            // Minimality: no common ancestor strictly below l.
+            let common: Vec<_> = r
+                .ancestors(a)
+                .intersection(&r.ancestors(b))
+                .copied()
+                .collect();
+            for o in common {
+                if o != l && r.is_subconcept(o, l) {
+                    prop_assert!(r.is_subconcept(l, o), "found strictly-lower common ancestor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dc_contains_base_and_tc_contains_dc(
+        isa in prop::collection::vec((0usize..10, 0usize..10), 0..15),
+        roles in prop::collection::vec((0usize..10, 0usize..10), 0..15)
+    ) {
+        let mut dm = DomainMap::new();
+        for i in 0..10usize {
+            dm.concept(&format!("c{i}"));
+        }
+        // Only downward-pointing isa edges (child id > parent id) keep
+        // the hierarchy acyclic, matching real domain maps.
+        for &(a, b) in &isa {
+            if a > b {
+                dm.isa(&format!("c{a}"), &format!("c{b}"));
+            }
+        }
+        for &(a, b) in &roles {
+            dm.ex(&format!("c{a}"), "has_a", &format!("c{b}"));
+        }
+        let r = Resolved::new(&dm);
+        let base: HashSet<_> = r.role_pairs("has_a").iter().copied().collect();
+        let dc: HashSet<_> = r.dc_pairs("has_a").into_iter().collect();
+        let tc: HashSet<_> = r.tc_of_dc("has_a").into_iter().collect();
+        prop_assert!(base.is_subset(&dc), "dc must contain the base role");
+        prop_assert!(dc.is_subset(&tc), "tc(dc) must contain dc");
+    }
+
+    #[test]
+    fn downward_closure_is_reflexive_and_within_map(
+        roles in prop::collection::vec((0usize..8, 0usize..8), 0..12)
+    ) {
+        let mut dm = DomainMap::new();
+        for i in 0..8usize {
+            dm.concept(&format!("c{i}"));
+        }
+        for &(a, b) in &roles {
+            dm.ex(&format!("c{a}"), "has_a", &format!("c{b}"));
+        }
+        let r = Resolved::new(&dm);
+        let root = dm.lookup("c0").unwrap();
+        let region = r.downward_closure("has_a", root);
+        prop_assert!(region.contains(&root));
+        let set: HashSet<_> = region.iter().collect();
+        prop_assert_eq!(set.len(), region.len(), "no duplicates");
+    }
+
+    // ---------- XML: serialize/parse roundtrip --------------------------
+
+    #[test]
+    fn xml_roundtrip(tree in xml_tree(3)) {
+        let text = kind::xml::to_string(&tree);
+        let doc = kind::xml::parse(&text).unwrap();
+        prop_assert_eq!(doc.root, tree);
+    }
+}
+
+/// Strategy for random XML elements (names from a safe alphabet, text
+/// avoiding pure whitespace which the parser deliberately drops).
+fn xml_tree(depth: u32) -> impl Strategy<Value = Element> {
+    let name = "[a-z][a-z0-9]{0,6}";
+    let attr_val = "[ -~&&[^<>&\"]]{0,12}";
+    let leaf = (name, prop::collection::vec((name, attr_val), 0..3)).prop_map(
+        |(n, attrs)| {
+            let mut e = Element::new(n);
+            for (k, v) in attrs {
+                // Attribute keys must be unique for a stable roundtrip.
+                if e.attr(&k).is_none() {
+                    e.attrs.push((k, v));
+                }
+            }
+            e
+        },
+    );
+    leaf.prop_recursive(depth, 24, 4, move |inner| {
+        (
+            "[a-z][a-z0-9]{0,6}",
+            prop::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::Element),
+                    "[a-zA-Z<>&\"']{1,12}".prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(n, children)| {
+                let mut e = Element::new(n);
+                // Adjacent text nodes merge on parse; pre-merge here.
+                for c in children {
+                    match (e.children.last_mut(), c) {
+                        (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                        (_, c) => e.children.push(c),
+                    }
+                }
+                e
+            })
+    })
+}
