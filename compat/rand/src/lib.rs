@@ -1,0 +1,136 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this tiny crate
+//! provides exactly the API surface the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open
+//! integer ranges. The generator is a SplitMix64 stream — statistically
+//! fine for seeded synthetic data, and fully deterministic, which is all
+//! the simulated sources and benchmarks require. It is NOT the upstream
+//! ChaCha-based `StdRng`; sequences differ from real `rand`, but every
+//! consumer in this workspace only relies on determinism per seed.
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic seeded RNG (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+/// Seeding interface, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniformly maps a raw `u64` into `[lo, hi)`. `hi > lo` is the
+    /// caller's obligation (mirrors `rand`'s panic on empty ranges).
+    fn from_raw(lo: Self, hi: Self, raw: u64) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_raw(lo: Self, hi: Self, raw: u64) -> Self {
+                let span = (hi - lo) as u64;
+                lo + (raw % span) as $t
+            }
+        }
+    )*};
+}
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_raw(lo: Self, hi: Self, raw: u64) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 as u64;
+                lo.wrapping_add((raw % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_signed!(i8, i16, i32, i64, isize);
+
+/// Sampling interface, mirroring the used subset of `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open). Panics on an empty
+    /// range, like upstream `rand`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::from_raw(range.start, range.end, self.next_u64())
+    }
+
+    /// `true` with probability `p` (0.0 ..= 1.0).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = r.gen_range(-5i64..6);
+            assert!((-5..6).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

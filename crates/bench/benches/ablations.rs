@@ -19,11 +19,7 @@ fn bench_seminaive_vs_naive(c: &mut Criterion) {
     for (n, edges) in [(30usize, 60usize), (60, 120), (120, 240)] {
         let e = tc_workload(n, edges, 11);
         g.bench_with_input(BenchmarkId::new("semi_naive", edges), &e, |b, e| {
-            b.iter(|| {
-                black_box(
-                    e.run(&EvalOptions::default()).unwrap().stats.derived,
-                )
-            })
+            b.iter(|| black_box(e.run(&EvalOptions::default()).unwrap().stats.derived))
         });
         g.bench_with_input(BenchmarkId::new("naive", edges), &e, |b, e| {
             b.iter(|| {
@@ -49,7 +45,16 @@ fn bench_stratified_vs_wfs(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_wfs");
     g.sample_size(10);
     let facts: String = (0..300)
-        .map(|i| format!("node(n{i}). {}", if i % 3 == 0 { format!("marked(n{i}).") } else { String::new() }))
+        .map(|i| {
+            format!(
+                "node(n{i}). {}",
+                if i % 3 == 0 {
+                    format!("marked(n{i}).")
+                } else {
+                    String::new()
+                }
+            )
+        })
         .collect::<Vec<_>>()
         .join("\n");
     let mut strat = Engine::new();

@@ -61,5 +61,9 @@ fn bench_registration_and_federation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_plugin_translation, bench_registration_and_federation);
+criterion_group!(
+    benches,
+    bench_plugin_translation,
+    bench_registration_and_federation
+);
 criterion_main!(benches);

@@ -32,7 +32,11 @@ fn mylab_wrapper(rows: usize, with_dm_contribution: bool) -> Rc<MemoryWrapper> {
         concept: concept.into(),
     });
     for i in 0..rows {
-        w.add_row("my_neurons", &format!("m{i}"), vec![("idx", GcmValue::Int(i as i64))]);
+        w.add_row(
+            "my_neurons",
+            &format!("m{i}"),
+            vec![("idx", GcmValue::Int(i as i64))],
+        );
     }
     Rc::new(w)
 }
@@ -41,17 +45,13 @@ fn bench_registration(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_registration");
     g.sample_size(20);
     for rows in [10usize, 100, 1000] {
-        g.bench_with_input(
-            BenchmarkId::new("anchor_only", rows),
-            &rows,
-            |b, &rows| {
-                b.iter(|| {
-                    let mut m = Mediator::new(figures::figure3_base(), ExecMode::Assertion);
-                    m.register(mylab_wrapper(rows, false)).unwrap();
-                    black_box(m.index().total_anchors())
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("anchor_only", rows), &rows, |b, &rows| {
+            b.iter(|| {
+                let mut m = Mediator::new(figures::figure3_base(), ExecMode::Assertion);
+                m.register(mylab_wrapper(rows, false)).unwrap();
+                black_box(m.index().total_anchors())
+            })
+        });
         g.bench_with_input(
             BenchmarkId::new("with_dm_refinement", rows),
             &rows,

@@ -92,7 +92,13 @@ fn bench_plan_vs_materialize(c: &mut Criterion) {
     g.sample_size(10);
     let mut m = build_scenario(&params);
     g.bench_function("pushdown_plan", |b| {
-        b.iter(|| black_box(run_section5(&mut m, &schema, &query(), true).unwrap().step3_rows))
+        b.iter(|| {
+            black_box(
+                run_section5(&mut m, &schema, &query(), true)
+                    .unwrap()
+                    .step3_rows,
+            )
+        })
     });
     g.bench_function("materialize_everything_baseline", |b| {
         b.iter(|| {

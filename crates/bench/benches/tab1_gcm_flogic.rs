@@ -18,11 +18,9 @@ fn bench_fl_axioms(c: &mut Criterion) {
     for (depth, fanout) in [(4usize, 2usize), (6, 2), (8, 2)] {
         let classes = (0..=depth).map(|d| fanout.pow(d as u32)).sum::<usize>();
         let fl = class_tree_flogic(depth, fanout);
-        g.bench_with_input(
-            BenchmarkId::new("closure_eval", classes),
-            &fl,
-            |b, fl| b.iter(|| black_box(fl.run().unwrap().facts.len())),
-        );
+        g.bench_with_input(BenchmarkId::new("closure_eval", classes), &fl, |b, fl| {
+            b.iter(|| black_box(fl.run().unwrap().facts.len()))
+        });
     }
     g.finish();
 }

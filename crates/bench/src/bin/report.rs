@@ -50,7 +50,10 @@ fn figure1_report() {
         let na = dm.lookup(a).unwrap();
         let nb = dm.lookup(b).unwrap();
         let holds = r.dc_pairs(role).contains(&(na, nb));
-        println!("  {a:<22} --{role:>14}--> {b:<24} {}", if holds { "inferable" } else { "MISSING" });
+        println!(
+            "  {a:<22} --{role:>14}--> {b:<24} {}",
+            if holds { "inferable" } else { "MISSING" }
+        );
     }
     let dc = r.dc_pairs("has").len();
     let tc = r.tc_of_dc("has").len();
@@ -218,11 +221,7 @@ fn figure3_report() {
     let r = Resolved::new(&full);
     let mn = full.lookup("MyNeuron").unwrap();
     println!("\nderived for MyNeuron:");
-    for target in [
-        "Medium_Spiny_Neuron",
-        "Spiny_Neuron",
-        "Neuron",
-    ] {
+    for target in ["Medium_Spiny_Neuron", "Spiny_Neuron", "Neuron"] {
         let t = full.lookup(target).unwrap();
         println!("  MyNeuron :: {target:<22} {}", r.is_subconcept(mn, t));
     }
@@ -233,11 +232,10 @@ fn figure3_report() {
     );
     // Nonmonotonic override at the instance level.
     let mut fl = FLogic::with_inheritance();
-    fl.load(
-        "m1 : msn. m2 : msn. m1[proj -> gpe_only].",
-    )
-    .unwrap();
-    fl.load_datalog("default(msn, proj, pallidal_target).").unwrap();
+    fl.load("m1 : msn. m2 : msn. m1[proj -> gpe_only].")
+        .unwrap();
+    fl.load_datalog("default(msn, proj, pallidal_target).")
+        .unwrap();
     let model = fl.run().unwrap();
     let mut e = fl.engine().clone();
     let v1 = e.query_model(&model, "val(m1, proj, V)").unwrap();

@@ -91,7 +91,8 @@ pub fn corrupted_order(n: usize, missing: usize) -> GcmBase {
         ],
     );
     base.apply(&cm).expect("CM applies");
-    base.require_partial_order("node", "leq").expect("constraint");
+    base.require_partial_order("node", "leq")
+        .expect("constraint");
     base
 }
 

@@ -1,5 +1,6 @@
 //! Error type for the mediator.
 
+use crate::fault::SourceError;
 use std::fmt;
 
 /// Errors raised by mediator operations.
@@ -11,6 +12,14 @@ pub enum MediatorError {
     Dm(kind_dm::DmError),
     /// From the deductive engine.
     Datalog(kind_datalog::DatalogError),
+    /// A source failed at the wrapper boundary (after retries, or
+    /// because its circuit breaker was open).
+    Source {
+        /// The failing source.
+        name: String,
+        /// The underlying typed failure.
+        error: SourceError,
+    },
     /// A source name was registered twice.
     DuplicateSource {
         /// The offending name.
@@ -39,6 +48,9 @@ impl fmt::Display for MediatorError {
             MediatorError::Gcm(e) => write!(f, "gcm: {e}"),
             MediatorError::Dm(e) => write!(f, "domain map: {e}"),
             MediatorError::Datalog(e) => write!(f, "datalog: {e}"),
+            MediatorError::Source { name, error } => {
+                write!(f, "source `{name}`: {error}")
+            }
             MediatorError::DuplicateSource { name } => {
                 write!(f, "source `{name}` already registered")
             }
@@ -57,7 +69,12 @@ impl std::error::Error for MediatorError {
             MediatorError::Gcm(e) => Some(e),
             MediatorError::Dm(e) => Some(e),
             MediatorError::Datalog(e) => Some(e),
-            _ => None,
+            MediatorError::Source { error, .. } => Some(error),
+            // Leaf variants: the message carries everything there is.
+            MediatorError::DuplicateSource { .. }
+            | MediatorError::UnknownSource { .. }
+            | MediatorError::UnknownClass { .. }
+            | MediatorError::UnknownConcept { .. } => None,
         }
     }
 }

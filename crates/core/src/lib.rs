@@ -39,17 +39,23 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod mediator;
 pub mod plan;
 pub mod query;
 pub mod wrapper;
 
 pub use error::{MediatorError, Result};
+pub use fault::{
+    AnswerReport, BreakerConfig, BreakerState, CircuitBreaker, Clock, Fault, FaultInjector,
+    QuarantinedRow, RetryPolicy, SourceError, SourceOutcome, SourcePolicy, SourceReport,
+    VirtualClock,
+};
 pub use mediator::{Mediator, MediatorStats, RegisteredSource};
-pub use query::AnswerSet;
 pub use plan::{
     protein_distribution, run_section5, DistributionRow, NeuroSchema, PlanTrace, Section5Query,
 };
+pub use query::AnswerSet;
 pub use wrapper::{
     Anchor, Capability, MemoryWrapper, ObjectRow, QueryTemplate, Selection, SourceQuery, Wrapper,
 };

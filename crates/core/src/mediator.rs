@@ -9,13 +9,15 @@
 //! over everything together.
 
 use crate::error::{MediatorError, Result};
+use crate::fault::{
+    AnswerReport, BreakerState, CircuitBreaker, Clock, QuarantinedRow, SourceError, SourceOutcome,
+    SourcePolicy, VirtualClock,
+};
 use crate::wrapper::{Anchor, Capability, ObjectRow, SourceQuery, Wrapper};
 use kind_datalog::{EvalOptions, Model, Term};
-use kind_dm::{
-    axiom, rules, DomainMap, ExecMode, Resolved, SemanticIndex, SourceId, DM_OPS_RULES,
-};
+use kind_dm::{axiom, rules, DomainMap, ExecMode, Resolved, SemanticIndex, SourceId, DM_OPS_RULES};
 use kind_gcm::{ConceptualModel, GcmBase, GcmDecl, PluginRegistry};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
 /// Bookkeeping for one registered source.
@@ -30,6 +32,50 @@ pub struct RegisteredSource {
     pub wrapper: Rc<dyn Wrapper>,
     /// Classes this source exports rows for (from capabilities).
     pub classes: Vec<String>,
+    /// Attributes declared per class in the translated CM (`method`
+    /// schema decls). An empty/absent set means the CM is schema-less
+    /// for that class and attribute names are not checked.
+    pub declared_attrs: HashMap<String, BTreeSet<String>>,
+    /// Anchor attributes every row of a class must carry (its `ByAttr`
+    /// anchors).
+    pub anchor_attrs: HashMap<String, Vec<String>>,
+}
+
+impl RegisteredSource {
+    /// Validates a shipped row against this source's exported CM:
+    /// the class must be exported, the object id non-empty, every
+    /// `ByAttr` anchor attribute present, and (when the CM declares a
+    /// schema for the class) every attribute declared.
+    pub fn validate_row(&self, class: &str, row: &ObjectRow) -> std::result::Result<(), String> {
+        if !self.classes.iter().any(|c| c == class) {
+            return Err(format!(
+                "class `{class}` is not exported by `{}`",
+                self.name
+            ));
+        }
+        if row.id.trim().is_empty() {
+            return Err("empty object id".into());
+        }
+        if let Some(anchor_attrs) = self.anchor_attrs.get(class) {
+            for attr in anchor_attrs {
+                if row.get(attr).is_none() {
+                    return Err(format!("missing anchor attribute `{attr}`"));
+                }
+            }
+        }
+        if let Some(declared) = self.declared_attrs.get(class) {
+            if !declared.is_empty() {
+                for (attr, _) in &row.attrs {
+                    if !declared.contains(attr) {
+                        return Err(format!(
+                            "attribute `{attr}` is not declared in the exported CM"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for RegisteredSource {
@@ -45,12 +91,16 @@ impl std::fmt::Debug for RegisteredSource {
 /// Cumulative query-processing statistics (for the benchmarks).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MediatorStats {
-    /// Wrapper queries issued.
+    /// Wrapper queries issued (every physical attempt counts).
     pub source_queries: usize,
     /// Rows shipped from wrappers to the mediator.
     pub rows_shipped: usize,
     /// Rows surviving mediator-side residual filters.
     pub rows_kept: usize,
+    /// Retry attempts beyond the first, across all fetches.
+    pub retries: usize,
+    /// Fetches that ultimately failed or were skipped by a breaker.
+    pub failures: usize,
 }
 
 /// The model-based mediator.
@@ -70,8 +120,33 @@ pub struct Mediator {
     model: Option<Model>,
     dirty: bool,
     eval_options: EvalOptions,
+    clock: Rc<dyn Clock>,
+    default_policy: SourcePolicy,
+    policies: HashMap<String, SourcePolicy>,
+    breakers: HashMap<String, CircuitBreaker>,
+    report: AnswerReport,
     /// Query-processing statistics.
     pub stats: MediatorStats,
+}
+
+/// The outcome of one guarded (retry/breaker-aware) wrapper query.
+enum GuardedFetch {
+    /// Rows arrived, possibly after retries.
+    Rows {
+        /// The shipped rows.
+        rows: Vec<ObjectRow>,
+        /// Physical attempts made (1 = no retry).
+        attempts: u32,
+    },
+    /// The retry budget was exhausted (or the breaker opened mid-retry).
+    Failed {
+        /// Physical attempts made.
+        attempts: u32,
+        /// The final error.
+        error: SourceError,
+    },
+    /// The breaker was open: the source was never contacted.
+    Skipped,
 }
 
 impl Mediator {
@@ -93,6 +168,11 @@ impl Mediator {
             model: None,
             dirty: true,
             eval_options: EvalOptions::default(),
+            clock: Rc::new(VirtualClock::new()),
+            default_policy: SourcePolicy::default(),
+            policies: HashMap::new(),
+            breakers: HashMap::new(),
+            report: AnswerReport::default(),
             stats: MediatorStats::default(),
         };
         m.rebuild().expect("empty mediator builds");
@@ -152,6 +232,133 @@ impl Mediator {
         &self.eval_options
     }
 
+    /// The mediator's clock (share it with [`crate::FaultInjector`]s so
+    /// injected delays are visible to timeout checks).
+    pub fn clock(&self) -> Rc<dyn Clock> {
+        Rc::clone(&self.clock)
+    }
+
+    /// Replaces the clock (e.g. with a pre-advanced [`VirtualClock`]).
+    pub fn set_clock(&mut self, clock: Rc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Sets the policy used for sources without a per-source override.
+    pub fn set_default_policy(&mut self, policy: SourcePolicy) {
+        self.default_policy = policy;
+    }
+
+    /// Sets a per-source retry/timeout/breaker policy. Any existing
+    /// breaker for the source is reset so the new configuration takes
+    /// effect immediately.
+    pub fn set_source_policy(&mut self, name: impl Into<String>, policy: SourcePolicy) {
+        let name = name.into();
+        self.breakers.remove(&name);
+        self.policies.insert(name, policy);
+    }
+
+    /// The policy governing `name` (per-source override or default).
+    pub fn policy_for(&self, name: &str) -> &SourcePolicy {
+        self.policies.get(name).unwrap_or(&self.default_policy)
+    }
+
+    /// The breaker state for a source, once it has been fetched from at
+    /// least once.
+    pub fn breaker_state(&self, name: &str) -> Option<BreakerState> {
+        self.breakers.get(name).map(|b| b.state())
+    }
+
+    /// Force-closes a source's breaker (operator override).
+    pub fn reset_breaker(&mut self, name: &str) {
+        self.breakers.remove(name);
+    }
+
+    /// The degradation report of the most recent degradable operation
+    /// ([`Self::materialize_all`], [`Self::answer`], or a plan run).
+    pub fn report(&self) -> &AnswerReport {
+        &self.report
+    }
+
+    /// Starts a fresh report (each degradable operation calls this).
+    pub(crate) fn begin_report(&mut self) {
+        self.report = AnswerReport::default();
+    }
+
+    /// Runs one wrapper query under the source's policy: breaker check,
+    /// per-attempt virtual-time budget, bounded retries with
+    /// deterministic backoff. Every attempt updates `stats` and the
+    /// breaker; the caller folds the outcome into the report.
+    fn guarded_query(
+        &mut self,
+        name: &str,
+        wrapper: &Rc<dyn Wrapper>,
+        q: &SourceQuery,
+    ) -> GuardedFetch {
+        let policy = self.policy_for(name).clone();
+        self.breakers
+            .entry(name.to_string())
+            .or_insert_with(|| CircuitBreaker::new(policy.breaker.clone()));
+        let clock = Rc::clone(&self.clock);
+        let mut attempts = 0u32;
+        let mut last_error: Option<SourceError> = None;
+        loop {
+            let now = clock.now_ms();
+            let allowed = self
+                .breakers
+                .get_mut(name)
+                .expect("breaker inserted above")
+                .allows(now);
+            if !allowed {
+                self.stats.failures += 1;
+                return match last_error {
+                    // The breaker opened between retry attempts: report
+                    // the failure that opened it.
+                    Some(error) => GuardedFetch::Failed { attempts, error },
+                    None => GuardedFetch::Skipped,
+                };
+            }
+            attempts += 1;
+            self.stats.source_queries += 1;
+            let started = clock.now_ms();
+            let result = wrapper.query(q).and_then(|rows| {
+                let elapsed = clock.now_ms().saturating_sub(started);
+                if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
+                    Err(SourceError::Timeout {
+                        elapsed_ms: elapsed,
+                        budget_ms: policy.timeout_ms,
+                    })
+                } else {
+                    Ok(rows)
+                }
+            });
+            match result {
+                Ok(rows) => {
+                    self.breakers
+                        .get_mut(name)
+                        .expect("breaker inserted above")
+                        .record_success();
+                    self.stats.rows_shipped += rows.len();
+                    self.stats.retries += (attempts - 1) as usize;
+                    return GuardedFetch::Rows { rows, attempts };
+                }
+                Err(error) => {
+                    let now = clock.now_ms();
+                    self.breakers
+                        .get_mut(name)
+                        .expect("breaker inserted above")
+                        .record_failure(now);
+                    if attempts >= policy.retry.max_attempts {
+                        self.stats.retries += (attempts - 1) as usize;
+                        self.stats.failures += 1;
+                        return GuardedFetch::Failed { attempts, error };
+                    }
+                    last_error = Some(error);
+                    clock.advance_ms(policy.retry.backoff_ms(attempts));
+                }
+            }
+        }
+    }
+
     /// Read access to the GCM base (the built engine).
     pub fn base(&self) -> &GcmBase {
         &self.base
@@ -194,8 +401,28 @@ impl Mediator {
         // (2) Conceptual model through the plug-in.
         let doc = wrapper.export_cm();
         let cm = self.registry.translate(wrapper.formalism(), &doc)?;
+        // Remember the declared schema for row validation at fetch time.
+        let mut declared_attrs: HashMap<String, BTreeSet<String>> = HashMap::new();
+        for d in &cm.decls {
+            if let GcmDecl::Method { class, method, .. } = d {
+                declared_attrs
+                    .entry(class.clone())
+                    .or_default()
+                    .insert(method.clone());
+            }
+        }
         self.cms.push(cm);
+        // Registration contacts the source directly (no retry/breaker: a
+        // source that cannot answer its own registration scan has no
+        // business joining the federation).
+        let strict = |r: std::result::Result<Vec<ObjectRow>, SourceError>| {
+            r.map_err(|error| MediatorError::Source {
+                name: name.clone(),
+                error,
+            })
+        };
         // (3) Semantic index: anchor the source's data.
+        let mut anchor_attrs: HashMap<String, Vec<String>> = HashMap::new();
         for anchor in wrapper.anchors() {
             match anchor {
                 Anchor::Fixed { class, concept } => {
@@ -203,11 +430,17 @@ impl Mediator {
                         .dm
                         .lookup(&concept)
                         .ok_or(MediatorError::UnknownConcept { name: concept })?;
-                    let count = wrapper.query(&SourceQuery::scan(&class)).len().max(1);
+                    let count = strict(wrapper.query(&SourceQuery::scan(&class)))?
+                        .len()
+                        .max(1);
                     self.index.anchor_many(id, node, count);
                 }
                 Anchor::ByAttr { class, attr } => {
-                    let rows = wrapper.query(&SourceQuery::scan(&class));
+                    anchor_attrs
+                        .entry(class.clone())
+                        .or_default()
+                        .push(attr.clone());
+                    let rows = strict(wrapper.query(&SourceQuery::scan(&class)))?;
                     let mut per_concept: HashMap<String, usize> = HashMap::new();
                     for row in &rows {
                         if let Some(c) = row.get_str(&attr) {
@@ -227,12 +460,14 @@ impl Mediator {
                     // knowledge base over this class's rows only.
                     let mut scratch = kind_flogic::FLogic::new();
                     scratch.load(&rule)?;
-                    let rows = wrapper.query(&SourceQuery::scan(&class));
+                    let rows = strict(wrapper.query(&SourceQuery::scan(&class)))?;
                     for row in &rows {
                         let obj = scratch.engine_mut().constant(&row.id);
                         let cls = scratch.engine_mut().constant(&class);
                         let preds = *scratch.preds();
-                        scratch.engine_mut().add_fact(preds.inst, vec![obj.clone(), cls])?;
+                        scratch
+                            .engine_mut()
+                            .add_fact(preds.inst, vec![obj.clone(), cls])?;
                         for (attr, value) in &row.attrs {
                             let a = scratch.engine_mut().constant(attr);
                             let v = match value {
@@ -249,10 +484,11 @@ impl Mediator {
                     }
                     let model = scratch.run_with(&self.eval_options)?;
                     let mut per_concept: HashMap<String, usize> = HashMap::new();
-                    for sol in scratch.engine_mut().clone().query_model(
-                        &model,
-                        "anchor_at(X, C)",
-                    )? {
+                    for sol in scratch
+                        .engine_mut()
+                        .clone()
+                        .query_model(&model, "anchor_at(X, C)")?
+                    {
                         per_concept
                             .entry(scratch.engine().show(&sol[1]))
                             .and_modify(|c| *c += 1)
@@ -276,6 +512,8 @@ impl Mediator {
             caps,
             wrapper,
             classes,
+            declared_attrs,
+            anchor_attrs,
         });
         // Fast path: when the registration did not touch the domain map
         // and the base is current, apply the new CM and anchor facts
@@ -339,23 +577,27 @@ impl Mediator {
     /// as `inst`/`mi` facts (plus `relinst` for anchor attributes) — the
     /// *materialize-everything* strategy, used for loose federation and as
     /// the baseline the §5 push-down plan is compared against.
+    ///
+    /// Degrades gracefully: a failing (or breaker-skipped) source simply
+    /// contributes no rows, and CM-invalid rows are quarantined rather
+    /// than loaded. Inspect [`Self::report`] afterwards for per-source
+    /// outcomes and the completeness flag.
     pub fn materialize_all(&mut self) -> Result<usize> {
+        self.begin_report();
         if self.dirty {
             self.rebuild()?;
         }
         let mut loaded = 0usize;
-        let sources: Vec<(String, Rc<dyn Wrapper>, Vec<String>)> = self
+        let plan: Vec<(String, Vec<String>)> = self
             .sources
             .iter()
-            .map(|s| (s.name.clone(), Rc::clone(&s.wrapper), s.classes.clone()))
+            .map(|s| (s.name.clone(), s.classes.clone()))
             .collect();
-        for (name, wrapper, classes) in sources {
+        for (name, classes) in plan {
             for class in classes {
-                let rows = wrapper.query(&SourceQuery::scan(&class));
-                self.stats.source_queries += 1;
-                self.stats.rows_shipped += rows.len();
+                let rows = self.fetch_degraded(&name, &SourceQuery::scan(&class))?;
                 for row in rows {
-                    self.load_row(&name, &class, &row)?;
+                    self.apply_row(&name, &class, &row)?;
                     loaded += 1;
                 }
             }
@@ -364,8 +606,32 @@ impl Mediator {
         Ok(loaded)
     }
 
-    /// Loads one row into the base as GCM declarations.
+    /// Loads one row into the base as GCM declarations, after validating
+    /// it against the source's exported CM (unknown source, unexported
+    /// class, and malformed rows are typed errors — not silently
+    /// accepted).
     pub fn load_row(&mut self, source: &str, class: &str, row: &ObjectRow) -> Result<()> {
+        let src = self.source(source)?;
+        if !src.classes.iter().any(|c| c == class) {
+            return Err(MediatorError::UnknownClass {
+                class: class.to_string(),
+            });
+        }
+        if let Err(reason) = src.validate_row(class, row) {
+            return Err(MediatorError::Source {
+                name: source.to_string(),
+                error: SourceError::MalformedRow {
+                    row: row.id.clone(),
+                    reason,
+                },
+            });
+        }
+        self.apply_row(source, class, row)
+    }
+
+    /// The unchecked load path, for rows already validated by
+    /// [`Self::fetch`].
+    pub(crate) fn apply_row(&mut self, source: &str, class: &str, row: &ObjectRow) -> Result<()> {
         let obj = format!("{source}.{}", row.id);
         self.base.apply_decl(&GcmDecl::Instance {
             obj: obj.clone(),
@@ -437,24 +703,102 @@ impl Mediator {
             .witnesses(self.model.as_ref().expect("model cached")))
     }
 
-    /// Capability-aware fetch: pushes the pushable selections to the
-    /// wrapper and applies the rest as a residual filter mediator-side.
+    /// Capability-aware, fault-tolerant fetch: pushes the pushable
+    /// selections to the wrapper (with retries, timeout budget, and
+    /// circuit breaker per the source's [`SourcePolicy`]), quarantines
+    /// rows that violate the source's exported CM, and applies the
+    /// remaining selections as a residual filter mediator-side.
+    ///
+    /// A source that exhausts its retry budget — or whose breaker is
+    /// open — is a typed [`MediatorError::Source`] error; the outcome is
+    /// also folded into the current [`Self::report`].
     pub fn fetch(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
         let src = self.source(source_name)?;
+        if !src.classes.iter().any(|c| c == &q.class) {
+            return Err(MediatorError::UnknownClass {
+                class: q.class.clone(),
+            });
+        }
         let wrapper = Rc::clone(&src.wrapper);
-        let rows = wrapper.query(q);
-        self.stats.source_queries += 1;
-        self.stats.rows_shipped += rows.len();
-        let kept: Vec<ObjectRow> = rows
-            .into_iter()
-            .filter(|r| {
-                q.selections
-                    .iter()
-                    .all(|s| r.get(&s.attr) == Some(&s.value))
-            })
-            .collect();
-        self.stats.rows_kept += kept.len();
-        Ok(kept)
+        match self.guarded_query(source_name, &wrapper, q) {
+            GuardedFetch::Rows { rows, attempts } => {
+                // CM validation: quarantine, don't abort.
+                let mut kept = Vec::with_capacity(rows.len());
+                let mut quarantined = Vec::new();
+                {
+                    let src = self.source(source_name)?;
+                    for row in rows {
+                        match src.validate_row(&q.class, &row) {
+                            Ok(()) => kept.push(row),
+                            Err(reason) => quarantined.push(QuarantinedRow {
+                                source: source_name.to_string(),
+                                class: q.class.clone(),
+                                row_id: row.id.clone(),
+                                reason,
+                            }),
+                        }
+                    }
+                }
+                for qr in quarantined {
+                    self.report.record_quarantine(qr);
+                }
+                let kept: Vec<ObjectRow> = kept
+                    .into_iter()
+                    .filter(|r| {
+                        q.selections
+                            .iter()
+                            .all(|s| r.get(&s.attr) == Some(&s.value))
+                    })
+                    .collect();
+                self.stats.rows_kept += kept.len();
+                let outcome = if attempts > 1 {
+                    SourceOutcome::Retried {
+                        retries: attempts - 1,
+                    }
+                } else {
+                    SourceOutcome::Ok
+                };
+                self.report
+                    .record_fetch(source_name, attempts as usize, kept.len(), outcome);
+                Ok(kept)
+            }
+            GuardedFetch::Failed { attempts, error } => {
+                self.report.record_fetch(
+                    source_name,
+                    attempts as usize,
+                    0,
+                    SourceOutcome::Failed {
+                        error: error.clone(),
+                    },
+                );
+                Err(MediatorError::Source {
+                    name: source_name.to_string(),
+                    error,
+                })
+            }
+            GuardedFetch::Skipped => {
+                self.report
+                    .record_fetch(source_name, 0, 0, SourceOutcome::SkippedByBreaker);
+                Err(MediatorError::Source {
+                    name: source_name.to_string(),
+                    error: SourceError::Unavailable {
+                        reason: "circuit breaker open; source not contacted".into(),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Like [`Self::fetch`], but a source-level failure degrades to an
+    /// empty row set instead of an error (the failure stays visible in
+    /// [`Self::report`]). Mediator-level errors (unknown source/class)
+    /// still propagate.
+    pub fn fetch_degraded(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
+        match self.fetch(source_name, q) {
+            Ok(rows) => Ok(rows),
+            Err(MediatorError::Source { .. }) => Ok(Vec::new()),
+            Err(other) => Err(other),
+        }
     }
 
     /// **Source selection** via the semantic index (§5 step 2): the names
@@ -463,9 +807,13 @@ impl Mediator {
     pub fn select_sources(&self, concepts: &[&str]) -> Result<Vec<String>> {
         let mut nodes = Vec::with_capacity(concepts.len());
         for c in concepts {
-            nodes.push(self.dm.lookup(c).ok_or_else(|| MediatorError::UnknownConcept {
-                name: (*c).to_string(),
-            })?);
+            nodes.push(
+                self.dm
+                    .lookup(c)
+                    .ok_or_else(|| MediatorError::UnknownConcept {
+                        name: (*c).to_string(),
+                    })?,
+            );
         }
         let ids = self.index.sources_for_all(&self.resolved, &nodes);
         Ok(self
@@ -517,10 +865,7 @@ impl Mediator {
             let anchored = self.index.concepts_of(src.id);
             let relevant = anchored.iter().any(|&c| {
                 self.dm.name(c).is_some_and(|name| {
-                    reasoner.subsumes(
-                        &expr,
-                        &kind_dm::ConceptExpr::Atomic(name.to_string()),
-                    )
+                    reasoner.subsumes(&expr, &kind_dm::ConceptExpr::Atomic(name.to_string()))
                 })
             });
             if relevant {
@@ -570,9 +915,13 @@ impl Mediator {
     fn lookup_all(&self, concepts: &[&str]) -> Result<Vec<kind_dm::NodeId>> {
         let mut nodes = Vec::with_capacity(concepts.len());
         for c in concepts {
-            nodes.push(self.dm.lookup(c).ok_or_else(|| MediatorError::UnknownConcept {
-                name: (*c).to_string(),
-            })?);
+            nodes.push(
+                self.dm
+                    .lookup(c)
+                    .ok_or_else(|| MediatorError::UnknownConcept {
+                        name: (*c).to_string(),
+                    })?,
+            );
         }
         Ok(nodes)
     }
@@ -708,7 +1057,8 @@ mod tests {
     #[test]
     fn materialize_and_query_loose_federation() {
         let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
-        m.register(simple_wrapper("S1", "spines", "Spine", 3)).unwrap();
+        m.register(simple_wrapper("S1", "spines", "Spine", 3))
+            .unwrap();
         m.materialize_all().unwrap();
         let rows = m.query_fl("X : spines").unwrap();
         assert_eq!(rows.len(), 3);
@@ -720,11 +1070,10 @@ mod tests {
     #[test]
     fn views_evaluate_over_sources_and_dm() {
         let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
-        m.register(simple_wrapper("S1", "spines", "Spine", 2)).unwrap();
-        m.define_view(
-            "big(X) :- X : spines, X[value -> V], V >= 1.",
-        )
-        .unwrap();
+        m.register(simple_wrapper("S1", "spines", "Spine", 2))
+            .unwrap();
+        m.define_view("big(X) :- X : spines, X[value -> V], V >= 1.")
+            .unwrap();
         m.materialize_all().unwrap();
         assert_eq!(m.query_fl("big(X)").unwrap().len(), 1);
     }
@@ -732,7 +1081,8 @@ mod tests {
     #[test]
     fn fetch_applies_residual_filters() {
         let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
-        m.register(simple_wrapper("S1", "spines", "Spine", 4)).unwrap();
+        m.register(simple_wrapper("S1", "spines", "Spine", 4))
+            .unwrap();
         // `value` is not pushable: wrapper ships all 4, mediator keeps 1.
         let rows = m
             .fetch(
@@ -781,11 +1131,15 @@ mod tests {
     #[test]
     fn explanations_cross_the_whole_stack() {
         let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
-        m.register(simple_wrapper("S1", "spines", "Spine", 1)).unwrap();
+        m.register(simple_wrapper("S1", "spines", "Spine", 1))
+            .unwrap();
         m.define_view("X : noted :- X : spines, X[value -> V], V >= 0.")
             .unwrap();
         m.materialize_all().unwrap();
-        let why = m.explain_fl(r#""S1.o0" : noted"#).unwrap().expect("fact holds");
+        let why = m
+            .explain_fl(r#""S1.o0" : noted"#)
+            .unwrap()
+            .expect("fact holds");
         // The tree goes: view rule -> inst fact (edb) + mi fact (edb).
         assert!(why.contains("[rule #"), "{why}");
         assert!(why.contains("[edb]"), "{why}");
@@ -858,8 +1212,10 @@ mod tests {
             ExecMode::Assertion,
         )
         .unwrap();
-        m.register(simple_wrapper("P", "pdata", "Purkinje_Cell", 2)).unwrap();
-        m.register(simple_wrapper("G", "gdata", "Granule_Cell", 2)).unwrap();
+        m.register(simple_wrapper("P", "pdata", "Purkinje_Cell", 2))
+            .unwrap();
+        m.register(simple_wrapper("G", "gdata", "Granule_Cell", 2))
+            .unwrap();
         // A query about spiny things finds only the Purkinje source.
         let spiny = m
             .select_sources_by_expression("Neuron and exists has.Spine")
@@ -873,7 +1229,8 @@ mod tests {
     #[test]
     fn anchored_facts_visible_to_rules() {
         let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
-        m.register(simple_wrapper("S1", "spines", "Spine", 1)).unwrap();
+        m.register(simple_wrapper("S1", "spines", "Spine", 1))
+            .unwrap();
         let rows = m.query_fl(r#"anchored("S1", C)"#).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(m.show(&rows[0][1]), "Spine");

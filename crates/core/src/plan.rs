@@ -25,6 +25,7 @@
 //! ablation in DESIGN.md.
 
 use crate::error::Result;
+use crate::fault::AnswerReport;
 use crate::mediator::{Mediator, MediatorStats};
 use crate::wrapper::SourceQuery;
 use kind_gcm::GcmValue;
@@ -99,7 +100,7 @@ pub struct DistributionRow {
 }
 
 /// A full record of one plan execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PlanTrace {
     /// Step 1: the receiving (neuron, compartment) pairs.
     pub step1_pairs: Vec<(String, String)>,
@@ -119,6 +120,10 @@ pub struct PlanTrace {
     pub distribution: Vec<DistributionRow>,
     /// Wrapper-traffic statistics accumulated by this plan run.
     pub stats: MediatorStats,
+    /// Per-source outcomes, quarantined rows, and the completeness flag
+    /// for this run (failed or breaker-skipped sources contribute no
+    /// rows; the report says so).
+    pub report: AnswerReport,
 }
 
 /// Executes the §5 plan.
@@ -128,6 +133,7 @@ pub fn run_section5(
     q: &Section5Query,
     use_semantic_index: bool,
 ) -> Result<PlanTrace> {
+    m.begin_report();
     let stats_before = m.stats;
     let mut trace = PlanTrace {
         used_semantic_index: use_semantic_index,
@@ -138,7 +144,7 @@ pub fn run_section5(
     let nt_sources = m.sources_exporting(&schema.neurotransmission_class);
     let mut pairs: Vec<(String, String)> = Vec::new();
     for src in &nt_sources {
-        let rows = m.fetch(
+        let rows = m.fetch_degraded(
             src,
             &SourceQuery::scan(&schema.neurotransmission_class)
                 .with(&schema.nt_organism, GcmValue::Id(q.organism.clone()))
@@ -193,7 +199,7 @@ pub fn run_section5(
     let mut proteins: HashSet<String> = HashSet::new();
     for src in &selected {
         for loc in &locations {
-            let rows = m.fetch(
+            let rows = m.fetch_degraded(
                 src,
                 &SourceQuery::scan(&schema.protein_class)
                     .with(&schema.pa_location, GcmValue::Id(loc.clone()))
@@ -240,9 +246,9 @@ pub fn run_section5(
                         .collect()
                 })
                 .unwrap_or_default();
-            let totals =
-                m.resolved()
-                    .rollup_sum(&schema.partonomy_role, root_node, &values);
+            let totals = m
+                .resolved()
+                .rollup_sum(&schema.partonomy_role, root_node, &values);
             let mut rows: BTreeMap<String, i64> = BTreeMap::new();
             for (node, total) in totals {
                 if total != 0 {
@@ -264,7 +270,10 @@ pub fn run_section5(
         source_queries: m.stats.source_queries - stats_before.source_queries,
         rows_shipped: m.stats.rows_shipped - stats_before.rows_shipped,
         rows_kept: m.stats.rows_kept - stats_before.rows_kept,
+        retries: m.stats.retries - stats_before.retries,
+        failures: m.stats.failures - stats_before.failures,
     };
+    trace.report = m.report().clone();
     Ok(trace)
 }
 
@@ -278,12 +287,13 @@ pub fn protein_distribution(
     protein: &str,
     root: &str,
 ) -> Result<Vec<(String, i64)>> {
-    let root_node = m
-        .dm()
-        .lookup(root)
-        .ok_or_else(|| crate::error::MediatorError::UnknownConcept {
-            name: root.to_string(),
-        })?;
+    m.begin_report();
+    let root_node =
+        m.dm()
+            .lookup(root)
+            .ok_or_else(|| crate::error::MediatorError::UnknownConcept {
+                name: root.to_string(),
+            })?;
     let sources: Vec<String> = m
         .sources_in_region(&schema.partonomy_role, root)?
         .into_iter()
@@ -291,7 +301,7 @@ pub fn protein_distribution(
         .collect();
     let mut per_loc: HashMap<String, i64> = HashMap::new();
     for src in sources {
-        let rows = m.fetch(
+        let rows = m.fetch_degraded(
             &src,
             &SourceQuery::scan(&schema.protein_class)
                 .with(&schema.pa_protein, GcmValue::Id(protein.to_string())),

@@ -20,6 +20,7 @@
 //! 4. returns the answer tuples and uninstalls the view.
 
 use crate::error::{MediatorError, Result};
+use crate::fault::AnswerReport;
 use crate::mediator::Mediator;
 use crate::wrapper::SourceQuery;
 use kind_datalog::Term;
@@ -35,17 +36,21 @@ pub struct AnswerSet {
     pub classes: Vec<String>,
     /// Sources actually contacted.
     pub sources: Vec<String>,
+    /// Per-source outcomes and quarantine diagnostics: a failed or
+    /// breaker-skipped source contributes no rows, and
+    /// [`AnswerReport::is_complete`] is the answer's completeness flag.
+    pub report: AnswerReport,
 }
 
 impl Mediator {
     /// Answers a one-off conjunctive query given as a single FL rule (see
     /// module docs). The rule's head predicate names the answer relation.
     pub fn answer(&mut self, rule_text: &str) -> Result<AnswerSet> {
+        self.begin_report();
         // Parse with a scratch interner so we can inspect the clause
         // before committing anything to the base.
         let mut scratch = kind_datalog::Interner::new();
-        let clauses =
-            parse_fl_program(rule_text, &mut scratch).map_err(MediatorError::from)?;
+        let clauses = parse_fl_program(rule_text, &mut scratch).map_err(MediatorError::from)?;
         let [clause] = clauses.as_slice() else {
             return Err(MediatorError::Datalog(kind_datalog::DatalogError::Parse {
                 offset: 0,
@@ -76,9 +81,9 @@ impl Mediator {
         for class in &exported {
             for src in self.sources_exporting(class) {
                 contacted.insert(src.clone());
-                let rows = self.fetch(&src, &SourceQuery::scan(class))?;
+                let rows = self.fetch_degraded(&src, &SourceQuery::scan(class))?;
                 for row in rows {
-                    self.load_row(&src, class, &row)?;
+                    self.apply_row(&src, class, &row)?;
                 }
             }
         }
@@ -105,6 +110,7 @@ impl Mediator {
             rows,
             classes: exported,
             sources: contacted.into_iter().collect(),
+            report: self.report().clone(),
         })
     }
 }
@@ -152,7 +158,11 @@ mod tests {
             concept: "Spine".into(),
         });
         for i in 0..4 {
-            a.add_row("spines", &format!("s{i}"), vec![("len", GcmValue::Int(i * 10))]);
+            a.add_row(
+                "spines",
+                &format!("s{i}"),
+                vec![("len", GcmValue::Int(i * 10))],
+            );
         }
         m.register(Rc::new(a)).unwrap();
         let mut b = MemoryWrapper::new("B");
@@ -164,7 +174,11 @@ mod tests {
             class: "proteins".into(),
             concept: "Protein".into(),
         });
-        b.add_row("proteins", "p0", vec![("name", GcmValue::Id("calb".into()))]);
+        b.add_row(
+            "proteins",
+            "p0",
+            vec![("name", GcmValue::Id("calb".into()))],
+        );
         m.register(Rc::new(b)).unwrap();
         m
     }

@@ -193,7 +193,15 @@ pub trait Wrapper {
     /// Evaluates a query. Selections on non-pushable attributes may be
     /// ignored by the source (the mediator re-filters); selections on
     /// pushable attributes must be honored.
-    fn query(&self, q: &SourceQuery) -> Vec<ObjectRow>;
+    ///
+    /// The boundary is fallible: a wrapper may be unreachable, time out,
+    /// truncate, or ship garbage — see [`crate::fault::SourceError`] for
+    /// the taxonomy and [`crate::Mediator::fetch`] for how failures are
+    /// retried, circuit-broken, and reported.
+    fn query(
+        &self,
+        q: &SourceQuery,
+    ) -> std::result::Result<Vec<ObjectRow>, crate::fault::SourceError>;
 }
 
 /// A simple in-memory wrapper: rows per class, everything pushable or
@@ -327,9 +335,7 @@ impl MemoryWrapper {
                             rule: rule.to_string(),
                         }
                     } else {
-                        return Err(malformed(
-                            "<anchor> needs attr=, concept=, or rule=".into(),
-                        ));
+                        return Err(malformed("<anchor> needs attr=, concept=, or rule=".into()));
                     };
                     w.anchor_decls.push(anchor);
                 }
@@ -354,9 +360,10 @@ impl MemoryWrapper {
                                 .ok_or_else(|| malformed("<v> missing name".into()))?
                                 .to_string();
                             let value = if let Some(i) = v.attr("int") {
-                                GcmValue::Int(i.parse().map_err(|_| {
-                                    malformed(format!("bad int `{i}` in <v>"))
-                                })?)
+                                GcmValue::Int(
+                                    i.parse()
+                                        .map_err(|_| malformed(format!("bad int `{i}` in <v>")))?,
+                                )
                             } else if let Some(s) = v.attr("id") {
                                 GcmValue::Id(s.to_string())
                             } else if let Some(s) = v.attr("str") {
@@ -372,9 +379,7 @@ impl MemoryWrapper {
                             .push(ObjectRow { id, attrs });
                     }
                 }
-                other => {
-                    return Err(malformed(format!("unknown <source> child <{other}>")))
-                }
+                other => return Err(malformed(format!("unknown <source> child <{other}>"))),
             }
         }
         Ok(w)
@@ -382,13 +387,13 @@ impl MemoryWrapper {
 
     /// Adds a row to a class.
     pub fn add_row(&mut self, class: &str, id: &str, attrs: Vec<(&str, GcmValue)>) {
-        self.rows.entry(class.to_string()).or_default().push(ObjectRow {
-            id: id.to_string(),
-            attrs: attrs
-                .into_iter()
-                .map(|(a, v)| (a.to_string(), v))
-                .collect(),
-        });
+        self.rows
+            .entry(class.to_string())
+            .or_default()
+            .push(ObjectRow {
+                id: id.to_string(),
+                attrs: attrs.into_iter().map(|(a, v)| (a.to_string(), v)).collect(),
+            });
     }
 }
 
@@ -423,7 +428,10 @@ impl Wrapper for MemoryWrapper {
         self.dm_axioms.clone()
     }
 
-    fn query(&self, q: &SourceQuery) -> Vec<ObjectRow> {
+    fn query(
+        &self,
+        q: &SourceQuery,
+    ) -> std::result::Result<Vec<ObjectRow>, crate::fault::SourceError> {
         self.queries_served.set(self.queries_served.get() + 1);
         let pushable: Vec<&str> = self
             .caps
@@ -447,7 +455,7 @@ impl Wrapper for MemoryWrapper {
             })
             .unwrap_or_default();
         self.rows_shipped.set(self.rows_shipped.get() + out.len());
-        out
+        Ok(out)
     }
 }
 
@@ -484,7 +492,7 @@ mod tests {
     fn pushable_selection_filters_at_source() {
         let w = wrapper();
         let q = SourceQuery::scan("m").with("loc", GcmValue::Id("spine".into()));
-        let rows = w.query(&q);
+        let rows = w.query(&q).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].id, "r1");
         assert_eq!(w.rows_shipped.get(), 1);
@@ -495,14 +503,14 @@ mod tests {
         let w = wrapper();
         // `amount` is not pushable: the wrapper ignores the selection.
         let q = SourceQuery::scan("m").with("amount", GcmValue::Int(4));
-        let rows = w.query(&q);
+        let rows = w.query(&q).unwrap();
         assert_eq!(rows.len(), 2);
     }
 
     #[test]
     fn row_accessors() {
         let w = wrapper();
-        let rows = w.query(&SourceQuery::scan("m"));
+        let rows = w.query(&SourceQuery::scan("m")).unwrap();
         assert_eq!(rows[0].get_int("amount"), Some(4));
         assert_eq!(rows[0].get_str("loc"), Some("spine".into()));
         assert!(rows[0].get("missing").is_none());
@@ -511,7 +519,7 @@ mod tests {
     #[test]
     fn unknown_class_is_empty() {
         let w = wrapper();
-        assert!(w.query(&SourceQuery::scan("nope")).is_empty());
+        assert!(w.query(&SourceQuery::scan("nope")).unwrap().is_empty());
     }
 
     #[test]
@@ -536,7 +544,7 @@ mod tests {
         assert_eq!(w.caps[0].pushable, vec!["loc", "ion"]);
         assert_eq!(w.query_templates[0].params, vec!["loc"]);
         assert!(w.dm_axioms.contains("MyThing < Spine."));
-        let rows = w.query(&SourceQuery::scan("m"));
+        let rows = w.query(&SourceQuery::scan("m")).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get_int("amount"), Some(4));
         assert_eq!(rows[1].get_str("note"), Some("x y".into()));
@@ -570,6 +578,6 @@ mod tests {
         // Wrong arity is rejected.
         assert!(t.expand(&[]).is_none());
         let w = wrapper();
-        assert_eq!(w.query(&q).len(), 1);
+        assert_eq!(w.query(&q).unwrap().len(), 1);
     }
 }

@@ -147,23 +147,23 @@ impl Expr {
             Expr::Add(a, b) => arith(a, b, subst, i64::checked_add),
             Expr::Sub(a, b) => arith(a, b, subst, i64::checked_sub),
             Expr::Mul(a, b) => arith(a, b, subst, i64::checked_mul),
-            Expr::Div(a, b) => arith(a, b, subst, |x, y| {
-                if y == 0 {
-                    None
-                } else {
-                    x.checked_div(y)
-                }
-            }),
+            Expr::Div(a, b) => arith(
+                a,
+                b,
+                subst,
+                |x, y| {
+                    if y == 0 {
+                        None
+                    } else {
+                        x.checked_div(y)
+                    }
+                },
+            ),
         }
     }
 }
 
-fn arith(
-    a: &Expr,
-    b: &Expr,
-    subst: &Subst,
-    op: impl Fn(i64, i64) -> Option<i64>,
-) -> Option<Term> {
+fn arith(a: &Expr, b: &Expr, subst: &Subst, op: impl Fn(i64, i64) -> Option<i64>) -> Option<Term> {
     match (a.eval(subst)?, b.eval(subst)?) {
         (Term::Int(x), Term::Int(y)) => op(x, y).map(Term::Int),
         _ => None,

@@ -48,7 +48,10 @@ impl fmt::Display for DatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatalogError::UnsafeRule { rule, var } => {
-                write!(f, "unsafe rule (variable {var} not range-restricted): {rule}")
+                write!(
+                    f,
+                    "unsafe rule (variable {var} not range-restricted): {rule}"
+                )
             }
             DatalogError::ArityMismatch {
                 pred,

@@ -271,10 +271,7 @@ fn solve_aggregate(
         let group_by = &agg.group_by;
         let m = subst.mark();
         solve(&agg.body, 0, subst, &sub_ctx, &mut |s: &Subst| {
-            let key: Vec<Term> = group_by
-                .iter()
-                .map(|v| Term::Var(*v).apply(s))
-                .collect();
+            let key: Vec<Term> = group_by.iter().map(|v| Term::Var(*v).apply(s)).collect();
             let val = value.apply(s);
             if key.iter().all(Term::is_ground) && val.is_ground() {
                 groups.entry(key).or_default().insert(val);
@@ -649,8 +646,7 @@ mod tests {
             .unwrap(),
         );
         let strat = stratify(&f.rules, |s| format!("{s}")).unwrap();
-        let semi =
-            eval_stratified(&f.rules, &strat, &f.edb, &EvalOptions::default()).unwrap();
+        let semi = eval_stratified(&f.rules, &strat, &f.edb, &EvalOptions::default()).unwrap();
         let naive = eval_stratified(
             &f.rules,
             &strat,

@@ -400,9 +400,7 @@ impl<'a> Parser<'a> {
                         self.skip_ws();
                         if self.peek() == b'{' {
                             let Expr::Term(Term::Var(result)) = lhs else {
-                                return Err(
-                                    self.err("aggregate result must be a single variable")
-                                );
+                                return Err(self.err("aggregate result must be a single variable"));
                             };
                             return self.aggregate(func, result);
                         }
@@ -422,9 +420,7 @@ impl<'a> Parser<'a> {
         // function-shaped call reinterpreted as a predicate.
         match lhs {
             Expr::Term(Term::Const(pred)) => Ok(BodyItem::Pos(Atom::new(pred, Vec::new()))),
-            Expr::Term(Term::Func(pred, args)) => {
-                Ok(BodyItem::Pos(Atom::new(pred, args.to_vec())))
-            }
+            Expr::Term(Term::Func(pred, args)) => Ok(BodyItem::Pos(Atom::new(pred, args.to_vec()))),
             _ => Err(self.err("expected atom, comparison, or assignment")),
         }
     }
@@ -446,7 +442,12 @@ impl<'a> Parser<'a> {
             body.push(self.body_item()?);
         }
         self.expect(".")?;
-        let rule = Rule::compile(head, body, self.nvars(), std::mem::take(&mut self.var_names))?;
+        let rule = Rule::compile(
+            head,
+            body,
+            self.nvars(),
+            std::mem::take(&mut self.var_names),
+        )?;
         Ok(Clause::Rule(rule))
     }
 }
@@ -516,7 +517,9 @@ mod tests {
     fn parses_function_terms() {
         let (cs, syms) = parse_ok("p(f(a, g(b))) :- q(a).");
         let Clause::Rule(r) = &cs[0] else { panic!() };
-        let Term::Func(f, args) = &r.head.args[0] else { panic!() };
+        let Term::Func(f, args) = &r.head.args[0] else {
+            panic!()
+        };
         assert_eq!(syms.resolve(*f), "f");
         assert_eq!(args.len(), 2);
     }
@@ -570,7 +573,9 @@ mod tests {
     fn error_has_line_numbers() {
         let mut syms = Interner::new();
         let err = parse_program("p(a).\nq(", &mut syms).unwrap_err();
-        let DatalogError::Parse { line, .. } = err else { panic!() };
+        let DatalogError::Parse { line, .. } = err else {
+            panic!()
+        };
         assert_eq!(line, 2);
     }
 }

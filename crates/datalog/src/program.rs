@@ -271,11 +271,17 @@ mod tests {
         }
         fn pos(&mut self, name: &str, arity: u32) -> BodyItem {
             let p = self.pred(name);
-            BodyItem::Pos(Atom::new(p, (0..arity).map(|i| Term::Var(Var(i))).collect()))
+            BodyItem::Pos(Atom::new(
+                p,
+                (0..arity).map(|i| Term::Var(Var(i))).collect(),
+            ))
         }
         fn neg(&mut self, name: &str, arity: u32) -> BodyItem {
             let p = self.pred(name);
-            BodyItem::Neg(Atom::new(p, (0..arity).map(|i| Term::Var(Var(i))).collect()))
+            BodyItem::Neg(Atom::new(
+                p,
+                (0..arity).map(|i| Term::Var(Var(i))).collect(),
+            ))
         }
     }
 
@@ -322,8 +328,16 @@ mod tests {
         // p's stratum must come before q's.
         let p = c.pred("p");
         let q = c.pred("q");
-        let pi = s.strata.iter().position(|st| st.preds.contains(&p)).unwrap();
-        let qi = s.strata.iter().position(|st| st.preds.contains(&q)).unwrap();
+        let pi = s
+            .strata
+            .iter()
+            .position(|st| st.preds.contains(&p))
+            .unwrap();
+        let qi = s
+            .strata
+            .iter()
+            .position(|st| st.preds.contains(&q))
+            .unwrap();
         assert!(pi < qi);
     }
 
@@ -372,8 +386,16 @@ mod tests {
         let s = stratify(&[r1, r2], |s| format!("{s}")).unwrap();
         let a = c.pred("a");
         let bb = c.pred("b");
-        let ai = s.strata.iter().position(|st| st.preds.contains(&a)).unwrap();
-        let bi = s.strata.iter().position(|st| st.preds.contains(&bb)).unwrap();
+        let ai = s
+            .strata
+            .iter()
+            .position(|st| st.preds.contains(&a))
+            .unwrap();
+        let bi = s
+            .strata
+            .iter()
+            .position(|st| st.preds.contains(&bb))
+            .unwrap();
         assert!(bi < ai);
     }
 }

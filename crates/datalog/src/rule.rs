@@ -275,10 +275,7 @@ fn term_str(t: &Term, syms: &Interner, names: &[String]) -> String {
             let raw = syms.resolve(*s);
             // Names that would not re-lex as a lowercase identifier are
             // emitted as quoted strings.
-            let ident_ok = raw
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_ascii_lowercase())
+            let ident_ok = raw.chars().next().is_some_and(|c| c.is_ascii_lowercase())
                 && raw.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
             if ident_ok {
                 raw.to_string()
@@ -306,10 +303,26 @@ fn expr_str(e: &crate::atom::Expr, syms: &Interner, names: &[String]) -> String 
     use crate::atom::Expr;
     match e {
         Expr::Term(t) => term_str(t, syms, names),
-        Expr::Add(a, b) => format!("({} + {})", expr_str(a, syms, names), expr_str(b, syms, names)),
-        Expr::Sub(a, b) => format!("({} - {})", expr_str(a, syms, names), expr_str(b, syms, names)),
-        Expr::Mul(a, b) => format!("({} * {})", expr_str(a, syms, names), expr_str(b, syms, names)),
-        Expr::Div(a, b) => format!("({} / {})", expr_str(a, syms, names), expr_str(b, syms, names)),
+        Expr::Add(a, b) => format!(
+            "({} + {})",
+            expr_str(a, syms, names),
+            expr_str(b, syms, names)
+        ),
+        Expr::Sub(a, b) => format!(
+            "({} - {})",
+            expr_str(a, syms, names),
+            expr_str(b, syms, names)
+        ),
+        Expr::Mul(a, b) => format!(
+            "({} * {})",
+            expr_str(a, syms, names),
+            expr_str(b, syms, names)
+        ),
+        Expr::Div(a, b) => format!(
+            "({} / {})",
+            expr_str(a, syms, names),
+            expr_str(b, syms, names)
+        ),
     }
 }
 

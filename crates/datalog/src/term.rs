@@ -91,9 +91,7 @@ impl Term {
         match self {
             Term::Var(v) => subst.get(*v).cloned().unwrap_or_else(|| self.clone()),
             Term::Const(_) | Term::Int(_) => self.clone(),
-            Term::Func(f, args) => {
-                Term::Func(*f, args.iter().map(|a| a.apply(subst)).collect())
-            }
+            Term::Func(f, args) => Term::Func(*f, args.iter().map(|a| a.apply(subst)).collect()),
         }
     }
 
@@ -299,7 +297,10 @@ mod tests {
     fn collect_vars_dedups() {
         let mut s = syms();
         let f = s.intern("f");
-        let t = Term::func(f, vec![Term::Var(Var(1)), Term::Var(Var(1)), Term::Var(Var(0))]);
+        let t = Term::func(
+            f,
+            vec![Term::Var(Var(1)), Term::Var(Var(1)), Term::Var(Var(0))],
+        );
         let mut vs = Vec::new();
         t.collect_vars(&mut vs);
         assert_eq!(vs, vec![Var(1), Var(0)]);

@@ -76,7 +76,9 @@ mod tests {
         let mv = syms.intern("move");
         let win = syms.intern("win");
         let mut edb = FactStore::new();
-        let n: Vec<Term> = (0..4).map(|i| Term::Const(syms.intern(&format!("p{i}")))).collect();
+        let n: Vec<Term> = (0..4)
+            .map(|i| Term::Const(syms.intern(&format!("p{i}"))))
+            .collect();
         // Path: p0 -> p1 -> p2 (p2 terminal: lost). Cycle: p3 -> p3.
         edb.insert(mv, vec![n[0].clone(), n[1].clone()].into());
         edb.insert(mv, vec![n[1].clone(), n[2].clone()].into());

@@ -31,19 +31,15 @@ fn rule_with_unknown_body_predicate_derives_nothing() {
 
 #[test]
 fn self_join_same_predicate_twice() {
-    let (mut e, m) = run(
-        "e(a,b). e(b,c). e(a,c).
-         triangle(X,Y,Z) :- e(X,Y), e(Y,Z), e(X,Z).",
-    );
+    let (mut e, m) = run("e(a,b). e(b,c). e(a,c).
+         triangle(X,Y,Z) :- e(X,Y), e(Y,Z), e(X,Z).");
     assert_eq!(e.query_model(&m, "triangle(X,Y,Z)").unwrap().len(), 1);
 }
 
 #[test]
 fn negation_of_zero_ary_atom() {
-    let (mut e, m) = run(
-        "item(a).
-         selected(X) :- item(X), not disabled.",
-    );
+    let (mut e, m) = run("item(a).
+         selected(X) :- item(X), not disabled.");
     assert_eq!(e.query_model(&m, "selected(X)").unwrap().len(), 1);
     let (mut e2, m2) = {
         let mut e = Engine::new();
@@ -57,36 +53,30 @@ fn negation_of_zero_ary_atom() {
 
 #[test]
 fn double_negation_through_helper() {
-    let (mut e, m) = run(
-        "node(a). node(b). edge(a, b).
+    let (mut e, m) = run("node(a). node(b). edge(a, b).
          has_out(X) :- edge(X, _).
          sink(X) :- node(X), not has_out(X).
-         nonsink(X) :- node(X), not sink(X).",
-    );
+         nonsink(X) :- node(X), not sink(X).");
     assert_eq!(e.query_model(&m, "sink(X)").unwrap().len(), 1);
     assert_eq!(e.query_model(&m, "nonsink(X)").unwrap().len(), 1);
 }
 
 #[test]
 fn mutual_positive_recursion() {
-    let (mut e, m) = run(
-        "base(0).
+    let (mut e, m) = run("base(0).
          even(X) :- base(X).
          odd(Y) :- even(X), Y = X + 1, Y < 10.
-         even(Y) :- odd(X), Y = X + 1, Y < 10.",
-    );
+         even(Y) :- odd(X), Y = X + 1, Y < 10.");
     assert_eq!(e.query_model(&m, "even(X)").unwrap().len(), 5);
     assert_eq!(e.query_model(&m, "odd(X)").unwrap().len(), 5);
 }
 
 #[test]
 fn aggregates_over_derived_predicates() {
-    let (mut e, m) = run(
-        "e(a,b). e(b,c). e(c,d).
+    let (mut e, m) = run("e(a,b). e(b,c). e(c,d).
          tc(X,Y) :- e(X,Y).
          tc(X,Y) :- tc(X,Z), e(Z,Y).
-         reach_count(X, N) :- e(X, _), N = count{ Y [X] : tc(X, Y) }.",
-    );
+         reach_count(X, N) :- e(X, _), N = count{ Y [X] : tc(X, Y) }.");
     let a = e.constant("a");
     assert!(m.holds(e.lookup("reach_count").unwrap(), &[a, Term::Int(3)]));
 }
@@ -108,11 +98,9 @@ fn nested_aggregate_rejected_in_recursion() {
 
 #[test]
 fn min_max_over_mixed_terms_use_term_order() {
-    let (mut e, m) = run(
-        "v(g, 3). v(g, 7).
+    let (mut e, m) = run("v(g, 3). v(g, 7).
          lo(G, M) :- M = min{ X [G] : v(G, X) }.
-         hi(G, M) :- M = max{ X [G] : v(G, X) }.",
-    );
+         hi(G, M) :- M = max{ X [G] : v(G, X) }.");
     let g = e.constant("g");
     assert!(m.holds(e.lookup("lo").unwrap(), &[g.clone(), Term::Int(3)]));
     assert!(m.holds(e.lookup("hi").unwrap(), &[g, Term::Int(7)]));
@@ -120,20 +108,16 @@ fn min_max_over_mixed_terms_use_term_order() {
 
 #[test]
 fn sum_with_negative_numbers() {
-    let (mut e, m) = run(
-        "v(a, -5). v(a, 10).
-         s(G, S) :- S = sum{ X [G] : v(G, X) }.",
-    );
+    let (mut e, m) = run("v(a, -5). v(a, 10).
+         s(G, S) :- S = sum{ X [G] : v(G, X) }.");
     let a = e.constant("a");
     assert!(m.holds(e.lookup("s").unwrap(), &[a, Term::Int(5)]));
 }
 
 #[test]
 fn division_by_zero_fails_the_binding_not_the_program() {
-    let (mut e, m) = run(
-        "n(0). n(2).
-         inv(X, Y) :- n(X), Y = 10 / X.",
-    );
+    let (mut e, m) = run("n(0). n(2).
+         inv(X, Y) :- n(X), Y = 10 / X.");
     // Only the X=2 row binds.
     assert_eq!(e.query_model(&m, "inv(X, Y)").unwrap().len(), 1);
 }
@@ -142,10 +126,8 @@ fn division_by_zero_fails_the_binding_not_the_program() {
 fn comparisons_across_types_are_total() {
     // Constants and ints compare via the structural term order: no panic,
     // deterministic result.
-    let (mut e, m) = run(
-        "x(a). x(1).
-         cmp(X, Y) :- x(X), x(Y), X < Y.",
-    );
+    let (mut e, m) = run("x(a). x(1).
+         cmp(X, Y) :- x(X), x(Y), X < Y.");
     let n = e.query_model(&m, "cmp(X, Y)").unwrap().len();
     assert_eq!(n, 1);
 }
@@ -154,11 +136,9 @@ fn comparisons_across_types_are_total() {
 fn wfs_three_rounds_of_alternation() {
     // A chain of dependencies through negation that needs several
     // alternating sweeps to settle.
-    let (mut e, m) = run(
-        "n(1). n(2). n(3). n(4).
+    let (mut e, m) = run("n(1). n(2). n(3). n(4).
          succ(1,2). succ(2,3). succ(3,4).
-         w(X) :- succ(X, Y), not w(Y).",
-    );
+         w(X) :- succ(X, Y), not w(Y).");
     // w(3) (since w(4) false), not w(2), w(1).
     assert_eq!(e.query_model(&m, "w(X)").unwrap().len(), 2);
     assert!(m.undefined.is_empty());
@@ -166,12 +146,10 @@ fn wfs_three_rounds_of_alternation() {
 
 #[test]
 fn wfs_undefined_does_not_leak_into_true() {
-    let (mut e, m) = run(
-        "a(x).
+    let (mut e, m) = run("a(x).
          p(X) :- a(X), not q(X).
          q(X) :- a(X), not p(X).
-         definite(X) :- a(X).",
-    );
+         definite(X) :- a(X).");
     assert_eq!(e.query_model(&m, "definite(X)").unwrap().len(), 1);
     let p = e.lookup("p").unwrap();
     let x = e.constant("x");
@@ -181,11 +159,9 @@ fn wfs_undefined_does_not_leak_into_true() {
 
 #[test]
 fn function_terms_as_first_class_values() {
-    let (mut e, m) = run(
-        "obj(o1).
+    let (mut e, m) = run("obj(o1).
          boxed(pair(X, X)) :- obj(X).
-         unboxed(Y) :- boxed(pair(Y, _)).",
-    );
+         unboxed(Y) :- boxed(pair(Y, _)).");
     assert_eq!(e.query_model(&m, "unboxed(o1)").unwrap().len(), 1);
 }
 
@@ -204,11 +180,9 @@ fn deep_function_nesting_within_limit() {
 
 #[test]
 fn stats_report_applications_and_iterations() {
-    let (_, m) = run(
-        "e(a,b). e(b,c).
+    let (_, m) = run("e(a,b). e(b,c).
          tc(X,Y) :- e(X,Y).
-         tc(X,Y) :- tc(X,Z), e(Z,Y).",
-    );
+         tc(X,Y) :- tc(X,Z), e(Z,Y).");
     assert!(m.stats.iterations >= 2);
     assert!(m.stats.applications >= 3);
     assert_eq!(m.stats.derived, 3);
@@ -232,16 +206,12 @@ fn strings_with_spaces_and_escapes() {
 
 #[test]
 fn rule_order_does_not_change_model() {
-    let (mut e1, m1) = run(
-        "tc(X,Y) :- tc(X,Z), e(Z,Y).
+    let (mut e1, m1) = run("tc(X,Y) :- tc(X,Z), e(Z,Y).
          tc(X,Y) :- e(X,Y).
-         e(a,b). e(b,c).",
-    );
-    let (mut e2, m2) = run(
-        "e(a,b). e(b,c).
+         e(a,b). e(b,c).");
+    let (mut e2, m2) = run("e(a,b). e(b,c).
          tc(X,Y) :- e(X,Y).
-         tc(X,Y) :- tc(X,Z), e(Z,Y).",
-    );
+         tc(X,Y) :- tc(X,Z), e(Z,Y).");
     assert_eq!(
         e1.query_model(&m1, "tc(X,Y)").unwrap().len(),
         e2.query_model(&m2, "tc(X,Y)").unwrap().len()

@@ -262,7 +262,6 @@ impl AxParser<'_> {
     }
 }
 
-
 /// Serializes a domain map back to DL axiom text — the inverse of
 /// [`load_axioms`], used to ship a map (or "a source's local copy of the
 /// DM", §4 footnote) over the wire. Anonymous AND/OR nodes are folded
@@ -275,10 +274,12 @@ pub fn to_axioms(dm: &DomainMap) -> String {
             let rhs = match &edge.kind {
                 EdgeKind::Isa => node_expr(dm, edge.to),
                 EdgeKind::Eqv => node_expr(dm, edge.to),
-                EdgeKind::Ex(r) => node_expr(dm, edge.to)
-                    .map(|e| ConceptExpr::Exists(r.clone(), Box::new(e))),
-                EdgeKind::All(r) => node_expr(dm, edge.to)
-                    .map(|e| ConceptExpr::Forall(r.clone(), Box::new(e))),
+                EdgeKind::Ex(r) => {
+                    node_expr(dm, edge.to).map(|e| ConceptExpr::Exists(r.clone(), Box::new(e)))
+                }
+                EdgeKind::All(r) => {
+                    node_expr(dm, edge.to).map(|e| ConceptExpr::Forall(r.clone(), Box::new(e)))
+                }
                 EdgeKind::Member => None,
             };
             if let Some(rhs) = rhs {

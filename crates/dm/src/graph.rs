@@ -135,8 +135,7 @@ impl DomainMap {
     /// Adds an edge (idempotent: duplicate edges are ignored).
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) {
         let e = Edge { from, to, kind };
-        if self
-            .out[from.index()]
+        if self.out[from.index()]
             .iter()
             .any(|&i| self.edges[i as usize] == e)
         {
@@ -192,7 +191,8 @@ impl DomainMap {
 
     /// All named concepts.
     pub fn concepts(&self) -> impl Iterator<Item = (NodeId, &str)> {
-        self.node_ids().filter_map(|id| self.name(id).map(|n| (id, n)))
+        self.node_ids()
+            .filter_map(|id| self.name(id).map(|n| (id, n)))
     }
 
     /// All edges.
@@ -202,12 +202,16 @@ impl DomainMap {
 
     /// Outgoing edges of a node.
     pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
-        self.out[id.index()].iter().map(|&i| &self.edges[i as usize])
+        self.out[id.index()]
+            .iter()
+            .map(|&i| &self.edges[i as usize])
     }
 
     /// Incoming edges of a node.
     pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
-        self.inc[id.index()].iter().map(|&i| &self.edges[i as usize])
+        self.inc[id.index()]
+            .iter()
+            .map(|&i| &self.edges[i as usize])
     }
 
     /// Number of nodes.

@@ -34,12 +34,13 @@ impl Resolved {
         let mut isa_up = vec![Vec::new(); n];
         let mut isa_down = vec![Vec::new(); n];
         let mut roles: HashMap<String, Vec<(NodeId, NodeId)>> = HashMap::new();
-        let add_isa = |from: NodeId, to: NodeId, up: &mut Vec<Vec<NodeId>>, down: &mut Vec<Vec<NodeId>>| {
-            if !up[from.index()].contains(&to) {
-                up[from.index()].push(to);
-                down[to.index()].push(from);
-            }
-        };
+        let add_isa =
+            |from: NodeId, to: NodeId, up: &mut Vec<Vec<NodeId>>, down: &mut Vec<Vec<NodeId>>| {
+                if !up[from.index()].contains(&to) {
+                    up[from.index()].push(to);
+                    down[to.index()].push(from);
+                }
+            };
         for (c, _) in dm.concepts() {
             for edge in dm.out_edges(c) {
                 match (&edge.kind, dm.node_kind(edge.to)) {
@@ -61,10 +62,7 @@ impl Resolved {
                                     add_isa(c, inner.to, &mut isa_up, &mut isa_down);
                                 }
                                 (EdgeKind::Ex(r), NodeKind::Concept(_)) => {
-                                    roles
-                                        .entry(r.clone())
-                                        .or_default()
-                                        .push((c, inner.to));
+                                    roles.entry(r.clone()).or_default().push((c, inner.to));
                                 }
                                 _ => {}
                             }
@@ -126,7 +124,11 @@ impl Resolved {
         self.reach(n, |x| &self.isa_down[x.index()])
     }
 
-    fn reach<'a>(&'a self, start: NodeId, next: impl Fn(NodeId) -> &'a [NodeId]) -> HashSet<NodeId> {
+    fn reach<'a>(
+        &'a self,
+        start: NodeId,
+        next: impl Fn(NodeId) -> &'a [NodeId],
+    ) -> HashSet<NodeId> {
         let mut seen = HashSet::new();
         let mut queue = VecDeque::new();
         seen.insert(start);
@@ -171,9 +173,9 @@ impl Resolved {
             .iter()
             .copied()
             .filter(|&m| {
-                !common.iter().any(|&o| {
-                    o != m && self.is_subconcept(o, m) && !self.is_subconcept(m, o)
-                })
+                !common
+                    .iter()
+                    .any(|&o| o != m && self.is_subconcept(o, m) && !self.is_subconcept(m, o))
             })
             .collect();
         minimal.sort();
@@ -196,9 +198,9 @@ impl Resolved {
             .iter()
             .copied()
             .filter(|&m| {
-                !common.iter().any(|&o| {
-                    o != m && self.is_subconcept(m, o) && !self.is_subconcept(o, m)
-                })
+                !common
+                    .iter()
+                    .any(|&o| o != m && self.is_subconcept(m, o) && !self.is_subconcept(o, m))
             })
             .collect();
         maximal.sort();

@@ -130,8 +130,13 @@ fn emit_target_pred(dm: &DomainMap, i: usize, node: NodeId, text: &mut String) -
                         conj.push(format!("Y : {}", q(n)));
                     }
                     (EdgeKind::Ex(r), NodeKind::Concept(n)) => {
-                        conj.push(format!("role_all({}, Y, Z{}), Z{} : {}",
-                            q(r), conj.len(), conj.len(), q(n)));
+                        conj.push(format!(
+                            "role_all({}, Y, Z{}), Z{} : {}",
+                            q(r),
+                            conj.len(),
+                            conj.len(),
+                            q(n)
+                        ));
                     }
                     _ => return false,
                 }
@@ -173,7 +178,9 @@ fn skolem_classes(dm: &DomainMap, node: NodeId) -> Vec<String> {
 }
 
 fn target_label(dm: &DomainMap, node: NodeId) -> String {
-    dm.name(node).map(str::to_owned).unwrap_or_else(|| format!("anon_{}", node.0))
+    dm.name(node)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("anon_{}", node.0))
 }
 
 fn compile_edge(
@@ -250,10 +257,7 @@ fn compile_edge(
                         let i = fresh(aux);
                         let pred = format!("dm_t_{i}");
                         if emit_target_pred(dm, i, edge.to, text) {
-                            let _ = writeln!(
-                                text,
-                                "wor({c}, X) : ic :- X : {c}, not {pred}(X)."
-                            );
+                            let _ = writeln!(text, "wor({c}, X) : ic :- X : {c}, not {pred}(X).");
                         }
                     }
                     true
@@ -291,10 +295,7 @@ fn compile_ex(
             if !has_target_pred {
                 return;
             }
-            let _ = writeln!(
-                text,
-                "{filler}(X) :- role_all({r}, X, Y), {tpred}(Y)."
-            );
+            let _ = writeln!(text, "{filler}(X) :- role_all({r}, X, Y), {tpred}(Y).");
             let _ = writeln!(
                 text,
                 "wex({c}, {r}, {}, X) : ic :- X : {c}, not {filler}(X).",
@@ -305,10 +306,7 @@ fn compile_ex(
             // Guard on *asserted* links only, so the skolem rules stay
             // stratified (see module docs).
             if has_target_pred {
-                let _ = writeln!(
-                    text,
-                    "{filler}(X) :- relinst({r}, X, Y), {tpred}(Y)."
-                );
+                let _ = writeln!(text, "{filler}(X) :- relinst({r}, X, Y), {tpred}(Y).");
             } else {
                 let _ = writeln!(text, "{filler}(X) :- relinst({r}, X, _).");
             }
@@ -342,20 +340,12 @@ fn compile_all(
     match (mode, dm.node_kind(target)) {
         (ExecMode::Assertion, NodeKind::Concept(d)) => {
             // Type propagation: every filler is a D.
-            let _ = writeln!(
-                text,
-                "Y : {} :- X : {c}, role_all({r}, X, Y).",
-                q(d)
-            );
+            let _ = writeln!(text, "Y : {} :- X : {c}, role_all({r}, X, Y).", q(d));
         }
         (ExecMode::Assertion, _) => {
             // Anonymous target: propagate each recognizable class.
             for class in skolem_classes(dm, target) {
-                let _ = writeln!(
-                    text,
-                    "Y : {} :- X : {c}, role_all({r}, X, Y).",
-                    q(&class)
-                );
+                let _ = writeln!(text, "Y : {} :- X : {c}, role_all({r}, X, Y).", q(&class));
             }
         }
         (ExecMode::Constraint, _) => {
@@ -388,7 +378,11 @@ mod tests {
     #[test]
     fn isa_edges_propagate_instances() {
         let mut dm = DomainMap::new();
-        load_axioms(&mut dm, "Purkinje_Cell < Spiny_Neuron. Spiny_Neuron < Neuron.").unwrap();
+        load_axioms(
+            &mut dm,
+            "Purkinje_Cell < Spiny_Neuron. Spiny_Neuron < Neuron.",
+        )
+        .unwrap();
         let fl = engine_with(&dm, ExecMode::Assertion, r#"p1 : "Purkinje_Cell"."#);
         let m = fl.run().unwrap();
         assert!(fl.is_instance(&m, "p1", "Neuron"));
@@ -431,7 +425,10 @@ mod tests {
         let comps = fl.instances_of(&m, "Compartment");
         assert!(comps.iter().any(|c| c.starts_with("sk(")), "{comps:?}");
         // n1 has an asserted filler: no placeholder.
-        assert!(e.query_model(&m, "relinst_sk(R, n1, Y)").unwrap().is_empty());
+        assert!(e
+            .query_model(&m, "relinst_sk(R, n1, Y)")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -521,10 +518,7 @@ mod tests {
         // dc propagates Neuron's has_a to... and dendrite link lifts: the
         // paper's has_a_star.
         let star = e.query_model(&m, "has_a_star(X, Y)").unwrap();
-        assert!(star.contains(&vec![
-            e.constant("Neuron"),
-            e.constant("Compartment")
-        ]));
+        assert!(star.contains(&vec![e.constant("Neuron"), e.constant("Compartment")]));
         // Dendrite (a Compartment) inherits nothing downward here, but
         // its own link is present:
         assert!(star.contains(&vec![e.constant("Dendrite"), e.constant("Branch")]));

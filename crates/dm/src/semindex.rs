@@ -172,8 +172,11 @@ mod tests {
         let neuron = dm.lookup("Neuron").unwrap();
         idx.anchor(SourceId(0), pc); // NCMIR-like: purkinje data
         idx.anchor(SourceId(1), py); // SYNAPSE-like: pyramidal data
-        // A query about neurons is served by both.
-        assert_eq!(idx.sources_below(&r, neuron), vec![SourceId(0), SourceId(1)]);
+                                     // A query about neurons is served by both.
+        assert_eq!(
+            idx.sources_below(&r, neuron),
+            vec![SourceId(0), SourceId(1)]
+        );
         // A query about purkinje cells only by source 0.
         assert_eq!(idx.sources_below(&r, pc), vec![SourceId(0)]);
         // Exact anchoring at Neuron: nobody.

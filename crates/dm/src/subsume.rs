@@ -52,7 +52,10 @@ impl Subsumption {
                         s.defs.insert(subject.clone(), ax.rhs.clone());
                     }
                     AxiomOp::Sub => {
-                        s.told.entry(subject.clone()).or_default().push(ax.rhs.clone());
+                        s.told
+                            .entry(subject.clone())
+                            .or_default()
+                            .push(ax.rhs.clone());
                     }
                 }
             }
@@ -174,8 +177,7 @@ fn norm_subsumes(sup: &Norm, sub: &Norm) -> bool {
             forall: sup.forall.clone(),
             alts: Vec::new(),
         };
-        return norm_subsumes(&plain, sub)
-            && sup.alts.iter().any(|alt| norm_subsumes(alt, sub));
+        return norm_subsumes(&plain, sub) && sup.alts.iter().any(|alt| norm_subsumes(alt, sub));
     }
     sup.atoms.is_subset(&sub.atoms)
         && sup.exists.iter().all(|(r, d)| {

@@ -137,9 +137,7 @@ fn has_a_star_matches_resolved_dc() {
     let graph_star: std::collections::HashSet<(String, String)> = r
         .dc_pairs("has_a")
         .into_iter()
-        .filter_map(|(a, b)| {
-            Some((dm.name(a)?.to_string(), dm.name(b)?.to_string()))
-        })
+        .filter_map(|(a, b)| Some((dm.name(a)?.to_string(), dm.name(b)?.to_string())))
         .collect();
     assert_eq!(datalog_star, graph_star);
 }

@@ -87,10 +87,20 @@ impl fmt::Display for MoleculeDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.mol {
             Molecule::IsA { obj, class } => {
-                write!(f, "{} : {}", obj.display(self.syms), class.display(self.syms))
+                write!(
+                    f,
+                    "{} : {}",
+                    obj.display(self.syms),
+                    class.display(self.syms)
+                )
             }
             Molecule::SubClass { sub, sup } => {
-                write!(f, "{} :: {}", sub.display(self.syms), sup.display(self.syms))
+                write!(
+                    f,
+                    "{} :: {}",
+                    sub.display(self.syms),
+                    sup.display(self.syms)
+                )
             }
             Molecule::Frame { obj, specs } => {
                 write!(f, "{}[", obj.display(self.syms))?;

@@ -100,7 +100,9 @@ impl FLogic {
     pub fn new() -> Self {
         let mut engine = Engine::new();
         let preds = Preds::intern(engine.symbols_mut());
-        engine.load(CORE_AXIOMS).expect("core axioms are well-formed");
+        engine
+            .load(CORE_AXIOMS)
+            .expect("core axioms are well-formed");
         FLogic { engine, preds }
     }
 
@@ -180,7 +182,9 @@ impl FLogic {
     pub fn assert_instance(&mut self, obj: &str, class: &str) -> Result<(), DatalogError> {
         let o = self.engine.constant(obj);
         let c = self.engine.constant(class);
-        self.engine.add_fact(self.preds.inst, vec![o, c]).map(|_| ())
+        self.engine
+            .add_fact(self.preds.inst, vec![o, c])
+            .map(|_| ())
     }
 
     /// Asserts a ground method value `obj[m -> v]`.
@@ -209,11 +213,7 @@ impl FLogic {
     /// Evaluates only the rules relevant to the named goal predicates
     /// (see `kind_datalog::Engine::run_for`). Unknown names are ignored
     /// (they have no rules to prune towards).
-    pub fn run_for(
-        &self,
-        goals: &[&str],
-        opts: &EvalOptions,
-    ) -> Result<Model, DatalogError> {
+    pub fn run_for(&self, goals: &[&str], opts: &EvalOptions) -> Result<Model, DatalogError> {
         let syms: Vec<_> = goals.iter().filter_map(|g| self.engine.lookup(g)).collect();
         self.engine.run_for(&syms, opts)
     }
@@ -425,11 +425,14 @@ mod tests {
         let mut e = fl.engine().clone();
         // m1: most specific default wins (50 shadows 10).
         let v1 = e.query_model(&m, "val(m1, spine_density, V)").unwrap();
-        assert_eq!(v1, vec![vec![
-            e.constant("m1"),
-            e.constant("spine_density"),
-            Term::Int(50)
-        ]]);
+        assert_eq!(
+            v1,
+            vec![vec![
+                e.constant("m1"),
+                e.constant("spine_density"),
+                Term::Int(50)
+            ]]
+        );
         // m2: explicit value wins over any default.
         let v2 = e.query_model(&m, "val(m2, spine_density, V)").unwrap();
         assert_eq!(v2.len(), 1);
@@ -473,7 +476,10 @@ mod tests {
         fl2.declare_class("cell").unwrap();
         let m1 = fl1.run().unwrap();
         let m2 = fl2.run().unwrap();
-        assert_eq!(fl1.is_instance(&m1, "n1", "cell"), fl2.is_instance(&m2, "n1", "cell"));
+        assert_eq!(
+            fl1.is_instance(&m1, "n1", "cell"),
+            fl2.is_instance(&m2, "n1", "cell")
+        );
         assert!(fl1.is_instance(&m1, "n1", "cell"));
     }
 }

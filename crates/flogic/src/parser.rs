@@ -17,9 +17,7 @@
 //! `IsA` syntax and needs no special casing.
 
 use crate::ast::{ArrowKind, MethodSpec, Molecule};
-use kind_datalog::{
-    AggFunc, Atom, DatalogError, Interner, Term, Var,
-};
+use kind_datalog::{AggFunc, Atom, DatalogError, Interner, Term, Var};
 use std::collections::HashMap;
 
 /// A body item at the FL level.
@@ -240,8 +238,7 @@ impl<'a> FlParser<'a> {
             let s = self.string_lit()?;
             return Ok(Term::Const(self.syms.intern(&s)));
         }
-        if self.peek().is_ascii_digit()
-            || (self.peek() == b'-' && self.peek_at(1).is_ascii_digit())
+        if self.peek().is_ascii_digit() || (self.peek() == b'-' && self.peek_at(1).is_ascii_digit())
         {
             let start = self.pos;
             if self.peek() == b'-' {
@@ -430,9 +427,7 @@ impl<'a> FlParser<'a> {
                             self.skip_ws();
                             if self.peek() == b'{' {
                                 let Term::Var(result) = t else {
-                                    return Err(
-                                        self.err("aggregate result must be a variable")
-                                    );
+                                    return Err(self.err("aggregate result must be a variable"));
                                 };
                                 return self.aggregate(func, result);
                             }
@@ -530,7 +525,6 @@ impl<'a> FlParser<'a> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,7 +566,10 @@ mod tests {
     fn parses_rule_with_molecule_body() {
         let (cs, _) = parse_ok("big(X) :- X : neuron, X[size -> S], S > 10.");
         assert_eq!(cs[0].body.len(), 3);
-        assert!(matches!(cs[0].body[0], FlBodyItem::Pos(Molecule::IsA { .. })));
+        assert!(matches!(
+            cs[0].body[0],
+            FlBodyItem::Pos(Molecule::IsA { .. })
+        ));
         assert!(matches!(
             cs[0].body[1],
             FlBodyItem::Pos(Molecule::Frame { .. })
@@ -594,9 +591,8 @@ mod tests {
     #[test]
     fn parses_paper_cardinality_rule() {
         // Example 3 (adapted): w(R,VB,N) : ic :- N = count{VA[VB]; r(VA,VB)}, N != 1.
-        let (cs, _) = parse_ok(
-            "w(R, VB, N) : ic :- rel(R), N = count{ VA [VB] ; r(VA, VB) }, N != 1.",
-        );
+        let (cs, _) =
+            parse_ok("w(R, VB, N) : ic :- rel(R), N = count{ VA [VB] ; r(VA, VB) }, N != 1.");
         assert!(cs[0]
             .body
             .iter()
@@ -619,7 +615,10 @@ mod tests {
         let (cs, _) = parse_ok("r(X, C) :- X : C, C :: spiny_neuron.");
         assert!(matches!(
             &cs[0].body[0],
-            FlBodyItem::Pos(Molecule::IsA { obj: Term::Var(_), class: Term::Var(_) })
+            FlBodyItem::Pos(Molecule::IsA {
+                obj: Term::Var(_),
+                class: Term::Var(_)
+            })
         ));
     }
 

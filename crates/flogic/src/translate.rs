@@ -14,9 +14,7 @@
 
 use crate::ast::{ArrowKind, Molecule};
 use crate::parser::{FlBodyItem, FlClause};
-use kind_datalog::{
-    Aggregate, Atom, BodyItem, DatalogError, Interner, Rule, Sym, Term,
-};
+use kind_datalog::{Aggregate, Atom, BodyItem, DatalogError, Interner, Rule, Sym, Term};
 
 /// The interned reserved predicate symbols.
 #[derive(Debug, Clone, Copy)]
@@ -98,8 +96,7 @@ fn lower_body(items: &[FlBodyItem], preds: &Preds) -> Result<Vec<BodyItem>, Data
                     return Err(DatalogError::Parse {
                         offset: 0,
                         line: 0,
-                        message: "negated frame must contain exactly one method spec"
-                            .to_string(),
+                        message: "negated frame must contain exactly one method spec".to_string(),
                     });
                 }
                 out.push(BodyItem::Neg(atoms.into_iter().next().expect("one atom")));
@@ -203,8 +200,7 @@ mod tests {
     fn rule_head_frame_expands_to_rules() {
         let mut syms = Interner::new();
         let preds = Preds::intern(&mut syms);
-        let cs =
-            parse_fl_program("X[a -> 1; b -> 2] :- X : neuron.", &mut syms).unwrap();
+        let cs = parse_fl_program("X[a -> 1; b -> 2] :- X : neuron.", &mut syms).unwrap();
         let (_, rules) = lower_clause(&cs[0], &preds).unwrap();
         assert_eq!(rules.len(), 2);
     }

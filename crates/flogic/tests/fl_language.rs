@@ -9,13 +9,13 @@ use kind_flogic::{parse_fl_molecule, parse_fl_program, FLogic, Molecule};
 fn parser_rejects_malformed_clauses() {
     let mut syms = kind_datalog::Interner::new();
     for bad in [
-        "X :",             // dangling isa
-        "a[",              // unterminated frame
-        "a[m]",            // frame without arrow
-        "a[m -> ].",       // missing value
-        "p(X) :- .",       // empty body
-        "p(X) q(X).",      // missing separator
-        ": c.",            // missing subject
+        "X :",        // dangling isa
+        "a[",         // unterminated frame
+        "a[m]",       // frame without arrow
+        "a[m -> ].",  // missing value
+        "p(X) :- .",  // empty body
+        "p(X) q(X).", // missing separator
+        ": c.",       // missing subject
     ] {
         assert!(
             parse_fl_program(bad, &mut syms).is_err(),
@@ -28,11 +28,7 @@ fn parser_rejects_malformed_clauses() {
 fn parser_accepts_paper_notations() {
     let mut syms = kind_datalog::Interner::new();
     // The paper writes method values with ->, ->> and signatures with =>.
-    let cs = parse_fl_program(
-        "o[m1 -> a; m2 ->> b]. c[m3 => d].",
-        &mut syms,
-    )
-    .unwrap();
+    let cs = parse_fl_program("o[m1 -> a; m2 ->> b]. c[m3 => d].", &mut syms).unwrap();
     assert_eq!(cs.len(), 2);
 }
 

@@ -384,7 +384,10 @@ mod tests {
                     ("z", GcmValue::Id("y".into())),
                 ],
             );
-        assert!(matches!(base.apply(&cm), Err(GcmError::RoleMismatch { .. })));
+        assert!(matches!(
+            base.apply(&cm),
+            Err(GcmError::RoleMismatch { .. })
+        ));
     }
 
     #[test]
@@ -410,7 +413,10 @@ mod tests {
         assert!(base.flogic().is_instance(&m, "axon", "class"));
         // `::` reflected into relinst(isa, _, _).
         let mut e = base.flogic().engine().clone();
-        assert!(!e.query_model(&m, "relinst(isa, axon, compartment)").unwrap().is_empty());
+        assert!(!e
+            .query_model(&m, "relinst(isa, axon, compartment)")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -107,7 +107,9 @@ pub fn require_cardinality(
         let e = fl.engine_mut();
         (e.constant(relation), e.sym(pred_name))
     };
-    fl.engine_mut().add_fact(p, vec![r, Term::Int(n)]).map(|_| ())
+    fl.engine_mut()
+        .add_fact(p, vec![r, Term::Int(n)])
+        .map(|_| ())
 }
 
 /// Declares the first role of binary `relation` to be a key (determines
@@ -150,8 +152,8 @@ pub fn require_functional(fl: &mut FLogic, method: &str) -> Result<(), DatalogEr
 #[cfg(test)]
 mod tests {
     use crate::cm::{ConceptualModel, GcmBase};
-    use crate::decl::GcmValue;
     use crate::constraints::Cardinality;
+    use crate::decl::GcmValue;
 
     fn id(s: &str) -> GcmValue {
         GcmValue::Id(s.into())
@@ -229,16 +231,20 @@ mod tests {
             .relation_inst("has", &[("neuron", id("n2")), ("axon", id("ax_shared"))])
             .relation_inst("has", &[("neuron", id("n1")), ("axon", id("ax_shared"))]);
         base.apply(&cm).unwrap();
-        base.require_cardinality("has", Cardinality::FirstExact(1)).unwrap();
-        base.require_cardinality("has", Cardinality::SecondAtMost(2)).unwrap();
+        base.require_cardinality("has", Cardinality::FirstExact(1))
+            .unwrap();
+        base.require_cardinality("has", Cardinality::SecondAtMost(2))
+            .unwrap();
         let m = base.run().unwrap();
         let ws = base.witnesses(&m);
         assert!(
-            ws.iter().any(|w| w.starts_with("w_card_first(has,ax_shared,2)")),
+            ws.iter()
+                .any(|w| w.starts_with("w_card_first(has,ax_shared,2)")),
             "{ws:?}"
         );
         assert!(
-            ws.iter().any(|w| w.starts_with("w_card_second_max(has,n1,")),
+            ws.iter()
+                .any(|w| w.starts_with("w_card_second_max(has,n1,")),
             "{ws:?}"
         );
     }
@@ -277,8 +283,7 @@ mod tests {
                 ),
         )
         .unwrap();
-        crate::constraints::require_inclusion(base.flogic_mut(), "emp", "person_rec")
-            .unwrap();
+        crate::constraints::require_inclusion(base.flogic_mut(), "emp", "person_rec").unwrap();
         let m = base.run().unwrap();
         let ws = base.witnesses(&m);
         assert_eq!(ws.len(), 1);
@@ -311,8 +316,10 @@ mod tests {
             .relation_inst("has", &[("neuron", id("n1")), ("axon", id("ax1"))])
             .relation_inst("has", &[("neuron", id("n2")), ("axon", id("ax2"))]);
         base.apply(&cm).unwrap();
-        base.require_cardinality("has", Cardinality::FirstExact(1)).unwrap();
-        base.require_cardinality("has", Cardinality::SecondAtMost(2)).unwrap();
+        base.require_cardinality("has", Cardinality::FirstExact(1))
+            .unwrap();
+        base.require_cardinality("has", Cardinality::SecondAtMost(2))
+            .unwrap();
         let m = base.run().unwrap();
         assert!(base.witnesses(&m).is_empty());
     }

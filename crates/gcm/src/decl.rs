@@ -115,10 +115,7 @@ impl GcmDecl {
                 format!("{obj}[{method} -> {}].", value.to_fl())
             }
             GcmDecl::Relation { name, roles } => {
-                let specs: Vec<String> = roles
-                    .iter()
-                    .map(|(a, c)| format!("{a} => {c}"))
-                    .collect();
+                let specs: Vec<String> = roles.iter().map(|(a, c)| format!("{a} => {c}")).collect();
                 format!("{name}[{}].", specs.join("; "))
             }
             GcmDecl::RelationInst { name, values } => {

@@ -42,7 +42,10 @@ impl fmt::Display for GcmError {
             GcmError::Xml(e) => write!(f, "xml: {e}"),
             GcmError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
             GcmError::RoleMismatch { relation, role } => {
-                write!(f, "relation `{relation}` has no role `{role}` (or a role is missing)")
+                write!(
+                    f,
+                    "relation `{relation}` has no role `{role}` (or a role is missing)"
+                )
             }
             GcmError::Malformed { message } => write!(f, "malformed GCM document: {message}"),
             GcmError::UnknownFormalism { name } => {

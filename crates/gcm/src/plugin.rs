@@ -137,7 +137,8 @@ impl PluginRegistry {
         let mut r = Self::empty();
         r.register("er", ER_PLUGIN).expect("builtin er plugin");
         r.register("uxf", UXF_PLUGIN).expect("builtin uxf plugin");
-        r.register("rdfs", RDFS_PLUGIN).expect("builtin rdfs plugin");
+        r.register("rdfs", RDFS_PLUGIN)
+            .expect("builtin rdfs plugin");
         r
     }
 
@@ -206,7 +207,9 @@ mod tests {
         .unwrap();
         let cm = reg.translate("er", &doc.root).unwrap();
         assert_eq!(cm.name, "SYNAPSE");
-        assert!(cm.decls.iter().any(|d| matches!(d, GcmDecl::Relation { name, roles } if name == "has" && roles.len() == 2)));
+        assert!(cm.decls.iter().any(
+            |d| matches!(d, GcmDecl::Relation { name, roles } if name == "has" && roles.len() == 2)
+        ));
         let mut base = GcmBase::new();
         base.apply(&cm).unwrap();
         let m = base.run().unwrap();

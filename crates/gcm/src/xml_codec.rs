@@ -231,10 +231,7 @@ mod tests {
     #[test]
     fn missing_attribute_is_malformed() {
         let doc = kind_xml::parse("<gcm><instance obj='x'/></gcm>").unwrap();
-        assert!(matches!(
-            decode(&doc.root),
-            Err(GcmError::Malformed { .. })
-        ));
+        assert!(matches!(decode(&doc.root), Err(GcmError::Malformed { .. })));
     }
 
     #[test]

@@ -15,7 +15,10 @@ fn wire_format_rejects_junk_values() {
         r#"<gcm><subclass sub="a"/></gcm>"#,
     ] {
         let doc = kind_xml::parse(bad).unwrap();
-        assert!(xml_codec::decode(&doc.root).is_err(), "should reject: {bad}");
+        assert!(
+            xml_codec::decode(&doc.root).is_err(),
+            "should reject: {bad}"
+        );
     }
 }
 
@@ -133,18 +136,21 @@ fn cardinality_boundaries() {
     }
     // Exactly at the max: silent.
     let mut b = base_with(&[("x", "y1"), ("x", "y2")]);
-    b.require_cardinality("r", Cardinality::SecondAtMost(2)).unwrap();
+    b.require_cardinality("r", Cardinality::SecondAtMost(2))
+        .unwrap();
     let m = b.run().unwrap();
     assert!(b.witnesses(&m).is_empty());
     // One over: witnessed.
     let mut b = base_with(&[("x", "y1"), ("x", "y2"), ("x", "y3")]);
-    b.require_cardinality("r", Cardinality::SecondAtMost(2)).unwrap();
+    b.require_cardinality("r", Cardinality::SecondAtMost(2))
+        .unwrap();
     let m = b.run().unwrap();
     assert_eq!(b.witnesses(&m).len(), 1);
     // Duplicate tuples count once (set semantics, as in the paper's
     // count of distinct values).
     let mut b = base_with(&[("x", "y1"), ("x", "y1"), ("x", "y1")]);
-    b.require_cardinality("r", Cardinality::SecondAtMost(2)).unwrap();
+    b.require_cardinality("r", Cardinality::SecondAtMost(2))
+        .unwrap();
     let m = b.run().unwrap();
     assert!(b.witnesses(&m).is_empty());
 }

@@ -52,11 +52,7 @@ pub fn ncmir_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
     w.cm = Some(ncmir_cm());
     w.caps.push(Capability {
         class: "protein_amount".into(),
-        pushable: vec![
-            "location".into(),
-            "ion_bound".into(),
-            "protein_name".into(),
-        ],
+        pushable: vec!["location".into(), "ion_bound".into(), "protein_name".into()],
     });
     w.anchor_decls.push(Anchor::ByAttr {
         class: "protein_amount".into(),
@@ -94,11 +90,13 @@ mod tests {
     #[test]
     fn pushdown_by_location_and_ion() {
         let w = ncmir_wrapper(7, 60);
-        let rows = w.query(
-            &SourceQuery::scan("protein_amount")
-                .with("location", GcmValue::Id("Purkinje_Spine".into()))
-                .with("ion_bound", GcmValue::Id("calcium".into())),
-        );
+        let rows = w
+            .query(
+                &SourceQuery::scan("protein_amount")
+                    .with("location", GcmValue::Id("Purkinje_Spine".into()))
+                    .with("ion_bound", GcmValue::Id("calcium".into())),
+            )
+            .unwrap();
         assert!(!rows.is_empty());
         assert!(rows.iter().all(|r| {
             r.get_str("location") == Some("Purkinje_Spine".into())
@@ -110,10 +108,12 @@ mod tests {
     #[test]
     fn calcium_rows_use_calcium_binders() {
         let w = ncmir_wrapper(7, 60);
-        let rows = w.query(
-            &SourceQuery::scan("protein_amount")
-                .with("ion_bound", GcmValue::Id("calcium".into())),
-        );
+        let rows = w
+            .query(
+                &SourceQuery::scan("protein_amount")
+                    .with("ion_bound", GcmValue::Id("calcium".into())),
+            )
+            .unwrap();
         assert!(rows
             .iter()
             .all(|r| CALCIUM_BINDING.contains(&r.get_str("protein_name").unwrap().as_str())));

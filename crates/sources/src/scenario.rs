@@ -7,7 +7,7 @@ use crate::anatomy::{anatom_wrapper, scenario_domain_map};
 use crate::ncmir::ncmir_wrapper;
 use crate::senselab::senselab_wrapper;
 use crate::synapse::synapse_wrapper;
-use kind_core::{Anchor, Capability, Mediator, MemoryWrapper, Wrapper};
+use kind_core::{Anchor, Capability, Fault, FaultInjector, Mediator, MemoryWrapper, Wrapper};
 use kind_dm::ExecMode;
 use kind_gcm::GcmValue;
 use rand::rngs::StdRng;
@@ -106,6 +106,48 @@ pub fn build_scenario(params: &ScenarioParams) -> Mediator {
         .unwrap_or_else(|e| panic!("{name} registers: {e}"));
     }
     m
+}
+
+/// Like [`build_scenario`], but SENSELAB is wrapped in a
+/// [`FaultInjector`] carrying `senselab_faults`. The injector shares the
+/// mediator's virtual clock (so `Slow` faults interact with timeout
+/// budgets) and is disarmed during registration, then armed — the fault
+/// schedule targets query traffic, not the registration handshake.
+///
+/// Returns the mediator and the injector handle (for `arm`/`disarm` and
+/// call-count assertions in degradation tests).
+pub fn build_scenario_with_faults(
+    params: &ScenarioParams,
+    senselab_faults: Vec<Fault>,
+) -> (Mediator, Rc<FaultInjector>) {
+    let mut m = Mediator::new(scenario_domain_map(), params.mode);
+    let mut injector = FaultInjector::new(
+        senselab_wrapper(params.seed, params.senselab_rows),
+        m.clock(),
+    );
+    for f in senselab_faults {
+        injector = injector.with_fault(f);
+    }
+    let injector = Rc::new(injector);
+    injector.disarm();
+    m.register(anatom_wrapper("")).expect("ANATOM registers");
+    m.register(Rc::clone(&injector) as Rc<dyn Wrapper>)
+        .expect("SENSELAB registers");
+    m.register(ncmir_wrapper(params.seed, params.ncmir_rows))
+        .expect("NCMIR registers");
+    m.register(synapse_wrapper(params.seed, params.synapse_rows))
+        .expect("SYNAPSE registers");
+    for k in 0..params.noise_sources {
+        let name = format!("NOISE{k}");
+        m.register(noise_protein_wrapper(
+            &name,
+            params.seed.wrapping_add(1000 + k as u64),
+            params.noise_rows,
+        ))
+        .unwrap_or_else(|e| panic!("{name} registers: {e}"));
+    }
+    injector.arm();
+    (m, injector)
 }
 
 #[cfg(test)]

@@ -123,8 +123,8 @@ mod tests {
     fn generator_is_deterministic() {
         let a = senselab_wrapper(42, 40);
         let b = senselab_wrapper(42, 40);
-        let qa = a.query(&SourceQuery::scan("neurotransmission"));
-        let qb = b.query(&SourceQuery::scan("neurotransmission"));
+        let qa = a.query(&SourceQuery::scan("neurotransmission")).unwrap();
+        let qb = b.query(&SourceQuery::scan("neurotransmission")).unwrap();
         assert_eq!(qa, qb);
         assert_eq!(qa.len(), 40);
     }
@@ -132,14 +132,16 @@ mod tests {
     #[test]
     fn relevant_rows_present() {
         let w = senselab_wrapper(1, 40);
-        let rows = w.query(
-            &SourceQuery::scan("neurotransmission")
-                .with("organism", GcmValue::Id("rat".into()))
-                .with(
-                    "transmitting_compartment",
-                    GcmValue::Id("Parallel_Fiber".into()),
-                ),
-        );
+        let rows = w
+            .query(
+                &SourceQuery::scan("neurotransmission")
+                    .with("organism", GcmValue::Id("rat".into()))
+                    .with(
+                        "transmitting_compartment",
+                        GcmValue::Id("Parallel_Fiber".into()),
+                    ),
+            )
+            .unwrap();
         assert_eq!(rows.len(), 10); // every 4th of 40
         assert!(rows
             .iter()

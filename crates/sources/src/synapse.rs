@@ -14,8 +14,7 @@ use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 
 /// Hippocampal locations SYNAPSE measures at.
-pub const SYNAPSE_LOCATIONS: &[&str] =
-    &["Pyramidal_Cell", "Pyramidal_Dendrite", "Pyramidal_Spine"];
+pub const SYNAPSE_LOCATIONS: &[&str] = &["Pyramidal_Cell", "Pyramidal_Dendrite", "Pyramidal_Spine"];
 
 fn synapse_cm() -> Element {
     kind_xml::parse(
@@ -77,7 +76,7 @@ mod tests {
     #[test]
     fn rows_are_hippocampal() {
         let w = synapse_wrapper(3, 30);
-        let rows = w.query(&SourceQuery::scan("spine_morphometry"));
+        let rows = w.query(&SourceQuery::scan("spine_morphometry")).unwrap();
         assert_eq!(rows.len(), 30);
         assert!(rows
             .iter()

@@ -35,7 +35,10 @@ impl fmt::Display for XmlError {
                 offset,
                 line,
                 message,
-            } => write!(f, "XML parse error at line {line} (offset {offset}): {message}"),
+            } => write!(
+                f,
+                "XML parse error at line {line} (offset {offset}): {message}"
+            ),
             XmlError::Path { expr, message } => {
                 write!(f, "path error in `{expr}`: {message}")
             }

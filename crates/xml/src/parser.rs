@@ -107,8 +107,7 @@ impl<'a> Parser<'a> {
     fn name(&mut self) -> Result<String, XmlError> {
         let start = self.pos;
         let is_start = |b: u8| b.is_ascii_alphabetic() || b == b'_' || b == b':';
-        let is_cont =
-            |b: u8| b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.');
+        let is_cont = |b: u8| b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.');
         if !is_start(self.peek()) {
             return Err(self.err("expected name"));
         }
@@ -164,7 +163,8 @@ impl<'a> Parser<'a> {
                     }
                     let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
                     self.pos += 1;
-                    elem.attrs.push((key, decode_entities(&raw, || self.err("bad entity"))?));
+                    elem.attrs
+                        .push((key, decode_entities(&raw, || self.err("bad entity"))?));
                 }
             }
         }
@@ -340,7 +340,8 @@ mod tests {
 
     #[test]
     fn roundtrip_through_serializer() {
-        let src = r#"<cm name="SYNAPSE"><class name="spine"><attr n="len" t="float"/></class></cm>"#;
+        let src =
+            r#"<cm name="SYNAPSE"><class name="spine"><attr n="len" t="float"/></class></cm>"#;
         let doc = parse(src).unwrap();
         let out = crate::serialize::to_string(&doc.root);
         let doc2 = parse(&out).unwrap();

@@ -52,7 +52,10 @@ enum TemplateNode {
         children: Vec<TemplateNode>,
     },
     /// `<for-each select="...">body</for-each>`
-    ForEach { select: Path, body: Vec<TemplateNode> },
+    ForEach {
+        select: Path,
+        body: Vec<TemplateNode>,
+    },
     /// `<value-of select="..."/>`
     ValueOf { select: Path },
     /// `<let name="x" select="..."/>` — binds `$x` for subsequent

@@ -1,0 +1,104 @@
+//! Fault-tolerant federation: the §5 query under injected source faults.
+//!
+//! SENSELAB is wrapped in a [`FaultInjector`] and subjected, in turn, to
+//! a transient outage (absorbed by retries), a hard outage (partial
+//! answer, flagged incomplete), a tripped circuit breaker (skipped
+//! without being contacted), and seeded row corruption (quarantined
+//! against its declared conceptual model). Everything is deterministic:
+//! faults follow seeded schedules and time is a virtual clock.
+//!
+//! ```sh
+//! cargo run --example fault_tolerance
+//! ```
+
+use kind::core::{
+    run_section5, BreakerConfig, Fault, NeuroSchema, RetryPolicy, Section5Query, SourcePolicy,
+};
+use kind::sources::{build_scenario_with_faults, ScenarioParams};
+
+fn query() -> Section5Query {
+    Section5Query {
+        organism: "rat".into(),
+        transmitting_compartment: "Parallel_Fiber".into(),
+        ion: "calcium".into(),
+    }
+}
+
+fn main() {
+    let params = ScenarioParams::default();
+    let schema = NeuroSchema::default();
+
+    println!("== transient outage: SENSELAB fails twice, retries absorb it ==");
+    let (mut med, injector) = build_scenario_with_faults(&params, vec![Fault::FailFirst(2)]);
+    let trace = run_section5(&mut med, &schema, &query(), true).expect("plan runs");
+    println!(
+        "  wrapper calls: {} (2 failures + 1 success)",
+        injector.calls()
+    );
+    println!("  distribution rows: {}", trace.distribution.len());
+    println!("  report: {}", trace.report.summary());
+    assert!(trace.report.is_complete());
+
+    println!("\n== hard outage: SENSELAB down past the retry budget ==");
+    let (mut med, _injector) =
+        build_scenario_with_faults(&params, vec![Fault::FailFirst(u32::MAX)]);
+    let trace = run_section5(&mut med, &schema, &query(), true).expect("plan still runs");
+    println!(
+        "  distribution rows: {} (partial answer)",
+        trace.distribution.len()
+    );
+    println!("  complete: {}", trace.report.is_complete());
+    println!("  report: {}", trace.report.summary());
+    assert!(!trace.report.is_complete());
+
+    println!("\n== circuit breaker: repeated failures stop the hammering ==");
+    let (mut med, injector) = build_scenario_with_faults(&params, vec![Fault::EveryKth(1)]);
+    med.set_source_policy(
+        "SENSELAB",
+        SourcePolicy {
+            retry: RetryPolicy::none(),
+            timeout_ms: 0,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_ms: 1_000,
+            },
+        },
+    );
+    // Two failed plan runs trip the breaker; the third is refused
+    // without the wrapper ever being contacted.
+    let _ = run_section5(&mut med, &schema, &query(), true).expect("plan runs");
+    let _ = run_section5(&mut med, &schema, &query(), true).expect("plan runs");
+    let calls_tripped = injector.calls();
+    let _ = run_section5(&mut med, &schema, &query(), true).expect("plan runs");
+    println!(
+        "  breaker state: {:?}; wrapper calls while open: {}",
+        med.breaker_state("SENSELAB").unwrap(),
+        injector.calls() - calls_tripped
+    );
+    med.clock().advance_ms(1_000);
+    let _ = run_section5(&mut med, &schema, &query(), true).expect("plan runs");
+    println!(
+        "  after cooldown: half-open trial contacted the source ({} calls total)",
+        injector.calls()
+    );
+
+    println!("\n== chaos: seeded row corruption quarantined against the CM ==");
+    let (mut med, _injector) = build_scenario_with_faults(
+        &params,
+        vec![Fault::CorruptRows {
+            seed: 9,
+            corrupt_per_mille: 300,
+        }],
+    );
+    med.materialize_all()
+        .expect("materialization degrades, not aborts");
+    let report = med.report();
+    println!("  report: {}", report.summary());
+    for q in report.quarantined.iter().take(5) {
+        println!(
+            "  quarantined {}/{} row `{}`: {}",
+            q.source, q.class, q.row_id, q.reason
+        );
+    }
+    println!("ok");
+}

@@ -22,7 +22,8 @@ fn main() {
             .subclass("neuron", "purkinje_cell"),
     )
     .expect("CM applies");
-    base.require_partial_order("class", "isa").expect("constraint installs");
+    base.require_partial_order("class", "isa")
+        .expect("constraint installs");
     let model = base.run().expect("evaluation succeeds");
     let witnesses = base.witnesses(&model);
     println!("Example 2 — partial-order check on `::`:");
@@ -58,7 +59,9 @@ fn main() {
         println!("  ic <- {w}");
     }
     assert!(witnesses.iter().any(|w| w.starts_with("w_card_first(")));
-    assert!(witnesses.iter().any(|w| w.starts_with("w_card_second_max(")));
+    assert!(witnesses
+        .iter()
+        .any(|w| w.starts_with("w_card_second_max(")));
 
     // A clean population is silent.
     let mut clean = GcmBase::new();

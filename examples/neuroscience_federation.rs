@@ -43,7 +43,10 @@ fn main() {
     println!("step 4  distribution root (lub): {:?}", trace.root);
     println!("        distribution:");
     for d in &trace.distribution {
-        println!("          {:<20} {:<20} {:>6}", d.protein, d.concept, d.total);
+        println!(
+            "          {:<20} {:<20} {:>6}",
+            d.protein, d.concept, d.total
+        );
     }
     println!(
         "traffic: {} wrapper queries, {} rows shipped",

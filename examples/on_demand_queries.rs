@@ -75,7 +75,10 @@ fn main() {
             &[GcmValue::Id("Purkinje_Spine".into())],
         )
         .expect("template call");
-    println!("LIMITED::protein_by_location(Purkinje_Spine) -> {} rows", rows.len());
+    println!(
+        "LIMITED::protein_by_location(Purkinje_Spine) -> {} rows",
+        rows.len()
+    );
     assert_eq!(rows.len(), 1);
 
     // 3. Subsumption-based source selection over a DL expression, using

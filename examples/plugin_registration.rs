@@ -41,17 +41,14 @@ fn main() {
     med.registry_mut()
         .register("neuroml", NEUROML_TRANSLATOR)
         .expect("translator parses");
-    println!(
-        "registered formalisms: {:?} (+ implicit gcm)",
-        {
-            let mut med2 = Mediator::new(figures::figure1(), ExecMode::Assertion);
-            med2.registry_mut()
-                .register("neuroml", NEUROML_TRANSLATOR)
-                .unwrap();
-            // show built-ins too
-            "er/uxf/rdfs/neuroml"
-        }
-    );
+    println!("registered formalisms: {:?} (+ implicit gcm)", {
+        let mut med2 = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        med2.registry_mut()
+            .register("neuroml", NEUROML_TRANSLATOR)
+            .unwrap();
+        // show built-ins too
+        "er/uxf/rdfs/neuroml"
+    });
 
     // Now a wrapper exporting in that formalism can join.
     let mut w = MemoryWrapper::new("MORPHOLAB");
@@ -65,7 +62,11 @@ fn main() {
         class: "basket_cell".into(),
         concept: "Neuron".into(),
     });
-    w.add_row("basket_cell", "b1", vec![("dendrite_count", GcmValue::Int(7))]);
+    w.add_row(
+        "basket_cell",
+        "b1",
+        vec![("dendrite_count", GcmValue::Int(7))],
+    );
     med.register(Rc::new(w)).expect("registration succeeds");
 
     med.materialize_all().expect("materialize");

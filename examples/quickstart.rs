@@ -44,9 +44,13 @@ fn main() {
         class: "cell_measurement".into(),
         attr: "location".into(),
     });
-    for (i, (loc, size)) in [("Purkinje_Cell", 31), ("Purkinje_Cell", 28), ("Pyramidal_Cell", 19)]
-        .iter()
-        .enumerate()
+    for (i, (loc, size)) in [
+        ("Purkinje_Cell", 31),
+        ("Purkinje_Cell", 28),
+        ("Pyramidal_Cell", 19),
+    ]
+    .iter()
+    .enumerate()
     {
         lab.add_row(
             "cell_measurement",
@@ -68,10 +72,8 @@ fn main() {
 
     // 5. Loose federation: materialize and query at the conceptual level.
     med.materialize_all().expect("materialization succeeds");
-    med.define_view(
-        "big_cell(X) :- X : cell_measurement, X[soma_size -> S], S > 25.",
-    )
-    .expect("view compiles");
+    med.define_view("big_cell(X) :- X : cell_measurement, X[soma_size -> S], S > 25.")
+        .expect("view compiles");
     med.materialize_all().expect("rebuild after view");
     let rows = med.query_fl("big_cell(X)").expect("query runs");
     println!("big cells:");

@@ -12,13 +12,14 @@ use std::rc::Rc;
 fn answer_over_the_full_scenario_prunes_sources() {
     let mut m = build_scenario(&ScenarioParams::default());
     let ans = m
-        .answer(
-            "hot(P) :- X : protein_amount, X[protein_name -> P], X[amount -> A], A > 90.",
-        )
+        .answer("hot(P) :- X : protein_amount, X[protein_name -> P], X[amount -> A], A > 90.")
         .unwrap();
     // Only protein-exporting sources were contacted; SENSELAB and
     // SYNAPSE classes were never fetched.
-    assert!(ans.sources.iter().all(|s| s != "SENSELAB" && s != "SYNAPSE"));
+    assert!(ans
+        .sources
+        .iter()
+        .all(|s| s != "SENSELAB" && s != "SYNAPSE"));
     assert!(ans.sources.contains(&"NCMIR".to_string()));
 }
 
@@ -62,7 +63,8 @@ fn dm_round_trip_through_axiom_text_preserves_scenario_semantics() {
     let pc2 = reloaded.lookup("Purkinje_Cell").unwrap();
     let pd2 = reloaded.lookup("Purkinje_Dendrite").unwrap();
     assert_eq!(
-        r1.partonomy_lub("has_a", &[pc1, pd1]).and_then(|n| dm.name(n)),
+        r1.partonomy_lub("has_a", &[pc1, pd1])
+            .and_then(|n| dm.name(n)),
         r2.partonomy_lub("has_a", &[pc2, pd2])
             .and_then(|n| reloaded.name(n))
     );

@@ -21,11 +21,7 @@ fn default_query() -> Section5Query {
 #[test]
 fn scenario_registers_through_three_different_formalisms() {
     let m = build_scenario(&ScenarioParams::default());
-    let formalisms: Vec<&str> = m
-        .sources()
-        .iter()
-        .map(|s| s.wrapper.formalism())
-        .collect();
+    let formalisms: Vec<&str> = m.sources().iter().map(|s| s.wrapper.formalism()).collect();
     assert!(formalisms.contains(&"er"));
     assert!(formalisms.contains(&"uxf"));
     assert!(formalisms.contains(&"rdfs"));
@@ -40,7 +36,11 @@ fn section5_answers_are_stable_across_seeds_structurally() {
             ..Default::default()
         });
         let trace = run_section5(&mut m, &NeuroSchema::default(), &default_query(), true).unwrap();
-        assert_eq!(trace.selected_sources, vec!["NCMIR".to_string()], "seed {seed}");
+        assert_eq!(
+            trace.selected_sources,
+            vec!["NCMIR".to_string()],
+            "seed {seed}"
+        );
         assert_eq!(trace.root.as_deref(), Some("Purkinje_Cell"), "seed {seed}");
         assert!(!trace.distribution.is_empty(), "seed {seed}");
     }
@@ -91,7 +91,12 @@ fn example4_distribution_from_cerebellum_root() {
         .expect("root present");
     assert!(dist.iter().all(|(_, t)| *t <= root_total));
     // Purkinje spine amounts (if any) roll up into the dendrite and cell.
-    let get = |c: &str| dist.iter().find(|(n, _)| n == c).map(|(_, t)| *t).unwrap_or(0);
+    let get = |c: &str| {
+        dist.iter()
+            .find(|(n, _)| n == c)
+            .map(|(_, t)| *t)
+            .unwrap_or(0)
+    };
     assert!(get("Purkinje_Dendrite") >= get("Purkinje_Spine"));
     assert!(get("Purkinje_Cell") >= get("Purkinje_Dendrite"));
 }
@@ -160,7 +165,8 @@ fn constraint_mode_mediator_reports_incompleteness() {
     m.materialize_all().unwrap();
     let ws = m.witnesses().unwrap();
     assert!(
-        ws.iter().any(|x| x.contains("Neuron") && x.contains("TINY.c1")),
+        ws.iter()
+            .any(|x| x.contains("Neuron") && x.contains("TINY.c1")),
         "{ws:?}"
     );
 }
@@ -185,4 +191,212 @@ fn assertion_mode_mediator_invents_placeholders() {
     // The neuron got a virtual compartment.
     let rows = m.query_fl(r#"relinst_sk("has", X, Y)"#).unwrap();
     assert!(!rows.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: outages, retries, breakers, quarantine, timeouts.
+// ---------------------------------------------------------------------
+
+use kind::core::{
+    run_section5 as s5, BreakerConfig, BreakerState, Fault, MediatorError, RetryPolicy,
+    SourceError, SourceOutcome, SourcePolicy, SourceQuery,
+};
+use kind::sources::build_scenario_with_faults;
+
+#[test]
+fn transient_outage_recovers_via_retries() {
+    // Baseline: the fault-free answer.
+    let mut clean = build_scenario(&ScenarioParams::default());
+    let baseline = s5(&mut clean, &NeuroSchema::default(), &default_query(), true).unwrap();
+    // SENSELAB fails its first two calls; the default policy retries up
+    // to 3 attempts, so the plan still gets its step-1 bindings.
+    let (mut m, injector) =
+        build_scenario_with_faults(&ScenarioParams::default(), vec![Fault::FailFirst(2)]);
+    let trace = s5(&mut m, &NeuroSchema::default(), &default_query(), true).unwrap();
+    assert_eq!(trace.step1_pairs, baseline.step1_pairs);
+    assert_eq!(trace.distribution, baseline.distribution);
+    assert!(trace.report.is_complete(), "{}", trace.report.summary());
+    assert_eq!(
+        trace.report.source("SENSELAB").unwrap().outcome,
+        SourceOutcome::Retried { retries: 2 }
+    );
+    assert_eq!(injector.calls(), 3, "two failures plus the success");
+    assert_eq!(trace.stats.retries, 2);
+}
+
+#[test]
+fn senselab_outage_degrades_then_recovers() {
+    let mut clean = build_scenario(&ScenarioParams::default());
+    let baseline = s5(&mut clean, &NeuroSchema::default(), &default_query(), true).unwrap();
+    // Three failures exhaust the default 3-attempt budget: a full outage.
+    let (mut m, _injector) =
+        build_scenario_with_faults(&ScenarioParams::default(), vec![Fault::FailFirst(3)]);
+    let t1 = s5(&mut m, &NeuroSchema::default(), &default_query(), true).unwrap();
+    // Partial answer: no step-1 bindings, so nothing downstream — but the
+    // plan *returns* and says exactly what is missing.
+    assert!(t1.step1_pairs.is_empty());
+    assert!(t1.distribution.is_empty());
+    assert!(!t1.report.is_complete(), "{}", t1.report.summary());
+    assert!(matches!(
+        t1.report.source("SENSELAB").unwrap().outcome,
+        SourceOutcome::Failed {
+            error: SourceError::Unavailable { .. }
+        }
+    ));
+    assert_eq!(t1.stats.failures, 1);
+    // The outage ends (the schedule is exhausted): the same mediator
+    // recovers to the complete answer.
+    let t2 = s5(&mut m, &NeuroSchema::default(), &default_query(), true).unwrap();
+    assert!(t2.report.is_complete(), "{}", t2.report.summary());
+    assert_eq!(t2.step1_pairs, baseline.step1_pairs);
+    assert_eq!(t2.distribution, baseline.distribution);
+}
+
+#[test]
+fn tripped_breaker_skips_source_without_querying() {
+    // SENSELAB always fails; a tight policy trips the breaker fast.
+    let (mut m, injector) =
+        build_scenario_with_faults(&ScenarioParams::default(), vec![Fault::EveryKth(1)]);
+    m.set_source_policy(
+        "SENSELAB",
+        SourcePolicy {
+            retry: RetryPolicy::none(),
+            timeout_ms: 0,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_ms: 1_000,
+            },
+        },
+    );
+    let q = SourceQuery::scan("neurotransmission");
+    assert!(m.fetch("SENSELAB", &q).is_err());
+    assert!(m.fetch("SENSELAB", &q).is_err()); // second failure trips it
+    assert!(matches!(
+        m.breaker_state("SENSELAB"),
+        Some(BreakerState::Open { .. })
+    ));
+    // While open, fetches are refused WITHOUT contacting the wrapper.
+    let calls_before = injector.calls();
+    assert!(m.fetch("SENSELAB", &q).is_err());
+    assert_eq!(
+        injector.calls(),
+        calls_before,
+        "breaker open: no wrapper call"
+    );
+    // A whole plan run degrades the same way: SENSELAB is reported
+    // skipped-by-breaker and the answer flagged incomplete.
+    let t = s5(&mut m, &NeuroSchema::default(), &default_query(), true).unwrap();
+    assert!(!t.report.is_complete(), "{}", t.report.summary());
+    assert_eq!(
+        t.report.source("SENSELAB").unwrap().outcome,
+        SourceOutcome::SkippedByBreaker
+    );
+    assert_eq!(injector.calls(), calls_before, "still no wrapper call");
+    // After the cooldown (virtual time!) a half-open trial goes through —
+    // it fails, so the breaker re-opens.
+    m.clock().advance_ms(1_000);
+    assert!(m.fetch("SENSELAB", &q).is_err());
+    assert_eq!(
+        injector.calls(),
+        calls_before + 1,
+        "half-open trial contacted it"
+    );
+    assert!(matches!(
+        m.breaker_state("SENSELAB"),
+        Some(BreakerState::Open { .. })
+    ));
+}
+
+#[test]
+fn corrupted_rows_are_quarantined_with_diagnostics() {
+    // Chaos mode: a seeded 30% of SENSELAB's rows arrive mangled against
+    // its declared CM. Materialization quarantines them and says why.
+    let (mut m, _injector) = build_scenario_with_faults(
+        &ScenarioParams::default(),
+        vec![Fault::CorruptRows {
+            seed: 9,
+            corrupt_per_mille: 300,
+        }],
+    );
+    m.materialize_all().unwrap();
+    let report = m.report().clone();
+    assert!(!report.quarantined.is_empty(), "some corruption is caught");
+    assert!(!report.is_complete());
+    assert!(report.quarantined.iter().all(|q| q.source == "SENSELAB"));
+    assert!(report
+        .quarantined
+        .iter()
+        .all(|q| q.class == "neurotransmission" && !q.reason.is_empty()));
+    // Accounting holds: every shipped row was either accepted or
+    // quarantined.
+    let sl = report.source("SENSELAB").unwrap();
+    assert_eq!(
+        sl.rows + sl.quarantined,
+        ScenarioParams::default().senselab_rows
+    );
+    // The healthy sources are untouched.
+    assert_eq!(report.source("NCMIR").unwrap().outcome, SourceOutcome::Ok);
+    assert_eq!(report.source("NCMIR").unwrap().quarantined, 0);
+}
+
+#[test]
+fn slow_source_times_out_on_the_virtual_clock() {
+    let (mut m, _injector) = build_scenario_with_faults(
+        &ScenarioParams::default(),
+        vec![Fault::Slow { delay_ms: 500 }],
+    );
+    m.set_source_policy(
+        "SENSELAB",
+        SourcePolicy {
+            retry: RetryPolicy::none(),
+            timeout_ms: 200,
+            breaker: BreakerConfig::default(),
+        },
+    );
+    let err = m
+        .fetch("SENSELAB", &SourceQuery::scan("neurotransmission"))
+        .unwrap_err();
+    match err {
+        MediatorError::Source {
+            name,
+            error:
+                SourceError::Timeout {
+                    elapsed_ms,
+                    budget_ms,
+                },
+        } => {
+            assert_eq!(name, "SENSELAB");
+            assert_eq!(elapsed_ms, 500);
+            assert_eq!(budget_ms, 200);
+        }
+        other => panic!("expected a timeout, got {other}"),
+    }
+}
+
+#[test]
+fn on_demand_answer_carries_degradation_report() {
+    // The generalized `answer` path degrades like the hand-built plan:
+    // a dead SENSELAB drops out of the answer but not out of the report.
+    let (mut m, _injector) = build_scenario_with_faults(
+        &ScenarioParams {
+            noise_sources: 0,
+            ..Default::default()
+        },
+        vec![Fault::FailFirst(u32::MAX)],
+    );
+    let ans = m
+        .answer("rat_nt(X) :- X : neurotransmission, X[organism -> \"rat\"].")
+        .unwrap();
+    assert!(ans.rows.is_empty());
+    assert!(!ans.report.is_complete(), "{}", ans.report.summary());
+    assert_eq!(ans.report.degraded_sources(), vec!["SENSELAB"]);
+    // With the protein class the healthy NCMIR still answers fully.
+    let ans2 = m
+        .answer("calcium(X) :- X : protein_amount, X[ion_bound -> \"calcium\"].")
+        .unwrap();
+    assert!(!ans2.rows.is_empty());
+    assert!(matches!(
+        ans2.report.source("NCMIR").unwrap().outcome,
+        SourceOutcome::Ok
+    ));
 }

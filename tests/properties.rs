@@ -1,7 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
 
+use kind::core::{run_section5, Fault, NeuroSchema, Section5Query};
 use kind::datalog::{Engine, EvalOptions};
 use kind::dm::{DomainMap, Resolved};
+use kind::sources::{build_scenario_with_faults, ScenarioParams};
 use kind::xml::{Element, Node};
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -54,9 +56,7 @@ fn tc_engine(edges: &[(usize, usize)], semi_naive: bool) -> HashSet<(usize, usiz
         .unwrap()
         .into_iter()
         .map(|row| {
-            let parse = |t: &kind::datalog::Term| -> usize {
-                e.show(t)[1..].parse().unwrap()
-            };
+            let parse = |t: &kind::datalog::Term| -> usize { e.show(t)[1..].parse().unwrap() };
             (parse(&row[0]), parse(&row[1]))
         })
         .collect()
@@ -164,6 +164,37 @@ proptest! {
         prop_assert_eq!(set.len(), region.len(), "no duplicates");
     }
 
+    // ---------- Faults: seeded schedules are deterministic ---------------
+
+    #[test]
+    fn fault_schedules_replay_byte_identically(
+        seed in 0u64..u64::MAX,
+        fail_per_mille in 0u16..600,
+        corrupt_per_mille in 0u16..400,
+    ) {
+        // Two mediators built from the same params and the same seeded
+        // fault schedule must produce *equal* answers AND equal reports —
+        // retries, quarantines, breaker skips, everything.
+        let faults = || vec![
+            Fault::Flaky { seed, fail_per_mille },
+            Fault::CorruptRows { seed: seed.rotate_left(17), corrupt_per_mille },
+        ];
+        let params = ScenarioParams { noise_sources: 1, ..Default::default() };
+        let run = || {
+            let (mut m, _inj) = build_scenario_with_faults(&params, faults());
+            let schema = NeuroSchema::default();
+            let q = Section5Query {
+                organism: "rat".into(),
+                transmitting_compartment: "Parallel_Fiber".into(),
+                ion: "calcium".into(),
+            };
+            run_section5(&mut m, &schema, &q, true).unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(&a.report, &b.report);
+        prop_assert_eq!(a, b);
+    }
+
     // ---------- XML: serialize/parse roundtrip --------------------------
 
     #[test]
@@ -179,18 +210,16 @@ proptest! {
 fn xml_tree(depth: u32) -> impl Strategy<Value = Element> {
     let name = "[a-z][a-z0-9]{0,6}";
     let attr_val = "[ -~&&[^<>&\"]]{0,12}";
-    let leaf = (name, prop::collection::vec((name, attr_val), 0..3)).prop_map(
-        |(n, attrs)| {
-            let mut e = Element::new(n);
-            for (k, v) in attrs {
-                // Attribute keys must be unique for a stable roundtrip.
-                if e.attr(&k).is_none() {
-                    e.attrs.push((k, v));
-                }
+    let leaf = (name, prop::collection::vec((name, attr_val), 0..3)).prop_map(|(n, attrs)| {
+        let mut e = Element::new(n);
+        for (k, v) in attrs {
+            // Attribute keys must be unique for a stable roundtrip.
+            if e.attr(&k).is_none() {
+                e.attrs.push((k, v));
             }
-            e
-        },
-    );
+        }
+        e
+    });
     leaf.prop_recursive(depth, 24, 4, move |inner| {
         (
             "[a-z][a-z0-9]{0,6}",

@@ -1,0 +1,27 @@
+//! Keeps the README's fault-tolerance snippet honest.
+
+use kind::core::{Capability, Fault, FaultInjector, Mediator, MemoryWrapper, SourceOutcome};
+use kind::dm::{DomainMap, ExecMode};
+use kind::gcm::GcmValue;
+use std::rc::Rc;
+
+#[test]
+fn readme_fault_tolerance_snippet() {
+    let mut med = Mediator::new(DomainMap::new(), ExecMode::Assertion);
+    let mut lab = MemoryWrapper::new("FLAKY");
+    lab.caps.push(Capability {
+        class: "cells".into(),
+        pushable: vec![],
+    });
+    lab.add_row("cells", "c1", vec![("volume", GcmValue::Int(7))]);
+    let flaky = FaultInjector::new(Rc::new(lab), med.clock()).with_fault(Fault::FailFirst(2));
+    med.register(Rc::new(flaky)).unwrap();
+    med.materialize_all().unwrap();
+    let report = med.report();
+    assert!(report.is_complete());
+    assert_eq!(
+        report.source("FLAKY").unwrap().outcome,
+        SourceOutcome::Retried { retries: 2 }
+    );
+    println!("{}", report.summary());
+}
