@@ -46,5 +46,42 @@ fn bench_closure_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_figure1, bench_closure_scaling);
+/// Warm (memoized) vs cold closure operations: a mediator asks for the
+/// same ancestor cones, deductive closures, and regions over and over
+/// across a query session, so repeat cost is what §5 latency tracks.
+fn bench_memoized_closures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_warm");
+    let dm = closure_map(5, 3);
+    let root = dm.lookup("Nervous_System").unwrap();
+    let warm = Resolved::new(&dm);
+    // Prime the memo tables once; iterations then measure warm cost.
+    warm.downward_closure("has_a", root);
+    warm.dc_pairs("has_a");
+    g.bench_function("downward_closure_warm", |b| {
+        b.iter(|| black_box(warm.downward_closure("has_a", root).len()))
+    });
+    g.bench_function("downward_closure_cold", |b| {
+        b.iter(|| {
+            let r = Resolved::new(&dm);
+            black_box(r.downward_closure("has_a", root).len())
+        })
+    });
+    g.bench_function("dc_pairs_warm", |b| {
+        b.iter(|| black_box(warm.dc_pairs("has_a").len()))
+    });
+    g.bench_function("dc_pairs_cold", |b| {
+        b.iter(|| {
+            let r = Resolved::new(&dm);
+            black_box(r.dc_pairs("has_a").len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure1,
+    bench_closure_scaling,
+    bench_memoized_closures
+);
 criterion_main!(benches);

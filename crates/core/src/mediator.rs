@@ -20,6 +20,9 @@ use kind_gcm::{ConceptualModel, GcmBase, GcmDecl, PluginRegistry};
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
+/// Answer rows plus the names of the sources contacted to produce them.
+pub(crate) type RowsAndSources = (Vec<Vec<Term>>, Vec<String>);
+
 /// Bookkeeping for one registered source.
 pub struct RegisteredSource {
     /// The mediator-assigned id.
@@ -118,6 +121,9 @@ pub struct Mediator {
     views: Vec<String>,
     base: GcmBase,
     model: Option<Model>,
+    /// Fingerprint of the program the cached [`Self::model`] was computed
+    /// from (see [`Self::base_fingerprint`]).
+    model_fp: Option<u64>,
     dirty: bool,
     eval_options: EvalOptions,
     clock: Rc<dyn Clock>,
@@ -166,6 +172,7 @@ impl Mediator {
             views: Vec::new(),
             base: GcmBase::new(),
             model: None,
+            model_fp: None,
             dirty: true,
             eval_options: EvalOptions::default(),
             clock: Rc::new(VirtualClock::new()),
@@ -632,31 +639,45 @@ impl Mediator {
     /// The unchecked load path, for rows already validated by
     /// [`Self::fetch`].
     pub(crate) fn apply_row(&mut self, source: &str, class: &str, row: &ObjectRow) -> Result<()> {
-        let obj = format!("{source}.{}", row.id);
-        self.base.apply_decl(&GcmDecl::Instance {
-            obj: obj.clone(),
-            class: class.to_string(),
-        })?;
-        for (attr, value) in &row.attrs {
-            self.base.apply_decl(&GcmDecl::MethodInst {
-                obj: obj.clone(),
-                method: attr.clone(),
-                value: value.clone(),
-            })?;
-        }
+        apply_row_to(&mut self.base, source, class, row)?;
         self.model = None;
         Ok(())
     }
 
+    /// A fingerprint of everything the base *program* is built from — the
+    /// domain map, execution mode, applied CMs, views, and evaluation
+    /// options. The cached model is keyed by it: [`Self::run`] discards a
+    /// cached model whose fingerprint no longer matches, even if no dirty
+    /// flag was raised (belt-and-braces for the cross-query base cache).
+    /// Instance facts are deliberately excluded: every fact-loading path
+    /// clears [`Self::model`] directly.
+    fn base_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{:?}", self.dm).hash(&mut h);
+        format!("{:?}", self.mode).hash(&mut h);
+        format!("{:?}", self.eval_options).hash(&mut h);
+        for cm in &self.cms {
+            format!("{cm:?}").hash(&mut h);
+        }
+        self.views.hash(&mut h);
+        h.finish()
+    }
+
     /// Evaluates the base (rebuilding first if needed) and caches the
-    /// model.
+    /// model across queries; the cache key is [`Self::base_fingerprint`].
     pub fn run(&mut self) -> Result<&Model> {
+        let fp = self.base_fingerprint();
+        if self.model.is_some() && self.model_fp != Some(fp) {
+            self.model = None;
+        }
         if self.dirty {
             self.rebuild()?;
         }
         if self.model.is_none() {
             let m = self.base.run_with(&self.eval_options)?;
             self.model = Some(m);
+            self.model_fp = Some(fp);
         }
         Ok(self.model.as_ref().expect("just set"))
     }
@@ -961,6 +982,129 @@ impl Mediator {
             .filter(|s| s.classes.iter().any(|c| c == class))
             .map(|s| s.name.clone())
             .collect()
+    }
+
+    /// The warm [`Mediator::answer`] path (see `query.rs`): evaluates a
+    /// one-off view on a scratch clone of the base, seeded with the
+    /// cached base-layer model so only query-relevant strata are
+    /// recomputed (`run_for_seeded`). Returns `None` when seeding would
+    /// be unsound — the head predicate already has facts in the base
+    /// model — so the caller falls back to the cold path.
+    pub(crate) fn answer_via_base_cache(
+        &mut self,
+        rule_text: &str,
+        head_pred: &str,
+        head_args: &[Term],
+        exported: &[String],
+    ) -> Result<Option<RowsAndSources>> {
+        self.run()?;
+        let collides = self
+            .base
+            .flogic()
+            .engine()
+            .lookup(head_pred)
+            .is_some_and(|p| {
+                self.model
+                    .as_ref()
+                    .is_some_and(|m| m.facts.relation(p).is_some_and(|r| !r.is_empty()))
+            });
+        if collides {
+            return Ok(None);
+        }
+        let base_model = self.model.take().expect("run() caches the model");
+        let out = self.answer_on_clone(rule_text, head_pred, head_args, exported, &base_model);
+        // The base itself was not touched: the cached model stays valid.
+        self.model = Some(base_model);
+        out.map(Some)
+    }
+
+    fn answer_on_clone(
+        &mut self,
+        rule_text: &str,
+        head_pred: &str,
+        head_args: &[Term],
+        exported: &[String],
+        base_model: &Model,
+    ) -> Result<RowsAndSources> {
+        let mut work = self.base.clone();
+        work.flogic_mut().load(rule_text)?;
+        let mut contacted: BTreeSet<String> = BTreeSet::new();
+        for class in exported {
+            for src in self.sources_exporting(class) {
+                contacted.insert(src.clone());
+                let rows = self.fetch_degraded(&src, &SourceQuery::scan(class))?;
+                for row in rows {
+                    apply_row_to(&mut work, &src, class, &row)?;
+                }
+            }
+        }
+        let model = work
+            .flogic()
+            .run_for_seeded(&[head_pred], base_model, &self.eval_options)?;
+        let pattern = kind_datalog::Atom::new(
+            work.flogic()
+                .engine()
+                .lookup(head_pred)
+                .expect("head predicate interned by view load"),
+            head_args.to_vec(),
+        );
+        let rows = model.query(&pattern);
+        // Answer terms may reference symbols interned only in the scratch
+        // clone (object ids fetched this query); re-intern them into the
+        // mediator's own engine so `show` resolves them.
+        let rows = rows
+            .into_iter()
+            .map(|r| {
+                r.iter()
+                    .map(|t| {
+                        reintern(
+                            work.flogic().engine(),
+                            self.base.flogic_mut().engine_mut(),
+                            t,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok((rows, contacted.into_iter().collect()))
+    }
+}
+
+/// Loads one row's GCM declarations into `base` — the shared load path
+/// for the mediator's own base and for per-query scratch clones.
+pub(crate) fn apply_row_to(
+    base: &mut GcmBase,
+    source: &str,
+    class: &str,
+    row: &ObjectRow,
+) -> Result<()> {
+    let obj = format!("{source}.{}", row.id);
+    base.apply_decl(&GcmDecl::Instance {
+        obj: obj.clone(),
+        class: class.to_string(),
+    })?;
+    for (attr, value) in &row.attrs {
+        base.apply_decl(&GcmDecl::MethodInst {
+            obj: obj.clone(),
+            method: attr.clone(),
+            value: value.clone(),
+        })?;
+    }
+    Ok(())
+}
+
+/// Recursively re-interns a ground term from one engine's symbol table
+/// into another's.
+fn reintern(from: &kind_datalog::Engine, to: &mut kind_datalog::Engine, t: &Term) -> Term {
+    match t {
+        Term::Const(s) => to.constant(from.name(*s)),
+        Term::Func(f, args) => {
+            let name = from.name(*f).to_string();
+            let mapped: Vec<Term> = args.iter().map(|a| reintern(from, to, a)).collect();
+            let sym = to.sym(&name);
+            Term::func(sym, mapped)
+        }
+        other => other.clone(),
     }
 }
 

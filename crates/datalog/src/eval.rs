@@ -7,6 +7,21 @@
 //! naive full re-derivation when [`EvalOptions::semi_naive`] is off — kept
 //! as an ablation baseline, see DESIGN.md).
 //!
+//! Three further performance layers sit on top, each with its own
+//! [`EvalOptions`] knob so the ablation benches can decompose the speedup:
+//!
+//! * **join planning** ([`EvalOptions::join_reorder`]): before a stratum
+//!   runs, each rule body is greedily reordered by bound-variable count and
+//!   current relation cardinality ([`Rule::reorder`]); the chosen order is
+//!   recorded in the model's [`EvalProfile`] for `explain`-style dumps;
+//! * **indexing** ([`EvalOptions::use_index`]): joins with any bound
+//!   argument probe a lazily-built hash index on exactly the bound column
+//!   set ([`crate::fact::Relation::iter_bound`]); build/hit/miss counts
+//!   land in [`EvalStats`];
+//! * **cross-query caching** ([`EvalOptions::base_cache`], driven by
+//!   [`crate::Engine::run_for_seeded`]): strata whose predicates are
+//!   already at fixpoint in a seeded base model are skipped outright.
+//!
 //! Function terms (skolem placeholders from domain-map assertions, paper
 //! §4) can generate unboundedly deep terms; derivations whose head exceeds
 //! [`EvalOptions::max_term_depth`] are clipped and counted in
@@ -15,9 +30,11 @@
 use crate::atom::{AggFunc, Aggregate, Atom, BodyItem, CmpOp};
 use crate::error::{DatalogError, Result};
 use crate::fact::{FactStore, Tuple};
+use crate::interner::Sym;
 use crate::program::Stratification;
 use crate::rule::Rule;
 use crate::term::{Subst, Term};
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
 /// Evaluation knobs.
@@ -32,9 +49,19 @@ pub struct EvalOptions {
     /// Hard cap on fixpoint rounds (per stratum, and on alternating
     /// fixpoint sweeps); exceeding it is an error.
     pub max_iterations: usize,
-    /// Use the first-column relation index for joins with a bound first
-    /// argument. Turning this off forces full scans (ablation baseline).
+    /// Use hash indexes for joins with bound arguments (any column set,
+    /// built on first probe). Turning this off forces full scans
+    /// (ablation baseline).
     pub use_index: bool,
+    /// Greedily reorder rule bodies per stratum by bound-variable count
+    /// and relation cardinality before evaluating. Turning this off keeps
+    /// the compiled source order (ablation baseline).
+    pub join_reorder: bool,
+    /// Allow evaluation on top of a cached base model
+    /// ([`crate::Engine::run_for_seeded`]): strata untouched by the delta
+    /// are seeded from the cache and skipped. Turning this off re-derives
+    /// everything from the EDB (ablation baseline).
+    pub base_cache: bool,
 }
 
 impl Default for EvalOptions {
@@ -44,6 +71,8 @@ impl Default for EvalOptions {
             max_term_depth: 8,
             max_iterations: 100_000,
             use_index: true,
+            join_reorder: true,
+            base_cache: true,
         }
     }
 }
@@ -59,6 +88,88 @@ pub struct EvalStats {
     pub depth_clipped: usize,
     /// Rule applications (body solutions found).
     pub applications: usize,
+    /// Column-set indexes built on first probe.
+    pub index_builds: usize,
+    /// Join probes answered through an index (including fully-ground
+    /// membership tests).
+    pub index_hits: usize,
+    /// Join probes that fell back to a full relation scan.
+    pub index_misses: usize,
+}
+
+/// Index probe counters, threaded through matching by shared reference
+/// (matching only ever holds `&self`).
+#[derive(Debug, Default)]
+pub(crate) struct IndexCounters {
+    builds: Cell<usize>,
+    hits: Cell<usize>,
+    misses: Cell<usize>,
+}
+
+impl IndexCounters {
+    fn build(&self) {
+        self.builds.set(self.builds.get() + 1);
+    }
+    fn hit(&self) {
+        self.hits.set(self.hits.get() + 1);
+    }
+    fn miss(&self) {
+        self.misses.set(self.misses.get() + 1);
+    }
+    pub(crate) fn fold_into(&self, stats: &mut EvalStats) {
+        stats.index_builds += self.builds.get();
+        stats.index_hits += self.hits.get();
+        stats.index_misses += self.misses.get();
+    }
+}
+
+/// The join order chosen for one rule within one stratum evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulePlan {
+    /// Head predicate of the rule.
+    pub head: Sym,
+    /// For each executed body position, the index of that item in the
+    /// rule's compiled body order.
+    pub join_order: Vec<usize>,
+    /// Whether the greedy reorder changed the compiled order.
+    pub reordered: bool,
+}
+
+/// What happened while evaluating one stratum.
+#[derive(Debug, Clone, Default)]
+pub struct StratumProfile {
+    /// Predicates defined in this stratum.
+    pub preds: Vec<Sym>,
+    /// Whether the stratum required fixpoint iteration.
+    pub recursive: bool,
+    /// Stratum skipped because every predicate was already at fixpoint in
+    /// the seeded base model (cross-query cache).
+    pub skipped: bool,
+    /// Fixpoint rounds spent on this stratum.
+    pub iterations: usize,
+    /// Facts derived in this stratum.
+    pub derived: usize,
+    /// Indexes built while evaluating this stratum.
+    pub index_builds: usize,
+    /// Index-answered join probes in this stratum.
+    pub index_hits: usize,
+    /// Full-scan join probes in this stratum.
+    pub index_misses: usize,
+    /// The join order used for each rule of the stratum.
+    pub plans: Vec<RulePlan>,
+}
+
+/// A record of how a model was computed: per-stratum join plans and
+/// counters, inspectable via [`crate::Engine::render_profile`].
+#[derive(Debug, Clone, Default)]
+pub struct EvalProfile {
+    /// Strata in evaluation order.
+    pub strata: Vec<StratumProfile>,
+    /// Evaluation went through the alternating fixpoint (well-founded
+    /// semantics); strata then hold a single summary entry.
+    pub well_founded: bool,
+    /// Facts seeded from a cached base model before evaluation.
+    pub seeded: usize,
 }
 
 /// The result of evaluating a program: a (possibly three-valued) model.
@@ -71,6 +182,8 @@ pub struct Model {
     pub undefined: FactStore,
     /// Evaluation counters.
     pub stats: EvalStats,
+    /// How the model was computed (join plans, per-stratum counters).
+    pub profile: EvalProfile,
 }
 
 impl Model {
@@ -94,6 +207,8 @@ impl Model {
 
     /// Matches a query atom (which may contain variables) against the true
     /// facts, returning one substituted argument vector per solution.
+    /// Ground argument positions are answered through the relation index
+    /// instead of a full scan.
     pub fn query(&self, pattern: &Atom) -> Vec<Vec<Term>> {
         let mut out = Vec::new();
         let Some(rel) = self.facts.relation(pattern.pred) else {
@@ -103,9 +218,15 @@ impl Model {
         pattern.collect_vars(&mut vars);
         let nvars = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
         let mut subst = Subst::with_capacity(nvars);
-        for tuple in rel.iter() {
+        let bound: Vec<(usize, &Term)> = pattern
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ground())
+            .collect();
+        let mut scan = |tuple: &Tuple, out: &mut Vec<Vec<Term>>| {
             if tuple.len() != pattern.args.len() {
-                continue;
+                return;
             }
             let m = subst.mark();
             if pattern
@@ -117,6 +238,15 @@ impl Model {
                 out.push(pattern.args.iter().map(|t| t.apply(&subst)).collect());
             }
             subst.undo_to(m);
+        };
+        if bound.is_empty() {
+            for tuple in rel.iter() {
+                scan(tuple, &mut out);
+            }
+        } else {
+            for tuple in rel.iter_bound(&bound) {
+                scan(tuple, &mut out);
+            }
         }
         out
     }
@@ -141,8 +271,10 @@ pub(crate) struct MatchCtx<'a> {
     pub delta: Option<(&'a FactStore, usize)>,
     /// Negation policy.
     pub neg: NegView<'a>,
-    /// Whether first-column index lookups are enabled.
+    /// Whether index lookups are enabled.
     pub use_index: bool,
+    /// Index build/hit/miss counters for this evaluation scope.
+    pub counters: &'a IndexCounters,
 }
 
 impl MatchCtx<'_> {
@@ -179,13 +311,50 @@ pub(crate) fn solve(
             let Some(rel) = store.relation(atom.pred) else {
                 return 0;
             };
-            // Fast path: first argument ground under current bindings.
-            let first = atom.args.first().map(|t| t.apply(subst));
-            let tuples: Vec<&Tuple> = match &first {
-                Some(f) if ctx.use_index && f.is_ground() => rel.iter_first(f).collect(),
-                _ => rel.iter().collect(),
-            };
-            for tuple in tuples {
+            if ctx.use_index {
+                // Which argument positions are ground under the current
+                // bindings?
+                let applied: Vec<Term> = atom.args.iter().map(|t| t.apply(subst)).collect();
+                if !applied.is_empty() && applied.iter().all(Term::is_ground) {
+                    // Fully ground: a membership probe replaces the scan.
+                    ctx.counters.hit();
+                    if applied.len() == atom.args.len() && rel.contains(&applied) {
+                        found += solve(items, idx + 1, subst, ctx, cb);
+                    }
+                    return found;
+                }
+                let bound: Vec<(usize, &Term)> = applied
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.is_ground())
+                    .collect();
+                if !bound.is_empty() {
+                    let mut cols: Vec<usize> = bound.iter().map(|&(c, _)| c).collect();
+                    cols.sort_unstable();
+                    if rel.ensure_index(&cols) {
+                        ctx.counters.build();
+                    }
+                    ctx.counters.hit();
+                    for tuple in rel.iter_bound(&bound) {
+                        if tuple.len() != atom.args.len() {
+                            continue;
+                        }
+                        let m = subst.mark();
+                        if atom
+                            .args
+                            .iter()
+                            .zip(tuple.iter())
+                            .all(|(p, v)| subst.match_term(p, v))
+                        {
+                            found += solve(items, idx + 1, subst, ctx, cb);
+                        }
+                        subst.undo_to(m);
+                    }
+                    return found;
+                }
+            }
+            ctx.counters.miss();
+            for tuple in rel.iter() {
                 if tuple.len() != atom.args.len() {
                     continue;
                 }
@@ -263,6 +432,7 @@ fn solve_aggregate(
         delta: None,
         neg: ctx.neg,
         use_index: ctx.use_index,
+        counters: ctx.counters,
     };
     let mut groups: HashMap<Vec<Term>, HashSet<Term>> = HashMap::new();
     {
@@ -366,6 +536,43 @@ pub(crate) fn apply_rule(
     new
 }
 
+/// Join planning: reorders `rule` for evaluation (when enabled), recording
+/// the chosen plan. Same-stratum predicates are costed as unbounded since
+/// their relations grow during iteration.
+pub(crate) fn plan_rule(
+    rule: &Rule,
+    total: &FactStore,
+    stratum_preds: &HashSet<Sym>,
+    opts: &EvalOptions,
+) -> (Rule, RulePlan) {
+    if !opts.join_reorder {
+        return (
+            rule.clone(),
+            RulePlan {
+                head: rule.head.pred,
+                join_order: (0..rule.body.len()).collect(),
+                reordered: false,
+            },
+        );
+    }
+    let (planned, join_order) = rule.reorder(|p| {
+        if stratum_preds.contains(&p) {
+            usize::MAX
+        } else {
+            total.relation(p).map_or(0, |r| r.len())
+        }
+    });
+    let reordered = join_order.iter().enumerate().any(|(i, &o)| i != o);
+    (
+        planned,
+        RulePlan {
+            head: rule.head.pred,
+            join_order,
+            reordered,
+        },
+    )
+}
+
 /// Evaluates a stratified program over `edb`, producing a two-valued model.
 ///
 /// `rules` is the full rule list; `strat` the stratification computed by
@@ -376,11 +583,46 @@ pub(crate) fn eval_stratified(
     edb: &FactStore,
     opts: &EvalOptions,
 ) -> Result<Model> {
+    eval_stratified_skipping(rules, strat, edb, opts, None)
+}
+
+/// Like [`eval_stratified`], but skips any stratum whose predicates are
+/// all in `stable` (they are already at fixpoint in `edb`, having been
+/// seeded from a cached base model — see
+/// [`crate::Engine::run_for_seeded`]).
+pub(crate) fn eval_stratified_skipping(
+    rules: &[Rule],
+    strat: &Stratification,
+    edb: &FactStore,
+    opts: &EvalOptions,
+    stable: Option<&HashSet<Sym>>,
+) -> Result<Model> {
     let mut total = edb.clone();
     let mut stats = EvalStats::default();
+    let mut profile = EvalProfile::default();
     for stratum in &strat.strata {
-        let stratum_rules: Vec<&Rule> = stratum.rules.iter().map(|&i| &rules[i]).collect();
-        let stratum_preds: HashSet<_> = stratum.preds.iter().copied().collect();
+        let mut sp = StratumProfile {
+            preds: stratum.preds.clone(),
+            recursive: stratum.recursive,
+            ..Default::default()
+        };
+        if let Some(stable) = stable {
+            if !stratum.preds.is_empty() && stratum.preds.iter().all(|p| stable.contains(p)) {
+                sp.skipped = true;
+                profile.strata.push(sp);
+                continue;
+            }
+        }
+        let stratum_preds: HashSet<Sym> = stratum.preds.iter().copied().collect();
+        let prepared: Vec<(Rule, RulePlan)> = stratum
+            .rules
+            .iter()
+            .map(|&ri| plan_rule(&rules[ri], &total, &stratum_preds, opts))
+            .collect();
+        let stratum_rules: Vec<&Rule> = prepared.iter().map(|(r, _)| r).collect();
+        sp.plans = prepared.iter().map(|(_, p)| p.clone()).collect();
+        let counters = IndexCounters::default();
+        let before = stats;
         if !stratum.recursive {
             // Single pass suffices.
             let mut out = FactStore::new();
@@ -390,23 +632,37 @@ pub(crate) fn eval_stratified(
                     delta: None,
                     neg: NegView::Closed,
                     use_index: opts.use_index,
+                    counters: &counters,
                 };
                 apply_rule(rule, &ctx, &mut out, &mut stats, opts);
             }
             stats.derived += total.absorb(&out);
             stats.iterations += 1;
-            continue;
-        }
-        if opts.semi_naive {
-            seminaive_stratum(&stratum_rules, &stratum_preds, &mut total, &mut stats, opts)?;
+        } else if opts.semi_naive {
+            seminaive_stratum(
+                &stratum_rules,
+                &stratum_preds,
+                &mut total,
+                &mut stats,
+                &counters,
+                opts,
+            )?;
         } else {
-            naive_stratum(&stratum_rules, &mut total, &mut stats, opts)?;
+            naive_stratum(&stratum_rules, &mut total, &mut stats, &counters, opts)?;
         }
+        sp.iterations = stats.iterations - before.iterations;
+        sp.derived = stats.derived - before.derived;
+        sp.index_builds = counters.builds.get();
+        sp.index_hits = counters.hits.get();
+        sp.index_misses = counters.misses.get();
+        counters.fold_into(&mut stats);
+        profile.strata.push(sp);
     }
     Ok(Model {
         facts: total,
         undefined: FactStore::new(),
         stats,
+        profile,
     })
 }
 
@@ -414,6 +670,7 @@ fn naive_stratum(
     rules: &[&Rule],
     total: &mut FactStore,
     stats: &mut EvalStats,
+    counters: &IndexCounters,
     opts: &EvalOptions,
 ) -> Result<()> {
     loop {
@@ -430,6 +687,7 @@ fn naive_stratum(
                 delta: None,
                 neg: NegView::Closed,
                 use_index: opts.use_index,
+                counters,
             };
             apply_rule(rule, &ctx, &mut out, stats, opts);
         }
@@ -446,6 +704,7 @@ fn seminaive_stratum(
     stratum_preds: &HashSet<crate::interner::Sym>,
     total: &mut FactStore,
     stats: &mut EvalStats,
+    counters: &IndexCounters,
     opts: &EvalOptions,
 ) -> Result<()> {
     // Round 0: naive pass to seed the delta.
@@ -457,6 +716,7 @@ fn seminaive_stratum(
             delta: None,
             neg: NegView::Closed,
             use_index: opts.use_index,
+            counters,
         };
         apply_rule(rule, &ctx, &mut delta, stats, opts);
     }
@@ -484,6 +744,7 @@ fn seminaive_stratum(
                     delta: Some((&delta, di)),
                     neg: NegView::Closed,
                     use_index: opts.use_index,
+                    counters,
                 };
                 apply_rule(rule, &ctx, &mut next, stats, opts);
             }
@@ -502,6 +763,7 @@ pub(crate) fn gamma(
     edb: &FactStore,
     j: &FactStore,
     stats: &mut EvalStats,
+    counters: &IndexCounters,
     opts: &EvalOptions,
 ) -> Result<FactStore> {
     let mut total = edb.clone();
@@ -524,6 +786,7 @@ pub(crate) fn gamma(
                 delta: None,
                 neg: NegView::Frozen(j),
                 use_index: opts.use_index,
+                counters,
             };
             apply_rule(rule, &ctx, &mut out, stats, opts);
         }
@@ -846,5 +1109,92 @@ mod tests {
         );
         let m = f.run();
         assert!(m.holds(d, &[Term::Int(4), Term::Int(8)]));
+    }
+
+    #[test]
+    fn profile_records_plans_and_index_counters() {
+        let mut f = Fixture::new();
+        let a = f.c("a");
+        let b = f.c("b");
+        f.fact("e", &[a.clone(), b.clone()]);
+        f.fact("e", &[b.clone(), a.clone()]);
+        let e = f.syms.intern("e");
+        let tc = f.syms.intern("tc");
+        f.rules.push(
+            Rule::compile(
+                Atom::new(tc, vec![v(0), v(1)]),
+                vec![BodyItem::Pos(Atom::new(e, vec![v(0), v(1)]))],
+                2,
+                vec!["X".into(), "Y".into()],
+            )
+            .unwrap(),
+        );
+        f.rules.push(
+            Rule::compile(
+                Atom::new(tc, vec![v(0), v(1)]),
+                vec![
+                    BodyItem::Pos(Atom::new(tc, vec![v(0), v(2)])),
+                    BodyItem::Pos(Atom::new(e, vec![v(2), v(1)])),
+                ],
+                3,
+                vec!["X".into(), "Y".into(), "Z".into()],
+            )
+            .unwrap(),
+        );
+        let m = f.run();
+        assert_eq!(m.profile.strata.len(), 1);
+        let sp = &m.profile.strata[0];
+        assert!(sp.recursive);
+        assert!(!sp.skipped);
+        assert_eq!(sp.plans.len(), 2);
+        assert!(sp.plans.iter().all(|p| p.head == tc));
+        assert!(sp.iterations >= 2);
+        // The recursive rule joins with a bound variable, so some probes
+        // must have gone through the index.
+        assert!(sp.index_hits > 0);
+        assert_eq!(m.stats.index_hits, sp.index_hits);
+        // With indexing off the same program reports only misses.
+        let strat = stratify(&f.rules, |s| format!("{s}")).unwrap();
+        let noidx = eval_stratified(
+            &f.rules,
+            &strat,
+            &f.edb,
+            &EvalOptions {
+                use_index: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(noidx.stats.index_hits, 0);
+        assert_eq!(noidx.stats.index_builds, 0);
+        assert!(noidx.stats.index_misses > 0);
+        assert_eq!(noidx.tuples(tc).len(), m.tuples(tc).len());
+    }
+
+    #[test]
+    fn model_query_uses_index_for_ground_positions() {
+        let mut f = Fixture::new();
+        let a = f.c("a");
+        let b = f.c("b");
+        let c = f.c("c");
+        f.fact("e", &[a.clone(), b.clone()]);
+        f.fact("e", &[a.clone(), c.clone()]);
+        f.fact("e", &[b.clone(), c.clone()]);
+        let e = f.syms.intern("e");
+        let m = f.run();
+        // Ground first argument: index probe.
+        let sols = m.query(&Atom::new(e, vec![a.clone(), v(0)]));
+        assert_eq!(sols.len(), 2);
+        // Ground second argument only.
+        let sols = m.query(&Atom::new(e, vec![v(0), c.clone()]));
+        assert_eq!(sols.len(), 2);
+        // Fully ground.
+        let sols = m.query(&Atom::new(e, vec![a.clone(), b.clone()]));
+        assert_eq!(sols.len(), 1);
+        // All variables: full scan.
+        let sols = m.query(&Atom::new(e, vec![v(0), v(1)]));
+        assert_eq!(sols.len(), 3);
+        let rel = m.facts.relation(e).unwrap();
+        assert!(rel.index_count() >= 2);
     }
 }

@@ -117,11 +117,13 @@ impl crate::Engine {
                 subst.undo_to(mark);
                 continue;
             }
+            let counters = crate::eval::IndexCounters::default();
             let ctx = MatchCtx {
                 total: &model.facts,
                 delta: None,
                 neg: NegView::Frozen(&model.facts),
                 use_index: true,
+                counters: &counters,
             };
             // Capture the first satisfying body instance that is not
             // *self-supporting* (a premise identical to the conclusion —
@@ -177,6 +179,58 @@ impl crate::Engine {
             args: args.to_vec(),
             via,
         }
+    }
+
+    /// Renders a model's evaluation profile — per-stratum predicates,
+    /// iteration and index counters, and the compiled join order of every
+    /// rule — as a diagnostic dump. The join order lists compiled body
+    /// positions; a `*` marks rules the greedy planner actually reordered.
+    pub fn render_profile(&self, model: &Model) -> String {
+        let prof = &model.profile;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "evaluation profile: {} strata{}{}",
+            prof.strata.len(),
+            if prof.well_founded {
+                " (well-founded)"
+            } else {
+                ""
+            },
+            if prof.seeded > 0 {
+                format!(", {} facts seeded from base cache", prof.seeded)
+            } else {
+                String::new()
+            },
+        );
+        for (i, sp) in prof.strata.iter().enumerate() {
+            let preds: Vec<&str> = sp.preds.iter().map(|&p| self.name(p)).collect();
+            let kind = match (sp.skipped, sp.recursive) {
+                (true, _) => "skipped (cached)",
+                (false, true) => "recursive",
+                (false, false) => "single-pass",
+            };
+            let _ = writeln!(out, "stratum {i} [{kind}]: {}", preds.join(", "));
+            if !sp.skipped {
+                let _ = writeln!(
+                    out,
+                    "  iterations={} derived={} index: builds={} hits={} misses={}",
+                    sp.iterations, sp.derived, sp.index_builds, sp.index_hits, sp.index_misses
+                );
+                for plan in &sp.plans {
+                    let order: Vec<String> =
+                        plan.join_order.iter().map(|p| p.to_string()).collect();
+                    let _ = writeln!(
+                        out,
+                        "  rule {}: join order [{}]{}",
+                        self.name(plan.head),
+                        order.join(", "),
+                        if plan.reordered { " *" } else { "" }
+                    );
+                }
+            }
+        }
+        out
     }
 
     /// Renders a derivation tree as indented text.
@@ -311,6 +365,17 @@ mod tests {
         let d = e.explain(&m, p20, &[k], 3).unwrap();
         let rendered = e.render_derivation(&d);
         assert!(rendered.contains("[...]"), "{rendered}");
+    }
+
+    #[test]
+    fn profile_dump_shows_join_order_and_counters() {
+        let (e, m) = setup();
+        let dump = e.render_profile(&m);
+        assert!(dump.contains("evaluation profile"), "{dump}");
+        assert!(dump.contains("tc"), "{dump}");
+        assert!(dump.contains("join order ["), "{dump}");
+        assert!(dump.contains("index: builds="), "{dump}");
+        assert!(dump.contains("recursive"), "{dump}");
     }
 
     #[test]

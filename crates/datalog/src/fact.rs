@@ -1,26 +1,49 @@
-//! Ground fact storage: relations with first-column indexes.
+//! Ground fact storage: relations with lazily-built multi-column indexes.
 //!
 //! Bottom-up evaluation spends nearly all of its time probing relations
 //! during joins. Tuples are stored once as `Rc<[Term]>` shared between the
-//! dedup set, the insertion-ordered scan vector, and the index, so lookups
-//! and copies stay cheap.
+//! dedup set, the insertion-ordered scan vector, and the indexes, so
+//! lookups and copies stay cheap.
+//!
+//! Indexes are built **on first probe** for whatever column set a join
+//! actually binds (see [`Relation::iter_bound`]) and maintained
+//! incrementally on every subsequent insert. A relation that is only ever
+//! scanned never pays for an index; a relation probed on columns `{0, 2}`
+//! gets exactly that index and no other.
 
 use crate::interner::Sym;
 use crate::term::Term;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// A ground tuple.
 pub type Tuple = Rc<[Term]>;
 
+/// An index over one column set: key values (in ascending column order) →
+/// positions into the tuple vector.
+type ColumnIndex = HashMap<Vec<Term>, Vec<u32>>;
+
 /// A single relation: a deduplicated, insertion-ordered set of ground
-/// tuples, indexed on the first column.
+/// tuples, with hash indexes on arbitrary column sets built lazily on
+/// first probe.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     tuples: Vec<Tuple>,
     set: HashSet<Tuple>,
-    /// Index on column 0: first-argument value → positions in `tuples`.
-    idx0: HashMap<Term, Vec<u32>>,
+    /// Lazily-built indexes: sorted column set → key → positions. Interior
+    /// mutability lets a probe during evaluation (`&Relation`) build the
+    /// index it needs; `insert` maintains every existing index.
+    indexes: RefCell<HashMap<Vec<usize>, ColumnIndex>>,
+}
+
+fn index_key(tuple: &[Term], cols: &[usize]) -> Option<Vec<Term>> {
+    // Tuples too short for the column set can never match a pattern that
+    // binds those columns; they are simply absent from the index.
+    if cols.iter().any(|&c| c >= tuple.len()) {
+        return None;
+    }
+    Some(cols.iter().map(|&c| tuple[c].clone()).collect())
 }
 
 impl Relation {
@@ -29,18 +52,36 @@ impl Relation {
         Self::default()
     }
 
-    /// Inserts a tuple; returns `true` if it was new.
+    /// Inserts a tuple; returns `true` if it was new. Every existing
+    /// index is maintained incrementally.
     pub fn insert(&mut self, tuple: Tuple) -> bool {
         debug_assert!(tuple.iter().all(Term::is_ground));
         if !self.set.insert(tuple.clone()) {
             return false;
         }
         let pos = u32::try_from(self.tuples.len()).expect("relation too large");
-        if let Some(first) = tuple.first() {
-            self.idx0.entry(first.clone()).or_default().push(pos);
+        for (cols, index) in self.indexes.get_mut().iter_mut() {
+            if let Some(key) = index_key(&tuple, cols) {
+                index.entry(key).or_default().push(pos);
+            }
         }
         self.tuples.push(tuple);
         true
+    }
+
+    /// Bulk-merges every tuple of `other`; returns how many were new.
+    /// Reserves capacity up front so repeated absorption of large deltas
+    /// does not rehash per tuple.
+    pub fn extend_from(&mut self, other: &Relation) -> usize {
+        self.set.reserve(other.tuples.len());
+        self.tuples.reserve(other.tuples.len());
+        let mut added = 0;
+        for t in &other.tuples {
+            if self.insert(t.clone()) {
+                added += 1;
+            }
+        }
+        added
     }
 
     /// Membership test.
@@ -53,14 +94,56 @@ impl Relation {
         self.tuples.iter()
     }
 
+    /// Ensures the index over `cols` (must be sorted and deduplicated)
+    /// exists, building it from the current tuples if not. Returns `true`
+    /// when the index was newly built.
+    pub fn ensure_index(&self, cols: &[usize]) -> bool {
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
+        let mut indexes = self.indexes.borrow_mut();
+        if indexes.contains_key(cols) {
+            return false;
+        }
+        let mut index = ColumnIndex::new();
+        for (pos, tuple) in self.tuples.iter().enumerate() {
+            if let Some(key) = index_key(tuple, cols) {
+                index.entry(key).or_default().push(pos as u32);
+            }
+        }
+        indexes.insert(cols.to_vec(), index);
+        true
+    }
+
+    /// Tuples matching the given `(column, value)` bindings, via a hash
+    /// index on exactly that column set (built on first use). Columns may
+    /// be given in any order; duplicates must agree by construction.
+    pub fn iter_bound(&self, bound: &[(usize, &Term)]) -> impl Iterator<Item = &Tuple> {
+        let mut pairs: Vec<(usize, &Term)> = bound.to_vec();
+        pairs.sort_by_key(|&(c, _)| c);
+        pairs.dedup_by_key(|&mut (c, _)| c);
+        let cols: Vec<usize> = pairs.iter().map(|&(c, _)| c).collect();
+        let key: Vec<Term> = pairs.iter().map(|&(_, t)| t.clone()).collect();
+        self.ensure_index(&cols);
+        // Clone the (small) position list so the iterator does not hold
+        // the RefCell borrow while the caller walks the tuples.
+        let positions: Vec<u32> = self
+            .indexes
+            .borrow()
+            .get(&cols)
+            .and_then(|ix| ix.get(&key))
+            .cloned()
+            .unwrap_or_default();
+        positions.into_iter().map(move |i| &self.tuples[i as usize])
+    }
+
     /// Tuples whose first column equals `key` (fast path for joins with a
     /// bound first argument).
-    pub fn iter_first(&self, key: &Term) -> impl Iterator<Item = &Tuple> {
-        self.idx0
-            .get(key)
-            .into_iter()
-            .flatten()
-            .map(move |&i| &self.tuples[i as usize])
+    pub fn iter_first<'a>(&'a self, key: &'a Term) -> impl Iterator<Item = &'a Tuple> {
+        self.iter_bound(&[(0, key)])
+    }
+
+    /// Number of indexes currently built (diagnostics).
+    pub fn index_count(&self) -> usize {
+        self.indexes.borrow().len()
     }
 
     /// Number of tuples.
@@ -123,15 +206,27 @@ impl FactStore {
         self.rels.values().all(Relation::is_empty)
     }
 
-    /// Merges every fact of `other` into `self`; returns how many were new.
+    /// Merges every fact of `other` into `self`, relation by relation
+    /// (one predicate lookup per relation, with capacity reserved up
+    /// front); returns how many facts were new.
     pub fn absorb(&mut self, other: &FactStore) -> usize {
         let mut added = 0;
-        for (p, t) in other.iter() {
-            if self.insert(p, t.clone()) {
-                added += 1;
+        for (&p, rel) in &other.rels {
+            if rel.is_empty() {
+                continue;
             }
+            added += self.rels.entry(p).or_default().extend_from(rel);
         }
         added
+    }
+
+    /// Merges only `pred`'s relation from `other`; returns how many facts
+    /// were new.
+    pub fn absorb_pred(&mut self, pred: Sym, other: &FactStore) -> usize {
+        match other.rels.get(&pred) {
+            Some(rel) if !rel.is_empty() => self.rels.entry(pred).or_default().extend_from(rel),
+            _ => 0,
+        }
     }
 }
 
@@ -170,6 +265,65 @@ mod tests {
     }
 
     #[test]
+    fn multi_column_index_interleaved_inserts_and_probes() {
+        let mut syms = Interner::new();
+        let a = Term::Const(syms.intern("a"));
+        let b = Term::Const(syms.intern("b"));
+        let c = Term::Const(syms.intern("c"));
+        let mut r = Relation::new();
+        r.insert(t(&[a.clone(), b.clone(), c.clone()]));
+        r.insert(t(&[a.clone(), c.clone(), c.clone()]));
+        // First probe on {0,2} builds that index.
+        assert!(r.ensure_index(&[0, 2]));
+        assert!(!r.ensure_index(&[0, 2]), "second ensure is a no-op");
+        assert_eq!(r.iter_bound(&[(0, &a), (2, &c)]).count(), 2);
+        // Inserts after the build must be visible to later probes.
+        r.insert(t(&[a.clone(), a.clone(), c.clone()]));
+        r.insert(t(&[b.clone(), b.clone(), c.clone()]));
+        assert_eq!(r.iter_bound(&[(0, &a), (2, &c)]).count(), 3);
+        assert_eq!(r.iter_bound(&[(0, &b), (2, &c)]).count(), 1);
+        // A different column set is an independent index; binding order
+        // does not matter.
+        assert_eq!(r.iter_bound(&[(1, &b)]).count(), 2);
+        assert_eq!(r.iter_bound(&[(2, &c), (1, &a)]).count(), 1);
+        r.insert(t(&[c.clone(), b.clone(), a.clone()]));
+        assert_eq!(r.iter_bound(&[(1, &b)]).count(), 3);
+        // Missing keys yield nothing.
+        assert_eq!(r.iter_bound(&[(0, &c), (2, &c)]).count(), 0);
+        assert_eq!(r.index_count(), 3);
+    }
+
+    #[test]
+    fn index_skips_short_tuples() {
+        let mut syms = Interner::new();
+        let a = Term::Const(syms.intern("a"));
+        let b = Term::Const(syms.intern("b"));
+        let mut r = Relation::new();
+        r.insert(t(std::slice::from_ref(&a)));
+        r.insert(t(&[a.clone(), b.clone()]));
+        // Index on column 1: the unary tuple is simply absent.
+        assert_eq!(r.iter_bound(&[(1, &b)]).count(), 1);
+        // Maintenance also skips short tuples.
+        r.insert(t(std::slice::from_ref(&b)));
+        r.insert(t(&[b.clone(), b.clone()]));
+        assert_eq!(r.iter_bound(&[(1, &b)]).count(), 2);
+    }
+
+    #[test]
+    fn extend_from_counts_new() {
+        let mut syms = Interner::new();
+        let a = Term::Const(syms.intern("a"));
+        let b = Term::Const(syms.intern("b"));
+        let mut r1 = Relation::new();
+        r1.insert(t(std::slice::from_ref(&a)));
+        let mut r2 = Relation::new();
+        r2.insert(t(std::slice::from_ref(&a)));
+        r2.insert(t(std::slice::from_ref(&b)));
+        assert_eq!(r1.extend_from(&r2), 1);
+        assert_eq!(r1.len(), 2);
+    }
+
+    #[test]
     fn store_absorb_counts_new() {
         let mut syms = Interner::new();
         let p = syms.intern("p");
@@ -182,6 +336,23 @@ mod tests {
         s2.insert(p, t(std::slice::from_ref(&b)));
         assert_eq!(s1.absorb(&s2), 1);
         assert_eq!(s1.len(), 2);
+    }
+
+    #[test]
+    fn absorb_maintains_existing_indexes() {
+        let mut syms = Interner::new();
+        let p = syms.intern("p");
+        let a = Term::Const(syms.intern("a"));
+        let b = Term::Const(syms.intern("b"));
+        let mut s1 = FactStore::new();
+        s1.insert(p, t(&[a.clone(), a.clone()]));
+        // Build an index, then absorb more facts into the same relation.
+        assert_eq!(s1.relation(p).unwrap().iter_first(&a).count(), 1);
+        let mut s2 = FactStore::new();
+        s2.insert(p, t(&[a.clone(), b.clone()]));
+        s2.insert(p, t(&[b.clone(), b.clone()]));
+        assert_eq!(s1.absorb(&s2), 2);
+        assert_eq!(s1.relation(p).unwrap().iter_first(&a).count(), 2);
     }
 
     #[test]

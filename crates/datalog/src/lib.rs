@@ -50,7 +50,7 @@ mod wfs;
 
 pub use atom::{AggFunc, Aggregate, Atom, BodyItem, CmpOp, Expr};
 pub use error::{DatalogError, Result};
-pub use eval::{EvalOptions, EvalStats, Model};
+pub use eval::{EvalOptions, EvalProfile, EvalStats, Model, RulePlan, StratumProfile};
 pub use explain::{Derivation, DerivationStep};
 pub use fact::{FactStore, Relation, Tuple};
 pub use interner::{Interner, Sym};
@@ -199,6 +199,107 @@ impl Engine {
         self.run_rules(&relevant, opts)
     }
 
+    /// Like [`Engine::run_for`], but evaluates on top of a cached `base`
+    /// model (the cross-query cache layer): predicates whose inputs did
+    /// not change since `base` was computed are *seeded* from it and their
+    /// strata skipped outright; only query-relevant strata that can differ
+    /// are re-evaluated.
+    ///
+    /// # Contract
+    /// `base` must be a model of a subprogram of this engine's rules over
+    /// a **subset** of this engine's EDB (facts and rules may have been
+    /// added since, never removed or changed), and rules present here but
+    /// absent from the base program may only define predicates that have
+    /// no facts in `base`. Under that contract the result equals
+    /// [`Engine::run_for`] from scratch.
+    ///
+    /// Soundness of the predicate analysis: starting from predicates whose
+    /// EDB grew (or whose defining rules are new), a *positive* edge from
+    /// a grown predicate can only add facts to its head (grown, monotone);
+    /// any edge from an unstable predicate, or a negation/aggregate edge
+    /// from a grown one, makes the head *unstable* (facts may appear or
+    /// vanish). Stable predicates keep their base extension exactly, so
+    /// seeding them is exact and their strata need no evaluation.
+    ///
+    /// Falls back to a plain [`Engine::run_for`] when `base_cache` is off,
+    /// the relevant subprogram needs the well-founded evaluator, or the
+    /// base model has undefined atoms.
+    pub fn run_for_seeded(&self, goals: &[Sym], base: &Model, opts: &EvalOptions) -> Result<Model> {
+        use std::collections::HashSet;
+        if !opts.base_cache {
+            return self.run_for(goals, opts);
+        }
+        let relevant = self.relevant_rules(goals);
+        let strat = program::stratify(&relevant, |s| self.syms.resolve(s).to_string())?;
+        if strat.needs_wfs || !base.undefined.is_empty() {
+            return self.run_rules(&relevant, opts);
+        }
+        // Seed set Δ: predicates whose EDB holds facts absent from the
+        // base model, plus heads with no base extension (covers new rules).
+        let mut grown: HashSet<Sym> = HashSet::new();
+        let mut unstable: HashSet<Sym> = HashSet::new();
+        for p in self.edb.predicates() {
+            let Some(rel) = self.edb.relation(p) else {
+                continue;
+            };
+            let novel = match base.facts.relation(p) {
+                Some(b) => rel.iter().any(|t| !b.contains(t)),
+                None => !rel.is_empty(),
+            };
+            if novel {
+                grown.insert(p);
+            }
+        }
+        for r in &relevant {
+            if base.facts.relation(r.head.pred).is_none() {
+                grown.insert(r.head.pred);
+            }
+        }
+        // Propagate along dependency edges to a fixpoint.
+        let mut deps: Vec<(Sym, Sym, bool)> = Vec::new();
+        for r in &relevant {
+            collect_dep_edges(&r.body, r.head.pred, false, &mut deps);
+        }
+        loop {
+            let mut changed = false;
+            for &(h, b, nonmono) in &deps {
+                if unstable.contains(&b) || (nonmono && grown.contains(&b)) {
+                    changed |= unstable.insert(h);
+                    changed |= grown.insert(h);
+                } else if grown.contains(&b) {
+                    changed |= grown.insert(h);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Seed every stable or monotonically-grown predicate the relevant
+        // subprogram touches; unstable predicates are recomputed from
+        // scratch.
+        let mut touched: HashSet<Sym> = goals.iter().copied().collect();
+        for r in &relevant {
+            touched.insert(r.head.pred);
+            collect_body_preds(&r.body, &mut touched);
+        }
+        let mut edb = self.edb.clone();
+        let mut seeded = 0usize;
+        for &p in &touched {
+            if !unstable.contains(&p) {
+                seeded += edb.absorb_pred(p, &base.facts);
+            }
+        }
+        let stable: HashSet<Sym> = touched
+            .iter()
+            .copied()
+            .filter(|p| !grown.contains(p) && !unstable.contains(p))
+            .collect();
+        let mut model =
+            eval::eval_stratified_skipping(&relevant, &strat, &edb, opts, Some(&stable))?;
+        model.profile.seeded = seeded;
+        Ok(model)
+    }
+
     fn run_rules(&self, rules: &[Rule], opts: &EvalOptions) -> Result<Model> {
         let strat = program::stratify(rules, |s| self.syms.resolve(s).to_string())?;
         if strat.needs_wfs {
@@ -243,6 +344,25 @@ impl Engine {
     /// Renders a ground term for display.
     pub fn show(&self, t: &Term) -> String {
         t.display(&self.syms).to_string()
+    }
+}
+
+/// Records `(head, body-pred, non-monotone?)` dependency edges. Negated
+/// atoms and everything inside an aggregate body are non-monotone: more
+/// facts underneath can *remove* facts from the head.
+fn collect_dep_edges(
+    items: &[BodyItem],
+    head: Sym,
+    nonmono: bool,
+    out: &mut Vec<(Sym, Sym, bool)>,
+) {
+    for item in items {
+        match item {
+            BodyItem::Pos(a) => out.push((head, a.pred, nonmono)),
+            BodyItem::Neg(a) => out.push((head, a.pred, true)),
+            BodyItem::Agg(agg) => collect_dep_edges(&agg.body, head, true, out),
+            BodyItem::Cmp(..) | BodyItem::Assign(..) => {}
+        }
     }
 }
 
@@ -298,6 +418,78 @@ mod tests {
         let cnt = e.lookup("cnt").unwrap();
         let m = e.run_for(&[cnt], &EvalOptions::default()).unwrap();
         assert!(m.holds(cnt, &[Term::Int(1)]));
+    }
+
+    #[test]
+    fn run_for_seeded_matches_scratch_and_skips_stable_strata() {
+        use std::collections::HashSet;
+        let mut e = Engine::new();
+        e.load(
+            "e(a,b). e(b,c). e(c,d). m(a).
+             tc(X,Y) :- e(X,Y).
+             tc(X,Y) :- tc(X,Z), e(Z,Y).",
+        )
+        .unwrap();
+        let opts = EvalOptions::default();
+        let base = e.run(&opts).unwrap();
+        // Query time: a new fact for the negated predicate and a new view
+        // rule, but nothing feeding `tc`.
+        e.load("m(c). view(X) :- tc(a,X), not m(X).").unwrap();
+        let view = e.lookup("view").unwrap();
+        let tc = e.lookup("tc").unwrap();
+        let warm = e.run_for_seeded(&[view], &base, &opts).unwrap();
+        let cold = e.run_for(&[view], &opts).unwrap();
+        let wset: HashSet<Tuple> = warm.tuples(view).into_iter().collect();
+        let cset: HashSet<Tuple> = cold.tuples(view).into_iter().collect();
+        assert_eq!(wset, cset);
+        assert_eq!(wset.len(), 2); // tc(a,·) = {b,c,d}, minus m = {a,c}
+                                   // tc was seeded from the base model, not re-derived.
+        assert!(warm.profile.seeded > 0);
+        assert!(warm
+            .profile
+            .strata
+            .iter()
+            .any(|s| s.skipped && s.preds.contains(&tc)));
+        let a = e.constant("a");
+        let d = e.constant("d");
+        assert!(warm.holds(tc, &[a, d]));
+        // Ablation: with the cache layer off, the same call degenerates to
+        // run_for and still agrees.
+        let nocache = e
+            .run_for_seeded(
+                &[view],
+                &base,
+                &EvalOptions {
+                    base_cache: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let nset: HashSet<Tuple> = nocache.tuples(view).into_iter().collect();
+        assert_eq!(nset, cset);
+    }
+
+    #[test]
+    fn run_for_seeded_invalidates_through_negation() {
+        let mut e = Engine::new();
+        e.load(
+            "n(a). n(b).
+             good(X) :- n(X), not bad(X).",
+        )
+        .unwrap();
+        let opts = EvalOptions::default();
+        let base = e.run(&opts).unwrap();
+        let good = e.lookup("good").unwrap();
+        assert_eq!(base.tuples(good).len(), 2);
+        // bad(a) arrives after the base model was computed: good(a) from
+        // the base must NOT survive seeding.
+        e.load("bad(a).").unwrap();
+        let warm = e.run_for_seeded(&[good], &base, &opts).unwrap();
+        let b = e.constant("b");
+        let a = e.constant("a");
+        assert!(warm.holds(good, &[b]));
+        assert!(!warm.holds(good, &[a]));
+        assert_eq!(warm.tuples(good).len(), 1);
     }
 
     #[test]

@@ -73,6 +73,111 @@ impl Rule {
         Rule::compile(head, Vec::new(), 0, Vec::new())
     }
 
+    /// Greedily reorders the body for evaluation — a sideways-information-
+    /// passing order: repeatedly pick the positive atom with the most
+    /// arguments fully bound by the items scheduled so far, breaking ties
+    /// toward the smaller estimated relation (`card`) and then source
+    /// order. Guards (negation, comparison, assignment) are flushed as soon
+    /// as their variables are bound; aggregates keep their phase-2
+    /// placement, exactly as in [`Rule::compile`].
+    ///
+    /// Returns the reordered rule plus, for each new body position, the
+    /// index of that item in the compiled body (the *join order*, recorded
+    /// in the evaluation profile). Falls back to the compiled order if the
+    /// greedy schedule cannot place every item (it always can for rules
+    /// that passed [`Rule::compile`]).
+    pub fn reorder(
+        &self,
+        mut card: impl FnMut(crate::interner::Sym) -> usize,
+    ) -> (Rule, Vec<usize>) {
+        use std::cmp::Reverse;
+        fn term_bound(t: &Term, bound: &HashSet<Var>) -> bool {
+            let mut vars = Vec::new();
+            t.collect_vars(&mut vars);
+            vars.iter().all(|v| bound.contains(v))
+        }
+        fn flush(
+            body: &[BodyItem],
+            remaining: &mut Vec<usize>,
+            bound: &mut HashSet<Var>,
+            order: &mut Vec<usize>,
+        ) {
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                let mut i = 0;
+                while i < remaining.len() {
+                    let item = &body[remaining[i]];
+                    let ready = match item {
+                        BodyItem::Pos(_) | BodyItem::Agg(_) => false,
+                        other => other.required_vars().iter().all(|v| bound.contains(v)),
+                    };
+                    if ready {
+                        let oi = remaining.remove(i);
+                        bound.extend(body[oi].provided_vars());
+                        order.push(oi);
+                        progressed = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let n = self.body.len();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut bound: HashSet<Var> = HashSet::new();
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        // Phase 1: positives by bound-argument count then cardinality,
+        // guards flushed eagerly.
+        loop {
+            flush(&self.body, &mut remaining, &mut bound, &mut order);
+            let best = remaining
+                .iter()
+                .enumerate()
+                .filter_map(|(ri, &oi)| match &self.body[oi] {
+                    BodyItem::Pos(atom) => {
+                        let bound_args = atom.args.iter().filter(|a| term_bound(a, &bound)).count();
+                        Some((ri, oi, bound_args, card(atom.pred)))
+                    }
+                    _ => None,
+                })
+                .max_by_key(|&(_, oi, bound_args, size)| (bound_args, Reverse(size), Reverse(oi)));
+            match best {
+                Some((ri, oi, _, _)) => {
+                    remaining.remove(ri);
+                    bound.extend(self.body[oi].provided_vars());
+                    order.push(oi);
+                }
+                None => break,
+            }
+        }
+        // Phase 2: aggregates in source order, flushing newly-ready guards.
+        while let Some(ri) = remaining
+            .iter()
+            .position(|&oi| matches!(self.body[oi], BodyItem::Agg(_)))
+        {
+            let oi = remaining.remove(ri);
+            bound.extend(self.body[oi].provided_vars());
+            order.push(oi);
+            flush(&self.body, &mut remaining, &mut bound, &mut order);
+        }
+        if !remaining.is_empty() {
+            debug_assert!(false, "compiled rule failed to reschedule");
+            return (self.clone(), (0..n).collect());
+        }
+        let body = order.iter().map(|&i| self.body[i].clone()).collect();
+        (
+            Rule {
+                head: self.head.clone(),
+                body,
+                nvars: self.nvars,
+                var_names: self.var_names.clone(),
+            },
+            order,
+        )
+    }
+
     /// Indices (into `body`) of the positive atoms, in plan order.
     pub fn positive_atom_indices(&self) -> Vec<usize> {
         self.body
@@ -398,6 +503,67 @@ mod tests {
         ];
         let r = Rule::compile(head, body, 2, vec!["X".into(), "Y".into()]).unwrap();
         assert!(matches!(r.body[1], BodyItem::Cmp(..)), "plan: {:?}", r.body);
+    }
+
+    #[test]
+    fn reorder_prefers_bound_then_small_relations() {
+        let mut syms = Interner::new();
+        let big = syms.intern("big");
+        let link = syms.intern("link");
+        let tiny = syms.intern("tiny");
+        let p = syms.intern("p");
+        let head = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let body = vec![
+            BodyItem::Pos(Atom::new(big, vec![Term::Var(Var(0))])),
+            BodyItem::Pos(Atom::new(link, vec![Term::Var(Var(0)), Term::Var(Var(1))])),
+            BodyItem::Pos(Atom::new(tiny, vec![Term::Var(Var(1))])),
+        ];
+        let r = Rule::compile(head, body, 2, vec!["X".into(), "Y".into()]).unwrap();
+        // Nothing bound at the start: pick the smallest relation (tiny),
+        // which binds Y; link then has a bound argument, big none.
+        let (planned, order) = r.reorder(|s| {
+            if s == big {
+                1000
+            } else if s == link {
+                10
+            } else {
+                1
+            }
+        });
+        assert_eq!(order, vec![2, 1, 0]);
+        assert!(matches!(&planned.body[0], BodyItem::Pos(a) if a.pred == tiny));
+        assert!(matches!(&planned.body[2], BodyItem::Pos(a) if a.pred == big));
+    }
+
+    #[test]
+    fn reorder_flushes_guards_once_bound() {
+        let mut syms = Interner::new();
+        let q = syms.intern("q");
+        let r_ = syms.intern("r");
+        let m = syms.intern("m");
+        let p = syms.intern("p");
+        let head = Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let body = vec![
+            BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(0))])),
+            BodyItem::Neg(Atom::new(m, vec![Term::Var(Var(1))])),
+            BodyItem::Pos(Atom::new(r_, vec![Term::Var(Var(1))])),
+        ];
+        let rule = Rule::compile(head, body, 2, vec!["X".into(), "Y".into()]).unwrap();
+        // Compiled order: q, r, not m. Reorder with r much smaller than q:
+        // r first, the negation flushes right after it, q last.
+        let (planned, order) = rule.reorder(|s| if s == q { 100 } else { 1 });
+        assert_eq!(order, vec![1, 2, 0]);
+        assert!(matches!(planned.body[1], BodyItem::Neg(_)));
+    }
+
+    #[test]
+    fn reorder_identity_when_order_already_best() {
+        let (_syms, p, q) = setup();
+        let head = Atom::new(p, vec![Term::Var(Var(0))]);
+        let body = vec![BodyItem::Pos(Atom::new(q, vec![Term::Var(Var(0))]))];
+        let r = Rule::compile(head, body, 1, vec!["X".into()]).unwrap();
+        let (_, order) = r.reorder(|_| 1);
+        assert_eq!(order, vec![0]);
     }
 
     #[test]

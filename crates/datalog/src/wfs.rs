@@ -14,9 +14,10 @@
 //! *undefined* ones.
 
 use crate::error::{DatalogError, Result};
-use crate::eval::{gamma, EvalOptions, EvalStats, Model};
+use crate::eval::{gamma, plan_rule, EvalOptions, EvalProfile, EvalStats, Model, StratumProfile};
 use crate::fact::FactStore;
 use crate::rule::Rule;
+use std::collections::HashSet;
 
 /// Evaluates `rules` over `edb` under the well-founded semantics.
 pub(crate) fn eval_well_founded(
@@ -25,6 +26,22 @@ pub(crate) fn eval_well_founded(
     opts: &EvalOptions,
 ) -> Result<Model> {
     let mut stats = EvalStats::default();
+    // Join planning happens once against the EDB: the reduct is
+    // re-evaluated many times, with every IDB predicate costed as
+    // unbounded (its extension varies across sweeps).
+    let idb: HashSet<crate::interner::Sym> = rules.iter().map(|r| r.head.pred).collect();
+    let planned: Vec<(Rule, crate::eval::RulePlan)> = rules
+        .iter()
+        .map(|r| plan_rule(r, edb, &idb, opts))
+        .collect();
+    let rules: Vec<Rule> = planned.iter().map(|(r, _)| r.clone()).collect();
+    let mut summary = StratumProfile {
+        preds: idb.iter().copied().collect(),
+        recursive: true,
+        plans: planned.into_iter().map(|(_, p)| p).collect(),
+        ..Default::default()
+    };
+    let counters = crate::eval::IndexCounters::default();
     let mut lower = edb.clone();
     let mut sweeps = 0usize;
     loop {
@@ -34,8 +51,8 @@ pub(crate) fn eval_well_founded(
                 limit: opts.max_iterations,
             });
         }
-        let upper = gamma(rules, edb, &lower, &mut stats, opts)?;
-        let new_lower = gamma(rules, edb, &upper, &mut stats, opts)?;
+        let upper = gamma(&rules, edb, &lower, &mut stats, &counters, opts)?;
+        let new_lower = gamma(&rules, edb, &upper, &mut stats, &counters, opts)?;
         // The lower sequence is monotonically increasing, so size equality
         // implies set equality.
         if new_lower.len() == lower.len() {
@@ -45,10 +62,21 @@ pub(crate) fn eval_well_founded(
                     undefined.insert(p, t.clone());
                 }
             }
+            counters.fold_into(&mut stats);
+            summary.iterations = stats.iterations;
+            summary.derived = stats.derived;
+            summary.index_builds = stats.index_builds;
+            summary.index_hits = stats.index_hits;
+            summary.index_misses = stats.index_misses;
             return Ok(Model {
                 facts: new_lower,
                 undefined,
                 stats,
+                profile: EvalProfile {
+                    strata: vec![summary],
+                    well_founded: true,
+                    seeded: 0,
+                },
             });
         }
         lower = new_lower;

@@ -9,7 +9,34 @@
 //! definite concept-level link.
 
 use crate::graph::{DomainMap, EdgeKind, NodeId, NodeKind};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+/// A write-once memo table with a read API on `&self`.
+type Memo<K, V> = RefCell<HashMap<K, V>>;
+/// Memo key for a per-role, per-node closure.
+type RoleNode = (String, NodeId);
+/// A shared node-set result (ancestor/descendant cones).
+type NodeSet = Rc<HashSet<NodeId>>;
+
+/// Memo tables for the closure operations. A [`Resolved`] view is
+/// immutable once built — any change to the domain map rebuilds it from
+/// scratch ([`Resolved::new`]), which is the cache-invalidation rule — so
+/// every entry is write-once and shared results can be handed out as
+/// `Rc`s. Interior mutability keeps the read API on `&self`.
+#[derive(Debug, Clone, Default)]
+struct Caches {
+    ancestors: Memo<NodeId, NodeSet>,
+    descendants: Memo<NodeId, NodeSet>,
+    lub: Memo<Vec<NodeId>, Option<NodeId>>,
+    glb: Memo<Vec<NodeId>, Option<NodeId>>,
+    plub: Memo<(String, Vec<NodeId>), Option<NodeId>>,
+    pan: Memo<RoleNode, NodeSet>,
+    dc_pairs: Memo<String, Rc<Vec<(NodeId, NodeId)>>>,
+    dc_children: Memo<RoleNode, Rc<Vec<NodeId>>>,
+    down: Memo<RoleNode, Rc<Vec<NodeId>>>,
+}
 
 /// A flattened, named-concept-only view of a domain map.
 #[derive(Debug, Clone)]
@@ -25,6 +52,8 @@ pub struct Resolved {
     /// Role name → target node → sources (reverse adjacency).
     role_in: HashMap<String, HashMap<NodeId, Vec<NodeId>>>,
     node_count: usize,
+    /// Closure memo tables (see [`Caches`]).
+    caches: Caches,
 }
 
 impl Resolved {
@@ -101,6 +130,7 @@ impl Resolved {
             role_out,
             role_in,
             node_count: n,
+            caches: Caches::default(),
         }
     }
 
@@ -114,14 +144,31 @@ impl Resolved {
         &self.isa_down[n.index()]
     }
 
-    /// All ancestors of `n` (reflexive: includes `n`).
-    pub fn ancestors(&self, n: NodeId) -> HashSet<NodeId> {
-        self.reach(n, |x| &self.isa_up[x.index()])
+    /// All ancestors of `n` (reflexive: includes `n`). Memoized: repeat
+    /// calls share one allocation.
+    pub fn ancestors(&self, n: NodeId) -> Rc<HashSet<NodeId>> {
+        if let Some(hit) = self.caches.ancestors.borrow().get(&n) {
+            return Rc::clone(hit);
+        }
+        let set = Rc::new(self.reach(n, |x| &self.isa_up[x.index()]));
+        self.caches
+            .ancestors
+            .borrow_mut()
+            .insert(n, Rc::clone(&set));
+        set
     }
 
-    /// All descendants of `n` (reflexive: includes `n`).
-    pub fn descendants(&self, n: NodeId) -> HashSet<NodeId> {
-        self.reach(n, |x| &self.isa_down[x.index()])
+    /// All descendants of `n` (reflexive: includes `n`). Memoized.
+    pub fn descendants(&self, n: NodeId) -> Rc<HashSet<NodeId>> {
+        if let Some(hit) = self.caches.descendants.borrow().get(&n) {
+            return Rc::clone(hit);
+        }
+        let set = Rc::new(self.reach(n, |x| &self.isa_down[x.index()]));
+        self.caches
+            .descendants
+            .borrow_mut()
+            .insert(n, Rc::clone(&set));
+        set
     }
 
     fn reach<'a>(
@@ -157,9 +204,23 @@ impl Resolved {
     /// so the result is deterministic. `None` for an empty input or when
     /// no common ancestor exists.
     pub fn lub(&self, nodes: &[NodeId]) -> Option<NodeId> {
+        // Order- and multiplicity-insensitive, so a sorted deduped key is
+        // a sound cache key.
+        let mut key = nodes.to_vec();
+        key.sort();
+        key.dedup();
+        if let Some(&hit) = self.caches.lub.borrow().get(&key) {
+            return hit;
+        }
+        let result = self.lub_uncached(&key);
+        self.caches.lub.borrow_mut().insert(key, result);
+        result
+    }
+
+    fn lub_uncached(&self, nodes: &[NodeId]) -> Option<NodeId> {
         let mut iter = nodes.iter();
         let first = *iter.next()?;
-        let mut common = self.ancestors(first);
+        let mut common = (*self.ancestors(first)).clone();
         for &n in iter {
             let a = self.ancestors(n);
             common.retain(|x| a.contains(x));
@@ -184,9 +245,21 @@ impl Resolved {
 
     /// The greatest lower bound (dual of [`Self::lub`]).
     pub fn glb(&self, nodes: &[NodeId]) -> Option<NodeId> {
+        let mut key = nodes.to_vec();
+        key.sort();
+        key.dedup();
+        if let Some(&hit) = self.caches.glb.borrow().get(&key) {
+            return hit;
+        }
+        let result = self.glb_uncached(&key);
+        self.caches.glb.borrow_mut().insert(key, result);
+        result
+    }
+
+    fn glb_uncached(&self, nodes: &[NodeId]) -> Option<NodeId> {
         let mut iter = nodes.iter();
         let first = *iter.next()?;
-        let mut common = self.descendants(first);
+        let mut common = (*self.descendants(first)).clone();
         for &n in iter {
             let d = self.descendants(n);
             common.retain(|x| d.contains(x));
@@ -223,20 +296,28 @@ impl Resolved {
     /// set of all inferable *direct* links — the paper's `has_a_star`
     /// when `role = "has_a"`.
     pub fn dc_pairs(&self, role: &str) -> Vec<(NodeId, NodeId)> {
-        let base = self.role_pairs(role);
+        if let Some(hit) = self.caches.dc_pairs.borrow().get(role) {
+            return (**hit).clone();
+        }
+        let base = self.role_pairs(role).to_vec();
         let mut out: HashSet<(NodeId, NodeId)> = HashSet::new();
-        for &(x, y) in base {
+        for &(x, y) in &base {
             // dc(R)(X,Y) :- tc(isa)(X,Z), R(Z,Y): X any descendant of x.
             // dc(R)(X,Y) :- R(X,Z), tc(isa)(Z,Y): Y any ancestor of y.
             // Base included; both propagations composed.
+            let anc = self.ancestors(y);
             for &x2 in self.descendants(x).iter() {
-                for &y2 in self.ancestors(y).iter() {
+                for &y2 in anc.iter() {
                     out.insert((x2, y2));
                 }
             }
         }
         let mut v: Vec<_> = out.into_iter().collect();
         v.sort();
+        self.caches
+            .dc_pairs
+            .borrow_mut()
+            .insert(role.to_string(), Rc::new(v.clone()));
         v
     }
 
@@ -244,11 +325,18 @@ impl Resolved {
     /// links" used for recursive traversal instead of materializing
     /// `tc(has_a_star)` (which the paper calls wasteful).
     pub fn dc_children(&self, role: &str, n: NodeId) -> Vec<NodeId> {
+        (*self.dc_children_rc(role, n)).clone()
+    }
+
+    fn dc_children_rc(&self, role: &str, n: NodeId) -> Rc<Vec<NodeId>> {
+        if let Some(hit) = self.caches.dc_children.borrow().get(&(role.to_string(), n)) {
+            return Rc::clone(hit);
+        }
         // Links whose source is n or any ancestor of n are inherited
         // down to n; collect their targets via the forward index.
         let mut out = HashSet::new();
         if let Some(adj) = self.role_out.get(role) {
-            for a in self.ancestors(n) {
+            for &a in self.ancestors(n).iter() {
                 if let Some(ts) = adj.get(&a) {
                     out.extend(ts.iter().copied());
                 }
@@ -256,13 +344,25 @@ impl Resolved {
         }
         let mut v: Vec<_> = out.into_iter().collect();
         v.sort();
-        v
+        let rc = Rc::new(v);
+        self.caches
+            .dc_children
+            .borrow_mut()
+            .insert((role.to_string(), n), Rc::clone(&rc));
+        rc
     }
 
     /// The **downward closure** along `dc(role)` from `root`: every
     /// concept reachable by recursively following inferable direct links
     /// (the "region of correspondence" computation of §5 step 4).
     pub fn downward_closure(&self, role: &str, root: NodeId) -> Vec<NodeId> {
+        (*self.downward_closure_rc(role, root)).clone()
+    }
+
+    fn downward_closure_rc(&self, role: &str, root: NodeId) -> Rc<Vec<NodeId>> {
+        if let Some(hit) = self.caches.down.borrow().get(&(role.to_string(), root)) {
+            return Rc::clone(hit);
+        }
         let mut seen = HashSet::new();
         let mut order = Vec::new();
         let mut queue = VecDeque::new();
@@ -270,7 +370,7 @@ impl Resolved {
         queue.push_back(root);
         while let Some(x) = queue.pop_front() {
             order.push(x);
-            for y in self.dc_children(role, x) {
+            for &y in self.dc_children_rc(role, x).iter() {
                 if seen.insert(y) {
                     queue.push_back(y);
                 }
@@ -282,7 +382,12 @@ impl Resolved {
                 }
             }
         }
-        order
+        let rc = Rc::new(order);
+        self.caches
+            .down
+            .borrow_mut()
+            .insert((role.to_string(), root), Rc::clone(&rc));
+        rc
     }
 
     /// The partonomy-ancestors of `n` under `role` (reflexive): every
@@ -290,7 +395,10 @@ impl Resolved {
     /// step inverts the closure's two downward steps: follow a role link
     /// `(s, n)` up to `s` and all its isa-descendants (they inherit the
     /// link), or step to an isa-parent.
-    pub fn partonomy_ancestors(&self, role: &str, n: NodeId) -> HashSet<NodeId> {
+    pub fn partonomy_ancestors(&self, role: &str, n: NodeId) -> Rc<HashSet<NodeId>> {
+        if let Some(hit) = self.caches.pan.borrow().get(&(role.to_string(), n)) {
+            return Rc::clone(hit);
+        }
         let mut seen = HashSet::new();
         let mut queue = VecDeque::new();
         seen.insert(n);
@@ -298,7 +406,7 @@ impl Resolved {
         while let Some(x) = queue.pop_front() {
             if let Some(srcs) = self.role_in.get(role).and_then(|m| m.get(&x)) {
                 for s in srcs {
-                    for d in self.descendants(*s) {
+                    for &d in self.descendants(*s).iter() {
                         if seen.insert(d) {
                             queue.push_back(d);
                         }
@@ -311,7 +419,12 @@ impl Resolved {
                 }
             }
         }
-        seen
+        let rc = Rc::new(seen);
+        self.caches
+            .pan
+            .borrow_mut()
+            .insert((role.to_string(), n), Rc::clone(&rc));
+        rc
     }
 
     /// The **least upper bound in the partonomy order** (§5 step 4): the
@@ -319,9 +432,22 @@ impl Resolved {
     /// `role` contains every given concept. Deterministic tie-break by
     /// node id.
     pub fn partonomy_lub(&self, role: &str, nodes: &[NodeId]) -> Option<NodeId> {
+        let mut key = nodes.to_vec();
+        key.sort();
+        key.dedup();
+        let full_key = (role.to_string(), key);
+        if let Some(&hit) = self.caches.plub.borrow().get(&full_key) {
+            return hit;
+        }
+        let result = self.partonomy_lub_uncached(role, &full_key.1);
+        self.caches.plub.borrow_mut().insert(full_key, result);
+        result
+    }
+
+    fn partonomy_lub_uncached(&self, role: &str, nodes: &[NodeId]) -> Option<NodeId> {
         let mut iter = nodes.iter();
         let first = *iter.next()?;
-        let mut common = self.partonomy_ancestors(role, first);
+        let mut common = (*self.partonomy_ancestors(role, first)).clone();
         for &n in iter {
             let a = self.partonomy_ancestors(role, n);
             common.retain(|x| a.contains(x));
@@ -401,7 +527,7 @@ impl Resolved {
             let mut total = 0i64;
             while let Some(x) = q.pop_front() {
                 total += values.get(&x).copied().unwrap_or(0);
-                for y in self.dc_children(role, x) {
+                for &y in self.dc_children_rc(role, x).iter() {
                     if region_set.contains(&y) && seen.insert(y) {
                         q.push_back(y);
                     }
@@ -596,6 +722,33 @@ mod tests {
         assert!(r.is_subconcept(a, b));
         assert!(r.is_subconcept(b, a));
         assert_eq!(r.lub(&[a, b]), Some(a.min(b)));
+    }
+
+    #[test]
+    fn closures_are_memoized_and_stable() {
+        let (dm, r) = anatomy();
+        let pc = dm.lookup("Purkinje_Cell").unwrap();
+        let neuron = dm.lookup("Neuron").unwrap();
+        // Repeat calls return the shared cached allocation…
+        assert!(Rc::ptr_eq(&r.ancestors(pc), &r.ancestors(pc)));
+        assert!(Rc::ptr_eq(&r.descendants(neuron), &r.descendants(neuron)));
+        assert!(Rc::ptr_eq(
+            &r.partonomy_ancestors("has_a", pc),
+            &r.partonomy_ancestors("has_a", pc)
+        ));
+        // …and cached results agree with themselves across call styles.
+        assert_eq!(r.dc_pairs("has_a"), r.dc_pairs("has_a"));
+        assert_eq!(r.dc_children("has_a", pc), r.dc_children("has_a", pc));
+        assert_eq!(
+            r.downward_closure("has_a", neuron),
+            r.downward_closure("has_a", neuron)
+        );
+        // lub cache key is order-insensitive.
+        let py = dm.lookup("Pyramidal_Cell").unwrap();
+        assert_eq!(r.lub(&[pc, py]), r.lub(&[py, pc]));
+        // A clone shares the already-warm caches without interference.
+        let r2 = r.clone();
+        assert_eq!(*r2.ancestors(pc), *r.ancestors(pc));
     }
 
     #[test]

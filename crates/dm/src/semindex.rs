@@ -75,7 +75,7 @@ impl SemanticIndex {
     /// "Purkinje_Cell dendrite" data one level down.
     pub fn sources_below(&self, resolved: &Resolved, concept: NodeId) -> Vec<SourceId> {
         let mut out: HashSet<SourceId> = HashSet::new();
-        for d in resolved.descendants(concept) {
+        for &d in resolved.descendants(concept).iter() {
             if let Some(m) = self.by_concept.get(&d) {
                 out.extend(m.keys().copied());
             }

@@ -218,6 +218,20 @@ impl FLogic {
         self.engine.run_for(&syms, opts)
     }
 
+    /// Like [`FLogic::run_for`], but evaluated as a delta on top of a
+    /// cached `base` model (see `kind_datalog::Engine::run_for_seeded` for
+    /// the contract): strata untouched since `base` was computed are
+    /// seeded from it and skipped.
+    pub fn run_for_seeded(
+        &self,
+        goals: &[&str],
+        base: &Model,
+        opts: &EvalOptions,
+    ) -> Result<Model, DatalogError> {
+        let syms: Vec<_> = goals.iter().filter_map(|g| self.engine.lookup(g)).collect();
+        self.engine.run_for_seeded(&syms, base, opts)
+    }
+
     /// Names of all instances of `class` in the model.
     pub fn instances_of(&self, model: &Model, class: &str) -> Vec<String> {
         let Some(c) = self.engine.lookup(class) else {

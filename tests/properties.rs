@@ -1,12 +1,12 @@
 //! Property-based tests over the core data structures and invariants.
 
 use kind::core::{run_section5, Fault, NeuroSchema, Section5Query};
-use kind::datalog::{Engine, EvalOptions};
+use kind::datalog::{Engine, EvalOptions, FactStore, Model};
 use kind::dm::{DomainMap, Resolved};
-use kind::sources::{build_scenario_with_faults, ScenarioParams};
+use kind::sources::{build_scenario, build_scenario_with_faults, ScenarioParams};
 use kind::xml::{Element, Node};
 use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 // ---------- Datalog: transitive closure vs. reference BFS --------------
 
@@ -202,6 +202,125 @@ proptest! {
         let text = kind::xml::to_string(&tree);
         let doc = kind::xml::parse(&text).unwrap();
         prop_assert_eq!(doc.root, tree);
+    }
+}
+
+// ---------- Eval options: every toggle combo yields the same model ------
+
+/// All 2³ combinations of the PR's three optimization layers.
+fn all_eval_combos() -> Vec<EvalOptions> {
+    let mut v = Vec::new();
+    for &join_reorder in &[false, true] {
+        for &use_index in &[false, true] {
+            for &base_cache in &[false, true] {
+                v.push(EvalOptions {
+                    join_reorder,
+                    use_index,
+                    base_cache,
+                    ..Default::default()
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Renders a model's true and undefined facts name-resolved, so the sets
+/// are comparable across separately-built engines.
+fn rendered_model(e: &Engine, m: &Model) -> (BTreeSet<String>, BTreeSet<String>) {
+    let render = |fs: &FactStore| {
+        fs.iter()
+            .map(|(p, t)| {
+                let args: Vec<String> = t.iter().map(|x| e.show(x)).collect();
+                format!("{}({})", e.name(p), args.join(","))
+            })
+            .collect::<BTreeSet<String>>()
+    };
+    (render(&m.facts), render(&m.undefined))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A recursive program with well-founded negation must compute the
+    /// same true *and* undefined facts under every combination of
+    /// `{join_reorder, use_index, base_cache}`.
+    #[test]
+    fn eval_toggles_preserve_recursive_wfs_model(
+        moves in prop::collection::vec((0usize..7, 0usize..7), 0..20)
+    ) {
+        let mut reference: Option<(BTreeSet<String>, BTreeSet<String>)> = None;
+        for opts in all_eval_combos() {
+            let mut e = Engine::new();
+            e.load(
+                "reach(X) :- start(X).
+                 reach(Y) :- reach(X), move(X, Y).
+                 win(X) :- move(X, Y), not win(Y).",
+            )
+            .unwrap();
+            let start = e.constant("n0");
+            let sp = e.sym("start");
+            e.add_fact(sp, vec![start]).unwrap();
+            for &(a, b) in &moves {
+                let pa = e.constant(&format!("n{a}"));
+                let pb = e.constant(&format!("n{b}"));
+                let mv = e.sym("move");
+                e.add_fact(mv, vec![pa, pb]).unwrap();
+            }
+            let m = e.run(&opts).unwrap();
+            let r = rendered_model(&e, &m);
+            match &reference {
+                None => reference = Some(r),
+                Some(x) => prop_assert_eq!(&r, x),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// End-to-end: on the multiple-worlds scenario, `answer()` returns
+    /// identical tuples under every optimization-layer combination —
+    /// including repeat queries, which take the seeded warm path when
+    /// `base_cache` is on.
+    #[test]
+    fn answer_agrees_across_all_eval_option_combos(seed in 0u64..1000) {
+        let params = ScenarioParams {
+            seed,
+            senselab_rows: 4,
+            ncmir_rows: 6,
+            synapse_rows: 4,
+            noise_sources: 1,
+            noise_rows: 3,
+            ..Default::default()
+        };
+        let q1 = "big(P, A) :- X : protein_amount, X[protein_name -> P], \
+                  X[amount -> A], A >= 25.";
+        let q2 = "pair(P, N) :- X : protein_amount, X[protein_name -> P], \
+                  Y : neurotransmission, Y[neurotransmitter -> N].";
+        let mut reference: Option<Vec<BTreeSet<String>>> = None;
+        for opts in all_eval_combos() {
+            let mut m = build_scenario(&params);
+            m.set_eval_options(opts);
+            let mut results = Vec::new();
+            // q1 repeats: the second run reuses the warm base cache.
+            for q in [q1, q2, q1] {
+                let ans = m.answer(q).unwrap();
+                let rows: BTreeSet<String> = ans
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        r.iter().map(|t| m.show(t)).collect::<Vec<_>>().join(",")
+                    })
+                    .collect();
+                results.push(rows);
+            }
+            match &reference {
+                None => reference = Some(results),
+                Some(x) => prop_assert_eq!(&results, x),
+            }
+        }
     }
 }
 
