@@ -14,7 +14,7 @@ use std::hint::black_box;
 
 fn bench_plugin_translation(c: &mut Criterion) {
     let reg = PluginRegistry::with_builtins();
-    let wrappers: Vec<(&str, std::rc::Rc<dyn Wrapper>)> = vec![
+    let wrappers: Vec<(&str, std::sync::Arc<dyn Wrapper>)> = vec![
         ("er_synapse", synapse_wrapper(1, 10)),
         ("uxf_ncmir", ncmir_wrapper(1, 10)),
         ("rdfs_senselab", senselab_wrapper(1, 10)),

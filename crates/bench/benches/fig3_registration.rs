@@ -11,9 +11,9 @@ use kind_core::{Anchor, Capability, Mediator, MemoryWrapper};
 use kind_dm::{figures, ExecMode};
 use kind_gcm::GcmValue;
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn mylab_wrapper(rows: usize, with_dm_contribution: bool) -> Rc<MemoryWrapper> {
+fn mylab_wrapper(rows: usize, with_dm_contribution: bool) -> Arc<MemoryWrapper> {
     let mut w = MemoryWrapper::new("MYLAB");
     if with_dm_contribution {
         w.dm_axioms = figures::FIGURE3_REGISTRATION_AXIOMS.to_string();
@@ -38,7 +38,7 @@ fn mylab_wrapper(rows: usize, with_dm_contribution: bool) -> Rc<MemoryWrapper> {
             vec![("idx", GcmValue::Int(i as i64))],
         );
     }
-    Rc::new(w)
+    Arc::new(w)
 }
 
 fn bench_registration(c: &mut Criterion) {

@@ -24,7 +24,7 @@ fn header(s: &str) {
 
 fn main() {
     // `KIND_BENCH_FAST=1` is the CI smoke mode: skip the narrative
-    // figure/table reports and emit only BENCH_PR2.json with reduced
+    // figure/table reports and emit only BENCH_PR3.json with reduced
     // iteration counts and workload sizes.
     let fast = std::env::var("KIND_BENCH_FAST").is_ok();
     if !fast {
@@ -35,7 +35,7 @@ fn main() {
         figure3_report();
         section5_report();
     }
-    bench_pr2_report(fast);
+    bench_pr3_report(fast);
 }
 
 /// Minimum wall time of `f` over `iters` runs, in nanoseconds — the
@@ -51,12 +51,13 @@ fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
         .expect("at least one iteration")
 }
 
-/// PR 2 evaluation-pipeline benchmarks. Each entry pairs a baseline (the
-/// optimization ablated) with the optimized path and records the minimum
-/// wall time of both, plus `EvalStats` counters from a representative
-/// warm model. Results go to stdout and `BENCH_PR2.json`.
-fn bench_pr2_report(fast: bool) {
-    header("PR 2 — evaluation-pipeline benchmarks (plan / index / cache)");
+/// PR benchmark report: the PR 2 evaluation-pipeline benches (each entry
+/// pairs a baseline with the optimized path, minimum wall time of both)
+/// plus the PR 3 concurrent-snapshot throughput group, and `EvalStats`
+/// counters from a representative warm model. Results go to stdout and
+/// `BENCH_PR3.json`.
+fn bench_pr3_report(fast: bool) {
+    header("PR 3 — pipeline benchmarks + concurrent snapshot throughput");
     let iters = if fast { 5 } else { 25 };
     let (depth, fanout) = if fast { (4usize, 3usize) } else { (5, 3) };
     let mut rows: Vec<(&str, u128, u128)> = Vec::new();
@@ -170,18 +171,129 @@ fn bench_pr2_report(fast: bool) {
         );
     }
 
-    let json = render_bench_json(fast, iters, &rows, &mut m_warm);
-    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
-    println!("\nwrote BENCH_PR2.json");
+    let conc = snapshot_concurrency_bench(fast, &params);
+    let one_worker_ns = conc.first().map(|c| c.snapshot_wall_ns).unwrap_or(1);
+    println!(
+        "\n  concurrent snapshot query throughput ({} core(s) available):",
+        cores()
+    );
+    println!(
+        "  {:>7} | {:>9} | {:>13} | {:>13} | {:>9} | {:>12} | {:>8}",
+        "workers", "queries", "locked ns", "snapshot ns", "vs locked", "queries/s", "scaling"
+    );
+    for c in &conc {
+        println!(
+            "  {:>7} | {:>9} | {:>13} | {:>13} | {:>8.2}x | {:>12.0} | {:>7.2}x",
+            c.workers,
+            c.total_queries,
+            c.locked_wall_ns,
+            c.snapshot_wall_ns,
+            c.locked_wall_ns as f64 / c.snapshot_wall_ns.max(1) as f64,
+            c.total_queries as f64 / (c.snapshot_wall_ns as f64 / 1e9),
+            one_worker_ns as f64 / c.snapshot_wall_ns.max(1) as f64
+        );
+    }
+
+    let json = render_bench_json(fast, iters, &rows, &conc, &mut m_warm);
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("\nwrote BENCH_PR3.json");
+}
+
+/// One row of the concurrent-throughput group: a fixed batch of mixed FL
+/// queries split across `workers` threads, drained two ways — every
+/// thread serializing through a `Mutex<Mediator>` (the design a
+/// non-`Send + Sync` stack forces), and every thread reading one shared
+/// [`kind_core::QuerySnapshot`] lock-free.
+struct ConcRow {
+    workers: usize,
+    total_queries: usize,
+    /// Minimum wall time through the mutex-guarded mediator, in ns.
+    locked_wall_ns: u128,
+    /// Minimum wall time through the shared snapshot, in ns.
+    snapshot_wall_ns: u128,
+}
+
+/// The cores this process may actually run on (what scaling is bounded
+/// by — recorded in the JSON so the numbers are interpretable).
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Multi-threaded snapshot query throughput (1/2/4/8 workers). The batch
+/// size is constant across worker counts, so `wall(1) / wall(w)` is the
+/// scaling factor (bounded by [`cores`]); the mutex-guarded mediator
+/// serving the identical workload is the contended baseline, so the
+/// lock-free hot path's advantage is visible even on a single core.
+fn snapshot_concurrency_bench(fast: bool, params: &ScenarioParams) -> Vec<ConcRow> {
+    let mut m = build_scenario(params);
+    m.materialize_all().expect("scenario materializes");
+    let snap = m.snapshot().expect("snapshot publishes");
+    // Without snapshots, concurrent callers would share the mediator
+    // itself behind a lock; its warm query path (cached model) is the
+    // honest comparison point.
+    let locked = std::sync::Mutex::new(m);
+    // A read mix over the materialized scenario: instance scans, a
+    // derived-view probe, and domain-map reachability.
+    let patterns = [
+        "X : protein_amount",
+        "X : neurotransmission",
+        "anchored(S, C)",
+        r#"isa_star(C, "Neuron_Compartment")"#,
+    ];
+    let (total, repeats) = if fast { (240usize, 2usize) } else { (2400, 5) };
+    let run_batch = |workers: usize, per: usize, use_snapshot: bool| -> u128 {
+        (0..repeats)
+            .map(|_| {
+                let t = Instant::now();
+                std::thread::scope(|s| {
+                    for w in 0..workers {
+                        let snap = &snap;
+                        let locked = &locked;
+                        s.spawn(move || {
+                            for i in 0..per {
+                                let p = patterns[(w + i) % patterns.len()];
+                                let n = if use_snapshot {
+                                    snap.query_fl(p).expect("query runs").len()
+                                } else {
+                                    locked
+                                        .lock()
+                                        .expect("mediator lock")
+                                        .query_fl(p)
+                                        .expect("query runs")
+                                        .len()
+                                };
+                                black_box(n);
+                            }
+                        });
+                    }
+                });
+                t.elapsed().as_nanos()
+            })
+            .min()
+            .expect("at least one repeat")
+    };
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&workers| {
+            let per = total / workers;
+            ConcRow {
+                workers,
+                total_queries: per * workers,
+                locked_wall_ns: run_batch(workers, per, false),
+                snapshot_wall_ns: run_batch(workers, per, true),
+            }
+        })
+        .collect()
 }
 
 /// Hand-rolled JSON (no serde in the image): per-bench baseline/optimized
-/// nanoseconds plus the `EvalStats` and stratum counters of the warm
-/// mediator's cached base model.
+/// nanoseconds, the concurrent-throughput group, plus the `EvalStats` and
+/// stratum counters of the warm mediator's cached base model.
 fn render_bench_json(
     fast: bool,
     iters: usize,
     rows: &[(&str, u128, u128)],
+    conc: &[ConcRow],
     warm: &mut Mediator,
 ) -> String {
     let model = warm.run().expect("warm base model evaluates");
@@ -200,7 +312,25 @@ fn render_bench_json(
             *b as f64 / (*o).max(1) as f64
         ));
     }
-    out.push_str("  ],\n  \"eval_stats\": {\n");
+    out.push_str(&format!(
+        "  ],\n  \"snapshot_concurrency\": {{\n    \"cores\": {},\n    \"rows\": [\n",
+        cores()
+    ));
+    let one_worker_ns = conc.first().map(|c| c.snapshot_wall_ns).unwrap_or(1);
+    for (i, c) in conc.iter().enumerate() {
+        let sep = if i + 1 < conc.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"workers\": {}, \"queries\": {}, \"locked_wall_ns\": {}, \"snapshot_wall_ns\": {}, \"speedup_vs_locked\": {:.2}, \"queries_per_sec\": {:.0}, \"scaling_vs_1_worker\": {:.2}}}{sep}\n",
+            c.workers,
+            c.total_queries,
+            c.locked_wall_ns,
+            c.snapshot_wall_ns,
+            c.locked_wall_ns as f64 / c.snapshot_wall_ns.max(1) as f64,
+            c.total_queries as f64 / (c.snapshot_wall_ns as f64 / 1e9),
+            one_worker_ns as f64 / c.snapshot_wall_ns.max(1) as f64
+        ));
+    }
+    out.push_str("    ]\n  },\n  \"eval_stats\": {\n");
     out.push_str(&format!(
         "    \"iterations\": {},\n    \"derived\": {},\n    \"applications\": {},\n    \"index_builds\": {},\n    \"index_hits\": {},\n    \"index_misses\": {},\n    \"strata\": {strata},\n    \"strata_skipped\": {skipped}\n",
         s.iterations, s.derived, s.applications, s.index_builds, s.index_hits, s.index_misses

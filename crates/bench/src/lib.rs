@@ -9,7 +9,7 @@ use kind_flogic::FLogic;
 use kind_gcm::{ConceptualModel, GcmBase, GcmValue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A Datalog engine loaded with the transitive-closure program over a
 /// random graph of `n` nodes and `edges` edges (seeded).
@@ -119,7 +119,7 @@ pub fn measurement_wrapper(
     locations: &[String],
     rows: usize,
     seed: u64,
-) -> Rc<dyn Wrapper> {
+) -> Arc<dyn Wrapper> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = MemoryWrapper::new(name);
     w.caps.push(Capability {
@@ -143,7 +143,7 @@ pub fn measurement_wrapper(
             ],
         );
     }
-    Rc::new(w)
+    Arc::new(w)
 }
 
 /// A domain map used by the closure benches: generated anatomy.

@@ -30,10 +30,10 @@
 use crate::wrapper::{Anchor, Capability, ObjectRow, QueryTemplate, SourceQuery, Wrapper};
 use kind_gcm::GcmValue;
 use kind_xml::Element;
-use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // The failure taxonomy.
@@ -122,7 +122,7 @@ impl From<kind_gcm::GcmError> for SourceError {
 /// Production code could plug a wall-clock in; everything in this
 /// repository uses [`VirtualClock`] so that every fault-tolerance test is
 /// deterministic and instant.
-pub trait Clock: fmt::Debug {
+pub trait Clock: fmt::Debug + Send + Sync {
     /// Current time in milliseconds.
     fn now_ms(&self) -> u64;
     /// Advances time (backoff "sleeps" by calling this).
@@ -132,7 +132,7 @@ pub trait Clock: fmt::Debug {
 /// A deterministic, manually advanced clock.
 #[derive(Debug, Default)]
 pub struct VirtualClock {
-    now: Cell<u64>,
+    now: AtomicU64,
 }
 
 impl VirtualClock {
@@ -143,17 +143,23 @@ impl VirtualClock {
 
     /// A clock starting at `ms`.
     pub fn at(ms: u64) -> Self {
-        VirtualClock { now: Cell::new(ms) }
+        VirtualClock {
+            now: AtomicU64::new(ms),
+        }
     }
 }
 
 impl Clock for VirtualClock {
     fn now_ms(&self) -> u64 {
-        self.now.get()
+        self.now.load(Ordering::SeqCst)
     }
 
     fn advance_ms(&self, ms: u64) {
-        self.now.set(self.now.get().saturating_add(ms));
+        self.now
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |t| {
+                Some(t.saturating_add(ms))
+            })
+            .expect("fetch_update never fails");
     }
 }
 
@@ -411,10 +417,10 @@ fn mix(mut z: u64) -> u64 {
 ///
 /// ```
 /// use kind_core::{Fault, FaultInjector, MemoryWrapper, VirtualClock};
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 ///
-/// let clock = Rc::new(VirtualClock::new());
-/// let flaky = FaultInjector::new(Rc::new(MemoryWrapper::new("LAB")), clock)
+/// let clock = Arc::new(VirtualClock::new());
+/// let flaky = FaultInjector::new(Arc::new(MemoryWrapper::new("LAB")), clock)
 ///     .with_fault(Fault::FailFirst(2));
 /// ```
 ///
@@ -422,11 +428,11 @@ fn mix(mut z: u64) -> u64 {
 /// `arm`ed afterwards, so a fault schedule targets query traffic rather
 /// than the registration handshake.
 pub struct FaultInjector {
-    inner: Rc<dyn Wrapper>,
-    clock: Rc<dyn Clock>,
+    inner: Arc<dyn Wrapper>,
+    clock: Arc<dyn Clock>,
     faults: Vec<Fault>,
-    armed: Cell<bool>,
-    calls: Cell<u64>,
+    armed: AtomicBool,
+    calls: AtomicU64,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -434,8 +440,8 @@ impl fmt::Debug for FaultInjector {
         f.debug_struct("FaultInjector")
             .field("inner", &self.inner.name())
             .field("faults", &self.faults)
-            .field("armed", &self.armed.get())
-            .field("calls", &self.calls.get())
+            .field("armed", &self.armed.load(Ordering::SeqCst))
+            .field("calls", &self.calls.load(Ordering::SeqCst))
             .finish()
     }
 }
@@ -443,13 +449,13 @@ impl fmt::Debug for FaultInjector {
 impl FaultInjector {
     /// Wraps `inner`, sharing `clock` with the mediator (see
     /// [`crate::Mediator::clock`]).
-    pub fn new(inner: Rc<dyn Wrapper>, clock: Rc<dyn Clock>) -> Self {
+    pub fn new(inner: Arc<dyn Wrapper>, clock: Arc<dyn Clock>) -> Self {
         FaultInjector {
             inner,
             clock,
             faults: Vec::new(),
-            armed: Cell::new(true),
-            calls: Cell::new(0),
+            armed: AtomicBool::new(true),
+            calls: AtomicU64::new(0),
         }
     }
 
@@ -461,18 +467,18 @@ impl FaultInjector {
 
     /// Starts injecting (the default).
     pub fn arm(&self) {
-        self.armed.set(true);
+        self.armed.store(true, Ordering::SeqCst);
     }
 
     /// Stops injecting; calls pass straight through and do not advance
     /// the call counter.
     pub fn disarm(&self) {
-        self.armed.set(false);
+        self.armed.store(false, Ordering::SeqCst);
     }
 
     /// How many (armed) queries the injector has intercepted.
     pub fn calls(&self) -> u64 {
-        self.calls.get()
+        self.calls.load(Ordering::SeqCst)
     }
 
     /// Deterministically mangles a row against its declared CM.
@@ -522,11 +528,10 @@ impl Wrapper for FaultInjector {
     }
 
     fn query(&self, q: &SourceQuery) -> std::result::Result<Vec<ObjectRow>, SourceError> {
-        if !self.armed.get() {
+        if !self.armed.load(Ordering::SeqCst) {
             return self.inner.query(q);
         }
-        let call = self.calls.get();
-        self.calls.set(call + 1);
+        let call = self.calls.fetch_add(1, Ordering::SeqCst);
         for fault in &self.faults {
             match *fault {
                 Fault::Slow { delay_ms } => self.clock.advance_ms(delay_ms),
@@ -743,12 +748,12 @@ mod tests {
     use super::*;
     use crate::wrapper::MemoryWrapper;
 
-    fn lab(n_rows: usize) -> Rc<MemoryWrapper> {
+    fn lab(n_rows: usize) -> Arc<MemoryWrapper> {
         let mut w = MemoryWrapper::new("LAB");
         for i in 0..n_rows {
             w.add_row("m", &format!("r{i}"), vec![("v", GcmValue::Int(i as i64))]);
         }
-        Rc::new(w)
+        Arc::new(w)
     }
 
     #[test]
@@ -846,7 +851,7 @@ mod tests {
 
     #[test]
     fn fail_first_then_recovers() {
-        let clock: Rc<VirtualClock> = Rc::new(VirtualClock::new());
+        let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
         let inj = FaultInjector::new(lab(2), clock).with_fault(Fault::FailFirst(2));
         let q = SourceQuery::scan("m");
         assert!(inj.query(&q).is_err());
@@ -857,7 +862,7 @@ mod tests {
 
     #[test]
     fn every_kth_fails_periodically() {
-        let clock: Rc<VirtualClock> = Rc::new(VirtualClock::new());
+        let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
         let inj = FaultInjector::new(lab(1), clock).with_fault(Fault::EveryKth(3));
         let q = SourceQuery::scan("m");
         let outcomes: Vec<bool> = (0..6).map(|_| inj.query(&q).is_ok()).collect();
@@ -868,7 +873,7 @@ mod tests {
     fn flaky_schedule_is_deterministic() {
         let q = SourceQuery::scan("m");
         let run = |seed: u64| -> Vec<bool> {
-            let clock: Rc<VirtualClock> = Rc::new(VirtualClock::new());
+            let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
             let inj = FaultInjector::new(lab(1), clock).with_fault(Fault::Flaky {
                 seed,
                 fail_per_mille: 400,
@@ -883,8 +888,8 @@ mod tests {
 
     #[test]
     fn slow_fault_advances_the_virtual_clock() {
-        let clock: Rc<VirtualClock> = Rc::new(VirtualClock::new());
-        let inj = FaultInjector::new(lab(1), Rc::clone(&clock) as Rc<dyn Clock>)
+        let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
+        let inj = FaultInjector::new(lab(1), Arc::clone(&clock) as Arc<dyn Clock>)
             .with_fault(Fault::Slow { delay_ms: 250 });
         inj.query(&SourceQuery::scan("m")).unwrap();
         assert_eq!(clock.now_ms(), 250);
@@ -894,7 +899,7 @@ mod tests {
 
     #[test]
     fn truncation_reports_shipped_count() {
-        let clock: Rc<VirtualClock> = Rc::new(VirtualClock::new());
+        let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
         let inj = FaultInjector::new(lab(5), clock).with_fault(Fault::TruncateAfter(3));
         assert_eq!(
             inj.query(&SourceQuery::scan("m")),
@@ -906,7 +911,7 @@ mod tests {
     fn corruption_is_deterministic_and_partial() {
         let q = SourceQuery::scan("m");
         let run = || {
-            let clock: Rc<VirtualClock> = Rc::new(VirtualClock::new());
+            let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
             let inj = FaultInjector::new(lab(40), clock).with_fault(Fault::CorruptRows {
                 seed: 3,
                 corrupt_per_mille: 300,
@@ -922,7 +927,7 @@ mod tests {
 
     #[test]
     fn disarmed_injector_is_transparent() {
-        let clock: Rc<VirtualClock> = Rc::new(VirtualClock::new());
+        let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
         let inj = FaultInjector::new(lab(2), clock).with_fault(Fault::FailFirst(100));
         inj.disarm();
         assert_eq!(inj.query(&SourceQuery::scan("m")).unwrap().len(), 2);

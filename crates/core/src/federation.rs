@@ -1,0 +1,460 @@
+//! The **federation layer**: registered sources and everything about
+//! *talking to them* — wrappers, per-source resilience policies, circuit
+//! breakers, the shared clock, fetch statistics, and the degradation
+//! report of the operation in flight.
+//!
+//! This is the bottom layer of the mediator split (see DESIGN.md):
+//! [`Federation`] owns the wrapper boundary, [`crate::Knowledge`] owns the
+//! semantic state (domain map, index, CMs, views), and
+//! [`crate::Mediator`] composes the two with the eval/cache pipeline.
+//!
+//! All retry/breaker/quarantine semantics live in **one** place —
+//! [`Federation::fetch`] — so the degradable entry points
+//! ([`crate::Mediator::fetch`], [`crate::Mediator::fetch_degraded`],
+//! [`crate::Mediator::materialize_all`], [`crate::Mediator::answer`], the
+//! §5 plan) cannot drift apart.
+
+use crate::error::{MediatorError, Result};
+use crate::fault::{
+    AnswerReport, BreakerState, CircuitBreaker, Clock, QuarantinedRow, SourceError, SourceOutcome,
+    SourcePolicy, VirtualClock,
+};
+use crate::wrapper::{Capability, ObjectRow, SourceQuery, Wrapper};
+use kind_dm::SourceId;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Bookkeeping for one registered source.
+pub struct RegisteredSource {
+    /// The mediator-assigned id.
+    pub id: SourceId,
+    /// The source name.
+    pub name: String,
+    /// Declared capabilities.
+    pub caps: Vec<Capability>,
+    /// The wrapper (shared, thread-safe).
+    pub wrapper: Arc<dyn Wrapper>,
+    /// Classes this source exports rows for (from capabilities).
+    pub classes: Vec<String>,
+    /// Attributes declared per class in the translated CM (`method`
+    /// schema decls). An empty/absent set means the CM is schema-less
+    /// for that class and attribute names are not checked.
+    pub declared_attrs: HashMap<String, BTreeSet<String>>,
+    /// Anchor attributes every row of a class must carry (its `ByAttr`
+    /// anchors).
+    pub anchor_attrs: HashMap<String, Vec<String>>,
+}
+
+impl RegisteredSource {
+    /// Validates a shipped row against this source's exported CM:
+    /// the class must be exported, the object id non-empty, every
+    /// `ByAttr` anchor attribute present, and (when the CM declares a
+    /// schema for the class) every attribute declared.
+    pub fn validate_row(&self, class: &str, row: &ObjectRow) -> std::result::Result<(), String> {
+        if !self.classes.iter().any(|c| c == class) {
+            return Err(format!(
+                "class `{class}` is not exported by `{}`",
+                self.name
+            ));
+        }
+        if row.id.trim().is_empty() {
+            return Err("empty object id".into());
+        }
+        if let Some(anchor_attrs) = self.anchor_attrs.get(class) {
+            for attr in anchor_attrs {
+                if row.get(attr).is_none() {
+                    return Err(format!("missing anchor attribute `{attr}`"));
+                }
+            }
+        }
+        if let Some(declared) = self.declared_attrs.get(class) {
+            if !declared.is_empty() {
+                for (attr, _) in &row.attrs {
+                    if !declared.contains(attr) {
+                        return Err(format!(
+                            "attribute `{attr}` is not declared in the exported CM"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for RegisteredSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredSource")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+/// Cumulative query-processing statistics (for the benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediatorStats {
+    /// Wrapper queries issued (every physical attempt counts).
+    pub source_queries: usize,
+    /// Rows shipped from wrappers to the mediator.
+    pub rows_shipped: usize,
+    /// Rows surviving mediator-side residual filters.
+    pub rows_kept: usize,
+    /// Retry attempts beyond the first, across all fetches.
+    pub retries: usize,
+    /// Fetches that ultimately failed or were skipped by a breaker.
+    pub failures: usize,
+}
+
+/// The outcome of one guarded (retry/breaker-aware) wrapper query.
+enum GuardedFetch {
+    /// Rows arrived, possibly after retries.
+    Rows {
+        /// The shipped rows.
+        rows: Vec<ObjectRow>,
+        /// Physical attempts made (1 = no retry).
+        attempts: u32,
+    },
+    /// The retry budget was exhausted (or the breaker opened mid-retry).
+    Failed {
+        /// Physical attempts made.
+        attempts: u32,
+        /// The final error.
+        error: SourceError,
+    },
+    /// The breaker was open: the source was never contacted.
+    Skipped,
+}
+
+/// The source-facing layer of the mediator: registered wrappers plus the
+/// resilience machinery guarding every fetch. See the module docs.
+#[derive(Debug)]
+pub struct Federation {
+    sources: Vec<RegisteredSource>,
+    clock: Arc<dyn Clock>,
+    default_policy: SourcePolicy,
+    policies: HashMap<String, SourcePolicy>,
+    breakers: HashMap<String, CircuitBreaker>,
+    report: AnswerReport,
+    /// Query-processing statistics.
+    pub stats: MediatorStats,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Federation {
+    /// An empty federation with a fresh [`VirtualClock`] and default
+    /// policies.
+    pub fn new() -> Self {
+        Federation {
+            sources: Vec::new(),
+            clock: Arc::new(VirtualClock::new()),
+            default_policy: SourcePolicy::default(),
+            policies: HashMap::new(),
+            breakers: HashMap::new(),
+            report: AnswerReport::default(),
+            stats: MediatorStats::default(),
+        }
+    }
+
+    /// Registered sources.
+    pub fn sources(&self) -> &[RegisteredSource] {
+        &self.sources
+    }
+
+    /// Looks up a registered source by name.
+    pub fn source(&self, name: &str) -> Result<&RegisteredSource> {
+        self.sources
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| MediatorError::UnknownSource {
+                name: name.to_string(),
+            })
+    }
+
+    /// The id the next registered source will get.
+    pub(crate) fn next_id(&self) -> SourceId {
+        SourceId(self.sources.len() as u32)
+    }
+
+    /// Whether a source with this name is already registered.
+    pub(crate) fn has_source(&self, name: &str) -> bool {
+        self.sources.iter().any(|s| s.name == name)
+    }
+
+    /// Adds a fully-built source record (the mediator's `register` builds
+    /// it after translating the CM and anchoring the data).
+    pub(crate) fn add_source(&mut self, src: RegisteredSource) {
+        self.sources.push(src);
+    }
+
+    /// The federation's clock (share it with [`crate::FaultInjector`]s so
+    /// injected delays are visible to timeout checks).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Replaces the clock (e.g. with a pre-advanced [`VirtualClock`]).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Sets the policy used for sources without a per-source override.
+    pub fn set_default_policy(&mut self, policy: SourcePolicy) {
+        self.default_policy = policy;
+    }
+
+    /// Sets a per-source retry/timeout/breaker policy. Any existing
+    /// breaker for the source is reset so the new configuration takes
+    /// effect immediately.
+    pub fn set_source_policy(&mut self, name: impl Into<String>, policy: SourcePolicy) {
+        let name = name.into();
+        self.breakers.remove(&name);
+        self.policies.insert(name, policy);
+    }
+
+    /// The policy governing `name` (per-source override or default).
+    pub fn policy_for(&self, name: &str) -> &SourcePolicy {
+        self.policies.get(name).unwrap_or(&self.default_policy)
+    }
+
+    /// The breaker state for a source, once it has been fetched from at
+    /// least once.
+    pub fn breaker_state(&self, name: &str) -> Option<BreakerState> {
+        self.breakers.get(name).map(|b| b.state())
+    }
+
+    /// Force-closes a source's breaker (operator override).
+    pub fn reset_breaker(&mut self, name: &str) {
+        self.breakers.remove(name);
+    }
+
+    /// The degradation report of the most recent degradable operation.
+    pub fn report(&self) -> &AnswerReport {
+        &self.report
+    }
+
+    /// Starts a fresh report (each degradable operation calls this).
+    pub(crate) fn begin_report(&mut self) {
+        self.report = AnswerReport::default();
+    }
+
+    /// The names of sources that export `class` (by declared capability).
+    pub fn sources_exporting(&self, class: &str) -> Vec<String> {
+        self.sources
+            .iter()
+            .filter(|s| s.classes.iter().any(|c| c == class))
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    /// Runs one wrapper query under the source's policy: breaker check,
+    /// per-attempt virtual-time budget, bounded retries with
+    /// deterministic backoff. Every attempt updates `stats` and the
+    /// breaker; the caller folds the outcome into the report.
+    fn guarded_query(
+        &mut self,
+        name: &str,
+        wrapper: &Arc<dyn Wrapper>,
+        q: &SourceQuery,
+    ) -> GuardedFetch {
+        let policy = self.policy_for(name).clone();
+        self.breakers
+            .entry(name.to_string())
+            .or_insert_with(|| CircuitBreaker::new(policy.breaker.clone()));
+        let clock = Arc::clone(&self.clock);
+        let mut attempts = 0u32;
+        let mut last_error: Option<SourceError> = None;
+        loop {
+            let now = clock.now_ms();
+            let allowed = self
+                .breakers
+                .get_mut(name)
+                .expect("breaker inserted above")
+                .allows(now);
+            if !allowed {
+                self.stats.failures += 1;
+                return match last_error {
+                    // The breaker opened between retry attempts: report
+                    // the failure that opened it.
+                    Some(error) => GuardedFetch::Failed { attempts, error },
+                    None => GuardedFetch::Skipped,
+                };
+            }
+            attempts += 1;
+            self.stats.source_queries += 1;
+            let started = clock.now_ms();
+            let result = wrapper.query(q).and_then(|rows| {
+                let elapsed = clock.now_ms().saturating_sub(started);
+                if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
+                    Err(SourceError::Timeout {
+                        elapsed_ms: elapsed,
+                        budget_ms: policy.timeout_ms,
+                    })
+                } else {
+                    Ok(rows)
+                }
+            });
+            match result {
+                Ok(rows) => {
+                    self.breakers
+                        .get_mut(name)
+                        .expect("breaker inserted above")
+                        .record_success();
+                    self.stats.rows_shipped += rows.len();
+                    self.stats.retries += (attempts - 1) as usize;
+                    return GuardedFetch::Rows { rows, attempts };
+                }
+                Err(error) => {
+                    let now = clock.now_ms();
+                    self.breakers
+                        .get_mut(name)
+                        .expect("breaker inserted above")
+                        .record_failure(now);
+                    if attempts >= policy.retry.max_attempts {
+                        self.stats.retries += (attempts - 1) as usize;
+                        self.stats.failures += 1;
+                        return GuardedFetch::Failed { attempts, error };
+                    }
+                    last_error = Some(error);
+                    clock.advance_ms(policy.retry.backoff_ms(attempts));
+                }
+            }
+        }
+    }
+
+    /// Capability-aware, fault-tolerant fetch: pushes the pushable
+    /// selections to the wrapper (with retries, timeout budget, and
+    /// circuit breaker per the source's [`SourcePolicy`]), quarantines
+    /// rows that violate the source's exported CM, and applies the
+    /// remaining selections as a residual filter mediator-side.
+    ///
+    /// This is the **single** guarded-fetch path — every degradable
+    /// operation funnels through it, so retry/breaker/quarantine
+    /// semantics cannot drift between entry points.
+    ///
+    /// A source that exhausts its retry budget — or whose breaker is
+    /// open — is a typed [`MediatorError::Source`] error; the outcome is
+    /// also folded into the current [`Self::report`].
+    pub fn fetch(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
+        let src = self.source(source_name)?;
+        if !src.classes.iter().any(|c| c == &q.class) {
+            return Err(MediatorError::UnknownClass {
+                class: q.class.clone(),
+            });
+        }
+        let wrapper = Arc::clone(&src.wrapper);
+        match self.guarded_query(source_name, &wrapper, q) {
+            GuardedFetch::Rows { rows, attempts } => {
+                // CM validation: quarantine, don't abort.
+                let mut kept = Vec::with_capacity(rows.len());
+                let mut quarantined = Vec::new();
+                {
+                    let src = self.source(source_name)?;
+                    for row in rows {
+                        match src.validate_row(&q.class, &row) {
+                            Ok(()) => kept.push(row),
+                            Err(reason) => quarantined.push(QuarantinedRow {
+                                source: source_name.to_string(),
+                                class: q.class.clone(),
+                                row_id: row.id.clone(),
+                                reason,
+                            }),
+                        }
+                    }
+                }
+                for qr in quarantined {
+                    self.report.record_quarantine(qr);
+                }
+                let kept: Vec<ObjectRow> = kept
+                    .into_iter()
+                    .filter(|r| {
+                        q.selections
+                            .iter()
+                            .all(|s| r.get(&s.attr) == Some(&s.value))
+                    })
+                    .collect();
+                self.stats.rows_kept += kept.len();
+                let outcome = if attempts > 1 {
+                    SourceOutcome::Retried {
+                        retries: attempts - 1,
+                    }
+                } else {
+                    SourceOutcome::Ok
+                };
+                self.report
+                    .record_fetch(source_name, attempts as usize, kept.len(), outcome);
+                Ok(kept)
+            }
+            GuardedFetch::Failed { attempts, error } => {
+                self.report.record_fetch(
+                    source_name,
+                    attempts as usize,
+                    0,
+                    SourceOutcome::Failed {
+                        error: error.clone(),
+                    },
+                );
+                Err(MediatorError::Source {
+                    name: source_name.to_string(),
+                    error,
+                })
+            }
+            GuardedFetch::Skipped => {
+                self.report
+                    .record_fetch(source_name, 0, 0, SourceOutcome::SkippedByBreaker);
+                Err(MediatorError::Source {
+                    name: source_name.to_string(),
+                    error: SourceError::Unavailable {
+                        reason: "circuit breaker open; source not contacted".into(),
+                    },
+                })
+            }
+        }
+    }
+
+    /// Like [`Self::fetch`], but a source-level failure degrades to an
+    /// empty row set instead of an error (the failure stays visible in
+    /// [`Self::report`]). Mediator-level errors (unknown source/class)
+    /// still propagate.
+    pub fn fetch_degraded(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
+        match self.fetch(source_name, q) {
+            Ok(rows) => Ok(rows),
+            Err(MediatorError::Source { .. }) => Ok(Vec::new()),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Calls a declared query template on a source (§2's "query
+    /// templates" capability form): expands the template with the given
+    /// arguments and fetches through the capability-aware path.
+    pub fn call_template(
+        &mut self,
+        source_name: &str,
+        template: &str,
+        args: &[kind_gcm::GcmValue],
+    ) -> Result<Vec<ObjectRow>> {
+        let src = self.source(source_name)?;
+        let t = src
+            .wrapper
+            .templates()
+            .into_iter()
+            .find(|t| t.name == template)
+            .ok_or_else(|| MediatorError::UnknownClass {
+                class: format!("{source_name}::{template}"),
+            })?;
+        let q = t.expand(args).ok_or_else(|| MediatorError::UnknownClass {
+            class: format!(
+                "{source_name}::{template}/{} called with {} args",
+                t.params.len(),
+                args.len()
+            ),
+        })?;
+        self.fetch(source_name, &q)
+    }
+}

@@ -5,13 +5,22 @@
 //! than raw semistructured data, and where **domain maps** correlate
 //! sources from multiple worlds.
 //!
+//! The mediator itself is a thin facade over three layers (see
+//! DESIGN.md):
+//!
 //! * [`wrapper`] — the source interface: CM export (in any plugged-in
 //!   formalism), query capabilities (binding patterns for push-down),
 //!   anchor declarations, and optional DM contributions;
-//! * [`mediator`] — registration (plug-in translation, GCM application,
-//!   semantic-index construction, DM refinement), integrated view
-//!   definitions, model evaluation, capability-aware fetch, source
+//! * [`federation`] — the source-facing layer: registered wrappers,
+//!   per-source policies, circuit breakers, the shared clock, and the
+//!   single guarded-fetch path;
+//! * [`knowledge`] — the semantic layer: domain map + resolved view,
+//!   retained DL axioms, plug-in registry, semantic index, CMs, views;
+//! * [`mediator`] — the facade composing the two with the eval/cache
+//!   pipeline: registration, integrated views, model evaluation, source
 //!   selection, lub computation;
+//! * [`snapshot`] — immutable `Send + Sync` [`QuerySnapshot`]s for
+//!   serving reads from many threads with no locks on the hot path;
 //! * [`plan`] — the §5 four-step query plan with a full execution trace,
 //!   and the Example 4 `protein_distribution` view.
 //!
@@ -19,7 +28,7 @@
 //! use kind_core::{Mediator, MemoryWrapper, Capability, Anchor};
 //! use kind_dm::{figures, ExecMode};
 //! use kind_gcm::GcmValue;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mut med = Mediator::new(figures::figure1(), ExecMode::Assertion);
 //! let mut w = MemoryWrapper::new("SYNAPSE");
@@ -29,7 +38,7 @@
 //!     concept: "Spine".into(),
 //! });
 //! w.add_row("spines", "s1", vec![("volume", GcmValue::Int(7))]);
-//! med.register(Rc::new(w)).unwrap();
+//! med.register(Arc::new(w)).unwrap();
 //! // Source selection through the domain map: spines regulate ions.
 //! assert_eq!(
 //!     med.sources_below("Ion_Regulating_Component").unwrap(),
@@ -40,9 +49,12 @@
 
 pub mod error;
 pub mod fault;
+pub mod federation;
+pub mod knowledge;
 pub mod mediator;
 pub mod plan;
 pub mod query;
+pub mod snapshot;
 pub mod wrapper;
 
 pub use error::{MediatorError, Result};
@@ -51,11 +63,14 @@ pub use fault::{
     QuarantinedRow, RetryPolicy, SourceError, SourceOutcome, SourcePolicy, SourceReport,
     VirtualClock,
 };
-pub use mediator::{Mediator, MediatorStats, RegisteredSource};
+pub use federation::{Federation, MediatorStats, RegisteredSource};
+pub use knowledge::Knowledge;
+pub use mediator::Mediator;
 pub use plan::{
     protein_distribution, run_section5, DistributionRow, NeuroSchema, PlanTrace, Section5Query,
 };
 pub use query::AnswerSet;
+pub use snapshot::QuerySnapshot;
 pub use wrapper::{
     Anchor, Capability, MemoryWrapper, ObjectRow, QueryTemplate, Selection, SourceQuery, Wrapper,
 };

@@ -1,186 +1,69 @@
-//! The model-based mediator (Figure 2).
+//! The model-based mediator (Figure 2) — now a thin **facade** over two
+//! subsystems plus the evaluation pipeline:
 //!
-//! The mediator owns a domain map (its "semantic coordinate system"), a
-//! CM plug-in registry, a GCM engine, and a semantic index. Sources join
-//! at runtime by [`Mediator::register`]-ing: their CM export is translated
-//! through the plug-in for their formalism, applied to the GCM base, their
-//! data anchored into the domain map, and any contributed DL axioms merged
-//! into the map (Figure 3). Integrated views are FL rule texts evaluated
-//! over everything together.
+//! * [`crate::Federation`] — the source-facing layer: registered
+//!   wrappers, per-source policies, circuit breakers, the shared clock,
+//!   and the single guarded-fetch path;
+//! * [`crate::Knowledge`] — the semantic layer: the domain map and its
+//!   resolved closure view, retained DL axioms, the CM plug-in registry,
+//!   the semantic index, applied CMs, and view definitions;
+//! * the eval/cache pipeline owned here: the GCM base, the
+//!   fingerprint-keyed cached model, and the evaluation options.
+//!
+//! The mediator composes the three: sources join at runtime by
+//! [`Mediator::register`]-ing (their CM export translated through the
+//! plug-in for their formalism, applied to the GCM base, their data
+//! anchored into the domain map, contributed DL axioms merged — Figure
+//! 3), and integrated views are FL rule texts evaluated over everything
+//! together. [`Mediator::snapshot`] freezes the evaluated state into an
+//! immutable, `Send + Sync` [`crate::QuerySnapshot`] that any number of
+//! threads can query concurrently.
 
 use crate::error::{MediatorError, Result};
-use crate::fault::{
-    AnswerReport, BreakerState, CircuitBreaker, Clock, QuarantinedRow, SourceError, SourceOutcome,
-    SourcePolicy, VirtualClock,
-};
-use crate::wrapper::{Anchor, Capability, ObjectRow, SourceQuery, Wrapper};
+use crate::fault::{AnswerReport, BreakerState, Clock, SourceError, SourcePolicy};
+use crate::federation::Federation;
+pub use crate::federation::{MediatorStats, RegisteredSource};
+use crate::knowledge::Knowledge;
+use crate::snapshot::QuerySnapshot;
+use crate::wrapper::{Anchor, ObjectRow, SourceQuery, Wrapper};
 use kind_datalog::{EvalOptions, Model, Term};
 use kind_dm::{axiom, rules, DomainMap, ExecMode, Resolved, SemanticIndex, SourceId, DM_OPS_RULES};
-use kind_gcm::{ConceptualModel, GcmBase, GcmDecl, PluginRegistry};
+use kind_gcm::{GcmBase, GcmDecl};
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Answer rows plus the names of the sources contacted to produce them.
 pub(crate) type RowsAndSources = (Vec<Vec<Term>>, Vec<String>);
 
-/// Bookkeeping for one registered source.
-pub struct RegisteredSource {
-    /// The mediator-assigned id.
-    pub id: SourceId,
-    /// The source name.
-    pub name: String,
-    /// Declared capabilities.
-    pub caps: Vec<Capability>,
-    /// The wrapper.
-    pub wrapper: Rc<dyn Wrapper>,
-    /// Classes this source exports rows for (from capabilities).
-    pub classes: Vec<String>,
-    /// Attributes declared per class in the translated CM (`method`
-    /// schema decls). An empty/absent set means the CM is schema-less
-    /// for that class and attribute names are not checked.
-    pub declared_attrs: HashMap<String, BTreeSet<String>>,
-    /// Anchor attributes every row of a class must carry (its `ByAttr`
-    /// anchors).
-    pub anchor_attrs: HashMap<String, Vec<String>>,
-}
-
-impl RegisteredSource {
-    /// Validates a shipped row against this source's exported CM:
-    /// the class must be exported, the object id non-empty, every
-    /// `ByAttr` anchor attribute present, and (when the CM declares a
-    /// schema for the class) every attribute declared.
-    pub fn validate_row(&self, class: &str, row: &ObjectRow) -> std::result::Result<(), String> {
-        if !self.classes.iter().any(|c| c == class) {
-            return Err(format!(
-                "class `{class}` is not exported by `{}`",
-                self.name
-            ));
-        }
-        if row.id.trim().is_empty() {
-            return Err("empty object id".into());
-        }
-        if let Some(anchor_attrs) = self.anchor_attrs.get(class) {
-            for attr in anchor_attrs {
-                if row.get(attr).is_none() {
-                    return Err(format!("missing anchor attribute `{attr}`"));
-                }
-            }
-        }
-        if let Some(declared) = self.declared_attrs.get(class) {
-            if !declared.is_empty() {
-                for (attr, _) in &row.attrs {
-                    if !declared.contains(attr) {
-                        return Err(format!(
-                            "attribute `{attr}` is not declared in the exported CM"
-                        ));
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-impl std::fmt::Debug for RegisteredSource {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RegisteredSource")
-            .field("id", &self.id)
-            .field("name", &self.name)
-            .field("classes", &self.classes)
-            .finish()
-    }
-}
-
-/// Cumulative query-processing statistics (for the benchmarks).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MediatorStats {
-    /// Wrapper queries issued (every physical attempt counts).
-    pub source_queries: usize,
-    /// Rows shipped from wrappers to the mediator.
-    pub rows_shipped: usize,
-    /// Rows surviving mediator-side residual filters.
-    pub rows_kept: usize,
-    /// Retry attempts beyond the first, across all fetches.
-    pub retries: usize,
-    /// Fetches that ultimately failed or were skipped by a breaker.
-    pub failures: usize,
-}
-
-/// The model-based mediator.
+/// The model-based mediator: a facade composing the [`Federation`] and
+/// [`Knowledge`] layers with the eval/cache pipeline (see module docs).
 pub struct Mediator {
-    dm: DomainMap,
-    resolved: Resolved,
-    /// The DL axioms behind the map (when known), for logic-level
-    /// subsumption reasoning.
-    axioms: Vec<kind_dm::Axiom>,
-    mode: ExecMode,
-    registry: PluginRegistry,
-    index: SemanticIndex,
-    sources: Vec<RegisteredSource>,
-    cms: Vec<ConceptualModel>,
-    views: Vec<String>,
+    federation: Federation,
+    knowledge: Knowledge,
     base: GcmBase,
-    model: Option<Model>,
+    /// The cached evaluated model, shared with snapshots. `Arc` rather
+    /// than an owned `Model` so [`Mediator::snapshot`] publishes it
+    /// without a deep copy and query paths need no take/put juggling.
+    model: Option<Arc<Model>>,
     /// Fingerprint of the program the cached [`Self::model`] was computed
     /// from (see [`Self::base_fingerprint`]).
     model_fp: Option<u64>,
     dirty: bool,
     eval_options: EvalOptions,
-    clock: Rc<dyn Clock>,
-    default_policy: SourcePolicy,
-    policies: HashMap<String, SourcePolicy>,
-    breakers: HashMap<String, CircuitBreaker>,
-    report: AnswerReport,
-    /// Query-processing statistics.
-    pub stats: MediatorStats,
-}
-
-/// The outcome of one guarded (retry/breaker-aware) wrapper query.
-enum GuardedFetch {
-    /// Rows arrived, possibly after retries.
-    Rows {
-        /// The shipped rows.
-        rows: Vec<ObjectRow>,
-        /// Physical attempts made (1 = no retry).
-        attempts: u32,
-    },
-    /// The retry budget was exhausted (or the breaker opened mid-retry).
-    Failed {
-        /// Physical attempts made.
-        attempts: u32,
-        /// The final error.
-        error: SourceError,
-    },
-    /// The breaker was open: the source was never contacted.
-    Skipped,
 }
 
 impl Mediator {
     /// Creates a mediator around a domain map, with edges executed in
     /// `mode` and the built-in CM plug-ins registered.
     pub fn new(dm: DomainMap, mode: ExecMode) -> Self {
-        let resolved = Resolved::new(&dm);
         let mut m = Mediator {
-            dm,
-            resolved,
-            axioms: Vec::new(),
-            mode,
-            registry: PluginRegistry::with_builtins(),
-            index: SemanticIndex::new(),
-            sources: Vec::new(),
-            cms: Vec::new(),
-            views: Vec::new(),
+            federation: Federation::new(),
+            knowledge: Knowledge::new(dm, mode),
             base: GcmBase::new(),
             model: None,
             model_fp: None,
             dirty: true,
             eval_options: EvalOptions::default(),
-            clock: Rc::new(VirtualClock::new()),
-            default_policy: SourcePolicy::default(),
-            policies: HashMap::new(),
-            breakers: HashMap::new(),
-            report: AnswerReport::default(),
-            stats: MediatorStats::default(),
         };
         m.rebuild().expect("empty mediator builds");
         m
@@ -194,220 +77,250 @@ impl Mediator {
         let mut dm = DomainMap::new();
         let axioms = axiom::load_axioms(&mut dm, axiom_text)?;
         let mut m = Self::new(dm, mode);
-        m.axioms = axioms;
+        m.knowledge.axioms = axioms;
         Ok(m)
     }
 
+    // ------------------------------------------------------------------
+    // Layer access.
+    // ------------------------------------------------------------------
+
+    /// The source-facing layer: registered wrappers, policies, breakers,
+    /// clock, fetch statistics.
+    pub fn federation(&self) -> &Federation {
+        &self.federation
+    }
+
+    /// Mutable access to the federation layer.
+    pub fn federation_mut(&mut self) -> &mut Federation {
+        &mut self.federation
+    }
+
+    /// The semantic layer: domain map, resolved view, axioms, semantic
+    /// index, CMs, views.
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    /// Mutable access to the knowledge layer.
+    pub fn knowledge_mut(&mut self) -> &mut Knowledge {
+        &mut self.knowledge
+    }
+
+    // ------------------------------------------------------------------
+    // Knowledge-layer delegation.
+    // ------------------------------------------------------------------
+
     /// The retained DL axioms (empty when the map was built directly).
     pub fn axioms(&self) -> &[kind_dm::Axiom] {
-        &self.axioms
+        self.knowledge.axioms()
     }
 
     /// The domain map.
     pub fn dm(&self) -> &DomainMap {
-        &self.dm
+        self.knowledge.dm()
     }
 
     /// The resolved (flattened) domain-map view.
     pub fn resolved(&self) -> &Resolved {
-        &self.resolved
+        self.knowledge.resolved()
     }
 
     /// The semantic index.
     pub fn index(&self) -> &SemanticIndex {
-        &self.index
+        self.knowledge.index()
     }
 
     /// The plug-in registry (e.g. to register a new formalism).
-    pub fn registry_mut(&mut self) -> &mut PluginRegistry {
-        &mut self.registry
+    pub fn registry_mut(&mut self) -> &mut kind_gcm::PluginRegistry {
+        self.knowledge.registry_mut()
     }
+
+    /// The least upper bound of the named concepts in the isa lattice.
+    pub fn lub(&self, concepts: &[&str]) -> Result<Option<String>> {
+        self.knowledge.lub(concepts)
+    }
+
+    /// The least upper bound in the **partonomy order** along `role` —
+    /// the "region of correspondence" of §5 step 4: the smallest concept
+    /// whose downward closure contains all the given locations.
+    pub fn partonomy_lub(&self, role: &str, concepts: &[&str]) -> Result<Option<String>> {
+        self.knowledge.partonomy_lub(role, concepts)
+    }
+
+    // ------------------------------------------------------------------
+    // Federation-layer delegation.
+    // ------------------------------------------------------------------
 
     /// Registered sources.
     pub fn sources(&self) -> &[RegisteredSource] {
-        &self.sources
+        self.federation.sources()
     }
 
-    /// Overrides the evaluation options (depth limits etc.).
-    pub fn set_eval_options(&mut self, opts: EvalOptions) {
-        self.eval_options = opts;
-        self.dirty = true;
+    /// Looks up a registered source by name.
+    pub fn source(&self, name: &str) -> Result<&RegisteredSource> {
+        self.federation.source(name)
     }
 
-    /// The current evaluation options.
-    pub fn eval_options(&self) -> &EvalOptions {
-        &self.eval_options
+    /// Cumulative query-processing statistics.
+    pub fn stats(&self) -> MediatorStats {
+        self.federation.stats
     }
 
     /// The mediator's clock (share it with [`crate::FaultInjector`]s so
     /// injected delays are visible to timeout checks).
-    pub fn clock(&self) -> Rc<dyn Clock> {
-        Rc::clone(&self.clock)
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.federation.clock()
     }
 
-    /// Replaces the clock (e.g. with a pre-advanced [`VirtualClock`]).
-    pub fn set_clock(&mut self, clock: Rc<dyn Clock>) {
-        self.clock = clock;
+    /// Replaces the clock (e.g. with a pre-advanced
+    /// [`crate::VirtualClock`]).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.federation.set_clock(clock);
     }
 
     /// Sets the policy used for sources without a per-source override.
     pub fn set_default_policy(&mut self, policy: SourcePolicy) {
-        self.default_policy = policy;
+        self.federation.set_default_policy(policy);
     }
 
     /// Sets a per-source retry/timeout/breaker policy. Any existing
     /// breaker for the source is reset so the new configuration takes
     /// effect immediately.
     pub fn set_source_policy(&mut self, name: impl Into<String>, policy: SourcePolicy) {
-        let name = name.into();
-        self.breakers.remove(&name);
-        self.policies.insert(name, policy);
+        self.federation.set_source_policy(name, policy);
     }
 
     /// The policy governing `name` (per-source override or default).
     pub fn policy_for(&self, name: &str) -> &SourcePolicy {
-        self.policies.get(name).unwrap_or(&self.default_policy)
+        self.federation.policy_for(name)
     }
 
     /// The breaker state for a source, once it has been fetched from at
     /// least once.
     pub fn breaker_state(&self, name: &str) -> Option<BreakerState> {
-        self.breakers.get(name).map(|b| b.state())
+        self.federation.breaker_state(name)
     }
 
     /// Force-closes a source's breaker (operator override).
     pub fn reset_breaker(&mut self, name: &str) {
-        self.breakers.remove(name);
+        self.federation.reset_breaker(name);
     }
 
     /// The degradation report of the most recent degradable operation
     /// ([`Self::materialize_all`], [`Self::answer`], or a plan run).
     pub fn report(&self) -> &AnswerReport {
-        &self.report
+        self.federation.report()
     }
 
     /// Starts a fresh report (each degradable operation calls this).
     pub(crate) fn begin_report(&mut self) {
-        self.report = AnswerReport::default();
+        self.federation.begin_report();
     }
 
-    /// Runs one wrapper query under the source's policy: breaker check,
-    /// per-attempt virtual-time budget, bounded retries with
-    /// deterministic backoff. Every attempt updates `stats` and the
-    /// breaker; the caller folds the outcome into the report.
-    fn guarded_query(
+    /// Capability-aware, fault-tolerant fetch — delegates to the
+    /// federation layer's single guarded path ([`Federation::fetch`]), so
+    /// retry/breaker/quarantine semantics are identical across every
+    /// entry point.
+    pub fn fetch(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
+        self.federation.fetch(source_name, q)
+    }
+
+    /// Like [`Self::fetch`], but a source-level failure degrades to an
+    /// empty row set instead of an error (the failure stays visible in
+    /// [`Self::report`]). Mediator-level errors (unknown source/class)
+    /// still propagate.
+    pub fn fetch_degraded(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
+        self.federation.fetch_degraded(source_name, q)
+    }
+
+    /// Calls a declared query template on a source (§2's "query
+    /// templates" capability form): expands the template with the given
+    /// arguments and fetches through the capability-aware path.
+    pub fn call_template(
         &mut self,
-        name: &str,
-        wrapper: &Rc<dyn Wrapper>,
-        q: &SourceQuery,
-    ) -> GuardedFetch {
-        let policy = self.policy_for(name).clone();
-        self.breakers
-            .entry(name.to_string())
-            .or_insert_with(|| CircuitBreaker::new(policy.breaker.clone()));
-        let clock = Rc::clone(&self.clock);
-        let mut attempts = 0u32;
-        let mut last_error: Option<SourceError> = None;
-        loop {
-            let now = clock.now_ms();
-            let allowed = self
-                .breakers
-                .get_mut(name)
-                .expect("breaker inserted above")
-                .allows(now);
-            if !allowed {
-                self.stats.failures += 1;
-                return match last_error {
-                    // The breaker opened between retry attempts: report
-                    // the failure that opened it.
-                    Some(error) => GuardedFetch::Failed { attempts, error },
-                    None => GuardedFetch::Skipped,
-                };
-            }
-            attempts += 1;
-            self.stats.source_queries += 1;
-            let started = clock.now_ms();
-            let result = wrapper.query(q).and_then(|rows| {
-                let elapsed = clock.now_ms().saturating_sub(started);
-                if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
-                    Err(SourceError::Timeout {
-                        elapsed_ms: elapsed,
-                        budget_ms: policy.timeout_ms,
-                    })
-                } else {
-                    Ok(rows)
-                }
-            });
-            match result {
-                Ok(rows) => {
-                    self.breakers
-                        .get_mut(name)
-                        .expect("breaker inserted above")
-                        .record_success();
-                    self.stats.rows_shipped += rows.len();
-                    self.stats.retries += (attempts - 1) as usize;
-                    return GuardedFetch::Rows { rows, attempts };
-                }
-                Err(error) => {
-                    let now = clock.now_ms();
-                    self.breakers
-                        .get_mut(name)
-                        .expect("breaker inserted above")
-                        .record_failure(now);
-                    if attempts >= policy.retry.max_attempts {
-                        self.stats.retries += (attempts - 1) as usize;
-                        self.stats.failures += 1;
-                        return GuardedFetch::Failed { attempts, error };
-                    }
-                    last_error = Some(error);
-                    clock.advance_ms(policy.retry.backoff_ms(attempts));
-                }
-            }
-        }
+        source_name: &str,
+        template: &str,
+        args: &[kind_gcm::GcmValue],
+    ) -> Result<Vec<ObjectRow>> {
+        self.federation.call_template(source_name, template, args)
     }
 
-    /// Read access to the GCM base (the built engine).
-    pub fn base(&self) -> &GcmBase {
-        &self.base
+    /// The sources that export `class` (by declared capability).
+    pub fn sources_exporting(&self, class: &str) -> Vec<String> {
+        self.federation.sources_exporting(class)
     }
 
-    /// Removes the most recently defined view (used for one-off queries);
-    /// the base is rebuilt lazily on next use.
-    pub(crate) fn pop_view(&mut self) {
-        self.views.pop();
-        self.dirty = true;
-    }
+    // ------------------------------------------------------------------
+    // Source selection: knowledge-layer ids mapped to federation names.
+    // ------------------------------------------------------------------
 
-    /// Looks up a registered source by name.
-    pub fn source(&self, name: &str) -> Result<&RegisteredSource> {
-        self.sources
+    /// Maps knowledge-layer source ids to names, preserving registration
+    /// order.
+    fn names_of(&self, ids: &[SourceId]) -> Vec<String> {
+        self.federation
+            .sources()
             .iter()
-            .find(|s| s.name == name)
-            .ok_or_else(|| MediatorError::UnknownSource {
-                name: name.to_string(),
-            })
+            .filter(|s| ids.contains(&s.id))
+            .map(|s| s.name.clone())
+            .collect()
     }
+
+    /// **Source selection** via the semantic index (§5 step 2): the names
+    /// of sources with data anchored at (or below) *all* the given
+    /// concepts.
+    pub fn select_sources(&self, concepts: &[&str]) -> Result<Vec<String>> {
+        Ok(self.names_of(&self.knowledge.select_sources(concepts)?))
+    }
+
+    /// Sources with data anchored anywhere in the **anatomical region**
+    /// under `root` — the downward closure along `role` (which includes
+    /// isa-subconcepts). This is how "sources relevant to the cerebellum"
+    /// finds a lab anchored at `Purkinje_Cell` (a *part*, not a
+    /// subconcept, of the cerebellum).
+    pub fn sources_in_region(&self, role: &str, root: &str) -> Result<Vec<String>> {
+        Ok(self.names_of(&self.knowledge.sources_in_region(role, root)?))
+    }
+
+    /// **Logic-level source selection**: the sources whose anchored
+    /// concepts are subsumed by a DL concept *expression* — e.g.
+    /// `"Neuron and exists has.Spine"` finds sources anchored at
+    /// `Purkinje_Cell` even if no single named concept covers the query.
+    /// Uses the structural subsumption reasoner on the retained axioms
+    /// (sound, incomplete; see `kind_dm::subsume`).
+    pub fn select_sources_by_expression(&self, expr_text: &str) -> Result<Vec<String>> {
+        let all: Vec<SourceId> = self.federation.sources().iter().map(|s| s.id).collect();
+        Ok(self.names_of(&self.knowledge.sources_subsumed_by(expr_text, &all)?))
+    }
+
+    /// Sources relevant to any one concept's cone.
+    pub fn sources_below(&self, concept: &str) -> Result<Vec<String>> {
+        Ok(self.names_of(&self.knowledge.sources_below(concept)?))
+    }
+
+    // ------------------------------------------------------------------
+    // Registration: the one flow that touches every layer.
+    // ------------------------------------------------------------------
 
     /// Registers a wrapped source: translates its CM through the plug-in
     /// for its formalism, applies it, merges its DM contribution, and
     /// builds its semantic index. Returns the assigned source id.
-    pub fn register(&mut self, wrapper: Rc<dyn Wrapper>) -> Result<SourceId> {
+    pub fn register(&mut self, wrapper: Arc<dyn Wrapper>) -> Result<SourceId> {
         let name = wrapper.name().to_string();
-        if self.sources.iter().any(|s| s.name == name) {
+        if self.federation.has_source(&name) {
             return Err(MediatorError::DuplicateSource { name });
         }
-        let id = SourceId(self.sources.len() as u32);
+        let id = self.federation.next_id();
         // (1) DM contribution — a source may refine the mediator's map
         // (Figure 3) *before* anchoring against it.
         let contribution = wrapper.dm_contribution();
-        if !contribution.trim().is_empty() {
-            let new_axioms = axiom::load_axioms(&mut self.dm, &contribution)?;
-            self.axioms.extend(new_axioms);
-            self.resolved = Resolved::new(&self.dm);
-        }
+        let map_changed = self.knowledge.merge_contribution(&contribution)?;
         // (2) Conceptual model through the plug-in.
         let doc = wrapper.export_cm();
-        let cm = self.registry.translate(wrapper.formalism(), &doc)?;
+        let cm = self
+            .knowledge
+            .registry
+            .translate(wrapper.formalism(), &doc)?;
         // Remember the declared schema for row validation at fetch time.
         let mut declared_attrs: HashMap<String, BTreeSet<String>> = HashMap::new();
         for d in &cm.decls {
@@ -418,7 +331,7 @@ impl Mediator {
                     .insert(method.clone());
             }
         }
-        self.cms.push(cm);
+        self.knowledge.cms.push(cm);
         // Registration contacts the source directly (no retry/breaker: a
         // source that cannot answer its own registration scan has no
         // business joining the federation).
@@ -433,14 +346,11 @@ impl Mediator {
         for anchor in wrapper.anchors() {
             match anchor {
                 Anchor::Fixed { class, concept } => {
-                    let node = self
-                        .dm
-                        .lookup(&concept)
-                        .ok_or(MediatorError::UnknownConcept { name: concept })?;
+                    let node = self.knowledge.lookup(&concept)?;
                     let count = strict(wrapper.query(&SourceQuery::scan(&class)))?
                         .len()
                         .max(1);
-                    self.index.anchor_many(id, node, count);
+                    self.knowledge.index.anchor_many(id, node, count);
                 }
                 Anchor::ByAttr { class, attr } => {
                     anchor_attrs
@@ -455,11 +365,8 @@ impl Mediator {
                         }
                     }
                     for (concept, count) in per_concept {
-                        let node = self
-                            .dm
-                            .lookup(&concept)
-                            .ok_or(MediatorError::UnknownConcept { name: concept })?;
-                        self.index.anchor_many(id, node, count);
+                        let node = self.knowledge.lookup(&concept)?;
+                        self.knowledge.index.anchor_many(id, node, count);
                     }
                 }
                 Anchor::Derived { class, rule } => {
@@ -502,18 +409,15 @@ impl Mediator {
                             .or_insert(1);
                     }
                     for (concept, count) in per_concept {
-                        let node = self
-                            .dm
-                            .lookup(&concept)
-                            .ok_or(MediatorError::UnknownConcept { name: concept })?;
-                        self.index.anchor_many(id, node, count);
+                        let node = self.knowledge.lookup(&concept)?;
+                        self.knowledge.index.anchor_many(id, node, count);
                     }
                 }
             }
         }
         let caps = wrapper.capabilities();
         let classes = caps.iter().map(|c| c.class.clone()).collect();
-        self.sources.push(RegisteredSource {
+        self.federation.add_source(RegisteredSource {
             id,
             name: name.clone(),
             caps,
@@ -526,11 +430,11 @@ impl Mediator {
         // and the base is current, apply the new CM and anchor facts
         // incrementally instead of rebuilding everything (anchoring
         // "without changing the latter", §4).
-        if contribution.trim().is_empty() && !self.dirty {
-            let cm = self.cms.last().expect("just pushed").clone();
+        if !map_changed && !self.dirty {
+            let cm = self.knowledge.cms.last().expect("just pushed").clone();
             self.base.apply(&cm)?;
-            for concept in self.index.concepts_of(id) {
-                if let Some(cname) = self.dm.name(concept) {
+            for concept in self.knowledge.index.concepts_of(id) {
+                if let Some(cname) = self.knowledge.dm.name(concept) {
                     let text = format!("anchored({:?}, {:?}).", name, cname);
                     self.base.flogic_mut().load(&text)?;
                 }
@@ -542,10 +446,37 @@ impl Mediator {
         Ok(id)
     }
 
+    // ------------------------------------------------------------------
+    // The eval/cache pipeline.
+    // ------------------------------------------------------------------
+
+    /// Overrides the evaluation options (depth limits etc.).
+    pub fn set_eval_options(&mut self, opts: EvalOptions) {
+        self.eval_options = opts;
+        self.dirty = true;
+    }
+
+    /// The current evaluation options.
+    pub fn eval_options(&self) -> &EvalOptions {
+        &self.eval_options
+    }
+
+    /// Read access to the GCM base (the built engine).
+    pub fn base(&self) -> &GcmBase {
+        &self.base
+    }
+
+    /// Removes the most recently defined view (used for one-off queries);
+    /// the base is rebuilt lazily on next use.
+    pub(crate) fn pop_view(&mut self) {
+        self.knowledge.views.pop();
+        self.dirty = true;
+    }
+
     /// Defines an integrated view (an IVD): FL rule text over source
     /// classes and the domain map (Example 4).
     pub fn define_view(&mut self, fl_text: &str) -> Result<()> {
-        self.views.push(fl_text.to_string());
+        self.knowledge.views.push(fl_text.to_string());
         self.dirty = true;
         Ok(())
     }
@@ -556,22 +487,22 @@ impl Mediator {
     pub fn rebuild(&mut self) -> Result<()> {
         let mut base = GcmBase::new();
         base.flogic_mut().load_datalog(DM_OPS_RULES)?;
-        let prog = rules::compile(&self.dm, self.mode);
+        let prog = rules::compile(&self.knowledge.dm, self.knowledge.mode);
         base.flogic_mut().load(&prog.text)?;
-        for cm in &self.cms {
+        for cm in &self.knowledge.cms {
             base.apply(cm)?;
         }
         // Anchor facts: anchored(source, concept) for source selection at
         // the logic level too.
-        for src in &self.sources {
-            for concept in self.index.concepts_of(src.id) {
-                if let Some(cname) = self.dm.name(concept) {
+        for src in self.federation.sources() {
+            for concept in self.knowledge.index.concepts_of(src.id) {
+                if let Some(cname) = self.knowledge.dm.name(concept) {
                     let text = format!("anchored({:?}, {:?}).", src.name, cname);
                     base.flogic_mut().load(&text)?;
                 }
             }
         }
-        for v in &self.views {
+        for v in &self.knowledge.views {
             base.flogic_mut().load(v)?;
         }
         self.base = base;
@@ -596,7 +527,8 @@ impl Mediator {
         }
         let mut loaded = 0usize;
         let plan: Vec<(String, Vec<String>)> = self
-            .sources
+            .federation
+            .sources()
             .iter()
             .map(|s| (s.name.clone(), s.classes.clone()))
             .collect();
@@ -618,7 +550,7 @@ impl Mediator {
     /// class, and malformed rows are typed errors — not silently
     /// accepted).
     pub fn load_row(&mut self, source: &str, class: &str, row: &ObjectRow) -> Result<()> {
-        let src = self.source(source)?;
+        let src = self.federation.source(source)?;
         if !src.classes.iter().any(|c| c == class) {
             return Err(MediatorError::UnknownClass {
                 class: class.to_string(),
@@ -654,13 +586,13 @@ impl Mediator {
     fn base_fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        format!("{:?}", self.dm).hash(&mut h);
-        format!("{:?}", self.mode).hash(&mut h);
+        format!("{:?}", self.knowledge.dm).hash(&mut h);
+        format!("{:?}", self.knowledge.mode).hash(&mut h);
         format!("{:?}", self.eval_options).hash(&mut h);
-        for cm in &self.cms {
+        for cm in &self.knowledge.cms {
             format!("{cm:?}").hash(&mut h);
         }
-        self.views.hash(&mut h);
+        self.knowledge.views.hash(&mut h);
         h.finish()
     }
 
@@ -676,24 +608,38 @@ impl Mediator {
         }
         if self.model.is_none() {
             let m = self.base.run_with(&self.eval_options)?;
-            self.model = Some(m);
+            self.model = Some(Arc::new(m));
             self.model_fp = Some(fp);
         }
         Ok(self.model.as_ref().expect("just set"))
+    }
+
+    /// Freezes the current state into an immutable, `Send + Sync`
+    /// [`QuerySnapshot`]: the evaluated model, the (cloned) GCM base, and
+    /// the resolved domain-map view, all behind `Arc`s. Call after
+    /// [`Self::materialize_all`]/[`Self::rebuild`]; the snapshot then
+    /// serves [`QuerySnapshot::query_fl`]/[`QuerySnapshot::answer`] from
+    /// any number of threads with no locks on the hot path, while the
+    /// mediator remains free to keep evolving.
+    pub fn snapshot(&mut self) -> Result<QuerySnapshot> {
+        self.run()?;
+        Ok(QuerySnapshot::new(
+            Arc::new(self.base.clone()),
+            Arc::clone(self.model.as_ref().expect("run() caches the model")),
+            self.knowledge.resolved_arc(),
+            self.eval_options.clone(),
+        ))
     }
 
     /// Runs an FL query pattern (e.g. `"X : Neuron"` or
     /// `"protein_distribution(P, C, A)"`) against the evaluated model.
     pub fn query_fl(&mut self, pattern: &str) -> Result<Vec<Vec<Term>>> {
         self.run()?;
-        let model = self.model.take().expect("model cached");
-        let out = self
-            .base
+        let model = Arc::clone(self.model.as_ref().expect("model cached"));
+        self.base
             .flogic_mut()
             .query(&model, pattern)
-            .map_err(MediatorError::from);
-        self.model = Some(model);
-        out
+            .map_err(MediatorError::from)
     }
 
     /// Explains why an FL fact holds in the current model (e.g.
@@ -701,14 +647,11 @@ impl Mediator {
     /// rendered derivation tree. `None` when the fact does not hold.
     pub fn explain_fl(&mut self, fact: &str) -> Result<Option<String>> {
         self.run()?;
-        let model = self.model.take().expect("model cached");
-        let out = self
-            .base
+        let model = Arc::clone(self.model.as_ref().expect("model cached"));
+        self.base
             .flogic_mut()
             .explain(&model, fact, 16)
-            .map_err(MediatorError::from);
-        self.model = Some(model);
-        out
+            .map_err(MediatorError::from)
     }
 
     /// Renders a term from a query result.
@@ -719,269 +662,8 @@ impl Mediator {
     /// The inconsistency witnesses of the current model.
     pub fn witnesses(&mut self) -> Result<Vec<String>> {
         self.run()?;
-        Ok(self
-            .base
-            .witnesses(self.model.as_ref().expect("model cached")))
-    }
-
-    /// Capability-aware, fault-tolerant fetch: pushes the pushable
-    /// selections to the wrapper (with retries, timeout budget, and
-    /// circuit breaker per the source's [`SourcePolicy`]), quarantines
-    /// rows that violate the source's exported CM, and applies the
-    /// remaining selections as a residual filter mediator-side.
-    ///
-    /// A source that exhausts its retry budget — or whose breaker is
-    /// open — is a typed [`MediatorError::Source`] error; the outcome is
-    /// also folded into the current [`Self::report`].
-    pub fn fetch(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
-        let src = self.source(source_name)?;
-        if !src.classes.iter().any(|c| c == &q.class) {
-            return Err(MediatorError::UnknownClass {
-                class: q.class.clone(),
-            });
-        }
-        let wrapper = Rc::clone(&src.wrapper);
-        match self.guarded_query(source_name, &wrapper, q) {
-            GuardedFetch::Rows { rows, attempts } => {
-                // CM validation: quarantine, don't abort.
-                let mut kept = Vec::with_capacity(rows.len());
-                let mut quarantined = Vec::new();
-                {
-                    let src = self.source(source_name)?;
-                    for row in rows {
-                        match src.validate_row(&q.class, &row) {
-                            Ok(()) => kept.push(row),
-                            Err(reason) => quarantined.push(QuarantinedRow {
-                                source: source_name.to_string(),
-                                class: q.class.clone(),
-                                row_id: row.id.clone(),
-                                reason,
-                            }),
-                        }
-                    }
-                }
-                for qr in quarantined {
-                    self.report.record_quarantine(qr);
-                }
-                let kept: Vec<ObjectRow> = kept
-                    .into_iter()
-                    .filter(|r| {
-                        q.selections
-                            .iter()
-                            .all(|s| r.get(&s.attr) == Some(&s.value))
-                    })
-                    .collect();
-                self.stats.rows_kept += kept.len();
-                let outcome = if attempts > 1 {
-                    SourceOutcome::Retried {
-                        retries: attempts - 1,
-                    }
-                } else {
-                    SourceOutcome::Ok
-                };
-                self.report
-                    .record_fetch(source_name, attempts as usize, kept.len(), outcome);
-                Ok(kept)
-            }
-            GuardedFetch::Failed { attempts, error } => {
-                self.report.record_fetch(
-                    source_name,
-                    attempts as usize,
-                    0,
-                    SourceOutcome::Failed {
-                        error: error.clone(),
-                    },
-                );
-                Err(MediatorError::Source {
-                    name: source_name.to_string(),
-                    error,
-                })
-            }
-            GuardedFetch::Skipped => {
-                self.report
-                    .record_fetch(source_name, 0, 0, SourceOutcome::SkippedByBreaker);
-                Err(MediatorError::Source {
-                    name: source_name.to_string(),
-                    error: SourceError::Unavailable {
-                        reason: "circuit breaker open; source not contacted".into(),
-                    },
-                })
-            }
-        }
-    }
-
-    /// Like [`Self::fetch`], but a source-level failure degrades to an
-    /// empty row set instead of an error (the failure stays visible in
-    /// [`Self::report`]). Mediator-level errors (unknown source/class)
-    /// still propagate.
-    pub fn fetch_degraded(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
-        match self.fetch(source_name, q) {
-            Ok(rows) => Ok(rows),
-            Err(MediatorError::Source { .. }) => Ok(Vec::new()),
-            Err(other) => Err(other),
-        }
-    }
-
-    /// **Source selection** via the semantic index (§5 step 2): the names
-    /// of sources with data anchored at (or below) *all* the given
-    /// concepts.
-    pub fn select_sources(&self, concepts: &[&str]) -> Result<Vec<String>> {
-        let mut nodes = Vec::with_capacity(concepts.len());
-        for c in concepts {
-            nodes.push(
-                self.dm
-                    .lookup(c)
-                    .ok_or_else(|| MediatorError::UnknownConcept {
-                        name: (*c).to_string(),
-                    })?,
-            );
-        }
-        let ids = self.index.sources_for_all(&self.resolved, &nodes);
-        Ok(self
-            .sources
-            .iter()
-            .filter(|s| ids.contains(&s.id))
-            .map(|s| s.name.clone())
-            .collect())
-    }
-
-    /// Sources with data anchored anywhere in the **anatomical region**
-    /// under `root` — the downward closure along `role` (which includes
-    /// isa-subconcepts). This is how "sources relevant to the cerebellum"
-    /// finds a lab anchored at `Purkinje_Cell` (a *part*, not a
-    /// subconcept, of the cerebellum).
-    pub fn sources_in_region(&self, role: &str, root: &str) -> Result<Vec<String>> {
-        let node = self
-            .dm
-            .lookup(root)
-            .ok_or_else(|| MediatorError::UnknownConcept {
-                name: root.to_string(),
-            })?;
-        let region = self.resolved.downward_closure(role, node);
-        let mut ids: Vec<kind_dm::SourceId> = region
-            .into_iter()
-            .flat_map(|c| self.index.sources_at(c))
-            .collect();
-        ids.sort();
-        ids.dedup();
-        Ok(self
-            .sources
-            .iter()
-            .filter(|s| ids.contains(&s.id))
-            .map(|s| s.name.clone())
-            .collect())
-    }
-
-    /// **Logic-level source selection**: the sources whose anchored
-    /// concepts are subsumed by a DL concept *expression* — e.g.
-    /// `"Neuron and exists has.Spine"` finds sources anchored at
-    /// `Purkinje_Cell` even if no single named concept covers the query.
-    /// Uses the structural subsumption reasoner on the retained axioms
-    /// (sound, incomplete; see `kind_dm::subsume`).
-    pub fn select_sources_by_expression(&self, expr_text: &str) -> Result<Vec<String>> {
-        let expr = kind_dm::parse_concept_expr(expr_text)?;
-        let reasoner = kind_dm::subsume::Subsumption::new(&self.axioms);
-        let mut out = Vec::new();
-        for src in &self.sources {
-            let anchored = self.index.concepts_of(src.id);
-            let relevant = anchored.iter().any(|&c| {
-                self.dm.name(c).is_some_and(|name| {
-                    reasoner.subsumes(&expr, &kind_dm::ConceptExpr::Atomic(name.to_string()))
-                })
-            });
-            if relevant {
-                out.push(src.name.clone());
-            }
-        }
-        Ok(out)
-    }
-
-    /// Sources relevant to any one concept's cone.
-    pub fn sources_below(&self, concept: &str) -> Result<Vec<String>> {
-        let node = self
-            .dm
-            .lookup(concept)
-            .ok_or_else(|| MediatorError::UnknownConcept {
-                name: concept.to_string(),
-            })?;
-        let ids = self.index.sources_below(&self.resolved, node);
-        Ok(self
-            .sources
-            .iter()
-            .filter(|s| ids.contains(&s.id))
-            .map(|s| s.name.clone())
-            .collect())
-    }
-
-    /// The least upper bound of the named concepts in the isa lattice.
-    pub fn lub(&self, concepts: &[&str]) -> Result<Option<String>> {
-        let nodes = self.lookup_all(concepts)?;
-        Ok(self
-            .resolved
-            .lub(&nodes)
-            .and_then(|n| self.dm.name(n).map(str::to_owned)))
-    }
-
-    /// The least upper bound in the **partonomy order** along `role` —
-    /// the "region of correspondence" of §5 step 4: the smallest concept
-    /// whose downward closure contains all the given locations.
-    pub fn partonomy_lub(&self, role: &str, concepts: &[&str]) -> Result<Option<String>> {
-        let nodes = self.lookup_all(concepts)?;
-        Ok(self
-            .resolved
-            .partonomy_lub(role, &nodes)
-            .and_then(|n| self.dm.name(n).map(str::to_owned)))
-    }
-
-    fn lookup_all(&self, concepts: &[&str]) -> Result<Vec<kind_dm::NodeId>> {
-        let mut nodes = Vec::with_capacity(concepts.len());
-        for c in concepts {
-            nodes.push(
-                self.dm
-                    .lookup(c)
-                    .ok_or_else(|| MediatorError::UnknownConcept {
-                        name: (*c).to_string(),
-                    })?,
-            );
-        }
-        Ok(nodes)
-    }
-
-    /// Calls a declared query template on a source (§2's "query
-    /// templates" capability form): expands the template with the given
-    /// arguments and fetches through the capability-aware path.
-    pub fn call_template(
-        &mut self,
-        source_name: &str,
-        template: &str,
-        args: &[kind_gcm::GcmValue],
-    ) -> Result<Vec<ObjectRow>> {
-        let src = self.source(source_name)?;
-        let t = src
-            .wrapper
-            .templates()
-            .into_iter()
-            .find(|t| t.name == template)
-            .ok_or_else(|| MediatorError::UnknownClass {
-                class: format!("{source_name}::{template}"),
-            })?;
-        let q = t.expand(args).ok_or_else(|| MediatorError::UnknownClass {
-            class: format!(
-                "{source_name}::{template}/{} called with {} args",
-                t.params.len(),
-                args.len()
-            ),
-        })?;
-        self.fetch(source_name, &q)
-    }
-
-    /// The sources that export `class` (by declared capability).
-    pub fn sources_exporting(&self, class: &str) -> Vec<String> {
-        self.sources
-            .iter()
-            .filter(|s| s.classes.iter().any(|c| c == class))
-            .map(|s| s.name.clone())
-            .collect()
+        let model = Arc::clone(self.model.as_ref().expect("model cached"));
+        Ok(self.base.witnesses(&model))
     }
 
     /// The warm [`Mediator::answer`] path (see `query.rs`): evaluates a
@@ -998,24 +680,20 @@ impl Mediator {
         exported: &[String],
     ) -> Result<Option<RowsAndSources>> {
         self.run()?;
+        let base_model = Arc::clone(self.model.as_ref().expect("run() caches the model"));
         let collides = self
             .base
             .flogic()
             .engine()
             .lookup(head_pred)
-            .is_some_and(|p| {
-                self.model
-                    .as_ref()
-                    .is_some_and(|m| m.facts.relation(p).is_some_and(|r| !r.is_empty()))
-            });
+            .is_some_and(|p| base_model.facts.relation(p).is_some_and(|r| !r.is_empty()));
         if collides {
             return Ok(None);
         }
-        let base_model = self.model.take().expect("run() caches the model");
-        let out = self.answer_on_clone(rule_text, head_pred, head_args, exported, &base_model);
-        // The base itself was not touched: the cached model stays valid.
-        self.model = Some(base_model);
-        out.map(Some)
+        // The base itself is not touched below: the cached model stays
+        // valid, and the shared `Arc` means no take/put juggling.
+        self.answer_on_clone(rule_text, head_pred, head_args, exported, &base_model)
+            .map(Some)
     }
 
     fn answer_on_clone(
@@ -1111,11 +789,11 @@ fn reintern(from: &kind_datalog::Engine, to: &mut kind_datalog::Engine, t: &Term
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wrapper::MemoryWrapper;
+    use crate::wrapper::{Capability, MemoryWrapper};
     use kind_dm::figures;
     use kind_gcm::GcmValue;
 
-    fn simple_wrapper(name: &str, class: &str, concept: &str, n: usize) -> Rc<MemoryWrapper> {
+    fn simple_wrapper(name: &str, class: &str, concept: &str, n: usize) -> Arc<MemoryWrapper> {
         let mut w = MemoryWrapper::new(name);
         w.caps.push(Capability {
             class: class.into(),
@@ -1135,7 +813,7 @@ mod tests {
                 ],
             );
         }
-        Rc::new(w)
+        Arc::new(w)
     }
 
     #[test]
@@ -1188,7 +866,7 @@ mod tests {
             concept: "MyNeuron".into(),
         });
         w.add_row("my_neurons", "m1", vec![]);
-        m.register(Rc::new(w)).unwrap();
+        m.register(Arc::new(w)).unwrap();
         assert!(m.dm().lookup("MyNeuron").is_some());
         // Derived knowledge: MyNeuron projects to GPE, so the source is
         // found below Medium_Spiny_Neuron.
@@ -1235,8 +913,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rows.len(), 1);
-        assert_eq!(m.stats.rows_shipped, 4);
-        assert_eq!(m.stats.rows_kept, 1);
+        assert_eq!(m.stats().rows_shipped, 4);
+        assert_eq!(m.stats().rows_kept, 1);
         // `location` is pushable: wrapper ships only matches.
         let rows = m
             .fetch(
@@ -1245,7 +923,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rows.len(), 4);
-        assert_eq!(m.stats.rows_shipped, 8);
+        assert_eq!(m.stats().rows_shipped, 8);
     }
 
     #[test]
@@ -1309,7 +987,7 @@ mod tests {
         });
         w.add_row("m", "a", vec![("loc", GcmValue::Id("Spine".into()))]);
         w.add_row("m", "b", vec![("loc", GcmValue::Id("Shaft".into()))]);
-        m.register(Rc::new(w)).unwrap();
+        m.register(Arc::new(w)).unwrap();
         let rows = m
             .call_template("T", "by_loc", &[GcmValue::Id("Spine".into())])
             .unwrap();
@@ -1340,7 +1018,7 @@ mod tests {
         w.add_row("probe", "p1", vec![("depth", GcmValue::Int(9))]);
         w.add_row("probe", "p2", vec![("depth", GcmValue::Int(2))]);
         w.add_row("probe", "p3", vec![("depth", GcmValue::Int(7))]);
-        let id = m.register(Rc::new(w)).unwrap();
+        let id = m.register(Arc::new(w)).unwrap();
         let spine = m.dm().lookup("Spine").unwrap();
         let shaft = m.dm().lookup("Shaft").unwrap();
         assert_eq!(m.index().count(id, spine), 2);

@@ -134,7 +134,7 @@ pub fn run_section5(
     use_semantic_index: bool,
 ) -> Result<PlanTrace> {
     m.begin_report();
-    let stats_before = m.stats;
+    let stats_before = m.stats();
     let mut trace = PlanTrace {
         used_semantic_index: use_semantic_index,
         ..Default::default()
@@ -266,12 +266,13 @@ pub fn run_section5(
             }
         }
     }
+    let stats_after = m.stats();
     trace.stats = MediatorStats {
-        source_queries: m.stats.source_queries - stats_before.source_queries,
-        rows_shipped: m.stats.rows_shipped - stats_before.rows_shipped,
-        rows_kept: m.stats.rows_kept - stats_before.rows_kept,
-        retries: m.stats.retries - stats_before.retries,
-        failures: m.stats.failures - stats_before.failures,
+        source_queries: stats_after.source_queries - stats_before.source_queries,
+        rows_shipped: stats_after.rows_shipped - stats_before.rows_shipped,
+        rows_kept: stats_after.rows_kept - stats_before.rows_kept,
+        retries: stats_after.retries - stats_before.retries,
+        failures: stats_after.failures - stats_before.failures,
     };
     trace.report = m.report().clone();
     Ok(trace)

@@ -162,7 +162,7 @@ mod tests {
     use crate::wrapper::{Anchor, Capability, MemoryWrapper};
     use kind_dm::{figures, ExecMode};
     use kind_gcm::GcmValue;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn mediator_with_two_sources() -> Mediator {
         let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
@@ -182,7 +182,7 @@ mod tests {
                 vec![("len", GcmValue::Int(i * 10))],
             );
         }
-        m.register(Rc::new(a)).unwrap();
+        m.register(Arc::new(a)).unwrap();
         let mut b = MemoryWrapper::new("B");
         b.caps.push(Capability {
             class: "proteins".into(),
@@ -197,7 +197,7 @@ mod tests {
             "p0",
             vec![("name", GcmValue::Id("calb".into()))],
         );
-        m.register(Rc::new(b)).unwrap();
+        m.register(Arc::new(b)).unwrap();
         m
     }
 

@@ -1,0 +1,186 @@
+//! Immutable, thread-safe query snapshots.
+//!
+//! [`QuerySnapshot`] is the mediator's answer to "serve reads from N
+//! threads": [`crate::Mediator::snapshot`] freezes the evaluated state —
+//! the GCM base (rules + interner), the evaluated [`Model`], and the
+//! resolved domain-map view — behind `Arc`s, and the snapshot then
+//! answers queries with **no locks on the hot path**:
+//!
+//! * [`QuerySnapshot::query_fl`] parses the pattern into a private
+//!   scratch symbol table and *remaps* it into the frozen interner
+//!   (`FLogic::query_frozen`), so it never mutates shared state — `&self`
+//!   all the way down. A constant the snapshot has never seen simply
+//!   matches nothing.
+//! * [`QuerySnapshot::answer`] evaluates a one-off rule on a per-call
+//!   **clone** of the frozen base (per-thread scratch space), seeded from
+//!   the shared model so only the rule's own stratum is computed.
+//!
+//! The only shared mutable state anywhere below a snapshot is the
+//! `RwLock`-backed closure memo tables inside [`Resolved`] — concurrent
+//! readers warm those cooperatively, and a lost race merely recomputes a
+//! deterministic value.
+//!
+//! Snapshots are decoupled from the mediator that produced them: the
+//! mediator may keep registering sources, loading rows, and rebuilding
+//! while old snapshots keep serving the state they captured (snapshot
+//! isolation for reads). Publishing a fresher view is just
+//! `mediator.snapshot()` again.
+
+use crate::error::{MediatorError, Result};
+use kind_datalog::{EvalOptions, Model, Term};
+use kind_dm::Resolved;
+use kind_flogic::{parse_fl_program, Molecule};
+use kind_gcm::GcmBase;
+use std::sync::Arc;
+
+/// A frozen, `Send + Sync` view of an evaluated mediator: shared base +
+/// model + resolved closures, read-only query API. See the module docs.
+#[derive(Debug, Clone)]
+pub struct QuerySnapshot {
+    base: Arc<GcmBase>,
+    model: Arc<Model>,
+    resolved: Arc<Resolved>,
+    eval_options: EvalOptions,
+}
+
+// The whole point of a snapshot: hand it to N worker threads. Enforced
+// here at compile time (and again from the integration tests).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QuerySnapshot>();
+};
+
+impl QuerySnapshot {
+    pub(crate) fn new(
+        base: Arc<GcmBase>,
+        model: Arc<Model>,
+        resolved: Arc<Resolved>,
+        eval_options: EvalOptions,
+    ) -> Self {
+        QuerySnapshot {
+            base,
+            model,
+            resolved,
+            eval_options,
+        }
+    }
+
+    /// The frozen evaluated model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The resolved domain-map view captured by this snapshot (its memo
+    /// tables are `RwLock`-backed, so concurrent probes are fine).
+    pub fn resolved(&self) -> &Resolved {
+        &self.resolved
+    }
+
+    /// The evaluation options captured at snapshot time (used by
+    /// [`Self::answer`]'s per-call evaluation).
+    pub fn eval_options(&self) -> &EvalOptions {
+        &self.eval_options
+    }
+
+    /// Runs an FL query pattern (e.g. `"X : Neuron"`) against the frozen
+    /// model. Lock-free and allocation-light: the pattern is parsed into
+    /// a scratch symbol table and remapped into the frozen interner, so
+    /// `&self` suffices and threads never contend. Patterns mentioning
+    /// symbols the snapshot has never seen yield no rows.
+    pub fn query_fl(&self, pattern: &str) -> Result<Vec<Vec<Term>>> {
+        self.base
+            .flogic()
+            .query_frozen(&self.model, pattern)
+            .map_err(MediatorError::from)
+    }
+
+    /// Renders a term from a query result using the frozen symbol table.
+    pub fn show(&self, t: &Term) -> String {
+        self.base.flogic().engine().show(t)
+    }
+
+    /// [`Self::query_fl`] with every row pre-rendered — convenient for
+    /// cross-thread result comparison and for callers that do not want to
+    /// hold `Term`s.
+    pub fn query_fl_rendered(&self, pattern: &str) -> Result<Vec<Vec<String>>> {
+        let mut rows: Vec<Vec<String>> = self
+            .query_fl(pattern)?
+            .iter()
+            .map(|r| r.iter().map(|t| self.show(t)).collect())
+            .collect();
+        rows.sort();
+        Ok(rows)
+    }
+
+    /// Answers a one-off conjunctive query given as a single FL rule
+    /// (same shape as [`crate::Mediator::answer`]), evaluated **over the
+    /// snapshot's materialized data** — no sources are contacted; rows
+    /// fetched before the snapshot was taken are what there is to query.
+    ///
+    /// Each call clones the frozen base into private scratch space, loads
+    /// the rule there, and evaluates it seeded from the shared model, so
+    /// strata the rule does not touch are never recomputed and concurrent
+    /// callers share nothing mutable. Returns rendered rows (sorted), in
+    /// head-variable order.
+    pub fn answer(&self, rule_text: &str) -> Result<Vec<Vec<String>>> {
+        // Validate the rule's shape with a scratch interner first, like
+        // `Mediator::answer` does.
+        let mut scratch = kind_datalog::Interner::new();
+        let clauses = parse_fl_program(rule_text, &mut scratch).map_err(MediatorError::from)?;
+        let [clause] = clauses.as_slice() else {
+            return Err(MediatorError::Datalog(kind_datalog::DatalogError::Parse {
+                offset: 0,
+                line: 0,
+                message: format!("answer() takes exactly one rule, got {}", clauses.len()),
+            }));
+        };
+        let Molecule::Plain(head) = &clause.head else {
+            return Err(MediatorError::Datalog(kind_datalog::DatalogError::Parse {
+                offset: 0,
+                line: 0,
+                message: "answer() rule head must be a plain predicate".to_string(),
+            }));
+        };
+        let head_pred = scratch.resolve(head.pred).to_string();
+        // Per-call scratch clone of the frozen base: loading the rule
+        // interns new symbols *there*, never in the shared snapshot.
+        let mut work = (*self.base).clone();
+        work.flogic_mut().load(rule_text)?;
+        // Seeding from the cached model is unsound if the head predicate
+        // already has base facts (the seed would double as input); fall
+        // back to a full evaluation on the clone in that case.
+        let collides = self
+            .base
+            .flogic()
+            .engine()
+            .lookup(&head_pred)
+            .is_some_and(|p| self.model.facts.relation(p).is_some_and(|r| !r.is_empty()));
+        let model = if collides {
+            work.flogic()
+                .run_for(&[head_pred.as_str()], &self.eval_options)
+                .map_err(MediatorError::from)?
+        } else {
+            work.flogic()
+                .run_for_seeded(&[head_pred.as_str()], &self.model, &self.eval_options)
+                .map_err(MediatorError::from)?
+        };
+        let pattern = kind_datalog::Atom::new(
+            work.flogic()
+                .engine()
+                .lookup(&head_pred)
+                .expect("head predicate interned by rule load"),
+            head.args.clone(),
+        );
+        let mut rows: Vec<Vec<String>> = model
+            .query(&pattern)
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|t| work.flogic().engine().show(t))
+                    .collect::<Vec<String>>()
+            })
+            .collect();
+        rows.sort();
+        Ok(rows)
+    }
+}

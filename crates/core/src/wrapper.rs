@@ -160,7 +160,10 @@ pub enum Anchor {
 
 /// The wrapper interface. Implementations translate between a source's
 /// native data and the conceptual level.
-pub trait Wrapper {
+///
+/// Wrappers are `Send + Sync`: a registered source is shared behind an
+/// `Arc<dyn Wrapper>` and may be queried from multiple threads.
+pub trait Wrapper: Send + Sync {
     /// The source's name (unique per mediator).
     fn name(&self) -> &str;
 
@@ -207,7 +210,7 @@ pub trait Wrapper {
 /// A simple in-memory wrapper: rows per class, everything pushable or
 /// nothing pushable. The building block for the simulated Neuroscience
 /// sources and for tests.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct MemoryWrapper {
     /// Source name.
     pub name: String,
@@ -225,10 +228,28 @@ pub struct MemoryWrapper {
     pub anchor_decls: Vec<Anchor>,
     /// DL axioms contributed at registration.
     pub dm_axioms: String,
-    /// Counts queries served (interior mutability for stats).
-    pub queries_served: std::cell::Cell<usize>,
+    /// Counts queries served (atomic: stats survive concurrent use).
+    pub queries_served: std::sync::atomic::AtomicUsize,
     /// Counts rows shipped.
-    pub rows_shipped: std::cell::Cell<usize>,
+    pub rows_shipped: std::sync::atomic::AtomicUsize,
+}
+
+impl Clone for MemoryWrapper {
+    fn clone(&self) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        MemoryWrapper {
+            name: self.name.clone(),
+            formalism: self.formalism.clone(),
+            cm: self.cm.clone(),
+            rows: self.rows.clone(),
+            caps: self.caps.clone(),
+            query_templates: self.query_templates.clone(),
+            anchor_decls: self.anchor_decls.clone(),
+            dm_axioms: self.dm_axioms.clone(),
+            queries_served: AtomicUsize::new(self.queries_served.load(Ordering::SeqCst)),
+            rows_shipped: AtomicUsize::new(self.rows_shipped.load(Ordering::SeqCst)),
+        }
+    }
 }
 
 impl MemoryWrapper {
@@ -432,7 +453,8 @@ impl Wrapper for MemoryWrapper {
         &self,
         q: &SourceQuery,
     ) -> std::result::Result<Vec<ObjectRow>, crate::fault::SourceError> {
-        self.queries_served.set(self.queries_served.get() + 1);
+        self.queries_served
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let pushable: Vec<&str> = self
             .caps
             .iter()
@@ -454,7 +476,8 @@ impl Wrapper for MemoryWrapper {
                     .collect()
             })
             .unwrap_or_default();
-        self.rows_shipped.set(self.rows_shipped.get() + out.len());
+        self.rows_shipped
+            .fetch_add(out.len(), std::sync::atomic::Ordering::SeqCst);
         Ok(out)
     }
 }
@@ -495,7 +518,7 @@ mod tests {
         let rows = w.query(&q).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].id, "r1");
-        assert_eq!(w.rows_shipped.get(), 1);
+        assert_eq!(w.rows_shipped.load(std::sync::atomic::Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Thread-safety coverage for the layered mediator: compile-time
+//! `Send + Sync` enforcement for the pieces that cross thread boundaries,
+//! and a stress test where 8 threads hammer one [`QuerySnapshot`] with
+//! mixed `query_fl`/`answer` calls whose results must be identical to the
+//! single-threaded run.
+
+use kind_core::{
+    Anchor, Capability, Federation, Knowledge, Mediator, MemoryWrapper, QuerySnapshot,
+};
+use kind_dm::{figures, ExecMode};
+use kind_gcm::GcmValue;
+use std::sync::Arc;
+use std::thread;
+
+const fn assert_send_sync<T: Send + Sync>() {}
+
+// The snapshot is the type handed to worker threads; the layers must be
+// transferable too (e.g. a mediator built on one thread, served from
+// another).
+const _: () = assert_send_sync::<QuerySnapshot>();
+const _: () = assert_send_sync::<Federation>();
+const _: () = assert_send_sync::<Knowledge>();
+const _: () = assert_send_sync::<Mediator>();
+
+fn spine_wrapper(name: &str, concept: &str, n: usize) -> Arc<MemoryWrapper> {
+    let mut w = MemoryWrapper::new(name);
+    w.caps.push(Capability {
+        class: "spines".into(),
+        pushable: vec![],
+    });
+    w.anchor_decls.push(Anchor::Fixed {
+        class: "spines".into(),
+        concept: concept.into(),
+    });
+    for i in 0..n {
+        w.add_row(
+            "spines",
+            &format!("s{i}"),
+            vec![
+                ("len", GcmValue::Int(i as i64 * 10)),
+                ("loc", GcmValue::Id(concept.into())),
+            ],
+        );
+    }
+    Arc::new(w)
+}
+
+fn snapshot_fixture() -> QuerySnapshot {
+    let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+    m.register(spine_wrapper("A", "Spine", 6)).unwrap();
+    m.register(spine_wrapper("B", "Shaft", 4)).unwrap();
+    m.define_view("long_spine(X, L) :- X : spines, X[len -> L], L >= 30.")
+        .unwrap();
+    m.materialize_all().unwrap();
+    m.snapshot().unwrap()
+}
+
+/// The mixed workload: FL patterns served lock-free off the frozen
+/// model, and one-off rules evaluated on per-call scratch clones.
+const PATTERNS: &[&str] = &[
+    "X : spines",
+    "long_spine(X, L)",
+    r#"anchored(S, C)"#,
+    r#"isa_star(C, "Neuron_Compartment")"#,
+    "nonexistent_predicate(X)",
+];
+
+const RULES: &[&str] = &[
+    "q0(X, L) :- X : spines, X[len -> L], L >= 20.",
+    r#"q1(X) :- X : spines, X[loc -> "Spine"]."#,
+    "q2(C) :- anchored(S, C).",
+];
+
+fn run_workload(snap: &QuerySnapshot, salt: usize) -> Vec<Vec<Vec<String>>> {
+    let mut out = Vec::new();
+    for round in 0..8 {
+        let i = (round + salt) % PATTERNS.len();
+        out.push(snap.query_fl_rendered(PATTERNS[i]).unwrap());
+        let j = (round + salt) % RULES.len();
+        out.push(snap.answer(RULES[j]).unwrap());
+    }
+    out
+}
+
+#[test]
+fn eight_threads_match_single_threaded_results() {
+    let snap = snapshot_fixture();
+    // Single-threaded ground truth, one workload per salt.
+    let expected: Vec<Vec<Vec<Vec<String>>>> =
+        (0..8).map(|salt| run_workload(&snap, salt)).collect();
+    // Sanity: the workload actually produces data.
+    assert!(expected[0].iter().any(|rows| !rows.is_empty()));
+    // 8 threads, each running its salted workload several times against
+    // the one shared snapshot.
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|salt| {
+                let snap = &snap;
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..4 {
+                        let got = run_workload(snap, salt);
+                        assert_eq!(got, expected[salt], "thread {salt} diverged");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn snapshot_survives_mediator_mutation() {
+    // Snapshot isolation: the mediator keeps evolving after the snapshot
+    // is taken; the snapshot keeps answering from the frozen state.
+    let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+    m.register(spine_wrapper("A", "Spine", 3)).unwrap();
+    m.materialize_all().unwrap();
+    let snap = m.snapshot().unwrap();
+    let before = snap.query_fl_rendered("X : spines").unwrap();
+    assert_eq!(before.len(), 3);
+    // Mutate the mediator: register another source and re-materialize.
+    m.register(spine_wrapper("B", "Shaft", 5)).unwrap();
+    m.materialize_all().unwrap();
+    assert_eq!(m.query_fl("X : spines").unwrap().len(), 8);
+    // The old snapshot still sees exactly the old world...
+    assert_eq!(snap.query_fl_rendered("X : spines").unwrap(), before);
+    // ...and a fresh snapshot sees the new one.
+    let snap2 = m.snapshot().unwrap();
+    assert_eq!(snap2.query_fl_rendered("X : spines").unwrap().len(), 8);
+}
+
+#[test]
+fn snapshot_answer_matches_mediator_answer() {
+    let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+    m.register(spine_wrapper("A", "Spine", 6)).unwrap();
+    m.materialize_all().unwrap();
+    let snap = m.snapshot().unwrap();
+    let q = "big(X, L) :- X : spines, X[len -> L], L >= 30.";
+    let mut from_mediator: Vec<Vec<String>> = m
+        .answer(q)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|t| m.show(t)).collect())
+        .collect();
+    from_mediator.sort();
+    let from_snapshot = snap.answer(q).unwrap();
+    assert_eq!(from_snapshot, from_mediator);
+    assert_eq!(from_snapshot.len(), 3);
+}

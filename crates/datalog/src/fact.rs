@@ -1,9 +1,10 @@
 //! Ground fact storage: relations with lazily-built multi-column indexes.
 //!
 //! Bottom-up evaluation spends nearly all of its time probing relations
-//! during joins. Tuples are stored once as `Rc<[Term]>` shared between the
+//! during joins. Tuples are stored once as `Arc<[Term]>` shared between the
 //! dedup set, the insertion-ordered scan vector, and the indexes, so
-//! lookups and copies stay cheap.
+//! lookups and copies stay cheap — and whole relations can be shared
+//! across threads behind an immutable snapshot.
 //!
 //! Indexes are built **on first probe** for whatever column set a join
 //! actually binds (see [`Relation::iter_bound`]) and maintained
@@ -13,12 +14,11 @@
 
 use crate::interner::Sym;
 use crate::term::Term;
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 /// A ground tuple.
-pub type Tuple = Rc<[Term]>;
+pub type Tuple = Arc<[Term]>;
 
 /// An index over one column set: key values (in ascending column order) →
 /// positions into the tuple vector.
@@ -27,14 +27,28 @@ type ColumnIndex = HashMap<Vec<Term>, Vec<u32>>;
 /// A single relation: a deduplicated, insertion-ordered set of ground
 /// tuples, with hash indexes on arbitrary column sets built lazily on
 /// first probe.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Relation {
     tuples: Vec<Tuple>,
     set: HashSet<Tuple>,
     /// Lazily-built indexes: sorted column set → key → positions. Interior
     /// mutability lets a probe during evaluation (`&Relation`) build the
-    /// index it needs; `insert` maintains every existing index.
-    indexes: RefCell<HashMap<Vec<usize>, ColumnIndex>>,
+    /// index it needs; `insert` maintains every existing index. An
+    /// `RwLock` (rather than `RefCell`) keeps `Relation: Sync`, so frozen
+    /// relations can be probed concurrently from many query threads; the
+    /// hot path only ever takes the uncontended read lock once an index
+    /// exists.
+    indexes: RwLock<HashMap<Vec<usize>, ColumnIndex>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            tuples: self.tuples.clone(),
+            set: self.set.clone(),
+            indexes: RwLock::new(self.indexes.read().expect("index lock").clone()),
+        }
+    }
 }
 
 fn index_key(tuple: &[Term], cols: &[usize]) -> Option<Vec<Term>> {
@@ -60,7 +74,7 @@ impl Relation {
             return false;
         }
         let pos = u32::try_from(self.tuples.len()).expect("relation too large");
-        for (cols, index) in self.indexes.get_mut().iter_mut() {
+        for (cols, index) in self.indexes.get_mut().expect("index lock").iter_mut() {
             if let Some(key) = index_key(&tuple, cols) {
                 index.entry(key).or_default().push(pos);
             }
@@ -99,7 +113,7 @@ impl Relation {
     /// when the index was newly built.
     pub fn ensure_index(&self, cols: &[usize]) -> bool {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
-        let mut indexes = self.indexes.borrow_mut();
+        let mut indexes = self.indexes.write().expect("index lock");
         if indexes.contains_key(cols) {
             return false;
         }
@@ -124,10 +138,11 @@ impl Relation {
         let key: Vec<Term> = pairs.iter().map(|&(_, t)| t.clone()).collect();
         self.ensure_index(&cols);
         // Clone the (small) position list so the iterator does not hold
-        // the RefCell borrow while the caller walks the tuples.
+        // the read lock while the caller walks the tuples.
         let positions: Vec<u32> = self
             .indexes
-            .borrow()
+            .read()
+            .expect("index lock")
             .get(&cols)
             .and_then(|ix| ix.get(&key))
             .cloned()
@@ -143,7 +158,7 @@ impl Relation {
 
     /// Number of indexes currently built (diagnostics).
     pub fn index_count(&self) -> usize {
-        self.indexes.borrow().len()
+        self.indexes.read().expect("index lock").len()
     }
 
     /// Number of tuples.

@@ -20,6 +20,11 @@ impl Sym {
     }
 }
 
+/// The *fallback* rendering of a symbol, used only when no [`Interner`]
+/// is in scope: an opaque `#{n}` handle. Anything user-facing should
+/// prefer [`Interner::name_of`] / [`Interner::resolve`] (or the
+/// interner-threading helpers such as `Rule::compile_named` and
+/// `Term::display`) so diagnostics show the symbol's actual name.
 impl fmt::Display for Sym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "#{}", self.0)
@@ -62,6 +67,14 @@ impl Interner {
     /// Panics if `sym` was not produced by this interner.
     pub fn resolve(&self, sym: Sym) -> &str {
         &self.names[sym.index()]
+    }
+
+    /// Non-panicking [`Self::resolve`]: `None` when `sym` did not come
+    /// from this interner. Diagnostics use this to show a symbol's name,
+    /// falling back to the opaque `#{n}` rendering only when the symbol
+    /// is foreign.
+    pub fn name_of(&self, sym: Sym) -> Option<&str> {
+        self.names.get(sym.index()).map(|b| &**b)
     }
 
     /// Number of distinct symbols interned so far.

@@ -442,11 +442,12 @@ impl<'a> Parser<'a> {
             body.push(self.body_item()?);
         }
         self.expect(".")?;
-        let rule = Rule::compile(
+        let rule = Rule::compile_named(
             head,
             body,
             self.nvars(),
             std::mem::take(&mut self.var_names),
+            self.syms,
         )?;
         Ok(Clause::Rule(rule))
     }

@@ -43,8 +43,36 @@ impl Rule {
         nvars: u32,
         var_names: Vec<String>,
     ) -> Result<Rule> {
+        Rule::compile_inner(head, body, nvars, var_names, &|s| format!("{s}"))
+    }
+
+    /// Like [`Rule::compile`], but renders predicate names through `syms`
+    /// in error messages instead of the opaque `#{n}` fallback. Prefer
+    /// this whenever an interner is in scope — diagnostics like
+    /// `unsafe rule` then name the offending predicate.
+    pub fn compile_named(
+        head: Atom,
+        body: Vec<BodyItem>,
+        nvars: u32,
+        var_names: Vec<String>,
+        syms: &Interner,
+    ) -> Result<Rule> {
+        Rule::compile_inner(head, body, nvars, var_names, &|s| {
+            syms.name_of(s)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("{s}"))
+        })
+    }
+
+    fn compile_inner(
+        head: Atom,
+        body: Vec<BodyItem>,
+        nvars: u32,
+        var_names: Vec<String>,
+        pred_name: &dyn Fn(crate::interner::Sym) -> String,
+    ) -> Result<Rule> {
         let planned = plan_items(body, &HashSet::new()).map_err(|v| DatalogError::UnsafeRule {
-            rule: format!("rule with head predicate {}", head.pred),
+            rule: format!("rule with head predicate {}", pred_name(head.pred)),
             var: var_name(&var_names, v),
         })?;
         // After the plan runs, these variables are bound:
@@ -56,7 +84,7 @@ impl Rule {
         head.collect_vars(&mut head_vars);
         if let Some(&v) = head_vars.iter().find(|v| !bound.contains(v)) {
             return Err(DatalogError::UnsafeRule {
-                rule: format!("rule with head predicate {}", head.pred),
+                rule: format!("rule with head predicate {}", pred_name(head.pred)),
                 var: var_name(&var_names, v),
             });
         }

@@ -11,7 +11,7 @@
 
 use crate::interner::{Interner, Sym};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A rule-local variable. Variable identities are scoped to a single rule;
 /// `Var(0)` in one rule is unrelated to `Var(0)` in another.
@@ -41,7 +41,10 @@ pub enum Term {
     /// An integer constant.
     Int(i64),
     /// A function term `f(t1, ..., tn)`; used for skolem placeholders.
-    Func(Sym, Rc<[Term]>),
+    /// Argument lists are `Arc`-shared so terms stay cheap to clone and
+    /// whole models can cross thread boundaries (see `QuerySnapshot` in
+    /// `kind-core`).
+    Func(Sym, Arc<[Term]>),
 }
 
 impl Term {

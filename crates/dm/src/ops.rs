@@ -9,23 +9,25 @@
 //! definite concept-level link.
 
 use crate::graph::{DomainMap, EdgeKind, NodeId, NodeKind};
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
-/// A write-once memo table with a read API on `&self`.
-type Memo<K, V> = RefCell<HashMap<K, V>>;
+/// A write-once memo table with a read API on `&self`. An `RwLock`
+/// (rather than `RefCell`) keeps the tables `Sync`, so one shared
+/// [`Resolved`] can be probed concurrently from many query threads;
+/// racing writers at worst recompute the same deterministic value.
+type Memo<K, V> = RwLock<HashMap<K, V>>;
 /// Memo key for a per-role, per-node closure.
 type RoleNode = (String, NodeId);
 /// A shared node-set result (ancestor/descendant cones).
-type NodeSet = Rc<HashSet<NodeId>>;
+type NodeSet = Arc<HashSet<NodeId>>;
 
 /// Memo tables for the closure operations. A [`Resolved`] view is
 /// immutable once built — any change to the domain map rebuilds it from
 /// scratch ([`Resolved::new`]), which is the cache-invalidation rule — so
 /// every entry is write-once and shared results can be handed out as
-/// `Rc`s. Interior mutability keeps the read API on `&self`.
-#[derive(Debug, Clone, Default)]
+/// `Arc`s. Interior mutability keeps the read API on `&self`.
+#[derive(Debug, Default)]
 struct Caches {
     ancestors: Memo<NodeId, NodeSet>,
     descendants: Memo<NodeId, NodeSet>,
@@ -33,9 +35,28 @@ struct Caches {
     glb: Memo<Vec<NodeId>, Option<NodeId>>,
     plub: Memo<(String, Vec<NodeId>), Option<NodeId>>,
     pan: Memo<RoleNode, NodeSet>,
-    dc_pairs: Memo<String, Rc<Vec<(NodeId, NodeId)>>>,
-    dc_children: Memo<RoleNode, Rc<Vec<NodeId>>>,
-    down: Memo<RoleNode, Rc<Vec<NodeId>>>,
+    dc_pairs: Memo<String, Arc<Vec<(NodeId, NodeId)>>>,
+    dc_children: Memo<RoleNode, Arc<Vec<NodeId>>>,
+    down: Memo<RoleNode, Arc<Vec<NodeId>>>,
+}
+
+impl Clone for Caches {
+    fn clone(&self) -> Self {
+        fn copy<K: Clone + Eq + std::hash::Hash, V: Clone>(m: &Memo<K, V>) -> Memo<K, V> {
+            RwLock::new(m.read().expect("memo lock").clone())
+        }
+        Caches {
+            ancestors: copy(&self.ancestors),
+            descendants: copy(&self.descendants),
+            lub: copy(&self.lub),
+            glb: copy(&self.glb),
+            plub: copy(&self.plub),
+            pan: copy(&self.pan),
+            dc_pairs: copy(&self.dc_pairs),
+            dc_children: copy(&self.dc_children),
+            down: copy(&self.down),
+        }
+    }
 }
 
 /// A flattened, named-concept-only view of a domain map.
@@ -146,28 +167,30 @@ impl Resolved {
 
     /// All ancestors of `n` (reflexive: includes `n`). Memoized: repeat
     /// calls share one allocation.
-    pub fn ancestors(&self, n: NodeId) -> Rc<HashSet<NodeId>> {
-        if let Some(hit) = self.caches.ancestors.borrow().get(&n) {
-            return Rc::clone(hit);
+    pub fn ancestors(&self, n: NodeId) -> Arc<HashSet<NodeId>> {
+        if let Some(hit) = self.caches.ancestors.read().expect("memo lock").get(&n) {
+            return Arc::clone(hit);
         }
-        let set = Rc::new(self.reach(n, |x| &self.isa_up[x.index()]));
+        let set = Arc::new(self.reach(n, |x| &self.isa_up[x.index()]));
         self.caches
             .ancestors
-            .borrow_mut()
-            .insert(n, Rc::clone(&set));
+            .write()
+            .expect("memo lock")
+            .insert(n, Arc::clone(&set));
         set
     }
 
     /// All descendants of `n` (reflexive: includes `n`). Memoized.
-    pub fn descendants(&self, n: NodeId) -> Rc<HashSet<NodeId>> {
-        if let Some(hit) = self.caches.descendants.borrow().get(&n) {
-            return Rc::clone(hit);
+    pub fn descendants(&self, n: NodeId) -> Arc<HashSet<NodeId>> {
+        if let Some(hit) = self.caches.descendants.read().expect("memo lock").get(&n) {
+            return Arc::clone(hit);
         }
-        let set = Rc::new(self.reach(n, |x| &self.isa_down[x.index()]));
+        let set = Arc::new(self.reach(n, |x| &self.isa_down[x.index()]));
         self.caches
             .descendants
-            .borrow_mut()
-            .insert(n, Rc::clone(&set));
+            .write()
+            .expect("memo lock")
+            .insert(n, Arc::clone(&set));
         set
     }
 
@@ -209,11 +232,15 @@ impl Resolved {
         let mut key = nodes.to_vec();
         key.sort();
         key.dedup();
-        if let Some(&hit) = self.caches.lub.borrow().get(&key) {
+        if let Some(&hit) = self.caches.lub.read().expect("memo lock").get(&key) {
             return hit;
         }
         let result = self.lub_uncached(&key);
-        self.caches.lub.borrow_mut().insert(key, result);
+        self.caches
+            .lub
+            .write()
+            .expect("memo lock")
+            .insert(key, result);
         result
     }
 
@@ -248,11 +275,15 @@ impl Resolved {
         let mut key = nodes.to_vec();
         key.sort();
         key.dedup();
-        if let Some(&hit) = self.caches.glb.borrow().get(&key) {
+        if let Some(&hit) = self.caches.glb.read().expect("memo lock").get(&key) {
             return hit;
         }
         let result = self.glb_uncached(&key);
-        self.caches.glb.borrow_mut().insert(key, result);
+        self.caches
+            .glb
+            .write()
+            .expect("memo lock")
+            .insert(key, result);
         result
     }
 
@@ -296,7 +327,7 @@ impl Resolved {
     /// set of all inferable *direct* links — the paper's `has_a_star`
     /// when `role = "has_a"`.
     pub fn dc_pairs(&self, role: &str) -> Vec<(NodeId, NodeId)> {
-        if let Some(hit) = self.caches.dc_pairs.borrow().get(role) {
+        if let Some(hit) = self.caches.dc_pairs.read().expect("memo lock").get(role) {
             return (**hit).clone();
         }
         let base = self.role_pairs(role).to_vec();
@@ -316,8 +347,9 @@ impl Resolved {
         v.sort();
         self.caches
             .dc_pairs
-            .borrow_mut()
-            .insert(role.to_string(), Rc::new(v.clone()));
+            .write()
+            .expect("memo lock")
+            .insert(role.to_string(), Arc::new(v.clone()));
         v
     }
 
@@ -328,9 +360,15 @@ impl Resolved {
         (*self.dc_children_rc(role, n)).clone()
     }
 
-    fn dc_children_rc(&self, role: &str, n: NodeId) -> Rc<Vec<NodeId>> {
-        if let Some(hit) = self.caches.dc_children.borrow().get(&(role.to_string(), n)) {
-            return Rc::clone(hit);
+    fn dc_children_rc(&self, role: &str, n: NodeId) -> Arc<Vec<NodeId>> {
+        if let Some(hit) = self
+            .caches
+            .dc_children
+            .read()
+            .expect("memo lock")
+            .get(&(role.to_string(), n))
+        {
+            return Arc::clone(hit);
         }
         // Links whose source is n or any ancestor of n are inherited
         // down to n; collect their targets via the forward index.
@@ -344,11 +382,12 @@ impl Resolved {
         }
         let mut v: Vec<_> = out.into_iter().collect();
         v.sort();
-        let rc = Rc::new(v);
+        let rc = Arc::new(v);
         self.caches
             .dc_children
-            .borrow_mut()
-            .insert((role.to_string(), n), Rc::clone(&rc));
+            .write()
+            .expect("memo lock")
+            .insert((role.to_string(), n), Arc::clone(&rc));
         rc
     }
 
@@ -359,9 +398,15 @@ impl Resolved {
         (*self.downward_closure_rc(role, root)).clone()
     }
 
-    fn downward_closure_rc(&self, role: &str, root: NodeId) -> Rc<Vec<NodeId>> {
-        if let Some(hit) = self.caches.down.borrow().get(&(role.to_string(), root)) {
-            return Rc::clone(hit);
+    fn downward_closure_rc(&self, role: &str, root: NodeId) -> Arc<Vec<NodeId>> {
+        if let Some(hit) = self
+            .caches
+            .down
+            .read()
+            .expect("memo lock")
+            .get(&(role.to_string(), root))
+        {
+            return Arc::clone(hit);
         }
         let mut seen = HashSet::new();
         let mut order = Vec::new();
@@ -382,11 +427,12 @@ impl Resolved {
                 }
             }
         }
-        let rc = Rc::new(order);
+        let rc = Arc::new(order);
         self.caches
             .down
-            .borrow_mut()
-            .insert((role.to_string(), root), Rc::clone(&rc));
+            .write()
+            .expect("memo lock")
+            .insert((role.to_string(), root), Arc::clone(&rc));
         rc
     }
 
@@ -395,9 +441,15 @@ impl Resolved {
     /// step inverts the closure's two downward steps: follow a role link
     /// `(s, n)` up to `s` and all its isa-descendants (they inherit the
     /// link), or step to an isa-parent.
-    pub fn partonomy_ancestors(&self, role: &str, n: NodeId) -> Rc<HashSet<NodeId>> {
-        if let Some(hit) = self.caches.pan.borrow().get(&(role.to_string(), n)) {
-            return Rc::clone(hit);
+    pub fn partonomy_ancestors(&self, role: &str, n: NodeId) -> Arc<HashSet<NodeId>> {
+        if let Some(hit) = self
+            .caches
+            .pan
+            .read()
+            .expect("memo lock")
+            .get(&(role.to_string(), n))
+        {
+            return Arc::clone(hit);
         }
         let mut seen = HashSet::new();
         let mut queue = VecDeque::new();
@@ -419,11 +471,12 @@ impl Resolved {
                 }
             }
         }
-        let rc = Rc::new(seen);
+        let rc = Arc::new(seen);
         self.caches
             .pan
-            .borrow_mut()
-            .insert((role.to_string(), n), Rc::clone(&rc));
+            .write()
+            .expect("memo lock")
+            .insert((role.to_string(), n), Arc::clone(&rc));
         rc
     }
 
@@ -436,11 +489,15 @@ impl Resolved {
         key.sort();
         key.dedup();
         let full_key = (role.to_string(), key);
-        if let Some(&hit) = self.caches.plub.borrow().get(&full_key) {
+        if let Some(&hit) = self.caches.plub.read().expect("memo lock").get(&full_key) {
             return hit;
         }
         let result = self.partonomy_lub_uncached(role, &full_key.1);
-        self.caches.plub.borrow_mut().insert(full_key, result);
+        self.caches
+            .plub
+            .write()
+            .expect("memo lock")
+            .insert(full_key, result);
         result
     }
 
@@ -730,9 +787,9 @@ mod tests {
         let pc = dm.lookup("Purkinje_Cell").unwrap();
         let neuron = dm.lookup("Neuron").unwrap();
         // Repeat calls return the shared cached allocation…
-        assert!(Rc::ptr_eq(&r.ancestors(pc), &r.ancestors(pc)));
-        assert!(Rc::ptr_eq(&r.descendants(neuron), &r.descendants(neuron)));
-        assert!(Rc::ptr_eq(
+        assert!(Arc::ptr_eq(&r.ancestors(pc), &r.ancestors(pc)));
+        assert!(Arc::ptr_eq(&r.descendants(neuron), &r.descendants(neuron)));
+        assert!(Arc::ptr_eq(
             &r.partonomy_ancestors("has_a", pc),
             &r.partonomy_ancestors("has_a", pc)
         ));

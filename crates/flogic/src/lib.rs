@@ -45,9 +45,9 @@ pub mod translate;
 
 pub use ast::{ArrowKind, MethodSpec, Molecule};
 pub use parser::{parse_fl_molecule, parse_fl_program, FlBodyItem, FlClause};
-pub use translate::{implied_classes, lower_clause, molecule_atoms, Preds};
+pub use translate::{implied_classes, lower_clause, lower_clause_named, molecule_atoms, Preds};
 
-use kind_datalog::{DatalogError, Engine, EvalOptions, Model, Term};
+use kind_datalog::{DatalogError, Engine, EvalOptions, Interner, Model, Term};
 
 /// Core FL axioms of Table 1 (right column), in Datalog syntax over the
 /// reserved predicates.
@@ -141,7 +141,8 @@ impl FLogic {
 
     /// Adds one parsed FL clause.
     pub fn add_clause(&mut self, clause: &FlClause) -> Result<(), DatalogError> {
-        let (facts, rules) = translate::lower_clause(clause, &self.preds)?;
+        let (facts, rules) =
+            translate::lower_clause_named(clause, &self.preds, self.engine.symbols())?;
         for f in facts {
             self.engine.add_fact(f.pred, f.args)?;
         }
@@ -334,6 +335,87 @@ impl FLogic {
         }
         Ok(model.query(&atoms[0]))
     }
+
+    /// Read-only variant of [`FLogic::query`]: parses the pattern into a
+    /// scratch symbol table and *remaps* its symbols into this knowledge
+    /// base's (frozen) one, instead of interning new symbols into it. A
+    /// constant or predicate this engine has never seen cannot match
+    /// anything, so such patterns simply yield no rows.
+    ///
+    /// Because it takes `&self`, many threads can run queries against one
+    /// shared `FLogic` + [`Model`] concurrently — this is the hot path of
+    /// `kind-core`'s `QuerySnapshot`.
+    pub fn query_frozen(
+        &self,
+        model: &Model,
+        pattern: &str,
+    ) -> Result<Vec<Vec<Term>>, DatalogError> {
+        let mut scratch = Interner::new();
+        let (mol, _) = parser::parse_fl_molecule(pattern, &mut scratch)?;
+        let Some(mol) = remap_molecule(&mol, &scratch, self.engine.symbols()) else {
+            return Ok(Vec::new());
+        };
+        let atoms = translate::molecule_atoms(&mol, &self.preds);
+        if atoms.len() != 1 {
+            return Err(DatalogError::Parse {
+                offset: 0,
+                line: 0,
+                message: "query molecule must translate to a single atom".to_string(),
+            });
+        }
+        Ok(model.query(&atoms[0]))
+    }
+}
+
+/// Maps a term's symbols from one interner into another without
+/// interning; `None` when a symbol is unknown to `to`.
+fn remap_term(t: &Term, from: &Interner, to: &Interner) -> Option<Term> {
+    match t {
+        Term::Const(s) => to.get(from.resolve(*s)).map(Term::Const),
+        Term::Func(f, args) => {
+            let f = to.get(from.resolve(*f))?;
+            let args: Option<Vec<Term>> = args.iter().map(|a| remap_term(a, from, to)).collect();
+            Some(Term::func(f, args?))
+        }
+        other => Some(other.clone()),
+    }
+}
+
+/// [`remap_term`] lifted over molecules.
+fn remap_molecule(mol: &Molecule, from: &Interner, to: &Interner) -> Option<Molecule> {
+    match mol {
+        Molecule::IsA { obj, class } => Some(Molecule::IsA {
+            obj: remap_term(obj, from, to)?,
+            class: remap_term(class, from, to)?,
+        }),
+        Molecule::SubClass { sub, sup } => Some(Molecule::SubClass {
+            sub: remap_term(sub, from, to)?,
+            sup: remap_term(sup, from, to)?,
+        }),
+        Molecule::Frame { obj, specs } => {
+            let obj = remap_term(obj, from, to)?;
+            let specs = specs
+                .iter()
+                .map(|s| {
+                    Some(MethodSpec {
+                        method: remap_term(&s.method, from, to)?,
+                        arrow: s.arrow,
+                        value: remap_term(&s.value, from, to)?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(Molecule::Frame { obj, specs })
+        }
+        Molecule::Plain(a) => {
+            let pred = to.get(from.resolve(a.pred))?;
+            let args = a
+                .args
+                .iter()
+                .map(|t| remap_term(t, from, to))
+                .collect::<Option<Vec<_>>>()?;
+            Some(Molecule::Plain(kind_datalog::Atom::new(pred, args)))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -451,6 +533,27 @@ mod tests {
         let v2 = e.query_model(&m, "val(m2, spine_density, V)").unwrap();
         assert_eq!(v2.len(), 1);
         assert_eq!(v2[0][2], Term::Int(99));
+    }
+
+    #[test]
+    fn query_frozen_matches_query_and_handles_unknowns() {
+        let mut fl = FLogic::new();
+        fl.load(
+            "n1 : neuron. n2 : neuron.
+             n1[size -> 42].",
+        )
+        .unwrap();
+        let m = fl.run().unwrap();
+        let frozen = fl.query_frozen(&m, "X : neuron").unwrap();
+        let mutable = fl.clone().query(&m, "X : neuron").unwrap();
+        assert_eq!(frozen, mutable);
+        assert_eq!(fl.query_frozen(&m, "X[size -> V]").unwrap().len(), 1);
+        // Symbols the engine has never seen yield no rows (and intern
+        // nothing).
+        let before = fl.engine().symbols().len();
+        assert!(fl.query_frozen(&m, "X : no_such_class").unwrap().is_empty());
+        assert!(fl.query_frozen(&m, "no_such_pred(X)").unwrap().is_empty());
+        assert_eq!(fl.engine().symbols().len(), before);
     }
 
     #[test]

@@ -128,6 +128,30 @@ pub fn lower_clause(
     clause: &FlClause,
     preds: &Preds,
 ) -> Result<(Vec<Atom>, Vec<Rule>), DatalogError> {
+    lower_clause_inner(clause, preds, None)
+}
+
+/// Like [`lower_clause`], but renders predicate names through `syms` in
+/// error messages (instead of opaque `#{n}` handles). Prefer this when an
+/// interner is in scope.
+pub fn lower_clause_named(
+    clause: &FlClause,
+    preds: &Preds,
+    syms: &Interner,
+) -> Result<(Vec<Atom>, Vec<Rule>), DatalogError> {
+    lower_clause_inner(clause, preds, Some(syms))
+}
+
+fn lower_clause_inner(
+    clause: &FlClause,
+    preds: &Preds,
+    syms: Option<&Interner>,
+) -> Result<(Vec<Atom>, Vec<Rule>), DatalogError> {
+    let name = |s: Sym| -> String {
+        syms.and_then(|i| i.name_of(s))
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{s}"))
+    };
     let heads = molecule_atoms(&clause.head, preds);
     if clause.body.is_empty() {
         for h in &heads {
@@ -135,7 +159,7 @@ pub fn lower_clause(
                 return Err(DatalogError::Parse {
                     offset: 0,
                     line: 0,
-                    message: format!("FL fact with variables (predicate #{})", h.pred),
+                    message: format!("FL fact with variables (predicate {})", name(h.pred)),
                 });
             }
         }
@@ -144,7 +168,12 @@ pub fn lower_clause(
     let body = lower_body(&clause.body, preds)?;
     let rules = heads
         .into_iter()
-        .map(|h| Rule::compile(h, body.clone(), clause.nvars, clause.var_names.clone()))
+        .map(|h| match syms {
+            Some(i) => {
+                Rule::compile_named(h, body.clone(), clause.nvars, clause.var_names.clone(), i)
+            }
+            None => Rule::compile(h, body.clone(), clause.nvars, clause.var_names.clone()),
+        })
         .collect::<Result<Vec<_>, _>>()?;
     Ok((Vec::new(), rules))
 }

@@ -8,7 +8,7 @@
 //! benchmarks.
 
 use kind_core::{MemoryWrapper, Wrapper};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The cerebellum & hippocampus partonomy the §5 scenario needs, as DL
 /// axioms extending Figure 1. Concept names follow the paper's examples
@@ -51,10 +51,10 @@ pub fn scenario_domain_map() -> kind_dm::DomainMap {
 /// The ANATOM wrapper: contributes anatomy axioms at registration and
 /// exports no instance data (it is pure knowledge). `extra_axioms` lets
 /// benchmarks splice in a generated partonomy.
-pub fn anatom_wrapper(extra_axioms: &str) -> Rc<dyn Wrapper> {
+pub fn anatom_wrapper(extra_axioms: &str) -> Arc<dyn Wrapper> {
     let mut w = MemoryWrapper::new("ANATOM");
     w.dm_axioms = format!("{NEURO_ANATOMY_AXIOMS}\n{extra_axioms}");
-    Rc::new(w)
+    Arc::new(w)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use kind_gcm::GcmValue;
 use kind_xml::Element;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Calcium-binding proteins of the scenario (the paper's demo uses the
 /// Ryanodine Receptor).
@@ -45,7 +45,7 @@ fn ncmir_cm() -> Element {
 }
 
 /// Builds the NCMIR wrapper with `rows` generated measurements.
-pub fn ncmir_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
+pub fn ncmir_wrapper(seed: u64, rows: usize) -> Arc<dyn Wrapper> {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x9c31)); // distinct stream
     let mut w = MemoryWrapper::new("NCMIR");
     w.formalism = "uxf".into();
@@ -79,7 +79,7 @@ pub fn ncmir_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
             ],
         );
     }
-    Rc::new(w)
+    Arc::new(w)
 }
 
 #[cfg(test)]

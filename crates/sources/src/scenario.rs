@@ -12,7 +12,7 @@ use kind_dm::ExecMode;
 use kind_gcm::GcmValue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Scenario knobs (all deterministic for a fixed seed).
 #[derive(Debug, Clone)]
@@ -50,7 +50,7 @@ impl Default for ScenarioParams {
 /// An irrelevant protein source: exports the same `protein_amount` class
 /// as NCMIR but all its data anchors at hippocampal (non-cerebellar)
 /// concepts, so the semantic index should prune it from Purkinje queries.
-pub fn noise_protein_wrapper(name: &str, seed: u64, rows: usize) -> Rc<dyn Wrapper> {
+pub fn noise_protein_wrapper(name: &str, seed: u64, rows: usize) -> Arc<dyn Wrapper> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = MemoryWrapper::new(name);
     w.caps.push(Capability {
@@ -82,7 +82,7 @@ pub fn noise_protein_wrapper(name: &str, seed: u64, rows: usize) -> Rc<dyn Wrapp
             ],
         );
     }
-    Rc::new(w)
+    Arc::new(w)
 }
 
 /// Builds the fully registered mediator for the scenario.
@@ -119,7 +119,7 @@ pub fn build_scenario(params: &ScenarioParams) -> Mediator {
 pub fn build_scenario_with_faults(
     params: &ScenarioParams,
     senselab_faults: Vec<Fault>,
-) -> (Mediator, Rc<FaultInjector>) {
+) -> (Mediator, Arc<FaultInjector>) {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
     let mut injector = FaultInjector::new(
         senselab_wrapper(params.seed, params.senselab_rows),
@@ -128,10 +128,10 @@ pub fn build_scenario_with_faults(
     for f in senselab_faults {
         injector = injector.with_fault(f);
     }
-    let injector = Rc::new(injector);
+    let injector = Arc::new(injector);
     injector.disarm();
     m.register(anatom_wrapper("")).expect("ANATOM registers");
-    m.register(Rc::clone(&injector) as Rc<dyn Wrapper>)
+    m.register(Arc::clone(&injector) as Arc<dyn Wrapper>)
         .expect("SENSELAB registers");
     m.register(ncmir_wrapper(params.seed, params.ncmir_rows))
         .expect("NCMIR registers");

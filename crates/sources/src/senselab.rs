@@ -12,7 +12,7 @@ use kind_gcm::GcmValue;
 use kind_xml::Element;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The RDFS-formalism CM export for SENSELAB.
 fn senselab_cm() -> Element {
@@ -52,7 +52,7 @@ fn senselab_cm() -> Element {
 /// Builds the SENSELAB wrapper with `rows` generated records, of which a
 /// deterministic ~25% are the paper's relevant pattern (rat organism,
 /// parallel-fiber transmission onto Purkinje structures).
-pub fn senselab_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
+pub fn senselab_wrapper(seed: u64, rows: usize) -> Arc<dyn Wrapper> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = MemoryWrapper::new("SENSELAB");
     w.formalism = "rdfs".into();
@@ -111,7 +111,7 @@ pub fn senselab_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
             ],
         );
     }
-    Rc::new(w)
+    Arc::new(w)
 }
 
 #[cfg(test)]

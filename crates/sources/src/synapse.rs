@@ -11,7 +11,7 @@ use kind_gcm::GcmValue;
 use kind_xml::Element;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Hippocampal locations SYNAPSE measures at.
 pub const SYNAPSE_LOCATIONS: &[&str] = &["Pyramidal_Cell", "Pyramidal_Dendrite", "Pyramidal_Spine"];
@@ -34,7 +34,7 @@ fn synapse_cm() -> Element {
 }
 
 /// Builds the SYNAPSE wrapper with `rows` reconstructed measurements.
-pub fn synapse_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
+pub fn synapse_wrapper(seed: u64, rows: usize) -> Arc<dyn Wrapper> {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x51aa)); // distinct stream
     let mut w = MemoryWrapper::new("SYNAPSE");
     w.formalism = "er".into();
@@ -65,7 +65,7 @@ pub fn synapse_wrapper(seed: u64, rows: usize) -> Rc<dyn Wrapper> {
             ],
         );
     }
-    Rc::new(w)
+    Arc::new(w)
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@
 use kind::core::{Mediator, MemoryWrapper};
 use kind::dm::{DomainMap, ExecMode};
 use std::io::BufRead;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const DEMO: &str = r#"
 axioms Neuron < exists has_a.Compartment. Dendrite, Axon < Compartment. Purkinje_Cell < Neuron. Purkinje_Cell < exists has_a.Purkinje_Dendrite. Purkinje_Dendrite < Dendrite.
@@ -171,7 +171,7 @@ impl Shell {
     fn register_bundle(&mut self, text: &str) {
         match kind::xml::parse(text) {
             Ok(doc) => match MemoryWrapper::from_xml(&doc.root) {
-                Ok(w) => match self.med.register(Rc::new(w)) {
+                Ok(w) => match self.med.register(Arc::new(w)) {
                     Ok(id) => println!("registered as {id}"),
                     Err(e) => println!("error: {e}"),
                 },

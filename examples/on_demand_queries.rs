@@ -67,7 +67,8 @@ fn main() {
             ("ion_bound", GcmValue::Id("calcium".into())),
         ],
     );
-    med.register(std::rc::Rc::new(limited)).expect("registers");
+    med.register(std::sync::Arc::new(limited))
+        .expect("registers");
     let rows = med
         .call_template(
             "LIMITED",
@@ -101,7 +102,7 @@ fn main() {
         concept: "Purkinje_Cell".into(),
     });
     purk.add_row("cells", "c1", vec![]);
-    med2.register(std::rc::Rc::new(purk)).expect("registers");
+    med2.register(std::sync::Arc::new(purk)).expect("registers");
     let mut gran = kind::core::MemoryWrapper::new("GRANULE_LAB");
     gran.caps.push(kind::core::Capability {
         class: "cells".into(),
@@ -112,7 +113,7 @@ fn main() {
         concept: "Granule_Cell".into(),
     });
     gran.add_row("cells", "c2", vec![]);
-    med2.register(std::rc::Rc::new(gran)).expect("registers");
+    med2.register(std::sync::Arc::new(gran)).expect("registers");
     let spiny = med2
         .select_sources_by_expression("Neuron and exists has.Spine")
         .expect("expression parses");

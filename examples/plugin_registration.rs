@@ -10,7 +10,7 @@
 use kind::core::{Anchor, Capability, Mediator, MemoryWrapper};
 use kind::dm::{figures, ExecMode};
 use kind::gcm::GcmValue;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A fictional "NeuroML-ish" dialect nobody has seen before.
 const NEUROML_DOC: &str = r#"
@@ -67,7 +67,7 @@ fn main() {
         "b1",
         vec![("dendrite_count", GcmValue::Int(7))],
     );
-    med.register(Rc::new(w)).expect("registration succeeds");
+    med.register(Arc::new(w)).expect("registration succeeds");
 
     med.materialize_all().expect("materialize");
     // The new classes participate in the FL class lattice: a basket cell

@@ -8,7 +8,7 @@
 use kind::core::{Anchor, Capability, Mediator, MemoryWrapper};
 use kind::dm::{DomainMap, ExecMode};
 use kind::gcm::GcmValue;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // 1. The mediation engineer writes down domain knowledge as DL
@@ -61,7 +61,7 @@ fn main() {
             ],
         );
     }
-    med.register(Rc::new(lab)).expect("registration succeeds");
+    med.register(Arc::new(lab)).expect("registration succeeds");
 
     // 4. Source selection through the domain map: the lab never said it
     //    studies "neurons", but the semantic index knows.

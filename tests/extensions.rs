@@ -6,7 +6,7 @@ use kind::core::{Mediator, MemoryWrapper};
 use kind::dm::{figures, to_axioms, DomainMap, ExecMode, Resolved};
 use kind::gcm::GcmValue;
 use kind::sources::{build_scenario, ScenarioParams};
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn answer_over_the_full_scenario_prunes_sources() {
@@ -89,7 +89,7 @@ fn figure3_wire_trip_then_registration() {
         concept: "MyNeuron".into(),
     });
     w.add_row("cells", "c1", vec![("v", GcmValue::Int(1))]);
-    med.register(Rc::new(w)).unwrap();
+    med.register(Arc::new(w)).unwrap();
     assert_eq!(
         med.sources_below("Medium_Spiny_Neuron").unwrap(),
         vec!["MYLAB".to_string()]
@@ -111,7 +111,7 @@ fn constraint_library_over_mediated_data() {
         concept: "Neuron".into(),
     });
     w.add_row("cells", "n1", vec![("soma_size", GcmValue::Int(10))]);
-    m.register(Rc::new(w)).unwrap();
+    m.register(Arc::new(w)).unwrap();
     m.materialize_all().unwrap();
     // Conflicting measurement arrives later (e.g. from another batch).
     m.load_row(

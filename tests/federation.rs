@@ -8,7 +8,7 @@ use kind::core::{
 use kind::dm::ExecMode;
 use kind::gcm::GcmValue;
 use kind::sources::{build_scenario, scenario_domain_map, ScenarioParams};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn default_query() -> Section5Query {
     Section5Query {
@@ -160,7 +160,7 @@ fn constraint_mode_mediator_reports_incompleteness() {
         concept: "Neuron".into(),
     });
     w.add_row("cells", "c1", vec![("size", GcmValue::Int(3))]);
-    m.register(Rc::new(w)).unwrap();
+    m.register(Arc::new(w)).unwrap();
     m.define_view(r#"X : "Neuron" :- X : cells."#).unwrap();
     m.materialize_all().unwrap();
     let ws = m.witnesses().unwrap();
@@ -184,7 +184,7 @@ fn assertion_mode_mediator_invents_placeholders() {
         concept: "Neuron".into(),
     });
     w.add_row("cells", "c1", vec![]);
-    m.register(Rc::new(w)).unwrap();
+    m.register(Arc::new(w)).unwrap();
     m.define_view(r#"X : "Neuron" :- X : cells."#).unwrap();
     m.materialize_all().unwrap();
     assert!(m.witnesses().unwrap().is_empty());

@@ -3,7 +3,7 @@
 use kind::core::{Capability, Fault, FaultInjector, Mediator, MemoryWrapper, SourceOutcome};
 use kind::dm::{DomainMap, ExecMode};
 use kind::gcm::GcmValue;
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn readme_fault_tolerance_snippet() {
@@ -14,8 +14,8 @@ fn readme_fault_tolerance_snippet() {
         pushable: vec![],
     });
     lab.add_row("cells", "c1", vec![("volume", GcmValue::Int(7))]);
-    let flaky = FaultInjector::new(Rc::new(lab), med.clock()).with_fault(Fault::FailFirst(2));
-    med.register(Rc::new(flaky)).unwrap();
+    let flaky = FaultInjector::new(Arc::new(lab), med.clock()).with_fault(Fault::FailFirst(2));
+    med.register(Arc::new(flaky)).unwrap();
     med.materialize_all().unwrap();
     let report = med.report();
     assert!(report.is_complete());
