@@ -6,8 +6,10 @@
 //! cargo run -p kind-bench --bin report
 //! ```
 
-use kind_bench::{closure_map, corrupted_order};
-use kind_core::{protein_distribution, run_section5, Mediator, NeuroSchema, Section5Query};
+use kind_bench::{closure_map, corrupted_order, latency_mediator};
+use kind_core::{
+    protein_distribution, run_section5, FetchRequest, Mediator, NeuroSchema, Section5Query,
+};
 use kind_datalog::EvalOptions;
 use kind_dm::{figures, Resolved};
 use kind_flogic::FLogic;
@@ -24,7 +26,7 @@ fn header(s: &str) {
 
 fn main() {
     // `KIND_BENCH_FAST=1` is the CI smoke mode: skip the narrative
-    // figure/table reports and emit only BENCH_PR3.json with reduced
+    // figure/table reports and emit only BENCH_PR4.json with reduced
     // iteration counts and workload sizes.
     let fast = std::env::var("KIND_BENCH_FAST").is_ok();
     if !fast {
@@ -35,7 +37,7 @@ fn main() {
         figure3_report();
         section5_report();
     }
-    bench_pr3_report(fast);
+    bench_pr4_report(fast);
 }
 
 /// Minimum wall time of `f` over `iters` runs, in nanoseconds — the
@@ -52,12 +54,12 @@ fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
 }
 
 /// PR benchmark report: the PR 2 evaluation-pipeline benches (each entry
-/// pairs a baseline with the optimized path, minimum wall time of both)
-/// plus the PR 3 concurrent-snapshot throughput group, and `EvalStats`
-/// counters from a representative warm model. Results go to stdout and
-/// `BENCH_PR3.json`.
-fn bench_pr3_report(fast: bool) {
-    header("PR 3 — pipeline benchmarks + concurrent snapshot throughput");
+/// pairs a baseline with the optimized path, minimum wall time of both),
+/// the PR 3 concurrent-snapshot throughput group, the PR 4 parallel
+/// fetch-plane group, and `EvalStats` counters from a representative
+/// warm model. Results go to stdout and `BENCH_PR4.json`.
+fn bench_pr4_report(fast: bool) {
+    header("PR 4 — pipeline benchmarks + fetch-plane / snapshot concurrency");
     let iters = if fast { 5 } else { 25 };
     let (depth, fanout) = if fast { (4usize, 3usize) } else { (5, 3) };
     let mut rows: Vec<(&str, u128, u128)> = Vec::new();
@@ -194,9 +196,126 @@ fn bench_pr3_report(fast: bool) {
         );
     }
 
-    let json = render_bench_json(fast, iters, &rows, &conc, &mut m_warm);
-    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
-    println!("\nwrote BENCH_PR3.json");
+    let par = parallel_materialize_bench(fast);
+    println!(
+        "\n  parallel materialization ({} sources, {}ms simulated source latency, {} core(s)):",
+        par.sources,
+        par.delay_ms,
+        cores()
+    );
+    println!(
+        "  {:>14} | {:>13} | {:>8}",
+        "fetch threads", "wall ns", "speedup"
+    );
+    let serial_ns = par.serial_wall_ns;
+    println!("  {:>14} | {:>13} | {:>7.2}x", "serial", serial_ns, 1.0);
+    for r in &par.rows {
+        println!(
+            "  {:>14} | {:>13} | {:>7.2}x",
+            r.threads,
+            r.wall_ns,
+            serial_ns as f64 / r.wall_ns.max(1) as f64
+        );
+    }
+
+    let json = render_bench_json(fast, iters, &rows, &conc, &par, &mut m_warm);
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("\nwrote BENCH_PR4.json");
+}
+
+/// One row of the fetch-plane group: full materialization wall time with
+/// the given worker-thread budget.
+struct ParRow {
+    threads: usize,
+    wall_ns: u128,
+}
+
+/// The fetch-plane group's results: the serial per-request loop (the
+/// pre-fetch-plane code path, one `Federation::fetch` per request) plus
+/// `fetch_parallel` at 1/2/4/8 worker threads.
+struct ParGroup {
+    sources: usize,
+    delay_ms: u64,
+    serial_wall_ns: u128,
+    rows: Vec<ParRow>,
+}
+
+/// The `parallel_materialize` group: every source sits behind a
+/// [`kind_bench::LatencyWrapper`] charging real wall time per query, so
+/// concurrent fetching shows up as wall-clock speedup while the results
+/// stay bit-identical (asserted here on every configuration's loaded-row
+/// count). The serial baseline drives one guarded `Federation::fetch`
+/// per request — exactly what `materialize_all` did before the fetch
+/// plane existed.
+fn parallel_materialize_bench(fast: bool) -> ParGroup {
+    let sources = 8usize;
+    let (rows, delay_ms, iters) = if fast {
+        (4usize, 2u64, 2usize)
+    } else {
+        (12, 5, 3)
+    };
+    let delay = std::time::Duration::from_millis(delay_ms);
+    let requests = |m: &Mediator| -> Vec<FetchRequest> {
+        m.sources()
+            .iter()
+            .flat_map(|s| {
+                s.classes
+                    .iter()
+                    .map(|c| FetchRequest::scan(s.name.as_str(), c.as_str()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    let expected = sources * rows;
+    // Serial baseline: the per-request loop, one guarded fetch at a time.
+    let serial_wall_ns = (0..iters)
+        .map(|_| {
+            let mut m = latency_mediator(sources, rows, delay);
+            let reqs = requests(&m);
+            let t = Instant::now();
+            let mut total = 0usize;
+            for r in &reqs {
+                total += m
+                    .federation_mut()
+                    .fetch(&r.source, &r.query)
+                    .expect("serial fetch")
+                    .len();
+            }
+            let dt = t.elapsed().as_nanos();
+            assert_eq!(total, expected);
+            dt
+        })
+        .min()
+        .expect("at least one iteration");
+    let rows_out = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let wall_ns = (0..iters)
+                .map(|_| {
+                    let mut m = latency_mediator(sources, rows, delay);
+                    m.federation_mut().set_fetch_threads(threads);
+                    let reqs = requests(&m);
+                    let t = Instant::now();
+                    let set = m
+                        .federation_mut()
+                        .fetch_parallel(&reqs)
+                        .expect("parallel fetch");
+                    let dt = t.elapsed().as_nanos();
+                    assert_eq!(set.total_rows(), expected);
+                    assert!(set.is_complete());
+                    dt
+                })
+                .min()
+                .expect("at least one iteration");
+            ParRow { threads, wall_ns }
+        })
+        .collect();
+    ParGroup {
+        sources,
+        delay_ms,
+        serial_wall_ns,
+        rows: rows_out,
+    }
 }
 
 /// One row of the concurrent-throughput group: a fixed batch of mixed FL
@@ -287,13 +406,15 @@ fn snapshot_concurrency_bench(fast: bool, params: &ScenarioParams) -> Vec<ConcRo
 }
 
 /// Hand-rolled JSON (no serde in the image): per-bench baseline/optimized
-/// nanoseconds, the concurrent-throughput group, plus the `EvalStats` and
-/// stratum counters of the warm mediator's cached base model.
+/// nanoseconds, the concurrent-throughput group, the fetch-plane group,
+/// plus the `EvalStats` and stratum counters of the warm mediator's
+/// cached base model.
 fn render_bench_json(
     fast: bool,
     iters: usize,
     rows: &[(&str, u128, u128)],
     conc: &[ConcRow],
+    par: &ParGroup,
     warm: &mut Mediator,
 ) -> String {
     let model = warm.run().expect("warm base model evaluates");
@@ -328,6 +449,19 @@ fn render_bench_json(
             c.locked_wall_ns as f64 / c.snapshot_wall_ns.max(1) as f64,
             c.total_queries as f64 / (c.snapshot_wall_ns as f64 / 1e9),
             one_worker_ns as f64 / c.snapshot_wall_ns.max(1) as f64
+        ));
+    }
+    out.push_str(&format!(
+        "    ]\n  }},\n  \"parallel_materialize\": {{\n    \"sources\": {},\n    \"source_latency_ms\": {},\n    \"serial_wall_ns\": {},\n    \"rows\": [\n",
+        par.sources, par.delay_ms, par.serial_wall_ns
+    ));
+    for (i, r) in par.rows.iter().enumerate() {
+        let sep = if i + 1 < par.rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"fetch_threads\": {}, \"wall_ns\": {}, \"speedup_vs_serial\": {:.2}}}{sep}\n",
+            r.threads,
+            r.wall_ns,
+            par.serial_wall_ns as f64 / r.wall_ns.max(1) as f64
         ));
     }
     out.push_str("    ]\n  },\n  \"eval_stats\": {\n");

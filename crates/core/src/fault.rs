@@ -614,6 +614,25 @@ impl SourceOutcome {
         }
     }
 
+    /// Folds two outcomes into the worst of the pair (retries summed).
+    /// The single merge rule used by both [`AnswerReport::record_fetch`]
+    /// and [`AnswerReport::absorb`], so per-fetch and per-report folding
+    /// cannot disagree.
+    fn merged(old: SourceOutcome, new: SourceOutcome) -> SourceOutcome {
+        match (old, new) {
+            (SourceOutcome::Retried { retries: a }, SourceOutcome::Retried { retries: b }) => {
+                SourceOutcome::Retried { retries: a + b }
+            }
+            (old, new) => {
+                if new.rank() >= old.rank() {
+                    new
+                } else {
+                    old
+                }
+            }
+        }
+    }
+
     /// Whether this outcome means the answer may be missing rows.
     pub fn is_degraded(&self) -> bool {
         matches!(
@@ -696,18 +715,24 @@ impl AnswerReport {
         entry.fetches += 1;
         entry.attempts += attempts;
         entry.rows += rows;
-        entry.outcome = match (entry.outcome.clone(), outcome) {
-            (SourceOutcome::Retried { retries: a }, SourceOutcome::Retried { retries: b }) => {
-                SourceOutcome::Retried { retries: a + b }
-            }
-            (old, new) => {
-                if new.rank() >= old.rank() {
-                    new
-                } else {
-                    old
-                }
-            }
-        };
+        entry.outcome = SourceOutcome::merged(entry.outcome.clone(), outcome);
+    }
+
+    /// Folds a whole (delta) report into this one: per-source counters
+    /// are summed, outcomes merged by the [`SourceOutcome::merged`] rule,
+    /// and quarantined-row diagnostics appended in `other`'s order. The
+    /// parallel fetch plane builds one delta report per operation and
+    /// absorbs it into the federation's cumulative report.
+    pub fn absorb(&mut self, other: &AnswerReport) {
+        for (name, s) in &other.sources {
+            let entry = self.sources.entry(name.clone()).or_default();
+            entry.fetches += s.fetches;
+            entry.attempts += s.attempts;
+            entry.rows += s.rows;
+            entry.quarantined += s.quarantined;
+            entry.outcome = SourceOutcome::merged(entry.outcome.clone(), s.outcome.clone());
+        }
+        self.quarantined.extend(other.quarantined.iter().cloned());
     }
 
     /// Records a quarantined row under its source.

@@ -8,11 +8,28 @@
 //! semantic state (domain map, index, CMs, views), and
 //! [`crate::Mediator`] composes the two with the eval/cache pipeline.
 //!
-//! All retry/breaker/quarantine semantics live in **one** place —
-//! [`Federation::fetch`] — so the degradable entry points
+//! All retry/breaker/quarantine semantics live in **one** place — the
+//! private `execute_fetch` body shared by the serial path
+//! ([`Federation::fetch`]) and every worker of the parallel fetch plane
+//! ([`Federation::fetch_parallel`]) — so the degradable entry points
 //! ([`crate::Mediator::fetch`], [`crate::Mediator::fetch_degraded`],
 //! [`crate::Mediator::materialize_all`], [`crate::Mediator::answer`], the
 //! §5 plan) cannot drift apart.
+//!
+//! ## The fetch plane
+//!
+//! [`Federation::fetch_parallel`] is the entry point of the **fetch
+//! phase** of the two-phase pipeline (see DESIGN.md): a caller describes
+//! everything a plan needs from sources as a list of [`FetchRequest`]s,
+//! the federation executes them with one worker job per source on a
+//! scoped thread pool (`std::thread::scope`, no extra deps), and the
+//! results come back as a [`FetchSet`] whose batches are in request
+//! order regardless of completion order. Determinism comes from the
+//! **merge order**, not from serial fetching: each source's requests run
+//! serially inside its own job (so per-source breaker/retry/fault
+//! schedules are identical to a serial run), and rows, statistics, and
+//! report entries are folded job-by-job in first-appearance (i.e.
+//! registration) order after every worker has joined.
 
 use crate::error::{MediatorError, Result};
 use crate::fault::{
@@ -22,7 +39,8 @@ use crate::fault::{
 use crate::wrapper::{Capability, ObjectRow, SourceQuery, Wrapper};
 use kind_dm::SourceId;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Bookkeeping for one registered source.
 pub struct RegisteredSource {
@@ -107,6 +125,98 @@ pub struct MediatorStats {
     pub failures: usize,
 }
 
+impl MediatorStats {
+    /// Folds another counter set into this one (the parallel fetch plane
+    /// sums per-worker deltas into the federation's totals).
+    pub fn merge(&mut self, other: &MediatorStats) {
+        self.source_queries += other.source_queries;
+        self.rows_shipped += other.rows_shipped;
+        self.rows_kept += other.rows_kept;
+        self.retries += other.retries;
+        self.failures += other.failures;
+    }
+}
+
+/// One unit of the fetch phase: a (possibly selection-pushing) query
+/// against one named source. Plans describe their source needs as a list
+/// of these and hand them to [`Federation::fetch_parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchRequest {
+    /// The source to contact.
+    pub source: String,
+    /// The capability-aware query to run against it.
+    pub query: SourceQuery,
+}
+
+impl FetchRequest {
+    /// A request wrapping an explicit query.
+    pub fn new(source: impl Into<String>, query: SourceQuery) -> Self {
+        FetchRequest {
+            source: source.into(),
+            query,
+        }
+    }
+
+    /// A full-class scan request.
+    pub fn scan(source: impl Into<String>, class: impl Into<String>) -> Self {
+        FetchRequest {
+            source: source.into(),
+            query: SourceQuery::scan(class),
+        }
+    }
+}
+
+/// The rows one [`FetchRequest`] produced (empty when the source failed
+/// or its breaker was open — the [`FetchSet`]'s report says which).
+#[derive(Debug, Clone)]
+pub struct FetchBatch {
+    /// The contacted source.
+    pub source: String,
+    /// The query that was run.
+    pub query: SourceQuery,
+    /// The surviving rows (validated, residual-filtered), in wrapper
+    /// ship order.
+    pub rows: Vec<ObjectRow>,
+}
+
+/// Everything a fetch phase produced: one [`FetchBatch`] per request (in
+/// request order), plus the degradation report and wrapper-traffic
+/// statistics of exactly this operation. A `FetchSet` is self-contained:
+/// the **evaluate phase** consumes it with no federation access at all,
+/// which is what lets warm plans run read-only against a
+/// [`crate::QuerySnapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct FetchSet {
+    /// One batch per submitted request, in submission order.
+    pub batches: Vec<FetchBatch>,
+    /// Per-source outcomes, quarantined rows, completeness — the delta
+    /// for this operation only.
+    pub report: AnswerReport,
+    /// Wrapper-traffic counters — the delta for this operation only.
+    pub stats: MediatorStats,
+}
+
+impl FetchSet {
+    /// Total surviving rows across all batches.
+    pub fn total_rows(&self) -> usize {
+        self.batches.iter().map(|b| b.rows.len()).sum()
+    }
+
+    /// Whether every request got exactly what a fault-free run would
+    /// have produced (no failures, no breaker skips, no quarantines).
+    pub fn is_complete(&self) -> bool {
+        self.report.is_complete()
+    }
+
+    /// Appends another fetch set (a later round of the same plan):
+    /// batches are concatenated, reports and statistics folded.
+    pub fn absorb(&mut self, other: FetchSet) {
+        self.batches.extend(other.batches);
+        self.report.absorb(&other.report);
+        self.stats.merge(&other.stats);
+    }
+}
+
 /// The outcome of one guarded (retry/breaker-aware) wrapper query.
 enum GuardedFetch {
     /// Rows arrived, possibly after retries.
@@ -127,6 +237,197 @@ enum GuardedFetch {
     Skipped,
 }
 
+/// The full outcome of one guarded fetch against one source, before any
+/// report folding: surviving rows, quarantine diagnostics, and the
+/// outcome classification. Produced by [`execute_fetch`] and folded into
+/// the report by the serial path or by the parallel merge.
+struct FetchCompletion {
+    /// Validated, residual-filtered rows (empty on failure/skip).
+    rows: Vec<ObjectRow>,
+    /// Rows rejected by CM validation.
+    quarantined: Vec<QuarantinedRow>,
+    /// Physical wrapper attempts (0 when the breaker skipped).
+    attempts: usize,
+    /// The report-level classification.
+    outcome: SourceOutcome,
+    /// The terminal error, for strict callers ([`Federation::fetch`]).
+    error: Option<SourceError>,
+}
+
+/// Runs one wrapper query under `policy` — breaker check, per-attempt
+/// virtual-time budget, bounded retries with deterministic backoff, CM
+/// quarantine, residual selection filters — updating `breaker` and
+/// `stats` as it goes.
+///
+/// This is the **single** guarded-fetch body: the serial path
+/// ([`Federation::fetch`]) and every worker of the parallel fetch plane
+/// ([`Federation::fetch_parallel`]) execute exactly this code, so
+/// retry/breaker/quarantine semantics cannot drift between the two.
+fn execute_fetch(
+    src: &RegisteredSource,
+    policy: &SourcePolicy,
+    breaker: &mut CircuitBreaker,
+    clock: &Arc<dyn Clock>,
+    stats: &mut MediatorStats,
+    q: &SourceQuery,
+) -> FetchCompletion {
+    let mut attempts = 0u32;
+    let mut last_error: Option<SourceError> = None;
+    let guarded = loop {
+        let now = clock.now_ms();
+        if !breaker.allows(now) {
+            stats.failures += 1;
+            break match last_error.take() {
+                // The breaker opened between retry attempts: report the
+                // failure that opened it.
+                Some(error) => GuardedFetch::Failed { attempts, error },
+                None => GuardedFetch::Skipped,
+            };
+        }
+        attempts += 1;
+        stats.source_queries += 1;
+        let started = clock.now_ms();
+        let result = src.wrapper.query(q).and_then(|rows| {
+            let elapsed = clock.now_ms().saturating_sub(started);
+            if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
+                Err(SourceError::Timeout {
+                    elapsed_ms: elapsed,
+                    budget_ms: policy.timeout_ms,
+                })
+            } else {
+                Ok(rows)
+            }
+        });
+        match result {
+            Ok(rows) => {
+                breaker.record_success();
+                stats.rows_shipped += rows.len();
+                stats.retries += (attempts - 1) as usize;
+                break GuardedFetch::Rows { rows, attempts };
+            }
+            Err(error) => {
+                breaker.record_failure(clock.now_ms());
+                if attempts >= policy.retry.max_attempts {
+                    stats.retries += (attempts - 1) as usize;
+                    stats.failures += 1;
+                    break GuardedFetch::Failed { attempts, error };
+                }
+                last_error = Some(error);
+                clock.advance_ms(policy.retry.backoff_ms(attempts));
+            }
+        }
+    };
+    match guarded {
+        GuardedFetch::Rows { rows, attempts } => {
+            // CM validation: quarantine, don't abort.
+            let mut kept = Vec::with_capacity(rows.len());
+            let mut quarantined = Vec::new();
+            for row in rows {
+                match src.validate_row(&q.class, &row) {
+                    Ok(()) => kept.push(row),
+                    Err(reason) => quarantined.push(QuarantinedRow {
+                        source: src.name.clone(),
+                        class: q.class.clone(),
+                        row_id: row.id.clone(),
+                        reason,
+                    }),
+                }
+            }
+            let kept: Vec<ObjectRow> = kept
+                .into_iter()
+                .filter(|r| {
+                    q.selections
+                        .iter()
+                        .all(|s| r.get(&s.attr) == Some(&s.value))
+                })
+                .collect();
+            stats.rows_kept += kept.len();
+            let outcome = if attempts > 1 {
+                SourceOutcome::Retried {
+                    retries: attempts - 1,
+                }
+            } else {
+                SourceOutcome::Ok
+            };
+            FetchCompletion {
+                rows: kept,
+                quarantined,
+                attempts: attempts as usize,
+                outcome,
+                error: None,
+            }
+        }
+        GuardedFetch::Failed { attempts, error } => FetchCompletion {
+            rows: Vec::new(),
+            quarantined: Vec::new(),
+            attempts: attempts as usize,
+            outcome: SourceOutcome::Failed {
+                error: error.clone(),
+            },
+            error: Some(error),
+        },
+        GuardedFetch::Skipped => FetchCompletion {
+            rows: Vec::new(),
+            quarantined: Vec::new(),
+            attempts: 0,
+            outcome: SourceOutcome::SkippedByBreaker,
+            error: Some(SourceError::Unavailable {
+                reason: "circuit breaker open; source not contacted".into(),
+            }),
+        },
+    }
+}
+
+/// One worker job of the parallel fetch plane: everything needed to run
+/// one source's requests without touching the federation — the source's
+/// breaker is *moved* in (taken out of the federation's map) so its
+/// requests run serially under exactly the serial-path semantics, and
+/// moved back at merge time.
+struct FetchJob {
+    /// Index into the federation's source roster.
+    src_pos: usize,
+    policy: SourcePolicy,
+    breaker: CircuitBreaker,
+    /// `(request index, query)` in submission order.
+    requests: Vec<(usize, SourceQuery)>,
+}
+
+/// What one [`FetchJob`] produced, ready for the deterministic merge.
+struct FetchJobDone {
+    source: String,
+    breaker: CircuitBreaker,
+    stats: MediatorStats,
+    /// `(request index, completion)` in submission order.
+    results: Vec<(usize, FetchCompletion)>,
+}
+
+/// Runs one job's requests serially against its source.
+fn run_fetch_job(
+    sources: &[RegisteredSource],
+    clock: &Arc<dyn Clock>,
+    job: FetchJob,
+) -> FetchJobDone {
+    let src = &sources[job.src_pos];
+    let FetchJob {
+        policy,
+        mut breaker,
+        requests,
+        ..
+    } = job;
+    let mut stats = MediatorStats::default();
+    let mut results = Vec::with_capacity(requests.len());
+    for (idx, q) in requests {
+        let completion = execute_fetch(src, &policy, &mut breaker, clock, &mut stats, &q);
+        results.push((idx, completion));
+    }
+    FetchJobDone {
+        source: src.name.clone(),
+        breaker,
+        stats,
+        results,
+    }
+}
+
 /// The source-facing layer of the mediator: registered wrappers plus the
 /// resilience machinery guarding every fetch. See the module docs.
 #[derive(Debug)]
@@ -137,6 +438,9 @@ pub struct Federation {
     policies: HashMap<String, SourcePolicy>,
     breakers: HashMap<String, CircuitBreaker>,
     report: AnswerReport,
+    /// Worker threads for the parallel fetch plane (0 = auto: one per
+    /// involved source, capped by available parallelism).
+    fetch_threads: usize,
     /// Query-processing statistics.
     pub stats: MediatorStats,
 }
@@ -158,8 +462,23 @@ impl Federation {
             policies: HashMap::new(),
             breakers: HashMap::new(),
             report: AnswerReport::default(),
+            fetch_threads: 0,
             stats: MediatorStats::default(),
         }
+    }
+
+    /// Sets the worker-thread count for [`Self::fetch_parallel`]: `0`
+    /// (the default) means auto — one worker per involved source, capped
+    /// by available parallelism; `1` forces serial execution (useful as
+    /// the determinism baseline); larger values cap the pool. Results
+    /// are bit-identical for every setting — only wall-clock changes.
+    pub fn set_fetch_threads(&mut self, threads: usize) {
+        self.fetch_threads = threads;
+    }
+
+    /// The configured fetch-plane worker count (0 = auto).
+    pub fn fetch_threads(&self) -> usize {
+        self.fetch_threads
     }
 
     /// Registered sources.
@@ -253,79 +572,41 @@ impl Federation {
             .collect()
     }
 
-    /// Runs one wrapper query under the source's policy: breaker check,
-    /// per-attempt virtual-time budget, bounded retries with
-    /// deterministic backoff. Every attempt updates `stats` and the
-    /// breaker; the caller folds the outcome into the report.
-    fn guarded_query(
-        &mut self,
-        name: &str,
-        wrapper: &Arc<dyn Wrapper>,
-        q: &SourceQuery,
-    ) -> GuardedFetch {
-        let policy = self.policy_for(name).clone();
-        self.breakers
-            .entry(name.to_string())
-            .or_insert_with(|| CircuitBreaker::new(policy.breaker.clone()));
-        let clock = Arc::clone(&self.clock);
-        let mut attempts = 0u32;
-        let mut last_error: Option<SourceError> = None;
-        loop {
-            let now = clock.now_ms();
-            let allowed = self
-                .breakers
-                .get_mut(name)
-                .expect("breaker inserted above")
-                .allows(now);
-            if !allowed {
-                self.stats.failures += 1;
-                return match last_error {
-                    // The breaker opened between retry attempts: report
-                    // the failure that opened it.
-                    Some(error) => GuardedFetch::Failed { attempts, error },
-                    None => GuardedFetch::Skipped,
-                };
-            }
-            attempts += 1;
-            self.stats.source_queries += 1;
-            let started = clock.now_ms();
-            let result = wrapper.query(q).and_then(|rows| {
-                let elapsed = clock.now_ms().saturating_sub(started);
-                if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
-                    Err(SourceError::Timeout {
-                        elapsed_ms: elapsed,
-                        budget_ms: policy.timeout_ms,
-                    })
-                } else {
-                    Ok(rows)
-                }
+    /// Maps knowledge-layer source ids to names, preserving registration
+    /// order.
+    pub fn names_of(&self, ids: &[SourceId]) -> Vec<String> {
+        self.sources
+            .iter()
+            .filter(|s| ids.contains(&s.id))
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    /// Validates that a request targets a known source exporting the
+    /// queried class, returning the roster position.
+    fn validate_request(&self, source_name: &str, q: &SourceQuery) -> Result<usize> {
+        let pos = self
+            .sources
+            .iter()
+            .position(|s| s.name == source_name)
+            .ok_or_else(|| MediatorError::UnknownSource {
+                name: source_name.to_string(),
+            })?;
+        if !self.sources[pos].classes.iter().any(|c| c == &q.class) {
+            return Err(MediatorError::UnknownClass {
+                class: q.class.clone(),
             });
-            match result {
-                Ok(rows) => {
-                    self.breakers
-                        .get_mut(name)
-                        .expect("breaker inserted above")
-                        .record_success();
-                    self.stats.rows_shipped += rows.len();
-                    self.stats.retries += (attempts - 1) as usize;
-                    return GuardedFetch::Rows { rows, attempts };
-                }
-                Err(error) => {
-                    let now = clock.now_ms();
-                    self.breakers
-                        .get_mut(name)
-                        .expect("breaker inserted above")
-                        .record_failure(now);
-                    if attempts >= policy.retry.max_attempts {
-                        self.stats.retries += (attempts - 1) as usize;
-                        self.stats.failures += 1;
-                        return GuardedFetch::Failed { attempts, error };
-                    }
-                    last_error = Some(error);
-                    clock.advance_ms(policy.retry.backoff_ms(attempts));
-                }
-            }
         }
+        Ok(pos)
+    }
+
+    /// Takes a source's breaker out of the map (creating a fresh one
+    /// under its policy on first contact) so it can run detached — in a
+    /// worker job or a serial split-borrow — and be put back afterwards.
+    fn take_breaker(&mut self, name: &str, policy: &SourcePolicy) -> CircuitBreaker {
+        self.breakers
+            .remove(name)
+            .unwrap_or_else(|| CircuitBreaker::new(policy.breaker.clone()))
     }
 
     /// Capability-aware, fault-tolerant fetch: pushes the pushable
@@ -334,88 +615,188 @@ impl Federation {
     /// rows that violate the source's exported CM, and applies the
     /// remaining selections as a residual filter mediator-side.
     ///
-    /// This is the **single** guarded-fetch path — every degradable
-    /// operation funnels through it, so retry/breaker/quarantine
-    /// semantics cannot drift between entry points.
+    /// Runs the same guarded-fetch body as the parallel fetch plane
+    /// ([`Self::fetch_parallel`]), so retry/breaker/quarantine semantics
+    /// cannot drift between entry points.
     ///
     /// A source that exhausts its retry budget — or whose breaker is
     /// open — is a typed [`MediatorError::Source`] error; the outcome is
     /// also folded into the current [`Self::report`].
     pub fn fetch(&mut self, source_name: &str, q: &SourceQuery) -> Result<Vec<ObjectRow>> {
-        let src = self.source(source_name)?;
-        if !src.classes.iter().any(|c| c == &q.class) {
-            return Err(MediatorError::UnknownClass {
-                class: q.class.clone(),
-            });
+        let pos = self.validate_request(source_name, q)?;
+        let policy = self.policy_for(source_name).clone();
+        let mut breaker = self.take_breaker(source_name, &policy);
+        let completion = {
+            let Federation {
+                sources,
+                clock,
+                stats,
+                ..
+            } = self;
+            execute_fetch(&sources[pos], &policy, &mut breaker, clock, stats, q)
+        };
+        self.breakers.insert(source_name.to_string(), breaker);
+        let FetchCompletion {
+            rows,
+            quarantined,
+            attempts,
+            outcome,
+            error,
+        } = completion;
+        for qr in quarantined {
+            self.report.record_quarantine(qr);
         }
-        let wrapper = Arc::clone(&src.wrapper);
-        match self.guarded_query(source_name, &wrapper, q) {
-            GuardedFetch::Rows { rows, attempts } => {
-                // CM validation: quarantine, don't abort.
-                let mut kept = Vec::with_capacity(rows.len());
-                let mut quarantined = Vec::new();
-                {
-                    let src = self.source(source_name)?;
-                    for row in rows {
-                        match src.validate_row(&q.class, &row) {
-                            Ok(()) => kept.push(row),
-                            Err(reason) => quarantined.push(QuarantinedRow {
-                                source: source_name.to_string(),
-                                class: q.class.clone(),
-                                row_id: row.id.clone(),
-                                reason,
-                            }),
-                        }
+        self.report
+            .record_fetch(source_name, attempts, rows.len(), outcome);
+        match error {
+            None => Ok(rows),
+            Some(error) => Err(MediatorError::Source {
+                name: source_name.to_string(),
+                error,
+            }),
+        }
+    }
+
+    /// The **fetch phase** of the two-phase pipeline: executes a batch of
+    /// [`FetchRequest`]s with one worker job per distinct source on a
+    /// scoped thread pool, and returns a [`FetchSet`] whose batches are
+    /// in request order. Source-level failures degrade to empty batches
+    /// (visible in the set's report), exactly like
+    /// [`Self::fetch_degraded`]; unknown sources/classes are typed errors
+    /// detected up front, before anything is contacted.
+    ///
+    /// **Determinism.** Results are bit-identical for any worker count:
+    ///
+    /// * each source's requests run serially inside that source's job, so
+    ///   its breaker transitions, retry schedule, and any
+    ///   [`crate::FaultInjector`] call counters see exactly the sequence
+    ///   a serial run would produce;
+    /// * rows are returned per-batch in request order, so downstream
+    ///   interning order does not depend on completion order;
+    /// * statistics and report entries are folded job-by-job in the
+    ///   sources' first-appearance order (registration order, for plans
+    ///   built from the roster) after every worker has joined.
+    ///
+    /// The one shared mutable resource is the federation [`Clock`]:
+    /// concurrent backoff/delay advances interleave, so *timestamps* (not
+    /// row contents) can differ from a serial run when a virtual clock is
+    /// shared across faulty sources.
+    pub fn fetch_parallel(&mut self, requests: &[FetchRequest]) -> Result<FetchSet> {
+        for r in requests {
+            self.validate_request(&r.source, &r.query)?;
+        }
+        // Group requests into one job per source, in first-appearance
+        // order; move each involved source's breaker into its job.
+        let mut jobs: Vec<FetchJob> = Vec::new();
+        let mut job_of: HashMap<String, usize> = HashMap::new();
+        for (idx, r) in requests.iter().enumerate() {
+            let job_idx = match job_of.get(&r.source) {
+                Some(&j) => j,
+                None => {
+                    let policy = self.policy_for(&r.source).clone();
+                    let breaker = self.take_breaker(&r.source, &policy);
+                    let src_pos = self
+                        .sources
+                        .iter()
+                        .position(|s| s.name == r.source)
+                        .expect("validated above");
+                    jobs.push(FetchJob {
+                        src_pos,
+                        policy,
+                        breaker,
+                        requests: Vec::new(),
+                    });
+                    job_of.insert(r.source.clone(), jobs.len() - 1);
+                    jobs.len() - 1
+                }
+            };
+            jobs[job_idx].requests.push((idx, r.query.clone()));
+        }
+        let workers = self.effective_fetch_threads(jobs.len());
+        let finished: Vec<FetchJobDone> = {
+            let Federation { sources, clock, .. } = &*self;
+            if workers <= 1 {
+                // Serial baseline: same job code, no thread overhead.
+                jobs.into_iter()
+                    .map(|job| run_fetch_job(sources, clock, job))
+                    .collect()
+            } else {
+                let slots: Vec<Mutex<Option<FetchJobDone>>> =
+                    jobs.iter().map(|_| Mutex::new(None)).collect();
+                let queue: Vec<Mutex<Option<FetchJob>>> =
+                    jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= queue.len() {
+                                break;
+                            }
+                            let job = queue[i]
+                                .lock()
+                                .expect("job queue poisoned")
+                                .take()
+                                .expect("each job taken exactly once");
+                            let done = run_fetch_job(sources, clock, job);
+                            *slots[i].lock().expect("result slot poisoned") = Some(done);
+                        });
                     }
-                }
-                for qr in quarantined {
-                    self.report.record_quarantine(qr);
-                }
-                let kept: Vec<ObjectRow> = kept
+                });
+                slots
                     .into_iter()
-                    .filter(|r| {
-                        q.selections
-                            .iter()
-                            .all(|s| r.get(&s.attr) == Some(&s.value))
+                    .map(|slot| {
+                        slot.into_inner()
+                            .expect("result slot poisoned")
+                            .expect("every job produced a result")
                     })
-                    .collect();
-                self.stats.rows_kept += kept.len();
-                let outcome = if attempts > 1 {
-                    SourceOutcome::Retried {
-                        retries: attempts - 1,
-                    }
-                } else {
-                    SourceOutcome::Ok
-                };
-                self.report
-                    .record_fetch(source_name, attempts as usize, kept.len(), outcome);
-                Ok(kept)
+                    .collect()
             }
-            GuardedFetch::Failed { attempts, error } => {
-                self.report.record_fetch(
-                    source_name,
-                    attempts as usize,
-                    0,
-                    SourceOutcome::Failed {
-                        error: error.clone(),
-                    },
+        };
+        // Deterministic merge: jobs in first-appearance order, requests
+        // within a job in submission order — regardless of which worker
+        // finished when.
+        let mut set = FetchSet {
+            batches: requests
+                .iter()
+                .map(|r| FetchBatch {
+                    source: r.source.clone(),
+                    query: r.query.clone(),
+                    rows: Vec::new(),
+                })
+                .collect(),
+            ..FetchSet::default()
+        };
+        for done in finished {
+            self.breakers.insert(done.source.clone(), done.breaker);
+            set.stats.merge(&done.stats);
+            for (idx, completion) in done.results {
+                for qr in completion.quarantined {
+                    set.report.record_quarantine(qr);
+                }
+                set.report.record_fetch(
+                    &done.source,
+                    completion.attempts,
+                    completion.rows.len(),
+                    completion.outcome,
                 );
-                Err(MediatorError::Source {
-                    name: source_name.to_string(),
-                    error,
-                })
-            }
-            GuardedFetch::Skipped => {
-                self.report
-                    .record_fetch(source_name, 0, 0, SourceOutcome::SkippedByBreaker);
-                Err(MediatorError::Source {
-                    name: source_name.to_string(),
-                    error: SourceError::Unavailable {
-                        reason: "circuit breaker open; source not contacted".into(),
-                    },
-                })
+                set.batches[idx].rows = completion.rows;
             }
         }
+        self.stats.merge(&set.stats);
+        self.report.absorb(&set.report);
+        Ok(set)
+    }
+
+    /// The worker count [`Self::fetch_parallel`] will actually use for a
+    /// given number of jobs.
+    fn effective_fetch_threads(&self, jobs: usize) -> usize {
+        let cap = if self.fetch_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.fetch_threads
+        };
+        cap.min(jobs).max(1)
     }
 
     /// Like [`Self::fetch`], but a source-level failure degrades to an
@@ -456,5 +837,160 @@ impl Federation {
             ),
         })?;
         self.fetch(source_name, &q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultInjector};
+    use crate::mediator::Mediator;
+    use crate::wrapper::{Anchor, MemoryWrapper};
+    use kind_dm::{figures, ExecMode};
+    use kind_gcm::GcmValue;
+
+    fn wrapper(name: &str, class: &str, concept: &str, n: usize) -> Arc<MemoryWrapper> {
+        let mut w = MemoryWrapper::new(name);
+        w.caps.push(Capability {
+            class: class.into(),
+            pushable: vec!["location".into()],
+        });
+        w.anchor_decls.push(Anchor::Fixed {
+            class: class.into(),
+            concept: concept.into(),
+        });
+        for i in 0..n {
+            w.add_row(
+                class,
+                &format!("{name}-o{i}"),
+                vec![
+                    ("location", GcmValue::Id(concept.into())),
+                    ("value", GcmValue::Int(i as i64)),
+                ],
+            );
+        }
+        Arc::new(w)
+    }
+
+    fn three_source_mediator() -> Mediator {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(wrapper("A", "ca", "Spine", 3)).unwrap();
+        m.register(wrapper("B", "cb", "Shaft", 2)).unwrap();
+        m.register(wrapper("C", "cc", "Neuron", 4)).unwrap();
+        m
+    }
+
+    fn all_scans(m: &Mediator) -> Vec<FetchRequest> {
+        m.sources()
+            .iter()
+            .flat_map(|s| {
+                s.classes
+                    .iter()
+                    .map(|c| FetchRequest::scan(s.name.as_str(), c.as_str()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_results_identical_for_every_worker_count() {
+        let mut baseline = three_source_mediator();
+        baseline.federation_mut().set_fetch_threads(1);
+        let requests = all_scans(&baseline);
+        let serial = baseline.federation_mut().fetch_parallel(&requests).unwrap();
+        for threads in [2usize, 3, 8] {
+            let mut m = three_source_mediator();
+            m.federation_mut().set_fetch_threads(threads);
+            let parallel = m.federation_mut().fetch_parallel(&requests).unwrap();
+            assert_eq!(
+                format!("{:?}", serial.batches),
+                format!("{:?}", parallel.batches),
+                "batches diverge at {threads} threads"
+            );
+            assert_eq!(serial.report, parallel.report);
+            assert_eq!(serial.stats, parallel.stats);
+        }
+    }
+
+    #[test]
+    fn parallel_batches_come_back_in_request_order() {
+        let mut m = three_source_mediator();
+        // Interleave sources on purpose: C, A, C, B.
+        let requests = vec![
+            FetchRequest::scan("C", "cc"),
+            FetchRequest::scan("A", "ca"),
+            FetchRequest::new("C", SourceQuery::scan("cc").with("value", GcmValue::Int(1))),
+            FetchRequest::scan("B", "cb"),
+        ];
+        let set = m.federation_mut().fetch_parallel(&requests).unwrap();
+        let order: Vec<&str> = set.batches.iter().map(|b| b.source.as_str()).collect();
+        assert_eq!(order, vec!["C", "A", "C", "B"]);
+        assert_eq!(set.batches[0].rows.len(), 4);
+        assert_eq!(set.batches[1].rows.len(), 3);
+        // The residual filter ran inside the worker too.
+        assert_eq!(set.batches[2].rows.len(), 1);
+        assert_eq!(set.batches[3].rows.len(), 2);
+        assert_eq!(set.total_rows(), 10);
+        assert!(set.is_complete());
+    }
+
+    #[test]
+    fn parallel_fetch_degrades_failing_sources() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(wrapper("OK", "ca", "Spine", 3)).unwrap();
+        let failing = FaultInjector::new(wrapper("BAD", "cb", "Shaft", 2), m.clock())
+            .with_fault(Fault::FailFirst(1000));
+        let failing = Arc::new(failing);
+        failing.disarm();
+        m.register(Arc::clone(&failing) as Arc<dyn Wrapper>)
+            .unwrap();
+        failing.arm();
+        let requests = vec![
+            FetchRequest::scan("OK", "ca"),
+            FetchRequest::scan("BAD", "cb"),
+        ];
+        let set = m.federation_mut().fetch_parallel(&requests).unwrap();
+        // The healthy source's rows arrive; the failing one degrades to
+        // an empty batch, visible in the report.
+        assert_eq!(set.batches[0].rows.len(), 3);
+        assert!(set.batches[1].rows.is_empty());
+        assert!(!set.is_complete());
+        assert!(matches!(
+            set.report.source("BAD").unwrap().outcome,
+            SourceOutcome::Failed { .. }
+        ));
+        // The breaker advanced under the worker and was put back.
+        assert!(m.breaker_state("BAD").is_some());
+        // The federation's cumulative report absorbed the delta.
+        assert!(!m.report().is_complete());
+    }
+
+    #[test]
+    fn parallel_fetch_validates_before_contacting_anything() {
+        let mut m = three_source_mediator();
+        let requests = vec![
+            FetchRequest::scan("A", "ca"),
+            FetchRequest::scan("NOPE", "ca"),
+        ];
+        assert!(matches!(
+            m.federation_mut().fetch_parallel(&requests),
+            Err(MediatorError::UnknownSource { .. })
+        ));
+        // Nothing was fetched: the wrapper never saw the valid request.
+        assert_eq!(m.stats().source_queries, 0);
+        let requests = vec![FetchRequest::scan("A", "not_a_class")];
+        assert!(matches!(
+            m.federation_mut().fetch_parallel(&requests),
+            Err(MediatorError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_request_list_is_a_complete_noop() {
+        let mut m = three_source_mediator();
+        let set = m.federation_mut().fetch_parallel(&[]).unwrap();
+        assert!(set.batches.is_empty());
+        assert!(set.is_complete());
+        assert_eq!(set.stats, MediatorStats::default());
     }
 }

@@ -20,7 +20,12 @@ use std::sync::Arc;
 /// semantic index, applied CMs, and views. See the module docs.
 #[derive(Debug)]
 pub struct Knowledge {
-    pub(crate) dm: DomainMap,
+    /// The domain map, behind an `Arc` so query snapshots can capture it
+    /// for the read-only evaluate phase without copying the graph.
+    /// Mutations (DM contributions at registration time) go through
+    /// `Arc::make_mut`, which copies only if a snapshot still holds the
+    /// old map — snapshot isolation for the DM, like the model.
+    pub(crate) dm: Arc<DomainMap>,
     /// The resolved (flattened) view, shared with query snapshots: its
     /// closure memo tables are `RwLock`-backed, so concurrent readers
     /// warm them cooperatively.
@@ -41,7 +46,7 @@ impl Knowledge {
     pub fn new(dm: DomainMap, mode: ExecMode) -> Self {
         let resolved = Arc::new(Resolved::new(&dm));
         Knowledge {
-            dm,
+            dm: Arc::new(dm),
             resolved,
             axioms: Vec::new(),
             mode,
@@ -54,7 +59,12 @@ impl Knowledge {
 
     /// The domain map.
     pub fn dm(&self) -> &DomainMap {
-        &self.dm
+        self.dm.as_ref()
+    }
+
+    /// The domain map as a shareable handle (for snapshots).
+    pub fn dm_arc(&self) -> Arc<DomainMap> {
+        Arc::clone(&self.dm)
     }
 
     /// The resolved (flattened) domain-map view.
@@ -65,6 +75,11 @@ impl Knowledge {
     /// The resolved view as a shareable handle (for snapshots).
     pub fn resolved_arc(&self) -> Arc<Resolved> {
         Arc::clone(&self.resolved)
+    }
+
+    /// The read-only slice of this layer the **evaluate phase** consumes.
+    pub fn domain_view(&self) -> DomainView<'_> {
+        DomainView::new(self.dm.as_ref(), &self.resolved)
     }
 
     /// The retained DL axioms (empty when the map was built directly).
@@ -104,7 +119,7 @@ impl Knowledge {
         if contribution.trim().is_empty() {
             return Ok(false);
         }
-        let new_axioms = axiom::load_axioms(&mut self.dm, contribution)?;
+        let new_axioms = axiom::load_axioms(Arc::make_mut(&mut self.dm), contribution)?;
         self.axioms.extend(new_axioms);
         self.resolved = Arc::new(Resolved::new(&self.dm));
         Ok(true)
@@ -197,7 +212,59 @@ impl Knowledge {
     /// the "region of correspondence" of §5 step 4: the smallest concept
     /// whose downward closure contains all the given locations.
     pub fn partonomy_lub(&self, role: &str, concepts: &[&str]) -> Result<Option<String>> {
-        let nodes = self.lookup_all(concepts)?;
+        self.domain_view().partonomy_lub(role, concepts)
+    }
+}
+
+/// The read-only slice of domain knowledge the **evaluate phase** of the
+/// two-phase pipeline consumes: name ↔ node resolution over the domain
+/// map plus the resolved closure view (lub, downward closure, recursive
+/// roll-up). It deliberately has no access to wrappers, policies, or the
+/// semantic index — an evaluate-phase function taking a `DomainView`
+/// *cannot* contact a source.
+///
+/// Constructible from the live [`Knowledge`] layer
+/// ([`Knowledge::domain_view`]) or from a frozen
+/// [`crate::QuerySnapshot`], so a warm plan evaluates identically against
+/// either.
+#[derive(Clone, Copy, Debug)]
+pub struct DomainView<'a> {
+    dm: &'a DomainMap,
+    resolved: &'a Resolved,
+}
+
+impl<'a> DomainView<'a> {
+    /// Builds a view over a map and its resolved closures.
+    pub fn new(dm: &'a DomainMap, resolved: &'a Resolved) -> Self {
+        DomainView { dm, resolved }
+    }
+
+    /// The domain map.
+    pub fn dm(&self) -> &'a DomainMap {
+        self.dm
+    }
+
+    /// The resolved closure view.
+    pub fn resolved(&self) -> &'a Resolved {
+        self.resolved
+    }
+
+    /// Resolves a concept name, as a typed error on failure.
+    pub fn lookup(&self, concept: &str) -> Result<NodeId> {
+        self.dm
+            .lookup(concept)
+            .ok_or_else(|| MediatorError::UnknownConcept {
+                name: concept.to_string(),
+            })
+    }
+
+    /// The least upper bound in the **partonomy order** along `role`
+    /// (§5 step 4's "region of correspondence").
+    pub fn partonomy_lub(&self, role: &str, concepts: &[&str]) -> Result<Option<String>> {
+        let nodes: Vec<NodeId> = concepts
+            .iter()
+            .map(|c| self.lookup(c))
+            .collect::<Result<_>>()?;
         Ok(self
             .resolved
             .partonomy_lub(role, &nodes)

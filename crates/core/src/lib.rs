@@ -63,11 +63,15 @@ pub use fault::{
     QuarantinedRow, RetryPolicy, SourceError, SourceOutcome, SourcePolicy, SourceReport,
     VirtualClock,
 };
-pub use federation::{Federation, MediatorStats, RegisteredSource};
-pub use knowledge::Knowledge;
+pub use federation::{
+    Federation, FetchBatch, FetchRequest, FetchSet, MediatorStats, RegisteredSource,
+};
+pub use knowledge::{DomainView, Knowledge};
 pub use mediator::Mediator;
 pub use plan::{
-    protein_distribution, run_section5, DistributionRow, NeuroSchema, PlanTrace, Section5Query,
+    distribution_eval, distribution_fetch, protein_distribution, run_section5, section5_eval,
+    section5_fetch, DistributionFetch, DistributionRow, NeuroSchema, PlanTrace, Section5Fetch,
+    Section5Query,
 };
 pub use query::AnswerSet;
 pub use snapshot::QuerySnapshot;

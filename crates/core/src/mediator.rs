@@ -21,7 +21,7 @@
 
 use crate::error::{MediatorError, Result};
 use crate::fault::{AnswerReport, BreakerState, Clock, SourceError, SourcePolicy};
-use crate::federation::Federation;
+use crate::federation::{Federation, FetchRequest};
 pub use crate::federation::{MediatorStats, RegisteredSource};
 use crate::knowledge::Knowledge;
 use crate::snapshot::QuerySnapshot;
@@ -105,6 +105,17 @@ impl Mediator {
     /// Mutable access to the knowledge layer.
     pub fn knowledge_mut(&mut self) -> &mut Knowledge {
         &mut self.knowledge
+    }
+
+    /// The two planes of the execution pipeline, split-borrowed: the
+    /// **fetch plane** (mutable federation — it advances breakers, the
+    /// clock, and statistics) alongside the **evaluate plane**'s
+    /// knowledge (read-only). This is how a plan's fetch phase — e.g.
+    /// [`crate::plan::section5_fetch`] — runs source selection against
+    /// the knowledge layer while fetching through the federation,
+    /// without ever being able to mutate semantic state.
+    pub fn fetch_eval_planes(&mut self) -> (&mut Federation, &Knowledge) {
+        (&mut self.federation, &self.knowledge)
     }
 
     // ------------------------------------------------------------------
@@ -516,6 +527,14 @@ impl Mediator {
     /// *materialize-everything* strategy, used for loose federation and as
     /// the baseline the §5 push-down plan is compared against.
     ///
+    /// Runs as a two-phase pipeline: the **fetch phase** scans every
+    /// (source, class) pair concurrently through
+    /// [`Federation::fetch_parallel`] (one worker job per source; tune
+    /// with [`Federation::set_fetch_threads`]), then the **evaluate
+    /// phase** applies the fetched batches in registration order — so
+    /// the loaded base, including its interner, is bit-identical to what
+    /// serial fetching produced.
+    ///
     /// Degrades gracefully: a failing (or breaker-skipped) source simply
     /// contributes no rows, and CM-invalid rows are quarantined rather
     /// than loaded. Inspect [`Self::report`] afterwards for per-source
@@ -525,20 +544,25 @@ impl Mediator {
         if self.dirty {
             self.rebuild()?;
         }
-        let mut loaded = 0usize;
-        let plan: Vec<(String, Vec<String>)> = self
+        // Fetch phase: every (source, class) scan, in registration order.
+        let requests: Vec<FetchRequest> = self
             .federation
             .sources()
             .iter()
-            .map(|s| (s.name.clone(), s.classes.clone()))
+            .flat_map(|s| {
+                s.classes
+                    .iter()
+                    .map(|class| FetchRequest::scan(s.name.as_str(), class.as_str()))
+                    .collect::<Vec<_>>()
+            })
             .collect();
-        for (name, classes) in plan {
-            for class in classes {
-                let rows = self.fetch_degraded(&name, &SourceQuery::scan(&class))?;
-                for row in rows {
-                    self.apply_row(&name, &class, &row)?;
-                    loaded += 1;
-                }
+        let fetched = self.federation.fetch_parallel(&requests)?;
+        // Evaluate phase: apply batches in request (= registration) order.
+        let mut loaded = 0usize;
+        for batch in &fetched.batches {
+            for row in &batch.rows {
+                self.apply_row(&batch.source, &batch.query.class, row)?;
+                loaded += 1;
             }
         }
         self.model = None;
@@ -626,6 +650,7 @@ impl Mediator {
         Ok(QuerySnapshot::new(
             Arc::new(self.base.clone()),
             Arc::clone(self.model.as_ref().expect("run() caches the model")),
+            self.knowledge.dm_arc(),
             self.knowledge.resolved_arc(),
             self.eval_options.clone(),
         ))
@@ -706,14 +731,21 @@ impl Mediator {
     ) -> Result<RowsAndSources> {
         let mut work = self.base.clone();
         work.flogic_mut().load(rule_text)?;
+        // Fetch phase: scan every source exporting a mentioned class,
+        // concurrently, then apply batches in the deterministic request
+        // order.
         let mut contacted: BTreeSet<String> = BTreeSet::new();
+        let mut requests: Vec<FetchRequest> = Vec::new();
         for class in exported {
             for src in self.sources_exporting(class) {
                 contacted.insert(src.clone());
-                let rows = self.fetch_degraded(&src, &SourceQuery::scan(class))?;
-                for row in rows {
-                    apply_row_to(&mut work, &src, class, &row)?;
-                }
+                requests.push(FetchRequest::scan(src, class.as_str()));
+            }
+        }
+        let fetched = self.federation.fetch_parallel(&requests)?;
+        for batch in &fetched.batches {
+            for row in &batch.rows {
+                apply_row_to(&mut work, &batch.source, &batch.query.class, row)?;
             }
         }
         let model = work

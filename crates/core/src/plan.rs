@@ -23,9 +23,31 @@
 //! inspect exactly what was pushed, selected, shipped, and aggregated.
 //! Source selection can be disabled (`use_semantic_index = false`) for the
 //! ablation in DESIGN.md.
+//!
+//! ## The two-phase pipeline
+//!
+//! Each plan is split along the fetch-plane / evaluate-plane boundary
+//! (see DESIGN.md):
+//!
+//! * the **fetch phase** — [`section5_fetch`], [`distribution_fetch`] —
+//!   takes `&mut Federation` (it contacts wrappers, concurrently, via
+//!   [`Federation::fetch_parallel`]) plus `&Knowledge` (steps 1–3 need
+//!   source selection), and returns a self-contained artifact carrying
+//!   every fetched row, the degradation report, and traffic statistics;
+//! * the **evaluate phase** — [`section5_eval`], [`distribution_eval`] —
+//!   is *pure*: it takes a [`DomainView`] and the fetch artifact and
+//!   never touches a wrapper, so it runs identically against the live
+//!   mediator or a frozen [`crate::QuerySnapshot`]
+//!   ([`crate::QuerySnapshot::run_section5`]) from any number of
+//!   threads.
+//!
+//! [`run_section5`] and [`protein_distribution`] remain as the one-call
+//! composition of the two phases over a `&mut Mediator`.
 
 use crate::error::Result;
 use crate::fault::AnswerReport;
+use crate::federation::{Federation, FetchBatch, FetchRequest, FetchSet};
+use crate::knowledge::{DomainView, Knowledge};
 use crate::mediator::{Mediator, MediatorStats};
 use crate::wrapper::SourceQuery;
 use kind_gcm::GcmValue;
@@ -126,34 +148,64 @@ pub struct PlanTrace {
     pub report: AnswerReport,
 }
 
-/// Executes the §5 plan.
-pub fn run_section5(
-    m: &mut Mediator,
+/// Everything the §5 plan's fetch phase produced — steps 1–3, which are
+/// the only steps that contact sources. Self-contained: the evaluate
+/// phase ([`section5_eval`]) needs nothing but this, a schema, and a
+/// [`DomainView`], so a warm plan replays read-only against a
+/// [`crate::QuerySnapshot`] with no federation in sight.
+#[derive(Debug, Clone)]
+pub struct Section5Fetch {
+    /// The query parameters the fetch ran with.
+    pub query: Section5Query,
+    /// Step 1 output: the receiving (neuron, compartment) pairs.
+    pub pairs: Vec<(String, String)>,
+    /// Step 2: number of sources exporting the protein class at all.
+    pub candidate_sources: usize,
+    /// Step 2: the sources actually selected.
+    pub selected_sources: Vec<String>,
+    /// Whether the semantic index was used for step 2.
+    pub used_semantic_index: bool,
+    /// Step 3 output: one batch per (selected source, location) scan.
+    pub protein_batches: Vec<FetchBatch>,
+    /// Wrapper traffic of both fetch rounds (steps 1 and 3).
+    pub stats: MediatorStats,
+    /// Degradation record of both fetch rounds.
+    pub report: AnswerReport,
+}
+
+/// The **fetch phase** of the §5 plan: steps 1–3. Pushes the organism /
+/// transmitting-compartment selections to the neurotransmission sources
+/// (concurrently), selects protein sources through the semantic index,
+/// then pushes the location/ion selections to the selected sources
+/// (concurrently again). Pure computation — the lub root and the
+/// recursive roll-up — is deferred to [`section5_eval`].
+pub fn section5_fetch(
+    federation: &mut Federation,
+    knowledge: &Knowledge,
     schema: &NeuroSchema,
     q: &Section5Query,
     use_semantic_index: bool,
-) -> Result<PlanTrace> {
-    m.begin_report();
-    let stats_before = m.stats();
-    let mut trace = PlanTrace {
-        used_semantic_index: use_semantic_index,
-        ..Default::default()
-    };
-
+) -> Result<Section5Fetch> {
     // ---- Step 1: push selections to the neurotransmission sources. ----
-    let nt_sources = m.sources_exporting(&schema.neurotransmission_class);
+    let nt_requests: Vec<FetchRequest> = federation
+        .sources_exporting(&schema.neurotransmission_class)
+        .into_iter()
+        .map(|src| {
+            FetchRequest::new(
+                src,
+                SourceQuery::scan(&schema.neurotransmission_class)
+                    .with(&schema.nt_organism, GcmValue::Id(q.organism.clone()))
+                    .with(
+                        &schema.nt_transmitting_compartment,
+                        GcmValue::Id(q.transmitting_compartment.clone()),
+                    ),
+            )
+        })
+        .collect();
+    let step1 = federation.fetch_parallel(&nt_requests)?;
     let mut pairs: Vec<(String, String)> = Vec::new();
-    for src in &nt_sources {
-        let rows = m.fetch_degraded(
-            src,
-            &SourceQuery::scan(&schema.neurotransmission_class)
-                .with(&schema.nt_organism, GcmValue::Id(q.organism.clone()))
-                .with(
-                    &schema.nt_transmitting_compartment,
-                    GcmValue::Id(q.transmitting_compartment.clone()),
-                ),
-        )?;
-        for row in rows {
+    for batch in &step1.batches {
+        for row in &batch.rows {
             if let (Some(n), Some(c)) = (
                 row.get_str(&schema.nt_receiving_neuron),
                 row.get_str(&schema.nt_receiving_compartment),
@@ -164,15 +216,14 @@ pub fn run_section5(
     }
     pairs.sort();
     pairs.dedup();
-    trace.step1_pairs = pairs.clone();
 
     // ---- Step 2: select sources via the semantic index. ---------------
-    let candidates = m.sources_exporting(&schema.protein_class);
-    trace.candidate_sources = candidates.len();
+    let candidates = federation.sources_exporting(&schema.protein_class);
     let selected: Vec<String> = if use_semantic_index {
         let mut chosen: HashSet<String> = HashSet::new();
         for (n, c) in &pairs {
-            for s in m.select_sources(&[n.as_str(), c.as_str()])? {
+            let ids = knowledge.select_sources(&[n.as_str(), c.as_str()])?;
+            for s in federation.names_of(&ids) {
                 if candidates.contains(&s) {
                     chosen.insert(s);
                 }
@@ -184,39 +235,91 @@ pub fn run_section5(
     } else {
         candidates.clone()
     };
-    trace.selected_sources = selected.clone();
 
     // ---- Step 3: push location selections, retrieve proteins. ---------
     // The locations of interest: each receiving compartment and neuron.
+    let locations = step3_locations(&pairs);
+    let protein_requests: Vec<FetchRequest> = selected
+        .iter()
+        .flat_map(|src| {
+            locations.iter().map(|loc| {
+                FetchRequest::new(
+                    src.clone(),
+                    SourceQuery::scan(&schema.protein_class)
+                        .with(&schema.pa_location, GcmValue::Id(loc.clone()))
+                        .with(&schema.pa_ion, GcmValue::Id(q.ion.clone())),
+                )
+            })
+        })
+        .collect();
+    let step3 = federation.fetch_parallel(&protein_requests)?;
+
+    let mut combined = FetchSet {
+        batches: Vec::new(),
+        report: step1.report,
+        stats: step1.stats,
+    };
+    combined.report.absorb(&step3.report);
+    combined.stats.merge(&step3.stats);
+    Ok(Section5Fetch {
+        query: q.clone(),
+        pairs,
+        candidate_sources: candidates.len(),
+        selected_sources: selected,
+        used_semantic_index: use_semantic_index,
+        protein_batches: step3.batches,
+        stats: combined.stats,
+        report: combined.report,
+    })
+}
+
+/// The step-3 location list implied by the step-1 pairs (each receiving
+/// neuron and compartment, sorted, deduped).
+fn step3_locations(pairs: &[(String, String)]) -> Vec<String> {
     let mut locations: Vec<String> = pairs
         .iter()
         .flat_map(|(n, c)| [n.clone(), c.clone()])
         .collect();
     locations.sort();
     locations.dedup();
+    locations
+}
+
+/// The **evaluate phase** of the §5 plan: step 4, plus trace assembly.
+/// Pure — consumes only the fetch artifact and a read-only
+/// [`DomainView`], never a wrapper — so it runs against the live
+/// mediator and against a [`crate::QuerySnapshot`] with identical
+/// results, from any number of threads.
+pub fn section5_eval(
+    view: &DomainView<'_>,
+    schema: &NeuroSchema,
+    fetched: &Section5Fetch,
+) -> Result<PlanTrace> {
+    let mut trace = PlanTrace {
+        step1_pairs: fetched.pairs.clone(),
+        candidate_sources: fetched.candidate_sources,
+        selected_sources: fetched.selected_sources.clone(),
+        used_semantic_index: fetched.used_semantic_index,
+        stats: fetched.stats,
+        report: fetched.report.clone(),
+        ..Default::default()
+    };
+
     // Per protein, per concept: summed raw amounts.
     let mut amounts: HashMap<String, HashMap<String, i64>> = HashMap::new();
     let mut proteins: HashSet<String> = HashSet::new();
-    for src in &selected {
-        for loc in &locations {
-            let rows = m.fetch_degraded(
-                src,
-                &SourceQuery::scan(&schema.protein_class)
-                    .with(&schema.pa_location, GcmValue::Id(loc.clone()))
-                    .with(&schema.pa_ion, GcmValue::Id(q.ion.clone())),
-            )?;
-            for row in rows {
-                let (Some(p), Some(a), Some(l)) = (
-                    row.get_str(&schema.pa_protein),
-                    row.get_int(&schema.pa_amount),
-                    row.get_str(&schema.pa_location),
-                ) else {
-                    continue;
-                };
-                trace.step3_rows += 1;
-                proteins.insert(p.clone());
-                *amounts.entry(p).or_default().entry(l).or_insert(0) += a;
-            }
+    for batch in &fetched.protein_batches {
+        for row in &batch.rows {
+            let (Some(p), Some(a), Some(l)) = (
+                row.get_str(&schema.pa_protein),
+                row.get_int(&schema.pa_amount),
+                row.get_str(&schema.pa_location),
+            ) else {
+                continue;
+            };
+            trace.step3_rows += 1;
+            proteins.insert(p.clone());
+            *amounts.entry(p).or_default().entry(l).or_insert(0) += a;
         }
     }
     let mut protein_list: Vec<String> = proteins.into_iter().collect();
@@ -224,15 +327,16 @@ pub fn run_section5(
     trace.proteins = protein_list.clone();
 
     // ---- Step 4: lub root + downward-closure aggregation. -------------
+    let locations = step3_locations(&fetched.pairs);
     let loc_refs: Vec<&str> = locations.iter().map(String::as_str).collect();
     let root = if loc_refs.is_empty() {
         None
     } else {
-        m.partonomy_lub(&schema.partonomy_role, &loc_refs)?
+        view.partonomy_lub(&schema.partonomy_role, &loc_refs)?
     };
     trace.root = root.clone();
     if let Some(root_name) = &root {
-        let root_node = m
+        let root_node = view
             .dm()
             .lookup(root_name)
             .expect("lub returns known concepts");
@@ -242,17 +346,17 @@ pub fn run_section5(
                 .map(|per_loc| {
                     per_loc
                         .iter()
-                        .filter_map(|(loc, v)| m.dm().lookup(loc).map(|n| (n, *v)))
+                        .filter_map(|(loc, v)| view.dm().lookup(loc).map(|n| (n, *v)))
                         .collect()
                 })
                 .unwrap_or_default();
-            let totals = m
+            let totals = view
                 .resolved()
                 .rollup_sum(&schema.partonomy_role, root_node, &values);
             let mut rows: BTreeMap<String, i64> = BTreeMap::new();
             for (node, total) in totals {
                 if total != 0 {
-                    if let Some(name) = m.dm().name(node) {
+                    if let Some(name) = view.dm().name(node) {
                         rows.insert(name.to_string(), total);
                     }
                 }
@@ -266,48 +370,93 @@ pub fn run_section5(
             }
         }
     }
-    let stats_after = m.stats();
-    trace.stats = MediatorStats {
-        source_queries: stats_after.source_queries - stats_before.source_queries,
-        rows_shipped: stats_after.rows_shipped - stats_before.rows_shipped,
-        rows_kept: stats_after.rows_kept - stats_before.rows_kept,
-        retries: stats_after.retries - stats_before.retries,
-        failures: stats_after.failures - stats_before.failures,
-    };
-    trace.report = m.report().clone();
     Ok(trace)
 }
 
-/// The Example 4 integrated view, as a standalone operation: the
-/// distribution of `protein` under `root` for all protein sources
-/// relevant below `root` (mediated class `protein_distribution` of the
-/// paper).
-pub fn protein_distribution(
+/// Executes the §5 plan: the fetch phase ([`section5_fetch`]) followed by
+/// the pure evaluate phase ([`section5_eval`]) over the live layers.
+pub fn run_section5(
     m: &mut Mediator,
+    schema: &NeuroSchema,
+    q: &Section5Query,
+    use_semantic_index: bool,
+) -> Result<PlanTrace> {
+    m.begin_report();
+    let (federation, knowledge) = m.fetch_eval_planes();
+    let fetched = section5_fetch(federation, knowledge, schema, q, use_semantic_index)?;
+    section5_eval(&knowledge.domain_view(), schema, &fetched)
+}
+
+/// The fetch artifact of the Example 4 `protein_distribution` view —
+/// everything [`distribution_eval`] needs besides a [`DomainView`].
+#[derive(Debug, Clone)]
+pub struct DistributionFetch {
+    /// The protein the fetch selected on.
+    pub protein: String,
+    /// The distribution root the sources were selected under.
+    pub root: String,
+    /// The selected sources (in-region ∩ exporting the protein class).
+    pub sources: Vec<String>,
+    /// One batch per selected source.
+    pub batches: Vec<FetchBatch>,
+    /// Wrapper traffic of this fetch.
+    pub stats: MediatorStats,
+    /// Degradation record of this fetch.
+    pub report: AnswerReport,
+}
+
+/// The **fetch phase** of the Example 4 view: selects the sources with
+/// protein data anchored in the region under `root` and scans them
+/// (concurrently) with the protein selection pushed down.
+pub fn distribution_fetch(
+    federation: &mut Federation,
+    knowledge: &Knowledge,
     schema: &NeuroSchema,
     protein: &str,
     root: &str,
-) -> Result<Vec<(String, i64)>> {
-    m.begin_report();
-    let root_node =
-        m.dm()
-            .lookup(root)
-            .ok_or_else(|| crate::error::MediatorError::UnknownConcept {
-                name: root.to_string(),
-            })?;
-    let sources: Vec<String> = m
-        .sources_in_region(&schema.partonomy_role, root)?
+) -> Result<DistributionFetch> {
+    // Validate the root up front (a typed error, like the serial path).
+    knowledge.domain_view().lookup(root)?;
+    let in_region =
+        federation.names_of(&knowledge.sources_in_region(&schema.partonomy_role, root)?);
+    let exporting = federation.sources_exporting(&schema.protein_class);
+    let sources: Vec<String> = in_region
         .into_iter()
-        .filter(|s| m.sources_exporting(&schema.protein_class).contains(s))
+        .filter(|s| exporting.contains(s))
         .collect();
+    let requests: Vec<FetchRequest> = sources
+        .iter()
+        .map(|src| {
+            FetchRequest::new(
+                src.clone(),
+                SourceQuery::scan(&schema.protein_class)
+                    .with(&schema.pa_protein, GcmValue::Id(protein.to_string())),
+            )
+        })
+        .collect();
+    let fetched = federation.fetch_parallel(&requests)?;
+    Ok(DistributionFetch {
+        protein: protein.to_string(),
+        root: root.to_string(),
+        sources,
+        batches: fetched.batches,
+        stats: fetched.stats,
+        report: fetched.report,
+    })
+}
+
+/// The **evaluate phase** of the Example 4 view: the recursive roll-up
+/// under the fetch's root. Pure — runs identically against the live
+/// layers or a [`crate::QuerySnapshot`].
+pub fn distribution_eval(
+    view: &DomainView<'_>,
+    schema: &NeuroSchema,
+    fetched: &DistributionFetch,
+) -> Result<Vec<(String, i64)>> {
+    let root_node = view.lookup(&fetched.root)?;
     let mut per_loc: HashMap<String, i64> = HashMap::new();
-    for src in sources {
-        let rows = m.fetch_degraded(
-            &src,
-            &SourceQuery::scan(&schema.protein_class)
-                .with(&schema.pa_protein, GcmValue::Id(protein.to_string())),
-        )?;
-        for row in rows {
+    for batch in &fetched.batches {
+        for row in &batch.rows {
             if let (Some(l), Some(a)) = (
                 row.get_str(&schema.pa_location),
                 row.get_int(&schema.pa_amount),
@@ -318,16 +467,32 @@ pub fn protein_distribution(
     }
     let values: HashMap<kind_dm::NodeId, i64> = per_loc
         .iter()
-        .filter_map(|(loc, v)| m.dm().lookup(loc).map(|n| (n, *v)))
+        .filter_map(|(loc, v)| view.dm().lookup(loc).map(|n| (n, *v)))
         .collect();
-    let totals = m
+    let totals = view
         .resolved()
         .rollup_sum(&schema.partonomy_role, root_node, &values);
     let mut out: Vec<(String, i64)> = totals
         .into_iter()
         .filter(|(_, v)| *v != 0)
-        .filter_map(|(n, v)| m.dm().name(n).map(|s| (s.to_string(), v)))
+        .filter_map(|(n, v)| view.dm().name(n).map(|s| (s.to_string(), v)))
         .collect();
     out.sort();
     Ok(out)
+}
+
+/// The Example 4 integrated view, as a standalone operation: the
+/// distribution of `protein` under `root` for all protein sources
+/// relevant below `root` (mediated class `protein_distribution` of the
+/// paper). Composes [`distribution_fetch`] and [`distribution_eval`].
+pub fn protein_distribution(
+    m: &mut Mediator,
+    schema: &NeuroSchema,
+    protein: &str,
+    root: &str,
+) -> Result<Vec<(String, i64)>> {
+    m.begin_report();
+    let (federation, knowledge) = m.fetch_eval_planes();
+    let fetched = distribution_fetch(federation, knowledge, schema, protein, root)?;
+    distribution_eval(&knowledge.domain_view(), schema, &fetched)
 }

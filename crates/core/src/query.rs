@@ -21,6 +21,7 @@
 
 use crate::error::{MediatorError, Result};
 use crate::fault::AnswerReport;
+use crate::federation::FetchRequest;
 use crate::mediator::Mediator;
 use crate::wrapper::SourceQuery;
 use kind_datalog::Term;
@@ -92,17 +93,21 @@ impl Mediator {
             }
         }
         // Cold path: install the view, rebuild, fetch only what the query
-        // needs.
+        // needs — concurrently, then apply in deterministic request order.
         self.define_view(rule_text)?;
         self.rebuild()?;
         let mut contacted: BTreeSet<String> = BTreeSet::new();
+        let mut requests: Vec<FetchRequest> = Vec::new();
         for class in &exported {
             for src in self.sources_exporting(class) {
                 contacted.insert(src.clone());
-                let rows = self.fetch_degraded(&src, &SourceQuery::scan(class))?;
-                for row in rows {
-                    self.apply_row(&src, class, &row)?;
-                }
+                requests.push(FetchRequest::new(src, SourceQuery::scan(class.as_str())));
+            }
+        }
+        let fetched = self.federation_mut().fetch_parallel(&requests)?;
+        for batch in &fetched.batches {
+            for row in &batch.rows {
+                self.apply_row(&batch.source, &batch.query.class, row)?;
             }
         }
         // Relevance-filtered evaluation towards the answer predicate.

@@ -27,18 +27,22 @@
 //! `mediator.snapshot()` again.
 
 use crate::error::{MediatorError, Result};
+use crate::knowledge::DomainView;
+use crate::plan::{DistributionFetch, NeuroSchema, PlanTrace, Section5Fetch};
 use kind_datalog::{EvalOptions, Model, Term};
-use kind_dm::Resolved;
+use kind_dm::{DomainMap, Resolved};
 use kind_flogic::{parse_fl_program, Molecule};
 use kind_gcm::GcmBase;
 use std::sync::Arc;
 
 /// A frozen, `Send + Sync` view of an evaluated mediator: shared base +
-/// model + resolved closures, read-only query API. See the module docs.
+/// model + domain map + resolved closures, read-only query API. See the
+/// module docs.
 #[derive(Debug, Clone)]
 pub struct QuerySnapshot {
     base: Arc<GcmBase>,
     model: Arc<Model>,
+    dm: Arc<DomainMap>,
     resolved: Arc<Resolved>,
     eval_options: EvalOptions,
 }
@@ -54,12 +58,14 @@ impl QuerySnapshot {
     pub(crate) fn new(
         base: Arc<GcmBase>,
         model: Arc<Model>,
+        dm: Arc<DomainMap>,
         resolved: Arc<Resolved>,
         eval_options: EvalOptions,
     ) -> Self {
         QuerySnapshot {
             base,
             model,
+            dm,
             resolved,
             eval_options,
         }
@@ -70,10 +76,45 @@ impl QuerySnapshot {
         &self.model
     }
 
+    /// The domain map captured by this snapshot.
+    pub fn dm(&self) -> &DomainMap {
+        &self.dm
+    }
+
     /// The resolved domain-map view captured by this snapshot (its memo
     /// tables are `RwLock`-backed, so concurrent probes are fine).
     pub fn resolved(&self) -> &Resolved {
         &self.resolved
+    }
+
+    /// The read-only domain-knowledge slice the **evaluate phase**
+    /// consumes — the same view [`crate::Knowledge::domain_view`] hands
+    /// out, so plan evaluation is literally the same code either way.
+    pub fn domain_view(&self) -> DomainView<'_> {
+        DomainView::new(&self.dm, &self.resolved)
+    }
+
+    /// The **evaluate phase** of the §5 plan against this snapshot: step
+    /// 4 (lub root + downward-closure aggregation) over a fetch artifact
+    /// produced earlier by [`crate::plan::section5_fetch`]. Pure and
+    /// `&self` — no wrapper is contacted, so any number of threads can
+    /// replay warm plans concurrently, and the resulting [`PlanTrace`]
+    /// is identical to what the `&mut Mediator` path
+    /// ([`crate::plan::run_section5`]) produced from the same fetch.
+    pub fn run_section5(&self, schema: &NeuroSchema, fetched: &Section5Fetch) -> Result<PlanTrace> {
+        crate::plan::section5_eval(&self.domain_view(), schema, fetched)
+    }
+
+    /// The **evaluate phase** of the Example 4 `protein_distribution`
+    /// view against this snapshot (see [`Self::run_section5`] for the
+    /// pattern; the fetch artifact comes from
+    /// [`crate::plan::distribution_fetch`]).
+    pub fn protein_distribution(
+        &self,
+        schema: &NeuroSchema,
+        fetched: &DistributionFetch,
+    ) -> Result<Vec<(String, i64)>> {
+        crate::plan::distribution_eval(&self.domain_view(), schema, fetched)
     }
 
     /// The evaluation options captured at snapshot time (used by

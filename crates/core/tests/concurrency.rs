@@ -5,7 +5,8 @@
 //! single-threaded run.
 
 use kind_core::{
-    Anchor, Capability, Federation, Knowledge, Mediator, MemoryWrapper, QuerySnapshot,
+    run_section5, section5_fetch, Anchor, Capability, Federation, Knowledge, Mediator,
+    MemoryWrapper, NeuroSchema, QuerySnapshot, Section5Query,
 };
 use kind_dm::{figures, ExecMode};
 use kind_gcm::GcmValue;
@@ -150,4 +151,120 @@ fn snapshot_answer_matches_mediator_answer() {
     let from_snapshot = snap.answer(q).unwrap();
     assert_eq!(from_snapshot, from_mediator);
     assert_eq!(from_snapshot.len(), 3);
+}
+
+// ---------- Warm §5 plans replayed on a snapshot ------------------------
+
+/// A miniature §5 scenario over Figure 1: one neurotransmission source
+/// whose rows land on Purkinje structures, one protein source anchored
+/// at those structures.
+fn section5_fixture() -> (Mediator, NeuroSchema, Section5Query) {
+    let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+    let mut nt = MemoryWrapper::new("NT");
+    nt.caps.push(Capability {
+        class: "neurotransmission".into(),
+        pushable: vec!["organism".into(), "transmitting_compartment".into()],
+    });
+    nt.anchor_decls.push(Anchor::Fixed {
+        class: "neurotransmission".into(),
+        concept: "Neurotransmission".into(),
+    });
+    for (i, (neuron, comp)) in [
+        ("Purkinje_Cell", "Dendrite"),
+        ("Purkinje_Cell", "Spine"),
+        ("Pyramidal_Cell", "Soma"), // filtered out: wrong transmitter
+    ]
+    .iter()
+    .enumerate()
+    {
+        let tc = if i < 2 {
+            "Parallel_Fiber"
+        } else {
+            "Mossy_Fiber"
+        };
+        nt.add_row(
+            "neurotransmission",
+            &format!("n{i}"),
+            vec![
+                ("organism", GcmValue::Id("rat".into())),
+                ("transmitting_compartment", GcmValue::Id(tc.into())),
+                ("receiving_neuron", GcmValue::Id((*neuron).into())),
+                ("receiving_compartment", GcmValue::Id((*comp).into())),
+            ],
+        );
+    }
+    m.register(Arc::new(nt)).unwrap();
+    let mut prot = MemoryWrapper::new("PROT");
+    prot.caps.push(Capability {
+        class: "protein_amount".into(),
+        pushable: vec!["location".into(), "ion_bound".into()],
+    });
+    prot.anchor_decls.push(Anchor::ByAttr {
+        class: "protein_amount".into(),
+        attr: "location".into(),
+    });
+    for (i, (name, amount, loc)) in [
+        ("Calbindin", 7, "Dendrite"),
+        ("Calbindin", 4, "Spine"),
+        ("CaMKII", 9, "Purkinje_Cell"),
+        ("CaMKII", 2, "Spine"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        prot.add_row(
+            "protein_amount",
+            &format!("p{i}"),
+            vec![
+                ("protein_name", GcmValue::Id((*name).into())),
+                ("amount", GcmValue::Int(*amount)),
+                ("location", GcmValue::Id((*loc).into())),
+                ("ion_bound", GcmValue::Id("calcium".into())),
+            ],
+        );
+    }
+    m.register(Arc::new(prot)).unwrap();
+    let schema = NeuroSchema {
+        partonomy_role: "has".into(), // Figure 1's partonomy role
+        ..Default::default()
+    };
+    let q = Section5Query {
+        organism: "rat".into(),
+        transmitting_compartment: "Parallel_Fiber".into(),
+        ion: "calcium".into(),
+    };
+    (m, schema, q)
+}
+
+#[test]
+fn eight_threads_replay_warm_section5_plan_identically() {
+    let (mut m, schema, q) = section5_fixture();
+    // Ground truth: the single-owner `&mut Mediator` path.
+    let expected = run_section5(&mut m, &schema, &q, true).unwrap();
+    assert!(
+        !expected.step1_pairs.is_empty(),
+        "plan found receiving pairs"
+    );
+    assert!(!expected.proteins.is_empty(), "plan found proteins");
+    // Warm path: fetch once, snapshot once, then the evaluate phase
+    // replays read-only from 8 threads — no wrapper is contacted again.
+    let (federation, knowledge) = m.fetch_eval_planes();
+    let fetched = section5_fetch(federation, knowledge, &schema, &q, true).unwrap();
+    let snap = m.snapshot().unwrap();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (snap, schema, fetched, expected) = (&snap, &schema, &fetched, &expected);
+                s.spawn(move || {
+                    for _ in 0..4 {
+                        let got = snap.run_section5(schema, fetched).unwrap();
+                        assert_eq!(&got, expected, "snapshot replay diverged");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
 }

@@ -31,6 +31,10 @@ pub struct ScenarioParams {
     pub noise_rows: usize,
     /// Domain-map edge execution mode.
     pub mode: ExecMode,
+    /// Fetch-plane worker threads (0 = auto — one per source, capped by
+    /// available parallelism; 1 = serial baseline). Results are
+    /// bit-identical across settings; only wall-clock changes.
+    pub fetch_threads: usize,
 }
 
 impl Default for ScenarioParams {
@@ -43,6 +47,7 @@ impl Default for ScenarioParams {
             noise_sources: 4,
             noise_rows: 30,
             mode: ExecMode::Assertion,
+            fetch_threads: 0,
         }
     }
 }
@@ -88,6 +93,7 @@ pub fn noise_protein_wrapper(name: &str, seed: u64, rows: usize) -> Arc<dyn Wrap
 /// Builds the fully registered mediator for the scenario.
 pub fn build_scenario(params: &ScenarioParams) -> Mediator {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
+    m.federation_mut().set_fetch_threads(params.fetch_threads);
     // ANATOM first: it may refine the map other anchors depend on.
     m.register(anatom_wrapper("")).expect("ANATOM registers");
     m.register(senselab_wrapper(params.seed, params.senselab_rows))
@@ -121,6 +127,7 @@ pub fn build_scenario_with_faults(
     senselab_faults: Vec<Fault>,
 ) -> (Mediator, Arc<FaultInjector>) {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
+    m.federation_mut().set_fetch_threads(params.fetch_threads);
     let mut injector = FaultInjector::new(
         senselab_wrapper(params.seed, params.senselab_rows),
         m.clock(),

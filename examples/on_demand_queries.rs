@@ -1,12 +1,16 @@
 //! On-demand integrated queries: the push-down discipline of §5
-//! generalized — plus query templates and logic-level (subsumption-based)
-//! source selection.
+//! generalized — plus query templates, logic-level (subsumption-based)
+//! source selection, and the two-phase pipeline's warm-plan path
+//! (fetch once, replay the evaluate phase on a snapshot from many
+//! threads).
 //!
 //! ```sh
 //! cargo run --example on_demand_queries
 //! ```
 
-use kind::core::{Mediator, QueryTemplate};
+use kind::core::{
+    run_section5, section5_fetch, Mediator, NeuroSchema, QueryTemplate, Section5Query,
+};
 use kind::gcm::GcmValue;
 use kind::sources::{build_scenario, ScenarioParams};
 
@@ -119,5 +123,43 @@ fn main() {
         .expect("expression parses");
     println!("sources with 'Neuron ⊓ ∃has.Spine' data: {spiny:?}");
     assert_eq!(spiny, vec!["PURKINJE_LAB".to_string()]);
+
+    // 4. The two-phase pipeline's warm-plan path. A §5 plan is a fetch
+    //    phase (the mediator contacts the plan's sources, concurrently)
+    //    followed by a pure evaluate phase. Run the fetch ONCE, freeze a
+    //    snapshot, and any number of threads can replay the evaluate
+    //    phase read-only — no wrapper is ever contacted again, and the
+    //    trace is identical to the single-owner `run_section5` path.
+    println!("\n== warm §5 plans on a snapshot ==");
+    let schema = NeuroSchema::default();
+    let q = Section5Query {
+        organism: "rat".into(),
+        transmitting_compartment: "Parallel_Fiber".into(),
+        ion: "calcium".into(),
+    };
+    // Ground truth: the &mut Mediator path (fetch + eval in one call).
+    let expected = run_section5(&mut med, &schema, &q, true).expect("plan runs");
+    // Warm path: fetch phase once...
+    let (federation, knowledge) = med.fetch_eval_planes();
+    let fetched =
+        section5_fetch(federation, knowledge, &schema, &q, true).expect("fetch phase runs");
+    // ...then the evaluate phase replays on the frozen snapshot.
+    let snap = med.snapshot().expect("snapshot publishes");
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let (snap, schema, fetched, expected) = (&snap, &schema, &fetched, &expected);
+            s.spawn(move || {
+                let replay = snap
+                    .run_section5(schema, fetched)
+                    .expect("warm plan replays");
+                assert_eq!(&replay, expected, "thread {t} diverged");
+            });
+        }
+    });
+    println!(
+        "4 threads replayed the warm plan: root {:?}, {} distribution rows, 0 new wrapper calls",
+        expected.root,
+        expected.distribution.len()
+    );
     println!("ok");
 }

@@ -81,5 +81,22 @@ fn main() {
         println!("  {}", med.show(&row[0]));
     }
     assert_eq!(rows.len(), 2);
+
+    // 6. Concurrent serving: publish an immutable snapshot and query it
+    //    from as many threads as you like, lock-free, while the mediator
+    //    (the single `&mut` owner) stays free to keep evolving. Warm §5
+    //    plans replay on snapshots the same way — see the
+    //    `on_demand_queries` example.
+    let snap = med.snapshot().expect("snapshot publishes");
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let snap = &snap;
+            s.spawn(move || {
+                let served = snap.query_fl_rendered("big_cell(X)").expect("query runs");
+                assert_eq!(served.len(), 2);
+            });
+        }
+    });
+    println!("snapshot served the same answer from 4 threads");
     println!("ok");
 }
