@@ -26,7 +26,7 @@ fn header(s: &str) {
 
 fn main() {
     // `KIND_BENCH_FAST=1` is the CI smoke mode: skip the narrative
-    // figure/table reports and emit only BENCH_PR4.json with reduced
+    // figure/table reports and emit only BENCH_PR5.json with reduced
     // iteration counts and workload sizes.
     let fast = std::env::var("KIND_BENCH_FAST").is_ok();
     if !fast {
@@ -37,7 +37,7 @@ fn main() {
         figure3_report();
         section5_report();
     }
-    bench_pr4_report(fast);
+    bench_pr5_report(fast);
 }
 
 /// Minimum wall time of `f` over `iters` runs, in nanoseconds — the
@@ -56,10 +56,11 @@ fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
 /// PR benchmark report: the PR 2 evaluation-pipeline benches (each entry
 /// pairs a baseline with the optimized path, minimum wall time of both),
 /// the PR 3 concurrent-snapshot throughput group, the PR 4 parallel
-/// fetch-plane group, and `EvalStats` counters from a representative
-/// warm model. Results go to stdout and `BENCH_PR4.json`.
-fn bench_pr4_report(fast: bool) {
-    header("PR 4 — pipeline benchmarks + fetch-plane / snapshot concurrency");
+/// fetch-plane group, the PR 5 parallel evaluate-plane group, and
+/// `EvalStats` counters from a representative warm model. Results go to
+/// stdout and `BENCH_PR5.json`.
+fn bench_pr5_report(fast: bool) {
+    header("PR 5 — pipeline benchmarks + fetch/evaluate-plane concurrency");
     let iters = if fast { 5 } else { 25 };
     let (depth, fanout) = if fast { (4usize, 3usize) } else { (5, 3) };
     let mut rows: Vec<(&str, u128, u128)> = Vec::new();
@@ -218,9 +219,75 @@ fn bench_pr4_report(fast: bool) {
         );
     }
 
-    let json = render_bench_json(fast, iters, &rows, &conc, &par, &mut m_warm);
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
-    println!("\nwrote BENCH_PR4.json");
+    let pe = parallel_eval_bench(fast, &params);
+    println!(
+        "\n  parallel evaluation (warm §5 answer, {} core(s)):",
+        cores()
+    );
+    println!(
+        "  {:>12} | {:>13} | {:>8}",
+        "eval threads", "wall ns", "speedup"
+    );
+    println!(
+        "  {:>12} | {:>13} | {:>7.2}x",
+        "serial", pe.serial_wall_ns, 1.0
+    );
+    for r in &pe.rows {
+        println!(
+            "  {:>12} | {:>13} | {:>7.2}x",
+            r.threads,
+            r.wall_ns,
+            pe.serial_wall_ns as f64 / r.wall_ns.max(1) as f64
+        );
+    }
+
+    let json = render_bench_json(fast, iters, &rows, &conc, &par, &pe, &mut m_warm);
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    println!("\nwrote BENCH_PR5.json");
+}
+
+/// The evaluate-plane group's results: the §5 warm `answer()` workload —
+/// ISSUE 5's hot path, the time spent entirely inside the semi-naive
+/// fixpoint once fetching and the base cache are warm — measured with
+/// the serial engine and again at 1/2/4/8 evaluate-plane threads.
+struct ParEvalGroup {
+    serial_wall_ns: u128,
+    rows: Vec<ParRow>,
+}
+
+/// The `parallel_eval` group: one primed mediator per thread budget (so
+/// every measurement is a warm second-and-later query), identical row
+/// counts asserted across budgets (the bit-identity contract's cheap
+/// observable — the property suite checks full equality). Speedups are
+/// bounded by [`cores`], which the JSON records: on a single-core host
+/// the expected shape is flat (graceful no-regression), on a multi-core
+/// host the fixpoint's partitioned rounds scale.
+fn parallel_eval_bench(fast: bool, params: &ScenarioParams) -> ParEvalGroup {
+    let iters = if fast { 3 } else { 10 };
+    let aq = r#"calcium_sites(P, L) :- X : protein_amount, X[protein_name -> P],
+                X[location -> L], X[ion_bound -> "calcium"]."#;
+    let measure = |threads: usize| -> (u128, usize) {
+        let mut m = build_scenario(params);
+        m.set_eval_threads(threads);
+        let expected = m.answer(aq).expect("priming answer").rows.len();
+        let wall = min_ns(iters, || {
+            black_box(m.answer(aq).expect("warm answer").rows.len());
+        });
+        (wall, expected)
+    };
+    let (serial_wall_ns, serial_rows) = measure(1);
+    let rows = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let (wall_ns, n) = measure(threads);
+            assert_eq!(n, serial_rows, "row count diverged at {threads} threads");
+            ParRow { threads, wall_ns }
+        })
+        .collect();
+    ParEvalGroup {
+        serial_wall_ns,
+        rows,
+    }
 }
 
 /// One row of the fetch-plane group: full materialization wall time with
@@ -407,14 +474,15 @@ fn snapshot_concurrency_bench(fast: bool, params: &ScenarioParams) -> Vec<ConcRo
 
 /// Hand-rolled JSON (no serde in the image): per-bench baseline/optimized
 /// nanoseconds, the concurrent-throughput group, the fetch-plane group,
-/// plus the `EvalStats` and stratum counters of the warm mediator's
-/// cached base model.
+/// the evaluate-plane group, plus the `EvalStats` and stratum counters of
+/// the warm mediator's cached base model.
 fn render_bench_json(
     fast: bool,
     iters: usize,
     rows: &[(&str, u128, u128)],
     conc: &[ConcRow],
     par: &ParGroup,
+    pe: &ParEvalGroup,
     warm: &mut Mediator,
 ) -> String {
     let model = warm.run().expect("warm base model evaluates");
@@ -462,6 +530,20 @@ fn render_bench_json(
             r.threads,
             r.wall_ns,
             par.serial_wall_ns as f64 / r.wall_ns.max(1) as f64
+        ));
+    }
+    out.push_str(&format!(
+        "    ]\n  }},\n  \"parallel_eval\": {{\n    \"cores\": {},\n    \"serial_wall_ns\": {},\n    \"rows\": [\n",
+        cores(),
+        pe.serial_wall_ns
+    ));
+    for (i, r) in pe.rows.iter().enumerate() {
+        let sep = if i + 1 < pe.rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"eval_threads\": {}, \"wall_ns\": {}, \"speedup_vs_serial\": {:.2}}}{sep}\n",
+            r.threads,
+            r.wall_ns,
+            pe.serial_wall_ns as f64 / r.wall_ns.max(1) as f64
         ));
     }
     out.push_str("    ]\n  },\n  \"eval_stats\": {\n");

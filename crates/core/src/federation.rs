@@ -789,14 +789,12 @@ impl Federation {
     }
 
     /// The worker count [`Self::fetch_parallel`] will actually use for a
-    /// given number of jobs.
-    fn effective_fetch_threads(&self, jobs: usize) -> usize {
-        let cap = if self.fetch_threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.fetch_threads
-        };
-        cap.min(jobs).max(1)
+    /// given number of jobs: the explicit knob when set, otherwise one
+    /// worker per core, always capped by the number of plan sources
+    /// (adaptive sizing — both planes share [`kind_datalog::pool_size`]).
+    pub(crate) fn effective_fetch_threads(&self, jobs: usize) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        kind_datalog::pool_size(self.fetch_threads, jobs, cores)
     }
 
     /// Like [`Self::fetch`], but a source-level failure degrades to an
@@ -910,6 +908,20 @@ mod tests {
             assert_eq!(serial.report, parallel.report);
             assert_eq!(serial.stats, parallel.stats);
         }
+    }
+
+    #[test]
+    fn fetch_threads_default_adapts_to_plan_and_cores() {
+        let mut m = three_source_mediator();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Knob unset: min(plan sources, cores), never below 1.
+        assert_eq!(m.federation().fetch_threads(), 0);
+        assert_eq!(m.federation().effective_fetch_threads(3), cores.clamp(1, 3));
+        assert_eq!(m.federation().effective_fetch_threads(0), 1);
+        // Explicit knob: still capped by the job count.
+        m.federation_mut().set_fetch_threads(2);
+        assert_eq!(m.federation().effective_fetch_threads(8), 2);
+        assert_eq!(m.federation().effective_fetch_threads(1), 1);
     }
 
     #[test]

@@ -472,6 +472,19 @@ impl Mediator {
         &self.eval_options
     }
 
+    /// Sets the evaluate-plane thread budget (0 = one worker per core).
+    /// Parallel evaluation is bit-identical to serial — same `Model`,
+    /// `EvalStats`, and join plans — so changing it neither dirties the
+    /// base nor invalidates a cached model; it only affects wall clock.
+    pub fn set_eval_threads(&mut self, threads: usize) {
+        self.eval_options.eval_threads = threads;
+    }
+
+    /// The configured evaluate-plane thread budget.
+    pub fn eval_threads(&self) -> usize {
+        self.eval_options.eval_threads
+    }
+
     /// Read access to the GCM base (the built engine).
     pub fn base(&self) -> &GcmBase {
         &self.base
@@ -612,7 +625,12 @@ impl Mediator {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         format!("{:?}", self.knowledge.dm).hash(&mut h);
         format!("{:?}", self.knowledge.mode).hash(&mut h);
-        format!("{:?}", self.eval_options).hash(&mut h);
+        // The thread budget is normalized out: parallel evaluation is
+        // bit-identical to serial, so a cached model stays valid across
+        // `set_eval_threads` calls.
+        let mut opts = self.eval_options.clone();
+        opts.eval_threads = 0;
+        format!("{opts:?}").hash(&mut h);
         for cm in &self.knowledge.cms {
             format!("{cm:?}").hash(&mut h);
         }

@@ -217,6 +217,13 @@ impl crate::Engine {
                     "  iterations={} derived={} index: builds={} hits={} misses={}",
                     sp.iterations, sp.derived, sp.index_builds, sp.index_hits, sp.index_misses
                 );
+                if sp.threads_used > 1 {
+                    let _ = writeln!(
+                        out,
+                        "  parallel: threads={} partitions={}",
+                        sp.threads_used, sp.partitions
+                    );
+                }
                 for plan in &sp.plans {
                     let order: Vec<String> =
                         plan.join_order.iter().map(|p| p.to_string()).collect();

@@ -42,11 +42,18 @@ pub struct Relation {
 }
 
 impl Clone for Relation {
+    /// Clones the tuples but **not** the built indexes: a clone rebuilds
+    /// lazily the (usually few) column sets it actually probes. Scratch
+    /// clones on the warm query path (per-call `answer` evaluation,
+    /// base-cache seeding) typically touch a handful of relations, so
+    /// deep-copying every index map was pure allocation overhead — and a
+    /// read-lock hold on the shared original that concurrent snapshot
+    /// readers had to contend with.
     fn clone(&self) -> Self {
         Relation {
             tuples: self.tuples.clone(),
             set: self.set.clone(),
-            indexes: RwLock::new(self.indexes.read().expect("index lock").clone()),
+            indexes: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -111,10 +118,22 @@ impl Relation {
     /// Ensures the index over `cols` (must be sorted and deduplicated)
     /// exists, building it from the current tuples if not. Returns `true`
     /// when the index was newly built.
+    ///
+    /// Build-once and thread-safe: the hot path (index already present)
+    /// takes only the shared read lock, so concurrent probes of a frozen
+    /// relation never serialize on the write lock; when the index is
+    /// missing, exactly one caller builds it (double-checked under the
+    /// write lock) and returns `true` — racing callers wait and reuse it.
     pub fn ensure_index(&self, cols: &[usize]) -> bool {
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]), "cols must be sorted");
+        if self.indexes.read().expect("index lock").contains_key(cols) {
+            return false;
+        }
         let mut indexes = self.indexes.write().expect("index lock");
         if indexes.contains_key(cols) {
+            // Lost the build race: another thread finished it between our
+            // read and write acquisitions. Exactly one caller reports the
+            // build.
             return false;
         }
         let mut index = ColumnIndex::new();

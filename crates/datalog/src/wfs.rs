@@ -42,6 +42,11 @@ pub(crate) fn eval_well_founded(
         ..Default::default()
     };
     let counters = crate::eval::IndexCounters::default();
+    // Both phases of every sweep reuse the stratified engine's partitioned
+    // round executor; `cap`/`par` carry the thread budget and telemetry
+    // across the whole alternating fixpoint.
+    let cap = crate::eval::resolve_threads(opts.eval_threads);
+    let mut par = crate::eval::ParMeta::new();
     let mut lower = edb.clone();
     let mut sweeps = 0usize;
     loop {
@@ -51,8 +56,12 @@ pub(crate) fn eval_well_founded(
                 limit: opts.max_iterations,
             });
         }
-        let upper = gamma(&rules, edb, &lower, &mut stats, &counters, opts)?;
-        let new_lower = gamma(&rules, edb, &upper, &mut stats, &counters, opts)?;
+        let upper = gamma(
+            &rules, edb, &lower, &mut stats, &counters, opts, cap, &mut par,
+        )?;
+        let new_lower = gamma(
+            &rules, edb, &upper, &mut stats, &counters, opts, cap, &mut par,
+        )?;
         // The lower sequence is monotonically increasing, so size equality
         // implies set equality.
         if new_lower.len() == lower.len() {
@@ -68,6 +77,8 @@ pub(crate) fn eval_well_founded(
             summary.index_builds = stats.index_builds;
             summary.index_hits = stats.index_hits;
             summary.index_misses = stats.index_misses;
+            summary.threads_used = par.threads_used;
+            summary.partitions = par.partitions;
             return Ok(Model {
                 facts: new_lower,
                 undefined,
@@ -76,6 +87,7 @@ pub(crate) fn eval_well_founded(
                     strata: vec![summary],
                     well_founded: true,
                     seeded: 0,
+                    eval_threads: cap,
                 },
             });
         }
@@ -198,5 +210,66 @@ mod tests {
         assert!(m.is_undefined(q, std::slice::from_ref(&a)));
         assert!(!m.holds(p, std::slice::from_ref(&a)));
         assert!(!m.holds(q, &[a]));
+    }
+
+    /// The alternating fixpoint runs both phases through the partitioned
+    /// round executor; a fat seeded game graph must come out bit-identical
+    /// between serial and multi-threaded evaluation.
+    #[test]
+    fn wfs_parallel_matches_serial() {
+        let mut syms = Interner::new();
+        let mv = syms.intern("move");
+        let win = syms.intern("win");
+        let mut edb = FactStore::new();
+        let n: Vec<Term> = (0..30)
+            .map(|i| Term::Const(syms.intern(&format!("p{i}"))))
+            .collect();
+        // Deterministic LCG: enough moves to cross the parallel work gate.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..120 {
+            let a = rng() % n.len();
+            let b = rng() % n.len();
+            edb.insert(mv, vec![n[a].clone(), n[b].clone()].into());
+        }
+        let rules = vec![Rule::compile(
+            Atom::new(win, vec![v(0)]),
+            vec![
+                BodyItem::Pos(Atom::new(mv, vec![v(0), v(1)])),
+                BodyItem::Neg(Atom::new(win, vec![v(1)])),
+            ],
+            2,
+            vec!["X".into(), "Y".into()],
+        )
+        .unwrap()];
+        let serial = eval_well_founded(&rules, &edb, &EvalOptions::default()).unwrap();
+        for threads in [2usize, 4] {
+            let par = eval_well_founded(
+                &rules,
+                &edb,
+                &EvalOptions {
+                    eval_threads: threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let canon = |m: &crate::eval::Model| {
+                let mut facts: Vec<String> = m
+                    .facts
+                    .iter()
+                    .map(|(p, t)| format!("{p:?}|{t:?}"))
+                    .collect();
+                facts.extend(m.undefined.iter().map(|(p, t)| format!("u{p:?}|{t:?}")));
+                facts.sort();
+                facts
+            };
+            assert_eq!(canon(&par), canon(&serial), "threads={threads}");
+            assert_eq!(par.stats, serial.stats, "threads={threads}");
+        }
     }
 }

@@ -35,6 +35,10 @@ pub struct ScenarioParams {
     /// available parallelism; 1 = serial baseline). Results are
     /// bit-identical across settings; only wall-clock changes.
     pub fetch_threads: usize,
+    /// Evaluate-plane worker threads (0 = auto — one per core; 1 = serial
+    /// baseline). The parallel fixpoint is bit-identical to serial, so
+    /// this knob too only changes wall clock.
+    pub eval_threads: usize,
 }
 
 impl Default for ScenarioParams {
@@ -48,6 +52,7 @@ impl Default for ScenarioParams {
             noise_rows: 30,
             mode: ExecMode::Assertion,
             fetch_threads: 0,
+            eval_threads: 0,
         }
     }
 }
@@ -94,6 +99,7 @@ pub fn noise_protein_wrapper(name: &str, seed: u64, rows: usize) -> Arc<dyn Wrap
 pub fn build_scenario(params: &ScenarioParams) -> Mediator {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
     m.federation_mut().set_fetch_threads(params.fetch_threads);
+    m.set_eval_threads(params.eval_threads);
     // ANATOM first: it may refine the map other anchors depend on.
     m.register(anatom_wrapper("")).expect("ANATOM registers");
     m.register(senselab_wrapper(params.seed, params.senselab_rows))
@@ -128,6 +134,7 @@ pub fn build_scenario_with_faults(
 ) -> (Mediator, Arc<FaultInjector>) {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
     m.federation_mut().set_fetch_threads(params.fetch_threads);
+    m.set_eval_threads(params.eval_threads);
     let mut injector = FaultInjector::new(
         senselab_wrapper(params.seed, params.senselab_rows),
         m.clock(),

@@ -430,3 +430,74 @@ proptest! {
         prop_assert_eq!(serial_stats, par_stats);
     }
 }
+
+// ---------- Evaluate plane: parallel == serial, byte for byte -----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PR 5's twin of the fetch-plane invariant above: the partitioned
+    /// multi-threaded fixpoint produces a **bit-identical** model — same
+    /// canonical fact set, same `EvalStats` (down to every index probe
+    /// counter), same compiled `RulePlan`s — as the serial engine, for
+    /// every `eval_threads ∈ {1,2,4,8}` crossed with the `semi_naive`
+    /// and `join_reorder` toggles. The graphs are fat enough to cross the
+    /// parallel work gate, so the partitioned path genuinely runs.
+    #[test]
+    fn parallel_eval_is_bit_identical_to_serial(
+        edges in prop::collection::vec((0usize..25, 0usize..25), 100..160)
+    ) {
+        for &semi_naive in &[false, true] {
+            for &join_reorder in &[false, true] {
+                let run = |eval_threads: usize| {
+                    let mut e = Engine::new();
+                    e.load(
+                        "tc(X,Y) :- edge(X,Y).
+                         tc(X,Y) :- tc(X,Z), edge(Z,Y).",
+                    )
+                    .unwrap();
+                    for &(a, b) in &edges {
+                        let pa = e.constant(&format!("n{a}"));
+                        let pb = e.constant(&format!("n{b}"));
+                        let edge = e.sym("edge");
+                        e.add_fact(edge, vec![pa, pb]).unwrap();
+                    }
+                    let m = e
+                        .run(&EvalOptions {
+                            semi_naive,
+                            join_reorder,
+                            eval_threads,
+                            ..Default::default()
+                        })
+                        .unwrap();
+                    let mut facts: Vec<String> = m
+                        .facts
+                        .iter()
+                        .map(|(p, t)| format!("{p:?}{t:?}"))
+                        .collect();
+                    facts.sort();
+                    let plans: Vec<_> = m
+                        .profile
+                        .strata
+                        .iter()
+                        .flat_map(|s| s.plans.clone())
+                        .collect();
+                    (facts, m.stats, plans)
+                };
+                let (serial_facts, serial_stats, serial_plans) = run(1);
+                for threads in [2usize, 4, 8] {
+                    let (facts, stats, plans) = run(threads);
+                    prop_assert_eq!(&facts, &serial_facts,
+                        "facts diverge: threads={} semi_naive={} join_reorder={}",
+                        threads, semi_naive, join_reorder);
+                    prop_assert_eq!(&stats, &serial_stats,
+                        "stats diverge: threads={} semi_naive={} join_reorder={}",
+                        threads, semi_naive, join_reorder);
+                    prop_assert_eq!(&plans, &serial_plans,
+                        "plans diverge: threads={} semi_naive={} join_reorder={}",
+                        threads, semi_naive, join_reorder);
+                }
+            }
+        }
+    }
+}
