@@ -8,13 +8,14 @@
 
 use kind_bench::{closure_map, corrupted_order, latency_mediator};
 use kind_core::{
-    protein_distribution, run_section5, FetchRequest, Mediator, NeuroSchema, Section5Query,
+    protein_distribution, run_section5, Fault, FetchRequest, Mediator, NeuroSchema, Section5Query,
+    SourcePolicy,
 };
 use kind_datalog::EvalOptions;
 use kind_dm::{figures, Resolved};
 use kind_flogic::FLogic;
 use kind_gcm::{GcmDecl, GcmValue};
-use kind_sources::{build_scenario, ScenarioParams};
+use kind_sources::{build_scenario, build_scenario_with_faults, ScenarioParams};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -26,7 +27,7 @@ fn header(s: &str) {
 
 fn main() {
     // `KIND_BENCH_FAST=1` is the CI smoke mode: skip the narrative
-    // figure/table reports and emit only BENCH_PR5.json with reduced
+    // figure/table reports and emit only BENCH_PR6.json with reduced
     // iteration counts and workload sizes.
     let fast = std::env::var("KIND_BENCH_FAST").is_ok();
     if !fast {
@@ -37,7 +38,7 @@ fn main() {
         figure3_report();
         section5_report();
     }
-    bench_pr5_report(fast);
+    bench_pr6_report(fast);
 }
 
 /// Minimum wall time of `f` over `iters` runs, in nanoseconds — the
@@ -56,11 +57,11 @@ fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
 /// PR benchmark report: the PR 2 evaluation-pipeline benches (each entry
 /// pairs a baseline with the optimized path, minimum wall time of both),
 /// the PR 3 concurrent-snapshot throughput group, the PR 4 parallel
-/// fetch-plane group, the PR 5 parallel evaluate-plane group, and
-/// `EvalStats` counters from a representative warm model. Results go to
-/// stdout and `BENCH_PR5.json`.
-fn bench_pr5_report(fast: bool) {
-    header("PR 5 — pipeline benchmarks + fetch/evaluate-plane concurrency");
+/// fetch-plane group, the PR 5 parallel evaluate-plane group, the PR 6
+/// tail-latency (hedged fetch) group, and `EvalStats` counters from a
+/// representative warm model. Results go to stdout and `BENCH_PR6.json`.
+fn bench_pr6_report(fast: bool) {
+    header("PR 6 — pipeline benchmarks + concurrency + tail latency");
     let iters = if fast { 5 } else { 25 };
     let (depth, fanout) = if fast { (4usize, 3usize) } else { (5, 3) };
     let mut rows: Vec<(&str, u128, u128)> = Vec::new();
@@ -241,9 +242,98 @@ fn bench_pr5_report(fast: bool) {
         );
     }
 
-    let json = render_bench_json(fast, iters, &rows, &conc, &par, &pe, &mut m_warm);
-    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
-    println!("\nwrote BENCH_PR5.json");
+    let tail = tail_latency_bench(fast);
+    println!(
+        "\n  tail latency ({} runs, SlowTail {}ms at {}‰, hedge after {}ms, virtual time):",
+        tail.runs, tail.delay_ms, tail.slow_per_mille, tail.hedge_after_ms
+    );
+    println!(
+        "  {:>9} | {:>7} | {:>7} | {:>7} | {:>7}",
+        "policy", "p50 ms", "p99 ms", "max ms", "hedged"
+    );
+    for (name, st) in [("no hedge", &tail.no_hedge), ("hedge", &tail.hedge)] {
+        println!(
+            "  {:>9} | {:>7} | {:>7} | {:>7} | {:>7}",
+            name, st.p50_ms, st.p99_ms, st.max_ms, st.hedged
+        );
+    }
+
+    let json = render_bench_json(fast, iters, &rows, &conc, &par, &pe, &tail, &mut m_warm);
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+    println!("\nwrote BENCH_PR6.json");
+}
+
+/// Percentiles of the per-query critical path (virtual ms) for one
+/// deadline-plane policy in [`tail_latency_bench`].
+struct TailStats {
+    p50_ms: u64,
+    p99_ms: u64,
+    max_ms: u64,
+    hedged: usize,
+}
+
+/// The `tail_latency` group: the same seeded `SlowTail` schedule replayed
+/// against SENSELAB with hedging off and on.
+struct TailGroup {
+    runs: usize,
+    delay_ms: u64,
+    slow_per_mille: u16,
+    hedge_after_ms: u64,
+    no_hedge: TailStats,
+    hedge: TailStats,
+}
+
+/// Repeated `answer()` calls against a source with a seeded slow tail
+/// (most fetches are instant, a small fraction stall for `delay_ms`),
+/// measured in **virtual** milliseconds via `AnswerReport::elapsed_ms` —
+/// so the percentiles are deterministic and machine-independent. The
+/// hedged side races one backup attempt after `hedge_after_ms`; because
+/// the backup re-rolls the seeded tail, a stalled primary is almost
+/// always rescued and the p99 collapses toward the hedge threshold.
+fn tail_latency_bench(fast: bool) -> TailGroup {
+    let runs = if fast { 60 } else { 200 };
+    let delay_ms = 500u64;
+    let slow_per_mille = 50u16;
+    let hedge_after_ms = 50u64;
+    let tq = r#"nt_used(N) :- X : neurotransmission, X[neurotransmitter -> N]."#;
+    let measure = |hedge: bool| -> TailStats {
+        let (mut m, _inj) = build_scenario_with_faults(
+            &ScenarioParams::default(),
+            vec![Fault::SlowTail {
+                seed: 2001,
+                delay_ms,
+                slow_per_mille,
+            }],
+        );
+        if hedge {
+            m.set_source_policy(
+                "SENSELAB",
+                SourcePolicy::with_hedge_after_ms(hedge_after_ms),
+            );
+        }
+        let mut elapsed: Vec<u64> = Vec::with_capacity(runs);
+        let mut hedged = 0usize;
+        for _ in 0..runs {
+            let ans = m.answer(tq).expect("tail query runs");
+            elapsed.push(ans.report.elapsed_ms);
+            hedged += ans.report.source("SENSELAB").map_or(0, |s| s.hedged);
+        }
+        elapsed.sort_unstable();
+        TailStats {
+            p50_ms: elapsed[runs / 2],
+            p99_ms: elapsed[runs * 99 / 100],
+            max_ms: *elapsed.last().expect("at least one run"),
+            hedged,
+        }
+    };
+    TailGroup {
+        runs,
+        delay_ms,
+        slow_per_mille,
+        hedge_after_ms,
+        no_hedge: measure(false),
+        hedge: measure(true),
+    }
 }
 
 /// The evaluate-plane group's results: the §5 warm `answer()` workload —
@@ -474,8 +564,10 @@ fn snapshot_concurrency_bench(fast: bool, params: &ScenarioParams) -> Vec<ConcRo
 
 /// Hand-rolled JSON (no serde in the image): per-bench baseline/optimized
 /// nanoseconds, the concurrent-throughput group, the fetch-plane group,
-/// the evaluate-plane group, plus the `EvalStats` and stratum counters of
-/// the warm mediator's cached base model.
+/// the evaluate-plane group, the tail-latency (hedged fetch) group, plus
+/// the `EvalStats` and stratum counters of the warm mediator's cached
+/// base model.
+#[allow(clippy::too_many_arguments)]
 fn render_bench_json(
     fast: bool,
     iters: usize,
@@ -483,6 +575,7 @@ fn render_bench_json(
     conc: &[ConcRow],
     par: &ParGroup,
     pe: &ParEvalGroup,
+    tail: &TailGroup,
     warm: &mut Mediator,
 ) -> String {
     let model = warm.run().expect("warm base model evaluates");
@@ -491,8 +584,9 @@ fn render_bench_json(
     let skipped = model.profile.strata.iter().filter(|p| p.skipped).count();
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"mode\": \"{}\",\n  \"samples\": {iters},\n  \"benches\": [\n",
-        if fast { "fast" } else { "full" }
+        "  \"mode\": \"{}\",\n  \"samples\": {iters},\n  \"available_parallelism\": {},\n  \"benches\": [\n",
+        if fast { "fast" } else { "full" },
+        cores()
     ));
     for (i, (name, b, o)) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
@@ -546,7 +640,21 @@ fn render_bench_json(
             pe.serial_wall_ns as f64 / r.wall_ns.max(1) as f64
         ));
     }
-    out.push_str("    ]\n  },\n  \"eval_stats\": {\n");
+    out.push_str(&format!(
+        "    ]\n  }},\n  \"tail_latency\": {{\n    \"runs\": {},\n    \"delay_ms\": {},\n    \"slow_per_mille\": {},\n    \"hedge_after_ms\": {},\n",
+        tail.runs, tail.delay_ms, tail.slow_per_mille, tail.hedge_after_ms
+    ));
+    for (i, (name, st)) in [("no_hedge", &tail.no_hedge), ("hedge", &tail.hedge)]
+        .iter()
+        .enumerate()
+    {
+        let sep = if i == 0 { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{name}\": {{\"p50_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}, \"hedged\": {}}}{sep}\n",
+            st.p50_ms, st.p99_ms, st.max_ms, st.hedged
+        ));
+    }
+    out.push_str("  },\n  \"eval_stats\": {\n");
     out.push_str(&format!(
         "    \"iterations\": {},\n    \"derived\": {},\n    \"applications\": {},\n    \"index_builds\": {},\n    \"index_hits\": {},\n    \"index_misses\": {},\n    \"strata\": {strata},\n    \"strata_skipped\": {skipped}\n",
         s.iterations, s.derived, s.applications, s.index_builds, s.index_hits, s.index_misses

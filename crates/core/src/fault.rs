@@ -11,6 +11,10 @@
 //! * [`Clock`] / [`VirtualClock`] — a virtual time source, so timeouts,
 //!   backoff, and breaker cooldowns are fully deterministic (no
 //!   wall-clock anywhere in the query path);
+//! * [`QueryBudget`] — the **deadline plane**: a per-operation
+//!   virtual-time allowance sliced across the fetch plane, with a shared
+//!   [`CancelToken`] for cooperative cancellation of in-flight fetch
+//!   jobs and Datalog fixpoints;
 //! * [`RetryPolicy`] — bounded attempts with deterministic exponential
 //!   backoff;
 //! * [`CircuitBreaker`] — the classic closed → open → half-open state
@@ -28,6 +32,7 @@
 //! degradation semantics").
 
 use crate::wrapper::{Anchor, Capability, ObjectRow, QueryTemplate, SourceQuery, Wrapper};
+use kind_datalog::CancelToken;
 use kind_gcm::GcmValue;
 use kind_xml::Element;
 use std::collections::BTreeMap;
@@ -160,6 +165,119 @@ impl Clock for VirtualClock {
                 Some(t.saturating_add(ms))
             })
             .expect("fetch_update never fails");
+    }
+}
+
+// ---------------------------------------------------------------------
+// The deadline plane: query budgets.
+// ---------------------------------------------------------------------
+
+/// A per-operation virtual-time allowance — the **deadline plane**.
+///
+/// A budget is started against the federation [`Clock`] when a
+/// degradable operation begins and is *charged* at deterministic points:
+/// after each parallel fetch round, with that round's **critical path**
+/// (the maximum over concurrent source jobs of their self-inflicted
+/// virtual time — injected delays plus retry backoff). Each fetch round
+/// hands every source job a *slice* equal to the budget's remaining
+/// allowance; a job that exhausts its slice stops contacting its source
+/// and reports [`SourceOutcome::DeadlineExceeded`], degrading the answer
+/// instead of aborting it.
+///
+/// **Determinism.** Budget decisions are never made from racy global
+/// clock reads: a job charges itself only for time *it* caused
+/// ([`Wrapper::virtual_cost_ms`] deltas around its own calls, plus its
+/// own backoff sleeps), so outcomes are bit-identical for every
+/// `fetch_threads` setting even though concurrent clock advances
+/// interleave. The clock anchors [`Self::started_ms`] for diagnostics
+/// only.
+///
+/// The embedded [`CancelToken`] is shared with the evaluate plane
+/// ([`kind_datalog::EvalOptions::cancel`]) and checked by fetch jobs
+/// between attempts: cancelling it winds down both planes cooperatively.
+/// With [`Self::set_cancel_on_exhaust`] the first job to exhaust its
+/// slice also cancels the token, reining in in-flight siblings — at the
+/// cost of the strict any-thread-count report identity (which siblings
+/// see the flag first is a scheduling race), so it is off by default.
+#[derive(Debug, Clone)]
+pub struct QueryBudget {
+    budget_ms: u64,
+    started_ms: u64,
+    consumed_ms: u64,
+    cancel: CancelToken,
+    cancel_on_exhaust: bool,
+}
+
+impl QueryBudget {
+    /// Starts a budget of `budget_ms` virtual milliseconds at the
+    /// clock's current time, with a fresh cancellation token.
+    pub fn start(clock: &Arc<dyn Clock>, budget_ms: u64) -> Self {
+        QueryBudget {
+            budget_ms,
+            started_ms: clock.now_ms(),
+            consumed_ms: 0,
+            cancel: CancelToken::new(),
+            cancel_on_exhaust: false,
+        }
+    }
+
+    /// Shares an externally owned token (builder-style), so a caller can
+    /// cancel the whole operation from another thread.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The total allowance in virtual milliseconds.
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
+    /// The clock reading when the budget started (diagnostics only; see
+    /// the type docs for why decisions never read the clock).
+    pub fn started_ms(&self) -> u64 {
+        self.started_ms
+    }
+
+    /// Deterministically accounted virtual time consumed so far.
+    pub fn consumed_ms(&self) -> u64 {
+        self.consumed_ms
+    }
+
+    /// The remaining allowance (saturating at zero).
+    pub fn remaining_ms(&self) -> u64 {
+        self.budget_ms.saturating_sub(self.consumed_ms)
+    }
+
+    /// Whether the allowance is used up.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining_ms() == 0
+    }
+
+    /// Charges `ms` of consumed virtual time (a fetch round's critical
+    /// path). Cancels the token if configured and now exhausted.
+    pub fn charge(&mut self, ms: u64) {
+        self.consumed_ms = self.consumed_ms.saturating_add(ms);
+        if self.cancel_on_exhaust && self.is_exhausted() {
+            self.cancel.cancel();
+        }
+    }
+
+    /// A clone of the budget's cancellation token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Whether exhausting the budget should cancel the shared token (and
+    /// with it any in-flight sibling work). Off by default; see the type
+    /// docs for the determinism trade-off.
+    pub fn set_cancel_on_exhaust(&mut self, yes: bool) {
+        self.cancel_on_exhaust = yes;
+    }
+
+    /// The [`Self::set_cancel_on_exhaust`] setting.
+    pub fn cancels_on_exhaust(&self) -> bool {
+        self.cancel_on_exhaust
     }
 }
 
@@ -338,7 +456,8 @@ impl CircuitBreaker {
     }
 }
 
-/// Per-source resilience settings: retry, timeout budget, breaker.
+/// Per-source resilience settings: retry, timeout budget, breaker,
+/// hedging.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SourcePolicy {
     /// Retry/backoff settings.
@@ -347,6 +466,15 @@ pub struct SourcePolicy {
     pub timeout_ms: u64,
     /// Breaker settings.
     pub breaker: BreakerConfig,
+    /// Hedged fetches: when a successful attempt's self-inflicted
+    /// virtual cost exceeds this threshold, one backup attempt is
+    /// launched and the first (virtual-time) success wins; the loser is
+    /// cancelled and recorded ([`SourceReport::hedged`] /
+    /// [`SourceReport::cancelled`]). `0` (the default) disables
+    /// hedging. Sources in breaker half-open trials, and sources that
+    /// already shipped quarantined rows in the operation, are never
+    /// hedged.
+    pub hedge_after_ms: u64,
 }
 
 impl SourcePolicy {
@@ -354,6 +482,14 @@ impl SourcePolicy {
     pub fn with_timeout_ms(timeout_ms: u64) -> Self {
         SourcePolicy {
             timeout_ms,
+            ..SourcePolicy::default()
+        }
+    }
+
+    /// The default policy with hedging enabled past `hedge_after_ms`.
+    pub fn with_hedge_after_ms(hedge_after_ms: u64) -> Self {
+        SourcePolicy {
+            hedge_after_ms,
             ..SourcePolicy::default()
         }
     }
@@ -387,6 +523,21 @@ pub enum Fault {
     Slow {
         /// Virtual delay per call.
         delay_ms: u64,
+    },
+    /// A latency *tail*: each call is independently slow (advancing the
+    /// clock by `delay_ms`) with probability `slow_per_mille`/1000,
+    /// drawn from a seeded hash of the call number. The tool behind the
+    /// hedged-fetch benchmarks: a hedge's backup attempt re-rolls, so
+    /// most tail hits are rescued. Use a seed distinct from any `Flaky`
+    /// fault on the same injector (the draws are salted differently, but
+    /// distinct seeds keep schedules independent at a glance).
+    SlowTail {
+        /// Hash seed.
+        seed: u64,
+        /// Virtual delay when the tail hits.
+        delay_ms: u64,
+        /// Tail probability in per-mille.
+        slow_per_mille: u16,
     },
     /// Answers with more than `n` rows fail with
     /// [`SourceError::Truncated`].
@@ -433,6 +584,10 @@ pub struct FaultInjector {
     faults: Vec<Fault>,
     armed: AtomicBool,
     calls: AtomicU64,
+    /// Cumulative virtual delay this injector itself added (`Slow` /
+    /// `SlowTail`), reported through [`Wrapper::virtual_cost_ms`] so the
+    /// deadline plane can charge each job exactly its own time.
+    injected_ms: AtomicU64,
 }
 
 impl fmt::Debug for FaultInjector {
@@ -456,6 +611,7 @@ impl FaultInjector {
             faults: Vec::new(),
             armed: AtomicBool::new(true),
             calls: AtomicU64::new(0),
+            injected_ms: AtomicU64::new(0),
         }
     }
 
@@ -479,6 +635,13 @@ impl FaultInjector {
     /// How many (armed) queries the injector has intercepted.
     pub fn calls(&self) -> u64 {
         self.calls.load(Ordering::SeqCst)
+    }
+
+    /// Advances the shared clock by an injected delay and books it as
+    /// this wrapper's own virtual cost.
+    fn inject_delay(&self, ms: u64) {
+        self.clock.advance_ms(ms);
+        self.injected_ms.fetch_add(ms, Ordering::SeqCst);
     }
 
     /// Deterministically mangles a row against its declared CM.
@@ -527,6 +690,12 @@ impl Wrapper for FaultInjector {
         self.inner.dm_contribution()
     }
 
+    fn virtual_cost_ms(&self) -> u64 {
+        self.injected_ms
+            .load(Ordering::SeqCst)
+            .saturating_add(self.inner.virtual_cost_ms())
+    }
+
     fn query(&self, q: &SourceQuery) -> std::result::Result<Vec<ObjectRow>, SourceError> {
         if !self.armed.load(Ordering::SeqCst) {
             return self.inner.query(q);
@@ -534,7 +703,16 @@ impl Wrapper for FaultInjector {
         let call = self.calls.fetch_add(1, Ordering::SeqCst);
         for fault in &self.faults {
             match *fault {
-                Fault::Slow { delay_ms } => self.clock.advance_ms(delay_ms),
+                Fault::Slow { delay_ms } => self.inject_delay(delay_ms),
+                Fault::SlowTail {
+                    seed,
+                    delay_ms,
+                    slow_per_mille,
+                    // Salted so a SlowTail and a Flaky sharing a seed
+                    // still draw independent schedules.
+                } if mix(seed ^ 0x7a11 ^ mix(call)) % 1000 < u64::from(slow_per_mille) => {
+                    self.inject_delay(delay_ms);
+                }
                 Fault::FailFirst(n) if call < u64::from(n) => {
                     return Err(SourceError::Unavailable {
                         reason: format!("injected fail-first-{n} (call #{call})"),
@@ -597,6 +775,18 @@ pub enum SourceOutcome {
     },
     /// At least one fetch was skipped because the breaker was open.
     SkippedByBreaker,
+    /// At least one fetch was abandoned because the query's
+    /// [`crate::fault::QueryBudget`] cancellation token fired. The source
+    /// was not necessarily at fault; its rows are simply missing.
+    Cancelled,
+    /// At least one fetch was cut off by the query deadline: the job's
+    /// budget slice ran out before (or while) this source answered.
+    DeadlineExceeded {
+        /// Virtual milliseconds the job had spent when it gave up.
+        spent_ms: u64,
+        /// The budget slice the job was working against.
+        budget_ms: u64,
+    },
     /// At least one fetch exhausted its retry budget.
     Failed {
         /// The final error of the first failing fetch.
@@ -610,7 +800,9 @@ impl SourceOutcome {
             SourceOutcome::Ok => 0,
             SourceOutcome::Retried { .. } => 1,
             SourceOutcome::SkippedByBreaker => 2,
-            SourceOutcome::Failed { .. } => 3,
+            SourceOutcome::Cancelled => 3,
+            SourceOutcome::DeadlineExceeded { .. } => 4,
+            SourceOutcome::Failed { .. } => 5,
         }
     }
 
@@ -634,10 +826,15 @@ impl SourceOutcome {
     }
 
     /// Whether this outcome means the answer may be missing rows.
+    /// A hedged-but-successful fetch is *not* degraded — hedging is
+    /// recorded on [`SourceReport::hedged`], not here.
     pub fn is_degraded(&self) -> bool {
         matches!(
             self,
-            SourceOutcome::SkippedByBreaker | SourceOutcome::Failed { .. }
+            SourceOutcome::SkippedByBreaker
+                | SourceOutcome::Cancelled
+                | SourceOutcome::DeadlineExceeded { .. }
+                | SourceOutcome::Failed { .. }
         )
     }
 }
@@ -666,6 +863,12 @@ pub struct SourceReport {
     pub rows: usize,
     /// Rows quarantined by CM validation.
     pub quarantined: usize,
+    /// Backup attempts launched against this source because the primary
+    /// attempt was slow (see [`crate::SourcePolicy::hedge_after_ms`]).
+    pub hedged: usize,
+    /// Attempts cancelled before completing: hedge losers plus fetches
+    /// abandoned on cancellation or deadline expiry.
+    pub cancelled: usize,
     /// The merged outcome (worst over all fetches; retries summed).
     pub outcome: SourceOutcome,
 }
@@ -679,14 +882,34 @@ pub struct AnswerReport {
     pub sources: BTreeMap<String, SourceReport>,
     /// Every quarantined row, with diagnostics.
     pub quarantined: Vec<QuarantinedRow>,
+    /// Virtual milliseconds the fetch plane spent on this operation: the
+    /// critical path (max over concurrent jobs of each job's own spend)
+    /// summed across sequential fetch rounds. Scheduling-independent, so
+    /// equal seeds produce equal values at every thread count.
+    pub elapsed_ms: u64,
+    /// The query budget in force when the operation started (0 = none).
+    pub budget_ms: u64,
 }
 
 impl AnswerReport {
-    /// `true` iff no source failed or was skipped and no row was
-    /// quarantined — i.e. the answer is exactly what a fault-free run
-    /// would have produced.
+    /// `true` iff the answer is exactly what a fault-free run would have
+    /// produced: no source failed, was skipped, was cancelled, or hit the
+    /// deadline, and no row was quarantined. Hedging does **not** make an
+    /// answer incomplete — a hedged fetch that succeeded delivered the
+    /// same rows, just via a backup attempt — but a
+    /// [`SourceOutcome::DeadlineExceeded`] or [`SourceOutcome::Cancelled`]
+    /// source does, because its rows never landed.
     pub fn is_complete(&self) -> bool {
         self.quarantined.is_empty() && self.sources.values().all(|s| !s.outcome.is_degraded())
+    }
+
+    /// `true` iff at least one source was cut off by the query deadline.
+    /// The answer still contains every row that landed in time; callers
+    /// decide whether a fast partial answer beats a late complete one.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.sources
+            .values()
+            .any(|s| matches!(s.outcome, SourceOutcome::DeadlineExceeded { .. }))
     }
 
     /// The report for one source, if it was contacted.
@@ -709,12 +932,16 @@ impl AnswerReport {
         name: &str,
         attempts: usize,
         rows: usize,
+        hedged: usize,
+        cancelled: usize,
         outcome: SourceOutcome,
     ) {
         let entry = self.sources.entry(name.to_string()).or_default();
         entry.fetches += 1;
         entry.attempts += attempts;
         entry.rows += rows;
+        entry.hedged += hedged;
+        entry.cancelled += cancelled;
         entry.outcome = SourceOutcome::merged(entry.outcome.clone(), outcome);
     }
 
@@ -730,9 +957,17 @@ impl AnswerReport {
             entry.attempts += s.attempts;
             entry.rows += s.rows;
             entry.quarantined += s.quarantined;
+            entry.hedged += s.hedged;
+            entry.cancelled += s.cancelled;
             entry.outcome = SourceOutcome::merged(entry.outcome.clone(), s.outcome.clone());
         }
         self.quarantined.extend(other.quarantined.iter().cloned());
+        // Sequential rounds accumulate wall time; the budget is a property
+        // of the whole query, so the first armed value wins.
+        self.elapsed_ms = self.elapsed_ms.saturating_add(other.elapsed_ms);
+        if self.budget_ms == 0 {
+            self.budget_ms = other.budget_ms;
+        }
     }
 
     /// Records a quarantined row under its source.
@@ -752,10 +987,25 @@ impl AnswerReport {
                 SourceOutcome::Ok => "ok".to_string(),
                 SourceOutcome::Retried { retries } => format!("ok after {retries} retries"),
                 SourceOutcome::SkippedByBreaker => "skipped (breaker open)".to_string(),
+                SourceOutcome::Cancelled => "cancelled".to_string(),
+                SourceOutcome::DeadlineExceeded {
+                    spent_ms,
+                    budget_ms,
+                } => format!("deadline exceeded ({spent_ms}ms spent of {budget_ms}ms)"),
                 SourceOutcome::Failed { error } => format!("failed: {error}"),
             };
+            let hedged = if s.hedged > 0 {
+                format!(", {} hedged", s.hedged)
+            } else {
+                String::new()
+            };
+            let cancelled = if s.cancelled > 0 {
+                format!(", {} cancelled", s.cancelled)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "{name}: {outcome} ({} rows, {} quarantined, {} attempts)\n",
+                "{name}: {outcome} ({} rows, {} quarantined, {} attempts{hedged}{cancelled})\n",
                 s.rows, s.quarantined, s.attempts
             ));
         }
@@ -765,6 +1015,49 @@ impl AnswerReport {
             "answer: INCOMPLETE"
         });
         out
+    }
+
+    /// The whole report as one line — the `summary()` verdict plus the
+    /// aggregate counts, for demos and logs that can't spare a paragraph.
+    /// E.g. `complete · 8 sources, 240 rows, 9 attempts, 1 hedged, 142ms`.
+    pub fn summary_line(&self) -> String {
+        let rows: usize = self.sources.values().map(|s| s.rows).sum();
+        let attempts: usize = self.sources.values().map(|s| s.attempts).sum();
+        let hedged: usize = self.sources.values().map(|s| s.hedged).sum();
+        let cancelled: usize = self.sources.values().map(|s| s.cancelled).sum();
+        let verdict = if self.is_complete() {
+            "complete".to_string()
+        } else if self.deadline_exceeded() {
+            format!(
+                "DEADLINE EXCEEDED ({} of {} sources)",
+                self.degraded_sources().len(),
+                self.sources.len()
+            )
+        } else {
+            format!(
+                "INCOMPLETE ({} of {} sources degraded)",
+                self.degraded_sources().len(),
+                self.sources.len()
+            )
+        };
+        let mut line = format!(
+            "{verdict} · {} sources, {rows} rows, {attempts} attempts",
+            self.sources.len()
+        );
+        if hedged > 0 {
+            line.push_str(&format!(", {hedged} hedged"));
+        }
+        if cancelled > 0 {
+            line.push_str(&format!(", {cancelled} cancelled"));
+        }
+        if !self.quarantined.is_empty() {
+            line.push_str(&format!(", {} quarantined", self.quarantined.len()));
+        }
+        line.push_str(&format!(", {}ms", self.elapsed_ms));
+        if self.budget_ms > 0 {
+            line.push_str(&format!(" of {}ms budget", self.budget_ms));
+        }
+        line
     }
 }
 
@@ -964,12 +1257,14 @@ mod tests {
     #[test]
     fn report_merges_outcomes_and_tracks_completeness() {
         let mut r = AnswerReport::default();
-        r.record_fetch("A", 1, 10, SourceOutcome::Ok);
+        r.record_fetch("A", 1, 10, 0, 0, SourceOutcome::Ok);
         assert!(r.is_complete());
-        r.record_fetch("A", 3, 4, SourceOutcome::Retried { retries: 2 });
+        r.record_fetch("A", 3, 4, 0, 0, SourceOutcome::Retried { retries: 2 });
         r.record_fetch(
             "B",
             2,
+            0,
+            0,
             0,
             SourceOutcome::Failed {
                 error: SourceError::Unavailable {
@@ -985,7 +1280,7 @@ mod tests {
         assert_eq!(a.rows, 14);
         assert_eq!(a.outcome, SourceOutcome::Retried { retries: 2 });
         // A later clean fetch does not mask B's failure.
-        r.record_fetch("B", 1, 5, SourceOutcome::Ok);
+        r.record_fetch("B", 1, 5, 0, 0, SourceOutcome::Ok);
         assert!(matches!(
             r.source("B").unwrap().outcome,
             SourceOutcome::Failed { .. }

@@ -33,10 +33,11 @@
 
 use crate::error::{MediatorError, Result};
 use crate::fault::{
-    AnswerReport, BreakerState, CircuitBreaker, Clock, QuarantinedRow, SourceError, SourceOutcome,
-    SourcePolicy, VirtualClock,
+    AnswerReport, BreakerState, CircuitBreaker, Clock, QuarantinedRow, QueryBudget, SourceError,
+    SourceOutcome, SourcePolicy, VirtualClock,
 };
 use crate::wrapper::{Capability, ObjectRow, SourceQuery, Wrapper};
+use kind_datalog::CancelToken;
 use kind_dm::SourceId;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -235,6 +236,66 @@ enum GuardedFetch {
     },
     /// The breaker was open: the source was never contacted.
     Skipped,
+    /// The query's cancellation token fired before (or between) attempts.
+    Cancelled {
+        /// Physical attempts made before the cancellation was seen.
+        attempts: u32,
+    },
+    /// The job's budget slice ran out: either before this fetch started
+    /// (no contact at all) or while the source was answering (rows
+    /// dropped — they arrived past the deadline).
+    DeadlineExceeded {
+        /// Physical attempts made.
+        attempts: u32,
+    },
+}
+
+/// The per-job deadline context of one fetch job: the job's slice of the
+/// query budget, the job's own self-charged spend, and the query-wide
+/// cancellation token. Every job owns exactly one — never shared — so
+/// deadline and hedging decisions depend only on the job's own work,
+/// never on how concurrent jobs were scheduled. That is what keeps
+/// reports bit-identical at every `fetch_threads` setting.
+struct JobBudget {
+    /// The job's slice of the query budget (`None` = no deadline).
+    slice_ms: Option<u64>,
+    /// Virtual milliseconds this job has charged itself so far: its own
+    /// wrappers' [`Wrapper::virtual_cost_ms`] deltas plus its own retry
+    /// backoffs — never raw clock reads, which siblings pollute.
+    spent_ms: u64,
+    /// The query-wide cancellation token, checked before every attempt.
+    cancel: Option<CancelToken>,
+    /// Whether exhausting this slice fires the query-wide token (the
+    /// opt-in sibling-cancellation mode).
+    cancel_on_exhaust: bool,
+    /// Set once the job has quarantined rows from its source: a source
+    /// that ships garbage is never hedged (a backup attempt would ship
+    /// more garbage, not better data).
+    tainted: bool,
+}
+
+impl JobBudget {
+    /// Fires the query-wide token if this job's exhaustion should cancel
+    /// its siblings.
+    fn note_exhausted(&self) {
+        if self.cancel_on_exhaust {
+            if let Some(t) = &self.cancel {
+                t.cancel();
+            }
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    fn exhausted(&self) -> bool {
+        self.slice_ms.is_some_and(|s| self.spent_ms >= s)
+    }
+
+    fn charge(&mut self, ms: u64) {
+        self.spent_ms = self.spent_ms.saturating_add(ms);
+    }
 }
 
 /// The full outcome of one guarded fetch against one source, before any
@@ -248,6 +309,10 @@ struct FetchCompletion {
     quarantined: Vec<QuarantinedRow>,
     /// Physical wrapper attempts (0 when the breaker skipped).
     attempts: usize,
+    /// Backup attempts launched because the primary was slow.
+    hedged: usize,
+    /// Attempts cancelled: hedge losers plus abandoned fetches.
+    cancelled: usize,
     /// The report-level classification.
     outcome: SourceOutcome,
     /// The terminal error, for strict callers ([`Federation::fetch`]).
@@ -270,10 +335,27 @@ fn execute_fetch(
     clock: &Arc<dyn Clock>,
     stats: &mut MediatorStats,
     q: &SourceQuery,
+    budget: &mut JobBudget,
 ) -> FetchCompletion {
     let mut attempts = 0u32;
+    let mut hedged = 0usize;
+    let mut cancelled = 0usize;
     let mut last_error: Option<SourceError> = None;
     let guarded = loop {
+        // The deadline plane runs before any contact: a fired
+        // cancellation token or an exhausted slice abandons the fetch
+        // without touching the source or its breaker.
+        if budget.cancelled() {
+            stats.failures += 1;
+            cancelled += 1;
+            break GuardedFetch::Cancelled { attempts };
+        }
+        if budget.exhausted() {
+            stats.failures += 1;
+            cancelled += 1;
+            budget.note_exhausted();
+            break GuardedFetch::DeadlineExceeded { attempts };
+        }
         let now = clock.now_ms();
         if !breaker.allows(now) {
             stats.failures += 1;
@@ -284,9 +366,14 @@ fn execute_fetch(
                 None => GuardedFetch::Skipped,
             };
         }
+        // Hedging is only for sources in good standing: a HalfOpen trial
+        // already is the recovery probe, doubling it would defeat the
+        // breaker's slow-start.
+        let breaker_closed = matches!(breaker.state(), BreakerState::Closed { .. });
         attempts += 1;
         stats.source_queries += 1;
         let started = clock.now_ms();
+        let cost_before = src.wrapper.virtual_cost_ms();
         let result = src.wrapper.query(q).and_then(|rows| {
             let elapsed = clock.now_ms().saturating_sub(started);
             if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
@@ -298,14 +385,74 @@ fn execute_fetch(
                 Ok(rows)
             }
         });
+        // The attempt's own cost: the wrapper's self-reported stall delta,
+        // immune to concurrent siblings advancing the shared clock.
+        let attempt_cost = src.wrapper.virtual_cost_ms().saturating_sub(cost_before);
         match result {
             Ok(rows) => {
                 breaker.record_success();
                 stats.rows_shipped += rows.len();
                 stats.retries += (attempts - 1) as usize;
+                let mut rows = rows;
+                let mut charge = attempt_cost;
+                if policy.hedge_after_ms > 0
+                    && attempt_cost > policy.hedge_after_ms
+                    && breaker_closed
+                    && !budget.tainted
+                {
+                    // The primary answered, but slower than the hedge
+                    // threshold: in wall-clock terms a backup attempt
+                    // would have been racing it since `hedge_after_ms`.
+                    // Run the backup (it consumes the source's next fault
+                    // draw, so a seeded slow-tail re-rolls), pick the
+                    // virtual-time winner, and charge only the winner's
+                    // finishing time. Exactly one of the pair loses and
+                    // is recorded as cancelled.
+                    hedged += 1;
+                    cancelled += 1;
+                    attempts += 1;
+                    stats.source_queries += 1;
+                    let backup_before = src.wrapper.virtual_cost_ms();
+                    let backup = src.wrapper.query(q);
+                    let backup_cost = src.wrapper.virtual_cost_ms().saturating_sub(backup_before);
+                    let backup_finish = policy.hedge_after_ms.saturating_add(backup_cost);
+                    match backup {
+                        Ok(backup_rows)
+                            if (policy.timeout_ms == 0 || backup_cost <= policy.timeout_ms)
+                                && backup_finish < attempt_cost =>
+                        {
+                            // Backup wins: its rows stand, the slow
+                            // primary is the cancelled loser.
+                            stats.rows_shipped += backup_rows.len();
+                            rows = backup_rows;
+                            charge = backup_finish;
+                        }
+                        Ok(backup_rows) => {
+                            // Backup lost the race (or blew the per-attempt
+                            // timeout): it is the cancelled loser.
+                            stats.rows_shipped += backup_rows.len();
+                        }
+                        Err(_) => {
+                            // A failed backup is just a cancelled hedge;
+                            // the primary succeeded, so the breaker is
+                            // not penalised.
+                        }
+                    }
+                }
+                budget.charge(charge);
+                if budget.exhausted() {
+                    // The rows landed, but past the deadline: they are
+                    // dropped, exactly as if the transfer were still in
+                    // flight when the query gave up.
+                    stats.failures += 1;
+                    cancelled += 1;
+                    budget.note_exhausted();
+                    break GuardedFetch::DeadlineExceeded { attempts };
+                }
                 break GuardedFetch::Rows { rows, attempts };
             }
             Err(error) => {
+                budget.charge(attempt_cost);
                 breaker.record_failure(clock.now_ms());
                 if attempts >= policy.retry.max_attempts {
                     stats.retries += (attempts - 1) as usize;
@@ -313,7 +460,10 @@ fn execute_fetch(
                     break GuardedFetch::Failed { attempts, error };
                 }
                 last_error = Some(error);
-                clock.advance_ms(policy.retry.backoff_ms(attempts));
+                let backoff = policy.retry.backoff_ms(attempts);
+                clock.advance_ms(backoff);
+                // The job sat out its own backoff: charge it.
+                budget.charge(backoff);
             }
         }
     };
@@ -353,6 +503,8 @@ fn execute_fetch(
                 rows: kept,
                 quarantined,
                 attempts: attempts as usize,
+                hedged,
+                cancelled,
                 outcome,
                 error: None,
             }
@@ -361,6 +513,8 @@ fn execute_fetch(
             rows: Vec::new(),
             quarantined: Vec::new(),
             attempts: attempts as usize,
+            hedged,
+            cancelled,
             outcome: SourceOutcome::Failed {
                 error: error.clone(),
             },
@@ -370,11 +524,42 @@ fn execute_fetch(
             rows: Vec::new(),
             quarantined: Vec::new(),
             attempts: 0,
+            hedged,
+            cancelled,
             outcome: SourceOutcome::SkippedByBreaker,
             error: Some(SourceError::Unavailable {
                 reason: "circuit breaker open; source not contacted".into(),
             }),
         },
+        GuardedFetch::Cancelled { attempts } => FetchCompletion {
+            rows: Vec::new(),
+            quarantined: Vec::new(),
+            attempts: attempts as usize,
+            hedged,
+            cancelled,
+            outcome: SourceOutcome::Cancelled,
+            error: Some(SourceError::Unavailable {
+                reason: "query cancelled; fetch abandoned".into(),
+            }),
+        },
+        GuardedFetch::DeadlineExceeded { attempts } => {
+            let slice = budget.slice_ms.unwrap_or(0);
+            FetchCompletion {
+                rows: Vec::new(),
+                quarantined: Vec::new(),
+                attempts: attempts as usize,
+                hedged,
+                cancelled,
+                outcome: SourceOutcome::DeadlineExceeded {
+                    spent_ms: budget.spent_ms,
+                    budget_ms: slice,
+                },
+                error: Some(SourceError::Timeout {
+                    elapsed_ms: budget.spent_ms,
+                    budget_ms: slice,
+                }),
+            }
+        }
     }
 }
 
@@ -388,6 +573,8 @@ struct FetchJob {
     src_pos: usize,
     policy: SourcePolicy,
     breaker: CircuitBreaker,
+    /// The job's deadline context (slice of the query budget + token).
+    budget: JobBudget,
     /// `(request index, query)` in submission order.
     requests: Vec<(usize, SourceQuery)>,
 }
@@ -397,6 +584,8 @@ struct FetchJobDone {
     source: String,
     breaker: CircuitBreaker,
     stats: MediatorStats,
+    /// Virtual milliseconds the job charged itself (its critical path).
+    spent_ms: u64,
     /// `(request index, completion)` in submission order.
     results: Vec<(usize, FetchCompletion)>,
 }
@@ -411,19 +600,32 @@ fn run_fetch_job(
     let FetchJob {
         policy,
         mut breaker,
+        mut budget,
         requests,
         ..
     } = job;
     let mut stats = MediatorStats::default();
     let mut results = Vec::with_capacity(requests.len());
     for (idx, q) in requests {
-        let completion = execute_fetch(src, &policy, &mut breaker, clock, &mut stats, &q);
+        let completion = execute_fetch(
+            src,
+            &policy,
+            &mut breaker,
+            clock,
+            &mut stats,
+            &q,
+            &mut budget,
+        );
+        if !completion.quarantined.is_empty() {
+            budget.tainted = true;
+        }
         results.push((idx, completion));
     }
     FetchJobDone {
         source: src.name.clone(),
         breaker,
         stats,
+        spent_ms: budget.spent_ms,
         results,
     }
 }
@@ -441,6 +643,18 @@ pub struct Federation {
     /// Worker threads for the parallel fetch plane (0 = auto: one per
     /// involved source, capped by available parallelism).
     fetch_threads: usize,
+    /// End-to-end budget armed for every degradable operation (0 = no
+    /// deadline).
+    query_budget_ms: u64,
+    /// The budget of the operation in flight, if one is armed.
+    budget: Option<QueryBudget>,
+    /// The query-wide cooperative cancellation token, shared with every
+    /// fetch job (and, via the mediator, with the Datalog fixpoint).
+    cancel: CancelToken,
+    /// Whether budget exhaustion fires [`Self::cancel`] (aggressive
+    /// sibling cancellation; off by default — see
+    /// [`Self::set_deadline_cancels_siblings`]).
+    cancel_on_exhaust: bool,
     /// Query-processing statistics.
     pub stats: MediatorStats,
 }
@@ -463,8 +677,56 @@ impl Federation {
             breakers: HashMap::new(),
             report: AnswerReport::default(),
             fetch_threads: 0,
+            query_budget_ms: 0,
+            budget: None,
+            cancel: CancelToken::new(),
+            cancel_on_exhaust: false,
             stats: MediatorStats::default(),
         }
+    }
+
+    /// Arms an end-to-end virtual-time budget for every subsequent
+    /// degradable operation: each operation starts a fresh
+    /// [`QueryBudget`] of this many milliseconds, every fetch job works
+    /// against the remaining slice, and sources that run past it are cut
+    /// off with [`SourceOutcome::DeadlineExceeded`] — the answer
+    /// completes from whatever landed in time. `0` (the default)
+    /// disables the deadline.
+    pub fn set_query_budget_ms(&mut self, ms: u64) {
+        self.query_budget_ms = ms;
+    }
+
+    /// The configured per-operation budget (0 = no deadline).
+    pub fn query_budget_ms(&self) -> u64 {
+        self.query_budget_ms
+    }
+
+    /// The budget of the operation in flight (or the most recent one).
+    pub fn budget(&self) -> Option<&QueryBudget> {
+        self.budget.as_ref()
+    }
+
+    /// The query-wide cancellation token. Cancel it (from any thread) to
+    /// make in-flight and subsequent fetches of the current operation
+    /// abandon cooperatively with [`SourceOutcome::Cancelled`]; each new
+    /// operation starts with the token reset.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// When `true`, the first fetch job to exhaust its budget slice fires
+    /// the query-wide cancellation token, so sibling jobs abandon their
+    /// remaining work immediately instead of each running to its own
+    /// deadline. Off by default: cross-job cancellation makes *which*
+    /// sibling fetches complete depend on scheduling, trading the
+    /// bit-identical-reports guarantee for lower tail latency.
+    pub fn set_deadline_cancels_siblings(&mut self, yes: bool) {
+        self.cancel_on_exhaust = yes;
+    }
+
+    /// The [`Self::set_deadline_cancels_siblings`] setting.
+    pub fn deadline_cancels_siblings(&self) -> bool {
+        self.cancel_on_exhaust
     }
 
     /// Sets the worker-thread count for [`Self::fetch_parallel`]: `0`
@@ -558,9 +820,21 @@ impl Federation {
         &self.report
     }
 
-    /// Starts a fresh report (each degradable operation calls this).
+    /// Starts a fresh report (each degradable operation calls this), and
+    /// arms a fresh [`QueryBudget`] when a deadline is configured. The
+    /// cancellation token is reset: every operation starts live.
     pub(crate) fn begin_report(&mut self) {
         self.report = AnswerReport::default();
+        self.report.budget_ms = self.query_budget_ms;
+        self.cancel.reset();
+        self.budget = if self.query_budget_ms > 0 {
+            let mut b = QueryBudget::start(&self.clock, self.query_budget_ms)
+                .with_cancel(self.cancel.clone());
+            b.set_cancel_on_exhaust(self.cancel_on_exhaust);
+            Some(b)
+        } else {
+            None
+        };
     }
 
     /// The names of sources that export `class` (by declared capability).
@@ -626,6 +900,7 @@ impl Federation {
         let pos = self.validate_request(source_name, q)?;
         let policy = self.policy_for(source_name).clone();
         let mut breaker = self.take_breaker(source_name, &policy);
+        let mut job_budget = self.job_budget();
         let completion = {
             let Federation {
                 sources,
@@ -633,27 +908,59 @@ impl Federation {
                 stats,
                 ..
             } = self;
-            execute_fetch(&sources[pos], &policy, &mut breaker, clock, stats, q)
+            execute_fetch(
+                &sources[pos],
+                &policy,
+                &mut breaker,
+                clock,
+                stats,
+                q,
+                &mut job_budget,
+            )
         };
         self.breakers.insert(source_name.to_string(), breaker);
+        if let Some(b) = &mut self.budget {
+            b.charge(job_budget.spent_ms);
+        }
+        self.report.elapsed_ms = self.report.elapsed_ms.saturating_add(job_budget.spent_ms);
         let FetchCompletion {
             rows,
             quarantined,
             attempts,
+            hedged,
+            cancelled,
             outcome,
             error,
         } = completion;
         for qr in quarantined {
             self.report.record_quarantine(qr);
         }
-        self.report
-            .record_fetch(source_name, attempts, rows.len(), outcome);
+        self.report.record_fetch(
+            source_name,
+            attempts,
+            rows.len(),
+            hedged,
+            cancelled,
+            outcome,
+        );
         match error {
             None => Ok(rows),
             Some(error) => Err(MediatorError::Source {
                 name: source_name.to_string(),
                 error,
             }),
+        }
+    }
+
+    /// A fresh per-job deadline context: the remaining budget (when one
+    /// is armed) plus the query-wide cancellation token.
+    fn job_budget(&self) -> JobBudget {
+        JobBudget {
+            slice_ms: self.budget.as_ref().map(QueryBudget::remaining_ms),
+            spent_ms: 0,
+            cancel: Some(self.cancel.clone()),
+            cancel_on_exhaust: self.cancel_on_exhaust,
+            tainted: false,
         }
     }
 
@@ -704,6 +1011,7 @@ impl Federation {
                         src_pos,
                         policy,
                         breaker,
+                        budget: self.job_budget(),
                         requests: Vec::new(),
                     });
                     job_of.insert(r.source.clone(), jobs.len() - 1);
@@ -767,6 +1075,11 @@ impl Federation {
                 .collect(),
             ..FetchSet::default()
         };
+        // The round's elapsed time is its critical path: concurrent jobs
+        // overlap, so the slowest job — by its own self-charged spend —
+        // bounds the round. A max over jobs is commutative, so the value
+        // is identical for every worker count and join order.
+        let round_elapsed = finished.iter().map(|d| d.spent_ms).max().unwrap_or(0);
         for done in finished {
             self.breakers.insert(done.source.clone(), done.breaker);
             set.stats.merge(&done.stats);
@@ -778,10 +1091,17 @@ impl Federation {
                     &done.source,
                     completion.attempts,
                     completion.rows.len(),
+                    completion.hedged,
+                    completion.cancelled,
                     completion.outcome,
                 );
                 set.batches[idx].rows = completion.rows;
             }
+        }
+        set.report.elapsed_ms = round_elapsed;
+        set.report.budget_ms = self.query_budget_ms;
+        if let Some(b) = &mut self.budget {
+            b.charge(round_elapsed);
         }
         self.stats.merge(&set.stats);
         self.report.absorb(&set.report);

@@ -60,8 +60,8 @@ pub mod wrapper;
 pub use error::{MediatorError, Result};
 pub use fault::{
     AnswerReport, BreakerConfig, BreakerState, CircuitBreaker, Clock, Fault, FaultInjector,
-    QuarantinedRow, RetryPolicy, SourceError, SourceOutcome, SourcePolicy, SourceReport,
-    VirtualClock,
+    QuarantinedRow, QueryBudget, RetryPolicy, SourceError, SourceOutcome, SourcePolicy,
+    SourceReport, VirtualClock,
 };
 pub use federation::{
     Federation, FetchBatch, FetchRequest, FetchSet, MediatorStats, RegisteredSource,

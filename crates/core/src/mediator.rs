@@ -56,14 +56,22 @@ impl Mediator {
     /// Creates a mediator around a domain map, with edges executed in
     /// `mode` and the built-in CM plug-ins registered.
     pub fn new(dm: DomainMap, mode: ExecMode) -> Self {
+        let federation = Federation::new();
+        // One cancellation token for the whole pipeline: fetch jobs and
+        // the Datalog fixpoint observe the same flag, so a single
+        // `cancel()` winds down both planes cooperatively.
+        let eval_options = EvalOptions {
+            cancel: Some(federation.cancel_token()),
+            ..EvalOptions::default()
+        };
         let mut m = Mediator {
-            federation: Federation::new(),
+            federation,
             knowledge: Knowledge::new(dm, mode),
             base: GcmBase::new(),
             model: None,
             model_fp: None,
             dirty: true,
-            eval_options: EvalOptions::default(),
+            eval_options,
         };
         m.rebuild().expect("empty mediator builds");
         m
@@ -205,6 +213,42 @@ impl Mediator {
     /// The policy governing `name` (per-source override or default).
     pub fn policy_for(&self, name: &str) -> &SourcePolicy {
         self.federation.policy_for(name)
+    }
+
+    /// Arms an end-to-end virtual-time budget for every degradable
+    /// operation ([`Self::materialize_all`], [`Self::answer`], the §5
+    /// plans): each operation starts a fresh [`crate::QueryBudget`],
+    /// fetch jobs work against the remaining slice, and sources that run
+    /// past it are cut off with
+    /// [`crate::SourceOutcome::DeadlineExceeded`] — the answer completes
+    /// from whatever landed in time, and the report says what is
+    /// missing. `0` (the default) disables the deadline.
+    pub fn set_query_budget_ms(&mut self, ms: u64) {
+        self.federation.set_query_budget_ms(ms);
+    }
+
+    /// The configured per-operation budget (0 = no deadline).
+    pub fn query_budget_ms(&self) -> u64 {
+        self.federation.query_budget_ms()
+    }
+
+    /// The pipeline-wide cooperative cancellation token: cancel it (from
+    /// any thread) and in-flight fetches abandon with
+    /// [`crate::SourceOutcome::Cancelled`] while the Datalog fixpoint
+    /// returns [`kind_datalog::DatalogError::Interrupted`] at its next
+    /// round boundary. Each degradable operation starts with the token
+    /// reset.
+    pub fn cancel_token(&self) -> kind_datalog::CancelToken {
+        self.federation.cancel_token()
+    }
+
+    /// When `true`, the first fetch job to exhaust its budget slice
+    /// cancels its in-flight siblings instead of letting each run to its
+    /// own deadline. Off by default: sibling cancellation trades the
+    /// bit-identical-reports guarantee for lower tail latency (see
+    /// [`Federation::set_deadline_cancels_siblings`]).
+    pub fn set_deadline_cancels_siblings(&mut self, yes: bool) {
+        self.federation.set_deadline_cancels_siblings(yes);
     }
 
     /// The breaker state for a source, once it has been fetched from at
@@ -461,9 +505,14 @@ impl Mediator {
     // The eval/cache pipeline.
     // ------------------------------------------------------------------
 
-    /// Overrides the evaluation options (depth limits etc.).
+    /// Overrides the evaluation options (depth limits etc.). The
+    /// mediator's pipeline-wide cancellation token is re-attached unless
+    /// the caller supplied their own (see [`Self::cancel_token`]).
     pub fn set_eval_options(&mut self, opts: EvalOptions) {
         self.eval_options = opts;
+        if self.eval_options.cancel.is_none() {
+            self.eval_options.cancel = Some(self.federation.cancel_token());
+        }
         self.dirty = true;
     }
 
@@ -630,6 +679,10 @@ impl Mediator {
         // `set_eval_threads` calls.
         let mut opts = self.eval_options.clone();
         opts.eval_threads = 0;
+        // The cancellation token is identity, not semantics: it never
+        // changes what a completed evaluation computes, so it must not
+        // invalidate a cached model either.
+        opts.cancel = None;
         format!("{opts:?}").hash(&mut h);
         for cm in &self.knowledge.cms {
             format!("{cm:?}").hash(&mut h);

@@ -205,6 +205,18 @@ pub trait Wrapper: Send + Sync {
         &self,
         q: &SourceQuery,
     ) -> std::result::Result<Vec<ObjectRow>, crate::fault::SourceError>;
+
+    /// Cumulative virtual milliseconds this wrapper has *itself* spent
+    /// serving queries (e.g. the injected delays of a
+    /// [`crate::FaultInjector`]). The deadline plane charges a fetch
+    /// job's budget with the delta of this counter around each attempt —
+    /// never with raw clock reads, which concurrent jobs pollute — so
+    /// deadline and hedging decisions are bit-identical at every
+    /// `fetch_threads` setting. Wrappers that never stall (the default)
+    /// report 0 forever.
+    fn virtual_cost_ms(&self) -> u64 {
+        0
+    }
 }
 
 /// A simple in-memory wrapper: rows per class, everything pushable or

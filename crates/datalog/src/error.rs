@@ -33,6 +33,15 @@ pub enum DatalogError {
         /// The configured limit.
         limit: usize,
     },
+    /// Evaluation was cancelled cooperatively: the
+    /// [`crate::CancelToken`] in [`crate::EvalOptions::cancel`] was set,
+    /// and the fixpoint noticed at a round boundary instead of spinning
+    /// on. The partial derivation state is discarded — an interrupted
+    /// evaluation never yields a half-built model.
+    Interrupted {
+        /// Fixpoint rounds completed before the cancellation was seen.
+        after_iterations: usize,
+    },
     /// A parse error with position information.
     Parse {
         /// Byte offset in the source.
@@ -68,6 +77,9 @@ impl fmt::Display for DatalogError {
             ),
             DatalogError::IterationLimit { limit } => {
                 write!(f, "evaluation exceeded iteration limit {limit}")
+            }
+            DatalogError::Interrupted { after_iterations } => {
+                write!(f, "evaluation interrupted after {after_iterations} rounds")
             }
             DatalogError::Parse {
                 offset,

@@ -36,8 +36,60 @@ use crate::rule::Rule;
 use crate::term::{Subst, Term};
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared, clonable cancellation flag for cooperative interruption of
+/// long-running fixpoints (and, in `kind-core`, of in-flight fetch
+/// plans). Every clone observes the same flag; setting it is sticky
+/// until [`CancelToken::reset`].
+///
+/// The evaluators check the token **at round boundaries** (never inside
+/// a join), so a cancelled evaluation stops after the current round and
+/// returns [`DatalogError::Interrupted`] instead of a half-built model.
+#[derive(Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every holder of a clone observes it at its
+    /// next check point.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Clears the flag so the token can be reused for the next
+    /// operation.
+    pub fn reset(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    /// Renders only the flag's value, never the allocation identity, so
+    /// two structurally equal option sets format identically (the
+    /// mediator's base-model fingerprint hashes a `Debug` rendering).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CancelToken({})",
+            if self.is_cancelled() {
+                "cancelled"
+            } else {
+                "live"
+            }
+        )
+    }
+}
 
 /// Evaluation knobs.
 #[derive(Debug, Clone)]
@@ -75,6 +127,14 @@ pub struct EvalOptions {
     /// wall-clock changes (the same contract as the fetch plane's
     /// `fetch_threads`).
     pub eval_threads: usize,
+    /// Cooperative cancellation: when set, every fixpoint loop
+    /// (stratified, semi-naive, and the alternating fixpoint) checks the
+    /// token at round boundaries and returns
+    /// [`DatalogError::Interrupted`] once it is cancelled. `None` (the
+    /// default) evaluates to completion. The token does not participate
+    /// in model identity: two runs differing only in `cancel` produce
+    /// the same model (when neither is actually cancelled).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for EvalOptions {
@@ -87,7 +147,20 @@ impl Default for EvalOptions {
             join_reorder: true,
             base_cache: true,
             eval_threads: 0,
+            cancel: None,
         }
+    }
+}
+
+/// The round-boundary cancellation check shared by every fixpoint loop:
+/// returns [`DatalogError::Interrupted`] iff the options carry a
+/// cancelled token.
+pub(crate) fn check_cancelled(opts: &EvalOptions, stats: &EvalStats) -> Result<()> {
+    match &opts.cancel {
+        Some(token) if token.is_cancelled() => Err(DatalogError::Interrupted {
+            after_iterations: stats.iterations,
+        }),
+        _ => Ok(()),
     }
 }
 
@@ -1115,6 +1188,7 @@ fn naive_stratum(
 ) -> Result<()> {
     let units: Vec<(&Rule, Option<usize>)> = rules.iter().map(|&r| (r, None)).collect();
     loop {
+        check_cancelled(opts, stats)?;
         stats.iterations += 1;
         if stats.iterations > opts.max_iterations {
             return Err(DatalogError::IterationLimit {
@@ -1152,6 +1226,7 @@ fn seminaive_stratum(
     par: &mut ParMeta,
 ) -> Result<()> {
     // Round 0: naive pass to seed the delta.
+    check_cancelled(opts, stats)?;
     let seed_units: Vec<(&Rule, Option<usize>)> = rules.iter().map(|&r| (r, None)).collect();
     stats.iterations += 1;
     let mut delta = execute_round(
@@ -1181,6 +1256,7 @@ fn seminaive_stratum(
         }
     }
     while !delta.is_empty() {
+        check_cancelled(opts, stats)?;
         stats.iterations += 1;
         if stats.iterations > opts.max_iterations {
             return Err(DatalogError::IterationLimit {
@@ -1228,6 +1304,7 @@ pub(crate) fn gamma(
     // identically.
     let units: Vec<(&Rule, Option<usize>)> = rules.iter().map(|r| (r, None)).collect();
     loop {
+        check_cancelled(opts, stats)?;
         stats.iterations += 1;
         if stats.iterations > opts.max_iterations {
             return Err(DatalogError::IterationLimit {

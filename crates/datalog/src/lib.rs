@@ -50,7 +50,9 @@ mod wfs;
 
 pub use atom::{AggFunc, Aggregate, Atom, BodyItem, CmpOp, Expr};
 pub use error::{DatalogError, Result};
-pub use eval::{pool_size, EvalOptions, EvalProfile, EvalStats, Model, RulePlan, StratumProfile};
+pub use eval::{
+    pool_size, CancelToken, EvalOptions, EvalProfile, EvalStats, Model, RulePlan, StratumProfile,
+};
 pub use explain::{Derivation, DerivationStep};
 pub use fact::{FactStore, Relation, Tuple};
 pub use interner::{Interner, Sym};

@@ -50,6 +50,10 @@ pub(crate) fn eval_well_founded(
     let mut lower = edb.clone();
     let mut sweeps = 0usize;
     loop {
+        // Sweep boundary: the same cooperative cancellation check the
+        // stratified loops run at round boundaries (each `gamma` below
+        // also checks per round).
+        crate::eval::check_cancelled(opts, &stats)?;
         sweeps += 1;
         if sweeps > opts.max_iterations {
             return Err(DatalogError::IterationLimit {

@@ -7,7 +7,9 @@ use crate::anatomy::{anatom_wrapper, scenario_domain_map};
 use crate::ncmir::ncmir_wrapper;
 use crate::senselab::senselab_wrapper;
 use crate::synapse::synapse_wrapper;
-use kind_core::{Anchor, Capability, Fault, FaultInjector, Mediator, MemoryWrapper, Wrapper};
+use kind_core::{
+    Anchor, Capability, Fault, FaultInjector, Mediator, MemoryWrapper, SourcePolicy, Wrapper,
+};
 use kind_dm::ExecMode;
 use kind_gcm::GcmValue;
 use rand::rngs::StdRng;
@@ -39,6 +41,14 @@ pub struct ScenarioParams {
     /// baseline). The parallel fixpoint is bit-identical to serial, so
     /// this knob too only changes wall clock.
     pub eval_threads: usize,
+    /// End-to-end virtual-time budget per degradable operation (0 = no
+    /// deadline). Sources that run past their slice are cut off with
+    /// `DeadlineExceeded`; the answer completes from what landed in time.
+    pub query_budget_ms: u64,
+    /// Hedge threshold applied as the default source policy (0 = no
+    /// hedging): a primary attempt slower than this races one backup
+    /// attempt, first virtual-time success wins.
+    pub hedge_after_ms: u64,
 }
 
 impl Default for ScenarioParams {
@@ -53,6 +63,8 @@ impl Default for ScenarioParams {
             mode: ExecMode::Assertion,
             fetch_threads: 0,
             eval_threads: 0,
+            query_budget_ms: 0,
+            hedge_after_ms: 0,
         }
     }
 }
@@ -100,6 +112,10 @@ pub fn build_scenario(params: &ScenarioParams) -> Mediator {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
     m.federation_mut().set_fetch_threads(params.fetch_threads);
     m.set_eval_threads(params.eval_threads);
+    m.set_query_budget_ms(params.query_budget_ms);
+    if params.hedge_after_ms > 0 {
+        m.set_default_policy(SourcePolicy::with_hedge_after_ms(params.hedge_after_ms));
+    }
     // ANATOM first: it may refine the map other anchors depend on.
     m.register(anatom_wrapper("")).expect("ANATOM registers");
     m.register(senselab_wrapper(params.seed, params.senselab_rows))
@@ -135,6 +151,10 @@ pub fn build_scenario_with_faults(
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
     m.federation_mut().set_fetch_threads(params.fetch_threads);
     m.set_eval_threads(params.eval_threads);
+    m.set_query_budget_ms(params.query_budget_ms);
+    if params.hedge_after_ms > 0 {
+        m.set_default_policy(SourcePolicy::with_hedge_after_ms(params.hedge_after_ms));
+    }
     let mut injector = FaultInjector::new(
         senselab_wrapper(params.seed, params.senselab_rows),
         m.clock(),

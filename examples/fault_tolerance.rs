@@ -62,6 +62,7 @@ fn main() {
                 failure_threshold: 2,
                 cooldown_ms: 1_000,
             },
+            ..SourcePolicy::default()
         },
     );
     // Two failed plan runs trip the breaker; the third is refused
@@ -81,6 +82,38 @@ fn main() {
         "  after cooldown: half-open trial contacted the source ({} calls total)",
         injector.calls()
     );
+
+    println!("\n== deadline: a slow source is cut off, the answer degrades ==");
+    let (mut med, _injector) =
+        build_scenario_with_faults(&params, vec![Fault::Slow { delay_ms: 500 }]);
+    med.set_query_budget_ms(200);
+    let trace = run_section5(&mut med, &schema, &query(), true).expect("plan degrades, not aborts");
+    println!("  report: {}", trace.report.summary_line());
+    assert!(trace.report.deadline_exceeded());
+    assert!(!trace.report.is_complete());
+
+    println!("\n== hedge: a backup attempt races the slow tail, answer stays complete ==");
+    let (mut med, injector) = build_scenario_with_faults(
+        &params,
+        vec![Fault::SlowTail {
+            seed: 7,
+            delay_ms: 400,
+            slow_per_mille: 500,
+        }],
+    );
+    med.set_source_policy("SENSELAB", SourcePolicy::with_hedge_after_ms(50));
+    let mut hedged_total = 0;
+    for _ in 0..6 {
+        let trace = run_section5(&mut med, &schema, &query(), true).expect("plan runs");
+        let sl = trace.report.source("SENSELAB").expect("contacted");
+        hedged_total += sl.hedged;
+        assert!(trace.report.is_complete(), "hedged answers stay complete");
+    }
+    println!(
+        "  6 runs: {hedged_total} hedged backups, {} wrapper calls total",
+        injector.calls()
+    );
+    assert!(hedged_total > 0, "the seeded slow tail triggers hedges");
 
     println!("\n== chaos: seeded row corruption quarantined against the CM ==");
     let (mut med, _injector) = build_scenario_with_faults(

@@ -266,6 +266,7 @@ fn tripped_breaker_skips_source_without_querying() {
                 failure_threshold: 2,
                 cooldown_ms: 1_000,
             },
+            ..SourcePolicy::default()
         },
     );
     let q = SourceQuery::scan("neurotransmission");
@@ -351,6 +352,7 @@ fn slow_source_times_out_on_the_virtual_clock() {
             retry: RetryPolicy::none(),
             timeout_ms: 200,
             breaker: BreakerConfig::default(),
+            ..SourcePolicy::default()
         },
     );
     let err = m
