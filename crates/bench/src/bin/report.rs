@@ -27,7 +27,7 @@ fn header(s: &str) {
 
 fn main() {
     // `KIND_BENCH_FAST=1` is the CI smoke mode: skip the narrative
-    // figure/table reports and emit only BENCH_PR6.json with reduced
+    // figure/table reports and emit only BENCH_PR7.json with reduced
     // iteration counts and workload sizes.
     let fast = std::env::var("KIND_BENCH_FAST").is_ok();
     if !fast {
@@ -38,7 +38,7 @@ fn main() {
         figure3_report();
         section5_report();
     }
-    bench_pr6_report(fast);
+    bench_pr7_report(fast);
 }
 
 /// Minimum wall time of `f` over `iters` runs, in nanoseconds — the
@@ -58,10 +58,11 @@ fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
 /// pairs a baseline with the optimized path, minimum wall time of both),
 /// the PR 3 concurrent-snapshot throughput group, the PR 4 parallel
 /// fetch-plane group, the PR 5 parallel evaluate-plane group, the PR 6
-/// tail-latency (hedged fetch) group, and `EvalStats` counters from a
-/// representative warm model. Results go to stdout and `BENCH_PR6.json`.
-fn bench_pr6_report(fast: bool) {
-    header("PR 6 — pipeline benchmarks + concurrency + tail latency");
+/// tail-latency (hedged fetch) group, the PR 7 magic-sets ablation
+/// group, and `EvalStats` counters from a representative warm model.
+/// Results go to stdout and `BENCH_PR7.json`.
+fn bench_pr7_report(fast: bool) {
+    header("PR 7 — pipeline benchmarks + magic sets + concurrency + tail latency");
     let iters = if fast { 5 } else { 25 };
     let (depth, fanout) = if fast { (4usize, 3usize) } else { (5, 3) };
     let mut rows: Vec<(&str, u128, u128)> = Vec::new();
@@ -242,6 +243,25 @@ fn bench_pr6_report(fast: bool) {
         );
     }
 
+    let magic = magic_sets_bench(fast, &params);
+    println!("\n  magic-sets ablation (warm answer, rewrite off vs. on):");
+    println!(
+        "  {:>22} | {:>12} | {:>12} | {:>8} | {:>11} | {:>11} | {:>9}",
+        "query", "off ns", "on ns", "speedup", "off derived", "on derived", "reduction"
+    );
+    for r in &magic {
+        println!(
+            "  {:>22} | {:>12} | {:>12} | {:>7.2}x | {:>11} | {:>11} | {:>8.2}x",
+            r.name,
+            r.off_ns,
+            r.on_ns,
+            r.off_ns as f64 / r.on_ns.max(1) as f64,
+            r.off_derived,
+            r.on_derived,
+            r.off_derived as f64 / r.on_derived.max(1) as f64
+        );
+    }
+
     let tail = tail_latency_bench(fast);
     println!(
         "\n  tail latency ({} runs, SlowTail {}ms at {}‰, hedge after {}ms, virtual time):",
@@ -258,9 +278,134 @@ fn bench_pr6_report(fast: bool) {
         );
     }
 
-    let json = render_bench_json(fast, iters, &rows, &conc, &par, &pe, &tail, &mut m_warm);
-    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
-    println!("\nwrote BENCH_PR6.json");
+    let json = render_bench_json(
+        fast,
+        iters,
+        &rows,
+        &conc,
+        &par,
+        &pe,
+        &tail,
+        &magic,
+        &mut m_warm,
+    );
+    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    println!("\nwrote BENCH_PR7.json");
+}
+
+/// One magic-sets ablation row: the same goal-directed query with the
+/// demand transformation off vs. on — wall clock and derived-fact counts.
+struct MagicRow {
+    name: &'static str,
+    off_ns: u128,
+    on_ns: u128,
+    off_derived: usize,
+    on_derived: usize,
+    magic_fired: bool,
+}
+
+/// A §5-style FL knowledge base shaped like Figure 1's taxonomy: a
+/// forest of `subtrees` class chains of `depth` levels under one root,
+/// with `per_class` measured objects at every class — the stratified
+/// fragment (CORE axioms only) where the magic rewrite applies. Full
+/// materialization derives every object's upward instance cone across
+/// all subtrees; a query anchored at one subtree's root only needs that
+/// subtree's cone.
+fn magic_flogic_fixture(subtrees: usize, depth: usize, per_class: usize) -> FLogic {
+    let mut fl = FLogic::new();
+    let mut text = String::new();
+    for s in 0..subtrees {
+        text.push_str(&format!("t{s}_0 :: thing.\n"));
+        for l in 1..depth {
+            text.push_str(&format!("t{s}_{l} :: t{s}_{}.\n", l - 1));
+        }
+        for l in 0..depth {
+            for j in 0..per_class {
+                text.push_str(&format!("o_{s}_{l}_{j} : t{s}_{l}.\n"));
+                text.push_str(&format!(
+                    "o_{s}_{l}_{j}[amount -> {}].\n",
+                    (s * 13 + l * 29 + j * 17) % 100
+                ));
+            }
+        }
+    }
+    fl.load(&text).expect("fixture loads");
+    fl
+}
+
+/// Magic-sets ablation. The first two rows run on the stratified FL
+/// fixture through `run_for_query` (the engine path `answer()` takes):
+/// the *selective* query anchors at one subtree's root class, so demand
+/// covers only that subtree's instance cone; the *wide* query anchors at
+/// the forest root, whose cone is the whole closure — the honest no-win
+/// case. The last row is the warm mediator `answer()` on the full
+/// scenario: its skolem guards need the well-founded evaluator, so the
+/// rewrite declines (`magic_fired` false) and the numbers show the
+/// fallback costs nothing.
+fn magic_sets_bench(fast: bool, params: &ScenarioParams) -> Vec<MagicRow> {
+    use kind_datalog::{Atom, Term, Var};
+    let iters = if fast { 3 } else { 10 };
+    let (subtrees, depth, per_class) = if fast { (6, 4, 3) } else { (12, 6, 6) };
+    let mut out = Vec::new();
+    for (name, class) in [
+        ("magic_selective_anchor", "t0_0".to_string()),
+        ("magic_wide_closure", "thing".to_string()),
+    ] {
+        let view = format!("hot(X, A) :- X : {class}, X[amount -> A], A >= 50.");
+        let run = |magic: bool| {
+            let mut fl = magic_flogic_fixture(subtrees, depth, per_class);
+            fl.load(&view).expect("view loads");
+            let goal = Atom::new(
+                fl.engine().lookup("hot").expect("view head interned"),
+                vec![Term::Var(Var(0)), Term::Var(Var(1))],
+            );
+            let opts = EvalOptions {
+                magic_sets: magic,
+                ..Default::default()
+            };
+            let wall = min_ns(iters, || {
+                black_box(fl.run_for_query(&goal, &opts).unwrap().stats.derived);
+            });
+            let m = fl.run_for_query(&goal, &opts).unwrap();
+            (wall, m.stats.derived, m.profile.magic_fired)
+        };
+        let (off_ns, off_derived, _) = run(false);
+        let (on_ns, on_derived, magic_fired) = run(true);
+        out.push(MagicRow {
+            name,
+            off_ns,
+            on_ns,
+            off_derived,
+            on_derived,
+            magic_fired,
+        });
+    }
+    // Mediator answer on the WFS scenario: the rewrite must decline and
+    // cost nothing. Both sides get one untimed priming call, so the
+    // numbers are second-and-later (base-cache warm) query cost.
+    let aq = r#"calcium_at_spine(P, A) :- X : protein_amount, X[protein_name -> P],
+        X[amount -> A], X[ion_bound -> "calcium"], X[location -> "Purkinje_Spine"]."#;
+    let run = |magic: bool| {
+        let mut m = build_scenario(params);
+        m.set_magic_sets(magic);
+        m.answer(aq).unwrap();
+        let wall = min_ns(iters, || {
+            black_box(m.answer(aq).unwrap().rows.len());
+        });
+        let ans = m.answer(aq).unwrap();
+        (wall, ans.stats.derived, ans.magic_fired)
+    };
+    let (off_ns, off_derived, _) = run(false);
+    let (on_ns, on_derived, magic_fired) = run(true);
+    out.push(MagicRow {
+        name: "magic_answer_wfs_fallback",
+        off_ns,
+        on_ns,
+        off_derived,
+        on_derived,
+        magic_fired,
+    });
+    out
 }
 
 /// Percentiles of the per-query critical path (virtual ms) for one
@@ -576,6 +721,7 @@ fn render_bench_json(
     par: &ParGroup,
     pe: &ParEvalGroup,
     tail: &TailGroup,
+    magic: &[MagicRow],
     warm: &mut Mediator,
 ) -> String {
     let model = warm.run().expect("warm base model evaluates");
@@ -654,7 +800,22 @@ fn render_bench_json(
             st.p50_ms, st.p99_ms, st.max_ms, st.hedged
         ));
     }
-    out.push_str("  },\n  \"eval_stats\": {\n");
+    out.push_str("  },\n  \"magic_sets\": {\n    \"rows\": [\n");
+    for (i, r) in magic.iter().enumerate() {
+        let sep = if i + 1 < magic.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"name\": \"{}\", \"off_ns\": {}, \"on_ns\": {}, \"wall_speedup\": {:.2}, \"off_derived\": {}, \"on_derived\": {}, \"derived_reduction\": {:.2}, \"magic_fired\": {}}}{sep}\n",
+            r.name,
+            r.off_ns,
+            r.on_ns,
+            r.off_ns as f64 / r.on_ns.max(1) as f64,
+            r.off_derived,
+            r.on_derived,
+            r.off_derived as f64 / r.on_derived.max(1) as f64,
+            r.magic_fired
+        ));
+    }
+    out.push_str("    ]\n  },\n  \"eval_stats\": {\n");
     out.push_str(&format!(
         "    \"iterations\": {},\n    \"derived\": {},\n    \"applications\": {},\n    \"index_builds\": {},\n    \"index_hits\": {},\n    \"index_misses\": {},\n    \"strata\": {strata},\n    \"strata_skipped\": {skipped}\n",
         s.iterations, s.derived, s.applications, s.index_builds, s.index_hits, s.index_misses

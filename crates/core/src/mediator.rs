@@ -26,14 +26,15 @@ pub use crate::federation::{MediatorStats, RegisteredSource};
 use crate::knowledge::Knowledge;
 use crate::snapshot::QuerySnapshot;
 use crate::wrapper::{Anchor, ObjectRow, SourceQuery, Wrapper};
-use kind_datalog::{EvalOptions, Model, Term};
+use kind_datalog::{EvalOptions, EvalStats, Interner, Model, Term};
 use kind_dm::{axiom, rules, DomainMap, ExecMode, Resolved, SemanticIndex, SourceId, DM_OPS_RULES};
 use kind_gcm::{GcmBase, GcmDecl};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-/// Answer rows plus the names of the sources contacted to produce them.
-pub(crate) type RowsAndSources = (Vec<Vec<Term>>, Vec<String>);
+/// Answer rows, the names of the sources contacted to produce them, the
+/// evaluation statistics, and whether the magic-sets rewrite fired.
+pub(crate) type RowsAndSources = (Vec<Vec<Term>>, Vec<String>, EvalStats, bool);
 
 /// The model-based mediator: a facade composing the [`Federation`] and
 /// [`Knowledge`] layers with the eval/cache pipeline (see module docs).
@@ -436,6 +437,9 @@ impl Mediator {
                         let preds = *scratch.preds();
                         scratch
                             .engine_mut()
+                            .add_fact(preds.class, vec![cls.clone()])?;
+                        scratch
+                            .engine_mut()
                             .add_fact(preds.inst, vec![obj.clone(), cls])?;
                         for (attr, value) in &row.attrs {
                             let a = scratch.engine_mut().constant(attr);
@@ -534,9 +538,29 @@ impl Mediator {
         self.eval_options.eval_threads
     }
 
+    /// Toggles the magic-sets demand transformation for goal-directed
+    /// queries ([`Self::answer`] and snapshot answers). The rewrite is
+    /// answer-preserving and only ever applied on the query path — full
+    /// materialization ([`Self::run`]) ignores it — so flipping it
+    /// neither dirties the base nor invalidates a cached model.
+    pub fn set_magic_sets(&mut self, on: bool) {
+        self.eval_options.magic_sets = on;
+    }
+
+    /// Whether goal-directed queries apply the magic-sets rewrite.
+    pub fn magic_sets(&self) -> bool {
+        self.eval_options.magic_sets
+    }
+
     /// Read access to the GCM base (the built engine).
     pub fn base(&self) -> &GcmBase {
         &self.base
+    }
+
+    /// Mutable access to the GCM base, for the goal-directed query path
+    /// (the magic-sets rewrite interns adorned predicate names).
+    pub(crate) fn base_mut(&mut self) -> &mut GcmBase {
+        &mut self.base
     }
 
     /// Removes the most recently defined view (used for one-off queries);
@@ -683,6 +707,11 @@ impl Mediator {
         // changes what a completed evaluation computes, so it must not
         // invalidate a cached model either.
         opts.cancel = None;
+        // The magic-sets toggle only affects goal-directed query plans;
+        // full materialization (`run`) never applies the rewrite, so the
+        // cached base model is always the full one and stays valid across
+        // `set_magic_sets` calls.
+        opts.magic_sets = true;
         format!("{opts:?}").hash(&mut h);
         for cm in &self.knowledge.cms {
             format!("{cm:?}").hash(&mut h);
@@ -774,6 +803,7 @@ impl Mediator {
         head_pred: &str,
         head_args: &[Term],
         exported: &[String],
+        scratch: &Interner,
     ) -> Result<Option<RowsAndSources>> {
         self.run()?;
         let base_model = Arc::clone(self.model.as_ref().expect("run() caches the model"));
@@ -788,8 +818,15 @@ impl Mediator {
         }
         // The base itself is not touched below: the cached model stays
         // valid, and the shared `Arc` means no take/put juggling.
-        self.answer_on_clone(rule_text, head_pred, head_args, exported, &base_model)
-            .map(Some)
+        self.answer_on_clone(
+            rule_text,
+            head_pred,
+            head_args,
+            exported,
+            scratch,
+            &base_model,
+        )
+        .map(Some)
     }
 
     fn answer_on_clone(
@@ -798,6 +835,7 @@ impl Mediator {
         head_pred: &str,
         head_args: &[Term],
         exported: &[String],
+        scratch: &Interner,
         base_model: &Model,
     ) -> Result<RowsAndSources> {
         let mut work = self.base.clone();
@@ -819,17 +857,29 @@ impl Mediator {
                 apply_row_to(&mut work, &batch.source, &batch.query.class, row)?;
             }
         }
-        let model = work
-            .flogic()
-            .run_for_seeded(&[head_pred], base_model, &self.eval_options)?;
-        let pattern = kind_datalog::Atom::new(
+        // The goal's constant arguments were interned by the caller's
+        // scratch parse; map them into the work clone so the pattern (and
+        // the magic-sets demand seeds derived from it) bind correctly.
+        let goal_args: Vec<Term> = head_args
+            .iter()
+            .map(|t| reintern_term(scratch, work.flogic_mut().engine_mut(), t))
+            .collect();
+        let goal = kind_datalog::Atom::new(
             work.flogic()
                 .engine()
                 .lookup(head_pred)
                 .expect("head predicate interned by view load"),
-            head_args.to_vec(),
+            goal_args,
         );
-        let rows = model.query(&pattern);
+        // Goal-directed evaluation: seeded from the cached base model,
+        // with the magic-sets rewrite specializing the delta to the
+        // goal's bindings when `EvalOptions::magic_sets` is on.
+        let model =
+            work.flogic_mut()
+                .run_for_query_seeded(&goal, base_model, &self.eval_options)?;
+        let rows = model.query(&goal);
+        let stats = model.stats;
+        let magic_fired = model.profile.magic_fired;
         // Answer terms may reference symbols interned only in the scratch
         // clone (object ids fetched this query); re-intern them into the
         // mediator's own engine so `show` resolves them.
@@ -838,8 +888,8 @@ impl Mediator {
             .map(|r| {
                 r.iter()
                     .map(|t| {
-                        reintern(
-                            work.flogic().engine(),
+                        reintern_term(
+                            work.flogic().engine().symbols(),
                             self.base.flogic_mut().engine_mut(),
                             t,
                         )
@@ -847,7 +897,7 @@ impl Mediator {
                     .collect()
             })
             .collect();
-        Ok((rows, contacted.into_iter().collect()))
+        Ok((rows, contacted.into_iter().collect(), stats, magic_fired))
     }
 }
 
@@ -874,14 +924,14 @@ pub(crate) fn apply_row_to(
     Ok(())
 }
 
-/// Recursively re-interns a ground term from one engine's symbol table
-/// into another's.
-fn reintern(from: &kind_datalog::Engine, to: &mut kind_datalog::Engine, t: &Term) -> Term {
+/// Recursively re-interns a ground term from one symbol table into
+/// another engine's. Variables and integers pass through unchanged.
+pub(crate) fn reintern_term(from: &Interner, to: &mut kind_datalog::Engine, t: &Term) -> Term {
     match t {
-        Term::Const(s) => to.constant(from.name(*s)),
+        Term::Const(s) => to.constant(from.resolve(*s)),
         Term::Func(f, args) => {
-            let name = from.name(*f).to_string();
-            let mapped: Vec<Term> = args.iter().map(|a| reintern(from, to, a)).collect();
+            let name = from.resolve(*f).to_string();
+            let mapped: Vec<Term> = args.iter().map(|a| reintern_term(from, to, a)).collect();
             let sym = to.sym(&name);
             Term::func(sym, mapped)
         }

@@ -24,7 +24,7 @@ use crate::fault::AnswerReport;
 use crate::federation::FetchRequest;
 use crate::mediator::Mediator;
 use crate::wrapper::SourceQuery;
-use kind_datalog::Term;
+use kind_datalog::{EvalStats, Term};
 use kind_flogic::{parse_fl_program, FlBodyItem, Molecule};
 use std::collections::BTreeSet;
 
@@ -41,6 +41,13 @@ pub struct AnswerSet {
     /// breaker-skipped source contributes no rows, and
     /// [`AnswerReport::is_complete`] is the answer's completeness flag.
     pub report: AnswerReport,
+    /// Evaluation statistics for the answering run (derivation counts
+    /// etc.) — how much work the goal-directed plan actually did.
+    pub stats: EvalStats,
+    /// Whether the magic-sets demand transformation rewrote the query's
+    /// rule subprogram (false when disabled or when the rewrite declined,
+    /// e.g. for well-founded residues).
+    pub magic_fired: bool,
 }
 
 impl Mediator {
@@ -81,14 +88,16 @@ impl Mediator {
         // Strata untouched by the delta are seeded from the cache instead
         // of recomputed (see `kind_datalog::Engine::run_for_seeded`).
         if self.eval_options().base_cache {
-            if let Some((rows, sources)) =
-                self.answer_via_base_cache(rule_text, &head_pred, &head.args, &exported)?
+            if let Some((rows, sources, stats, magic_fired)) =
+                self.answer_via_base_cache(rule_text, &head_pred, &head.args, &exported, &scratch)?
             {
                 return Ok(AnswerSet {
                     rows,
                     classes: exported,
                     sources,
                     report: self.report().clone(),
+                    stats,
+                    magic_fired,
                 });
             }
         }
@@ -110,23 +119,37 @@ impl Mediator {
                 self.apply_row(&batch.source, &batch.query.class, row)?;
             }
         }
-        // Relevance-filtered evaluation towards the answer predicate.
+        // Goal-directed evaluation towards the answer predicate: the
+        // relevance prune plus (when enabled) the magic-sets rewrite
+        // specializing the plan to the goal's constant bindings. The
+        // goal's arguments were interned by the scratch parse; map them
+        // into the base engine so constants bind correctly.
         let opts = self.eval_options().clone();
-        let model = self
-            .base()
-            .flogic()
-            .run_for(&[head_pred.as_str()], &opts)
-            .map_err(MediatorError::from)?;
-        // Extract the rows via the head pattern.
-        let pattern = kind_datalog::Atom::new(
+        let goal_args: Vec<Term> = head
+            .args
+            .iter()
+            .map(|t| {
+                crate::mediator::reintern_term(
+                    &scratch,
+                    self.base_mut().flogic_mut().engine_mut(),
+                    t,
+                )
+            })
+            .collect();
+        let goal = kind_datalog::Atom::new(
             self.base()
                 .flogic()
                 .engine()
                 .lookup(&head_pred)
                 .expect("head predicate interned by rebuild"),
-            head.args.clone(),
+            goal_args,
         );
-        let rows = model.query(&pattern);
+        let model = self
+            .base_mut()
+            .flogic_mut()
+            .run_for_query(&goal, &opts)
+            .map_err(MediatorError::from)?;
+        let rows = model.query(&goal);
         // Uninstall the temporary view.
         self.pop_view();
         Ok(AnswerSet {
@@ -134,6 +157,8 @@ impl Mediator {
             classes: exported,
             sources: contacted.into_iter().collect(),
             report: self.report().clone(),
+            stats: model.stats,
+            magic_fired: model.profile.magic_fired,
         })
     }
 }

@@ -196,24 +196,32 @@ impl QuerySnapshot {
             .engine()
             .lookup(&head_pred)
             .is_some_and(|p| self.model.facts.relation(p).is_some_and(|r| !r.is_empty()));
-        let model = if collides {
-            work.flogic()
-                .run_for(&[head_pred.as_str()], &self.eval_options)
-                .map_err(MediatorError::from)?
-        } else {
-            work.flogic()
-                .run_for_seeded(&[head_pred.as_str()], &self.model, &self.eval_options)
-                .map_err(MediatorError::from)?
-        };
-        let pattern = kind_datalog::Atom::new(
+        // The goal's constant arguments live in the scratch interner; map
+        // them into the work clone so the pattern (and the magic-sets
+        // demand seeds derived from it) bind correctly.
+        let goal_args: Vec<kind_datalog::Term> = head
+            .args
+            .iter()
+            .map(|t| crate::mediator::reintern_term(&scratch, work.flogic_mut().engine_mut(), t))
+            .collect();
+        let goal = kind_datalog::Atom::new(
             work.flogic()
                 .engine()
                 .lookup(&head_pred)
                 .expect("head predicate interned by rule load"),
-            head.args.clone(),
+            goal_args,
         );
+        let model = if collides {
+            work.flogic_mut()
+                .run_for_query(&goal, &self.eval_options)
+                .map_err(MediatorError::from)?
+        } else {
+            work.flogic_mut()
+                .run_for_query_seeded(&goal, &self.model, &self.eval_options)
+                .map_err(MediatorError::from)?
+        };
         let mut rows: Vec<Vec<String>> = model
-            .query(&pattern)
+            .query(&goal)
             .iter()
             .map(|r| {
                 r.iter()

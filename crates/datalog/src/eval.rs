@@ -116,6 +116,17 @@ pub struct EvalOptions {
     /// are seeded from the cache and skipped. Turning this off re-derives
     /// everything from the EDB (ablation baseline).
     pub base_cache: bool,
+    /// Apply the magic-sets demand rewrite on the goal-directed query
+    /// paths ([`crate::Engine::run_for_query`] and
+    /// [`crate::Engine::run_for_query_seeded`]): adorn the relevant rules
+    /// from the goal's bound/free pattern, guard them with magic (demand)
+    /// predicates seeded from the query constants, and evaluate only what
+    /// some demand reaches. Answers are identical with the rewrite on or
+    /// off; only the amount of derived intermediate facts (and wall
+    /// clock) changes. Full-program evaluation ([`crate::Engine::run`],
+    /// `materialize_all`) never applies the rewrite regardless of this
+    /// knob — there is no goal to demand from.
+    pub magic_sets: bool,
     /// Worker-thread cap for the parallel fixpoint: within each stratum
     /// round, rule applications (and, for a round with a single fat rule,
     /// the range of its first join input) are partitioned across a scoped
@@ -146,6 +157,7 @@ impl Default for EvalOptions {
             use_index: true,
             join_reorder: true,
             base_cache: true,
+            magic_sets: true,
             eval_threads: 0,
             cancel: None,
         }
@@ -277,6 +289,12 @@ pub struct StratumProfile {
     /// delta variants, or fat-rule range splits); `0` when every round
     /// ran serially.
     pub partitions: usize,
+    /// Adorned (binding-specialized) rules evaluated in this stratum;
+    /// `0` unless the magic-sets rewrite fired.
+    pub adorned_rules: usize,
+    /// Magic (demand) predicates defined in this stratum; `0` unless the
+    /// magic-sets rewrite fired.
+    pub magic_preds: usize,
     /// The join order used for each rule of the stratum.
     pub plans: Vec<RulePlan>,
 }
@@ -296,6 +314,16 @@ pub struct EvalProfile {
     /// with `0` resolved to available parallelism). Purely informational:
     /// the model is bit-identical for every value.
     pub eval_threads: usize,
+    /// Whether the magic-sets demand rewrite produced the evaluated
+    /// program (goal-directed query paths only; see
+    /// [`EvalOptions::magic_sets`]).
+    pub magic_fired: bool,
+    /// Total adorned (binding-specialized) rules in the rewritten
+    /// program; `0` when the rewrite did not fire.
+    pub adorned_rules: usize,
+    /// Total magic (demand) predicates generated by the rewrite; `0`
+    /// when the rewrite did not fire.
+    pub magic_preds: usize,
 }
 
 /// The result of evaluating a program: a (possibly three-valued) model.

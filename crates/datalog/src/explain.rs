@@ -190,7 +190,7 @@ impl crate::Engine {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "evaluation profile: {} strata{}{}",
+            "evaluation profile: {} strata{}{}{}",
             prof.strata.len(),
             if prof.well_founded {
                 " (well-founded)"
@@ -199,6 +199,14 @@ impl crate::Engine {
             },
             if prof.seeded > 0 {
                 format!(", {} facts seeded from base cache", prof.seeded)
+            } else {
+                String::new()
+            },
+            if prof.magic_fired {
+                format!(
+                    ", magic-sets rewrite fired ({} adorned rules, {} magic predicates)",
+                    prof.adorned_rules, prof.magic_preds
+                )
             } else {
                 String::new()
             },
@@ -222,6 +230,13 @@ impl crate::Engine {
                         out,
                         "  parallel: threads={} partitions={}",
                         sp.threads_used, sp.partitions
+                    );
+                }
+                if sp.adorned_rules > 0 || sp.magic_preds > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  magic: adorned_rules={} magic_preds={}",
+                        sp.adorned_rules, sp.magic_preds
                     );
                 }
                 for plan in &sp.plans {
@@ -383,6 +398,29 @@ mod tests {
         assert!(dump.contains("join order ["), "{dump}");
         assert!(dump.contains("index: builds="), "{dump}");
         assert!(dump.contains("recursive"), "{dump}");
+    }
+
+    #[test]
+    fn profile_dump_shows_magic_rewrite() {
+        use crate::{Atom, Term as T, Var};
+        let mut e = Engine::new();
+        e.load(
+            "edge(a,b). edge(b,c). edge(c,d).
+             tc(X,Y) :- edge(X,Y).
+             tc(X,Y) :- tc(X,Z), edge(Z,Y).",
+        )
+        .unwrap();
+        let tc = e.sym("tc");
+        let a = e.constant("a");
+        let goal = Atom::new(tc, vec![a, T::Var(Var(0))]);
+        let m = e.run_for_query(&goal, &EvalOptions::default()).unwrap();
+        let dump = e.render_profile(&m);
+        assert!(dump.contains("magic-sets rewrite fired"), "{dump}");
+        assert!(dump.contains("magic: adorned_rules="), "{dump}");
+        // A full run reports no rewrite.
+        let full = e.run(&EvalOptions::default()).unwrap();
+        let dump = e.render_profile(&full);
+        assert!(!dump.contains("magic-sets rewrite fired"), "{dump}");
     }
 
     #[test]

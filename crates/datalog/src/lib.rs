@@ -12,7 +12,11 @@
 //!   view operation (Example 4);
 //! * **function terms** for skolem placeholder objects created by
 //!   domain-map assertions (§4), bounded by a term-depth limit;
-//! * arithmetic and comparisons.
+//! * arithmetic and comparisons;
+//! * goal-directed **demand-driven** evaluation: [`Engine::run_for_query`]
+//!   composes predicate-level relevance pruning with the magic-sets
+//!   rewrite (`magic` module), so selective queries derive only the facts
+//!   their bindings can reach.
 //!
 //! The engine is the substrate on which `kind-flogic`, `kind-gcm`,
 //! `kind-dm` and the mediator itself are built; it plays the role FLORA
@@ -42,6 +46,7 @@ pub mod eval;
 pub mod explain;
 pub mod fact;
 pub mod interner;
+mod magic;
 pub mod parser;
 pub mod program;
 pub mod rule;
@@ -61,7 +66,7 @@ pub use program::{stratify, Stratification, Stratum};
 pub use rule::Rule;
 pub use term::{Subst, Term, Var};
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The deductive engine: a symbol table, an extensional database, and a
 /// rule set, with evaluation producing an immutable [`Model`].
@@ -192,13 +197,138 @@ impl Engine {
 
     /// Evaluates only the rules **relevant to the goal predicates**: the
     /// rule set is pruned to predicates reachable from `goals` through
-    /// body dependencies (a lightweight cousin of magic sets — no
-    /// binding-specific specialization, but dead subprograms are never
-    /// touched). The resulting model is complete for the goal predicates
+    /// body dependencies, so dead subprograms are never touched. This is
+    /// *predicate-level* relevance only — within the reachable
+    /// subprogram every predicate is still materialized in full. For
+    /// binding-specific specialization (deriving only the facts a goal's
+    /// constants can reach), use [`Engine::run_for_query`], which runs
+    /// the magic-sets rewrite *on top of* this prune: prune first, adorn
+    /// second. The resulting model is complete for the goal predicates
     /// and anything they depend on; unrelated predicates are absent.
     pub fn run_for(&self, goals: &[Sym], opts: &EvalOptions) -> Result<Model> {
         let relevant = self.relevant_rules(goals);
         self.run_rules(&relevant, opts)
+    }
+
+    /// Evaluates towards a single **goal atom** — the demand-driven
+    /// query path. The rule set is first pruned to the goal's reachable
+    /// subprogram (exactly [`Engine::run_for`]'s relevance filter), then,
+    /// when [`EvalOptions::magic_sets`] is on, rewritten by the
+    /// magic-sets transformation (see the `magic` module): rules are
+    /// adorned from the goal's bound/free argument pattern along a
+    /// sideways-information-passing order, guarded by magic (demand)
+    /// predicates seeded from the goal's constants — constants in *rule
+    /// bodies* propagate demand too — and evaluated bottom-up so only
+    /// facts some demand reaches are derived.
+    ///
+    /// Falls back to the plain pruned evaluation whenever the rewrite
+    /// does not apply: extensional goals, goals entangled with negation
+    /// or aggregation (their derivation cone must be materialized in
+    /// full), programs needing the well-founded evaluator, or a
+    /// non-stratifiable rewritten residue. Answers for the goal pattern
+    /// are identical either way: `model.query(goal)` returns exactly
+    /// what it would on [`Engine::run_for`]'s model; other predicates
+    /// may be only partially materialized.
+    ///
+    /// Takes `&mut self` because adorned predicate names (`pred@adn`,
+    /// `m@pred@adn`) are interned into the engine's symbol table so
+    /// profile dumps resolve them.
+    pub fn run_for_query(&mut self, goal: &Atom, opts: &EvalOptions) -> Result<Model> {
+        let relevant = self.relevant_rules(&[goal.pred]);
+        if opts.magic_sets {
+            if let Some(rw) = magic::rewrite(&relevant, &self.edb, goal, None, &mut self.syms) {
+                if let Some(model) = self.eval_rewritten(&rw, self.edb.clone(), opts, 0)? {
+                    return Ok(model);
+                }
+            }
+        }
+        self.run_rules(&relevant, opts)
+    }
+
+    /// Like [`Engine::run_for_query`], but evaluated on top of a cached
+    /// `base` model (see [`Engine::run_for_seeded`] for the seeding
+    /// contract). The seeding analysis runs first; its *stable*
+    /// predicates are handed to the magic rewrite as frozen — their
+    /// rules are dropped outright and their absorbed base facts stand in
+    /// for their extension — so the rewrite composes with the
+    /// cross-query cache instead of re-deriving what the cache already
+    /// holds.
+    pub fn run_for_query_seeded(
+        &mut self,
+        goal: &Atom,
+        base: &Model,
+        opts: &EvalOptions,
+    ) -> Result<Model> {
+        if !opts.base_cache {
+            return self.run_for_query(goal, opts);
+        }
+        let relevant = self.relevant_rules(&[goal.pred]);
+        let strat = program::stratify(&relevant, |s| self.syms.resolve(s).to_string())?;
+        if strat.needs_wfs || !base.undefined.is_empty() {
+            return self.run_rules(&relevant, opts);
+        }
+        let plan = self.seed_plan(&relevant, &[goal.pred], base);
+        if opts.magic_sets {
+            if let Some(rw) = magic::rewrite(
+                &relevant,
+                &plan.edb,
+                goal,
+                Some(&plan.stable),
+                &mut self.syms,
+            ) {
+                if let Some(model) =
+                    self.eval_rewritten(&rw, plan.edb.clone(), opts, plan.seeded)?
+                {
+                    return Ok(model);
+                }
+            }
+        }
+        let mut model =
+            eval::eval_stratified_skipping(&relevant, &strat, &plan.edb, opts, Some(&plan.stable))?;
+        model.profile.seeded = plan.seeded;
+        Ok(model)
+    }
+
+    /// Stratifies and evaluates a magic-rewritten program (demand seeds
+    /// inserted into `edb` first), annotating the profile with rewrite
+    /// counters. `Ok(None)` when the rewritten program cannot take the
+    /// stratified path — the caller falls back to plain evaluation.
+    fn eval_rewritten(
+        &self,
+        rw: &magic::MagicRewrite,
+        mut edb: FactStore,
+        opts: &EvalOptions,
+        seeded: usize,
+    ) -> Result<Option<Model>> {
+        let Ok(strat) = program::stratify(&rw.rules, |s| self.syms.resolve(s).to_string()) else {
+            return Ok(None);
+        };
+        if strat.needs_wfs {
+            return Ok(None);
+        }
+        for (p, args) in &rw.seeds {
+            edb.insert(*p, args.clone().into());
+        }
+        let mut model = eval::eval_stratified(&rw.rules, &strat, &edb, opts)?;
+        model.profile.seeded = seeded;
+        model.profile.magic_fired = true;
+        model.profile.adorned_rules = rw.adorned_rules;
+        model.profile.magic_preds = rw.magic_preds.len();
+        for sp in &mut model.profile.strata {
+            sp.magic_preds = sp
+                .preds
+                .iter()
+                .filter(|p| rw.magic_preds.contains(p))
+                .count();
+            sp.adorned_rules = rw
+                .rules
+                .iter()
+                .filter(|r| {
+                    rw.adorned_preds.contains(&r.head.pred) && sp.preds.contains(&r.head.pred)
+                })
+                .count();
+        }
+        Ok(Some(model))
     }
 
     /// Like [`Engine::run_for`], but evaluates on top of a cached `base`
@@ -227,7 +357,6 @@ impl Engine {
     /// the relevant subprogram needs the well-founded evaluator, or the
     /// base model has undefined atoms.
     pub fn run_for_seeded(&self, goals: &[Sym], base: &Model, opts: &EvalOptions) -> Result<Model> {
-        use std::collections::HashSet;
         if !opts.base_cache {
             return self.run_for(goals, opts);
         }
@@ -236,8 +365,31 @@ impl Engine {
         if strat.needs_wfs || !base.undefined.is_empty() {
             return self.run_rules(&relevant, opts);
         }
-        // Seed set Δ: predicates whose EDB holds facts absent from the
-        // base model, plus heads with no base extension (covers new rules).
+        let plan = self.seed_plan(&relevant, goals, base);
+        let mut model =
+            eval::eval_stratified_skipping(&relevant, &strat, &plan.edb, opts, Some(&plan.stable))?;
+        model.profile.seeded = plan.seeded;
+        Ok(model)
+    }
+
+    /// The cross-query seeding analysis shared by
+    /// [`Engine::run_for_seeded`] and [`Engine::run_for_query_seeded`]:
+    /// classifies the relevant predicates against a cached base model and
+    /// returns the working EDB with every safely-absorbable base fact
+    /// already merged in.
+    ///
+    /// Seed set Δ: predicates whose EDB holds facts absent from the base
+    /// model, plus heads with no base extension (covers new rules). The
+    /// classification then propagates along dependency edges to a
+    /// fixpoint: a *positive* edge from a grown predicate can only add
+    /// facts to its head (grown, monotone); any edge from an unstable
+    /// predicate, or a negation/aggregate edge from a grown one, makes
+    /// the head *unstable* (facts may appear or vanish). Base facts of
+    /// everything except unstable predicates are absorbed into the
+    /// returned EDB; *stable* predicates (neither grown nor unstable)
+    /// keep their base extension exactly, so their strata can be skipped
+    /// (or, on the magic path, their rules dropped).
+    fn seed_plan(&self, relevant: &[Rule], goals: &[Sym], base: &Model) -> SeedPlan {
         let mut grown: HashSet<Sym> = HashSet::new();
         let mut unstable: HashSet<Sym> = HashSet::new();
         for p in self.edb.predicates() {
@@ -252,14 +404,13 @@ impl Engine {
                 grown.insert(p);
             }
         }
-        for r in &relevant {
+        for r in relevant {
             if base.facts.relation(r.head.pred).is_none() {
                 grown.insert(r.head.pred);
             }
         }
-        // Propagate along dependency edges to a fixpoint.
         let mut deps: Vec<(Sym, Sym, bool)> = Vec::new();
-        for r in &relevant {
+        for r in relevant {
             collect_dep_edges(&r.body, r.head.pred, false, &mut deps);
         }
         loop {
@@ -276,11 +427,8 @@ impl Engine {
                 break;
             }
         }
-        // Seed every stable or monotonically-grown predicate the relevant
-        // subprogram touches; unstable predicates are recomputed from
-        // scratch.
         let mut touched: HashSet<Sym> = goals.iter().copied().collect();
-        for r in &relevant {
+        for r in relevant {
             touched.insert(r.head.pred);
             collect_body_preds(&r.body, &mut touched);
         }
@@ -296,10 +444,11 @@ impl Engine {
             .copied()
             .filter(|p| !grown.contains(p) && !unstable.contains(p))
             .collect();
-        let mut model =
-            eval::eval_stratified_skipping(&relevant, &strat, &edb, opts, Some(&stable))?;
-        model.profile.seeded = seeded;
-        Ok(model)
+        SeedPlan {
+            edb,
+            stable,
+            seeded,
+        }
     }
 
     fn run_rules(&self, rules: &[Rule], opts: &EvalOptions) -> Result<Model> {
@@ -347,6 +496,15 @@ impl Engine {
     pub fn show(&self, t: &Term) -> String {
         t.display(&self.syms).to_string()
     }
+}
+
+/// The result of [`Engine::seed_plan`]: the working EDB with absorbed
+/// base facts, the exactly-stable predicate set, and how many facts were
+/// seeded.
+struct SeedPlan {
+    edb: FactStore,
+    stable: HashSet<Sym>,
+    seeded: usize,
 }
 
 /// Records `(head, body-pred, non-monotone?)` dependency edges. Negated
@@ -492,6 +650,208 @@ mod tests {
         assert!(warm.holds(good, &[b]));
         assert!(!warm.holds(good, &[a]));
         assert_eq!(warm.tuples(good).len(), 1);
+    }
+
+    fn chain_engine(n: usize) -> Engine {
+        let mut e = Engine::new();
+        let mut text = String::new();
+        for i in 0..n {
+            text.push_str(&format!("e(n{i},n{}).\n", i + 1));
+        }
+        text.push_str("tc(X,Y) :- e(X,Y).\ntc(X,Y) :- tc(X,Z), e(Z,Y).\n");
+        e.load(&text).unwrap();
+        e
+    }
+
+    #[test]
+    fn run_for_query_bound_goal_same_answers_far_fewer_derivations() {
+        let mut e = chain_engine(30);
+        let tc = e.lookup("tc").unwrap();
+        let n0 = e.constant("n0");
+        let x = Term::Var(Var(0));
+        let goal = Atom::new(tc, vec![n0.clone(), x]);
+        let opts = EvalOptions::default();
+        let full = e.run_for(&[tc], &opts).unwrap();
+        let magic = e.run_for_query(&goal, &opts).unwrap();
+        // Identical answers for the goal pattern...
+        let mut f = full.query(&goal);
+        let mut m = magic.query(&goal);
+        f.sort();
+        m.sort();
+        assert_eq!(f, m);
+        assert_eq!(m.len(), 30);
+        // ...from a small fraction of the derivation work: the demand
+        // reaches only tc(n0, ·), not the full quadratic closure.
+        assert!(magic.profile.magic_fired);
+        assert!(magic.profile.adorned_rules > 0);
+        assert!(magic.profile.magic_preds > 0);
+        assert!(
+            magic.stats.derived * 3 <= full.stats.derived,
+            "magic {} vs full {}",
+            magic.stats.derived,
+            full.stats.derived
+        );
+        // The rewrite-off path is bit-identical to plain run_for.
+        let off = e
+            .run_for_query(
+                &goal,
+                &EvalOptions {
+                    magic_sets: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!off.profile.magic_fired);
+        assert_eq!(off.stats.derived, full.stats.derived);
+    }
+
+    #[test]
+    fn run_for_query_body_constants_drive_demand() {
+        // The goal head is all-free, but the constant inside the view
+        // body still seeds a bound demand on the recursive predicate —
+        // the pattern every FL `X : class` query hits. The demand cone
+        // of n3 is {n0..n2}, so only a corner of the quadratic closure
+        // is derived.
+        let mut e = chain_engine(20);
+        e.load("sees(X) :- tc(X, n3).").unwrap();
+        let sees = e.lookup("sees").unwrap();
+        let goal = Atom::new(sees, vec![Term::Var(Var(0))]);
+        let opts = EvalOptions::default();
+        let full = e.run_for(&[sees], &opts).unwrap();
+        let magic = e.run_for_query(&goal, &opts).unwrap();
+        let mut f = full.query(&goal);
+        let mut m = magic.query(&goal);
+        f.sort();
+        m.sort();
+        assert_eq!(f, m);
+        assert_eq!(m.len(), 3);
+        assert!(magic.profile.magic_fired);
+        assert!(
+            magic.stats.derived * 3 <= full.stats.derived,
+            "magic {} vs full {}",
+            magic.stats.derived,
+            full.stats.derived
+        );
+    }
+
+    #[test]
+    fn run_for_query_copy_rule_covers_edb_facts_of_idb_preds() {
+        let mut e = Engine::new();
+        e.load("p(a). q(b). p(X) :- q(X).").unwrap();
+        let p = e.lookup("p").unwrap();
+        let a = e.constant("a");
+        let b = e.constant("b");
+        let opts = EvalOptions::default();
+        // Bound goal on a predicate with both stored facts and rules:
+        // the copy rule must route the stored fact into the adorned
+        // world.
+        let ga = Atom::new(p, vec![a.clone()]);
+        let ma = e.run_for_query(&ga, &opts).unwrap();
+        assert!(ma.profile.magic_fired);
+        assert_eq!(ma.query(&ga).len(), 1);
+        let gb = Atom::new(p, vec![b.clone()]);
+        let mb = e.run_for_query(&gb, &opts).unwrap();
+        assert_eq!(mb.query(&gb).len(), 1);
+        let c = e.constant("nope");
+        let gc = Atom::new(p, vec![c]);
+        let mc = e.run_for_query(&gc, &opts).unwrap();
+        assert!(mc.query(&gc).is_empty());
+    }
+
+    #[test]
+    fn run_for_query_negation_cone_evaluated_in_full() {
+        let mut e = Engine::new();
+        e.load(
+            "n(a). n(b). n(c). k(a). k(c).
+             m(X) :- k(X).
+             un(X) :- n(X), not m(X).",
+        )
+        .unwrap();
+        let un = e.lookup("un").unwrap();
+        let b = e.constant("b");
+        let opts = EvalOptions::default();
+        let goal = Atom::new(un, vec![b]);
+        let magic = e.run_for_query(&goal, &opts).unwrap();
+        let full = e.run_for(&[un], &opts).unwrap();
+        assert_eq!(magic.query(&goal), full.query(&goal));
+        assert_eq!(magic.query(&goal).len(), 1);
+    }
+
+    #[test]
+    fn run_for_query_falls_back_for_wfs_programs() {
+        let mut e = Engine::new();
+        e.load(
+            "move(p0,p1). move(p1,p2).
+             win(X) :- move(X,Y), not win(Y).",
+        )
+        .unwrap();
+        let win = e.lookup("win").unwrap();
+        let p0 = e.constant("p0");
+        let goal = Atom::new(win, vec![p0]);
+        let opts = EvalOptions::default();
+        let magic = e.run_for_query(&goal, &opts).unwrap();
+        let full = e.run_for(&[win], &opts).unwrap();
+        assert!(!magic.profile.magic_fired);
+        assert!(magic.profile.well_founded);
+        assert_eq!(magic.query(&goal), full.query(&goal));
+    }
+
+    #[test]
+    fn run_for_query_seeded_matches_scratch() {
+        use std::collections::HashSet;
+        let mut e = Engine::new();
+        e.load(
+            "e(a,b). e(b,c). e(c,d). m(a).
+             tc(X,Y) :- e(X,Y).
+             tc(X,Y) :- tc(X,Z), e(Z,Y).",
+        )
+        .unwrap();
+        let opts = EvalOptions::default();
+        let base = e.run(&opts).unwrap();
+        e.load("m(c). view(X) :- tc(a,X), not m(X).").unwrap();
+        let view = e.lookup("view").unwrap();
+        let goal = Atom::new(view, vec![Term::Var(Var(0))]);
+        let warm = e.run_for_query_seeded(&goal, &base, &opts).unwrap();
+        let cold = e.run_for(&[view], &opts).unwrap();
+        let wset: HashSet<Vec<Term>> = warm.query(&goal).into_iter().collect();
+        let cset: HashSet<Vec<Term>> = cold.query(&goal).into_iter().collect();
+        assert_eq!(wset, cset);
+        assert_eq!(wset.len(), 2);
+        // The closure is fully *stable* in the base cache, so freezing it
+        // leaves no demand to propagate: the rewrite correctly declines
+        // (a pure rename would only add overhead) and the cached
+        // stratum-skipping path answers instead.
+        assert!(!warm.profile.magic_fired);
+        assert!(warm.profile.seeded > 0);
+    }
+
+    #[test]
+    fn run_for_query_seeded_fires_when_delta_feeds_recursion() {
+        use std::collections::HashSet;
+        let mut e = Engine::new();
+        e.load(
+            "e(a,b). e(b,c). e(c,d).
+             tc(X,Y) :- e(X,Y).
+             tc(X,Y) :- tc(X,Z), e(Z,Y).",
+        )
+        .unwrap();
+        let opts = EvalOptions::default();
+        let base = e.run(&opts).unwrap();
+        // The delta grows the closure's own input, so `tc` is grown (not
+        // stable): the rewrite adorns it, the copy rule routes the
+        // absorbed cached closure in, and only demanded bindings are
+        // re-derived.
+        e.load("e(d,d2). view(X) :- tc(a,X).").unwrap();
+        let view = e.lookup("view").unwrap();
+        let goal = Atom::new(view, vec![Term::Var(Var(0))]);
+        let warm = e.run_for_query_seeded(&goal, &base, &opts).unwrap();
+        let cold = e.run_for(&[view], &opts).unwrap();
+        let wset: HashSet<Vec<Term>> = warm.query(&goal).into_iter().collect();
+        let cset: HashSet<Vec<Term>> = cold.query(&goal).into_iter().collect();
+        assert_eq!(wset, cset);
+        assert_eq!(wset.len(), 4); // b, c, d, d2
+        assert!(warm.profile.magic_fired);
+        assert!(warm.profile.seeded > 0);
     }
 
     #[test]

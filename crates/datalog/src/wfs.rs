@@ -90,8 +90,8 @@ pub(crate) fn eval_well_founded(
                 profile: EvalProfile {
                     strata: vec![summary],
                     well_founded: true,
-                    seeded: 0,
                     eval_threads: cap,
+                    ..Default::default()
                 },
             });
         }

@@ -47,10 +47,22 @@ pub use ast::{ArrowKind, MethodSpec, Molecule};
 pub use parser::{parse_fl_molecule, parse_fl_program, FlBodyItem, FlClause};
 pub use translate::{implied_classes, lower_clause, lower_clause_named, molecule_atoms, Preds};
 
-use kind_datalog::{DatalogError, Engine, EvalOptions, Interner, Model, Term};
+use kind_datalog::{Atom, DatalogError, Engine, EvalOptions, Interner, Model, Term};
 
 /// Core FL axioms of Table 1 (right column), in Datalog syntax over the
 /// reserved predicates.
+///
+/// The `class/1` registry is **extensional**: every entry point that can
+/// mention a class — molecule lowering ([`translate::implied_classes`],
+/// applied to facts *and* ground rule-head classes), [`FLogic::declare_subclass`],
+/// [`FLogic::assert_instance`] — registers it eagerly, so no axiom
+/// derives `class` from `sub`/`inst`. This keeps `class`, `sub`, and
+/// `inst` in *separate strata* (class ≺ sub ≺ inst) instead of one big
+/// mutually recursive component, which matters for goal-directed
+/// evaluation: the magic-sets rewrite can then propagate demand
+/// directionally (e.g. downward through `sub` for an anchored instance
+/// query) instead of having a bound `class` subgoal drag in the reversed
+/// closure of the whole hierarchy.
 pub const CORE_AXIOMS: &str = "
     % reflexivity of :: over registered classes
     sub(C, C) :- class(C).
@@ -60,10 +72,6 @@ pub const CORE_AXIOMS: &str = "
     inst(X, C2) :- inst(X, C1), sub(C1, C2).
     % structural (signature) inheritance down the hierarchy
     meth(C1, M, R) :- sub(C1, C2), meth(C2, M, R).
-    % every class mentioned in :: or : or a signature is a class
-    class(C) :- sub(C, _).
-    class(C) :- sub(_, C).
-    class(C) :- inst(_, C).
 ";
 
 /// Nonmonotonic value-inheritance axioms: `val(X, M, V)` is the effective
@@ -149,12 +157,14 @@ impl FLogic {
         for r in rules {
             self.engine.add_rule(r)?;
         }
-        // Register implied classes so `::` reflexivity covers them.
-        if clause.body.is_empty() {
-            for c in translate::implied_classes(&clause.head) {
-                if c.is_ground() {
-                    self.engine.add_fact(self.preds.class, vec![c])?;
-                }
+        // Register implied classes so `::` reflexivity covers them. Rule
+        // heads count too: a rule `sk(X) : c :- ...` mentions `c` as a
+        // class even though the fact is derived (the registry is
+        // extensional — see [`CORE_AXIOMS`]). Only ground class terms
+        // register; a variable class position contributes nothing here.
+        for c in translate::implied_classes(&clause.head) {
+            if c.is_ground() {
+                self.engine.add_fact(self.preds.class, vec![c])?;
             }
         }
         Ok(())
@@ -172,17 +182,20 @@ impl FLogic {
         self.engine.add_fact(self.preds.class, vec![c]).map(|_| ())
     }
 
-    /// Declares `sub :: sup`.
+    /// Declares `sub :: sup` (both sides register as classes).
     pub fn declare_subclass(&mut self, sub: &str, sup: &str) -> Result<(), DatalogError> {
         let s = self.engine.constant(sub);
         let p = self.engine.constant(sup);
+        self.engine.add_fact(self.preds.class, vec![s.clone()])?;
+        self.engine.add_fact(self.preds.class, vec![p.clone()])?;
         self.engine.add_fact(self.preds.sub, vec![s, p]).map(|_| ())
     }
 
-    /// Asserts `obj : class`.
+    /// Asserts `obj : class` (the class registers as a class).
     pub fn assert_instance(&mut self, obj: &str, class: &str) -> Result<(), DatalogError> {
         let o = self.engine.constant(obj);
         let c = self.engine.constant(class);
+        self.engine.add_fact(self.preds.class, vec![c.clone()])?;
         self.engine
             .add_fact(self.preds.inst, vec![o, c])
             .map(|_| ())
@@ -231,6 +244,32 @@ impl FLogic {
     ) -> Result<Model, DatalogError> {
         let syms: Vec<_> = goals.iter().filter_map(|g| self.engine.lookup(g)).collect();
         self.engine.run_for_seeded(&syms, base, opts)
+    }
+
+    /// Evaluates a single goal atom demand-driven (see
+    /// `kind_datalog::Engine::run_for_query`): on top of the
+    /// predicate-level prune of [`FLogic::run_for`], the magic-sets
+    /// rewrite specializes the rules to the goal's constant bindings.
+    /// Takes `&mut self` because the rewrite interns adorned predicate
+    /// names.
+    pub fn run_for_query(
+        &mut self,
+        goal: &Atom,
+        opts: &EvalOptions,
+    ) -> Result<Model, DatalogError> {
+        self.engine.run_for_query(goal, opts)
+    }
+
+    /// Like [`FLogic::run_for_query`], but evaluated as a delta on top of
+    /// a cached `base` model (see
+    /// `kind_datalog::Engine::run_for_query_seeded`).
+    pub fn run_for_query_seeded(
+        &mut self,
+        goal: &Atom,
+        base: &Model,
+        opts: &EvalOptions,
+    ) -> Result<Model, DatalogError> {
+        self.engine.run_for_query_seeded(goal, base, opts)
     }
 
     /// Names of all instances of `class` in the model.

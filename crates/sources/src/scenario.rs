@@ -49,6 +49,10 @@ pub struct ScenarioParams {
     /// hedging): a primary attempt slower than this races one backup
     /// attempt, first virtual-time success wins.
     pub hedge_after_ms: u64,
+    /// Whether goal-directed queries (`answer`) apply the magic-sets
+    /// demand transformation. Answer-preserving either way; full
+    /// materialization never applies it.
+    pub magic_sets: bool,
 }
 
 impl Default for ScenarioParams {
@@ -65,6 +69,7 @@ impl Default for ScenarioParams {
             eval_threads: 0,
             query_budget_ms: 0,
             hedge_after_ms: 0,
+            magic_sets: true,
         }
     }
 }
@@ -112,6 +117,7 @@ pub fn build_scenario(params: &ScenarioParams) -> Mediator {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
     m.federation_mut().set_fetch_threads(params.fetch_threads);
     m.set_eval_threads(params.eval_threads);
+    m.set_magic_sets(params.magic_sets);
     m.set_query_budget_ms(params.query_budget_ms);
     if params.hedge_after_ms > 0 {
         m.set_default_policy(SourcePolicy::with_hedge_after_ms(params.hedge_after_ms));
@@ -151,6 +157,7 @@ pub fn build_scenario_with_faults(
     let mut m = Mediator::new(scenario_domain_map(), params.mode);
     m.federation_mut().set_fetch_threads(params.fetch_threads);
     m.set_eval_threads(params.eval_threads);
+    m.set_magic_sets(params.magic_sets);
     m.set_query_budget_ms(params.query_budget_ms);
     if params.hedge_after_ms > 0 {
         m.set_default_policy(SourcePolicy::with_hedge_after_ms(params.hedge_after_ms));

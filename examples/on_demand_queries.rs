@@ -1,8 +1,9 @@
 //! On-demand integrated queries: the push-down discipline of §5
 //! generalized — plus query templates, logic-level (subsumption-based)
-//! source selection, and the two-phase pipeline's warm-plan path
+//! source selection, the two-phase pipeline's warm-plan path
 //! (fetch once, replay the evaluate phase on a snapshot from many
-//! threads).
+//! threads), and goal-directed evaluation via the magic-sets rewrite
+//! (derived-fact counts with the rewrite on vs off).
 //!
 //! ```sh
 //! cargo run --example on_demand_queries
@@ -11,6 +12,8 @@
 use kind::core::{
     run_section5, section5_fetch, Mediator, NeuroSchema, QueryTemplate, Section5Query,
 };
+use kind::datalog::{Atom, EvalOptions, Term, Var};
+use kind::flogic::FLogic;
 use kind::gcm::GcmValue;
 use kind::sources::{build_scenario, ScenarioParams};
 
@@ -160,6 +163,73 @@ fn main() {
         "4 threads replayed the warm plan: root {:?}, {} distribution rows, 0 new wrapper calls",
         expected.root,
         expected.distribution.len()
+    );
+
+    // 5. Goal-directed evaluation: the magic-sets rewrite. A query
+    //    anchored at one class only *demands* that class's instance
+    //    cone, so the engine skips the rest of the closure. The
+    //    mediator's own `answer()` programs carry skolem guards that
+    //    need the well-founded evaluator, where the rewrite declines
+    //    and falls back to full bottom-up (`magic_fired` stays false) —
+    //    so the demand win is shown on the stratified FL fragment,
+    //    where `answer()`-style goal queries actually run it.
+    println!("\n== demand-driven evaluation (magic sets) ==");
+    println!(
+        "mediator answer() above: {} facts derived, magic_fired={} (WFS fallback)",
+        ans.stats.derived, ans.magic_fired
+    );
+    // A class forest: 6 subtrees of 4 classes under `thing`, 3 measured
+    // objects per class. The query anchors at subtree 0's root.
+    let fixture = || {
+        let mut fl = FLogic::new();
+        let mut text = String::new();
+        for s in 0..6 {
+            text.push_str(&format!("t{s}_0 :: thing.\n"));
+            for l in 1..4 {
+                text.push_str(&format!("t{s}_{l} :: t{s}_{}.\n", l - 1));
+            }
+            for l in 0..4 {
+                for j in 0..3 {
+                    text.push_str(&format!("o_{s}_{l}_{j} : t{s}_{l}.\n"));
+                    text.push_str(&format!(
+                        "o_{s}_{l}_{j}[amount -> {}].\n",
+                        (s * 13 + l * 29 + j * 17) % 100
+                    ));
+                }
+            }
+        }
+        fl.load(&text).expect("fixture loads");
+        fl.load("hot(X, A) :- X : t0_0, X[amount -> A], A >= 50.")
+            .expect("view loads");
+        fl
+    };
+    let mut counts = Vec::new();
+    for magic in [false, true] {
+        let mut fl = fixture();
+        let hot = fl.engine().lookup("hot").expect("view predicate");
+        let goal = Atom::new(hot, vec![Term::Var(Var(0)), Term::Var(Var(1))]);
+        let opts = EvalOptions {
+            magic_sets: magic,
+            ..Default::default()
+        };
+        let model = fl.run_for_query(&goal, &opts).expect("query runs");
+        println!(
+            "  magic_sets={magic}: {} rows, {} facts derived (magic_fired={})",
+            model.query(&goal).len(),
+            model.stats.derived,
+            model.profile.magic_fired
+        );
+        counts.push((model.query(&goal).len(), model.stats.derived));
+    }
+    assert_eq!(counts[0].0, counts[1].0, "same answers either way");
+    assert!(
+        counts[1].1 * 3 <= counts[0].1,
+        "demand cuts derivation at least 3x"
+    );
+    println!(
+        "same {} answers, {:.1}x fewer facts derived",
+        counts[0].0,
+        counts[0].1 as f64 / counts[1].1 as f64
     );
     println!("ok");
 }

@@ -207,18 +207,23 @@ proptest! {
 
 // ---------- Eval options: every toggle combo yields the same model ------
 
-/// All 2³ combinations of the PR's three optimization layers.
+/// All 2⁴ combinations of the optimization layers: the magic-sets demand
+/// transformation, semi-naive evaluation, join reordering, and the
+/// cross-query base cache. Every combination must yield the same model.
 fn all_eval_combos() -> Vec<EvalOptions> {
     let mut v = Vec::new();
-    for &join_reorder in &[false, true] {
-        for &use_index in &[false, true] {
-            for &base_cache in &[false, true] {
-                v.push(EvalOptions {
-                    join_reorder,
-                    use_index,
-                    base_cache,
-                    ..Default::default()
-                });
+    for &magic_sets in &[false, true] {
+        for &semi_naive in &[false, true] {
+            for &join_reorder in &[false, true] {
+                for &base_cache in &[false, true] {
+                    v.push(EvalOptions {
+                        magic_sets,
+                        semi_naive,
+                        join_reorder,
+                        base_cache,
+                        ..Default::default()
+                    });
+                }
             }
         }
     }
@@ -244,7 +249,8 @@ proptest! {
 
     /// A recursive program with well-founded negation must compute the
     /// same true *and* undefined facts under every combination of
-    /// `{join_reorder, use_index, base_cache}`.
+    /// `{magic_sets, semi_naive, join_reorder, base_cache}` (the WFS path
+    /// never applies the magic rewrite, so toggling it must be a no-op).
     #[test]
     fn eval_toggles_preserve_recursive_wfs_model(
         moves in prop::collection::vec((0usize..7, 0usize..7), 0..20)
