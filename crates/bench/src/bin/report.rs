@@ -15,7 +15,7 @@ use kind_datalog::EvalOptions;
 use kind_dm::{figures, Resolved};
 use kind_flogic::FLogic;
 use kind_gcm::{GcmDecl, GcmValue};
-use kind_sources::{build_scenario, build_scenario_with_faults, ScenarioParams};
+use kind_sources::{build_scenario, build_scenario_with_faults, ncmir_update_rows, ScenarioParams};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -27,9 +27,14 @@ fn header(s: &str) {
 
 fn main() {
     // `KIND_BENCH_FAST=1` is the CI smoke mode: skip the narrative
-    // figure/table reports and emit only BENCH_PR7.json with reduced
+    // figure/table reports and emit only BENCH_PR8.json with reduced
     // iteration counts and workload sizes.
     let fast = std::env::var("KIND_BENCH_FAST").is_ok();
+    // The incremental-publish group compares a sub-millisecond republish
+    // against a multi-millisecond rebuild; measure it first, in a clean
+    // process, so heap state left behind by the narrative reports (which
+    // inflates the small side disproportionately) cannot skew the ratio.
+    let inc = incremental_publish_bench(fast, &bench_params(fast));
     if !fast {
         figure1_report();
         table1_report();
@@ -38,7 +43,24 @@ fn main() {
         figure3_report();
         section5_report();
     }
-    bench_pr7_report(fast);
+    bench_pr8_report(fast, inc);
+}
+
+/// Scenario sizing shared by the benchmark groups (reduced in CI smoke
+/// mode).
+fn bench_params(fast: bool) -> ScenarioParams {
+    if fast {
+        ScenarioParams {
+            senselab_rows: 10,
+            ncmir_rows: 15,
+            synapse_rows: 10,
+            noise_sources: 1,
+            noise_rows: 5,
+            ..Default::default()
+        }
+    } else {
+        ScenarioParams::default()
+    }
 }
 
 /// Minimum wall time of `f` over `iters` runs, in nanoseconds — the
@@ -59,10 +81,11 @@ fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
 /// the PR 3 concurrent-snapshot throughput group, the PR 4 parallel
 /// fetch-plane group, the PR 5 parallel evaluate-plane group, the PR 6
 /// tail-latency (hedged fetch) group, the PR 7 magic-sets ablation
-/// group, and `EvalStats` counters from a representative warm model.
-/// Results go to stdout and `BENCH_PR7.json`.
-fn bench_pr7_report(fast: bool) {
-    header("PR 7 — pipeline benchmarks + magic sets + concurrency + tail latency");
+/// group, the PR 8 incremental-publish (write plane) group, and
+/// `EvalStats` counters from a representative warm model. Results go to
+/// stdout and `BENCH_PR8.json`.
+fn bench_pr8_report(fast: bool, inc: IncGroup) {
+    header("PR 8 — incremental publish + pipeline + magic sets + concurrency");
     let iters = if fast { 5 } else { 25 };
     let (depth, fanout) = if fast { (4usize, 3usize) } else { (5, 3) };
     let mut rows: Vec<(&str, u128, u128)> = Vec::new();
@@ -103,18 +126,7 @@ fn bench_pr7_report(fast: bool) {
         transmitting_compartment: "Parallel_Fiber".into(),
         ion: "calcium".into(),
     };
-    let params = if fast {
-        ScenarioParams {
-            senselab_rows: 10,
-            ncmir_rows: 15,
-            synapse_rows: 10,
-            noise_sources: 1,
-            noise_rows: 5,
-            ..Default::default()
-        }
-    } else {
-        ScenarioParams::default()
-    };
+    let params = bench_params(fast);
     let plan_iters = iters.min(10);
     let ablated_opts = EvalOptions {
         join_reorder: false,
@@ -246,21 +258,51 @@ fn bench_pr7_report(fast: bool) {
     let magic = magic_sets_bench(fast, &params);
     println!("\n  magic-sets ablation (warm answer, rewrite off vs. on):");
     println!(
-        "  {:>22} | {:>12} | {:>12} | {:>8} | {:>11} | {:>11} | {:>9}",
-        "query", "off ns", "on ns", "speedup", "off derived", "on derived", "reduction"
+        "  {:>24} | {:>12} | {:>12} | {:>8} | {:>11} | {:>11} | {:>9} | {:>8}",
+        "query", "off ns", "on ns", "speedup", "off derived", "on derived", "reduction", "declined"
     );
     for r in &magic {
         println!(
-            "  {:>22} | {:>12} | {:>12} | {:>7.2}x | {:>11} | {:>11} | {:>8.2}x",
+            "  {:>24} | {:>12} | {:>12} | {:>7.2}x | {:>11} | {:>11} | {:>8.2}x | {:>8}",
             r.name,
             r.off_ns,
             r.on_ns,
             r.off_ns as f64 / r.on_ns.max(1) as f64,
             r.off_derived,
             r.on_derived,
-            r.off_derived as f64 / r.on_derived.max(1) as f64
+            r.off_derived as f64 / r.on_derived.max(1) as f64,
+            r.magic_declined
         );
     }
+
+    println!(
+        "\n  incremental publish (one fresh row per iteration, {} iterations, measured process-clean before all other groups):",
+        inc.iters
+    );
+    println!(
+        "  {:>12} | {:>13} | {:>13} | {:>8}",
+        "publish path", "p50 ns", "p99 ns", "speedup"
+    );
+    println!(
+        "  {:>12} | {:>13} | {:>13} | {:>8}",
+        "cold", inc.cold_p50_ns, inc.cold_p99_ns, ""
+    );
+    println!(
+        "  {:>12} | {:>13} | {:>13} | {:>7.2}x",
+        "incremental",
+        inc.inc_p50_ns,
+        inc.inc_p99_ns,
+        inc.cold_p50_ns as f64 / inc.inc_p50_ns.max(1) as f64
+    );
+    println!(
+        "  sustained update-while-reading: {} publishes + {} snapshot reads across {} readers in {:.1} ms ({:.0} publishes/s, {:.0} reads/s)",
+        inc.sustained.publishes,
+        inc.sustained.reads,
+        inc.sustained.readers,
+        inc.sustained.wall_ns as f64 / 1e6,
+        inc.sustained.publishes as f64 / (inc.sustained.wall_ns as f64 / 1e9),
+        inc.sustained.reads as f64 / (inc.sustained.wall_ns as f64 / 1e9)
+    );
 
     let tail = tail_latency_bench(fast);
     println!(
@@ -287,10 +329,133 @@ fn bench_pr7_report(fast: bool) {
         &pe,
         &tail,
         &magic,
+        &inc,
         &mut m_warm,
     );
-    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
-    println!("\nwrote BENCH_PR7.json");
+    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
+    println!("\nwrote BENCH_PR8.json");
+}
+
+/// Sustained write-while-read throughput: one writer loading rows and
+/// republishing snapshots while reader threads drain queries from the
+/// latest published snapshot, lock-free on the query hot path.
+struct SustainedStats {
+    readers: usize,
+    publishes: usize,
+    reads: usize,
+    wall_ns: u128,
+}
+
+/// The `incremental_publish` group's results: per-iteration republish
+/// latency percentiles for the staged delta plane vs. the cold
+/// invalidate-and-rebuild baseline, plus the sustained mixed workload.
+struct IncGroup {
+    iters: usize,
+    inc_p50_ns: u128,
+    inc_p99_ns: u128,
+    cold_p50_ns: u128,
+    cold_p99_ns: u128,
+    sustained: SustainedStats,
+}
+
+fn percentile(sorted: &[u128], p: usize) -> u128 {
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// The PR 8 tentpole measurement. Incremental side: a warm, fully
+/// materialized §5 scenario absorbs one fresh NCMIR row per iteration
+/// and republishes — `publish()` folds the staged delta into the cached
+/// model via seeded delta rounds, so the timed region is proportional to
+/// the delta's cone, not the knowledge base. Cold side: the
+/// pre-write-plane behavior for the same event — every mutation
+/// invalidates, so each republish rebuilds the program, refetches every
+/// source, and reevaluates from scratch.
+fn incremental_publish_bench(fast: bool, params: &ScenarioParams) -> IncGroup {
+    let iters = if fast { 8 } else { 30 };
+    let mut m = build_scenario(params);
+    m.materialize_all().expect("scenario materializes");
+    m.publish().expect("initial publish");
+    let pool = ncmir_update_rows(params.seed, 1, iters);
+    let mut inc_ns: Vec<u128> = Vec::with_capacity(iters);
+    for row in &pool {
+        m.load_row("NCMIR", "protein_amount", row).expect("loads");
+        let t = Instant::now();
+        black_box(m.publish().expect("incremental publish").facts.len());
+        inc_ns.push(t.elapsed().as_nanos());
+    }
+    let mut c = build_scenario(params);
+    c.materialize_all().expect("scenario materializes");
+    c.publish().expect("initial publish");
+    let cold_iters = if fast { 3 } else { 10 };
+    let cold_pool = ncmir_update_rows(params.seed, 2, cold_iters);
+    let mut cold_ns: Vec<u128> = Vec::with_capacity(cold_iters);
+    for row in &cold_pool {
+        c.load_row("NCMIR", "protein_amount", row).expect("loads");
+        let t = Instant::now();
+        c.invalidate();
+        c.materialize_all().expect("rematerializes");
+        black_box(c.publish().expect("cold publish").facts.len());
+        cold_ns.push(t.elapsed().as_nanos());
+    }
+    inc_ns.sort_unstable();
+    cold_ns.sort_unstable();
+    IncGroup {
+        iters,
+        inc_p50_ns: percentile(&inc_ns, 50),
+        inc_p99_ns: percentile(&inc_ns, 99),
+        cold_p50_ns: percentile(&cold_ns, 50),
+        cold_p99_ns: percentile(&cold_ns, 99),
+        sustained: sustained_update_read_bench(fast, params),
+    }
+}
+
+/// Readers drain FL queries from the most recently published snapshot
+/// (swapped behind an `RwLock` whose critical section is one `Arc`-heavy
+/// clone) while the writer keeps loading rows and republishing — the
+/// structurally-shared snapshot republish makes each swap cheap, and the
+/// old snapshots keep serving their frozen state until dropped.
+fn sustained_update_read_bench(fast: bool, params: &ScenarioParams) -> SustainedStats {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let readers = 4usize;
+    let publishes = if fast { 10 } else { 40 };
+    let mut m = build_scenario(params);
+    m.materialize_all().expect("scenario materializes");
+    let current = std::sync::RwLock::new(m.snapshot().expect("initial snapshot"));
+    let done = AtomicBool::new(false);
+    let reads = AtomicUsize::new(0);
+    let pool = ncmir_update_rows(params.seed, 3, publishes);
+    let patterns = ["X : protein_amount", "anchored(S, C)"];
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..readers {
+            let (current, done, reads) = (&current, &done, &reads);
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = current.read().expect("snapshot lock").clone();
+                    black_box(
+                        snap.query_fl(patterns[(w + i) % patterns.len()])
+                            .expect("snapshot query")
+                            .len(),
+                    );
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        for row in &pool {
+            m.load_row("NCMIR", "protein_amount", row).expect("loads");
+            let snap = m.snapshot().expect("republish");
+            *current.write().expect("snapshot lock") = snap;
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    SustainedStats {
+        readers,
+        publishes: pool.len(),
+        reads: reads.into_inner(),
+        wall_ns: t.elapsed().as_nanos(),
+    }
 }
 
 /// One magic-sets ablation row: the same goal-directed query with the
@@ -302,6 +467,9 @@ struct MagicRow {
     off_derived: usize,
     on_derived: usize,
     magic_fired: bool,
+    /// Whether the cost model declined the rewrite (demand-cone estimate
+    /// at or above the decline ratio), falling back to the plain plan.
+    magic_declined: bool,
 }
 
 /// A §5-style FL knowledge base shaped like Figure 1's taxonomy: a
@@ -367,10 +535,15 @@ fn magic_sets_bench(fast: bool, params: &ScenarioParams) -> Vec<MagicRow> {
                 black_box(fl.run_for_query(&goal, &opts).unwrap().stats.derived);
             });
             let m = fl.run_for_query(&goal, &opts).unwrap();
-            (wall, m.stats.derived, m.profile.magic_fired)
+            (
+                wall,
+                m.stats.derived,
+                m.profile.magic_fired,
+                m.profile.magic_declined,
+            )
         };
-        let (off_ns, off_derived, _) = run(false);
-        let (on_ns, on_derived, magic_fired) = run(true);
+        let (off_ns, off_derived, _, _) = run(false);
+        let (on_ns, on_derived, magic_fired, magic_declined) = run(true);
         out.push(MagicRow {
             name,
             off_ns,
@@ -378,6 +551,7 @@ fn magic_sets_bench(fast: bool, params: &ScenarioParams) -> Vec<MagicRow> {
             off_derived,
             on_derived,
             magic_fired,
+            magic_declined,
         });
     }
     // Mediator answer on the WFS scenario: the rewrite must decline and
@@ -404,6 +578,9 @@ fn magic_sets_bench(fast: bool, params: &ScenarioParams) -> Vec<MagicRow> {
         off_derived,
         on_derived,
         magic_fired,
+        // The WFS path refuses the rewrite structurally (skolem guards
+        // need the well-founded evaluator), not via the cost model.
+        magic_declined: false,
     });
     out
 }
@@ -709,9 +886,9 @@ fn snapshot_concurrency_bench(fast: bool, params: &ScenarioParams) -> Vec<ConcRo
 
 /// Hand-rolled JSON (no serde in the image): per-bench baseline/optimized
 /// nanoseconds, the concurrent-throughput group, the fetch-plane group,
-/// the evaluate-plane group, the tail-latency (hedged fetch) group, plus
-/// the `EvalStats` and stratum counters of the warm mediator's cached
-/// base model.
+/// the evaluate-plane group, the tail-latency (hedged fetch) group, the
+/// incremental-publish (write plane) group, plus the `EvalStats` and
+/// stratum counters of the warm mediator's cached base model.
 #[allow(clippy::too_many_arguments)]
 fn render_bench_json(
     fast: bool,
@@ -722,6 +899,7 @@ fn render_bench_json(
     pe: &ParEvalGroup,
     tail: &TailGroup,
     magic: &[MagicRow],
+    inc: &IncGroup,
     warm: &mut Mediator,
 ) -> String {
     let model = warm.run().expect("warm base model evaluates");
@@ -804,7 +982,7 @@ fn render_bench_json(
     for (i, r) in magic.iter().enumerate() {
         let sep = if i + 1 < magic.len() { "," } else { "" };
         out.push_str(&format!(
-            "      {{\"name\": \"{}\", \"off_ns\": {}, \"on_ns\": {}, \"wall_speedup\": {:.2}, \"off_derived\": {}, \"on_derived\": {}, \"derived_reduction\": {:.2}, \"magic_fired\": {}}}{sep}\n",
+            "      {{\"name\": \"{}\", \"off_ns\": {}, \"on_ns\": {}, \"wall_speedup\": {:.2}, \"off_derived\": {}, \"on_derived\": {}, \"derived_reduction\": {:.2}, \"magic_fired\": {}, \"magic_declined\": {}}}{sep}\n",
             r.name,
             r.off_ns,
             r.on_ns,
@@ -812,10 +990,26 @@ fn render_bench_json(
             r.off_derived,
             r.on_derived,
             r.off_derived as f64 / r.on_derived.max(1) as f64,
-            r.magic_fired
+            r.magic_fired,
+            r.magic_declined
         ));
     }
-    out.push_str("    ]\n  },\n  \"eval_stats\": {\n");
+    out.push_str(&format!(
+        "    ]\n  }},\n  \"incremental_publish\": {{\n    \"iters\": {},\n    \"inc_p50_ns\": {},\n    \"inc_p99_ns\": {},\n    \"cold_p50_ns\": {},\n    \"cold_p99_ns\": {},\n    \"speedup_p50\": {:.2},\n    \"sustained\": {{\"readers\": {}, \"publishes\": {}, \"reads\": {}, \"wall_ns\": {}, \"publishes_per_sec\": {:.0}, \"reads_per_sec\": {:.0}}}\n  }},\n",
+        inc.iters,
+        inc.inc_p50_ns,
+        inc.inc_p99_ns,
+        inc.cold_p50_ns,
+        inc.cold_p99_ns,
+        inc.cold_p50_ns as f64 / inc.inc_p50_ns.max(1) as f64,
+        inc.sustained.readers,
+        inc.sustained.publishes,
+        inc.sustained.reads,
+        inc.sustained.wall_ns,
+        inc.sustained.publishes as f64 / (inc.sustained.wall_ns as f64 / 1e9),
+        inc.sustained.reads as f64 / (inc.sustained.wall_ns as f64 / 1e9)
+    ));
+    out.push_str("  \"eval_stats\": {\n");
     out.push_str(&format!(
         "    \"iterations\": {},\n    \"derived\": {},\n    \"applications\": {},\n    \"index_builds\": {},\n    \"index_hits\": {},\n    \"index_misses\": {},\n    \"strata\": {strata},\n    \"strata_skipped\": {skipped}\n",
         s.iterations, s.derived, s.applications, s.index_builds, s.index_hits, s.index_misses

@@ -35,7 +35,11 @@ pub struct Knowledge {
     pub(crate) axioms: Vec<Axiom>,
     pub(crate) mode: ExecMode,
     pub(crate) registry: PluginRegistry,
-    pub(crate) index: SemanticIndex,
+    /// The semantic index, behind an `Arc` like the map and its resolved
+    /// view: query snapshots capture it by reference, and anchor-time
+    /// mutations go through `Arc::make_mut` (copy only if a snapshot
+    /// still holds the old index).
+    pub(crate) index: Arc<SemanticIndex>,
     pub(crate) cms: Vec<ConceptualModel>,
     pub(crate) views: Vec<String>,
 }
@@ -51,7 +55,7 @@ impl Knowledge {
             axioms: Vec::new(),
             mode,
             registry: PluginRegistry::with_builtins(),
-            index: SemanticIndex::new(),
+            index: Arc::new(SemanticIndex::new()),
             cms: Vec::new(),
             views: Vec::new(),
         }
@@ -97,6 +101,17 @@ impl Knowledge {
         &self.index
     }
 
+    /// The semantic index as a shareable handle (for snapshots).
+    pub fn index_arc(&self) -> Arc<SemanticIndex> {
+        Arc::clone(&self.index)
+    }
+
+    /// Mutable access for anchor-time updates (copy-on-write: clones the
+    /// index only if a snapshot still shares it).
+    pub(crate) fn index_mut(&mut self) -> &mut SemanticIndex {
+        Arc::make_mut(&mut self.index)
+    }
+
     /// The plug-in registry (e.g. to register a new formalism).
     pub fn registry_mut(&mut self) -> &mut PluginRegistry {
         &mut self.registry
@@ -121,7 +136,14 @@ impl Knowledge {
         }
         let new_axioms = axiom::load_axioms(Arc::make_mut(&mut self.dm), contribution)?;
         self.axioms.extend(new_axioms);
-        self.resolved = Arc::new(Resolved::new(&self.dm));
+        // Keep the *old* resolved view when the contribution did not
+        // actually change the resolved graph (e.g. axioms restating known
+        // edges): its closure memo tables stay warm, and snapshots that
+        // share it keep pointer equality across the republish.
+        let fresh = Resolved::new(&self.dm);
+        if !fresh.same_structure(&self.resolved) {
+            self.resolved = Arc::new(fresh);
+        }
         Ok(true)
     }
 

@@ -49,7 +49,25 @@ pub struct Mediator {
     /// Fingerprint of the program the cached [`Self::model`] was computed
     /// from (see [`Self::base_fingerprint`]).
     model_fp: Option<u64>,
-    dirty: bool,
+    /// Whether the base program must be rebuilt from scratch before the
+    /// next evaluation. Raised only by changes the staged write plane
+    /// cannot express as a delta: domain-map refinements (their compiled
+    /// rules permeate the whole program) and evaluation-option changes.
+    /// Everything else — loaded rows, retracted rows, incremental CM
+    /// applications, view pushes/pops — stays out of this flag and flows
+    /// through the engine's changelog instead, so [`Self::publish`] can
+    /// maintain the cached model incrementally.
+    needs_rebuild: bool,
+    /// Engine rule ranges of each installed view, aligned with
+    /// `knowledge.views` — valid whenever `needs_rebuild` is false, so
+    /// [`Self::pop_view`] can surgically remove exactly the view's rules
+    /// instead of invalidating the world. Recomputed by [`Self::rebuild`].
+    view_spans: Vec<(usize, usize)>,
+    /// The `Arc` of the base handed to the most recent snapshot, reused
+    /// verbatim by the next [`Self::snapshot`] when no base mutation
+    /// happened in between — repeated snapshots of a quiet mediator share
+    /// one base clone instead of deep-copying per call.
+    shared_base: Option<Arc<GcmBase>>,
     eval_options: EvalOptions,
 }
 
@@ -71,7 +89,9 @@ impl Mediator {
             base: GcmBase::new(),
             model: None,
             model_fp: None,
-            dirty: true,
+            needs_rebuild: true,
+            view_spans: Vec::new(),
+            shared_base: None,
             eval_options,
         };
         m.rebuild().expect("empty mediator builds");
@@ -406,7 +426,7 @@ impl Mediator {
                     let count = strict(wrapper.query(&SourceQuery::scan(&class)))?
                         .len()
                         .max(1);
-                    self.knowledge.index.anchor_many(id, node, count);
+                    self.knowledge.index_mut().anchor_many(id, node, count);
                 }
                 Anchor::ByAttr { class, attr } => {
                     anchor_attrs
@@ -422,7 +442,7 @@ impl Mediator {
                     }
                     for (concept, count) in per_concept {
                         let node = self.knowledge.lookup(&concept)?;
-                        self.knowledge.index.anchor_many(id, node, count);
+                        self.knowledge.index_mut().anchor_many(id, node, count);
                     }
                 }
                 Anchor::Derived { class, rule } => {
@@ -469,7 +489,7 @@ impl Mediator {
                     }
                     for (concept, count) in per_concept {
                         let node = self.knowledge.lookup(&concept)?;
-                        self.knowledge.index.anchor_many(id, node, count);
+                        self.knowledge.index_mut().anchor_many(id, node, count);
                     }
                 }
             }
@@ -488,21 +508,40 @@ impl Mediator {
         // Fast path: when the registration did not touch the domain map
         // and the base is current, apply the new CM and anchor facts
         // incrementally instead of rebuilding everything (anchoring
-        // "without changing the latter", §4).
-        if !map_changed && !self.dirty {
+        // "without changing the latter", §4). The mutations land in the
+        // engine's changelog, so the next [`Self::publish`] maintains the
+        // cached model incrementally rather than discarding it.
+        if !map_changed && !self.needs_rebuild {
             let cm = self.knowledge.cms.last().expect("just pushed").clone();
-            self.base.apply(&cm)?;
-            for concept in self.knowledge.index.concepts_of(id) {
-                if let Some(cname) = self.knowledge.dm.name(concept) {
-                    let text = format!("anchored({:?}, {:?}).", name, cname);
-                    self.base.flogic_mut().load(&text)?;
-                }
+            if let Err(e) = self.apply_cm_and_anchors(&cm, id, &name) {
+                // A half-applied CM leaves the engine out of sync with
+                // the knowledge layer; fall back to a full rebuild.
+                self.needs_rebuild = true;
+                return Err(e);
             }
-            self.model = None;
+            self.shared_base = None;
         } else {
-            self.dirty = true;
+            self.needs_rebuild = true;
         }
         Ok(id)
+    }
+
+    /// The incremental half of [`Self::register`]: applies the CM and the
+    /// source's `anchored` facts to the live base.
+    fn apply_cm_and_anchors(
+        &mut self,
+        cm: &kind_gcm::ConceptualModel,
+        id: SourceId,
+        name: &str,
+    ) -> Result<()> {
+        self.base.apply(cm)?;
+        for concept in self.knowledge.index.concepts_of(id) {
+            if let Some(cname) = self.knowledge.dm.name(concept) {
+                let text = format!("anchored({:?}, {:?}).", name, cname);
+                self.base.flogic_mut().load(&text)?;
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -517,7 +556,7 @@ impl Mediator {
         if self.eval_options.cancel.is_none() {
             self.eval_options.cancel = Some(self.federation.cancel_token());
         }
-        self.dirty = true;
+        self.needs_rebuild = true;
     }
 
     /// The current evaluation options.
@@ -563,18 +602,45 @@ impl Mediator {
         &mut self.base
     }
 
-    /// Removes the most recently defined view (used for one-off queries);
-    /// the base is rebuilt lazily on next use.
+    /// Removes the most recently defined view (used for one-off queries).
+    /// When the base is current, exactly the view's own rules are removed
+    /// from the live engine — a staged retraction the next
+    /// [`Self::publish`] maintains incrementally — instead of invalidating
+    /// the whole program.
     pub(crate) fn pop_view(&mut self) {
         self.knowledge.views.pop();
-        self.dirty = true;
+        if self.needs_rebuild {
+            // Spans are only valid for a current base; the pending
+            // rebuild reloads the (now shorter) view list anyway.
+            return;
+        }
+        match self.view_spans.pop() {
+            Some((start, end)) => {
+                self.base.flogic_mut().engine_mut().remove_rules(start, end);
+                self.shared_base = None;
+            }
+            None => self.needs_rebuild = true,
+        }
     }
 
     /// Defines an integrated view (an IVD): FL rule text over source
-    /// classes and the domain map (Example 4).
+    /// classes and the domain map (Example 4). When the base is current,
+    /// the view's rules are loaded into the live engine immediately (and
+    /// their span recorded for [`Self::pop_view`]); the staged write plane
+    /// picks the change up at the next [`Self::publish`].
     pub fn define_view(&mut self, fl_text: &str) -> Result<()> {
+        if !self.needs_rebuild {
+            let start = self.base.flogic().engine().rules().len();
+            if let Err(e) = self.base.flogic_mut().load(fl_text) {
+                // Partial loads leave stray rules; resync via rebuild.
+                self.needs_rebuild = true;
+                return Err(e.into());
+            }
+            let end = self.base.flogic().engine().rules().len();
+            self.view_spans.push((start, end));
+            self.shared_base = None;
+        }
         self.knowledge.views.push(fl_text.to_string());
-        self.dirty = true;
         Ok(())
     }
 
@@ -599,12 +665,20 @@ impl Mediator {
                 }
             }
         }
+        let mut spans = Vec::with_capacity(self.knowledge.views.len());
         for v in &self.knowledge.views {
+            let start = base.flogic().engine().rules().len();
             base.flogic_mut().load(v)?;
+            spans.push((start, base.flogic().engine().rules().len()));
         }
+        // From here every mutation is recorded: the staged write plane
+        // starts at the freshly built program.
+        base.flogic_mut().engine_mut().begin_delta();
         self.base = base;
+        self.view_spans = spans;
         self.model = None;
-        self.dirty = false;
+        self.shared_base = None;
+        self.needs_rebuild = false;
         Ok(())
     }
 
@@ -627,7 +701,7 @@ impl Mediator {
     /// outcomes and the completeness flag.
     pub fn materialize_all(&mut self) -> Result<usize> {
         self.begin_report();
-        if self.dirty {
+        if self.needs_rebuild {
             self.rebuild()?;
         }
         // Fetch phase: every (source, class) scan, in registration order.
@@ -651,7 +725,6 @@ impl Mediator {
                 loaded += 1;
             }
         }
-        self.model = None;
         Ok(loaded)
     }
 
@@ -679,11 +752,47 @@ impl Mediator {
     }
 
     /// The unchecked load path, for rows already validated by
-    /// [`Self::fetch`].
+    /// [`Self::fetch`]. The row's facts are **staged**: they land in the
+    /// live engine and its changelog, and the cached model stays valid
+    /// as the pre-delta base until [`Self::publish`] applies the
+    /// accumulated delta incrementally.
     pub(crate) fn apply_row(&mut self, source: &str, class: &str, row: &ObjectRow) -> Result<()> {
         apply_row_to(&mut self.base, source, class, row)?;
-        self.model = None;
+        self.shared_base = None;
         Ok(())
+    }
+
+    /// Retracts a previously loaded row — the delete plane's mirror of
+    /// [`Self::load_row`]: the row's `inst` fact and each of its `mi`
+    /// attribute facts are removed from the base, staged in the write
+    /// plane like any other mutation (the next [`Self::publish`]
+    /// maintains the model incrementally, DRed-style). Returns how many
+    /// facts were actually present and removed — `0` means the row was
+    /// never loaded (or already retracted), which is not an error. The
+    /// class declaration itself stays: other rows may still use it.
+    pub fn retract_row(&mut self, source: &str, class: &str, row: &ObjectRow) -> Result<usize> {
+        self.federation.source(source)?;
+        let obj = format!("{source}.{}", row.id);
+        let mut removed = 0usize;
+        if self.base.retract_decl(&GcmDecl::Instance {
+            obj: obj.clone(),
+            class: class.to_string(),
+        }) {
+            removed += 1;
+        }
+        for (attr, value) in &row.attrs {
+            if self.base.retract_decl(&GcmDecl::MethodInst {
+                obj: obj.clone(),
+                method: attr.clone(),
+                value: value.clone(),
+            }) {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.shared_base = None;
+        }
+        Ok(removed)
     }
 
     /// A fingerprint of everything the base *program* is built from — the
@@ -691,8 +800,9 @@ impl Mediator {
     /// options. The cached model is keyed by it: [`Self::run`] discards a
     /// cached model whose fingerprint no longer matches, even if no dirty
     /// flag was raised (belt-and-braces for the cross-query base cache).
-    /// Instance facts are deliberately excluded: every fact-loading path
-    /// clears [`Self::model`] directly.
+    /// Instance facts are deliberately excluded: fact loads and
+    /// retractions flow through the engine changelog, which [`Self::run`]
+    /// drains into the cached model incrementally.
     fn base_fingerprint(&self) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -713,29 +823,106 @@ impl Mediator {
         // `set_magic_sets` calls.
         opts.magic_sets = true;
         format!("{opts:?}").hash(&mut h);
-        for cm in &self.knowledge.cms {
-            format!("{cm:?}").hash(&mut h);
-        }
-        self.knowledge.views.hash(&mut h);
+        // CMs and views are deliberately *not* hashed: their lifecycle
+        // flows through the staged write plane (the engine changelog plus
+        // `needs_rebuild`), so a view push/pop or an incremental CM
+        // application updates the cached model by delta instead of
+        // invalidating it wholesale.
         h.finish()
     }
 
     /// Evaluates the base (rebuilding first if needed) and caches the
     /// model across queries; the cache key is [`Self::base_fingerprint`].
+    ///
+    /// This is the **publish point** of the staged write plane: mutations
+    /// since the last run (loaded rows, retracted rows, incremental CM
+    /// applications, view pushes/pops) have been accumulating in the
+    /// engine's changelog, and when a cached model exists they are
+    /// applied to it *incrementally* ([`kind_datalog::Engine::apply_delta`]
+    /// — monotone additions ride delta rounds, retractions
+    /// overdelete-and-rederive, non-monotone residues rebuild only their
+    /// strata). Only when no model is cached — first run, rebuild, or a
+    /// prior publish failure — does the evaluation start cold.
     pub fn run(&mut self) -> Result<&Model> {
         let fp = self.base_fingerprint();
         if self.model.is_some() && self.model_fp != Some(fp) {
             self.model = None;
         }
-        if self.dirty {
+        if self.needs_rebuild {
             self.rebuild()?;
+        }
+        // Drain staged mutations unconditionally: whatever happens below,
+        // the model produced reflects the engine's *current* state.
+        let delta = self.base.flogic_mut().engine_mut().take_delta();
+        if let Some(d) = delta.filter(|d| !d.is_empty()) {
+            if let Some(prev) = self.model.take() {
+                // On error the model stays `None` (the delta is already
+                // consumed), so the next run evaluates cold — never a
+                // stale model passed off as current.
+                let next =
+                    self.base
+                        .flogic()
+                        .engine()
+                        .apply_delta(&prev, &d, &self.eval_options)?;
+                self.model = Some(Arc::new(next));
+            }
         }
         if self.model.is_none() {
             let m = self.base.run_with(&self.eval_options)?;
             self.model = Some(Arc::new(m));
-            self.model_fp = Some(fp);
         }
+        self.model_fp = Some(fp);
         Ok(self.model.as_ref().expect("just set"))
+    }
+
+    /// Ensures the base *program* is current — rebuilding only when a
+    /// non-delta change demands it — without forcing an evaluation (the
+    /// cold query path evaluates goal-directed on the engine itself).
+    pub(crate) fn ensure_base_current(&mut self) -> Result<()> {
+        if self.needs_rebuild {
+            self.rebuild()?;
+        }
+        Ok(())
+    }
+
+    /// Publishes the staged writes: the write-plane name for
+    /// [`Self::run`]. Everything asserted or retracted since the last
+    /// publish is folded into the cached model — incrementally when one
+    /// exists — and the result becomes what queries and snapshots see.
+    pub fn publish(&mut self) -> Result<&Model> {
+        self.run()
+    }
+
+    /// Whether mutations are staged and waiting for the next
+    /// [`Self::publish`] (a pending rebuild counts: the whole program is
+    /// the delta).
+    pub fn publish_pending(&self) -> bool {
+        self.needs_rebuild
+            || self
+                .base
+                .flogic()
+                .engine()
+                .pending_delta()
+                .is_some_and(|d| !d.is_empty())
+    }
+
+    /// Drops the cached model and forces the next evaluation to rebuild
+    /// the base and run cold — the baseline the incremental publish path
+    /// is benchmarked against, and an operator escape hatch should the
+    /// cache ever be suspected.
+    pub fn invalidate(&mut self) {
+        self.model = None;
+        self.model_fp = None;
+        self.needs_rebuild = true;
+        self.shared_base = None;
+    }
+
+    /// The cached model, if a publish has happened and nothing discarded
+    /// it since (test instrumentation: pointer identity tells whether an
+    /// operation kept the cache warm).
+    #[cfg(test)]
+    pub(crate) fn cached_model(&self) -> Option<&Arc<Model>> {
+        self.model.as_ref()
     }
 
     /// Freezes the current state into an immutable, `Send + Sync`
@@ -745,13 +932,29 @@ impl Mediator {
     /// serves [`QuerySnapshot::query_fl`]/[`QuerySnapshot::answer`] from
     /// any number of threads with no locks on the hot path, while the
     /// mediator remains free to keep evolving.
+    /// Snapshots are **structurally shared**: the model `Arc` comes from
+    /// the publish cache (and after an incremental publish, relations of
+    /// untouched strata inside it are shared with the previous model);
+    /// the domain map, resolved view, and semantic index `Arc`s are
+    /// reused for as long as registration does not change them; and the
+    /// base clone itself is reused verbatim across consecutive snapshots
+    /// when no write intervened.
     pub fn snapshot(&mut self) -> Result<QuerySnapshot> {
         self.run()?;
+        let base = match &self.shared_base {
+            Some(b) => Arc::clone(b),
+            None => {
+                let b = Arc::new(self.base.clone());
+                self.shared_base = Some(Arc::clone(&b));
+                b
+            }
+        };
         Ok(QuerySnapshot::new(
-            Arc::new(self.base.clone()),
+            base,
             Arc::clone(self.model.as_ref().expect("run() caches the model")),
             self.knowledge.dm_arc(),
             self.knowledge.resolved_arc(),
+            self.knowledge.index_arc(),
             self.eval_options.clone(),
         ))
     }
@@ -1199,6 +1402,120 @@ mod tests {
         // A plain neuron query finds both.
         let neurons = m.select_sources_by_expression("Neuron").unwrap();
         assert_eq!(neurons, vec!["P".to_string(), "G".to_string()]);
+    }
+
+    /// Renders a published model's true and undefined facts
+    /// name-resolved, so models from independently driven mediators are
+    /// comparable bit-for-bit.
+    fn fact_dump(
+        m: &Mediator,
+    ) -> (
+        std::collections::BTreeSet<String>,
+        std::collections::BTreeSet<String>,
+    ) {
+        let model = Arc::clone(m.cached_model().expect("published"));
+        let e = m.base().flogic().engine();
+        let render = |fs: &kind_datalog::FactStore| {
+            fs.iter()
+                .map(|(p, t)| {
+                    let args: Vec<String> = t.iter().map(|x| e.show(x)).collect();
+                    format!("{}({})", e.name(p), args.join(","))
+                })
+                .collect()
+        };
+        (render(&model.facts), render(&model.undefined))
+    }
+
+    fn extra_row() -> ObjectRow {
+        ObjectRow {
+            id: "extra".into(),
+            attrs: vec![
+                ("location".into(), GcmValue::Id("Spine".into())),
+                ("value".into(), GcmValue::Int(7)),
+            ],
+        }
+    }
+
+    fn existing_row(i: i64) -> ObjectRow {
+        ObjectRow {
+            id: format!("o{i}"),
+            attrs: vec![
+                ("location".into(), GcmValue::Id("Spine".into())),
+                ("value".into(), GcmValue::Int(i)),
+            ],
+        }
+    }
+
+    /// The write-plane soundness contract: a history of loads and
+    /// retractions published eagerly (incremental maintenance after every
+    /// mutation) must end at the exact model a single cold evaluation of
+    /// the same final engine state computes.
+    #[test]
+    fn incremental_publish_matches_cold_evaluation() {
+        let drive = |eager: bool| {
+            let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+            m.register(simple_wrapper("S1", "spines", "Spine", 3))
+                .unwrap();
+            m.define_view("big(X) :- X : spines, X[value -> V], V >= 1.")
+                .unwrap();
+            m.materialize_all().unwrap();
+            if eager {
+                m.publish().unwrap();
+            }
+            m.load_row("S1", "spines", &extra_row()).unwrap();
+            if eager {
+                assert!(m.publish_pending());
+                m.publish().unwrap();
+            }
+            // inst + two mi facts per row.
+            assert_eq!(m.retract_row("S1", "spines", &existing_row(2)).unwrap(), 3);
+            m.publish().unwrap();
+            assert!(!m.publish_pending());
+            fact_dump(&m)
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn retraction_publish_removes_derived_facts() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("S1", "spines", "Spine", 3))
+            .unwrap();
+        m.define_view("big(X) :- X : spines, X[value -> V], V >= 1.")
+            .unwrap();
+        m.materialize_all().unwrap();
+        assert_eq!(m.query_fl("big(X)").unwrap().len(), 2); // o1, o2
+        let before = Arc::as_ptr(m.cached_model().unwrap());
+        m.retract_row("S1", "spines", &existing_row(2)).unwrap();
+        m.publish().unwrap();
+        // The publish was incremental (a new model was derived from the
+        // cached one, not recomputed after an invalidation)...
+        assert_ne!(Arc::as_ptr(m.cached_model().unwrap()), before);
+        // ...and the retracted row's own facts *and* its derived view
+        // member are gone.
+        assert_eq!(m.query_fl("X : spines").unwrap().len(), 2);
+        assert_eq!(m.query_fl("big(X)").unwrap().len(), 1);
+        // Retracting a never-loaded row is a no-op, not an error.
+        assert_eq!(m.retract_row("S1", "spines", &existing_row(9)).unwrap(), 0);
+    }
+
+    /// A publish with nothing staged must not touch the cached model —
+    /// pointer-identical `Arc`, no re-evaluation.
+    #[test]
+    fn quiet_publish_is_free() {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(simple_wrapper("S1", "spines", "Spine", 2))
+            .unwrap();
+        m.materialize_all().unwrap();
+        m.publish().unwrap();
+        let ptr = Arc::as_ptr(m.cached_model().unwrap());
+        m.publish().unwrap();
+        assert_eq!(Arc::as_ptr(m.cached_model().unwrap()), ptr);
+        // `invalidate` is the escape hatch: the next publish recomputes.
+        m.invalidate();
+        assert!(m.publish_pending());
+        m.publish().unwrap();
+        assert_ne!(Arc::as_ptr(m.cached_model().unwrap()), ptr);
     }
 
     #[test]

@@ -101,10 +101,12 @@ impl Mediator {
                 });
             }
         }
-        // Cold path: install the view, rebuild, fetch only what the query
-        // needs — concurrently, then apply in deterministic request order.
+        // Cold path: install the view (a staged rule addition on a
+        // current base; a full rebuild only when one was already owed),
+        // fetch only what the query needs — concurrently, then apply in
+        // deterministic request order.
         self.define_view(rule_text)?;
-        self.rebuild()?;
+        self.ensure_base_current()?;
         let mut contacted: BTreeSet<String> = BTreeSet::new();
         let mut requests: Vec<FetchRequest> = Vec::new();
         for class in &exported {
@@ -302,6 +304,40 @@ mod tests {
         // path refuses it and the cold path must produce the answer.
         let ans = m.answer("anchored(S, C) :- anchored(S, C).").unwrap();
         assert_eq!(ans.rows.len(), 2);
+    }
+
+    /// The knob-setter audit (write-plane invariant): latency,
+    /// parallelism, and query-planning knobs tune *how* an answer is
+    /// computed, never *what* the base model is — so toggling every one
+    /// of them must leave the published model untouched (same `Arc`, no
+    /// pending publish) and keep `answer()` on the warm seeded path.
+    #[test]
+    fn knob_toggles_keep_warm_answer_warm() {
+        use crate::fault::SourcePolicy;
+        let mut m = mediator_with_two_sources();
+        let q = "long_spines(X, L) :- X : spines, X[len -> L], L >= 20.";
+        let first = m.answer(q).unwrap();
+        m.publish().unwrap();
+        let warm_ptr = Arc::as_ptr(m.cached_model().expect("publish caches the model"));
+        m.set_query_budget_ms(250);
+        m.federation_mut().set_fetch_threads(2);
+        m.set_default_policy(SourcePolicy::with_hedge_after_ms(50));
+        m.set_deadline_cancels_siblings(true);
+        m.set_magic_sets(false);
+        m.set_magic_sets(true);
+        m.set_eval_threads(1);
+        assert!(
+            !m.publish_pending(),
+            "knob setters must not stage writes or force a rebuild"
+        );
+        let again = m.answer(q).unwrap();
+        assert_eq!(
+            Arc::as_ptr(m.cached_model().expect("model still cached")),
+            warm_ptr,
+            "knob setters invalidated the published model"
+        );
+        assert_eq!(rendered(&m, &first.rows), rendered(&m, &again.rows));
+        assert_eq!(again.rows.len(), 2);
     }
 
     #[test]

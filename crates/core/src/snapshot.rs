@@ -30,7 +30,7 @@ use crate::error::{MediatorError, Result};
 use crate::knowledge::DomainView;
 use crate::plan::{DistributionFetch, NeuroSchema, PlanTrace, Section5Fetch};
 use kind_datalog::{EvalOptions, Model, Term};
-use kind_dm::{DomainMap, Resolved};
+use kind_dm::{DomainMap, Resolved, SemanticIndex};
 use kind_flogic::{parse_fl_program, Molecule};
 use kind_gcm::GcmBase;
 use std::sync::Arc;
@@ -44,6 +44,7 @@ pub struct QuerySnapshot {
     model: Arc<Model>,
     dm: Arc<DomainMap>,
     resolved: Arc<Resolved>,
+    index: Arc<SemanticIndex>,
     eval_options: EvalOptions,
 }
 
@@ -60,6 +61,7 @@ impl QuerySnapshot {
         model: Arc<Model>,
         dm: Arc<DomainMap>,
         resolved: Arc<Resolved>,
+        index: Arc<SemanticIndex>,
         eval_options: EvalOptions,
     ) -> Self {
         QuerySnapshot {
@@ -67,6 +69,7 @@ impl QuerySnapshot {
             model,
             dm,
             resolved,
+            index,
             eval_options,
         }
     }
@@ -74,6 +77,17 @@ impl QuerySnapshot {
     /// The frozen evaluated model.
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// The frozen base (rules + interner) backing this snapshot.
+    pub fn base(&self) -> &GcmBase {
+        &self.base
+    }
+
+    /// The semantic index captured by this snapshot: which sources hold
+    /// data at which domain-map concepts, frozen at snapshot time.
+    pub fn index(&self) -> &SemanticIndex {
+        &self.index
     }
 
     /// The domain map captured by this snapshot.
@@ -231,5 +245,93 @@ impl QuerySnapshot {
             .collect();
         rows.sort();
         Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mediator::Mediator;
+    use crate::wrapper::{Anchor, Capability, MemoryWrapper, ObjectRow};
+    use kind_dm::{figures, ExecMode};
+    use kind_gcm::GcmValue;
+    use std::sync::Arc;
+
+    fn spine_wrapper(name: &str, n: usize) -> Arc<MemoryWrapper> {
+        let mut w = MemoryWrapper::new(name);
+        w.caps.push(Capability {
+            class: "spines".into(),
+            pushable: vec![],
+        });
+        w.anchor_decls.push(Anchor::Fixed {
+            class: "spines".into(),
+            concept: "Spine".into(),
+        });
+        for i in 0..n {
+            w.add_row(
+                "spines",
+                &format!("{name}r{i}"),
+                vec![("len", GcmValue::Int(i as i64))],
+            );
+        }
+        Arc::new(w)
+    }
+
+    fn mediator() -> Mediator {
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        m.register(spine_wrapper("A", 3)).unwrap();
+        m.materialize_all().unwrap();
+        m
+    }
+
+    /// Two snapshots with no intervening write share *every* component —
+    /// republish is pointer-copying, not cloning.
+    #[test]
+    fn quiet_snapshots_share_all_components() {
+        let mut m = mediator();
+        let s1 = m.snapshot().unwrap();
+        let s2 = m.snapshot().unwrap();
+        assert!(std::ptr::eq(s1.model(), s2.model()));
+        assert!(std::ptr::eq(s1.base(), s2.base()));
+        assert!(std::ptr::eq(s1.dm(), s2.dm()));
+        assert!(std::ptr::eq(s1.resolved(), s2.resolved()));
+        assert!(std::ptr::eq(s1.index(), s2.index()));
+    }
+
+    /// A fact write invalidates exactly the components it touches (base
+    /// clone + model); the knowledge-layer structures stay shared, and the
+    /// old snapshot keeps serving its frozen state.
+    #[test]
+    fn fact_write_degrades_sharing_only_where_it_lands() {
+        let mut m = mediator();
+        let s1 = m.snapshot().unwrap();
+        let row = ObjectRow {
+            id: "fresh".into(),
+            attrs: vec![("len".into(), GcmValue::Int(42))],
+        };
+        m.load_row("A", "spines", &row).unwrap();
+        let s2 = m.snapshot().unwrap();
+        assert!(!std::ptr::eq(s1.model(), s2.model()));
+        assert!(!std::ptr::eq(s1.base(), s2.base()));
+        assert!(std::ptr::eq(s1.dm(), s2.dm()));
+        assert!(std::ptr::eq(s1.resolved(), s2.resolved()));
+        assert!(std::ptr::eq(s1.index(), s2.index()));
+        // Snapshot isolation: the older snapshot still answers from the
+        // state it captured.
+        assert_eq!(s1.query_fl("X : spines").unwrap().len(), 3);
+        assert_eq!(s2.query_fl("X : spines").unwrap().len(), 4);
+    }
+
+    /// Registration rebuilds the semantic index (new anchors) but reuses
+    /// the resolved domain-map view when the registration did not refine
+    /// the map's structure.
+    #[test]
+    fn registration_updates_index_but_reuses_resolved() {
+        let mut m = mediator();
+        let s1 = m.snapshot().unwrap();
+        m.register(spine_wrapper("B", 2)).unwrap();
+        let s2 = m.snapshot().unwrap();
+        assert!(!std::ptr::eq(s1.index(), s2.index()));
+        assert!(std::ptr::eq(s1.dm(), s2.dm()));
+        assert!(std::ptr::eq(s1.resolved(), s2.resolved()));
     }
 }

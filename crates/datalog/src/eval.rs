@@ -324,6 +324,30 @@ pub struct EvalProfile {
     /// Total magic (demand) predicates generated by the rewrite; `0`
     /// when the rewrite did not fire.
     pub magic_preds: usize,
+    /// The magic rewrite applied but was *declined* by the cost model:
+    /// the estimated demand cone was too large a fraction of the full
+    /// closure for demand filtering to win (see
+    /// `kind_datalog::magic`), so plain bottom-up ran instead.
+    pub magic_declined: bool,
+    /// The cost model's estimated demanded fraction of the reachable EDB
+    /// (`None` when no estimate was made — rewrite off, declined for
+    /// structural reasons, or below the size floor).
+    pub magic_demand_ratio: Option<f64>,
+    /// The model was produced by [`crate::Engine::apply_delta`]
+    /// (incremental maintenance) rather than a cold evaluation.
+    pub delta_applied: bool,
+    /// Strata whose relations were reused wholesale from the previous
+    /// model (untouched by the delta) during [`crate::Engine::apply_delta`].
+    pub delta_reused_strata: usize,
+    /// Strata re-evaluated incrementally (seeded semi-naive additions or
+    /// DRed overdelete/rederive) during [`crate::Engine::apply_delta`].
+    pub delta_incremental_strata: usize,
+    /// Strata rebuilt cold (non-monotone residues: changed rules, mixed
+    /// grow/shrink inputs) during [`crate::Engine::apply_delta`].
+    pub delta_rebuilt_strata: usize,
+    /// [`crate::Engine::apply_delta`] fell back to a full cold evaluation
+    /// (well-founded program or three-valued base model).
+    pub delta_fallback: bool,
 }
 
 /// The result of evaluating a program: a (possibly three-valued) model.
@@ -930,7 +954,7 @@ fn run_pool<T: Send>(workers: usize, count: usize, run: impl Fn(usize) -> T + Sy
 /// in fixed (rule-index, partition-index) order. Results are
 /// bit-identical either way.
 #[allow(clippy::too_many_arguments)]
-fn execute_round(
+pub(crate) fn execute_round(
     units: &[(&Rule, Option<usize>)],
     total: &FactStore,
     delta: Option<&FactStore>,
@@ -1118,7 +1142,10 @@ pub(crate) fn eval_stratified_skipping(
     opts: &EvalOptions,
     stable: Option<&HashSet<Sym>>,
 ) -> Result<Model> {
-    let mut total = edb.clone();
+    // Detached: evaluation must not observe (or warm) index state shared
+    // with a previous model's relations, or the index counters — part of
+    // the bit-identical stats contract — would depend on run history.
+    let mut total = edb.detached_clone();
     let mut stats = EvalStats::default();
     let mut profile = EvalProfile::default();
     let cap = resolve_threads(opts.eval_threads);
@@ -1205,7 +1232,7 @@ pub(crate) fn eval_stratified_skipping(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn naive_stratum(
+pub(crate) fn naive_stratum(
     rules: &[&Rule],
     total: &mut FactStore,
     stats: &mut EvalStats,
@@ -1243,7 +1270,7 @@ fn naive_stratum(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn seminaive_stratum(
+pub(crate) fn seminaive_stratum(
     rules: &[&Rule],
     stratum_preds: &HashSet<crate::interner::Sym>,
     total: &mut FactStore,
@@ -1322,7 +1349,9 @@ pub(crate) fn gamma(
     cap: usize,
     par: &mut ParMeta,
 ) -> Result<FactStore> {
-    let mut total = edb.clone();
+    // Detached for the same reason as `eval_stratified_skipping`: index
+    // counters must not depend on shared-relation index state.
+    let mut total = edb.detached_clone();
     // With negation frozen the program is positive: a single global
     // fixpoint loop is sound. Semi-naive deltas would need per-predicate
     // bookkeeping across the whole program; for clarity we run rounds of

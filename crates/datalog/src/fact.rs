@@ -180,6 +180,18 @@ impl Relation {
         self.indexes.read().expect("index lock").len()
     }
 
+    /// Removes a tuple; returns `true` if it was present. Tuple positions
+    /// shift, so every built index is dropped (they rebuild lazily on the
+    /// next probe) — retraction is the cold path, probing is the hot one.
+    pub fn remove(&mut self, tuple: &[Term]) -> bool {
+        if !self.set.remove(tuple) {
+            return false;
+        }
+        self.tuples.retain(|t| &**t != tuple);
+        self.indexes.get_mut().expect("index lock").clear();
+        true
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
@@ -192,9 +204,19 @@ impl Relation {
 }
 
 /// A set of relations keyed by predicate symbol.
+///
+/// Relations sit behind `Arc`s, so a `clone` of the store is O(relations)
+/// pointer bumps and the clone *shares* every relation — including any
+/// indexes its tuples have already earned — until one side mutates it
+/// (copy-on-write via [`Arc::make_mut`]). This is what makes snapshot
+/// republish cost proportional to the delta: strata untouched by a change
+/// keep the previous model's relations by reference. Evaluation entry
+/// points that must not observe shared index state (index-probe counters
+/// are part of the bit-identical stats contract) start from
+/// [`FactStore::detached_clone`] instead.
 #[derive(Debug, Clone, Default)]
 pub struct FactStore {
-    rels: HashMap<Sym, Relation>,
+    rels: HashMap<Sym, Arc<Relation>>,
 }
 
 impl FactStore {
@@ -205,12 +227,54 @@ impl FactStore {
 
     /// Inserts a fact; returns `true` if new.
     pub fn insert(&mut self, pred: Sym, tuple: Tuple) -> bool {
-        self.rels.entry(pred).or_default().insert(tuple)
+        Arc::make_mut(self.rels.entry(pred).or_default()).insert(tuple)
+    }
+
+    /// Removes a fact; returns `true` if it was present.
+    pub fn remove(&mut self, pred: Sym, tuple: &[Term]) -> bool {
+        match self.rels.get_mut(&pred) {
+            Some(rel) if rel.contains(tuple) => Arc::make_mut(rel).remove(tuple),
+            _ => false,
+        }
     }
 
     /// The relation for `pred`, if any facts exist.
     pub fn relation(&self, pred: Sym) -> Option<&Relation> {
-        self.rels.get(&pred)
+        self.rels.get(&pred).map(Arc::as_ref)
+    }
+
+    /// The relation for `pred` as a shareable handle.
+    pub fn relation_arc(&self, pred: Sym) -> Option<Arc<Relation>> {
+        self.rels.get(&pred).map(Arc::clone)
+    }
+
+    /// Installs `rel` as the relation for `pred`, sharing the handle.
+    pub fn set_relation(&mut self, pred: Sym, rel: Arc<Relation>) {
+        self.rels.insert(pred, rel);
+    }
+
+    /// Whether `pred`'s relation is the very same allocation as in
+    /// `other` (diagnostics for the structural-sharing contract).
+    pub fn shares_relation(&self, pred: Sym, other: &FactStore) -> bool {
+        match (self.rels.get(&pred), other.rels.get(&pred)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// A deep clone with per-relation index state dropped: every relation
+    /// is freshly allocated with no built indexes. Evaluation starts from
+    /// this so index-build/hit/miss counters depend only on the program
+    /// and facts, never on which earlier run happened to warm a shared
+    /// relation's indexes.
+    pub fn detached_clone(&self) -> FactStore {
+        FactStore {
+            rels: self
+                .rels
+                .iter()
+                .map(|(&p, r)| (p, Arc::new((**r).clone())))
+                .collect(),
+        }
     }
 
     /// Membership test.
@@ -232,12 +296,12 @@ impl FactStore {
 
     /// Total number of facts across all relations.
     pub fn len(&self) -> usize {
-        self.rels.values().map(Relation::len).sum()
+        self.rels.values().map(|r| r.len()).sum()
     }
 
     /// Whether the store holds no facts.
     pub fn is_empty(&self) -> bool {
-        self.rels.values().all(Relation::is_empty)
+        self.rels.values().all(|r| r.is_empty())
     }
 
     /// Merges every fact of `other` into `self`, relation by relation
@@ -249,7 +313,7 @@ impl FactStore {
             if rel.is_empty() {
                 continue;
             }
-            added += self.rels.entry(p).or_default().extend_from(rel);
+            added += self.absorb_rel(p, rel);
         }
         added
     }
@@ -258,7 +322,42 @@ impl FactStore {
     /// were new.
     pub fn absorb_pred(&mut self, pred: Sym, other: &FactStore) -> usize {
         match other.rels.get(&pred) {
-            Some(rel) if !rel.is_empty() => self.rels.entry(pred).or_default().extend_from(rel),
+            Some(rel) if !rel.is_empty() => self.absorb_rel(pred, rel),
+            _ => 0,
+        }
+    }
+
+    /// Deep-merge of one relation. A vacant slot still deep-copies (not
+    /// `Arc`-shares) so absorbed relations start with no index state and
+    /// are never retroactively mutated out from under a concurrent holder
+    /// mid-fixpoint; explicit sharing goes through [`Self::share_pred`] /
+    /// [`Self::set_relation`].
+    fn absorb_rel(&mut self, pred: Sym, rel: &Arc<Relation>) -> usize {
+        match self.rels.entry(pred) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Arc::new((**rel).clone()));
+                rel.len()
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                Arc::make_mut(o.get_mut()).extend_from(rel)
+            }
+        }
+    }
+
+    /// Like [`Self::absorb_pred`], but a vacant slot **shares** `other`'s
+    /// relation handle instead of copying it; an occupied slot falls back
+    /// to a deep merge. Returns how many facts were new.
+    pub fn share_pred(&mut self, pred: Sym, other: &FactStore) -> usize {
+        match other.rels.get(&pred) {
+            Some(rel) if !rel.is_empty() => match self.rels.entry(pred) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Arc::clone(rel));
+                    rel.len()
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    Arc::make_mut(o.get_mut()).extend_from(rel)
+                }
+            },
             _ => 0,
         }
     }

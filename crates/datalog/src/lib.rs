@@ -46,6 +46,7 @@ pub mod eval;
 pub mod explain;
 pub mod fact;
 pub mod interner;
+mod ivm;
 mod magic;
 pub mod parser;
 pub mod program;
@@ -61,21 +62,66 @@ pub use eval::{
 pub use explain::{Derivation, DerivationStep};
 pub use fact::{FactStore, Relation, Tuple};
 pub use interner::{Interner, Sym};
+pub use ivm::EngineDelta;
 pub use parser::Clause;
 pub use program::{stratify, Stratification, Stratum};
 pub use rule::Rule;
 pub use term::{Subst, Term, Var};
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// Derived program structure, memoized per rule-set revision: the
+/// stratification plus the monotonicity-annotated dependency edges the
+/// incremental-maintenance planner propagates change through. Publishing
+/// a staged delta consults this on every call, so recomputing it only
+/// when the rule set actually changed keeps republish latency
+/// proportional to the delta.
+#[derive(Debug)]
+pub(crate) struct ProgramShape {
+    pub(crate) strat: Stratification,
+    /// `(head, body-pred, non-monotone?)` edges — see `collect_dep_edges`.
+    pub(crate) deps: Vec<(Sym, Sym, bool)>,
+}
 
 /// The deductive engine: a symbol table, an extensional database, and a
 /// rule set, with evaluation producing an immutable [`Model`].
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Engine {
     syms: Interner,
     edb: FactStore,
     rules: Vec<Rule>,
     arities: HashMap<Sym, usize>,
+    /// When `Some`, every mutation (fact asserted/retracted, rule
+    /// added/removed) is recorded for incremental maintenance — see
+    /// [`Engine::begin_delta`]. Mutations themselves stay eager; the log
+    /// only remembers what changed since the last [`Engine::take_delta`].
+    changelog: Option<EngineDelta>,
+    /// Bumped on every rule addition/removal; keys the `shape` memo.
+    rules_rev: u64,
+    /// Lazily computed [`ProgramShape`] for `rules` as of `rules_rev`.
+    shape: Mutex<Option<(u64, Arc<ProgramShape>)>>,
+    /// Per-stratum WFS join plans, memoized at a `rules_rev` (any rule
+    /// change empties the map). Plans are heuristics keyed off relation
+    /// sizes at first use; reusing them across fact deltas keeps the
+    /// republish path from re-planning an unchanged rule set every time.
+    wfs_plans: Mutex<(u64, HashMap<usize, Arc<wfs::PlannedWfs>>)>,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        Engine {
+            syms: self.syms.clone(),
+            edb: self.edb.clone(),
+            rules: self.rules.clone(),
+            arities: self.arities.clone(),
+            changelog: self.changelog.clone(),
+            rules_rev: self.rules_rev,
+            // The memos are valid for the clone too: same rules, same rev.
+            shape: Mutex::new(self.shape.lock().expect("shape lock").clone()),
+            wfs_plans: Mutex::new(self.wfs_plans.lock().expect("wfs plan lock").clone()),
+        }
+    }
 }
 
 impl Engine {
@@ -157,7 +203,28 @@ impl Engine {
     pub fn add_fact(&mut self, pred: Sym, args: Vec<Term>) -> Result<bool> {
         self.check_arity(pred, args.len())?;
         debug_assert!(args.iter().all(Term::is_ground), "facts must be ground");
-        Ok(self.edb.insert(pred, args.into()))
+        let tuple: Tuple = args.into();
+        let inserted = self.edb.insert(pred, tuple.clone());
+        if inserted {
+            if let Some(log) = &mut self.changelog {
+                log.log_add(pred, tuple);
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Removes a ground fact from the extensional database; returns
+    /// `true` if it was present. Note this retracts only the *stored*
+    /// fact — a rule may still derive the same tuple, in which case it
+    /// survives (re)evaluation.
+    pub fn remove_fact(&mut self, pred: Sym, args: &[Term]) -> bool {
+        let removed = self.edb.remove(pred, args);
+        if removed {
+            if let Some(log) = &mut self.changelog {
+                log.log_remove(pred, args);
+            }
+        }
+        removed
     }
 
     /// Convenience: adds `pred(args...)` with all-constant arguments.
@@ -170,8 +237,30 @@ impl Engine {
     /// Adds a compiled rule.
     pub fn add_rule(&mut self, rule: Rule) -> Result<()> {
         self.check_rule_arities(&rule)?;
+        if let Some(log) = &mut self.changelog {
+            log.log_rule(rule.head.pred);
+        }
         self.rules.push(rule);
+        self.rules_rev += 1;
         Ok(())
+    }
+
+    /// Removes the rules at indices `start..end` (see [`Engine::rules`]
+    /// for the current order), recording their head predicates as
+    /// rule-changed in the active changelog. Used to uninstall temporary
+    /// views by span. Returns how many rules were removed.
+    pub fn remove_rules(&mut self, start: usize, end: usize) -> usize {
+        let end = end.min(self.rules.len());
+        if start >= end {
+            return 0;
+        }
+        for rule in self.rules.drain(start..end) {
+            if let Some(log) = &mut self.changelog {
+                log.log_rule(rule.head.pred);
+            }
+        }
+        self.rules_rev += 1;
+        end - start
     }
 
     /// Parses and loads a program text (facts and rules).
@@ -180,12 +269,62 @@ impl Engine {
             match clause {
                 Clause::Fact(a) => {
                     self.check_arity(a.pred, a.arity())?;
-                    self.edb.insert(a.pred, a.args.into());
+                    let tuple: Tuple = a.args.into();
+                    if self.edb.insert(a.pred, tuple.clone()) {
+                        if let Some(log) = &mut self.changelog {
+                            log.log_add(a.pred, tuple);
+                        }
+                    }
                 }
                 Clause::Rule(r) => self.add_rule(r)?,
             }
         }
         Ok(())
+    }
+
+    /// Switches mutation recording on: from now on every asserted or
+    /// retracted fact and every added or removed rule is remembered in a
+    /// changelog that [`Engine::take_delta`] drains. Idempotent — calling
+    /// it again keeps the log already being recorded.
+    pub fn begin_delta(&mut self) {
+        if self.changelog.is_none() {
+            self.changelog = Some(EngineDelta::default());
+        }
+    }
+
+    /// Drains the mutation changelog, leaving a fresh empty one recording
+    /// (so staged-write planes can keep publishing repeatedly). Returns
+    /// `None` when recording was never switched on.
+    pub fn take_delta(&mut self) -> Option<EngineDelta> {
+        self.changelog.as_mut().map(std::mem::take)
+    }
+
+    /// The changelog being recorded, without draining it (`None` when
+    /// recording was never switched on).
+    pub fn pending_delta(&self) -> Option<&EngineDelta> {
+        self.changelog.as_ref()
+    }
+
+    /// Applies a staged [`EngineDelta`] to `base`, producing the model
+    /// the engine's *current* state evaluates to — incrementally where
+    /// the change structure allows it (see the `ivm` module docs for the
+    /// per-stratum mode selection), bit-identical in facts to a cold
+    /// [`Engine::run`].
+    ///
+    /// # Contract
+    /// `base` must be a full model ([`Engine::run`]) of exactly the
+    /// engine state *before* the delta's mutations, and `delta` must
+    /// cover every mutation since (use [`Engine::begin_delta`] /
+    /// [`Engine::take_delta`]). Statistics measure the delta work, not a
+    /// cold evaluation's: they are deterministic across `eval_threads`
+    /// for identical histories but intentionally smaller than cold.
+    pub fn apply_delta(
+        &self,
+        base: &Model,
+        delta: &EngineDelta,
+        opts: &EvalOptions,
+    ) -> Result<Model> {
+        ivm::apply_delta(self, base, delta, opts)
     }
 
     /// Evaluates the program: stratified semi-naive when possible,
@@ -235,14 +374,25 @@ impl Engine {
     /// profile dumps resolve them.
     pub fn run_for_query(&mut self, goal: &Atom, opts: &EvalOptions) -> Result<Model> {
         let relevant = self.relevant_rules(&[goal.pred]);
+        let mut declined = None;
         if opts.magic_sets {
             if let Some(rw) = magic::rewrite(&relevant, &self.edb, goal, None, &mut self.syms) {
-                if let Some(model) = self.eval_rewritten(&rw, self.edb.clone(), opts, 0)? {
+                if rw.demand_ratio.is_some_and(|r| r >= magic::DECLINE_RATIO) {
+                    declined = rw.demand_ratio;
+                } else if let Some(mut model) =
+                    self.eval_rewritten(&rw, self.edb.clone(), opts, 0)?
+                {
+                    model.profile.magic_demand_ratio = rw.demand_ratio;
                     return Ok(model);
                 }
             }
         }
-        self.run_rules(&relevant, opts)
+        let mut model = self.run_rules(&relevant, opts)?;
+        if declined.is_some() {
+            model.profile.magic_declined = true;
+            model.profile.magic_demand_ratio = declined;
+        }
+        Ok(model)
     }
 
     /// Like [`Engine::run_for_query`], but evaluated on top of a cached
@@ -268,6 +418,7 @@ impl Engine {
             return self.run_rules(&relevant, opts);
         }
         let plan = self.seed_plan(&relevant, &[goal.pred], base);
+        let mut declined = None;
         if opts.magic_sets {
             if let Some(rw) = magic::rewrite(
                 &relevant,
@@ -276,9 +427,12 @@ impl Engine {
                 Some(&plan.stable),
                 &mut self.syms,
             ) {
-                if let Some(model) =
+                if rw.demand_ratio.is_some_and(|r| r >= magic::DECLINE_RATIO) {
+                    declined = rw.demand_ratio;
+                } else if let Some(mut model) =
                     self.eval_rewritten(&rw, plan.edb.clone(), opts, plan.seeded)?
                 {
+                    model.profile.magic_demand_ratio = rw.demand_ratio;
                     return Ok(model);
                 }
             }
@@ -286,6 +440,10 @@ impl Engine {
         let mut model =
             eval::eval_stratified_skipping(&relevant, &strat, &plan.edb, opts, Some(&plan.stable))?;
         model.profile.seeded = plan.seeded;
+        if declined.is_some() {
+            model.profile.magic_declined = true;
+            model.profile.magic_demand_ratio = declined;
+        }
         Ok(model)
     }
 
@@ -451,7 +609,57 @@ impl Engine {
         }
     }
 
+    /// The memoized [`ProgramShape`] for the *full* rule set, recomputed
+    /// only when a rule has been added or removed since the last call.
+    pub(crate) fn shape(&self) -> Result<Arc<ProgramShape>> {
+        let mut guard = self.shape.lock().expect("shape lock");
+        if let Some((rev, shape)) = guard.as_ref() {
+            if *rev == self.rules_rev {
+                return Ok(Arc::clone(shape));
+            }
+        }
+        let strat = program::stratify(&self.rules, |s| self.syms.resolve(s).to_string())?;
+        let mut deps = Vec::new();
+        for r in &self.rules {
+            collect_dep_edges(&r.body, r.head.pred, false, &mut deps);
+        }
+        let shape = Arc::new(ProgramShape { strat, deps });
+        *guard = Some((self.rules_rev, Arc::clone(&shape)));
+        Ok(shape)
+    }
+
+    /// The memoized WFS plan for stratum `stratum` of the current rule
+    /// set, computing (and caching) it from `rules()` on first use.
+    pub(crate) fn wfs_stratum_plan(
+        &self,
+        stratum: usize,
+        rules: impl FnOnce() -> Vec<Rule>,
+        edb: &FactStore,
+        opts: &EvalOptions,
+    ) -> Arc<wfs::PlannedWfs> {
+        let mut guard = self.wfs_plans.lock().expect("wfs plan lock");
+        if guard.0 != self.rules_rev {
+            *guard = (self.rules_rev, HashMap::new());
+        }
+        if let Some(p) = guard.1.get(&stratum) {
+            return Arc::clone(p);
+        }
+        let planned = Arc::new(wfs::plan_wfs(&rules(), edb, opts));
+        guard.1.insert(stratum, Arc::clone(&planned));
+        planned
+    }
+
     fn run_rules(&self, rules: &[Rule], opts: &EvalOptions) -> Result<Model> {
+        // The full program's stratification is memoized on the engine;
+        // pruned rule subsets (goal-directed paths) are analysed ad hoc.
+        if std::ptr::eq(rules.as_ptr(), self.rules.as_ptr()) && rules.len() == self.rules.len() {
+            let shape = self.shape()?;
+            return if shape.strat.needs_wfs {
+                wfs::eval_well_founded(rules, &self.edb, opts)
+            } else {
+                eval::eval_stratified(rules, &shape.strat, &self.edb, opts)
+            };
+        }
         let strat = program::stratify(rules, |s| self.syms.resolve(s).to_string())?;
         if strat.needs_wfs {
             wfs::eval_well_founded(rules, &self.edb, opts)

@@ -64,6 +64,151 @@ pub(crate) struct MagicRewrite {
     /// Number of adorned (binding-specialized) rules, excluding magic,
     /// copy, and bridge rules.
     pub adorned_rules: usize,
+    /// The cost model's estimate of the demanded fraction of the
+    /// reachable EDB (see [`estimate_demand_ratio`]); `None` when the
+    /// reachable EDB is below the estimation floor (tiny programs always
+    /// accept the rewrite).
+    pub demand_ratio: Option<f64>,
+}
+
+/// Decline the rewrite when the estimated demand cone reaches this
+/// fraction of the reachable EDB: magic's per-round guard joins and
+/// doubled predicate space only pay off when demand actually prunes.
+pub(crate) const DECLINE_RATIO: f64 = 0.5;
+
+/// Reachable-EDB size below which no estimate is attempted: on tiny
+/// inputs the rewrite's overhead is noise either way, and the estimator
+/// itself would dominate.
+const ESTIMATE_FLOOR: usize = 64;
+
+/// Connectivity hops explored by the cone estimate. A cone still growing
+/// at the horizon under-estimates — erring toward *accepting* the
+/// rewrite, the status-quo behavior.
+const ESTIMATE_HOPS: usize = 6;
+
+/// Collects the ground atomic constants (symbols and integers) of a
+/// term, recursing through function terms.
+fn collect_ground_consts(t: &Term, out: &mut HashSet<Term>) {
+    match t {
+        Term::Var(_) => {}
+        Term::Func(_, args) => {
+            for a in args.iter() {
+                collect_ground_consts(a, out);
+            }
+        }
+        other => {
+            out.insert(other.clone());
+        }
+    }
+}
+
+/// First argument position whose term (recursing through function terms)
+/// contains a demanded constant, or `None` when the tuple is untouched.
+fn first_touched_position(tuple: &[Term], s: &HashSet<Term>) -> Option<usize> {
+    fn touch(term: &Term, s: &HashSet<Term>) -> bool {
+        match term {
+            Term::Func(_, args) => args.iter().any(|a| touch(a, s)),
+            other => s.contains(other),
+        }
+    }
+    tuple.iter().position(|a| touch(a, s))
+}
+
+/// Estimates what fraction of the reachable EDB the rewrite's demand can
+/// touch, from cardinalities and constant connectivity alone — no
+/// evaluation. Seeds are the goal's bound constants plus any ground
+/// constants compiled into magic-rule heads (body constants propagate
+/// demand through those); the cone then grows breadth-first for up to
+/// [`ESTIMATE_HOPS`] rounds: a tuple containing a demanded constant
+/// anywhere is counted, but propagation is *directional* — only when the
+/// first touched position is a non-subject one does the tuple contribute
+/// new constants, and then only its subject's (position 0). This mirrors
+/// how sideways information passing actually binds in the engine's
+/// subject-first relations (`sub(child, parent)`, `inst(obj, class)`,
+/// `mi(obj, attr, val)`): demanding a parent/class/value selects
+/// subjects, while a tuple matched *through* its subject must not leak
+/// its object-side constants — otherwise one hub constant (`thing`, a
+/// shared attribute name, a common integer) floods the estimate and every
+/// query looks unprunable. Dropping the object-side constants
+/// under-estimates the cone, erring toward *accepting* the rewrite (the
+/// status-quo behavior); a ratio near 1.0 means demand cannot prune and
+/// the rewrite should be declined. Returns `None` below the size floor.
+fn estimate_demand_ratio(
+    rules: &[Rule],
+    edb: &FactStore,
+    seeds: &[(Sym, Vec<Term>)],
+    rewritten: &[Rule],
+    magic_preds: &HashSet<Sym>,
+) -> Option<f64> {
+    // Referenced relations in deterministic first-mention order (the
+    // estimate feeds a profile flag checked by bit-identical tests).
+    let mut seen: HashSet<Sym> = HashSet::new();
+    let mut preds: Vec<Sym> = Vec::new();
+    for r in rules {
+        if seen.insert(r.head.pred) {
+            preds.push(r.head.pred);
+        }
+        let mut body = HashSet::new();
+        crate::collect_body_preds(&r.body, &mut body);
+        let mut body: Vec<Sym> = body.into_iter().collect();
+        body.sort_unstable_by_key(|&p| p.index());
+        for p in body {
+            if seen.insert(p) {
+                preds.push(p);
+            }
+        }
+    }
+    let rels: Vec<(Sym, &crate::fact::Relation)> = preds
+        .into_iter()
+        .filter_map(|p| edb.relation(p).filter(|r| !r.is_empty()).map(|r| (p, r)))
+        .collect();
+    let full: usize = rels.iter().map(|(_, r)| r.len()).sum();
+    if full <= ESTIMATE_FLOOR {
+        return None;
+    }
+    let mut demanded: HashSet<Term> = HashSet::new();
+    for (_, args) in seeds {
+        for a in args {
+            collect_ground_consts(a, &mut demanded);
+        }
+    }
+    for r in rewritten {
+        if magic_preds.contains(&r.head.pred) {
+            for a in &r.head.args {
+                collect_ground_consts(a, &mut demanded);
+            }
+        }
+    }
+    if demanded.is_empty() {
+        // No concrete constant anywhere: demand cannot prune at all.
+        return Some(1.0);
+    }
+    let mut counted: HashSet<(Sym, usize)> = HashSet::new();
+    for _ in 0..ESTIMATE_HOPS {
+        let mut grew = false;
+        for &(p, rel) in &rels {
+            for (i, t) in rel.iter().enumerate() {
+                if counted.contains(&(p, i)) {
+                    continue;
+                }
+                if let Some(pos) = first_touched_position(t, &demanded) {
+                    counted.insert((p, i));
+                    if pos > 0 {
+                        if let Some(subject) = t.first() {
+                            collect_ground_consts(subject, &mut demanded);
+                        }
+                    }
+                    grew = true;
+                }
+            }
+        }
+        // The decision threshold can only be crossed upward; stop as
+        // soon as it is (the exact ratio past it changes nothing).
+        if 2 * counted.len() >= full || !grew {
+            break;
+        }
+    }
+    Some(counted.len() as f64 / full as f64)
 }
 
 /// An adornment: per argument position, whether the position is bound at
@@ -337,12 +482,14 @@ pub(crate) fn rewrite(
             .collect();
         seeds.push((m_sym, args));
     }
+    let demand_ratio = estimate_demand_ratio(rules, edb, &seeds, &out, &magic_preds);
     Some(MagicRewrite {
         rules: out,
         seeds,
         adorned_preds,
         magic_preds,
         adorned_rules: adorned_rule_count,
+        demand_ratio,
     })
 }
 

@@ -24,6 +24,10 @@ pub struct Stratum {
     /// Whether any predicate in this stratum is recursive (needed to decide
     /// between one-shot and fixpoint evaluation).
     pub recursive: bool,
+    /// Whether this stratum's cycle goes through negation: its rules need
+    /// the alternating-fixpoint (well-founded) evaluator. The global
+    /// [`Stratification::needs_wfs`] is the disjunction of these flags.
+    pub wfs: bool,
 }
 
 /// The result of dependency analysis.
@@ -117,13 +121,17 @@ pub fn stratify(rules: &[Rule], resolve: impl Fn(Sym) -> String) -> Result<Strat
     // Classify intra-SCC edges.
     let mut needs_wfs = false;
     let mut scc_recursive = vec![false; sccs.len()];
+    let mut scc_wfs = vec![false; sccs.len()];
     for (h, outs) in edges.iter().enumerate() {
         for &(b, kind) in outs {
             if scc_of[h] == scc_of[b] {
                 scc_recursive[scc_of[h]] = true;
                 match kind {
                     DepKind::Positive => {}
-                    DepKind::Negative => needs_wfs = true,
+                    DepKind::Negative => {
+                        needs_wfs = true;
+                        scc_wfs[scc_of[h]] = true;
+                    }
                     DepKind::Aggregate => {
                         return Err(DatalogError::AggregateInRecursion {
                             pred: resolve(nodes[h]),
@@ -140,10 +148,12 @@ pub fn stratify(rules: &[Rule], resolve: impl Fn(Sym) -> String) -> Result<Strat
     // Group rules into strata by the SCC of their head predicate.
     let mut strata: Vec<Stratum> = sccs
         .iter()
-        .map(|comp| Stratum {
+        .enumerate()
+        .map(|(ci, comp)| Stratum {
             rules: Vec::new(),
             preds: comp.iter().map(|&n| nodes[n]).collect(),
             recursive: false,
+            wfs: scc_wfs[ci],
         })
         .collect();
     for (ci, comp) in sccs.iter().enumerate() {

@@ -19,26 +19,57 @@ use crate::fact::FactStore;
 use crate::rule::Rule;
 use std::collections::HashSet;
 
+/// A rule set planned for the alternating fixpoint: bodies reordered by
+/// the join planner, with the plans kept for profiling. Planning costs a
+/// pass over the EDB, so staged-delta republishes memoize this per
+/// stratum on the engine ([`crate::Engine`]) instead of re-planning on
+/// every publish.
+#[derive(Debug)]
+pub(crate) struct PlannedWfs {
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) plans: Vec<crate::eval::RulePlan>,
+    preds: Vec<crate::interner::Sym>,
+}
+
+/// Plans `rules` for [`eval_well_founded_planned`]. Join planning happens
+/// once against the EDB: the reduct is re-evaluated many times, with
+/// every IDB predicate costed as unbounded (its extension varies across
+/// sweeps).
+pub(crate) fn plan_wfs(rules: &[Rule], edb: &FactStore, opts: &EvalOptions) -> PlannedWfs {
+    let idb: HashSet<crate::interner::Sym> = rules.iter().map(|r| r.head.pred).collect();
+    let planned: Vec<(Rule, crate::eval::RulePlan)> = rules
+        .iter()
+        .map(|r| plan_rule(r, edb, &idb, opts))
+        .collect();
+    let (rules, plans): (Vec<Rule>, Vec<crate::eval::RulePlan>) = planned.into_iter().unzip();
+    PlannedWfs {
+        rules,
+        plans,
+        preds: idb.into_iter().collect(),
+    }
+}
+
 /// Evaluates `rules` over `edb` under the well-founded semantics.
 pub(crate) fn eval_well_founded(
     rules: &[Rule],
     edb: &FactStore,
     opts: &EvalOptions,
 ) -> Result<Model> {
+    eval_well_founded_planned(&plan_wfs(rules, edb, opts), edb, opts)
+}
+
+/// [`eval_well_founded`] over an already-planned rule set.
+pub(crate) fn eval_well_founded_planned(
+    planned: &PlannedWfs,
+    edb: &FactStore,
+    opts: &EvalOptions,
+) -> Result<Model> {
     let mut stats = EvalStats::default();
-    // Join planning happens once against the EDB: the reduct is
-    // re-evaluated many times, with every IDB predicate costed as
-    // unbounded (its extension varies across sweeps).
-    let idb: HashSet<crate::interner::Sym> = rules.iter().map(|r| r.head.pred).collect();
-    let planned: Vec<(Rule, crate::eval::RulePlan)> = rules
-        .iter()
-        .map(|r| plan_rule(r, edb, &idb, opts))
-        .collect();
-    let rules: Vec<Rule> = planned.iter().map(|(r, _)| r.clone()).collect();
+    let rules = &planned.rules;
     let mut summary = StratumProfile {
-        preds: idb.iter().copied().collect(),
+        preds: planned.preds.clone(),
         recursive: true,
-        plans: planned.into_iter().map(|(_, p)| p).collect(),
+        plans: planned.plans.clone(),
         ..Default::default()
     };
     let counters = crate::eval::IndexCounters::default();
@@ -49,7 +80,7 @@ pub(crate) fn eval_well_founded(
     let mut par = crate::eval::ParMeta::new();
     let mut lower = edb.clone();
     let mut sweeps = 0usize;
-    loop {
+    let (facts, undefined) = loop {
         // Sweep boundary: the same cooperative cancellation check the
         // stratified loops run at round boundaries (each `gamma` below
         // also checks per round).
@@ -61,13 +92,26 @@ pub(crate) fn eval_well_founded(
             });
         }
         let upper = gamma(
-            &rules, edb, &lower, &mut stats, &counters, opts, cap, &mut par,
+            rules, edb, &lower, &mut stats, &counters, opts, cap, &mut par,
         )?;
+        // The lower sequence stays below every upper (both monotone toward
+        // the fixpoint), so size equality implies set equality throughout.
+        // `Γ(lower) == lower` means the fixpoint is *total* — the
+        // two-valued well-founded model, nothing undefined — and the
+        // second gamma of this sweep would only reconfirm it.
+        if upper.len() == lower.len() {
+            break (upper, FactStore::new());
+        }
         let new_lower = gamma(
-            &rules, edb, &upper, &mut stats, &counters, opts, cap, &mut par,
+            rules, edb, &upper, &mut stats, &counters, opts, cap, &mut par,
         )?;
-        // The lower sequence is monotonically increasing, so size equality
-        // implies set equality.
+        // `Lᵢ₊₁ = Γ(Uᵢ) ⊆ Γ(Lᵢ) = Uᵢ` (Γ antitone, `Lᵢ ⊆ Uᵢ`), so size
+        // equality here means `Lᵢ₊₁ = Uᵢ` — making `Lᵢ₊₁` a fixpoint of Γ
+        // (`Γ(Lᵢ₊₁) = Γ(Uᵢ) = Lᵢ₊₁`): the total two-valued model. The next
+        // sweep's first gamma would only reconfirm it.
+        if new_lower.len() == upper.len() {
+            break (new_lower, FactStore::new());
+        }
         if new_lower.len() == lower.len() {
             let mut undefined = FactStore::new();
             for (p, t) in upper.iter() {
@@ -75,28 +119,29 @@ pub(crate) fn eval_well_founded(
                     undefined.insert(p, t.clone());
                 }
             }
-            counters.fold_into(&mut stats);
-            summary.iterations = stats.iterations;
-            summary.derived = stats.derived;
-            summary.index_builds = stats.index_builds;
-            summary.index_hits = stats.index_hits;
-            summary.index_misses = stats.index_misses;
-            summary.threads_used = par.threads_used;
-            summary.partitions = par.partitions;
-            return Ok(Model {
-                facts: new_lower,
-                undefined,
-                stats,
-                profile: EvalProfile {
-                    strata: vec![summary],
-                    well_founded: true,
-                    eval_threads: cap,
-                    ..Default::default()
-                },
-            });
+            break (new_lower, undefined);
         }
         lower = new_lower;
-    }
+    };
+    counters.fold_into(&mut stats);
+    summary.iterations = stats.iterations;
+    summary.derived = stats.derived;
+    summary.index_builds = stats.index_builds;
+    summary.index_hits = stats.index_hits;
+    summary.index_misses = stats.index_misses;
+    summary.threads_used = par.threads_used;
+    summary.partitions = par.partitions;
+    Ok(Model {
+        facts,
+        undefined,
+        stats,
+        profile: EvalProfile {
+            strata: vec![summary],
+            well_founded: true,
+            eval_threads: cap,
+            ..Default::default()
+        },
+    })
 }
 
 #[cfg(test)]

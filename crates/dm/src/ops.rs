@@ -155,6 +155,20 @@ impl Resolved {
         }
     }
 
+    /// Whether two resolved views describe the **same graph structure** —
+    /// identical isa adjacency and role pairs over the same node count.
+    /// Memo-table contents are deliberately ignored: a view is immutable
+    /// once built, so structural equality means every memoized closure of
+    /// `other` is still valid. The knowledge layer uses this to keep the
+    /// *old* (warm) view when a domain-map contribution turns out not to
+    /// change the resolved graph, instead of republishing a cold one.
+    pub fn same_structure(&self, other: &Resolved) -> bool {
+        self.node_count == other.node_count
+            && self.isa_up == other.isa_up
+            && self.isa_down == other.isa_down
+            && self.roles == other.roles
+    }
+
     /// Direct isa successors.
     pub fn parents(&self, n: NodeId) -> &[NodeId] {
         &self.isa_up[n.index()]

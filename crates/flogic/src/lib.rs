@@ -214,6 +214,21 @@ impl FLogic {
             .map(|_| ())
     }
 
+    /// Retracts `obj : class`, returning whether the fact was present.
+    /// The class's own declaration stays — other instances may use it.
+    pub fn retract_instance(&mut self, obj: &str, class: &str) -> bool {
+        let o = self.engine.constant(obj);
+        let c = self.engine.constant(class);
+        self.engine.remove_fact(self.preds.inst, &[o, c])
+    }
+
+    /// Retracts a ground method value `obj[m -> v]`, returning whether
+    /// the fact was present.
+    pub fn retract_method(&mut self, obj: Term, method: &str, value: Term) -> bool {
+        let m = self.engine.constant(method);
+        self.engine.remove_fact(self.preds.mi, &[obj, m, value])
+    }
+
     /// Evaluates the knowledge base with default options.
     pub fn run(&self) -> Result<Model, DatalogError> {
         self.engine.run(&EvalOptions::default())

@@ -25,7 +25,8 @@ pub mod synapse;
 pub use anatomy::{anatom_wrapper, scenario_domain_map, NEURO_ANATOMY_AXIOMS};
 pub use ncmir::{ncmir_wrapper, CALCIUM_BINDING, NCMIR_LOCATIONS};
 pub use scenario::{
-    build_scenario, build_scenario_with_faults, noise_protein_wrapper, ScenarioParams,
+    build_scenario, build_scenario_with_faults, ncmir_update_rows, noise_protein_wrapper,
+    ScenarioParams,
 };
 pub use senselab::senselab_wrapper;
 pub use synapse::{synapse_wrapper, SYNAPSE_LOCATIONS};

@@ -112,6 +112,43 @@ pub fn noise_protein_wrapper(name: &str, seed: u64, rows: usize) -> Arc<dyn Wrap
     Arc::new(w)
 }
 
+/// A deterministic batch of *fresh* NCMIR `protein_amount` rows — the
+/// update workload for the staged write plane. Row ids (`upd{batch}_{i}`)
+/// are disjoint from the registered NCMIR rows (`pa{i}`) and across
+/// batches, so loading them with [`Mediator::load_row`] (and retracting
+/// them again with [`Mediator::retract_row`]) exercises incremental
+/// republish against the warm §5 scenario without ever colliding with
+/// existing objects.
+pub fn ncmir_update_rows(seed: u64, batch: usize, rows: usize) -> Vec<kind_core::ObjectRow> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xD17A).wrapping_add(batch as u64));
+    (0..rows)
+        .map(|i| kind_core::ObjectRow {
+            id: format!("upd{batch}_{i}"),
+            attrs: vec![
+                (
+                    "protein_name".into(),
+                    GcmValue::Id(
+                        crate::ncmir::CALCIUM_BINDING
+                            [rng.gen_range(0..crate::ncmir::CALCIUM_BINDING.len())]
+                        .into(),
+                    ),
+                ),
+                ("amount".into(), GcmValue::Int(rng.gen_range(1..100))),
+                (
+                    "location".into(),
+                    GcmValue::Id(
+                        crate::ncmir::NCMIR_LOCATIONS
+                            [rng.gen_range(0..crate::ncmir::NCMIR_LOCATIONS.len())]
+                        .into(),
+                    ),
+                ),
+                ("ion_bound".into(), GcmValue::Id("calcium".into())),
+                ("organism".into(), GcmValue::Id("rat".into())),
+            ],
+        })
+        .collect()
+}
+
 /// Builds the fully registered mediator for the scenario.
 pub fn build_scenario(params: &ScenarioParams) -> Mediator {
     let mut m = Mediator::new(scenario_domain_map(), params.mode);

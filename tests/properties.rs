@@ -1,9 +1,11 @@
 //! Property-based tests over the core data structures and invariants.
 
 use kind::core::{run_section5, Fault, NeuroSchema, Section5Query};
-use kind::datalog::{Engine, EvalOptions, FactStore, Model};
+use kind::datalog::{Engine, EvalOptions, EvalStats, FactStore, Model};
 use kind::dm::{DomainMap, Resolved};
-use kind::sources::{build_scenario, build_scenario_with_faults, ScenarioParams};
+use kind::sources::{
+    build_scenario, build_scenario_with_faults, ncmir_update_rows, ScenarioParams,
+};
 use kind::xml::{Element, Node};
 use proptest::prelude::*;
 use std::collections::{BTreeSet, HashSet};
@@ -504,6 +506,146 @@ proptest! {
                         threads, semi_naive, join_reorder);
                 }
             }
+        }
+    }
+}
+
+// ---------- Write plane: incremental publish == cold evaluation ---------
+
+/// Canonical, interner-sensitive rendering of a model's true and
+/// undefined facts (raw symbol ids, sorted) — comparable across mediators
+/// driven through identical operation histories.
+fn canonical_facts(m: &Model) -> (Vec<String>, Vec<String>) {
+    let render = |fs: &FactStore| {
+        let mut v: Vec<String> = fs.iter().map(|(p, t)| format!("{p:?}{t:?}")).collect();
+        v.sort();
+        v
+    };
+    (render(&m.facts), render(&m.undefined))
+}
+
+fn small_write_params(eval_threads: usize) -> ScenarioParams {
+    ScenarioParams {
+        senselab_rows: 6,
+        ncmir_rows: 8,
+        synapse_rows: 6,
+        noise_sources: 1,
+        noise_rows: 4,
+        eval_threads,
+        ..Default::default()
+    }
+}
+
+/// Replays `ops` (mod 3: 0 = load a fresh NCMIR row, 1 = retract the most
+/// recently loaded survivor, 2 = publish) into a freshly built faulted
+/// scenario, publishing **eagerly** — the first publish is cold, every
+/// later one is maintained incrementally on the warm model. Records the
+/// canonical model and its eval stats at each publish point (plus a final
+/// trailing publish, so every history ends observed).
+/// Canonical model (true facts, undefined facts) plus the eval stats
+/// recorded at one publish point.
+type PublishObservation = ((Vec<String>, Vec<String>), EvalStats);
+
+fn drive_incremental(
+    params: &ScenarioParams,
+    faults: Vec<Fault>,
+    ops: &[u8],
+) -> Vec<PublishObservation> {
+    let (mut m, _inj) = build_scenario_with_faults(params, faults);
+    m.materialize_all().unwrap();
+    m.publish().unwrap();
+    let pool = ncmir_update_rows(params.seed, 0, ops.len());
+    let (mut next, mut live, mut out) = (0usize, Vec::new(), Vec::new());
+    for &op in ops {
+        match op % 3 {
+            0 => {
+                if next < pool.len() {
+                    m.load_row("NCMIR", "protein_amount", &pool[next]).unwrap();
+                    live.push(next);
+                    next += 1;
+                }
+            }
+            1 => {
+                if let Some(i) = live.pop() {
+                    m.retract_row("NCMIR", "protein_amount", &pool[i]).unwrap();
+                }
+            }
+            _ => {
+                let model = m.publish().unwrap();
+                out.push((canonical_facts(model), model.stats));
+            }
+        }
+    }
+    let model = m.publish().unwrap();
+    out.push((canonical_facts(model), model.stats));
+    out
+}
+
+/// The cold reference for [`drive_incremental`]: for each publish point,
+/// replays the prefix into a *fresh* mediator whose first and only
+/// publish evaluates the accumulated engine state from scratch.
+fn drive_cold(
+    params: &ScenarioParams,
+    faults: Vec<Fault>,
+    ops: &[u8],
+) -> Vec<(Vec<String>, Vec<String>)> {
+    let mut ends: Vec<usize> = ops
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o % 3 == 2)
+        .map(|(i, _)| i)
+        .collect();
+    ends.push(ops.len());
+    ends.into_iter()
+        .map(|end| {
+            let (mut m, _inj) = build_scenario_with_faults(params, faults.clone());
+            m.materialize_all().unwrap();
+            let pool = ncmir_update_rows(params.seed, 0, ops.len());
+            let (mut next, mut live) = (0usize, Vec::new());
+            for &op in &ops[..end] {
+                match op % 3 {
+                    0 if next < pool.len() => {
+                        m.load_row("NCMIR", "protein_amount", &pool[next]).unwrap();
+                        live.push(next);
+                        next += 1;
+                    }
+                    1 => {
+                        if let Some(i) = live.pop() {
+                            m.retract_row("NCMIR", "protein_amount", &pool[i]).unwrap();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            canonical_facts(m.publish().unwrap())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// PR 8's tentpole invariant: under any interleaving of row loads,
+    /// retractions, and publishes — on a scenario with a seeded fault
+    /// schedule — every incremental publish yields a model
+    /// **bit-identical** (canonical fact rendering, raw symbol ids) to a
+    /// cold evaluation of the same operation prefix, and the publish
+    /// stats are bit-identical across evaluate-plane thread budgets.
+    #[test]
+    fn incremental_publish_is_bit_identical_to_cold_rebuild(
+        ops in prop::collection::vec(0u8..3, 1..10),
+        fault_seed in 0u64..500,
+        fail_per_mille in 0u16..300,
+    ) {
+        let faults = || vec![Fault::Flaky { seed: fault_seed, fail_per_mille }];
+        let serial = drive_incremental(&small_write_params(1), faults(), &ops);
+        let parallel = drive_incremental(&small_write_params(8), faults(), &ops);
+        // Facts AND per-publish stats agree across thread budgets.
+        prop_assert_eq!(&serial, &parallel);
+        let cold = drive_cold(&small_write_params(1), faults(), &ops);
+        prop_assert_eq!(serial.len(), cold.len());
+        for (i, (got, want)) in serial.iter().zip(&cold).enumerate() {
+            prop_assert_eq!(&got.0, want, "publish point {} diverges from cold", i);
         }
     }
 }
