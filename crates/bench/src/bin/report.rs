@@ -15,6 +15,9 @@ use kind_datalog::EvalOptions;
 use kind_dm::{figures, Resolved};
 use kind_flogic::FLogic;
 use kind_gcm::{GcmDecl, GcmValue};
+use kind_server::client::{workload_request, Conn};
+use kind_server::server::{spawn_server, ServerConfig};
+use kind_server::wire::{obj, Json};
 use kind_sources::{build_scenario, build_scenario_with_faults, ncmir_update_rows, ScenarioParams};
 use std::hint::black_box;
 use std::time::Instant;
@@ -27,7 +30,7 @@ fn header(s: &str) {
 
 fn main() {
     // `KIND_BENCH_FAST=1` is the CI smoke mode: skip the narrative
-    // figure/table reports and emit only BENCH_PR8.json with reduced
+    // figure/table reports and emit only BENCH_PR9.json with reduced
     // iteration counts and workload sizes.
     let fast = std::env::var("KIND_BENCH_FAST").is_ok();
     // The incremental-publish group compares a sub-millisecond republish
@@ -43,7 +46,7 @@ fn main() {
         figure3_report();
         section5_report();
     }
-    bench_pr8_report(fast, inc);
+    bench_pr9_report(fast, inc);
 }
 
 /// Scenario sizing shared by the benchmark groups (reduced in CI smoke
@@ -81,11 +84,12 @@ fn min_ns<F: FnMut()>(iters: usize, mut f: F) -> u128 {
 /// the PR 3 concurrent-snapshot throughput group, the PR 4 parallel
 /// fetch-plane group, the PR 5 parallel evaluate-plane group, the PR 6
 /// tail-latency (hedged fetch) group, the PR 7 magic-sets ablation
-/// group, the PR 8 incremental-publish (write plane) group, and
+/// group, the PR 8 incremental-publish (write plane) group, the PR 9
+/// sustained-QPS group driving a live `kind-server` over TCP, and
 /// `EvalStats` counters from a representative warm model. Results go to
-/// stdout and `BENCH_PR8.json`.
-fn bench_pr8_report(fast: bool, inc: IncGroup) {
-    header("PR 8 — incremental publish + pipeline + magic sets + concurrency");
+/// stdout and `BENCH_PR9.json`.
+fn bench_pr9_report(fast: bool, inc: IncGroup) {
+    header("PR 9 — snapshot-serving plane + incremental publish + magic sets");
     let iters = if fast { 5 } else { 25 };
     let (depth, fanout) = if fast { (4usize, 3usize) } else { (5, 3) };
     let mut rows: Vec<(&str, u128, u128)> = Vec::new();
@@ -320,6 +324,45 @@ fn bench_pr8_report(fast: bool, inc: IncGroup) {
         );
     }
 
+    let sq = server_qps_bench(fast);
+    println!("\n  server_qps (live kind-server over TCP, mixed workload):");
+    println!(
+        "  {:>12} | {:>7} | {:>5} | {:>7} | {:>7} | {:>4} | {:>8} | {:>8} | {:>8} | {:>9} | {:>9}",
+        "row",
+        "workers",
+        "queue",
+        "clients",
+        "ok",
+        "shed",
+        "qps",
+        "p50 µs",
+        "p99 µs",
+        "pre p99",
+        "post p99"
+    );
+    for r in &sq.rows {
+        println!(
+            "  {:>12} | {:>7} | {:>5} | {:>7} | {:>7} | {:>4} | {:>8.0} | {:>8} | {:>8} | {:>9} | {:>9}",
+            r.name,
+            r.workers,
+            r.queue_depth,
+            r.clients,
+            r.ok,
+            r.shed,
+            r.qps(),
+            r.p50_us,
+            r.p99_us,
+            r.pre_publish_p99_us,
+            r.post_publish_p99_us
+        );
+    }
+    if let Some(ratio) = sq.overload_p99_ratio() {
+        println!(
+            "  overload: bounded queue kept admitted p99 at {:.2}x the uncontended p99",
+            ratio
+        );
+    }
+
     let json = render_bench_json(
         fast,
         iters,
@@ -330,10 +373,202 @@ fn bench_pr8_report(fast: bool, inc: IncGroup) {
         &tail,
         &magic,
         &inc,
+        &sq,
         &mut m_warm,
     );
-    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
-    println!("\nwrote BENCH_PR8.json");
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+    println!("\nwrote BENCH_PR9.json");
+}
+
+/// One `server_qps` measurement: a freshly spawned `kind-server` (its
+/// own scenario mediator, worker pool, and admission queue) driven over
+/// real TCP by `clients` threads issuing the mixed client workload.
+struct QpsRow {
+    name: &'static str,
+    workers: usize,
+    queue_depth: usize,
+    clients: usize,
+    ok: u64,
+    shed: u64,
+    deadline: u64,
+    publishes: u64,
+    wall_ns: u128,
+    p50_us: u128,
+    p99_us: u128,
+    /// p99 of requests served from the startup epoch (0 when the row
+    /// runs without mid-run publishes).
+    pre_publish_p99_us: u128,
+    /// p99 of requests served from a republished epoch — the
+    /// republish-while-serving evidence (0 when no publishes ran).
+    post_publish_p99_us: u128,
+}
+
+impl QpsRow {
+    fn qps(&self) -> f64 {
+        self.ok as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// The PR 9 `server_qps` group: sustained rows at two worker counts
+/// (each with a mid-run republish), an uncontended reference row, and a
+/// deliberately overloaded row with a queue depth of 1.
+struct ServerQpsGroup {
+    rows: Vec<QpsRow>,
+}
+
+impl ServerQpsGroup {
+    /// Admitted-p99 under overload over the uncontended p99 — the
+    /// bounded-queue claim is that shedding keeps this small (≤ 2x).
+    fn overload_p99_ratio(&self) -> Option<f64> {
+        let base = self.rows.iter().find(|r| r.name == "uncontended")?;
+        let over = self.rows.iter().find(|r| r.name == "overload")?;
+        Some(over.p99_us as f64 / base.p99_us.max(1) as f64)
+    }
+}
+
+/// Drives one spawned server with `clients` threads × `per_client`
+/// requests of the mixed workload; when `publishes > 0`, a publisher
+/// connection republishes that many single-row batches once half the
+/// requests have completed, and latency samples are split by the epoch
+/// each response reports.
+fn server_qps_run(
+    name: &'static str,
+    scenario: &ScenarioParams,
+    workers: usize,
+    queue_depth: usize,
+    clients: usize,
+    per_client: usize,
+    publishes: u64,
+) -> QpsRow {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let handle = spawn_server(ServerConfig {
+        workers,
+        queue_depth,
+        scenario: scenario.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = handle.addr().to_string();
+
+    let completed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let deadline = AtomicU64::new(0);
+    let total = (clients * per_client) as u64;
+    // (latency µs, epoch) per successful response, merged across threads.
+    let samples: std::sync::Mutex<Vec<(u128, u64)>> = std::sync::Mutex::new(Vec::new());
+
+    let wall = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            let (addr, completed, shed, deadline, samples) =
+                (&addr, &completed, &shed, &deadline, &samples);
+            s.spawn(move || {
+                let mut conn = Conn::connect(addr).expect("client connects");
+                let mut local: Vec<(u128, u64)> = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let req = workload_request(t * 7 + i, 0);
+                    let t0 = Instant::now();
+                    let resp = conn.request(req).expect("request round-trips");
+                    let lat_us = t0.elapsed().as_micros();
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        let epoch = resp.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+                        local.push((lat_us, epoch));
+                    } else {
+                        match resp.get("error").and_then(Json::as_str) {
+                            Some("overloaded") => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                                // Honor the backpressure signal briefly so
+                                // the row measures shedding, not a retry
+                                // storm.
+                                std::thread::sleep(std::time::Duration::from_micros(500));
+                            }
+                            _ => {
+                                deadline.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                samples.lock().unwrap().append(&mut local);
+            });
+        }
+        if publishes > 0 {
+            let (addr, completed) = (&addr, &completed);
+            s.spawn(move || {
+                // Republish while serving: wait for the run to be half
+                // done, then push fresh NCMIR rows through the writer
+                // thread, bumping the hub epoch under live traffic.
+                while completed.load(Ordering::Relaxed) < total / 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                let mut conn = Conn::connect(addr).expect("publisher connects");
+                for _ in 0..publishes {
+                    let resp = conn
+                        .request(obj([("op", Json::str("publish")), ("rows", Json::int(1))]))
+                        .expect("publish round-trips");
+                    assert_eq!(
+                        resp.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "mid-run publish failed"
+                    );
+                }
+            });
+        }
+    });
+    let wall_ns = wall.elapsed().as_nanos();
+    handle.shutdown();
+
+    let mut samples = samples.into_inner().unwrap();
+    samples.sort_unstable_by_key(|&(lat, _)| lat);
+    let ok = samples.len() as u64;
+    let lats: Vec<u128> = samples.iter().map(|&(lat, _)| lat).collect();
+    let base_epoch = samples.iter().map(|&(_, e)| e).min().unwrap_or(0);
+    let pre: Vec<u128> = samples
+        .iter()
+        .filter(|&&(_, e)| e == base_epoch)
+        .map(|&(lat, _)| lat)
+        .collect();
+    let post: Vec<u128> = samples
+        .iter()
+        .filter(|&&(_, e)| e > base_epoch)
+        .map(|&(lat, _)| lat)
+        .collect();
+    let pct = |v: &[u128], p: usize| if v.is_empty() { 0 } else { percentile(v, p) };
+    QpsRow {
+        name,
+        workers,
+        queue_depth,
+        clients,
+        ok,
+        shed: shed.load(Ordering::Relaxed),
+        deadline: deadline.load(Ordering::Relaxed),
+        publishes,
+        wall_ns,
+        p50_us: pct(&lats, 50),
+        p99_us: pct(&lats, 99),
+        pre_publish_p99_us: if publishes > 0 { pct(&pre, 99) } else { 0 },
+        post_publish_p99_us: pct(&post, 99),
+    }
+}
+
+/// The PR 9 tentpole measurement: sustained QPS against a live
+/// `kind-server` binary plane (in-process spawn, real TCP loopback).
+/// Two worker counts each absorb a mid-run republish — the epoch-split
+/// p99 columns show serving continued across the swap with no cliff —
+/// and the `overload` row sheds on a queue depth of 1, showing bounded
+/// admission keeps the p99 of *admitted* requests near the uncontended
+/// baseline while excess load gets a typed `overloaded` response.
+fn server_qps_bench(fast: bool) -> ServerQpsGroup {
+    let scenario = bench_params(fast);
+    let per_client = if fast { 25 } else { 100 };
+    let rows = vec![
+        server_qps_run("uncontended", &scenario, 1, 64, 1, per_client, 0),
+        server_qps_run("1_worker", &scenario, 1, 64, 2, per_client, 2),
+        server_qps_run("2_workers", &scenario, 2, 64, 4, per_client, 2),
+        server_qps_run("overload", &scenario, 1, 1, 4, per_client, 0),
+    ];
+    ServerQpsGroup { rows }
 }
 
 /// Sustained write-while-read throughput: one writer loading rows and
@@ -409,18 +644,20 @@ fn incremental_publish_bench(fast: bool, params: &ScenarioParams) -> IncGroup {
     }
 }
 
-/// Readers drain FL queries from the most recently published snapshot
-/// (swapped behind an `RwLock` whose critical section is one `Arc`-heavy
-/// clone) while the writer keeps loading rows and republishing — the
-/// structurally-shared snapshot republish makes each swap cheap, and the
-/// old snapshots keep serving their frozen state until dropped.
+/// Readers drain FL queries from the most recently published snapshot,
+/// loaded epoch-pinned from the mediator's `SnapshotHub` (the same slot
+/// `kind-server` serves from), while the writer keeps loading rows and
+/// republishing through the hub — the structurally-shared snapshot
+/// republish makes each install cheap, and superseded epochs keep
+/// serving their frozen state until the last reader drops them.
 fn sustained_update_read_bench(fast: bool, params: &ScenarioParams) -> SustainedStats {
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     let readers = 4usize;
     let publishes = if fast { 10 } else { 40 };
     let mut m = build_scenario(params);
     m.materialize_all().expect("scenario materializes");
-    let current = std::sync::RwLock::new(m.snapshot().expect("initial snapshot"));
+    let hub = m.hub();
+    m.publish_snapshot().expect("initial publish");
     let done = AtomicBool::new(false);
     let reads = AtomicUsize::new(0);
     let pool = ncmir_update_rows(params.seed, 3, publishes);
@@ -428,11 +665,11 @@ fn sustained_update_read_bench(fast: bool, params: &ScenarioParams) -> Sustained
     let t = Instant::now();
     std::thread::scope(|s| {
         for w in 0..readers {
-            let (current, done, reads) = (&current, &done, &reads);
+            let (hub, done, reads) = (&hub, &done, &reads);
             s.spawn(move || {
                 let mut i = 0usize;
                 while !done.load(Ordering::Relaxed) {
-                    let snap = current.read().expect("snapshot lock").clone();
+                    let snap = hub.load().expect("hub seeded");
                     black_box(
                         snap.query_fl(patterns[(w + i) % patterns.len()])
                             .expect("snapshot query")
@@ -445,8 +682,7 @@ fn sustained_update_read_bench(fast: bool, params: &ScenarioParams) -> Sustained
         }
         for row in &pool {
             m.load_row("NCMIR", "protein_amount", row).expect("loads");
-            let snap = m.snapshot().expect("republish");
-            *current.write().expect("snapshot lock") = snap;
+            m.publish().expect("republish through the hub");
         }
         done.store(true, Ordering::Relaxed);
     });
@@ -825,7 +1061,8 @@ fn cores() -> usize {
 fn snapshot_concurrency_bench(fast: bool, params: &ScenarioParams) -> Vec<ConcRow> {
     let mut m = build_scenario(params);
     m.materialize_all().expect("scenario materializes");
-    let snap = m.snapshot().expect("snapshot publishes");
+    let hub = m.hub();
+    m.publish_snapshot().expect("snapshot publishes");
     // Without snapshots, concurrent callers would share the mediator
     // itself behind a lock; its warm query path (cached model) is the
     // honest comparison point.
@@ -845,9 +1082,12 @@ fn snapshot_concurrency_bench(fast: bool, params: &ScenarioParams) -> Vec<ConcRo
                 let t = Instant::now();
                 std::thread::scope(|s| {
                     for w in 0..workers {
-                        let snap = &snap;
+                        let hub = &hub;
                         let locked = &locked;
                         s.spawn(move || {
+                            // The serving pattern: each worker pins the
+                            // current hub epoch once per batch.
+                            let snap = hub.load().expect("hub seeded");
                             for i in 0..per {
                                 let p = patterns[(w + i) % patterns.len()];
                                 let n = if use_snapshot {
@@ -900,6 +1140,7 @@ fn render_bench_json(
     tail: &TailGroup,
     magic: &[MagicRow],
     inc: &IncGroup,
+    sq: &ServerQpsGroup,
     warm: &mut Mediator,
 ) -> String {
     let model = warm.run().expect("warm base model evaluates");
@@ -907,10 +1148,19 @@ fn render_bench_json(
     let strata = model.profile.strata.len();
     let skipped = model.profile.strata.iter().filter(|p| p.skipped).count();
     let mut out = String::from("{\n");
+    // Host parallelism and the serving-plane settings up top: QPS and
+    // latency rows below are only comparable across runs that match on
+    // these.
+    let mut worker_counts: Vec<usize> = sq.rows.iter().map(|r| r.workers).collect();
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
     out.push_str(&format!(
-        "  \"mode\": \"{}\",\n  \"samples\": {iters},\n  \"available_parallelism\": {},\n  \"benches\": [\n",
+        "  \"mode\": \"{}\",\n  \"samples\": {iters},\n  \"available_parallelism\": {},\n  \"server_settings\": {{\"worker_counts\": {:?}, \"queue_depth\": {}, \"overload_queue_depth\": {}, \"default_budget_ms\": 0}},\n  \"benches\": [\n",
         if fast { "fast" } else { "full" },
-        cores()
+        cores(),
+        worker_counts,
+        sq.rows.iter().map(|r| r.queue_depth).max().unwrap_or(64),
+        sq.rows.iter().map(|r| r.queue_depth).min().unwrap_or(1)
     ));
     for (i, (name, b, o)) in rows.iter().enumerate() {
         let sep = if i + 1 < rows.len() { "," } else { "" };
@@ -1008,6 +1258,31 @@ fn render_bench_json(
         inc.sustained.wall_ns,
         inc.sustained.publishes as f64 / (inc.sustained.wall_ns as f64 / 1e9),
         inc.sustained.reads as f64 / (inc.sustained.wall_ns as f64 / 1e9)
+    ));
+    out.push_str("  \"server_qps\": {\n    \"rows\": [\n");
+    for (i, r) in sq.rows.iter().enumerate() {
+        let sep = if i + 1 < sq.rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"name\": \"{}\", \"workers\": {}, \"queue_depth\": {}, \"clients\": {}, \"ok\": {}, \"shed\": {}, \"deadline\": {}, \"publishes\": {}, \"wall_ns\": {}, \"qps\": {:.0}, \"p50_us\": {}, \"p99_us\": {}, \"pre_publish_p99_us\": {}, \"post_publish_p99_us\": {}}}{sep}\n",
+            r.name,
+            r.workers,
+            r.queue_depth,
+            r.clients,
+            r.ok,
+            r.shed,
+            r.deadline,
+            r.publishes,
+            r.wall_ns,
+            r.qps(),
+            r.p50_us,
+            r.p99_us,
+            r.pre_publish_p99_us,
+            r.post_publish_p99_us
+        ));
+    }
+    out.push_str(&format!(
+        "    ],\n    \"overload_admitted_p99_vs_uncontended\": {:.2}\n  }},\n",
+        sq.overload_p99_ratio().unwrap_or(0.0)
     ));
     out.push_str("  \"eval_stats\": {\n");
     out.push_str(&format!(

@@ -21,6 +21,9 @@
 //!   selection, lub computation;
 //! * [`snapshot`] — immutable `Send + Sync` [`QuerySnapshot`]s for
 //!   serving reads from many threads with no locks on the hot path;
+//! * [`hub`] — the publication plane: an epoch-counted
+//!   [`SnapshotHub`] slot that [`Mediator::publish`] installs into and
+//!   readers load wait-free, pinning each request to one epoch;
 //! * [`plan`] — the §5 four-step query plan with a full execution trace,
 //!   and the Example 4 `protein_distribution` view.
 //!
@@ -50,6 +53,7 @@
 pub mod error;
 pub mod fault;
 pub mod federation;
+pub mod hub;
 pub mod knowledge;
 pub mod mediator;
 pub mod plan;
@@ -66,6 +70,7 @@ pub use fault::{
 pub use federation::{
     Federation, FetchBatch, FetchRequest, FetchSet, MediatorStats, RegisteredSource,
 };
+pub use hub::{PinnedSnapshot, SnapshotHub};
 pub use knowledge::{DomainView, Knowledge};
 pub use mediator::Mediator;
 pub use plan::{
@@ -74,7 +79,7 @@ pub use plan::{
     Section5Query,
 };
 pub use query::AnswerSet;
-pub use snapshot::QuerySnapshot;
+pub use snapshot::{QuerySnapshot, SnapshotAnswer};
 pub use wrapper::{
     Anchor, Capability, MemoryWrapper, ObjectRow, QueryTemplate, Selection, SourceQuery, Wrapper,
 };

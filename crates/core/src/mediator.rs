@@ -23,6 +23,7 @@ use crate::error::{MediatorError, Result};
 use crate::fault::{AnswerReport, BreakerState, Clock, SourceError, SourcePolicy};
 use crate::federation::{Federation, FetchRequest};
 pub use crate::federation::{MediatorStats, RegisteredSource};
+use crate::hub::{PinnedSnapshot, SnapshotHub};
 use crate::knowledge::Knowledge;
 use crate::snapshot::QuerySnapshot;
 use crate::wrapper::{Anchor, ObjectRow, SourceQuery, Wrapper};
@@ -68,6 +69,12 @@ pub struct Mediator {
     /// happened in between — repeated snapshots of a quiet mediator share
     /// one base clone instead of deep-copying per call.
     shared_base: Option<Arc<GcmBase>>,
+    /// The snapshot publication hub: the epoch-counted current-snapshot
+    /// slot that readers load wait-free. The mediator is its single
+    /// writer — [`Self::publish`] installs into it whenever anyone else
+    /// holds a reference (see [`Self::hub`]), and
+    /// [`Self::publish_snapshot`] installs unconditionally.
+    hub: Arc<SnapshotHub>,
     eval_options: EvalOptions,
 }
 
@@ -92,6 +99,7 @@ impl Mediator {
             needs_rebuild: true,
             view_spans: Vec::new(),
             shared_base: None,
+            hub: Arc::new(SnapshotHub::new()),
             eval_options,
         };
         m.rebuild().expect("empty mediator builds");
@@ -889,8 +897,41 @@ impl Mediator {
     /// [`Self::run`]. Everything asserted or retracted since the last
     /// publish is folded into the cached model — incrementally when one
     /// exists — and the result becomes what queries and snapshots see.
+    ///
+    /// Publication is **demand-driven**: when anyone besides the
+    /// mediator holds the [`Self::hub`], the refreshed snapshot is also
+    /// installed there (bumping the hub epoch) so hub readers observe
+    /// the new state. With no subscribers the install — and the base
+    /// clone a snapshot implies — is skipped entirely, keeping the bare
+    /// write path as cheap as before the hub existed.
     pub fn publish(&mut self) -> Result<&Model> {
-        self.run()
+        if Arc::strong_count(&self.hub) > 1 {
+            self.publish_snapshot()?;
+        } else {
+            self.run()?;
+        }
+        Ok(self.model.as_ref().expect("run() caches the model"))
+    }
+
+    /// The snapshot publication hub. Cloning the returned `Arc` counts
+    /// as *subscribing*: from then on every [`Self::publish`] installs
+    /// the fresh snapshot into the hub for wait-free loads. Readers that
+    /// only ever want the current state should hold the hub and
+    /// [`SnapshotHub::load`] per request rather than calling
+    /// [`Self::snapshot`] through a lock on the mediator.
+    pub fn hub(&self) -> Arc<SnapshotHub> {
+        Arc::clone(&self.hub)
+    }
+
+    /// Publishes staged writes *and* unconditionally installs the
+    /// resulting snapshot into the hub, returning the pinned
+    /// publication. This is the explicit serving-plane entry point —
+    /// call it once at startup to seed the hub, then let
+    /// [`Self::publish`] keep it fresh.
+    pub fn publish_snapshot(&mut self) -> Result<PinnedSnapshot> {
+        let snap = self.snapshot()?;
+        self.hub.install(snap);
+        Ok(self.hub.load().expect("just installed"))
     }
 
     /// Whether mutations are staged and waiting for the next

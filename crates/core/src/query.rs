@@ -340,6 +340,47 @@ mod tests {
         assert_eq!(again.rows.len(), 2);
     }
 
+    /// The hub side of the audit: subscribing to the hub and publishing
+    /// through it are pointer-copying operations on a quiet mediator —
+    /// the cached model `Arc` survives untouched, no write is staged,
+    /// and only the hub epoch moves. (The server's own serving knobs —
+    /// worker count, queue depth, default budget — live in
+    /// `kind-server::ServerConfig` and are audited there: they never
+    /// reach the mediator at all.)
+    #[test]
+    fn hub_publication_keeps_warm_model_warm() {
+        let mut m = mediator_with_two_sources();
+        m.publish().unwrap();
+        let warm_ptr = Arc::as_ptr(m.cached_model().expect("publish caches the model"));
+        // Subscribing alone changes nothing.
+        let hub = m.hub();
+        assert_eq!(hub.epoch(), 0);
+        assert!(!m.publish_pending());
+        // A subscribed publish installs (epoch 1) but reuses the cached
+        // model and stages nothing.
+        m.publish().unwrap();
+        assert_eq!(hub.epoch(), 1);
+        let pinned = hub.load().expect("installed");
+        assert_eq!(
+            Arc::as_ptr(m.cached_model().expect("model still cached")),
+            warm_ptr,
+            "hub publication invalidated the published model"
+        );
+        assert_eq!(
+            pinned.model() as *const _,
+            warm_ptr,
+            "the hub serves the very model the mediator cached"
+        );
+        // Explicit publish_snapshot: same contract, next epoch.
+        let p2 = m.publish_snapshot().unwrap();
+        assert_eq!(p2.epoch(), 2);
+        assert_eq!(
+            Arc::as_ptr(m.cached_model().expect("model still cached")),
+            warm_ptr
+        );
+        assert!(!m.publish_pending());
+    }
+
     #[test]
     fn answer_rejects_multi_clause_input() {
         let mut m = mediator_with_two_sources();

@@ -29,11 +29,26 @@
 use crate::error::{MediatorError, Result};
 use crate::knowledge::DomainView;
 use crate::plan::{DistributionFetch, NeuroSchema, PlanTrace, Section5Fetch};
-use kind_datalog::{EvalOptions, Model, Term};
+use kind_datalog::{EvalOptions, EvalStats, Model, Term};
 use kind_dm::{DomainMap, Resolved, SemanticIndex};
 use kind_flogic::{parse_fl_program, Molecule};
 use kind_gcm::GcmBase;
 use std::sync::Arc;
+
+/// The result of [`QuerySnapshot::answer_with`]: rendered answer rows
+/// plus the evaluation counters a serving layer wants to report per
+/// response (see `crates/server`).
+#[derive(Debug, Clone)]
+pub struct SnapshotAnswer {
+    /// Rendered rows in head-variable order, sorted.
+    pub rows: Vec<Vec<String>>,
+    /// Evaluation statistics of the per-call scratch run.
+    pub stats: EvalStats,
+    /// Whether the magic-sets demand rewrite fired for this goal.
+    pub magic_fired: bool,
+    /// Whether the cost model declined an otherwise applicable rewrite.
+    pub magic_declined: bool,
+}
 
 /// A frozen, `Send + Sync` view of an evaluated mediator: shared base +
 /// model + domain map + resolved closures, read-only query API. See the
@@ -178,6 +193,17 @@ impl QuerySnapshot {
     /// callers share nothing mutable. Returns rendered rows (sorted), in
     /// head-variable order.
     pub fn answer(&self, rule_text: &str) -> Result<Vec<Vec<String>>> {
+        self.answer_with(rule_text, &self.eval_options)
+            .map(|a| a.rows)
+    }
+
+    /// [`Self::answer`] with caller-supplied evaluation options and the
+    /// per-call evaluation counters returned alongside the rows. This is
+    /// the serving-plane entry point: a server thread swaps in a
+    /// per-request [`kind_datalog::CancelToken`] / budget while keeping
+    /// everything else from the snapshot's frozen options, and reports
+    /// the [`EvalStats`] and magic-sets outcome with the response.
+    pub fn answer_with(&self, rule_text: &str, opts: &EvalOptions) -> Result<SnapshotAnswer> {
         // Validate the rule's shape with a scratch interner first, like
         // `Mediator::answer` does.
         let mut scratch = kind_datalog::Interner::new();
@@ -227,11 +253,11 @@ impl QuerySnapshot {
         );
         let model = if collides {
             work.flogic_mut()
-                .run_for_query(&goal, &self.eval_options)
+                .run_for_query(&goal, opts)
                 .map_err(MediatorError::from)?
         } else {
             work.flogic_mut()
-                .run_for_query_seeded(&goal, &self.model, &self.eval_options)
+                .run_for_query_seeded(&goal, &self.model, opts)
                 .map_err(MediatorError::from)?
         };
         let mut rows: Vec<Vec<String>> = model
@@ -244,7 +270,12 @@ impl QuerySnapshot {
             })
             .collect();
         rows.sort();
-        Ok(rows)
+        Ok(SnapshotAnswer {
+            rows,
+            stats: model.stats,
+            magic_fired: model.profile.magic_fired,
+            magic_declined: model.profile.magic_declined,
+        })
     }
 }
 

@@ -264,12 +264,14 @@ fn eight_threads_replay_warm_section5_plan_identically() {
     // replays read-only from 8 threads — no wrapper is contacted again.
     let (federation, knowledge) = m.fetch_eval_planes();
     let fetched = section5_fetch(federation, knowledge, &schema, &q, true).unwrap();
-    let snap = m.snapshot().unwrap();
+    let hub = m.hub();
+    m.publish_snapshot().unwrap();
     thread::scope(|s| {
         let handles: Vec<_> = (0..8)
             .map(|_| {
-                let (snap, schema, fetched, expected) = (&snap, &schema, &fetched, &expected);
+                let (hub, schema, fetched, expected) = (&hub, &schema, &fetched, &expected);
                 s.spawn(move || {
+                    let snap = hub.load().expect("hub seeded");
                     for _ in 0..4 {
                         let got = snap.run_section5(schema, fetched).unwrap();
                         assert_eq!(&got, expected, "snapshot replay diverged");

@@ -146,12 +146,15 @@ fn main() {
     let (federation, knowledge) = med.fetch_eval_planes();
     let fetched =
         section5_fetch(federation, knowledge, &schema, &q, true).expect("fetch phase runs");
-    // ...then the evaluate phase replays on the frozen snapshot.
-    let snap = med.snapshot().expect("snapshot publishes");
+    // ...then the evaluate phase replays on the published snapshot,
+    // loaded epoch-pinned from the mediator's hub by each thread.
+    let hub = med.hub();
+    med.publish_snapshot().expect("snapshot publishes");
     std::thread::scope(|s| {
         for t in 0..4 {
-            let (snap, schema, fetched, expected) = (&snap, &schema, &fetched, &expected);
+            let (hub, schema, fetched, expected) = (&hub, &schema, &fetched, &expected);
             s.spawn(move || {
+                let snap = hub.load().expect("hub seeded");
                 let replay = snap
                     .run_section5(schema, fetched)
                     .expect("warm plan replays");

@@ -82,21 +82,26 @@ fn main() {
     }
     assert_eq!(rows.len(), 2);
 
-    // 6. Concurrent serving: publish an immutable snapshot and query it
-    //    from as many threads as you like, lock-free, while the mediator
-    //    (the single `&mut` owner) stays free to keep evolving. Warm §5
-    //    plans replay on snapshots the same way — see the
-    //    `on_demand_queries` example.
-    let snap = med.snapshot().expect("snapshot publishes");
+    // 6. Concurrent serving through the publication hub: subscribe to
+    //    the mediator's `SnapshotHub`, publish, and any number of
+    //    threads load the current epoch-pinned snapshot wait-free while
+    //    the mediator (the single writer) stays free to keep evolving.
+    //    Warm §5 plans replay on snapshots the same way — see the
+    //    `on_demand_queries` example; `kind-server` is this pattern as a
+    //    standing binary.
+    let hub = med.hub();
+    med.publish_snapshot().expect("snapshot publishes");
     std::thread::scope(|s| {
         for _ in 0..4 {
-            let snap = &snap;
+            let hub = &hub;
             s.spawn(move || {
+                let snap = hub.load().expect("hub seeded");
                 let served = snap.query_fl_rendered("big_cell(X)").expect("query runs");
                 assert_eq!(served.len(), 2);
+                assert_eq!(snap.epoch(), 1);
             });
         }
     });
-    println!("snapshot served the same answer from 4 threads");
+    println!("hub epoch 1 served the same answer from 4 threads");
     println!("ok");
 }
