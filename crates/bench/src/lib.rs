@@ -198,6 +198,28 @@ impl Wrapper for LatencyWrapper {
         std::thread::sleep(self.delay);
         self.inner.query(q)
     }
+
+    // Stall-aware split-phase protocol: on the overlapped fetch plane
+    // the delay is parked on the executor's timer wheel instead of
+    // pinning a worker thread in the sleep above.
+    fn stall_hint(&self) -> Option<std::time::Duration> {
+        Some(self.delay)
+    }
+
+    fn submit(&self, _q: &kind_core::SourceQuery) -> kind_core::Submission {
+        kind_core::Submission::Parked {
+            stall: self.delay,
+            ticket: 0,
+        }
+    }
+
+    fn complete(
+        &self,
+        _ticket: u64,
+        q: &kind_core::SourceQuery,
+    ) -> std::result::Result<Vec<kind_core::ObjectRow>, kind_core::SourceError> {
+        self.inner.query(q)
+    }
 }
 
 /// A mediator federating `sources` independent object sources, each

@@ -302,7 +302,7 @@ impl JobBudget {
 /// report folding: surviving rows, quarantine diagnostics, and the
 /// outcome classification. Produced by [`execute_fetch`] and folded into
 /// the report by the serial path or by the parallel merge.
-struct FetchCompletion {
+pub(crate) struct FetchCompletion {
     /// Validated, residual-filtered rows (empty on failure/skip).
     rows: Vec<ObjectRow>,
     /// Rows rejected by CM validation.
@@ -319,103 +319,248 @@ struct FetchCompletion {
     error: Option<SourceError>,
 }
 
-/// Runs one wrapper query under `policy` — breaker check, per-attempt
-/// virtual-time budget, bounded retries with deterministic backoff, CM
-/// quarantine, residual selection filters — updating `breaker` and
-/// `stats` as it goes.
+/// A wrapper contact's outcome, fed back into the machine that asked
+/// for it.
+pub(crate) type SourceReply = std::result::Result<Vec<ObjectRow>, SourceError>;
+
+/// What a [`FetchMachine`] (or [`JobMachine`]) needs next.
+pub(crate) enum MachineStep {
+    /// Contact the source with the current query — run
+    /// [`Wrapper::query`] (blocking plane) or the split
+    /// [`Wrapper::submit`]/[`Wrapper::complete`] pair (overlapped plane)
+    /// — and call `step` again with the reply.
+    Contact,
+    /// The guarded fetch finished.
+    Done(FetchCompletion),
+}
+
+/// Where a [`FetchMachine`] is between contacts.
+enum FetchState {
+    /// About to run the pre-attempt gates (cancellation, deadline,
+    /// breaker) and issue the next primary attempt.
+    Gate,
+    /// A primary attempt is in flight.
+    Primary {
+        /// Whether the breaker was fully closed when the attempt left
+        /// (hedging is only for sources in good standing).
+        breaker_closed: bool,
+        /// Clock reading when the attempt left, for the per-attempt
+        /// timeout check.
+        started: u64,
+        /// The wrapper's self-charged cost before the attempt.
+        cost_before: u64,
+    },
+    /// A hedge backup is in flight; the slow primary's rows ride along
+    /// in case the backup loses the race.
+    Backup {
+        /// The primary's rows.
+        rows: Vec<ObjectRow>,
+        /// The primary's self-charged cost (the time to beat).
+        attempt_cost: u64,
+        /// The wrapper's self-charged cost before the backup.
+        backup_before: u64,
+    },
+}
+
+/// One guarded fetch — breaker check, per-attempt virtual-time budget,
+/// bounded retries with deterministic backoff, hedging, CM quarantine,
+/// residual selection filters — as a **resumable state machine** whose
+/// only suspension points are wrapper contacts.
 ///
 /// This is the **single** guarded-fetch body: the serial path
-/// ([`Federation::fetch`]) and every worker of the parallel fetch plane
-/// ([`Federation::fetch_parallel`]) execute exactly this code, so
-/// retry/breaker/quarantine semantics cannot drift between the two.
-fn execute_fetch(
-    src: &RegisteredSource,
-    policy: &SourcePolicy,
-    breaker: &mut CircuitBreaker,
-    clock: &Arc<dyn Clock>,
-    stats: &mut MediatorStats,
-    q: &SourceQuery,
-    budget: &mut JobBudget,
-) -> FetchCompletion {
-    let mut attempts = 0u32;
-    let mut hedged = 0usize;
-    let mut cancelled = 0usize;
-    let mut last_error: Option<SourceError> = None;
-    let guarded = loop {
-        // The deadline plane runs before any contact: a fired
-        // cancellation token or an exhausted slice abandons the fetch
-        // without touching the source or its breaker.
-        if budget.cancelled() {
-            stats.failures += 1;
-            cancelled += 1;
-            break GuardedFetch::Cancelled { attempts };
+/// ([`Federation::fetch`]), every worker of the scoped-thread fetch
+/// plane, and the overlapped executor ([`crate::executor`]) all drive
+/// exactly this machine — the planes differ only in *how* a suspended
+/// contact waits (a blocked thread vs. a parked timer), so
+/// retry/breaker/quarantine/hedge semantics cannot drift between them.
+struct FetchMachine {
+    attempts: u32,
+    hedged: usize,
+    cancelled: usize,
+    last_error: Option<SourceError>,
+    state: FetchState,
+}
+
+impl FetchMachine {
+    fn new() -> Self {
+        FetchMachine {
+            attempts: 0,
+            hedged: 0,
+            cancelled: 0,
+            last_error: None,
+            state: FetchState::Gate,
         }
-        if budget.exhausted() {
-            stats.failures += 1;
-            cancelled += 1;
-            budget.note_exhausted();
-            break GuardedFetch::DeadlineExceeded { attempts };
-        }
-        let now = clock.now_ms();
-        if !breaker.allows(now) {
-            stats.failures += 1;
-            break match last_error.take() {
-                // The breaker opened between retry attempts: report the
-                // failure that opened it.
-                Some(error) => GuardedFetch::Failed { attempts, error },
-                None => GuardedFetch::Skipped,
-            };
-        }
-        // Hedging is only for sources in good standing: a HalfOpen trial
-        // already is the recovery probe, doubling it would defeat the
-        // breaker's slow-start.
-        let breaker_closed = matches!(breaker.state(), BreakerState::Closed { .. });
-        attempts += 1;
-        stats.source_queries += 1;
-        let started = clock.now_ms();
-        let cost_before = src.wrapper.virtual_cost_ms();
-        let result = src.wrapper.query(q).and_then(|rows| {
-            let elapsed = clock.now_ms().saturating_sub(started);
-            if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
-                Err(SourceError::Timeout {
-                    elapsed_ms: elapsed,
-                    budget_ms: policy.timeout_ms,
-                })
-            } else {
-                Ok(rows)
-            }
-        });
-        // The attempt's own cost: the wrapper's self-reported stall delta,
-        // immune to concurrent siblings advancing the shared clock.
-        let attempt_cost = src.wrapper.virtual_cost_ms().saturating_sub(cost_before);
-        match result {
-            Ok(rows) => {
-                breaker.record_success();
-                stats.rows_shipped += rows.len();
-                stats.retries += (attempts - 1) as usize;
-                let mut rows = rows;
-                let mut charge = attempt_cost;
-                if policy.hedge_after_ms > 0
-                    && attempt_cost > policy.hedge_after_ms
-                    && breaker_closed
-                    && !budget.tainted
-                {
-                    // The primary answered, but slower than the hedge
-                    // threshold: in wall-clock terms a backup attempt
-                    // would have been racing it since `hedge_after_ms`.
-                    // Run the backup (it consumes the source's next fault
-                    // draw, so a seeded slow-tail re-rolls), pick the
-                    // virtual-time winner, and charge only the winner's
-                    // finishing time. Exactly one of the pair loses and
-                    // is recorded as cancelled.
-                    hedged += 1;
-                    cancelled += 1;
-                    attempts += 1;
+    }
+
+    /// Advances the machine. `reply` carries the contact outcome iff the
+    /// previous step returned [`MachineStep::Contact`].
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &mut self,
+        src: &RegisteredSource,
+        policy: &SourcePolicy,
+        breaker: &mut CircuitBreaker,
+        clock: &Arc<dyn Clock>,
+        stats: &mut MediatorStats,
+        q: &SourceQuery,
+        budget: &mut JobBudget,
+        mut reply: Option<SourceReply>,
+    ) -> MachineStep {
+        loop {
+            match std::mem::replace(&mut self.state, FetchState::Gate) {
+                FetchState::Gate => {
+                    // The deadline plane runs before any contact: a fired
+                    // cancellation token or an exhausted slice abandons
+                    // the fetch without touching the source or its
+                    // breaker.
+                    if budget.cancelled() {
+                        stats.failures += 1;
+                        self.cancelled += 1;
+                        return self.finish(
+                            GuardedFetch::Cancelled {
+                                attempts: self.attempts,
+                            },
+                            src,
+                            stats,
+                            q,
+                            budget,
+                        );
+                    }
+                    if budget.exhausted() {
+                        stats.failures += 1;
+                        self.cancelled += 1;
+                        budget.note_exhausted();
+                        return self.finish(
+                            GuardedFetch::DeadlineExceeded {
+                                attempts: self.attempts,
+                            },
+                            src,
+                            stats,
+                            q,
+                            budget,
+                        );
+                    }
+                    let now = clock.now_ms();
+                    if !breaker.allows(now) {
+                        stats.failures += 1;
+                        let guarded = match self.last_error.take() {
+                            // The breaker opened between retry attempts:
+                            // report the failure that opened it.
+                            Some(error) => GuardedFetch::Failed {
+                                attempts: self.attempts,
+                                error,
+                            },
+                            None => GuardedFetch::Skipped,
+                        };
+                        return self.finish(guarded, src, stats, q, budget);
+                    }
+                    // Hedging is only for sources in good standing: a
+                    // HalfOpen trial already is the recovery probe,
+                    // doubling it would defeat the breaker's slow-start.
+                    let breaker_closed = matches!(breaker.state(), BreakerState::Closed { .. });
+                    self.attempts += 1;
                     stats.source_queries += 1;
-                    let backup_before = src.wrapper.virtual_cost_ms();
-                    let backup = src.wrapper.query(q);
+                    self.state = FetchState::Primary {
+                        breaker_closed,
+                        started: clock.now_ms(),
+                        cost_before: src.wrapper.virtual_cost_ms(),
+                    };
+                    return MachineStep::Contact;
+                }
+                FetchState::Primary {
+                    breaker_closed,
+                    started,
+                    cost_before,
+                } => {
+                    let result = reply
+                        .take()
+                        .expect("contact reply fed back after Primary")
+                        .and_then(|rows| {
+                            let elapsed = clock.now_ms().saturating_sub(started);
+                            if policy.timeout_ms > 0 && elapsed > policy.timeout_ms {
+                                Err(SourceError::Timeout {
+                                    elapsed_ms: elapsed,
+                                    budget_ms: policy.timeout_ms,
+                                })
+                            } else {
+                                Ok(rows)
+                            }
+                        });
+                    // The attempt's own cost: the wrapper's self-reported
+                    // stall delta, immune to concurrent siblings
+                    // advancing the shared clock.
+                    let attempt_cost = src.wrapper.virtual_cost_ms().saturating_sub(cost_before);
+                    match result {
+                        Ok(rows) => {
+                            breaker.record_success();
+                            stats.rows_shipped += rows.len();
+                            stats.retries += (self.attempts - 1) as usize;
+                            if policy.hedge_after_ms > 0
+                                && attempt_cost > policy.hedge_after_ms
+                                && breaker_closed
+                                && !budget.tainted
+                            {
+                                // The primary answered, but slower than
+                                // the hedge threshold: in wall-clock terms
+                                // a backup attempt would have been racing
+                                // it since `hedge_after_ms`. Run the
+                                // backup (it consumes the source's next
+                                // fault draw, so a seeded slow-tail
+                                // re-rolls), pick the virtual-time winner,
+                                // and charge only the winner's finishing
+                                // time. Exactly one of the pair loses and
+                                // is recorded as cancelled.
+                                self.hedged += 1;
+                                self.cancelled += 1;
+                                self.attempts += 1;
+                                stats.source_queries += 1;
+                                self.state = FetchState::Backup {
+                                    rows,
+                                    attempt_cost,
+                                    backup_before: src.wrapper.virtual_cost_ms(),
+                                };
+                                return MachineStep::Contact;
+                            }
+                            return self.land(rows, attempt_cost, src, stats, q, budget);
+                        }
+                        Err(error) => {
+                            budget.charge(attempt_cost);
+                            breaker.record_failure(clock.now_ms());
+                            if self.attempts >= policy.retry.max_attempts {
+                                stats.retries += (self.attempts - 1) as usize;
+                                stats.failures += 1;
+                                return self.finish(
+                                    GuardedFetch::Failed {
+                                        attempts: self.attempts,
+                                        error,
+                                    },
+                                    src,
+                                    stats,
+                                    q,
+                                    budget,
+                                );
+                            }
+                            self.last_error = Some(error);
+                            let backoff = policy.retry.backoff_ms(self.attempts);
+                            clock.advance_ms(backoff);
+                            // The job sat out its own backoff: charge it.
+                            budget.charge(backoff);
+                            // Loop straight back into the gates: backoff
+                            // is a virtual-clock advance, not a wall stall.
+                            self.state = FetchState::Gate;
+                        }
+                    }
+                }
+                FetchState::Backup {
+                    rows,
+                    attempt_cost,
+                    backup_before,
+                } => {
+                    let backup = reply.take().expect("contact reply fed back after Backup");
                     let backup_cost = src.wrapper.virtual_cost_ms().saturating_sub(backup_before);
                     let backup_finish = policy.hedge_after_ms.saturating_add(backup_cost);
+                    let mut rows = rows;
+                    let mut charge = attempt_cost;
                     match backup {
                         Ok(backup_rows)
                             if (policy.timeout_ms == 0 || backup_cost <= policy.timeout_ms)
@@ -438,35 +583,110 @@ fn execute_fetch(
                             // not penalised.
                         }
                     }
+                    return self.land(rows, charge, src, stats, q, budget);
                 }
-                budget.charge(charge);
-                if budget.exhausted() {
-                    // The rows landed, but past the deadline: they are
-                    // dropped, exactly as if the transfer were still in
-                    // flight when the query gave up.
-                    stats.failures += 1;
-                    cancelled += 1;
-                    budget.note_exhausted();
-                    break GuardedFetch::DeadlineExceeded { attempts };
-                }
-                break GuardedFetch::Rows { rows, attempts };
-            }
-            Err(error) => {
-                budget.charge(attempt_cost);
-                breaker.record_failure(clock.now_ms());
-                if attempts >= policy.retry.max_attempts {
-                    stats.retries += (attempts - 1) as usize;
-                    stats.failures += 1;
-                    break GuardedFetch::Failed { attempts, error };
-                }
-                last_error = Some(error);
-                let backoff = policy.retry.backoff_ms(attempts);
-                clock.advance_ms(backoff);
-                // The job sat out its own backoff: charge it.
-                budget.charge(backoff);
             }
         }
-    };
+    }
+
+    /// The success epilogue shared by the hedged and unhedged paths:
+    /// charge the winner's cost, then either drop the rows at the
+    /// deadline or classify them.
+    fn land(
+        &mut self,
+        rows: Vec<ObjectRow>,
+        charge: u64,
+        src: &RegisteredSource,
+        stats: &mut MediatorStats,
+        q: &SourceQuery,
+        budget: &mut JobBudget,
+    ) -> MachineStep {
+        budget.charge(charge);
+        if budget.exhausted() {
+            // The rows landed, but past the deadline: they are dropped,
+            // exactly as if the transfer were still in flight when the
+            // query gave up.
+            stats.failures += 1;
+            self.cancelled += 1;
+            budget.note_exhausted();
+            return self.finish(
+                GuardedFetch::DeadlineExceeded {
+                    attempts: self.attempts,
+                },
+                src,
+                stats,
+                q,
+                budget,
+            );
+        }
+        self.finish(
+            GuardedFetch::Rows {
+                rows,
+                attempts: self.attempts,
+            },
+            src,
+            stats,
+            q,
+            budget,
+        )
+    }
+
+    /// Classifies a terminal [`GuardedFetch`] into the
+    /// [`FetchCompletion`] the merge consumes (CM quarantine, residual
+    /// filters, outcome/error mapping).
+    fn finish(
+        &mut self,
+        guarded: GuardedFetch,
+        src: &RegisteredSource,
+        stats: &mut MediatorStats,
+        q: &SourceQuery,
+        budget: &mut JobBudget,
+    ) -> MachineStep {
+        let hedged = self.hedged;
+        let cancelled = self.cancelled;
+        MachineStep::Done(classify_fetch(
+            guarded, hedged, cancelled, src, stats, q, budget,
+        ))
+    }
+}
+
+/// Runs one guarded fetch to completion on the calling thread — the
+/// blocking driver of [`FetchMachine`], used by the serial path and the
+/// scoped-thread plane. Every contact is a plain [`Wrapper::query`]
+/// call, exactly as before the machine refactor.
+#[allow(clippy::too_many_arguments)]
+fn execute_fetch(
+    src: &RegisteredSource,
+    policy: &SourcePolicy,
+    breaker: &mut CircuitBreaker,
+    clock: &Arc<dyn Clock>,
+    stats: &mut MediatorStats,
+    q: &SourceQuery,
+    budget: &mut JobBudget,
+) -> FetchCompletion {
+    let mut machine = FetchMachine::new();
+    let mut reply: Option<SourceReply> = None;
+    loop {
+        match machine.step(src, policy, breaker, clock, stats, q, budget, reply.take()) {
+            MachineStep::Contact => reply = Some(src.wrapper.query(q)),
+            MachineStep::Done(completion) => return completion,
+        }
+    }
+}
+
+/// Maps a terminal [`GuardedFetch`] to its [`FetchCompletion`]:
+/// quarantine-validate and residual-filter surviving rows, classify the
+/// outcome, surface the terminal error.
+#[allow(clippy::too_many_arguments)]
+fn classify_fetch(
+    guarded: GuardedFetch,
+    hedged: usize,
+    cancelled: usize,
+    src: &RegisteredSource,
+    stats: &mut MediatorStats,
+    q: &SourceQuery,
+    budget: &mut JobBudget,
+) -> FetchCompletion {
     match guarded {
         GuardedFetch::Rows { rows, attempts } => {
             // CM validation: quarantine, don't abort.
@@ -568,7 +788,7 @@ fn execute_fetch(
 /// breaker is *moved* in (taken out of the federation's map) so its
 /// requests run serially under exactly the serial-path semantics, and
 /// moved back at merge time.
-struct FetchJob {
+pub(crate) struct FetchJob {
     /// Index into the federation's source roster.
     src_pos: usize,
     policy: SourcePolicy,
@@ -580,7 +800,7 @@ struct FetchJob {
 }
 
 /// What one [`FetchJob`] produced, ready for the deterministic merge.
-struct FetchJobDone {
+pub(crate) struct FetchJobDone {
     source: String,
     breaker: CircuitBreaker,
     stats: MediatorStats,
@@ -630,6 +850,156 @@ fn run_fetch_job(
     }
 }
 
+/// One fetch job as a **resumable machine**: sequences the job's
+/// requests through a [`FetchMachine`] each, suspending at every wrapper
+/// contact. The overlapped executor ([`crate::executor`]) drives these
+/// on a fixed worker pool — a parked contact releases its worker instead
+/// of blocking it — while producing byte-for-byte the [`FetchJobDone`]
+/// that [`run_fetch_job`] produces on a dedicated thread.
+pub(crate) struct JobMachine {
+    src_pos: usize,
+    source_name: String,
+    policy: SourcePolicy,
+    breaker: CircuitBreaker,
+    budget: JobBudget,
+    requests: Vec<(usize, SourceQuery)>,
+    stats: MediatorStats,
+    results: Vec<(usize, FetchCompletion)>,
+    cursor: usize,
+    fetch: FetchMachine,
+}
+
+impl JobMachine {
+    pub(crate) fn new(sources: &[RegisteredSource], job: FetchJob) -> Self {
+        let source_name = sources[job.src_pos].name.clone();
+        let results = Vec::with_capacity(job.requests.len());
+        JobMachine {
+            src_pos: job.src_pos,
+            source_name,
+            policy: job.policy,
+            breaker: job.breaker,
+            budget: job.budget,
+            requests: job.requests,
+            stats: MediatorStats::default(),
+            results,
+            cursor: 0,
+            fetch: FetchMachine::new(),
+        }
+    }
+
+    /// The roster position of the job's source.
+    pub(crate) fn src_pos(&self) -> usize {
+        self.src_pos
+    }
+
+    /// The query the pending [`MachineStep::Contact`] is for. Only valid
+    /// between a `Contact` step and its reply.
+    pub(crate) fn current_query(&self) -> &SourceQuery {
+        &self.requests[self.cursor].1
+    }
+
+    /// Advances the job. `reply` carries the contact outcome iff the
+    /// previous step returned [`MachineStep::Contact`].
+    pub(crate) fn step(
+        &mut self,
+        sources: &[RegisteredSource],
+        clock: &Arc<dyn Clock>,
+        mut reply: Option<SourceReply>,
+    ) -> JobStep {
+        while self.cursor < self.requests.len() {
+            let src = &sources[self.src_pos];
+            let q = &self.requests[self.cursor].1;
+            match self.fetch.step(
+                src,
+                &self.policy,
+                &mut self.breaker,
+                clock,
+                &mut self.stats,
+                q,
+                &mut self.budget,
+                reply.take(),
+            ) {
+                MachineStep::Contact => return JobStep::Contact,
+                MachineStep::Done(completion) => {
+                    if !completion.quarantined.is_empty() {
+                        self.budget.tainted = true;
+                    }
+                    let idx = self.requests[self.cursor].0;
+                    self.results.push((idx, completion));
+                    self.cursor += 1;
+                    self.fetch = FetchMachine::new();
+                }
+            }
+        }
+        JobStep::Done(FetchJobDone {
+            source: std::mem::take(&mut self.source_name),
+            breaker: self.breaker.clone(),
+            stats: self.stats,
+            spent_ms: self.budget.spent_ms,
+            results: std::mem::take(&mut self.results),
+        })
+    }
+}
+
+/// What a [`JobMachine`] needs next.
+pub(crate) enum JobStep {
+    /// Contact the job's source with [`JobMachine::current_query`] and
+    /// step again with the reply.
+    Contact,
+    /// The job finished; merge its result.
+    Done(FetchJobDone),
+}
+
+/// How [`Federation::fetch_parallel`] maps fetch jobs onto OS threads.
+/// Either way the results — batches, reports, statistics, breaker
+/// transitions — are **bit-identical**; the modes differ only in how a
+/// stalled wrapper contact waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FetchMode {
+    /// One scoped thread per worker job (the default): a stalled contact
+    /// blocks its thread for the duration. Simple and fast for small
+    /// fan-out, but the thread count scales with the number of slow
+    /// sources in flight.
+    #[default]
+    ScopedThreads,
+    /// The overlapped executor ([`crate::executor`]): jobs are resumable
+    /// state machines on a fixed worker pool plus a timer wheel. A
+    /// stall-aware wrapper contact *parks* — releases its worker and
+    /// schedules a wake at its deadline — so hundreds of slow sources
+    /// overlap on `fetch_threads` workers, admission-limited by
+    /// [`Federation::set_in_flight_limit`].
+    Overlapped,
+}
+
+/// Tracks how many fetch-plane worker threads are live, and the
+/// high-water mark — the observable the overlapped executor exists to
+/// flatten (peak ≈ worker-pool size instead of ≈ sources in flight).
+#[derive(Debug, Default)]
+pub(crate) struct ThreadGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl ThreadGauge {
+    pub(crate) fn enter(&self) {
+        let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    pub(crate) fn exit(&self) {
+        self.current.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+
+    fn reset(&self) {
+        self.current.store(0, Ordering::SeqCst);
+        self.peak.store(0, Ordering::SeqCst);
+    }
+}
+
 /// The source-facing layer of the mediator: registered wrappers plus the
 /// resilience machinery guarding every fetch. See the module docs.
 #[derive(Debug)]
@@ -643,6 +1013,15 @@ pub struct Federation {
     /// Worker threads for the parallel fetch plane (0 = auto: one per
     /// involved source, capped by available parallelism).
     fetch_threads: usize,
+    /// How fetch jobs map onto threads (scoped thread-per-job vs the
+    /// overlapped executor).
+    fetch_mode: FetchMode,
+    /// Admission limit for the overlapped executor: at most this many
+    /// jobs in flight at once (0 = admit everything immediately). Also
+    /// caps the stall-aware adaptive sizing of the scoped plane.
+    in_flight_limit: usize,
+    /// Live/peak fetch worker threads (for the bench and the example).
+    thread_gauge: ThreadGauge,
     /// End-to-end budget armed for every degradable operation (0 = no
     /// deadline).
     query_budget_ms: u64,
@@ -677,6 +1056,9 @@ impl Federation {
             breakers: HashMap::new(),
             report: AnswerReport::default(),
             fetch_threads: 0,
+            fetch_mode: FetchMode::default(),
+            in_flight_limit: 0,
+            thread_gauge: ThreadGauge::default(),
             query_budget_ms: 0,
             budget: None,
             cancel: CancelToken::new(),
@@ -741,6 +1123,47 @@ impl Federation {
     /// The configured fetch-plane worker count (0 = auto).
     pub fn fetch_threads(&self) -> usize {
         self.fetch_threads
+    }
+
+    /// Selects how [`Self::fetch_parallel`] maps jobs onto threads.
+    /// Results are bit-identical in both modes at every worker count —
+    /// only the wall-clock/thread-count profile changes — so switching
+    /// is always safe. [`FetchMode::ScopedThreads`] is the default.
+    pub fn set_fetch_mode(&mut self, mode: FetchMode) {
+        self.fetch_mode = mode;
+    }
+
+    /// The configured fetch transport.
+    pub fn fetch_mode(&self) -> FetchMode {
+        self.fetch_mode
+    }
+
+    /// Caps how many fetch jobs the overlapped executor admits at once
+    /// (0 = no cap, the default). Admission is in job registration
+    /// order, so the knob changes wall clock and memory pressure, never
+    /// results. The same cap bounds the stall-aware adaptive sizing of
+    /// the scoped-thread plane.
+    pub fn set_in_flight_limit(&mut self, n: usize) {
+        self.in_flight_limit = n;
+    }
+
+    /// The configured in-flight admission limit (0 = unlimited).
+    pub fn in_flight_limit(&self) -> usize {
+        self.in_flight_limit
+    }
+
+    /// The highest number of fetch-plane worker threads that were ever
+    /// live at once since the last [`Self::reset_peak_fetch_threads`] —
+    /// the knob the overlapped executor flattens (a scoped-thread fetch
+    /// of 64 stalled sources peaks at 64; the overlapped plane peaks at
+    /// its worker-pool size).
+    pub fn peak_fetch_threads(&self) -> usize {
+        self.thread_gauge.peak()
+    }
+
+    /// Resets the [`Self::peak_fetch_threads`] high-water mark.
+    pub fn reset_peak_fetch_threads(&self) {
+        self.thread_gauge.reset();
     }
 
     /// Registered sources.
@@ -1021,44 +1444,71 @@ impl Federation {
             jobs[job_idx].requests.push((idx, r.query.clone()));
         }
         let workers = self.effective_fetch_threads(jobs.len());
+        let mode = self.fetch_mode;
+        let in_flight = self.in_flight_limit;
         let finished: Vec<FetchJobDone> = {
-            let Federation { sources, clock, .. } = &*self;
-            if workers <= 1 {
-                // Serial baseline: same job code, no thread overhead.
-                jobs.into_iter()
-                    .map(|job| run_fetch_job(sources, clock, job))
-                    .collect()
-            } else {
-                let slots: Vec<Mutex<Option<FetchJobDone>>> =
-                    jobs.iter().map(|_| Mutex::new(None)).collect();
-                let queue: Vec<Mutex<Option<FetchJob>>> =
-                    jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-                let next = AtomicUsize::new(0);
-                std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        scope.spawn(|| loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= queue.len() {
-                                break;
-                            }
-                            let job = queue[i]
-                                .lock()
-                                .expect("job queue poisoned")
-                                .take()
-                                .expect("each job taken exactly once");
-                            let done = run_fetch_job(sources, clock, job);
-                            *slots[i].lock().expect("result slot poisoned") = Some(done);
-                        });
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|slot| {
-                        slot.into_inner()
-                            .expect("result slot poisoned")
-                            .expect("every job produced a result")
-                    })
-                    .collect()
+            let Federation {
+                sources,
+                clock,
+                thread_gauge,
+                ..
+            } = &*self;
+            match mode {
+                FetchMode::Overlapped if !jobs.is_empty() => crate::executor::run_overlapped(
+                    sources,
+                    clock,
+                    jobs,
+                    workers,
+                    in_flight,
+                    thread_gauge,
+                ),
+                _ if workers <= 1 => {
+                    // Serial baseline: same job code, no thread overhead.
+                    // The caller's thread is the one fetch worker.
+                    thread_gauge.enter();
+                    let finished = jobs
+                        .into_iter()
+                        .map(|job| run_fetch_job(sources, clock, job))
+                        .collect();
+                    thread_gauge.exit();
+                    finished
+                }
+                _ => {
+                    let slots: Vec<Mutex<Option<FetchJobDone>>> =
+                        jobs.iter().map(|_| Mutex::new(None)).collect();
+                    let queue: Vec<Mutex<Option<FetchJob>>> =
+                        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+                    let next = AtomicUsize::new(0);
+                    std::thread::scope(|scope| {
+                        for _ in 0..workers {
+                            scope.spawn(|| {
+                                thread_gauge.enter();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= queue.len() {
+                                        break;
+                                    }
+                                    let job = queue[i]
+                                        .lock()
+                                        .expect("job queue poisoned")
+                                        .take()
+                                        .expect("each job taken exactly once");
+                                    let done = run_fetch_job(sources, clock, job);
+                                    *slots[i].lock().expect("result slot poisoned") = Some(done);
+                                }
+                                thread_gauge.exit();
+                            });
+                        }
+                    });
+                    slots
+                        .into_iter()
+                        .map(|slot| {
+                            slot.into_inner()
+                                .expect("result slot poisoned")
+                                .expect("every job produced a result")
+                        })
+                        .collect()
+                }
             }
         };
         // Deterministic merge: jobs in first-appearance order, requests
@@ -1112,8 +1562,31 @@ impl Federation {
     /// given number of jobs: the explicit knob when set, otherwise one
     /// worker per core, always capped by the number of plan sources
     /// (adaptive sizing — both planes share [`kind_datalog::pool_size`]).
+    ///
+    /// With one exception: on the scoped-thread plane, a plan touching
+    /// any **stall-aware** source ([`Wrapper::stall_hint`]) is
+    /// latency-bound, not compute-bound — its workers spend their time
+    /// blocked in wrapper I/O, not on a core — so capping the pool at
+    /// core count would serialize it (on a 1-core host, 8 × 5ms sources
+    /// would fetch in 40ms instead of ~5ms). Such plans size by overlap
+    /// instead: one worker per job, capped only by the in-flight limit.
     pub(crate) fn effective_fetch_threads(&self, jobs: usize) -> usize {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if self.fetch_mode == FetchMode::ScopedThreads
+            && self.fetch_threads == 0
+            && jobs > 0
+            && self
+                .sources
+                .iter()
+                .any(|s| s.wrapper.stall_hint().is_some())
+        {
+            let cap = if self.in_flight_limit == 0 {
+                jobs
+            } else {
+                self.in_flight_limit
+            };
+            return jobs.min(cap).max(1);
+        }
         kind_datalog::pool_size(self.fetch_threads, jobs, cores)
     }
 
@@ -1163,7 +1636,7 @@ mod tests {
     use super::*;
     use crate::fault::{Fault, FaultInjector};
     use crate::mediator::Mediator;
-    use crate::wrapper::{Anchor, MemoryWrapper};
+    use crate::wrapper::{Anchor, MemoryWrapper, StallAware};
     use kind_dm::{figures, ExecMode};
     use kind_gcm::GcmValue;
 
@@ -1324,5 +1797,164 @@ mod tests {
         assert!(set.batches.is_empty());
         assert!(set.is_complete());
         assert_eq!(set.stats, MediatorStats::default());
+    }
+
+    #[test]
+    fn overlapped_is_bit_identical_to_scoped() {
+        let mut baseline = three_source_mediator();
+        baseline.federation_mut().set_fetch_threads(1);
+        let requests = all_scans(&baseline);
+        let serial = baseline.federation_mut().fetch_parallel(&requests).unwrap();
+        for (workers, in_flight) in [(1usize, 0usize), (1, 1), (8, 0), (8, 2)] {
+            let mut m = three_source_mediator();
+            m.set_fetch_mode(FetchMode::Overlapped);
+            m.federation_mut().set_fetch_threads(workers);
+            m.set_in_flight_limit(in_flight);
+            let over = m.federation_mut().fetch_parallel(&requests).unwrap();
+            assert_eq!(
+                format!("{:?}", serial.batches),
+                format!("{:?}", over.batches),
+                "batches diverge at {workers} workers / in-flight {in_flight}"
+            );
+            assert_eq!(serial.report, over.report);
+            assert_eq!(serial.stats, over.stats);
+        }
+    }
+
+    #[test]
+    fn overlapped_matches_scoped_under_faults_hedges_and_deadlines() {
+        // A seeded fault schedule exercising retries (FailFirst), the
+        // hedge path (SlowTail + hedge_after_ms), and deadline charging
+        // (query budget), run through both transports.
+        let build = |mode: FetchMode, workers: usize| {
+            let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+            m.set_fetch_mode(mode);
+            m.federation_mut().set_fetch_threads(workers);
+            m.set_default_policy(SourcePolicy::with_hedge_after_ms(10));
+            m.set_query_budget_ms(500);
+            m.register(wrapper("OK", "ca", "Spine", 3)).unwrap();
+            let shaky = FaultInjector::new(wrapper("SHAKY", "cb", "Shaft", 2), m.clock())
+                .with_fault(Fault::FailFirst(1))
+                .with_fault(Fault::SlowTail {
+                    seed: 77,
+                    delay_ms: 40,
+                    slow_per_mille: 700,
+                });
+            let shaky = Arc::new(shaky);
+            shaky.disarm();
+            m.register(Arc::clone(&shaky) as Arc<dyn Wrapper>).unwrap();
+            shaky.arm();
+            m.register(wrapper("C", "cc", "Neuron", 4)).unwrap();
+            m
+        };
+        let mut baseline = build(FetchMode::ScopedThreads, 1);
+        let requests = all_scans(&baseline);
+        let serial = baseline.federation_mut().fetch_parallel(&requests).unwrap();
+        for workers in [1usize, 8] {
+            let mut m = build(FetchMode::Overlapped, workers);
+            let over = m.federation_mut().fetch_parallel(&requests).unwrap();
+            assert_eq!(
+                format!("{:?}", serial.batches),
+                format!("{:?}", over.batches),
+                "batches diverge at {workers} workers"
+            );
+            assert_eq!(serial.report, over.report, "reports diverge at {workers}");
+            assert_eq!(serial.stats, over.stats, "stats diverge at {workers}");
+            assert_eq!(
+                baseline.breaker_state("SHAKY"),
+                m.breaker_state("SHAKY"),
+                "breaker state diverges at {workers}"
+            );
+        }
+        // The schedule actually exercised the machinery: a retry
+        // happened and at least one hedge fired.
+        let shaky = serial.report.source("SHAKY").unwrap();
+        assert!(shaky.attempts > 1 || shaky.hedged > 0);
+    }
+
+    #[test]
+    fn stall_aware_plans_size_by_overlap_not_cores() {
+        // Satellite: a 1-core host federating 8 stall-bound sources must
+        // not serialize them. With a stall hint registered and the knob
+        // on auto, the scoped plane sizes one worker per job.
+        let mut m = three_source_mediator();
+        let slow = StallAware::new(
+            wrapper("SLOW", "cd", "Dendrite", 1),
+            std::time::Duration::from_millis(1),
+        );
+        m.register(slow).unwrap();
+        assert_eq!(m.federation().effective_fetch_threads(8), 8);
+        assert_eq!(m.federation().effective_fetch_threads(1), 1);
+        // The in-flight limit still caps the pool.
+        m.set_in_flight_limit(3);
+        assert_eq!(m.federation().effective_fetch_threads(8), 3);
+        m.set_in_flight_limit(0);
+        // An explicit knob wins over the stall-aware sizing.
+        m.federation_mut().set_fetch_threads(2);
+        assert_eq!(m.federation().effective_fetch_threads(8), 2);
+        // On the overlapped plane parking makes over-provisioning moot,
+        // so the pool sizes by cores as usual.
+        m.federation_mut().set_fetch_threads(0);
+        m.set_fetch_mode(FetchMode::Overlapped);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(
+            m.federation().effective_fetch_threads(8),
+            kind_datalog::pool_size(0, 8, cores)
+        );
+    }
+
+    #[test]
+    fn overlapped_parks_stalls_instead_of_holding_threads() {
+        // 8 stall-aware sources × 25ms on 2 workers: thread-per-source
+        // needs 8 threads (or 4 × 25ms rounds); parking overlaps all 8
+        // stalls on the wheel and finishes in ~1 round.
+        let mut m = Mediator::new(figures::figure1(), ExecMode::Assertion);
+        for s in 0..8 {
+            let w = wrapper(&format!("S{s}"), &format!("c{s}"), "Spine", 2);
+            m.register(StallAware::new(w, std::time::Duration::from_millis(25)))
+                .unwrap();
+        }
+        m.set_fetch_mode(FetchMode::Overlapped);
+        m.federation_mut().set_fetch_threads(2);
+        let requests = all_scans(&m);
+        m.federation_mut().reset_peak_fetch_threads();
+        let start = std::time::Instant::now();
+        let set = m.federation_mut().fetch_parallel(&requests).unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(set.total_rows(), 16);
+        assert!(set.is_complete());
+        // Peak thread count is the pool size, not the source count.
+        assert!(
+            m.federation().peak_fetch_threads() <= 2,
+            "peak {} > workers",
+            m.federation().peak_fetch_threads()
+        );
+        // Serial would be 8 × 25ms = 200ms; 2 blocking workers 100ms.
+        // Overlapped parks all stalls concurrently: ~25ms + scheduling.
+        assert!(
+            elapsed < std::time::Duration::from_millis(150),
+            "stalls did not overlap: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn overlapped_respects_in_flight_admission() {
+        // With in_flight = 1 jobs are admitted one at a time, in job
+        // order — results still land bit-identical to serial.
+        let mut baseline = three_source_mediator();
+        baseline.federation_mut().set_fetch_threads(1);
+        let requests = all_scans(&baseline);
+        let serial = baseline.federation_mut().fetch_parallel(&requests).unwrap();
+        let mut m = three_source_mediator();
+        m.set_fetch_mode(FetchMode::Overlapped);
+        m.federation_mut().set_fetch_threads(4);
+        m.set_in_flight_limit(1);
+        let over = m.federation_mut().fetch_parallel(&requests).unwrap();
+        assert_eq!(
+            format!("{:?}", serial.batches),
+            format!("{:?}", over.batches)
+        );
+        assert_eq!(serial.report, over.report);
+        assert_eq!(serial.stats, over.stats);
     }
 }

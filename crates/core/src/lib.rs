@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+mod executor;
 pub mod fault;
 pub mod federation;
 pub mod hub;
@@ -68,7 +69,7 @@ pub use fault::{
     SourceReport, VirtualClock,
 };
 pub use federation::{
-    Federation, FetchBatch, FetchRequest, FetchSet, MediatorStats, RegisteredSource,
+    Federation, FetchBatch, FetchMode, FetchRequest, FetchSet, MediatorStats, RegisteredSource,
 };
 pub use hub::{PinnedSnapshot, SnapshotHub};
 pub use knowledge::{DomainView, Knowledge};
@@ -81,5 +82,6 @@ pub use plan::{
 pub use query::AnswerSet;
 pub use snapshot::{QuerySnapshot, SnapshotAnswer};
 pub use wrapper::{
-    Anchor, Capability, MemoryWrapper, ObjectRow, QueryTemplate, Selection, SourceQuery, Wrapper,
+    Anchor, Capability, MemoryWrapper, ObjectRow, QueryTemplate, Selection, SourceQuery,
+    StallAware, Submission, Wrapper,
 };

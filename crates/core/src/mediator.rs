@@ -585,6 +585,33 @@ impl Mediator {
         self.eval_options.eval_threads
     }
 
+    /// Selects the fetch-plane transport (see [`kind_core::FetchMode`]
+    /// via the crate root): scoped thread-per-job, or the overlapped
+    /// executor that parks stalled attempts on a timer wheel. Both
+    /// transports produce bit-identical `FetchSet`s, so switching
+    /// neither dirties the base nor invalidates a cached model; it only
+    /// affects wall clock and thread footprint.
+    pub fn set_fetch_mode(&mut self, mode: crate::FetchMode) {
+        self.federation.set_fetch_mode(mode);
+    }
+
+    /// The configured fetch-plane transport.
+    pub fn fetch_mode(&self) -> crate::FetchMode {
+        self.federation.fetch_mode()
+    }
+
+    /// Caps how many fetch jobs may be in flight at once on the
+    /// overlapped transport (0 = unlimited). Admission order is job
+    /// order, so the knob is cache-neutral like the other fetch knobs.
+    pub fn set_in_flight_limit(&mut self, n: usize) {
+        self.federation.set_in_flight_limit(n);
+    }
+
+    /// The configured overlapped-transport admission cap.
+    pub fn in_flight_limit(&self) -> usize {
+        self.federation.in_flight_limit()
+    }
+
     /// Toggles the magic-sets demand transformation for goal-directed
     /// queries ([`Self::answer`] and snapshot answers). The rewrite is
     /// answer-preserving and only ever applied on the query path — full

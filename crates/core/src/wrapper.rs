@@ -158,6 +158,31 @@ pub enum Anchor {
     },
 }
 
+/// The outcome of a split-phase [`Wrapper::submit`]: either the answer
+/// itself (compute-bound wrappers answer inline) or a parked request the
+/// caller must [`Wrapper::complete`] after roughly `stall` of wall time.
+///
+/// This is how a wrapper opts into the overlapped fetch plane
+/// ([`crate::federation::FetchMode::Overlapped`]): instead of blocking an
+/// OS thread inside [`Wrapper::query`] for the duration of a network
+/// round-trip, it *declares* the stall, the executor parks the fetch job
+/// on a timer wheel, and a worker thread comes back for the rows when
+/// the stall has elapsed.
+#[derive(Debug)]
+pub enum Submission {
+    /// The wrapper answered inline; no parking needed.
+    Ready(std::result::Result<Vec<ObjectRow>, crate::fault::SourceError>),
+    /// The request was started. Call [`Wrapper::complete`] with `ticket`
+    /// no earlier than `stall` from now to collect the rows.
+    Parked {
+        /// The expected wall-clock stall before the answer is ready.
+        stall: std::time::Duration,
+        /// Opaque handle identifying the in-flight request; handed back
+        /// to [`Wrapper::complete`] verbatim.
+        ticket: u64,
+    },
+}
+
 /// The wrapper interface. Implementations translate between a source's
 /// native data and the conceptual level.
 ///
@@ -216,6 +241,134 @@ pub trait Wrapper: Send + Sync {
     /// report 0 forever.
     fn virtual_cost_ms(&self) -> u64 {
         0
+    }
+
+    /// The wall-clock stall one query against this source is expected to
+    /// spend waiting on I/O, if the wrapper is **stall-aware** (implements
+    /// the split [`Self::submit`]/[`Self::complete`] protocol). `None` —
+    /// the default — means compute-bound: queries return as fast as the
+    /// CPU allows and there is nothing for the fetch plane to overlap.
+    ///
+    /// The adaptive fetch sizing uses this declaration: a plan touching
+    /// any stall-aware source is latency-bound, so the scoped-thread
+    /// plane sizes its pool by overlap (jobs, capped by the in-flight
+    /// limit) instead of by core count.
+    fn stall_hint(&self) -> Option<std::time::Duration> {
+        None
+    }
+
+    /// Split-phase query, phase one: start the request. Stall-aware
+    /// wrappers return [`Submission::Parked`] immediately — no blocking —
+    /// and deliver the rows from [`Self::complete`]; everything else
+    /// falls back to answering inline via [`Self::query`].
+    ///
+    /// Contract: at most one submission per wrapper is outstanding at a
+    /// time (the fetch plane runs each source's requests serially inside
+    /// one job, and a hedge backup is only submitted after its primary
+    /// completed), and every `Parked` submission is completed exactly
+    /// once.
+    fn submit(&self, q: &SourceQuery) -> Submission {
+        Submission::Ready(self.query(q))
+    }
+
+    /// Split-phase query, phase two: collect a parked submission's rows.
+    /// Called once per [`Submission::Parked`], no earlier than its
+    /// declared stall. The default pairs with the default [`Self::submit`]
+    /// (which never parks) and simply answers the query, so a wrapper
+    /// overriding neither method still behaves correctly in every fetch
+    /// mode.
+    fn complete(
+        &self,
+        _ticket: u64,
+        q: &SourceQuery,
+    ) -> std::result::Result<Vec<ObjectRow>, crate::fault::SourceError> {
+        self.query(q)
+    }
+}
+
+/// Decorates any wrapper with a declared wall-clock `stall` per query —
+/// the generic opt-in adapter for the overlapped fetch plane.
+///
+/// On the blocking path ([`Wrapper::query`], used by
+/// [`crate::federation::FetchMode::ScopedThreads`]) the adapter really
+/// sleeps `stall` of wall time, modelling a network round-trip that
+/// pins its thread. On the split-phase path it parks instead: `submit`
+/// returns [`Submission::Parked`] without blocking, and `complete`
+/// answers from the inner wrapper — so hundreds of stalled sources
+/// overlap on a handful of executor workers.
+pub struct StallAware {
+    inner: std::sync::Arc<dyn Wrapper>,
+    stall: std::time::Duration,
+}
+
+impl StallAware {
+    /// Wraps `inner`, declaring `stall` of wall time per query.
+    pub fn new(
+        inner: std::sync::Arc<dyn Wrapper>,
+        stall: std::time::Duration,
+    ) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(StallAware { inner, stall })
+    }
+}
+
+impl Wrapper for StallAware {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn formalism(&self) -> &str {
+        self.inner.formalism()
+    }
+
+    fn export_cm(&self) -> Element {
+        self.inner.export_cm()
+    }
+
+    fn capabilities(&self) -> Vec<Capability> {
+        self.inner.capabilities()
+    }
+
+    fn templates(&self) -> Vec<QueryTemplate> {
+        self.inner.templates()
+    }
+
+    fn anchors(&self) -> Vec<Anchor> {
+        self.inner.anchors()
+    }
+
+    fn dm_contribution(&self) -> String {
+        self.inner.dm_contribution()
+    }
+
+    fn virtual_cost_ms(&self) -> u64 {
+        self.inner.virtual_cost_ms()
+    }
+
+    fn query(
+        &self,
+        q: &SourceQuery,
+    ) -> std::result::Result<Vec<ObjectRow>, crate::fault::SourceError> {
+        std::thread::sleep(self.stall);
+        self.inner.query(q)
+    }
+
+    fn stall_hint(&self) -> Option<std::time::Duration> {
+        Some(self.stall)
+    }
+
+    fn submit(&self, _q: &SourceQuery) -> Submission {
+        Submission::Parked {
+            stall: self.stall,
+            ticket: 0,
+        }
+    }
+
+    fn complete(
+        &self,
+        _ticket: u64,
+        q: &SourceQuery,
+    ) -> std::result::Result<Vec<ObjectRow>, crate::fault::SourceError> {
+        self.inner.query(q)
     }
 }
 

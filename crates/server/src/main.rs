@@ -10,8 +10,15 @@ kind-server — the deployed KIND mediator (see DESIGN.md, server plane)
 USAGE:
   kind-server [--addr HOST:PORT] [--workers N] [--queue-depth N]
               [--budget-ms N] [--scenario small|default]
+              [--fetch-mode scoped|overlapped] [--fetch-workers N]
+              [--in-flight N]
   kind-server --client [--addr HOST:PORT] [--threads N] [--requests N]
               [--budget-ms N] [--quiet]
+
+`--fetch-mode overlapped` routes cold fetches through the stall-aware
+executor: `--fetch-workers` sizes its fixed pool (0 = auto) and
+`--in-flight` caps concurrent fetch jobs (0 = unlimited). Answers are
+bit-identical across modes; only wall clock and threads change.
 
 Server mode starts the scenario mediator, publishes the first snapshot
 into the hub, and serves the JSON-per-line protocol until SIGTERM/ctrl-c
@@ -67,7 +74,7 @@ fn main() {
         return;
     }
 
-    let scenario = match parse_flag(&args, "--scenario").as_deref() {
+    let mut scenario = match parse_flag(&args, "--scenario").as_deref() {
         Some("small") => ScenarioParams {
             senselab_rows: 10,
             ncmir_rows: 15,
@@ -82,6 +89,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    scenario.fetch_mode = match parse_flag(&args, "--fetch-mode").as_deref() {
+        Some("scoped") | None => kind_core::FetchMode::ScopedThreads,
+        Some("overlapped") => kind_core::FetchMode::Overlapped,
+        Some(other) => {
+            eprintln!("unknown fetch mode {other:?} (want scoped|overlapped)");
+            std::process::exit(2);
+        }
+    };
+    scenario.fetch_threads =
+        parse_num(&args, "--fetch-workers", scenario.fetch_threads as u64) as usize;
+    scenario.in_flight = parse_num(&args, "--in-flight", scenario.in_flight as u64) as usize;
     let config = ServerConfig {
         addr: parse_flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4901".into()),
         workers: parse_num(&args, "--workers", 2) as usize,

@@ -4,7 +4,9 @@
 //! For every seed we derive a deterministic configuration — which faults
 //! hit SENSELAB, whether a query budget is armed, whether hedging is on —
 //! and run the full plan at every `{fetch,eval}_threads` combination in
-//! `{1, N}²` (N from `KIND_EVAL_THREADS`, default 8). The invariants:
+//! `{1, N}²` (N from `KIND_EVAL_THREADS`, default 8), crossed with both
+//! fetch transports (scoped threads and the overlapped executor). The
+//! invariants:
 //!
 //! * nothing panics — every configuration degrades, it never aborts;
 //! * the [`kind::core::AnswerReport`] (outcomes, attempts, hedges,
@@ -23,7 +25,7 @@
 //! the sweep with e.g. `KIND_CHAOS_SEEDS="1,2,3,4,5" cargo test --test
 //! chaos_soak`.
 
-use kind::core::{run_section5, Fault, NeuroSchema, PlanTrace, Section5Query};
+use kind::core::{run_section5, Fault, FetchMode, NeuroSchema, PlanTrace, Section5Query};
 use kind::sources::{build_scenario, build_scenario_with_faults, ScenarioParams};
 
 /// splitmix64 — the same deterministic scrambler the fault injector uses
@@ -124,10 +126,16 @@ fn fingerprint(trace: &PlanTrace) -> (String, String) {
     (report, answer)
 }
 
-fn run_once(cfg: &ChaosConfig, fetch_threads: usize, eval_threads: usize) -> (String, String) {
+fn run_once(
+    cfg: &ChaosConfig,
+    fetch_threads: usize,
+    eval_threads: usize,
+    fetch_mode: FetchMode,
+) -> (String, String) {
     let params = ScenarioParams {
         fetch_threads,
         eval_threads,
+        fetch_mode,
         query_budget_ms: cfg.query_budget_ms,
         hedge_after_ms: cfg.hedge_after_ms,
         ..ScenarioParams::default()
@@ -150,22 +158,34 @@ fn chaos_soak_is_deterministic_and_degrades_gracefully() {
     };
     for seed in seeds_from_env() {
         let cfg = derive_config(seed);
-        let combos = [(1, 1), (1, hi), (hi, 1), (hi, hi)];
-        let runs: Vec<(String, String)> =
-            combos.iter().map(|&(f, e)| run_once(&cfg, f, e)).collect();
-        // Bit-identical reports and answers at every thread combination.
+        // Thread combinations crossed with both fetch transports: the
+        // overlapped executor must reproduce the scoped plane's reports
+        // and answers bit for bit under every chaos schedule.
+        let mut combos = Vec::new();
+        for mode in [FetchMode::ScopedThreads, FetchMode::Overlapped] {
+            for (f, e) in [(1, 1), (1, hi), (hi, 1), (hi, hi)] {
+                combos.push((f, e, mode));
+            }
+        }
+        let runs: Vec<(String, String)> = combos
+            .iter()
+            .map(|&(f, e, mode)| run_once(&cfg, f, e, mode))
+            .collect();
+        // Bit-identical reports and answers at every combination.
         for (combo, run) in combos.iter().zip(&runs).skip(1) {
             assert_eq!(
                 run, &runs[0],
-                "seed {seed}: {combo:?} diverged from (1,1) under {cfg:?}"
+                "seed {seed}: {combo:?} diverged from (1,1,scoped) under {cfg:?}"
             );
         }
-        // Repeat-run determinism at the high-thread setting.
-        let again = run_once(&cfg, hi, hi);
-        assert_eq!(
-            again, runs[0],
-            "seed {seed}: repeat run diverged under {cfg:?}"
-        );
+        // Repeat-run determinism at the high-thread setting, both modes.
+        for mode in [FetchMode::ScopedThreads, FetchMode::Overlapped] {
+            let again = run_once(&cfg, hi, hi, mode);
+            assert_eq!(
+                again, runs[0],
+                "seed {seed}: repeat {mode:?} run diverged under {cfg:?}"
+            );
+        }
         // A report that claims completeness must back it up: the answer
         // equals the fault-free baseline bit for bit.
         let (_report, answer) = &runs[0];
@@ -203,9 +223,15 @@ fn slow_tail_with_deadline_and_hedge_is_reproducible() {
         query_budget_ms: 2_000,
         hedge_after_ms: 50,
     };
-    let baseline = run_once(&cfg, 1, 1);
-    for &(f, e) in &[(1, hi), (hi, 1), (hi, hi)] {
-        assert_eq!(run_once(&cfg, f, e), baseline, "threads ({f},{e})");
+    let baseline = run_once(&cfg, 1, 1, FetchMode::ScopedThreads);
+    for mode in [FetchMode::ScopedThreads, FetchMode::Overlapped] {
+        for &(f, e) in &[(1, hi), (hi, 1), (hi, hi)] {
+            assert_eq!(
+                run_once(&cfg, f, e, mode),
+                baseline,
+                "threads ({f},{e}) mode {mode:?}"
+            );
+        }
     }
     // The report must show the deadline plane actually engaged: either a
     // hedge rescued the tail (answer complete) or the deadline cut it off.

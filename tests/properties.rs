@@ -1,6 +1,6 @@
 //! Property-based tests over the core data structures and invariants.
 
-use kind::core::{run_section5, Fault, NeuroSchema, Section5Query};
+use kind::core::{run_section5, Fault, FetchMode, NeuroSchema, Section5Query};
 use kind::datalog::{Engine, EvalOptions, EvalStats, FactStore, Model};
 use kind::dm::{DomainMap, Resolved};
 use kind::sources::{
@@ -403,7 +403,7 @@ proptest! {
                 corrupt_per_mille,
             },
         ];
-        let run = |threads: usize| {
+        let run = |threads: usize, mode: FetchMode| {
             let params = ScenarioParams {
                 seed,
                 senselab_rows: 10,
@@ -412,6 +412,7 @@ proptest! {
                 noise_sources: 1,
                 noise_rows: 5,
                 fetch_threads: threads,
+                fetch_mode: mode,
                 ..Default::default()
             };
             let (mut m, _inj) = build_scenario_with_faults(&params, faults());
@@ -431,11 +432,81 @@ proptest! {
             facts.sort();
             (facts, m.report().clone(), m.stats())
         };
-        let (serial_model, serial_report, serial_stats) = run(1);
-        let (par_model, par_report, par_stats) = run(8);
-        prop_assert_eq!(serial_model, par_model);
-        prop_assert_eq!(serial_report, par_report);
-        prop_assert_eq!(serial_stats, par_stats);
+        let (serial_model, serial_report, serial_stats) = run(1, FetchMode::ScopedThreads);
+        for (threads, mode) in [
+            (8, FetchMode::ScopedThreads),
+            (1, FetchMode::Overlapped),
+            (8, FetchMode::Overlapped),
+        ] {
+            let (par_model, par_report, par_stats) = run(threads, mode);
+            prop_assert_eq!(&serial_model, &par_model,
+                "model diverges: threads={} mode={:?}", threads, mode);
+            prop_assert_eq!(&serial_report, &par_report,
+                "report diverges: threads={} mode={:?}", threads, mode);
+            prop_assert_eq!(&serial_stats, &par_stats,
+                "stats diverge: threads={} mode={:?}", threads, mode);
+        }
+    }
+}
+
+// ---------- Fetch transport: scoped == overlapped, byte for byte --------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// PR 10's tentpole invariant: with *virtual-clock* fault schedules
+    /// in play — a seeded latency tail driving the hedge path, flaky
+    /// failures driving retries and the circuit breaker, all under an
+    /// end-to-end deadline — the full §5 answer, its degradation report
+    /// (including quarantine counters), and the breaker's final state
+    /// are exactly equal across `fetch_mode × worker count`. The
+    /// overlapped executor may interleave parked attempts arbitrarily;
+    /// none of it may show through to any observable.
+    #[test]
+    fn fetch_transport_is_invisible_under_faults_hedges_and_deadlines(
+        seed in 0u64..u64::MAX,
+        slow_per_mille in 0u16..800,
+        fail_per_mille in 0u16..300,
+        budget_choice in 0usize..3,
+    ) {
+        let budget = [0u64, 150, 600][budget_choice];
+        let faults = || vec![
+            Fault::SlowTail { seed, delay_ms: 30, slow_per_mille },
+            Fault::Flaky { seed: seed.rotate_left(11), fail_per_mille },
+        ];
+        let run = |threads: usize, mode: FetchMode| {
+            let params = ScenarioParams {
+                senselab_rows: 10,
+                ncmir_rows: 15,
+                synapse_rows: 10,
+                noise_sources: 1,
+                noise_rows: 5,
+                fetch_threads: threads,
+                fetch_mode: mode,
+                query_budget_ms: budget,
+                hedge_after_ms: 10,
+                ..Default::default()
+            };
+            let (mut m, _inj) = build_scenario_with_faults(&params, faults());
+            let schema = NeuroSchema::default();
+            let q = Section5Query {
+                organism: "rat".into(),
+                transmitting_compartment: "Parallel_Fiber".into(),
+                ion: "calcium".into(),
+            };
+            let trace = run_section5(&mut m, &schema, &q, true).unwrap();
+            (trace, m.breaker_state("SENSELAB"), m.report().clone())
+        };
+        let baseline = run(1, FetchMode::ScopedThreads);
+        for (threads, mode) in [
+            (8, FetchMode::ScopedThreads),
+            (1, FetchMode::Overlapped),
+            (8, FetchMode::Overlapped),
+        ] {
+            let got = run(threads, mode);
+            prop_assert_eq!(&got, &baseline,
+                "observables diverge: threads={} mode={:?}", threads, mode);
+        }
     }
 }
 
